@@ -1,0 +1,85 @@
+//! Ablation benchmarks for the design choices the paper argues for:
+//!
+//! * symmetric pruning (Lemma 5, Section 4.2): OBJ vs BIJ;
+//! * the face-inside-circle verification rule (Section 3.2);
+//! * the depth-first outer order (Section 3.4) vs a shuffled order;
+//! * forced reinsertion in the R*-tree build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringjoin_bench::harness::{Workload, DEFAULT_BUFFER_FRAC};
+use ringjoin_core::{rcj_join, OuterOrder, RcjAlgorithm, RcjOptions};
+use ringjoin_datagen::{gaussian_clusters, uniform, PAPER_SIGMA};
+use std::hint::black_box;
+
+fn workload() -> Workload {
+    Workload::build(uniform(8_000, 21), uniform(8_000, 22), DEFAULT_BUFFER_FRAC)
+}
+
+fn bench_symmetric_pruning(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_symmetric_pruning");
+    g.sample_size(10);
+    for (name, algo) in [("bij_plain", RcjAlgorithm::Bij), ("obj_symmetric", RcjAlgorithm::Obj)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                w.reset();
+                black_box(rcj_join(&w.tq, &w.tp, &RcjOptions::algorithm(algo)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_face_rule(c: &mut Criterion) {
+    // Clustered data makes MBRs dense, where the face rule pays off most.
+    let w = Workload::build(
+        gaussian_clusters(8_000, 5, PAPER_SIGMA, 31),
+        gaussian_clusters(8_000, 5, PAPER_SIGMA, 32),
+        DEFAULT_BUFFER_FRAC,
+    );
+    let mut g = c.benchmark_group("ablation_face_rule");
+    g.sample_size(10);
+    for (name, no_face) in [("face_rule_on", false), ("face_rule_off", true)] {
+        g.bench_function(name, |b| {
+            let opts = RcjOptions {
+                no_face_rule: no_face,
+                ..Default::default()
+            };
+            b.iter(|| {
+                w.reset();
+                black_box(rcj_join(&w.tq, &w.tp, &opts))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_outer_order(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_outer_order");
+    g.sample_size(10);
+    for (name, order) in [
+        ("depth_first", OuterOrder::DepthFirst),
+        ("shuffled", OuterOrder::Shuffled(42)),
+    ] {
+        g.bench_function(name, |b| {
+            let opts = RcjOptions {
+                outer_order: order,
+                ..Default::default()
+            };
+            b.iter(|| {
+                w.reset();
+                black_box(rcj_join(&w.tq, &w.tp, &opts))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_symmetric_pruning,
+    bench_face_rule,
+    bench_outer_order
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks of the classical join baselines on the same substrate, for
+//! the cost context of Section 5.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringjoin_bench::harness::{Workload, DEFAULT_BUFFER_FRAC};
+use ringjoin_datagen::uniform;
+use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let w = Workload::build(uniform(10_000, 3), uniform(10_000, 4), DEFAULT_BUFFER_FRAC);
+    let mut g = c.benchmark_group("baseline_joins_10k");
+    g.sample_size(10);
+    g.bench_function("epsilon_join_eps50", |b| {
+        b.iter(|| {
+            w.reset();
+            black_box(epsilon_join(&w.tp, &w.tq, black_box(50.0)))
+        })
+    });
+    g.bench_function("k_closest_pairs_1000", |b| {
+        b.iter(|| {
+            w.reset();
+            black_box(k_closest_pairs(&w.tp, &w.tq, black_box(1000)))
+        })
+    });
+    g.bench_function("knn_join_k1", |b| {
+        b.iter(|| {
+            w.reset();
+            black_box(knn_join(&w.tp, &w.tq, black_box(1)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

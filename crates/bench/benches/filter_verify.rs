@@ -1,0 +1,62 @@
+//! Benchmarks of the two phases of the RCJ pipeline in isolation: the
+//! filter (Algorithm 2 / 7) and the verification (Algorithm 3) — the
+//! decomposition behind Figure 14.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringjoin_bench::harness::{Workload, DEFAULT_BUFFER_FRAC};
+use ringjoin_core::{bulk_filter, filter, verify, RcjPair, RcjStats};
+use ringjoin_datagen::uniform;
+use ringjoin_geom::pt;
+use std::hint::black_box;
+
+fn bench_filter(c: &mut Criterion) {
+    let w = Workload::build(uniform(20_000, 5), uniform(100, 6), DEFAULT_BUFFER_FRAC);
+    let mut g = c.benchmark_group("filter_20k");
+    g.bench_function("single_point", |b| {
+        let q = pt(5000.0, 5000.0);
+        b.iter(|| {
+            let mut stats = RcjStats::default();
+            black_box(filter(&w.tp, black_box(q), None, &mut stats))
+        })
+    });
+    g.bench_function("bulk_leaf_of_30", |b| {
+        let leaf = uniform(30, 77);
+        b.iter(|| {
+            let mut stats = RcjStats::default();
+            black_box(bulk_filter(&w.tp, black_box(&leaf), false, false, &mut stats))
+        })
+    });
+    g.bench_function("bulk_leaf_of_30_symmetric", |b| {
+        let leaf = uniform(30, 77);
+        b.iter(|| {
+            let mut stats = RcjStats::default();
+            black_box(bulk_filter(&w.tp, black_box(&leaf), true, false, &mut stats))
+        })
+    });
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let w = Workload::build(uniform(20_000, 5), uniform(100, 6), DEFAULT_BUFFER_FRAC);
+    // A realistic candidate batch: circles over pairs of nearby points.
+    let probes = uniform(200, 99);
+    let pairs: Vec<RcjPair> = probes
+        .chunks(2)
+        .map(|ch| RcjPair::new(ch[0], ch[1]))
+        .collect();
+    let mut g = c.benchmark_group("verify_20k");
+    for (name, face) in [("face_rule_on", true), ("face_rule_off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut alive = vec![true; pairs.len()];
+                let mut stats = RcjStats::default();
+                verify(&w.tp, black_box(&pairs), &mut alive, face, &mut stats);
+                black_box(alive)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Head-to-head benchmark of the three RCJ algorithms (the wall-clock
+//! view of Figures 13/16) on uniform and real-like data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ringjoin_bench::harness::{Workload, DEFAULT_BUFFER_FRAC};
+use ringjoin_core::{rcj_join, rcj_self_join, RcjAlgorithm, RcjOptions};
+use ringjoin_datagen::{gnis_like, uniform, GnisDataset};
+use std::hint::black_box;
+
+const ALGOS: [RcjAlgorithm; 3] = [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj];
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcj_uniform_8k");
+    g.sample_size(10);
+    let w = Workload::build(uniform(8_000, 1), uniform(8_000, 2), DEFAULT_BUFFER_FRAC);
+    for algo in ALGOS {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            b.iter(|| {
+                w.reset();
+                black_box(rcj_join(&w.tq, &w.tp, &RcjOptions::algorithm(a)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_real_like(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcj_gnis_sp_8k");
+    g.sample_size(10);
+    let w = Workload::build(
+        gnis_like(GnisDataset::PopulatedPlaces, 8_000),
+        gnis_like(GnisDataset::Schools, 8_000),
+        DEFAULT_BUFFER_FRAC,
+    );
+    for algo in ALGOS {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            b.iter(|| {
+                w.reset();
+                black_box(rcj_join(&w.tq, &w.tp, &RcjOptions::algorithm(a)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_self_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcj_self_join_8k");
+    g.sample_size(10);
+    let w = Workload::build(uniform(8_000, 9), vec![], DEFAULT_BUFFER_FRAC);
+    for algo in [RcjAlgorithm::Inj, RcjAlgorithm::Obj] {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            b.iter(|| {
+                w.reset();
+                black_box(rcj_self_join(&w.tp, &RcjOptions::algorithm(a)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uniform, bench_real_like, bench_self_join);
+criterion_main!(benches);

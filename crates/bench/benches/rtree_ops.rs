@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the R*-tree substrate: construction paths and the
+//! query primitives the join algorithms are built from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ringjoin_datagen::uniform;
+use ringjoin_geom::{pt, Rect};
+use ringjoin_rtree::{bulk_load, RTree};
+use ringjoin_storage::{MemDisk, Pager, SharedPager};
+use std::hint::black_box;
+
+fn pager() -> SharedPager {
+    Pager::new(MemDisk::new(1024), 4096).into_shared()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let items = uniform(10_000, 42);
+    let mut g = c.benchmark_group("rtree_build_10k");
+    g.sample_size(10);
+    g.bench_function("str_bulk_load", |b| {
+        b.iter_batched(
+            || items.clone(),
+            |its| black_box(bulk_load(pager(), its)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("rstar_insert", |b| {
+        b.iter_batched(
+            || items.clone(),
+            |its| {
+                let mut t = RTree::new(pager());
+                for it in its {
+                    t.insert(it);
+                }
+                black_box(t)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let items = uniform(50_000, 7);
+    let tree = bulk_load(pager(), items);
+    let mut g = c.benchmark_group("rtree_query_50k");
+    g.bench_function("range_1pct_window", |b| {
+        let w = Rect::new(pt(4000.0, 4000.0), pt(5000.0, 5000.0));
+        b.iter(|| black_box(tree.range(black_box(w))))
+    });
+    g.bench_function("knn_10", |b| {
+        b.iter(|| black_box(tree.knn(black_box(pt(5000.0, 5000.0)), 10)))
+    });
+    g.bench_function("inn_first_100", |b| {
+        b.iter(|| {
+            black_box(
+                tree.nearest_iter(black_box(pt(2500.0, 7500.0)))
+                    .take(100)
+                    .count(),
+            )
+        })
+    });
+    g.bench_function("df_leaf_scan", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            tree.for_each_leaf_df(|_, node| n += node.entries.len());
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! experiments all                    # everything, laptop scale (12.5%)
+//! experiments fig16 --scale 0.25    # one figure at 25% of paper sizes
+//! experiments table4 --full         # paper-scale cardinalities
+//! ```
+
+use ringjoin_bench::experiments::{run, ExpConfig, ALL};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut cfg = ExpConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--full" => cfg.scale = 1.0,
+            "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
+            other if !other.starts_with("--") => ids.push(other.to_string()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage("no experiment selected");
+    }
+
+    println!(
+        "# ringjoin experiments  (scale {}, page 1KB, buffer 1%, 10ms/fault)",
+        cfg.scale
+    );
+    for id in ids {
+        let t0 = Instant::now();
+        match run(&id, &cfg) {
+            Some(report) => {
+                println!("{report}");
+                println!("[{id} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            None => usage(&format!("unknown experiment {id}")),
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: experiments <all|{}> [--scale F] [--full]", ALL.join("|"));
+    std::process::exit(2);
+}

@@ -1,0 +1,545 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! Every function prints the same rows/series the paper reports. Sizes
+//! default to `scale ×` the paper's cardinalities (`--full` sets
+//! `scale = 1.0`); distance parameters (Figure 10's ε) are rescaled by
+//! `sqrt(1/scale)` so that the *shape* of each curve is preserved — point
+//! density scales linearly with `n`, so characteristic distances scale
+//! with `1/sqrt(n)`.
+
+use crate::harness::{run_phase, run_rcj, secs, Measured, Table, Workload, DEFAULT_BUFFER_FRAC};
+use ringjoin_core::{
+    brute_candidates, pair_keys, rcj_join, RcjAlgorithm, RcjOptions,
+};
+use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset, PAPER_SIGMA};
+use ringjoin_rtree::Item;
+use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Global experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Fraction of the paper's dataset cardinalities to generate.
+    pub scale: f64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        // 1/8 of the paper's sizes: laptop-friendly (seconds per figure)
+        // while keeping every curve's shape.
+        ExpConfig { scale: 0.125 }
+    }
+}
+
+impl ExpConfig {
+    fn n(&self, full: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(10)
+    }
+
+    /// Distance rescaling factor: characteristic distances grow as
+    /// density shrinks.
+    fn dist_factor(&self) -> f64 {
+        (1.0 / self.scale).sqrt()
+    }
+}
+
+/// The paper's join combinations (Table 3): (name, Q dataset, P dataset).
+pub const COMBINATIONS: [(&str, GnisDataset, GnisDataset); 4] = [
+    ("SP", GnisDataset::Schools, GnisDataset::PopulatedPlaces),
+    ("SP'", GnisDataset::PopulatedPlaces, GnisDataset::Schools),
+    ("LP", GnisDataset::Locales, GnisDataset::PopulatedPlaces),
+    ("LP'", GnisDataset::PopulatedPlaces, GnisDataset::Locales),
+];
+
+const ALGOS: [RcjAlgorithm; 3] = [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj];
+
+fn combo_workload(cfg: &ExpConfig, q: GnisDataset, p: GnisDataset) -> Workload {
+    let p_items = gnis_like(p, cfg.n(p.full_cardinality()));
+    let q_items = gnis_like(q, cfg.n(q.full_cardinality()));
+    Workload::build(p_items, q_items, DEFAULT_BUFFER_FRAC)
+}
+
+fn cost_columns(m: &Measured) -> Vec<String> {
+    vec![
+        secs(m.cpu_secs),
+        secs(m.io_secs),
+        secs(m.total_secs()),
+        m.io.read_faults.to_string(),
+        m.io.logical_reads.to_string(),
+    ]
+}
+
+const COST_HEADER: [&str; 5] = ["cpu(s)", "io(s)", "total(s)", "faults", "node_acc"];
+
+/// Table 2: the (stand-in) real datasets.
+pub fn table2(cfg: &ExpConfig) -> String {
+    let mut out = format!(
+        "== Table 2: real dataset stand-ins (scale {}) ==\n",
+        cfg.scale
+    );
+    let mut t = Table::new(&["ID", "Description", "paper N", "generated N"]);
+    for (ds, desc) in [
+        (GnisDataset::PopulatedPlaces, "Populated Places (GNIS-like)"),
+        (GnisDataset::Schools, "Schools (GNIS-like)"),
+        (GnisDataset::Locales, "Locales (GNIS-like)"),
+    ] {
+        t.row(vec![
+            ds.short_name().into(),
+            desc.into(),
+            ds.full_cardinality().to_string(),
+            cfg.n(ds.full_cardinality()).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Table 4: number of candidate pairs per algorithm, SP and LP.
+pub fn table4(cfg: &ExpConfig) -> String {
+    let mut out = format!(
+        "== Table 4: number of candidate pairs, real-like data (scale {}) ==\n",
+        cfg.scale
+    );
+    let mut t = Table::new(&["Algorithm", "SP", "LP"]);
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for (_, q, p) in [&COMBINATIONS[0], &COMBINATIONS[2]].map(|c| *c) {
+        let w = combo_workload(cfg, q, p);
+        let brute = brute_candidates(w.tp.len(), w.tq.len());
+        let mut col = vec![format!("{:.2E}", brute as f64)];
+        let mut result = 0u64;
+        for algo in ALGOS {
+            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            col.push(m.stats.candidate_pairs.to_string());
+            result = m.stats.result_pairs;
+        }
+        col.push(result.to_string());
+        columns.push(col);
+    }
+    for (i, name) in ["BRUTE", "INJ", "BIJ", "OBJ", "RCJ Results"].iter().enumerate() {
+        t.row(vec![
+            name.to_string(),
+            columns[0][i].clone(),
+            columns[1][i].clone(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// RCJ reference result keys for a workload (computed with OBJ).
+fn rcj_reference(w: &Workload) -> HashSet<(u64, u64)> {
+    let out = rcj_join(&w.tq, &w.tp, &RcjOptions::default());
+    pair_keys(&out.pairs).into_iter().collect()
+}
+
+/// Figure 10: resemblance of the ε-range join vs ε, for SP and LP.
+pub fn fig10(cfg: &ExpConfig) -> String {
+    let mut out = format!(
+        "== Figure 10: precision/recall of the eps-range join vs eps (scale {}) ==\n",
+        cfg.scale
+    );
+    for (name, q, p) in [COMBINATIONS[0], COMBINATIONS[2]] {
+        let w = combo_workload(cfg, q, p);
+        let reference = rcj_reference(&w);
+        let mut t = Table::new(&["eps", "pairs", "precision(%)", "recall(%)"]);
+        for step in 1..=10 {
+            let eps = step as f64 * cfg.dist_factor();
+            let pairs = epsilon_join(&w.tp, &w.tq, eps);
+            let keys: Vec<(u64, u64)> = pairs.iter().map(|(a, b)| (a.id, b.id)).collect();
+            let qy = precision_recall(&keys, &reference);
+            t.row(vec![
+                format!("{eps:.1}"),
+                keys.len().to_string(),
+                format!("{:.1}", qy.precision),
+                format!("{:.1}", qy.recall),
+            ]);
+        }
+        let _ = writeln!(out, "-- combination {name} (|RCJ| = {}) --", reference.len());
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Figure 11: resemblance of the k-closest-pairs join vs k.
+pub fn fig11(cfg: &ExpConfig) -> String {
+    let mut out = format!(
+        "== Figure 11: precision/recall of k-closest-pairs vs k (scale {}) ==\n",
+        cfg.scale
+    );
+    for (name, q, p) in [COMBINATIONS[0], COMBINATIONS[2]] {
+        let w = combo_workload(cfg, q, p);
+        let reference = rcj_reference(&w);
+        let mut t = Table::new(&["k", "precision(%)", "recall(%)"]);
+        // Sweep k up to ~1.4x the RCJ result size, mirroring the paper's
+        // x-axis (which extends past |RCJ|).
+        let base = reference.len().max(10);
+        for frac in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4] {
+            let k = (base as f64 * frac) as usize;
+            let pairs = k_closest_pairs(&w.tp, &w.tq, k);
+            let keys: Vec<(u64, u64)> = pairs.iter().map(|(a, b, _)| (a.id, b.id)).collect();
+            let qy = precision_recall(&keys, &reference);
+            t.row(vec![
+                k.to_string(),
+                format!("{:.1}", qy.precision),
+                format!("{:.1}", qy.recall),
+            ]);
+        }
+        let _ = writeln!(out, "-- combination {name} (|RCJ| = {}) --", reference.len());
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Figure 12: resemblance of the k-nearest-neighbour join vs k.
+pub fn fig12(cfg: &ExpConfig) -> String {
+    let mut out = format!(
+        "== Figure 12: precision/recall of the kNN join vs k (scale {}) ==\n",
+        cfg.scale
+    );
+    for (name, q, p) in [COMBINATIONS[0], COMBINATIONS[2]] {
+        let w = combo_workload(cfg, q, p);
+        let reference = rcj_reference(&w);
+        let mut t = Table::new(&["k", "pairs", "precision(%)", "recall(%)"]);
+        for k in 1..=10usize {
+            let pairs = knn_join(&w.tp, &w.tq, k);
+            let keys: Vec<(u64, u64)> = pairs.iter().map(|(a, b)| (a.id, b.id)).collect();
+            let qy = precision_recall(&keys, &reference);
+            t.row(vec![
+                k.to_string(),
+                keys.len().to_string(),
+                format!("{:.1}", qy.precision),
+                format!("{:.1}", qy.recall),
+            ]);
+        }
+        let _ = writeln!(out, "-- combination {name} (|RCJ| = {}) --", reference.len());
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Figure 13: the effect of the join combination (real-like data).
+pub fn fig13(cfg: &ExpConfig) -> String {
+    let mut out = format!(
+        "== Figure 13: the effect of join combination (scale {}) ==\n",
+        cfg.scale
+    );
+    let mut header = vec!["combination", "algo"];
+    header.extend(COST_HEADER);
+    header.push("candidates");
+    header.push("results");
+    let mut t = Table::new(&header);
+    for (name, q, p) in COMBINATIONS {
+        let w = combo_workload(cfg, q, p);
+        for algo in ALGOS {
+            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let mut row = vec![name.to_string(), algo.name().to_string()];
+            row.extend(cost_columns(&m));
+            row.push(m.stats.candidate_pairs.to_string());
+            row.push(m.stats.result_pairs.to_string());
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 14: the cost of the verification step (UI data, |P|=|Q|=200K).
+pub fn fig14(cfg: &ExpConfig) -> String {
+    let n = cfg.n(200_000);
+    let mut out = format!(
+        "== Figure 14: cost with vs without verification, |P|=|Q|={n}, UI data ==\n"
+    );
+    let w = Workload::build(uniform(n, 101), uniform(n, 202), DEFAULT_BUFFER_FRAC);
+    let mut header = vec!["algo", "verification"];
+    header.extend(COST_HEADER);
+    let mut t = Table::new(&header);
+    for algo in ALGOS {
+        for verification in [true, false] {
+            let opts = RcjOptions {
+                algorithm: algo,
+                skip_verification: !verification,
+                ..Default::default()
+            };
+            let m = run_rcj(&w, &opts);
+            let mut row = vec![
+                algo.name().to_string(),
+                if verification { "with" } else { "without" }.to_string(),
+            ];
+            row.extend(cost_columns(&m));
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 15: the effect of the buffer size (UI data).
+pub fn fig15(cfg: &ExpConfig) -> String {
+    let n = cfg.n(200_000);
+    let mut out = format!(
+        "== Figure 15: the effect of buffer size, |P|=|Q|={n}, UI data ==\n"
+    );
+    let mut w = Workload::build(uniform(n, 101), uniform(n, 202), DEFAULT_BUFFER_FRAC);
+    let mut header = vec!["buffer(%)", "algo"];
+    header.extend(COST_HEADER);
+    let mut t = Table::new(&header);
+    for frac_pct in [0.2, 0.5, 1.0, 2.0, 5.0] {
+        w.set_buffer_frac(frac_pct / 100.0);
+        for algo in ALGOS {
+            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let mut row = vec![format!("{frac_pct}"), algo.name().to_string()];
+            row.extend(cost_columns(&m));
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 16: scalability with the data size n (UI data).
+pub fn fig16(cfg: &ExpConfig) -> String {
+    let mut out = format!(
+        "== Figure 16: the effect of data size n, |P|=|Q|=n, UI data (scale {}) ==\n",
+        cfg.scale
+    );
+    let mut header = vec!["n", "algo"];
+    header.extend(COST_HEADER);
+    header.push("results");
+    let mut t = Table::new(&header);
+    for full_n in [50_000usize, 100_000, 200_000, 400_000, 800_000] {
+        let n = cfg.n(full_n);
+        let w = Workload::build(uniform(n, 7), uniform(n, 8), DEFAULT_BUFFER_FRAC);
+        for algo in ALGOS {
+            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let mut row = vec![n.to_string(), algo.name().to_string()];
+            row.extend(cost_columns(&m));
+            row.push(m.stats.result_pairs.to_string());
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 17: the effect of the cardinality ratio |P| : |Q|.
+pub fn fig17(cfg: &ExpConfig) -> String {
+    let total = cfg.n(400_000);
+    let mut out = format!(
+        "== Figure 17: the effect of cardinality ratio, |P|+|Q|={total}, UI data ==\n"
+    );
+    let mut header = vec!["|P|:|Q|", "algo"];
+    header.extend(COST_HEADER);
+    header.push("results");
+    let mut t = Table::new(&header);
+    for (label, pw, qw) in [
+        ("1:4", 1, 4),
+        ("1:2", 1, 2),
+        ("1:1", 1, 1),
+        ("2:1", 2, 1),
+        ("4:1", 4, 1),
+    ] {
+        let np = total * pw / (pw + qw);
+        let nq = total - np;
+        let w = Workload::build(uniform(np, 31), uniform(nq, 37), DEFAULT_BUFFER_FRAC);
+        for algo in ALGOS {
+            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let mut row = vec![label.to_string(), algo.name().to_string()];
+            row.extend(cost_columns(&m));
+            row.push(m.stats.result_pairs.to_string());
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 18: the effect of the number of clusters w (Gaussian data).
+pub fn fig18(cfg: &ExpConfig) -> String {
+    let n = cfg.n(200_000);
+    let mut out = format!(
+        "== Figure 18: the effect of cluster count w, |P|=|Q|={n}, Gaussian data ==\n"
+    );
+    let mut header = vec!["w", "algo"];
+    header.extend(COST_HEADER);
+    header.push("results");
+    let mut t = Table::new(&header);
+    for wclusters in [2usize, 5, 10, 15, 20] {
+        let w = Workload::build(
+            gaussian_clusters(n, wclusters, PAPER_SIGMA, 51),
+            gaussian_clusters(n, wclusters, PAPER_SIGMA, 52),
+            DEFAULT_BUFFER_FRAC,
+        );
+        for algo in ALGOS {
+            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let mut row = vec![wclusters.to_string(), algo.name().to_string()];
+            row.extend(cost_columns(&m));
+            row.push(m.stats.result_pairs.to_string());
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Extra (not a paper figure): baseline join costs on the same workload,
+/// for context in EXPERIMENTS.md.
+pub fn baselines(cfg: &ExpConfig) -> String {
+    let n = cfg.n(100_000);
+    let mut out = format!("== Baseline join costs, |P|=|Q|={n}, UI data ==\n");
+    let w = Workload::build(uniform(n, 61), uniform(n, 67), DEFAULT_BUFFER_FRAC);
+    let mut header = vec!["join", "pairs"];
+    header.extend(COST_HEADER);
+    let mut t = Table::new(&header);
+    let eps = 5.0 * cfg.dist_factor();
+    let (pairs, m) = run_phase(&w, || epsilon_join(&w.tp, &w.tq, eps));
+    let mut row = vec![format!("eps-join(eps={eps:.1})"), pairs.len().to_string()];
+    row.extend(cost_columns(&m));
+    t.row(row);
+    let k = n / 10;
+    let (pairs, m) = run_phase(&w, || k_closest_pairs(&w.tp, &w.tq, k));
+    let mut row = vec![format!("{k}-closest-pairs"), pairs.len().to_string()];
+    row.extend(cost_columns(&m));
+    t.row(row);
+    let (pairs, m) = run_phase(&w, || knn_join(&w.tp, &w.tq, 1));
+    let mut row = vec!["1NN-join".to_string(), pairs.len().to_string()];
+    row.extend(cost_columns(&m));
+    t.row(row);
+    let m = run_rcj(&w, &RcjOptions::default());
+    let mut row = vec!["RCJ (OBJ)".to_string(), m.stats.result_pairs.to_string()];
+    row.extend(cost_columns(&m));
+    t.row(row);
+    out.push_str(&t.render());
+    out
+}
+
+/// Extension experiment (paper future-work item 1): a calibrated
+/// analytical cost model for the algorithms' node accesses.
+///
+/// The local operations of the join are density-invariant on uniform
+/// data — the filter's unpruned region shrinks as `1/sqrt(n)` exactly as
+/// fast as the data densifies — so node accesses are linear in the
+/// number of *outer work units*: points of `Q` for INJ, leaves of `T_Q`
+/// for BIJ/OBJ. The model calibrates one constant per algorithm at a
+/// small size and predicts accesses at 2x and 4x; the printed relative
+/// errors validate it.
+pub fn ext_costmodel(cfg: &ExpConfig) -> String {
+    let n0 = cfg.n(100_000);
+    let mut out = format!(
+        "== Extension: analytical cost model (calibrated at n={n0}, UI data) ==\n"
+    );
+    let calibrate = |n: usize| -> (Workload, Vec<(RcjAlgorithm, u64, u64)>) {
+        let w = Workload::build(uniform(n, 7), uniform(n, 8), DEFAULT_BUFFER_FRAC);
+        let leaves_q = w
+            .tq
+            .node_pages()
+            .min(w.tq.len() / w.tq.codec().leaf_capacity as u64 + 1);
+        let mut rows = Vec::new();
+        for algo in ALGOS {
+            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let unit = match algo {
+                RcjAlgorithm::Inj => w.tq.len(),
+                _ => leaves_q,
+            };
+            rows.push((algo, m.io.logical_reads, unit));
+        }
+        (w, rows)
+    };
+
+    let (_w0, base) = calibrate(n0);
+    let constants: Vec<(RcjAlgorithm, f64)> = base
+        .iter()
+        .map(|&(a, acc, unit)| (a, acc as f64 / unit as f64))
+        .collect();
+    let mut t = Table::new(&["n", "algo", "unit", "model c", "predicted", "measured", "err(%)"]);
+    for factor in [2usize, 4] {
+        let n = n0 * factor;
+        let (_w, rows) = calibrate(n);
+        for ((algo, measured, unit), &(_, c)) in rows.into_iter().zip(constants.iter()) {
+            let predicted = c * unit as f64;
+            let err = 100.0 * (predicted - measured as f64).abs() / measured as f64;
+            t.row(vec![
+                n.to_string(),
+                algo.name().to_string(),
+                unit.to_string(),
+                format!("{c:.2}"),
+                format!("{predicted:.0}"),
+                measured.to_string(),
+                format!("{err:.1}"),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "model: accesses(INJ) = c_INJ * |Q|;  accesses(BIJ/OBJ) = c * leaves(T_Q)\n",
+    );
+    out
+}
+
+/// All experiment ids, in presentation order.
+pub const ALL: [&str; 13] = [
+    "table2", "table4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    "fig18", "baselines", "ext_costmodel",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, cfg: &ExpConfig) -> Option<String> {
+    Some(match id {
+        "table2" => table2(cfg),
+        "table4" => table4(cfg),
+        "fig10" => fig10(cfg),
+        "fig11" => fig11(cfg),
+        "fig12" => fig12(cfg),
+        "fig13" => fig13(cfg),
+        "fig14" => fig14(cfg),
+        "fig15" => fig15(cfg),
+        "fig16" => fig16(cfg),
+        "fig17" => fig17(cfg),
+        "fig18" => fig18(cfg),
+        "baselines" => baselines(cfg),
+        "ext_costmodel" => ext_costmodel(cfg),
+        _ => return None,
+    })
+}
+
+/// Helper for scaled workloads used by the criterion benches.
+pub fn bench_workload(n: usize) -> Workload {
+    Workload::build(uniform(n, 1111), uniform(n, 2222), DEFAULT_BUFFER_FRAC)
+}
+
+/// Item vector helper for criterion benches.
+pub fn bench_items(n: usize, seed: u64) -> Vec<Item> {
+    uniform(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every advertised experiment id dispatches; unknown ids do not.
+    /// (Run at a tiny scale so the whole table executes in seconds.)
+    #[test]
+    fn dispatch_table_is_complete() {
+        let cfg = ExpConfig { scale: 0.004 };
+        for id in ALL {
+            assert!(run(id, &cfg).is_some(), "experiment {id} missing from dispatch");
+        }
+        assert!(run("fig99", &cfg).is_none());
+        assert!(run("", &cfg).is_none());
+    }
+
+    #[test]
+    fn scaled_sizes_have_a_floor() {
+        let cfg = ExpConfig { scale: 1e-9 };
+        assert_eq!(cfg.n(200_000), 10, "scale floor protects tiny runs");
+        let full = ExpConfig { scale: 1.0 };
+        assert_eq!(full.n(177_983), 177_983);
+    }
+
+    #[test]
+    fn distance_factor_preserves_density() {
+        let cfg = ExpConfig { scale: 0.25 };
+        assert!((cfg.dist_factor() - 2.0).abs() < 1e-12);
+        assert_eq!(ExpConfig { scale: 1.0 }.dist_factor(), 1.0);
+    }
+}

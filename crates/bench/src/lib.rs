@@ -1,0 +1,15 @@
+//! Benchmark harness for the RCJ reproduction.
+//!
+//! [`experiments`] contains one function per table/figure of the paper's
+//! evaluation (Table 4, Figures 10–18); the `experiments` binary exposes
+//! them as subcommands. [`harness`] holds the shared machinery: dataset
+//! construction with the paper's storage configuration (1 KB pages, LRU
+//! buffer sized as a fraction of both trees), cost measurement (measured
+//! CPU seconds + simulated I/O at 10 ms per fault), and aligned table
+//! printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;

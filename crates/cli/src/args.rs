@@ -1,0 +1,130 @@
+//! A small, dependency-free argument parser: positional subcommand plus
+//! `--key value` / `--flag` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand and its options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    /// `--key value` options (flags map to an empty string).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parsing failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Known boolean flags (take no value).
+const FLAGS: [&str; 2] = ["stats", "quiet"];
+
+/// Parses raw arguments (without the program name).
+pub fn parse(raw: &[String]) -> Result<Args, ArgError> {
+    let mut iter = raw.iter().peekable();
+    let command = iter
+        .next()
+        .ok_or_else(|| ArgError("missing subcommand".into()))?
+        .clone();
+    if command.starts_with("--") {
+        return Err(ArgError(format!("expected subcommand, got flag {command}")));
+    }
+    let mut options = BTreeMap::new();
+    while let Some(arg) = iter.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| ArgError(format!("unexpected positional argument {arg:?}")))?;
+        if key.is_empty() {
+            return Err(ArgError("empty option name".into()));
+        }
+        if FLAGS.contains(&key) {
+            options.insert(key.to_string(), String::new());
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| ArgError(format!("missing value for --{key}")))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    /// Required string option.
+    pub fn req(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Optional string option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed option with a default.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value for --{key}: {v:?}"))),
+        }
+    }
+
+    /// Required parsed option.
+    pub fn req_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self.req(key)?;
+        v.parse()
+            .map_err(|_| ArgError(format!("invalid value for --{key}: {v:?}")))
+    }
+
+    /// `true` if the boolean flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = parse(&s(&["join", "--p", "p.bin", "--algo", "obj", "--stats"])).unwrap();
+        assert_eq!(a.command, "join");
+        assert_eq!(a.req("p").unwrap(), "p.bin");
+        assert_eq!(a.opt("algo"), Some("obj"));
+        assert!(a.flag("stats"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_values() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&s(&["--join"])).is_err());
+        assert!(parse(&s(&["join", "--p"])).is_err());
+        assert!(parse(&s(&["join", "stray"])).is_err());
+    }
+
+    #[test]
+    fn parses_numbers_with_defaults() {
+        let a = parse(&s(&["generate", "--n", "1000"])).unwrap();
+        assert_eq!(a.req_parse::<usize>("n").unwrap(), 1000);
+        assert_eq!(a.opt_parse::<u64>("seed", 42).unwrap(), 42);
+        assert!(a.opt_parse::<usize>("n", 0).is_ok());
+        let bad = parse(&s(&["generate", "--n", "abc"])).unwrap();
+        assert!(bad.req_parse::<usize>("n").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use ringjoin_core::{
+    bounds, rcj_join, rcj_self_join, sort_by_diameter, RcjAlgorithm, RcjOptions, RcjOutput,
+};
+use ringjoin_datagen::{gaussian_clusters, gnis_like, io as dio, uniform, GnisDataset};
+use ringjoin_rtree::{bulk_load, Item, RTree};
+use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
+use ringjoin_storage::{CostModel, MemDisk, Pager, SharedPager};
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::Path;
+
+/// Usage text printed on error or `help`.
+pub const USAGE: &str = "\
+ringjoin-cli — the ring-constrained join (EDBT 2008)
+
+USAGE: ringjoin-cli <command> [options]
+
+COMMANDS
+  generate   --kind uniform|gaussian|pp|sc|lo --n N --out FILE
+             [--seed S] [--clusters W] [--sigma X]
+  join       --p FILE --q FILE [--algo inj|bij|obj] [--out FILE]
+             [--buffer-frac F] [--page-size B] [--stats]
+  self-join  --input FILE [--algo inj|bij|obj] [--out FILE] [--stats]
+  top-k      --p FILE --q FILE --k K  (smallest ring diameters first)
+  compare    --p FILE --q FILE (--epsilon E | --kcp K | --knn K)
+  bound      --np N --nq N  (result-size bounds)
+  help
+
+Dataset files are .csv (id,x,y with header) or the .bin format written
+by `generate`; the extension decides the codec.";
+
+fn load_items(path: &str) -> Result<Vec<Item>, ArgError> {
+    let res = if path.ends_with(".csv") {
+        dio::load_csv(path)
+    } else {
+        dio::load_bin(path)
+    };
+    res.map_err(|e| ArgError(format!("cannot read {path}: {e}")))
+}
+
+fn save_items(path: &str, items: &[Item]) -> Result<(), ArgError> {
+    let res = if path.ends_with(".csv") {
+        dio::save_csv(path, items)
+    } else {
+        dio::save_bin(path, items)
+    };
+    res.map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+}
+
+fn parse_algo(s: Option<&str>) -> Result<RcjAlgorithm, ArgError> {
+    match s.unwrap_or("obj") {
+        "inj" => Ok(RcjAlgorithm::Inj),
+        "bij" => Ok(RcjAlgorithm::Bij),
+        "obj" => Ok(RcjAlgorithm::Obj),
+        other => Err(ArgError(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+/// Builds both trees in one pager with the paper's buffer rule.
+fn build_trees(
+    p_items: Vec<Item>,
+    q_items: Vec<Item>,
+    page_size: usize,
+    buffer_frac: f64,
+) -> (SharedPager, RTree, RTree) {
+    let pager = Pager::new(MemDisk::new(page_size), usize::MAX / 2).into_shared();
+    let tp = bulk_load(pager.clone(), p_items);
+    let tq = bulk_load(pager.clone(), q_items);
+    let buffer =
+        (((tp.node_pages() + tq.node_pages()) as f64 * buffer_frac).ceil() as usize).max(1);
+    {
+        let mut pg = pager.borrow_mut();
+        pg.set_buffer_capacity(buffer);
+        pg.clear_buffer();
+        pg.reset_stats();
+    }
+    (pager, tp, tq)
+}
+
+fn write_pairs(out: Option<&str>, pairs: &[ringjoin_core::RcjPair]) -> Result<(), ArgError> {
+    let mut sink: Box<dyn Write> = match out {
+        Some(path) => Box::new(
+            std::fs::File::create(Path::new(path))
+                .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?,
+        ),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut emit = || -> std::io::Result<()> {
+        writeln!(sink, "p_id,q_id,center_x,center_y,radius")?;
+        for pr in pairs {
+            let c = pr.center();
+            writeln!(
+                sink,
+                "{},{},{},{},{}",
+                pr.p.id,
+                pr.q.id,
+                c.x,
+                c.y,
+                pr.radius()
+            )?;
+        }
+        Ok(())
+    };
+    emit().map_err(|e| ArgError(format!("write failed: {e}")))
+}
+
+fn report_stats(pager: &SharedPager, out: &RcjOutput) {
+    let io = pager.borrow().stats();
+    eprintln!(
+        "pairs: {}  candidates: {}  node accesses: {}  faults: {}  io-time: {:.2}s (10ms/fault)",
+        out.stats.result_pairs,
+        out.stats.candidate_pairs,
+        io.logical_reads,
+        io.read_faults,
+        CostModel::default().io_seconds(&io),
+    );
+}
+
+/// Runs one parsed command; returns the text to print on stdout (pair
+/// CSVs go straight to their sink instead).
+pub fn run(args: &Args) -> Result<Option<String>, ArgError> {
+    match args.command.as_str() {
+        "help" => Ok(Some(USAGE.to_string())),
+        "generate" => {
+            let n: usize = args.req_parse("n")?;
+            let seed: u64 = args.opt_parse("seed", 42)?;
+            let out = args.req("out")?;
+            let items = match args.req("kind")? {
+                "uniform" => uniform(n, seed),
+                "gaussian" => {
+                    let w: usize = args.opt_parse("clusters", 10)?;
+                    let sigma: f64 = args.opt_parse("sigma", 1000.0)?;
+                    gaussian_clusters(n, w, sigma, seed)
+                }
+                "pp" => gnis_like(GnisDataset::PopulatedPlaces, n),
+                "sc" => gnis_like(GnisDataset::Schools, n),
+                "lo" => gnis_like(GnisDataset::Locales, n),
+                other => return Err(ArgError(format!("unknown dataset kind {other:?}"))),
+            };
+            save_items(out, &items)?;
+            Ok(Some(format!("wrote {n} points to {out}")))
+        }
+        "join" | "self-join" => {
+            let self_join = args.command == "self-join";
+            let algo = parse_algo(args.opt("algo"))?;
+            let page_size: usize = args.opt_parse("page-size", 1024)?;
+            let buffer_frac: f64 = args.opt_parse("buffer-frac", 0.01)?;
+            let opts = RcjOptions::algorithm(algo);
+            let (pager, out) = if self_join {
+                let items = load_items(args.req("input")?)?;
+                let (pager, tree, _empty) =
+                    build_trees(items, Vec::new(), page_size, buffer_frac);
+                let out = rcj_self_join(&tree, &opts);
+                (pager, out)
+            } else {
+                let p_items = load_items(args.req("p")?)?;
+                let q_items = load_items(args.req("q")?)?;
+                let (pager, tp, tq) = build_trees(p_items, q_items, page_size, buffer_frac);
+                let out = rcj_join(&tq, &tp, &opts);
+                (pager, out)
+            };
+            if args.flag("stats") {
+                report_stats(&pager, &out);
+            }
+            write_pairs(args.opt("out"), &out.pairs)?;
+            Ok(None)
+        }
+        "top-k" => {
+            let k: usize = args.req_parse("k")?;
+            let p_items = load_items(args.req("p")?)?;
+            let q_items = load_items(args.req("q")?)?;
+            let (_pager, tp, tq) = build_trees(p_items, q_items, 1024, 0.01);
+            // Full join then sort: simple and exact; the streaming path
+            // lives in the `ringjoin` facade crate.
+            let mut out = rcj_join(&tq, &tp, &RcjOptions::default());
+            sort_by_diameter(&mut out.pairs);
+            out.pairs.truncate(k);
+            write_pairs(args.opt("out"), &out.pairs)?;
+            Ok(None)
+        }
+        "compare" => {
+            let p_items = load_items(args.req("p")?)?;
+            let q_items = load_items(args.req("q")?)?;
+            let (_pager, tp, tq) = build_trees(p_items, q_items, 1024, 0.01);
+            let rcj: HashSet<(u64, u64)> =
+                ringjoin_core::pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
+                    .into_iter()
+                    .collect();
+            let (name, keys): (String, Vec<(u64, u64)>) = if let Some(e) = args.opt("epsilon") {
+                let eps: f64 = e
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --epsilon {e:?}")))?;
+                (
+                    format!("eps-join(eps={eps})"),
+                    epsilon_join(&tp, &tq, eps)
+                        .into_iter()
+                        .map(|(a, b)| (a.id, b.id))
+                        .collect(),
+                )
+            } else if let Some(k) = args.opt("kcp") {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --kcp {k:?}")))?;
+                (
+                    format!("{k}-closest-pairs"),
+                    k_closest_pairs(&tp, &tq, k)
+                        .into_iter()
+                        .map(|(a, b, _)| (a.id, b.id))
+                        .collect(),
+                )
+            } else if let Some(k) = args.opt("knn") {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --knn {k:?}")))?;
+                (
+                    format!("{k}NN-join"),
+                    knn_join(&tp, &tq, k)
+                        .into_iter()
+                        .map(|(a, b)| (a.id, b.id))
+                        .collect(),
+                )
+            } else {
+                return Err(ArgError(
+                    "compare needs one of --epsilon E, --kcp K, --knn K".into(),
+                ));
+            };
+            let q = precision_recall(&keys, &rcj);
+            Ok(Some(format!(
+                "{name}: {} pairs, precision {:.1}%, recall {:.1}% (|RCJ| = {})",
+                keys.len(),
+                q.precision,
+                q.recall,
+                rcj.len()
+            )))
+        }
+        "bound" => {
+            let np: u64 = args.req_parse("np")?;
+            let nq: u64 = args.req_parse("nq")?;
+            Ok(Some(format!(
+                "general-position bound: {}   worst case (degenerate): {}",
+                bounds::general_position_bound(np, nq),
+                bounds::worst_case_bound(np, nq)
+            )))
+        }
+        other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let d = std::env::temp_dir().join(format!("ringjoin-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_join_roundtrip() {
+        let p = tmp("p.bin");
+        let q = tmp("q.csv");
+        let out = tmp("pairs.csv");
+        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "400", "--seed", "1", "--out", &p])).unwrap())
+            .unwrap();
+        run(&parse(&s(&["generate", "--kind", "gaussian", "--n", "400", "--clusters", "4", "--out", &q])).unwrap())
+            .unwrap();
+        run(&parse(&s(&["join", "--p", &p, "--q", &q, "--algo", "obj", "--out", &out])).unwrap())
+            .unwrap();
+        let csv = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "p_id,q_id,center_x,center_y,radius");
+        assert!(lines.len() > 100, "join produced {} rows", lines.len() - 1);
+        // Every row parses.
+        for line in &lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 5);
+            fields[2].parse::<f64>().unwrap();
+            fields[4].parse::<f64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn self_join_and_topk() {
+        let input = tmp("buildings.bin");
+        run(&parse(&s(&["generate", "--kind", "pp", "--n", "300", "--out", &input])).unwrap())
+            .unwrap();
+        let out = tmp("self.csv");
+        run(&parse(&s(&["self-join", "--input", &input, "--out", &out])).unwrap()).unwrap();
+        let n_self = std::fs::read_to_string(&out).unwrap().lines().count() - 1;
+        assert!(n_self > 0);
+
+        let p = tmp("tp.bin");
+        let q = tmp("tq.bin");
+        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "200", "--seed", "2", "--out", &p])).unwrap())
+            .unwrap();
+        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "200", "--seed", "3", "--out", &q])).unwrap())
+            .unwrap();
+        let out2 = tmp("topk.csv");
+        run(&parse(&s(&["top-k", "--p", &p, "--q", &q, "--k", "5", "--out", &out2])).unwrap())
+            .unwrap();
+        let csv = std::fs::read_to_string(&out2).unwrap();
+        assert_eq!(csv.lines().count(), 6); // header + 5
+        // Radii ascending.
+        let radii: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(4).unwrap().parse().unwrap())
+            .collect();
+        for w in radii.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn compare_and_bound() {
+        let p = tmp("cp.bin");
+        let q = tmp("cq.bin");
+        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "300", "--seed", "5", "--out", &p])).unwrap())
+            .unwrap();
+        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "300", "--seed", "6", "--out", &q])).unwrap())
+            .unwrap();
+        let msg = run(&parse(&s(&["compare", "--p", &p, "--q", &q, "--knn", "1"])).unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(msg.contains("precision"), "{msg}");
+
+        let b = run(&parse(&s(&["bound", "--np", "100", "--nq", "100"])).unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(b.contains("594"), "{b}");
+        assert!(b.contains("10000"), "{b}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&parse(&s(&["join", "--p", "/nonexistent.bin", "--q", "x.bin"])).unwrap())
+            .is_err());
+        assert!(run(&parse(&s(&["frobnicate"])).unwrap()).is_err());
+        assert!(run(&parse(&s(&["compare", "--p", "a", "--q", "b"])).unwrap()).is_err());
+        assert!(run(&parse(&s(&["generate", "--kind", "nope", "--n", "10", "--out", "/tmp/x"])).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! `ringjoin` — command-line interface to the ring-constrained join.
+//!
+//! See `ringjoin help` or [`commands::USAGE`] for the command set:
+//! dataset generation, bichromatic and self joins with CSV output,
+//! top-k by ring diameter, precision/recall comparison against the
+//! classical join operators, and the result-size bounds.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(Some(message)) => println!("{message}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Brute-force RCJ — the `O(|P| · |Q|)` baseline the paper rules out for
+//! large inputs (Section 1), retained as the correctness oracle and for
+//! Table 4's candidate-count row.
+
+use crate::pair::RcjPair;
+use ringjoin_geom::Circle;
+use ringjoin_rtree::Item;
+
+/// Brute-force ring-constrained join over in-memory slices.
+///
+/// A pair `⟨p, q⟩` qualifies iff no point of `P ∪ Q` lies strictly inside
+/// the circle with diameter `pq`. The strict-interior dot test means the
+/// pair's own endpoints (and any point co-located with them) never
+/// disqualify it, so no identity bookkeeping is required.
+pub fn rcj_brute(ps: &[Item], qs: &[Item]) -> Vec<RcjPair> {
+    let mut out = Vec::new();
+    for &p in ps {
+        for &q in qs {
+            if pair_valid(p, q, ps, qs) {
+                out.push(RcjPair::new(p, q));
+            }
+        }
+    }
+    out
+}
+
+/// Brute-force self-RCJ: unordered pairs of distinct points of one set
+/// whose circle contains no third point, reported with `p.id < q.id`.
+pub fn rcj_brute_self(items: &[Item]) -> Vec<RcjPair> {
+    let mut out = Vec::new();
+    for (i, &p) in items.iter().enumerate() {
+        for &q in &items[i + 1..] {
+            debug_assert_ne!(p.id, q.id, "self-join requires unique ids");
+            if pair_valid(p, q, items, &[]) {
+                let (lo, hi) = if p.id < q.id { (p, q) } else { (q, p) };
+                out.push(RcjPair::new(lo, hi));
+            }
+        }
+    }
+    out
+}
+
+fn pair_valid(p: Item, q: Item, ps: &[Item], qs: &[Item]) -> bool {
+    let blocked = |x: &Item| Circle::strictly_contains_diameter(x.point, p.point, q.point);
+    !ps.iter().any(blocked) && !qs.iter().any(blocked)
+}
+
+/// The brute-force candidate count for Table 4: the full Cartesian
+/// product `|P| · |Q|`.
+pub fn brute_candidates(np: u64, nq: u64) -> u128 {
+    np as u128 * nq as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+
+    #[test]
+    fn figure1_dataset() {
+        let ps = vec![Item::new(1, pt(0.28, 0.88)), Item::new(2, pt(0.40, 0.35))];
+        let qs = vec![Item::new(1, pt(0.15, 0.59)), Item::new(2, pt(0.83, 0.20))];
+        let mut keys: Vec<(u64, u64)> = rcj_brute(&ps, &qs).iter().map(|p| p.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![(1, 1), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn two_isolated_points_always_pair() {
+        let ps = vec![Item::new(1, pt(0.0, 0.0))];
+        let qs = vec![Item::new(2, pt(100.0, 100.0))];
+        assert_eq!(rcj_brute(&ps, &qs).len(), 1);
+    }
+
+    #[test]
+    fn collinear_equidistant_points() {
+        // q between two p's: both pairs valid; the far-apart pair
+        // <p0, p2> in a self-join would be blocked by q.
+        let ps = vec![Item::new(1, pt(0.0, 0.0)), Item::new(2, pt(2.0, 0.0))];
+        let qs = vec![Item::new(7, pt(1.0, 0.0))];
+        let pairs = rcj_brute(&ps, &qs);
+        assert_eq!(pairs.len(), 2);
+
+        let all = vec![
+            Item::new(1, pt(0.0, 0.0)),
+            Item::new(2, pt(2.0, 0.0)),
+            Item::new(3, pt(1.0, 0.0)),
+        ];
+        let self_pairs = rcj_brute_self(&all);
+        let keys: Vec<(u64, u64)> = self_pairs.iter().map(|p| p.key()).collect();
+        assert!(keys.contains(&(1, 3)));
+        assert!(keys.contains(&(2, 3)));
+        assert!(!keys.contains(&(1, 2)), "middle point blocks the long pair");
+    }
+
+    #[test]
+    fn self_join_pairs_are_ordered_and_unique() {
+        let items: Vec<Item> = (0..40)
+            .map(|i| Item::new(i, pt((i % 7) as f64 * 3.0, (i % 5) as f64 * 4.0 + i as f64 * 0.01)))
+            .collect();
+        let pairs = rcj_brute_self(&items);
+        let mut keys: Vec<(u64, u64)> = pairs.iter().map(|p| p.key()).collect();
+        for &(a, b) in &keys {
+            assert!(a < b);
+        }
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(n, keys.len(), "duplicate pairs reported");
+    }
+
+    #[test]
+    fn candidate_count_is_cartesian() {
+        // The Table 4 BRUTE row for the SP combination: |PP| x |SC|.
+        assert_eq!(brute_candidates(177_983, 172_188), 30_646_536_804u128);
+    }
+}

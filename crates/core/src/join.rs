@@ -1,0 +1,401 @@
+//! The RCJ join drivers: INJ (Algorithms 4–5), BIJ (Algorithm 6) and OBJ
+//! (Section 4.2), plus the self-join variant.
+
+use crate::filter::{bulk_filter, filter};
+use crate::pair::RcjPair;
+use crate::stats::RcjStats;
+use crate::verify::verify;
+use ringjoin_rtree::{Item, RTree};
+use ringjoin_storage::PageId;
+
+/// Which RCJ algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RcjAlgorithm {
+    /// Index Nested Loop Join (Algorithm 5): one filter + one verification
+    /// per point of `Q`, depth-first over `T_Q`.
+    Inj,
+    /// Bulk Index Nested Loop Join (Algorithm 6): one bulk filter + one
+    /// verification per *leaf* of `T_Q`.
+    Bij,
+    /// Optimized BIJ (Section 4.2): BIJ plus the symmetric pruning rule of
+    /// Lemma 5 — the paper's best algorithm.
+    #[default]
+    Obj,
+}
+
+impl RcjAlgorithm {
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RcjAlgorithm::Inj => "INJ",
+            RcjAlgorithm::Bij => "BIJ",
+            RcjAlgorithm::Obj => "OBJ",
+        }
+    }
+}
+
+/// Processing order of the outer tree's leaf nodes (Section 3.4 studies
+/// why depth-first matters; `Shuffled` exists for the ablation bench).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OuterOrder {
+    /// Depth-first traversal of `T_Q` — spatially adjacent leaves are
+    /// processed consecutively, so filter/verification probes share
+    /// buffered pages.
+    #[default]
+    DepthFirst,
+    /// Deterministically shuffled leaf order (seeded) — destroys access
+    /// locality, quantifying the benefit of depth-first order.
+    Shuffled(u64),
+}
+
+/// Options controlling an RCJ run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RcjOptions {
+    /// Algorithm choice (default [`RcjAlgorithm::Obj`]).
+    pub algorithm: RcjAlgorithm,
+    /// Skip the verification step, reporting raw filter candidates
+    /// (Figure 14 measures its cost share; results are then a superset).
+    pub skip_verification: bool,
+    /// Disable the face-inside-circle verification shortcut (ablation).
+    pub no_face_rule: bool,
+    /// Leaf processing order for the outer tree.
+    pub outer_order: OuterOrder,
+}
+
+impl RcjOptions {
+    /// Options for a given algorithm with everything else default.
+    pub fn algorithm(algorithm: RcjAlgorithm) -> Self {
+        RcjOptions {
+            algorithm,
+            ..Default::default()
+        }
+    }
+}
+
+/// The outcome of an RCJ run: result pairs plus CPU-side counters (I/O
+/// counters live in the shared pager and are snapshotted by the caller).
+#[derive(Clone, Debug)]
+pub struct RcjOutput {
+    /// The join result (or the unverified candidates when
+    /// [`RcjOptions::skip_verification`] is set).
+    pub pairs: Vec<RcjPair>,
+    /// Run counters.
+    pub stats: RcjStats,
+}
+
+/// Computes the ring-constrained join between `Q` (outer, indexed by
+/// `tq`) and `P` (inner, indexed by `tp`).
+///
+/// Returns all pairs `⟨p, q⟩`, `p ∈ P`, `q ∈ Q`, whose smallest enclosing
+/// circle contains no other point of `P ∪ Q` strictly inside.
+///
+/// ```
+/// use ringjoin_core::{rcj_join, RcjOptions};
+/// use ringjoin_rtree::{bulk_load, Item};
+/// use ringjoin_storage::{MemDisk, Pager};
+/// use ringjoin_geom::pt;
+///
+/// // Figure 1 of the paper: three of the four pairs qualify.
+/// let pager = Pager::new(MemDisk::new(1024), 16).into_shared();
+/// let p = vec![Item::new(1, pt(0.28, 0.88)), Item::new(2, pt(0.40, 0.35))];
+/// let q = vec![Item::new(1, pt(0.15, 0.59)), Item::new(2, pt(0.83, 0.20))];
+/// let tp = bulk_load(pager.clone(), p);
+/// let tq = bulk_load(pager.clone(), q);
+/// let out = rcj_join(&tq, &tp, &RcjOptions::default());
+/// let mut keys: Vec<(u64, u64)> = out.pairs.iter().map(|pr| pr.key()).collect();
+/// keys.sort();
+/// assert_eq!(keys, vec![(1, 1), (2, 1), (2, 2)]); // <p1,q2> is excluded
+/// ```
+pub fn rcj_join(tq: &RTree, tp: &RTree, opts: &RcjOptions) -> RcjOutput {
+    run(tq, tp, false, opts)
+}
+
+/// Computes the self-RCJ of one dataset (the paper's postboxes
+/// application): all unordered pairs of distinct points whose circle
+/// contains no third point. Each pair is reported once, with
+/// `p.id < q.id`.
+pub fn rcj_self_join(tree: &RTree, opts: &RcjOptions) -> RcjOutput {
+    run(tree, tree, true, opts)
+}
+
+fn run(tq: &RTree, tp: &RTree, self_join: bool, opts: &RcjOptions) -> RcjOutput {
+    let mut out = RcjOutput {
+        pairs: Vec::new(),
+        stats: RcjStats::default(),
+    };
+    // Collect the leaf pages in depth-first order (one cheap pass over
+    // T_Q), optionally destroy the locality for the ablation, then
+    // process leaf by leaf. Re-reading each leaf page right before its
+    // group is processed keeps it hot in the buffer in the depth-first
+    // case, matching Algorithm 5's inline recursion.
+    let mut leaves: Vec<PageId> = Vec::new();
+    tq.for_each_leaf_df(|page, _| leaves.push(page));
+    if let OuterOrder::Shuffled(seed) = opts.outer_order {
+        shuffle(&mut leaves, seed);
+    }
+    for page in leaves {
+        let node = tq.read_node(page);
+        let items: Vec<Item> = node.items().collect();
+        process_leaf(tq, tp, &items, self_join, opts, &mut out);
+    }
+    out.stats.result_pairs = out.pairs.len() as u64;
+    out
+}
+
+/// Computes the RCJ contribution of one leaf of `T_Q`.
+fn process_leaf(
+    tq: &RTree,
+    tp: &RTree,
+    leaf_points: &[Item],
+    self_join: bool,
+    opts: &RcjOptions,
+    out: &mut RcjOutput,
+) {
+    match opts.algorithm {
+        RcjAlgorithm::Inj => {
+            // Algorithm 4: per-point filter and verification.
+            for &q in leaf_points {
+                let exclude = self_join.then_some(q.id);
+                let cands = filter(tp, q.point, exclude, &mut out.stats);
+                out.stats.candidate_pairs += cands.len() as u64;
+                let pairs: Vec<RcjPair> =
+                    cands.into_iter().map(|p| RcjPair::new(p, q)).collect();
+                finish(tq, tp, pairs, self_join, opts, out);
+            }
+        }
+        RcjAlgorithm::Bij | RcjAlgorithm::Obj => {
+            let symmetric = opts.algorithm == RcjAlgorithm::Obj;
+            let bulk = bulk_filter(tp, leaf_points, symmetric, self_join, &mut out.stats);
+            let mut pairs: Vec<RcjPair> = Vec::new();
+            for (i, &q) in leaf_points.iter().enumerate() {
+                out.stats.candidate_pairs += bulk.sets[i].len() as u64;
+                pairs.extend(bulk.sets[i].iter().map(|&p| RcjPair::new(p, q)));
+            }
+            finish(tq, tp, pairs, self_join, opts, out);
+        }
+    }
+}
+
+/// Verification + reporting for a batch of candidate pairs.
+fn finish(
+    tq: &RTree,
+    tp: &RTree,
+    pairs: Vec<RcjPair>,
+    self_join: bool,
+    opts: &RcjOptions,
+    out: &mut RcjOutput,
+) {
+    if pairs.is_empty() {
+        return;
+    }
+    let mut alive = vec![true; pairs.len()];
+    if !opts.skip_verification {
+        let face = !opts.no_face_rule;
+        verify(tq, &pairs, &mut alive, face, &mut out.stats);
+        if !self_join {
+            verify(tp, &pairs, &mut alive, face, &mut out.stats);
+        }
+    }
+    for (i, pr) in pairs.into_iter().enumerate() {
+        if !alive[i] {
+            continue;
+        }
+        if self_join {
+            // Each unordered pair is discovered from both endpoints;
+            // report it from the smaller id only.
+            if pr.p.id < pr.q.id {
+                out.pairs.push(pr);
+            }
+        } else {
+            out.pairs.push(pr);
+        }
+    }
+}
+
+/// Deterministic Fisher–Yates shuffle with an xorshift generator — no RNG
+/// dependency needed for the ablation path.
+fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut state = seed.wrapping_mul(2685821657736338717).max(1);
+    for i in (1..v.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let j = (state % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::{rcj_brute, rcj_brute_self};
+    use crate::pair::pair_keys;
+    use ringjoin_geom::pt;
+    use ringjoin_rtree::bulk_load;
+    use ringjoin_storage::{MemDisk, Pager, SharedPager};
+
+    fn pager() -> SharedPager {
+        Pager::new(MemDisk::new(1024), 128).into_shared()
+    }
+
+    fn items(points: &[(f64, f64)], id_base: u64) -> Vec<Item> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item::new(id_base + i as u64, pt(x, y)))
+            .collect()
+    }
+
+    fn lcg_points(n: usize, seed: u64, span: f64) -> Vec<(f64, f64)> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| (next() * span, next() * span)).collect()
+    }
+
+    #[test]
+    fn all_algorithms_match_brute_force() {
+        let ps = items(&lcg_points(120, 7, 1000.0), 0);
+        let qs = items(&lcg_points(150, 13, 1000.0), 0);
+        let expect = pair_keys(&rcj_brute(&ps, &qs));
+        assert!(!expect.is_empty());
+
+        for algo in [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj] {
+            let pg = pager();
+            let tp = bulk_load(pg.clone(), ps.clone());
+            let tq = bulk_load(pg.clone(), qs.clone());
+            let out = rcj_join(&tq, &tp, &RcjOptions::algorithm(algo));
+            assert_eq!(
+                pair_keys(&out.pairs),
+                expect,
+                "{} disagrees with brute force",
+                algo.name()
+            );
+            assert_eq!(out.stats.result_pairs, expect.len() as u64);
+            assert!(out.stats.candidate_pairs >= out.stats.result_pairs);
+        }
+    }
+
+    #[test]
+    fn self_join_matches_brute_force() {
+        let its = items(&lcg_points(130, 29, 500.0), 0);
+        let expect = pair_keys(&rcj_brute_self(&its));
+        assert!(!expect.is_empty());
+        for algo in [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj] {
+            let pg = pager();
+            let tree = bulk_load(pg.clone(), its.clone());
+            let out = rcj_self_join(&tree, &RcjOptions::algorithm(algo));
+            assert_eq!(
+                pair_keys(&out.pairs),
+                expect,
+                "{} self-join disagrees with brute force",
+                algo.name()
+            );
+            // Every pair reported once, smaller id first.
+            for pr in &out.pairs {
+                assert!(pr.p.id < pr.q.id);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_order_changes_io_not_results() {
+        let ps = items(&lcg_points(400, 31, 2000.0), 0);
+        let qs = items(&lcg_points(400, 37, 2000.0), 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps);
+        let tq = bulk_load(pg.clone(), qs);
+        let df = rcj_join(&tq, &tp, &RcjOptions::default());
+        let sh = rcj_join(
+            &tq,
+            &tp,
+            &RcjOptions {
+                outer_order: OuterOrder::Shuffled(99),
+                ..Default::default()
+            },
+        );
+        assert_eq!(pair_keys(&df.pairs), pair_keys(&sh.pairs));
+    }
+
+    #[test]
+    fn skip_verification_yields_candidate_superset() {
+        let ps = items(&lcg_points(200, 41, 800.0), 0);
+        let qs = items(&lcg_points(200, 43, 800.0), 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps);
+        let tq = bulk_load(pg.clone(), qs);
+        let verified = rcj_join(&tq, &tp, &RcjOptions::default());
+        let raw = rcj_join(
+            &tq,
+            &tp,
+            &RcjOptions {
+                skip_verification: true,
+                ..Default::default()
+            },
+        );
+        let vk = pair_keys(&verified.pairs);
+        let rk = pair_keys(&raw.pairs);
+        assert!(rk.len() >= vk.len());
+        let raw_set: std::collections::HashSet<_> = rk.into_iter().collect();
+        for k in vk {
+            assert!(raw_set.contains(&k), "verified pair {k:?} missing from candidates");
+        }
+    }
+
+    #[test]
+    fn no_face_rule_same_results() {
+        let ps = items(&lcg_points(150, 47, 600.0), 0);
+        let qs = items(&lcg_points(150, 53, 600.0), 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps);
+        let tq = bulk_load(pg.clone(), qs);
+        let with = rcj_join(&tq, &tp, &RcjOptions::default());
+        let without = rcj_join(
+            &tq,
+            &tp,
+            &RcjOptions {
+                no_face_rule: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pair_keys(&with.pairs), pair_keys(&without.pairs));
+    }
+
+    #[test]
+    fn obj_candidates_never_exceed_bij() {
+        let ps = items(&lcg_points(500, 59, 3000.0), 0);
+        let qs = items(&lcg_points(500, 61, 3000.0), 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps);
+        let tq = bulk_load(pg.clone(), qs);
+        let bij = rcj_join(&tq, &tp, &RcjOptions::algorithm(RcjAlgorithm::Bij));
+        let obj = rcj_join(&tq, &tp, &RcjOptions::algorithm(RcjAlgorithm::Obj));
+        assert!(obj.stats.candidate_pairs <= bij.stats.candidate_pairs);
+        assert_eq!(pair_keys(&bij.pairs), pair_keys(&obj.pairs));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), vec![]);
+        let tq = bulk_load(pg.clone(), items(&lcg_points(10, 3, 100.0), 0));
+        let out = rcj_join(&tq, &tp, &RcjOptions::default());
+        assert!(out.pairs.is_empty());
+        let out2 = rcj_join(&tp, &tq, &RcjOptions::default());
+        assert!(out2.pairs.is_empty());
+    }
+
+    #[test]
+    fn singleton_inputs_always_join() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), vec![Item::new(1, pt(10.0, 10.0))]);
+        let tq = bulk_load(pg.clone(), vec![Item::new(5, pt(90.0, 90.0))]);
+        let out = rcj_join(&tq, &tp, &RcjOptions::default());
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(out.pairs[0].key(), (1, 5));
+    }
+}

@@ -1,0 +1,73 @@
+//! The ring-constrained join (RCJ) — the core contribution of Yiu,
+//! Karras and Mamoulis, *"Ring-constrained Join: Deriving Fair Middleman
+//! Locations from Pointsets via a Geometric Constraint"* (EDBT 2008).
+//!
+//! Given two pointsets `P` and `Q` indexed by disk-based R*-trees, the RCJ
+//! returns every pair `⟨p, q⟩` whose smallest enclosing circle contains no
+//! other point of `P ∪ Q`. The circle center is a *fair middleman
+//! location*: equidistant from `p` and `q`, minimising the maximum
+//! distance to both, and — because the circle is empty — guaranteed that
+//! `p` and `q` are the nearest members of their datasets for anyone
+//! standing there. Unlike the ε-distance join or k-closest-pairs, the
+//! constraint is purely geometric and parameter-free, and adapts to local
+//! data density.
+//!
+//! # Algorithms
+//!
+//! * [`rcj_brute`] — the `O(|P|·|Q|)` oracle.
+//! * [`RcjAlgorithm::Inj`] — Index Nested Loop Join (Algorithms 2–5): a
+//!   per-point filter built on incremental nearest-neighbour search with
+//!   the half-plane pruning of Lemmas 1/3, followed by bulk circle
+//!   verification (Algorithm 3).
+//! * [`RcjAlgorithm::Bij`] — Bulk INJ (Algorithms 6–7): one filter and
+//!   one verification per *leaf* of `T_Q`, slashing tree traversals.
+//! * [`RcjAlgorithm::Obj`] — Optimized BIJ (Lemma 5): sibling points of
+//!   the same leaf prune for each other at zero extra I/O — the paper's
+//!   winner across all experiments.
+//!
+//! Plus, beyond the paper's evaluation:
+//!
+//! * [`rcj_self_join`] — the self-RCJ (postboxes application).
+//! * [`metric_rcj`] — the Section 6 "future work" generalisation to
+//!   `L1`/`L∞` metrics, via the mirror-point reformulation of Lemma 1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ringjoin_core::{rcj_join, RcjOptions};
+//! use ringjoin_rtree::{bulk_load, Item};
+//! use ringjoin_storage::{MemDisk, Pager};
+//! use ringjoin_geom::pt;
+//!
+//! let pager = Pager::new(MemDisk::new(1024), 32).into_shared();
+//! let restaurants = (0..50).map(|i| Item::new(i, pt((i % 7) as f64 * 13.0, (i % 5) as f64 * 17.0)));
+//! let residences = (0..80).map(|i| Item::new(i, pt((i % 11) as f64 * 9.0, (i % 13) as f64 * 7.0)));
+//! let tp = bulk_load(pager.clone(), restaurants.collect());
+//! let tq = bulk_load(pager.clone(), residences.collect());
+//!
+//! let out = rcj_join(&tq, &tp, &RcjOptions::default());
+//! for pair in out.pairs.iter().take(3) {
+//!     println!("recycling station at {} serving restaurant {} and residence {}",
+//!              pair.center(), pair.p.id, pair.q.id);
+//! }
+//! assert!(out.stats.result_pairs > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+mod brute;
+mod filter;
+mod join;
+pub mod metric_rcj;
+mod pair;
+mod stats;
+mod verify;
+
+pub use brute::{brute_candidates, rcj_brute, rcj_brute_self};
+pub use filter::{bulk_filter, filter, BulkFilterResult};
+pub use join::{rcj_join, rcj_self_join, OuterOrder, RcjAlgorithm, RcjOptions, RcjOutput};
+pub use pair::{pair_keys, sort_by_diameter, RcjPair};
+pub use stats::RcjStats;
+pub use verify::verify;

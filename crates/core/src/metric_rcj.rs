@@ -1,0 +1,375 @@
+//! RCJ under non-Euclidean metrics — the Section 6 "future work"
+//! generalisation.
+//!
+//! The paper's closing section asks how the ring constraint transfers to
+//! the Manhattan distance and other metrics. We adopt the canonical
+//! *midpoint ball* (see [`ringjoin_geom::Metric`]) as the ring: centered
+//! at the coordinate-wise midpoint with radius `d(p, q) / 2` — a smallest
+//! enclosing ball in every `Lp` metric.
+//!
+//! # The mirror-point reformulation of Lemma 1
+//!
+//! The Euclidean pruning rule generalises cleanly. For a query `q` and a
+//! known point `s`, define the **mirror point** `m = 2s − q` (the
+//! reflection of `q` through `s`). Then for *any* norm:
+//!
+//! ```text
+//! s strictly inside midball(q, x)   ⟺   d(x, m) < d(x, q)
+//! ```
+//!
+//! because `2·(s − mid(q, x)) = m − x`, so `2·d(s, mid) < d(q, x)` is
+//! exactly `d(x, m) < d(x, q)`. Under `L2` the region
+//! `{x : d(x, m) < d(x, q)}` is the open half-plane beyond the bisector
+//! of `q` and `m` — precisely the `Ψ⁻(q, s)` of Lemma 1 (the bisector of
+//! `q` and its reflection through `s` is the line through `s`
+//! perpendicular to `qs`). Under `L1`/`L∞` the bisector region is not
+//! convex, so rectangle containment cannot be decided by corner tests;
+//! we prune an MBR `e` with the conservative sufficient condition
+//! `maxdist(m, e) < mindist(q, e)` and prune individual points exactly.
+//!
+//! This keeps the algorithm exact in every metric, with weaker (but
+//! sound) subtree pruning outside `L2`.
+
+use crate::pair::RcjPair;
+use crate::stats::RcjStats;
+use ringjoin_geom::{Metric, Point, Rect};
+use ringjoin_rtree::{Item, NodeEntry, RTree};
+use ringjoin_storage::PageId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Output of a metric RCJ run.
+#[derive(Clone, Debug)]
+pub struct MetricRcjOutput {
+    /// Result pairs (same shape as the Euclidean join's).
+    pub pairs: Vec<RcjPair>,
+    /// Run counters.
+    pub stats: RcjStats,
+}
+
+/// Computes the ring-constrained join under an arbitrary [`Metric`].
+///
+/// For [`Metric::L2`] this produces exactly the same result set as
+/// [`crate::rcj_join`] (property-tested); for `L1`/`L∞` it produces the
+/// midpoint-ball RCJ of the paper's future-work section.
+pub fn metric_rcj_join(tq: &RTree, tp: &RTree, metric: Metric) -> MetricRcjOutput {
+    run(tq, tp, metric, false)
+}
+
+/// Self-join variant of [`metric_rcj_join`]; pairs reported once with
+/// `p.id < q.id`.
+pub fn metric_rcj_self_join(tree: &RTree, metric: Metric) -> MetricRcjOutput {
+    run(tree, tree, metric, true)
+}
+
+fn run(tq: &RTree, tp: &RTree, metric: Metric, self_join: bool) -> MetricRcjOutput {
+    let mut out = MetricRcjOutput {
+        pairs: Vec::new(),
+        stats: RcjStats::default(),
+    };
+    let mut leaves: Vec<PageId> = Vec::new();
+    tq.for_each_leaf_df(|page, _| leaves.push(page));
+    for page in leaves {
+        let node = tq.read_node(page);
+        for q in node.items() {
+            let exclude = self_join.then_some(q.id);
+            let cands = metric_filter(tp, q.point, metric, exclude, &mut out.stats);
+            out.stats.candidate_pairs += cands.len() as u64;
+            let pairs: Vec<RcjPair> = cands.into_iter().map(|p| RcjPair::new(p, q)).collect();
+            let mut alive = vec![true; pairs.len()];
+            metric_verify(tq, &pairs, metric, &mut alive, &mut out.stats);
+            if !self_join {
+                metric_verify(tp, &pairs, metric, &mut alive, &mut out.stats);
+            }
+            for (i, pr) in pairs.into_iter().enumerate() {
+                if alive[i] && (!self_join || pr.p.id < pr.q.id) {
+                    out.pairs.push(pr);
+                }
+            }
+        }
+    }
+    out.stats.result_pairs = out.pairs.len() as u64;
+    out
+}
+
+struct HeapElem {
+    key: f64,
+    seq: u64,
+    target: Target,
+}
+enum Target {
+    Node(PageId, Rect),
+    Point(Item),
+}
+impl PartialEq for HeapElem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for HeapElem {}
+impl PartialOrd for HeapElem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapElem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Metric analogue of Algorithm 2: incremental search from `q` (under
+/// `metric`) with mirror-point pruning.
+fn metric_filter(
+    tree_p: &RTree,
+    q: Point,
+    metric: Metric,
+    exclude_id: Option<u64>,
+    stats: &mut RcjStats,
+) -> Vec<Item> {
+    let mut s: Vec<Item> = Vec::new();
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push(HeapElem {
+        key: 0.0,
+        seq,
+        target: Target::Node(
+            tree_p.root_page(),
+            Rect::new(
+                Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+                Point::new(f64::INFINITY, f64::INFINITY),
+            ),
+        ),
+    });
+    // Mirror points of the discovered candidates.
+    let mut mirrors: Vec<Point> = Vec::new();
+
+    while let Some(elem) = heap.pop() {
+        stats.filter_heap_pops += 1;
+        match elem.target {
+            Target::Node(page, mbr) => {
+                // Conservative subtree prune: every x in the MBR is
+                // strictly closer to some mirror than to q.
+                let pruned = mirrors
+                    .iter()
+                    .any(|m| metric.maxdist_rect(*m, mbr) < metric.mindist_rect(q, mbr));
+                if pruned {
+                    continue;
+                }
+                let node = tree_p.read_node(page);
+                for e in &node.entries {
+                    seq += 1;
+                    match e {
+                        NodeEntry::Item(it) => heap.push(HeapElem {
+                            key: metric.dist(q, it.point),
+                            seq,
+                            target: Target::Point(*it),
+                        }),
+                        NodeEntry::Child { mbr, page } => heap.push(HeapElem {
+                            key: metric.mindist_rect(q, *mbr),
+                            seq,
+                            target: Target::Node(*page, *mbr),
+                        }),
+                    }
+                }
+            }
+            Target::Point(it) => {
+                if exclude_id == Some(it.id) {
+                    continue;
+                }
+                // Exact point prune: some candidate s is strictly inside
+                // the midball of (q, it) — evaluated in the endpoint-exact
+                // form rather than via the mirror to avoid constructing
+                // 2s - q in floating point.
+                let pruned = s
+                    .iter()
+                    .any(|cand| metric.strictly_inside_midball(cand.point, q, it.point));
+                if !pruned {
+                    mirrors.push(Point::new(
+                        2.0 * it.point.x - q.x,
+                        2.0 * it.point.y - q.y,
+                    ));
+                    s.push(it);
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Metric analogue of Algorithm 3 for a batch of candidate pairs of one
+/// query point.
+fn metric_verify(
+    tree: &RTree,
+    pairs: &[RcjPair],
+    metric: Metric,
+    alive: &mut [bool],
+    stats: &mut RcjStats,
+) {
+    let idxs: Vec<usize> = (0..pairs.len()).filter(|&i| alive[i]).collect();
+    if idxs.is_empty() {
+        return;
+    }
+    metric_verify_node(tree, tree.root_page(), &idxs, pairs, metric, alive, stats);
+}
+
+fn metric_verify_node(
+    tree: &RTree,
+    page: PageId,
+    idxs: &[usize],
+    pairs: &[RcjPair],
+    metric: Metric,
+    alive: &mut [bool],
+    stats: &mut RcjStats,
+) {
+    stats.verify_node_visits += 1;
+    let node = tree.read_node(page);
+    if node.is_leaf() {
+        for e in &node.entries {
+            if let NodeEntry::Item(it) = e {
+                for &i in idxs {
+                    if alive[i]
+                        && metric.strictly_inside_midball(
+                            it.point,
+                            pairs[i].p.point,
+                            pairs[i].q.point,
+                        )
+                    {
+                        alive[i] = false;
+                    }
+                }
+            }
+        }
+        return;
+    }
+    for e in &node.entries {
+        if let NodeEntry::Child { mbr, page: child } = e {
+            let mut sub: Vec<usize> = Vec::new();
+            for &i in idxs {
+                if !alive[i] {
+                    continue;
+                }
+                // Descend iff the MBR reaches the ball's interior: the
+                // midball is inscribed in its bounding rect, so test the
+                // metric distance from the midpoint.
+                let p = pairs[i].p.point;
+                let q = pairs[i].q.point;
+                let mid = p.midpoint(q);
+                let r = 0.5 * metric.dist(p, q);
+                if metric.mindist_rect(mid, *mbr) < r * (1.0 + 1e-9) {
+                    sub.push(i);
+                }
+            }
+            if !sub.is_empty() {
+                metric_verify_node(tree, *child, &sub, pairs, metric, alive, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::pair_keys;
+    use crate::{rcj_join, RcjOptions};
+    use ringjoin_geom::pt;
+    use ringjoin_rtree::bulk_load;
+    use ringjoin_storage::{MemDisk, Pager, SharedPager};
+
+    fn pager() -> SharedPager {
+        Pager::new(MemDisk::new(1024), 64).into_shared()
+    }
+
+    fn lcg_items(n: usize, seed: u64, span: f64, base: u64) -> Vec<Item> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| Item::new(base + i as u64, pt(next() * span, next() * span)))
+            .collect()
+    }
+
+    fn brute_metric(ps: &[Item], qs: &[Item], metric: Metric) -> Vec<(u64, u64)> {
+        let mut keys = Vec::new();
+        for &p in ps {
+            for &q in qs {
+                let blocked = |x: &Item| metric.strictly_inside_midball(x.point, p.point, q.point);
+                if !ps.iter().any(blocked) && !qs.iter().any(blocked) {
+                    keys.push((p.id, q.id));
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn l2_metric_join_equals_euclidean_join() {
+        let ps = lcg_items(100, 3, 500.0, 0);
+        let qs = lcg_items(120, 5, 500.0, 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps.clone());
+        let tq = bulk_load(pg.clone(), qs.clone());
+        let euclid = rcj_join(&tq, &tp, &RcjOptions::default());
+        let metric = metric_rcj_join(&tq, &tp, Metric::L2);
+        assert_eq!(pair_keys(&euclid.pairs), pair_keys(&metric.pairs));
+    }
+
+    #[test]
+    fn l1_and_linf_match_brute_force() {
+        let ps = lcg_items(80, 11, 300.0, 0);
+        let qs = lcg_items(90, 17, 300.0, 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps.clone());
+        let tq = bulk_load(pg.clone(), qs.clone());
+        for metric in [Metric::L1, Metric::Linf] {
+            let out = metric_rcj_join(&tq, &tp, metric);
+            assert_eq!(
+                pair_keys(&out.pairs),
+                brute_metric(&ps, &qs, metric),
+                "{metric:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_give_different_result_sets() {
+        // Sanity: the generalisation is not a no-op — on a skewed layout
+        // the three metrics disagree somewhere.
+        let ps = lcg_items(60, 23, 100.0, 0);
+        let qs = lcg_items(60, 29, 100.0, 0);
+        let l2 = brute_metric(&ps, &qs, Metric::L2);
+        let l1 = brute_metric(&ps, &qs, Metric::L1);
+        let li = brute_metric(&ps, &qs, Metric::Linf);
+        assert!(l1 != l2 || li != l2, "expected some metric disagreement");
+    }
+
+    #[test]
+    fn metric_self_join_l1() {
+        let items = lcg_items(70, 31, 200.0, 0);
+        let pg = pager();
+        let tree = bulk_load(pg.clone(), items.clone());
+        let out = metric_rcj_self_join(&tree, Metric::L1);
+        // Brute self-join under L1.
+        let mut expect = Vec::new();
+        for (i, &p) in items.iter().enumerate() {
+            for &q in &items[i + 1..] {
+                let blocked =
+                    |x: &Item| Metric::L1.strictly_inside_midball(x.point, p.point, q.point);
+                if !items.iter().any(blocked) {
+                    let (lo, hi) = if p.id < q.id { (p.id, q.id) } else { (q.id, p.id) };
+                    expect.push((lo, hi));
+                }
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(pair_keys(&out.pairs), expect);
+    }
+}

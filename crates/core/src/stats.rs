@@ -1,0 +1,57 @@
+//! Run statistics for the RCJ algorithms.
+
+/// Counters reported by an RCJ run.
+///
+/// `candidate_pairs` is the paper's Table 4 metric: the total number of
+/// `⟨p, q⟩` pairs that survive the filter step and must be verified. The
+/// other counters support the cost decomposition of Figures 13–18 (I/O
+/// statistics live in [`ringjoin_storage::IoStats`], captured by the
+/// caller around the join).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct RcjStats {
+    /// Pairs produced by the filter step (Table 4's "number of candidate
+    /// pairs").
+    pub candidate_pairs: u64,
+    /// Pairs that survived verification — the RCJ result cardinality.
+    pub result_pairs: u64,
+    /// Entries deheaped across all filter invocations (CPU-side filter
+    /// effort).
+    pub filter_heap_pops: u64,
+    /// Nodes visited by the verification step (CPU-side verify effort).
+    pub verify_node_visits: u64,
+}
+
+impl RcjStats {
+    /// Component-wise sum, for aggregating per-leaf runs.
+    pub fn add(&mut self, other: RcjStats) {
+        self.candidate_pairs += other.candidate_pairs;
+        self.result_pairs += other.result_pairs;
+        self.filter_heap_pops += other.filter_heap_pops;
+        self.verify_node_visits += other.verify_node_visits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = RcjStats {
+            candidate_pairs: 1,
+            result_pairs: 2,
+            filter_heap_pops: 3,
+            verify_node_visits: 4,
+        };
+        a.add(RcjStats {
+            candidate_pairs: 10,
+            result_pairs: 20,
+            filter_heap_pops: 30,
+            verify_node_visits: 40,
+        });
+        assert_eq!(a.candidate_pairs, 11);
+        assert_eq!(a.result_pairs, 22);
+        assert_eq!(a.filter_heap_pops, 33);
+        assert_eq!(a.verify_node_visits, 44);
+    }
+}

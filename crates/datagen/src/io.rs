@@ -1,0 +1,157 @@
+//! Dataset persistence: CSV (interchange) and a compact binary format
+//! (fast reload of the large experiment inputs).
+
+use ringjoin_geom::pt;
+use ringjoin_rtree::Item;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes items as `id,x,y` CSV with a header line.
+pub fn save_csv<P: AsRef<Path>>(path: P, items: &[Item]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "id,x,y")?;
+    for it in items {
+        writeln!(w, "{},{},{}", it.id, it.point.x, it.point.y)?;
+    }
+    w.flush()
+}
+
+/// Reads a CSV produced by [`save_csv`].
+pub fn load_csv<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<Item>> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / trailing blank
+        }
+        let mut parts = line.split(',');
+        let parse_err = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: bad {what}: {line:?}", lineno + 1),
+            )
+        };
+        let id: u64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("id"))?;
+        let x: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("x"))?;
+        let y: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("y"))?;
+        out.push(Item::new(id, pt(x, y)));
+    }
+    Ok(out)
+}
+
+const BIN_MAGIC: &[u8; 8] = b"RJPOINT1";
+
+/// Writes items in the binary format: magic, little-endian count, then
+/// `id:u64, x:f64, y:f64` records.
+pub fn save_bin<P: AsRef<Path>>(path: P, items: &[Item]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(BIN_MAGIC)?;
+    w.write_all(&(items.len() as u64).to_le_bytes())?;
+    for it in items {
+        w.write_all(&it.id.to_le_bytes())?;
+        w.write_all(&it.point.x.to_le_bytes())?;
+        w.write_all(&it.point.y.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a file produced by [`save_bin`].
+pub fn load_bin<P: AsRef<Path>>(path: P) -> std::io::Result<Vec<Item>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BIN_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not a ringjoin point file",
+        ));
+    }
+    let mut count = [0u8; 8];
+    r.read_exact(&mut count)?;
+    let n = u64::from_le_bytes(count) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut rec = [0u8; 24];
+    for _ in 0..n {
+        r.read_exact(&mut rec)?;
+        let id = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+        let x = f64::from_le_bytes(rec[8..16].try_into().unwrap());
+        let y = f64::from_le_bytes(rec[16..24].try_into().unwrap());
+        out.push(Item::new(id, pt(x, y)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ringjoin-io-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let d = tmpdir();
+        let items = uniform(123, 5);
+        let path = d.join("pts.csv");
+        save_csv(&path, &items).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back.len(), items.len());
+        for (a, b) in items.iter().zip(back.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.point, b.point);
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn bin_roundtrip() {
+        let d = tmpdir();
+        let items = uniform(1000, 9);
+        let path = d.join("pts.bin");
+        save_bin(&path, &items).unwrap();
+        let back = load_bin(&path).unwrap();
+        assert_eq!(back.len(), items.len());
+        for (a, b) in items.iter().zip(back.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.point, b.point);
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let d = tmpdir();
+        let path = d.join("junk.bin");
+        std::fs::write(&path, b"NOTMAGIC________").unwrap();
+        assert!(load_bin(&path).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        let d = tmpdir();
+        let path = d.join("bad.csv");
+        std::fs::write(&path, "id,x,y\n1,notanumber,3\n").unwrap();
+        assert!(load_csv(&path).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,352 @@
+//! Workload generators for the RCJ evaluation (Section 5 of the paper).
+//!
+//! Three families of pointsets, all normalised to the paper's
+//! `[0, 10000]²` domain:
+//!
+//! * [`uniform`] — the synthetic **UI** data: i.i.d. uniform coordinates.
+//! * [`gaussian_clusters`] — the Figure 18 skew workload: `w` equal-size
+//!   clusters with uniformly chosen centers and per-dimension Gaussian
+//!   spread σ = 1000.
+//! * [`gnis_like`] — stand-ins for the real GNIS datasets (PP = Populated
+//!   Places, SC = Schools, LO = Locales from geonames.usgs.gov), which are
+//!   not redistributable here. Each persona is a heavy-tailed mixture of
+//!   Gaussian clusters over a **shared** master set of population centers —
+//!   sharing the centers is what makes the PP/SC/LO personas co-located,
+//!   like the real datasets ("data points of both datasets should span
+//!   over the same geographical region", Section 5) — plus a uniform
+//!   background. Cardinalities default to the paper's (Table 2) and scale
+//!   linearly.
+//!
+//! All generators are deterministic in their seed; [`io`] persists
+//! datasets as CSV or a compact binary format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ringjoin_geom::{pt, Point};
+use ringjoin_rtree::Item;
+
+/// The coordinate domain of every generated dataset: `[0, DOMAIN]²`.
+pub const DOMAIN: f64 = 10_000.0;
+
+/// The Gaussian spread used by the paper's clustered workload.
+pub const PAPER_SIGMA: f64 = 1_000.0;
+
+/// Uniform (UI) data: `n` points i.i.d. uniform over the domain.
+pub fn uniform(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca1ab1e);
+    (0..n)
+        .map(|i| {
+            Item::new(
+                i as u64,
+                pt(rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN)),
+            )
+        })
+        .collect()
+}
+
+/// Standard-normal sample via Box–Muller (keeps the dependency footprint
+/// to `rand` alone).
+fn gauss(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Folds a coordinate back into `[0, DOMAIN]` by reflection.
+///
+/// Clamping would pile out-of-domain samples onto the border, creating
+/// artificial co-located points there; reflection keeps the local density
+/// smooth near the edges.
+fn reflect(v: f64) -> f64 {
+    let mut v = v.abs();
+    if v > DOMAIN {
+        v = 2.0 * DOMAIN - v;
+    }
+    v.clamp(0.0, DOMAIN)
+}
+
+/// Clustered Gaussian data (the Figure 18 workload): `w` clusters of
+/// equal size, centers uniform in the domain, coordinates Gaussian with
+/// the given `sigma` around the cluster center, clamped to the domain.
+pub fn gaussian_clusters(n: usize, w: usize, sigma: f64, seed: u64) -> Vec<Item> {
+    assert!(w >= 1, "at least one cluster");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdeadbeef);
+    let centers: Vec<Point> = (0..w)
+        .map(|_| pt(rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN)))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % w];
+            let x = reflect(c.x + sigma * gauss(&mut rng));
+            let y = reflect(c.y + sigma * gauss(&mut rng));
+            Item::new(i as u64, pt(x, y))
+        })
+        .collect()
+}
+
+/// Persona of a GNIS-like dataset (Table 2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GnisDataset {
+    /// PP — Populated Places (177,983 points): dense, strongly clustered
+    /// around population centers.
+    PopulatedPlaces,
+    /// SC — Schools (172,188 points): tracks population closely, with a
+    /// slightly flatter weight profile and wider local spread.
+    Schools,
+    /// LO — Locales (128,476 points): coarser, with a substantial
+    /// dispersed (rural) component.
+    Locales,
+}
+
+impl GnisDataset {
+    /// The paper's cardinality for this dataset (Table 2).
+    pub fn full_cardinality(&self) -> usize {
+        match self {
+            GnisDataset::PopulatedPlaces => 177_983,
+            GnisDataset::Schools => 172_188,
+            GnisDataset::Locales => 128_476,
+        }
+    }
+
+    /// Two-letter id used in the paper's join-combination names.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            GnisDataset::PopulatedPlaces => "PP",
+            GnisDataset::Schools => "SC",
+            GnisDataset::Locales => "LO",
+        }
+    }
+
+    /// (cluster σ, weight exponent, background fraction) — the persona
+    /// knobs. A higher weight exponent concentrates points in the big
+    /// centers; the background fraction goes to uniform noise.
+    fn persona(&self) -> (f64, f64, f64) {
+        match self {
+            GnisDataset::PopulatedPlaces => (120.0, 1.0, 0.05),
+            GnisDataset::Schools => (170.0, 0.9, 0.08),
+            GnisDataset::Locales => (380.0, 0.7, 0.20),
+        }
+    }
+}
+
+/// Number of shared master population centers.
+const MASTER_CENTERS: usize = 600;
+/// Seed of the master center set — deliberately independent of the
+/// per-dataset seeds so that every persona clusters around the *same*
+/// geography.
+const MASTER_SEED: u64 = 0x9e3779b97f4a7c15;
+
+fn master_centers() -> Vec<(Point, f64)> {
+    let mut rng = SmallRng::seed_from_u64(MASTER_SEED);
+    (0..MASTER_CENTERS)
+        .map(|rank| {
+            let p = pt(rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN));
+            // Zipf-like base weight by rank; personas re-exponentiate it.
+            let w = 1.0 / (rank as f64 + 1.0);
+            (p, w)
+        })
+        .collect()
+}
+
+/// Generates `n` points of the given GNIS-like persona.
+///
+/// Use `ds.full_cardinality()` for the paper's size, or any smaller `n`
+/// for a scaled run — the *distribution* is invariant under scaling, only
+/// the density changes.
+pub fn gnis_like(ds: GnisDataset, n: usize) -> Vec<Item> {
+    let (sigma, exponent, background) = ds.persona();
+    let centers = master_centers();
+    // Persona-weighted cumulative distribution over the master centers.
+    let weights: Vec<f64> = centers.iter().map(|(_, w)| w.powf(exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let seed = match ds {
+        GnisDataset::PopulatedPlaces => 0x5050,
+        GnisDataset::Schools => 0x5c5c,
+        GnisDataset::Locales => 0x1010,
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let point = if rng.gen_range(0.0..1.0) < background {
+                pt(rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN))
+            } else {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let idx = cdf.partition_point(|&c| c < u).min(centers.len() - 1);
+                let c = centers[idx].0;
+                pt(
+                    reflect(c.x + sigma * gauss(&mut rng)),
+                    reflect(c.y + sigma * gauss(&mut rng)),
+                )
+            };
+            Item::new(i as u64, point)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_domain() {
+        let a = uniform(500, 7);
+        let b = uniform(500, 7);
+        let c = uniform(500, 8);
+        assert_eq!(a.len(), 500);
+        assert_eq!(
+            a.iter().map(|i| (i.id, i.point)).collect::<Vec<_>>(),
+            b.iter().map(|i| (i.id, i.point)).collect::<Vec<_>>()
+        );
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.point != y.point));
+        for it in &a {
+            assert!(it.point.x >= 0.0 && it.point.x <= DOMAIN);
+            assert!(it.point.y >= 0.0 && it.point.y <= DOMAIN);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_domain() {
+        // Chebyshev-style sanity: each quadrant gets a reasonable share.
+        let items = uniform(4000, 42);
+        let mut quad = [0usize; 4];
+        for it in &items {
+            let qx = usize::from(it.point.x > DOMAIN / 2.0);
+            let qy = usize::from(it.point.y > DOMAIN / 2.0);
+            quad[2 * qy + qx] += 1;
+        }
+        for &q in &quad {
+            assert!(q > 800, "quadrant badly undersampled: {quad:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_clusters_are_clustered() {
+        let w = 5;
+        let items = gaussian_clusters(5000, w, PAPER_SIGMA, 3);
+        assert_eq!(items.len(), 5000);
+        // Recover the centers from per-residue means (points are assigned
+        // round-robin: i % w).
+        let mut centers = vec![(0.0, 0.0, 0usize); w];
+        for it in &items {
+            let k = (it.id as usize) % w;
+            centers[k].0 += it.point.x;
+            centers[k].1 += it.point.y;
+            centers[k].2 += 1;
+        }
+        let centers: Vec<_> = centers
+            .into_iter()
+            .map(|(sx, sy, c)| pt(sx / c as f64, sy / c as f64))
+            .collect();
+        let sample: Vec<_> = items.iter().step_by(50).collect();
+        let mean_d: f64 = sample
+            .iter()
+            .map(|it| {
+                centers
+                    .iter()
+                    .map(|c| it.point.dist(*c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / sample.len() as f64;
+        assert!(
+            mean_d < 2.5 * PAPER_SIGMA,
+            "points not clustered: mean nearest-center distance {mean_d}"
+        );
+    }
+
+    #[test]
+    fn more_clusters_spread_the_data() {
+        // Figure 18's premise: higher w -> less skew. Measure occupancy of
+        // a coarse grid.
+        let occupied = |w: usize| {
+            let items = gaussian_clusters(20_000, w, PAPER_SIGMA, 11);
+            let mut cells = std::collections::HashSet::new();
+            for it in &items {
+                cells.insert((
+                    (it.point.x / 500.0).floor() as i64,
+                    (it.point.y / 500.0).floor() as i64,
+                ));
+            }
+            cells.len()
+        };
+        assert!(occupied(20) > occupied(2), "w=20 should cover more cells");
+    }
+
+    #[test]
+    fn gnis_personas_are_colocated() {
+        // The SP join premise: schools are near populated places. Compare
+        // the fraction of SC points with a PP point within 250 units
+        // against the same fraction for uniform points.
+        let pp = gnis_like(GnisDataset::PopulatedPlaces, 4000);
+        let sc = gnis_like(GnisDataset::Schools, 1000);
+        let ui = uniform(1000, 99);
+        let near = |probe: &[Item]| {
+            probe
+                .iter()
+                .filter(|s| pp.iter().any(|p| p.point.dist_sq(s.point) < 250.0 * 250.0))
+                .count() as f64
+                / probe.len() as f64
+        };
+        let sc_near = near(&sc);
+        let ui_near = near(&ui);
+        assert!(
+            sc_near > ui_near,
+            "schools should co-locate with populated places: {sc_near} <= {ui_near}"
+        );
+        assert!(sc_near > 0.5, "schools mostly near population: {sc_near}");
+    }
+
+    #[test]
+    fn gnis_cardinalities_match_table2() {
+        assert_eq!(GnisDataset::PopulatedPlaces.full_cardinality(), 177_983);
+        assert_eq!(GnisDataset::Schools.full_cardinality(), 172_188);
+        assert_eq!(GnisDataset::Locales.full_cardinality(), 128_476);
+        assert_eq!(GnisDataset::PopulatedPlaces.short_name(), "PP");
+    }
+
+    #[test]
+    fn gnis_is_deterministic() {
+        let a = gnis_like(GnisDataset::Locales, 300);
+        let b = gnis_like(GnisDataset::Locales, 300);
+        assert_eq!(
+            a.iter().map(|i| (i.id, i.point)).collect::<Vec<_>>(),
+            b.iter().map(|i| (i.id, i.point)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scaled_prefix_has_same_distribution_family() {
+        // Scaling down only thins the data; the generator must not shift
+        // the geography. Check grid-cell overlap between a small and a
+        // large sample of the same persona.
+        let small = gnis_like(GnisDataset::PopulatedPlaces, 1000);
+        let large = gnis_like(GnisDataset::PopulatedPlaces, 8000);
+        let cells = |items: &[Item]| {
+            items
+                .iter()
+                .map(|it| {
+                    (
+                        (it.point.x / 1000.0).floor() as i64,
+                        (it.point.y / 1000.0).floor() as i64,
+                    )
+                })
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let s = cells(&small);
+        let l = cells(&large);
+        let covered = s.iter().filter(|c| l.contains(c)).count() as f64 / s.len() as f64;
+        assert!(covered > 0.95, "small sample strays from the geography: {covered}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Circles, in particular the smallest enclosing circle of a point pair.
+
+use crate::{Point, Rect};
+use std::fmt;
+
+/// A circle given by center and radius.
+///
+/// Every RCJ result pair `⟨p, q⟩` corresponds to the circle whose diameter
+/// is the segment `pq` (its *smallest enclosing circle*); use
+/// [`Circle::from_diameter`] to construct it. The center of that circle is
+/// the *fair middleman location* — it minimises the maximum distance to `p`
+/// and `q` and is equidistant from both.
+///
+/// All containment predicates use **strict interior** (open disk)
+/// semantics, matching the Gabriel-graph reading of the paper's geometric
+/// constraint: the defining endpoints of a diameter circle lie *on* the
+/// circle and therefore never invalidate their own pair.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius of the circle (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle from center and radius.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0);
+        Circle { center, radius }
+    }
+
+    /// The smallest circle enclosing the two points `a` and `b`: centered at
+    /// their midpoint with radius half their distance.
+    #[inline]
+    pub fn from_diameter(a: Point, b: Point) -> Self {
+        Circle {
+            center: a.midpoint(b),
+            radius: 0.5 * a.dist(b),
+        }
+    }
+
+    /// Squared radius.
+    #[inline]
+    pub fn radius_sq(&self) -> f64 {
+        self.radius * self.radius
+    }
+
+    /// `true` if `p` lies strictly inside the circle (open disk).
+    #[inline]
+    pub fn strictly_contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) < self.radius_sq()
+    }
+
+    /// Exact strict-interior test for the *diameter* circle of `(a, b)`
+    /// without constructing center or radius.
+    ///
+    /// By Thales' theorem, `x` lies strictly inside the circle with diameter
+    /// `ab` iff the angle `∠axb` is obtuse, i.e. iff
+    /// `(a − x) · (b − x) < 0`. This form avoids the rounding introduced by
+    /// the constructed midpoint and radius, so a defining endpoint (`x == a`
+    /// or `x == b`, dot product zero) is never reported inside — the
+    /// property the verification step relies on.
+    #[inline]
+    pub fn strictly_contains_diameter(x: Point, a: Point, b: Point) -> bool {
+        a.sub(x).dot(b.sub(x)) < 0.0
+    }
+
+    /// The bounding rectangle of the circle.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect {
+            min: Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            max: Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        }
+    }
+
+    /// `true` if the rectangle could contain a point strictly inside the
+    /// circle, i.e. the rectangle intersects the *open* disk.
+    ///
+    /// Used by the verification step to decide whether a subtree must be
+    /// descended (the "intersecting entry" case of Section 3.2). Uses
+    /// strict comparison: when `mindist(center, rect) == radius` every point
+    /// of the rectangle is at distance ≥ radius and none can be strictly
+    /// inside.
+    #[inline]
+    pub fn intersects_rect_interior(&self, r: Rect) -> bool {
+        r.mindist_sq(self.center) < self.radius_sq()
+    }
+
+    /// `true` if the whole rectangle lies strictly inside the circle.
+    #[inline]
+    pub fn strictly_contains_rect(&self, r: Rect) -> bool {
+        r.maxdist_sq(self.center) < self.radius_sq()
+    }
+
+    /// The *face-inside-circle* pruning rule of Section 3.2: `true` if at
+    /// least one face (side) of the rectangle lies strictly inside the
+    /// circle.
+    ///
+    /// By the minimality property of MBRs, every face of an R-tree MBR
+    /// touches at least one data point of its subtree; if a face is strictly
+    /// inside the circle, that touching point is strictly inside too, so the
+    /// candidate pair owning the circle can be discarded **without
+    /// descending the subtree**.
+    ///
+    /// A segment lies strictly inside an open disk iff both endpoints do
+    /// (open disks are convex), so the test is eight point probes.
+    #[inline]
+    pub fn contains_rect_face(&self, r: Rect) -> bool {
+        let c = r.corners();
+        let inside = [
+            self.strictly_contains(c[0]),
+            self.strictly_contains(c[1]),
+            self.strictly_contains(c[2]),
+            self.strictly_contains(c[3]),
+        ];
+        // Faces are the adjacent corner pairs (0,1), (1,2), (2,3), (3,0).
+        // Corners alternate even/odd around the rectangle, so every
+        // even–odd pair is adjacent: some face is inside iff at least one
+        // even and at least one odd corner are.
+        (inside[0] || inside[2]) && (inside[1] || inside[3])
+    }
+}
+
+impl fmt::Debug for Circle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Circle(c={:?}, r={})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pt;
+
+    #[test]
+    fn from_diameter_basics() {
+        let c = Circle::from_diameter(pt(0.0, 0.0), pt(4.0, 0.0));
+        assert_eq!(c.center, pt(2.0, 0.0));
+        assert_eq!(c.radius, 2.0);
+    }
+
+    #[test]
+    fn endpoints_are_not_strictly_inside() {
+        let a = pt(1.0, 2.0);
+        let b = pt(5.0, -1.0);
+        assert!(!Circle::strictly_contains_diameter(a, a, b));
+        assert!(!Circle::strictly_contains_diameter(b, a, b));
+        // The midpoint is strictly inside.
+        assert!(Circle::strictly_contains_diameter(a.midpoint(b), a, b));
+    }
+
+    #[test]
+    fn thales_right_angle_is_on_boundary() {
+        // x sees ab at exactly 90 degrees -> on the circle, not inside.
+        let a = pt(-1.0, 0.0);
+        let b = pt(1.0, 0.0);
+        let x = pt(0.0, 1.0);
+        assert!(!Circle::strictly_contains_diameter(x, a, b));
+        // Slightly flatter angle -> inside.
+        assert!(Circle::strictly_contains_diameter(pt(0.0, 0.999), a, b));
+        // Slightly sharper -> outside.
+        assert!(!Circle::strictly_contains_diameter(pt(0.0, 1.001), a, b));
+    }
+
+    #[test]
+    fn dot_test_agrees_with_center_radius_test() {
+        // Away from the boundary the two formulations agree.
+        let a = pt(2.0, 3.0);
+        let b = pt(8.0, 7.0);
+        let c = Circle::from_diameter(a, b);
+        for x in [
+            pt(5.0, 5.0),
+            pt(0.0, 0.0),
+            pt(4.0, 6.0),
+            pt(8.0, 3.0),
+            pt(2.0, 7.0),
+            pt(10.0, 10.0),
+        ] {
+            assert_eq!(
+                c.strictly_contains(x),
+                Circle::strictly_contains_diameter(x, a, b),
+                "disagreement at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounding_rect_covers_circle() {
+        let c = Circle::new(pt(3.0, 4.0), 2.0);
+        let r = c.bounding_rect();
+        assert_eq!(r.min, pt(1.0, 2.0));
+        assert_eq!(r.max, pt(5.0, 6.0));
+    }
+
+    #[test]
+    fn interior_rect_intersection_is_strict() {
+        let c = Circle::new(pt(0.0, 0.0), 1.0);
+        // Rectangle tangent to the circle from outside: mindist == radius.
+        let tangent = Rect::new(pt(1.0, -1.0), pt(2.0, 1.0));
+        assert!(!c.intersects_rect_interior(tangent));
+        // Overlapping rectangle.
+        assert!(c.intersects_rect_interior(Rect::new(pt(0.5, -1.0), pt(2.0, 1.0))));
+        // Far rectangle.
+        assert!(!c.intersects_rect_interior(Rect::new(pt(5.0, 5.0), pt(6.0, 6.0))));
+    }
+
+    #[test]
+    fn face_rule_detects_guaranteed_point() {
+        let c = Circle::new(pt(0.0, 0.0), 10.0);
+        // Small rect fully inside: all faces inside.
+        assert!(c.contains_rect_face(Rect::new(pt(-1.0, -1.0), pt(1.0, 1.0))));
+        // Rect poking out on the right but with its left face well inside.
+        let poking = Rect::new(pt(-2.0, -1.0), pt(50.0, 1.0));
+        assert!(c.contains_rect_face(poking));
+        // Rect whose corners are all outside: no face inside.
+        let ring = Rect::new(pt(-20.0, -20.0), pt(20.0, 20.0));
+        assert!(!c.contains_rect_face(ring));
+        // Rect intersecting but with every corner outside.
+        let slab = Rect::new(pt(-20.0, -1.0), pt(20.0, 1.0));
+        assert!(!c.contains_rect_face(slab));
+        assert!(c.intersects_rect_interior(slab));
+    }
+
+    #[test]
+    fn strictly_contains_rect_uses_far_corner() {
+        let c = Circle::new(pt(0.0, 0.0), 5.0);
+        assert!(c.strictly_contains_rect(Rect::new(pt(-1.0, -1.0), pt(1.0, 1.0))));
+        assert!(!c.strictly_contains_rect(Rect::new(pt(-4.0, -4.0), pt(4.0, 4.0))));
+    }
+}

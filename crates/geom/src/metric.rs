@@ -1,0 +1,213 @@
+//! Distance metrics for the Section 6 generalisation of RCJ.
+//!
+//! The paper's future-work section proposes exploring the ring constraint
+//! under the Manhattan distance and other metrics. The smallest enclosing
+//! ball of two points is not unique under `L1`/`L∞`, but the **midpoint
+//! ball** — centered at the coordinate-wise midpoint with radius
+//! `d(a, b) / 2` — is always one of the smallest balls (the midpoint halves
+//! every coordinate difference, so `d(a, m) = d(b, m) = d(a, b) / 2` in any
+//! `Lp` metric, and no ball of smaller radius can contain both endpoints by
+//! the triangle inequality). We adopt it as the canonical ring for
+//! non-Euclidean RCJ variants.
+
+use crate::{Circle, Point, Rect};
+
+/// A distance metric on the plane.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Metric {
+    /// Euclidean distance (the paper's setting).
+    #[default]
+    L2,
+    /// Manhattan distance, named explicitly in the paper's future work.
+    L1,
+    /// Chebyshev distance; its midpoint balls are axis-aligned squares,
+    /// which makes the generalised ring constraint R-tree friendly.
+    Linf,
+}
+
+impl Metric {
+    /// Distance between two points under this metric.
+    #[inline]
+    pub fn dist(&self, a: Point, b: Point) -> f64 {
+        let dx = (a.x - b.x).abs();
+        let dy = (a.y - b.y).abs();
+        match self {
+            Metric::L2 => (dx * dx + dy * dy).sqrt(),
+            Metric::L1 => dx + dy,
+            Metric::Linf => dx.max(dy),
+        }
+    }
+
+    /// `true` if `x` lies strictly inside the canonical midpoint ball over
+    /// the diameter pair `(a, b)`.
+    ///
+    /// For `L2` this is the ordinary smallest enclosing circle and the test
+    /// delegates to the exact dot-product form. For `L1`/`L∞` the criterion
+    /// `2 · d(x, mid(a, b)) < d(a, b)` is evaluated without constructing
+    /// the midpoint, using the identity `2 (x − mid) = (x − a) + (x − b)`
+    /// per coordinate: at `x == a` (or `b`) one term vanishes and the other
+    /// reproduces the right-hand side bit-for-bit, so — like the Euclidean
+    /// dot test — the defining endpoints are never reported inside.
+    #[inline]
+    pub fn strictly_inside_midball(&self, x: Point, a: Point, b: Point) -> bool {
+        match self {
+            Metric::L2 => Circle::strictly_contains_diameter(x, a, b),
+            Metric::L1 => {
+                let lx = ((x.x - a.x) + (x.x - b.x)).abs();
+                let ly = ((x.y - a.y) + (x.y - b.y)).abs();
+                lx + ly < (a.x - b.x).abs() + (a.y - b.y).abs()
+            }
+            Metric::Linf => {
+                let lx = ((x.x - a.x) + (x.x - b.x)).abs();
+                let ly = ((x.y - a.y) + (x.y - b.y)).abs();
+                lx.max(ly) < (a.x - b.x).abs().max((a.y - b.y).abs())
+            }
+        }
+    }
+
+    /// Minimum distance from `p` to any point of the rectangle under this
+    /// metric.
+    ///
+    /// In every `Lp` metric the nearest rectangle point is the
+    /// coordinate-wise clamp of `p`, so one clamp serves all three metrics.
+    #[inline]
+    pub fn mindist_rect(&self, p: Point, r: Rect) -> f64 {
+        let cx = p.x.clamp(r.min.x, r.max.x);
+        let cy = p.y.clamp(r.min.y, r.max.y);
+        self.dist(p, Point::new(cx, cy))
+    }
+
+    /// Maximum distance from `p` to any point of the rectangle under this
+    /// metric.
+    ///
+    /// `d(p, ·)` is convex, so the maximum over a box is attained at a
+    /// corner; for all three `Lp` metrics it separates per coordinate into
+    /// `max(|p - min|, |p - max|)`.
+    #[inline]
+    pub fn maxdist_rect(&self, p: Point, r: Rect) -> f64 {
+        let dx = (p.x - r.min.x).abs().max((p.x - r.max.x).abs());
+        let dy = (p.y - r.min.y).abs().max((p.y - r.max.y).abs());
+        match self {
+            Metric::L2 => (dx * dx + dy * dy).sqrt(),
+            Metric::L1 => dx + dy,
+            Metric::Linf => dx.max(dy),
+        }
+    }
+
+    /// Bounding rectangle of the midpoint ball over `(a, b)` — the region
+    /// that must be range-searched to verify a candidate pair under this
+    /// metric.
+    ///
+    /// For `L∞` the ball *is* its bounding square; for `L1` the ball is a
+    /// diamond inscribed in the returned square; for `L2` it is the circle
+    /// inscribed in it. In all cases the returned rectangle is a superset
+    /// of the ball, which is what a conservative range filter needs.
+    #[inline]
+    pub fn midball_bounding_rect(&self, a: Point, b: Point) -> Rect {
+        let m = a.midpoint(b);
+        let r = 0.5 * self.dist(a, b);
+        Rect {
+            min: Point::new(m.x - r, m.y - r),
+            max: Point::new(m.x + r, m.y + r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pt;
+
+    #[test]
+    fn distances() {
+        let a = pt(0.0, 0.0);
+        let b = pt(3.0, 4.0);
+        assert_eq!(Metric::L2.dist(a, b), 5.0);
+        assert_eq!(Metric::L1.dist(a, b), 7.0);
+        assert_eq!(Metric::Linf.dist(a, b), 4.0);
+    }
+
+    #[test]
+    fn endpoints_on_ball_boundary_in_all_metrics() {
+        let a = pt(1.0, 2.0);
+        let b = pt(6.0, -3.0);
+        for m in [Metric::L2, Metric::L1, Metric::Linf] {
+            assert!(!m.strictly_inside_midball(a, a, b), "{m:?}");
+            assert!(!m.strictly_inside_midball(b, a, b), "{m:?}");
+            assert!(m.strictly_inside_midball(a.midpoint(b), a, b), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn midpoint_halves_distance_in_all_metrics() {
+        let a = pt(-2.0, 5.0);
+        let b = pt(7.0, 1.0);
+        let mid = a.midpoint(b);
+        for m in [Metric::L2, Metric::L1, Metric::Linf] {
+            let d = m.dist(a, b);
+            assert!((m.dist(a, mid) - 0.5 * d).abs() < 1e-12, "{m:?}");
+            assert!((m.dist(b, mid) - 0.5 * d).abs() < 1e-12, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn l2_ball_test_matches_circle() {
+        let a = pt(0.0, 0.0);
+        let b = pt(4.0, 0.0);
+        for x in [pt(2.0, 1.0), pt(2.0, 1.99), pt(2.0, 2.01), pt(-1.0, 0.0)] {
+            assert_eq!(
+                Metric::L2.strictly_inside_midball(x, a, b),
+                Circle::strictly_contains_diameter(x, a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn linf_ball_is_a_square() {
+        // a = (0,0), b = (4,0): Linf distance 4, ball = square
+        // [0,4] x [-2,2] around midpoint (2,0) with radius 2.
+        let a = pt(0.0, 0.0);
+        let b = pt(4.0, 0.0);
+        assert!(Metric::Linf.strictly_inside_midball(pt(0.5, 1.9), a, b));
+        assert!(!Metric::Linf.strictly_inside_midball(pt(0.5, 2.0), a, b));
+        assert!(!Metric::Linf.strictly_inside_midball(pt(4.5, 0.0), a, b));
+    }
+
+    #[test]
+    fn l1_ball_is_a_diamond() {
+        // a = (0,0), b = (4,0): L1 distance 4, diamond |x-2| + |y| < 2.
+        let a = pt(0.0, 0.0);
+        let b = pt(4.0, 0.0);
+        assert!(Metric::L1.strictly_inside_midball(pt(2.0, 1.9), a, b));
+        assert!(!Metric::L1.strictly_inside_midball(pt(2.0, 2.0), a, b));
+        assert!(!Metric::L1.strictly_inside_midball(pt(3.0, 1.0), a, b)); // on boundary
+        assert!(Metric::L1.strictly_inside_midball(pt(3.0, 0.9), a, b));
+    }
+
+    #[test]
+    fn mindist_rect_clamps() {
+        let r = Rect::new(pt(0.0, 0.0), pt(2.0, 2.0));
+        assert_eq!(Metric::L2.mindist_rect(pt(1.0, 1.0), r), 0.0);
+        assert_eq!(Metric::L2.mindist_rect(pt(5.0, 2.0), r), 3.0);
+        assert_eq!(Metric::L1.mindist_rect(pt(5.0, 3.0), r), 4.0);
+        assert_eq!(Metric::Linf.mindist_rect(pt(5.0, 3.0), r), 3.0);
+    }
+
+    #[test]
+    fn bounding_rect_contains_ball() {
+        let a = pt(0.0, 0.0);
+        let b = pt(4.0, 2.0);
+        for m in [Metric::L2, Metric::L1, Metric::Linf] {
+            let bb = m.midball_bounding_rect(a, b);
+            assert!(bb.contains_point(a), "{m:?}");
+            assert!(bb.contains_point(b), "{m:?}");
+            // Sample a few interior points of the ball.
+            for t in [0.25, 0.5, 0.75] {
+                let x = pt(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
+                if m.strictly_inside_midball(x, a, b) {
+                    assert!(bb.contains_point(x), "{m:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! 2-D points and displacement vectors.
+
+use std::fmt;
+
+/// A point in the 2-D Euclidean plane.
+///
+/// Coordinates are `f64`. The RCJ evaluation normalises all datasets to the
+/// domain `[0, 10000]²` (Section 5 of the paper), but nothing in this crate
+/// assumes a particular domain.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// Shorthand constructor for [`Point`].
+///
+/// ```
+/// use ringjoin_geom::pt;
+/// let p = pt(1.0, 2.0);
+/// assert_eq!((p.x, p.y), (1.0, 2.0));
+/// ```
+#[inline]
+pub const fn pt(x: f64, y: f64) -> Point {
+    Point { x, y }
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Preferred over [`Point::dist`] in predicates: it avoids the square
+    /// root, and comparisons between squared distances are exact whenever
+    /// the squares are.
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Displacement vector `self - other`.
+    #[inline]
+    pub fn sub(&self, other: Point) -> Vec2 {
+        Vec2 {
+            x: self.x - other.x,
+            y: self.y - other.y,
+        }
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    ///
+    /// This is the center of the smallest circle enclosing the two points —
+    /// the *fair middleman location* the paper derives from each RCJ pair.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point {
+            x: 0.5 * (self.x + other.x),
+            y: 0.5 * (self.y + other.y),
+        }
+    }
+
+    /// `true` if both coordinates are finite (not NaN / infinite).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point { x, y }
+    }
+}
+
+/// A displacement vector in the plane (the difference of two [`Point`]s).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.dot(*self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_sq_matches_dist() {
+        let a = pt(0.0, 0.0);
+        let b = pt(3.0, 4.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = pt(1.5, -2.0);
+        let b = pt(-7.25, 3.0);
+        assert_eq!(a.dist_sq(b), b.dist_sq(a));
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = pt(2.0, 8.0);
+        let b = pt(10.0, -4.0);
+        let m = a.midpoint(b);
+        assert_eq!(m.dist_sq(a), m.dist_sq(b));
+    }
+
+    #[test]
+    fn sub_and_dot() {
+        let a = pt(5.0, 1.0);
+        let b = pt(2.0, 3.0);
+        let v = a.sub(b);
+        assert_eq!((v.x, v.y), (3.0, -2.0));
+        assert_eq!(v.dot(v), v.norm_sq());
+        assert_eq!(v.norm_sq(), 13.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, pt(1.0, 2.0));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(pt(0.0, 0.0).is_finite());
+        assert!(!pt(f64::NAN, 0.0).is_finite());
+        assert!(!pt(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,46 @@
+//! A disk-based bucket PR quadtree — the "other hierarchical spatial
+//! index" of the RCJ paper.
+//!
+//! Section 3 of the paper notes that its methodology "is directly
+//! applicable to other hierarchical spatial indexes (e.g., point
+//! quad-tree) as well". This crate makes that claim executable: a
+//! page-per-node PR quadtree over the same [`ringjoin_storage`] pager
+//! (so the same buffer manager and I/O accounting), with range search,
+//! incremental nearest-neighbour ranking, and — in [`rcj`] — a complete
+//! INJ-style ring-constrained join whose filter and verification steps
+//! reuse the identical geometric machinery (Lemmas 1/3, Algorithm 3's
+//! rules) on quadrant regions instead of MBRs.
+//!
+//! # Structure
+//!
+//! The tree partitions a fixed square region. Leaves hold up to a
+//! page-derived number of points; on overflow a leaf is rewritten in
+//! place as an internal node with four on-demand children (NW/NE/SW/SE
+//! by midpoint). Duplicate-heavy data cannot split forever: past a
+//! maximum depth, leaves chain into overflow pages instead.
+//!
+//! ```
+//! use ringjoin_quadtree::QuadTree;
+//! use ringjoin_storage::{MemDisk, Pager};
+//! use ringjoin_geom::{pt, Rect};
+//!
+//! let pager = Pager::new(MemDisk::new(1024), 64).into_shared();
+//! let region = Rect::new(pt(0.0, 0.0), pt(100.0, 100.0));
+//! let mut tree = QuadTree::new(pager, region);
+//! for i in 0..500u64 {
+//!     tree.insert(i, pt((i % 25) as f64 * 4.0, (i / 25) as f64 * 5.0));
+//! }
+//! let hits = tree.range(Rect::new(pt(0.0, 0.0), pt(10.0, 10.0)));
+//! assert!(!hits.is_empty());
+//! assert_eq!(tree.validate().unwrap(), 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+pub mod rcj;
+mod tree;
+
+pub use node::{QItem, QNode};
+pub use tree::{QNearestIter, QuadTree};

@@ -1,0 +1,206 @@
+//! On-page quadtree node representation.
+//!
+//! ```text
+//! header (8 bytes): kind u8 | pad u8 | count u16 | reserved u32
+//! leaf:     next u32 (overflow chain, INVALID = none) | pad u32
+//!           then count x { id u64, x f64, y f64 }          (24 B each)
+//! internal: children 4 x u32 (INVALID = absent), order NW NE SW SE
+//! ```
+
+use ringjoin_geom::{Point, Rect};
+use ringjoin_storage::PageId;
+
+/// Size of the fixed header in bytes.
+pub const HEADER: usize = 8;
+/// Extra leaf header: overflow-chain pointer plus padding.
+pub const LEAF_EXTRA: usize = 8;
+/// Bytes per stored point.
+pub const ITEM_SIZE: usize = 24;
+
+/// A stored point record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct QItem {
+    /// Application id.
+    pub id: u64,
+    /// Location.
+    pub point: Point,
+}
+
+/// A decoded quadtree node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QNode {
+    /// A bucket of points, possibly chaining into an overflow page.
+    Leaf {
+        /// The stored points.
+        items: Vec<QItem>,
+        /// Overflow continuation (for duplicate-heavy data at max
+        /// depth); [`PageId::INVALID`] if none.
+        next: PageId,
+    },
+    /// An internal node with on-demand children in NW, NE, SW, SE order.
+    Internal {
+        /// Child pages; [`PageId::INVALID`] marks an absent quadrant.
+        children: [PageId; 4],
+    },
+}
+
+impl QNode {
+    /// An empty leaf.
+    pub fn empty_leaf() -> Self {
+        QNode::Leaf {
+            items: Vec::new(),
+            next: PageId::INVALID,
+        }
+    }
+}
+
+/// Leaf bucket capacity for a page size.
+pub fn leaf_capacity(page_size: usize) -> usize {
+    let cap = (page_size - HEADER - LEAF_EXTRA) / ITEM_SIZE;
+    assert!(cap >= 2, "page size {page_size} too small for a quadtree bucket");
+    cap
+}
+
+/// Serializes `node` into `page`.
+pub fn encode(node: &QNode, page: &mut [u8]) {
+    page[..HEADER].fill(0);
+    match node {
+        QNode::Leaf { items, next } => {
+            debug_assert!(items.len() <= leaf_capacity(page.len()));
+            page[0] = 0;
+            page[2..4].copy_from_slice(&(items.len() as u16).to_le_bytes());
+            page[HEADER..HEADER + 4].copy_from_slice(&next.0.to_le_bytes());
+            page[HEADER + 4..HEADER + 8].fill(0);
+            let mut off = HEADER + LEAF_EXTRA;
+            for it in items {
+                page[off..off + 8].copy_from_slice(&it.id.to_le_bytes());
+                page[off + 8..off + 16].copy_from_slice(&it.point.x.to_le_bytes());
+                page[off + 16..off + 24].copy_from_slice(&it.point.y.to_le_bytes());
+                off += ITEM_SIZE;
+            }
+        }
+        QNode::Internal { children } => {
+            page[0] = 1;
+            let mut off = HEADER;
+            for c in children {
+                page[off..off + 4].copy_from_slice(&c.0.to_le_bytes());
+                off += 4;
+            }
+        }
+    }
+}
+
+/// Deserializes a node from `page`.
+pub fn decode(page: &[u8]) -> QNode {
+    if page[0] == 0 {
+        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
+        let next = PageId(u32::from_le_bytes(
+            page[HEADER..HEADER + 4].try_into().unwrap(),
+        ));
+        let mut items = Vec::with_capacity(count);
+        let mut off = HEADER + LEAF_EXTRA;
+        for _ in 0..count {
+            let id = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+            let x = f64::from_le_bytes(page[off + 8..off + 16].try_into().unwrap());
+            let y = f64::from_le_bytes(page[off + 16..off + 24].try_into().unwrap());
+            items.push(QItem {
+                id,
+                point: Point::new(x, y),
+            });
+            off += ITEM_SIZE;
+        }
+        QNode::Leaf { items, next }
+    } else {
+        let mut children = [PageId::INVALID; 4];
+        let mut off = HEADER;
+        for c in &mut children {
+            *c = PageId(u32::from_le_bytes(page[off..off + 4].try_into().unwrap()));
+            off += 4;
+        }
+        QNode::Internal { children }
+    }
+}
+
+/// The quadrant sub-region of `region` with the given index
+/// (0 = NW, 1 = NE, 2 = SW, 3 = SE).
+pub fn quadrant(region: Rect, idx: usize) -> Rect {
+    let c = region.center();
+    match idx {
+        0 => Rect::new(Point::new(region.min.x, c.y), Point::new(c.x, region.max.y)),
+        1 => Rect::new(c, region.max),
+        2 => Rect::new(region.min, c),
+        3 => Rect::new(Point::new(c.x, region.min.y), Point::new(region.max.x, c.y)),
+        _ => unreachable!("quadrant index"),
+    }
+}
+
+/// The quadrant index of `p` inside `region` (boundary points go to the
+/// higher-index quadrant consistently, so insert and search agree).
+pub fn quadrant_of(region: Rect, p: Point) -> usize {
+    let c = region.center();
+    let east = p.x >= c.x;
+    let north = p.y >= c.y;
+    match (north, east) {
+        (true, false) => 0,
+        (true, true) => 1,
+        (false, false) => 2,
+        (false, true) => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let items: Vec<QItem> = (0..10)
+            .map(|i| QItem {
+                id: i * 3 + 1,
+                point: pt(i as f64, -(i as f64) * 0.5),
+            })
+            .collect();
+        let node = QNode::Leaf {
+            items,
+            next: PageId(77),
+        };
+        let mut page = vec![0u8; 1024];
+        encode(&node, &mut page);
+        assert_eq!(decode(&page), node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = QNode::Internal {
+            children: [PageId(1), PageId::INVALID, PageId(9), PageId(200)],
+        };
+        let mut page = vec![0u8; 1024];
+        encode(&node, &mut page);
+        assert_eq!(decode(&page), node);
+    }
+
+    #[test]
+    fn capacity_for_1k() {
+        assert_eq!(leaf_capacity(1024), 42);
+    }
+
+    #[test]
+    fn quadrants_partition_the_region() {
+        let r = Rect::new(pt(0.0, 0.0), pt(8.0, 8.0));
+        for (p, expect) in [
+            (pt(1.0, 7.0), 0),
+            (pt(5.0, 5.0), 1),
+            (pt(1.0, 1.0), 2),
+            (pt(7.0, 0.5), 3),
+            (pt(4.0, 4.0), 1), // center goes to NE by the >= rule
+        ] {
+            let q = quadrant_of(r, p);
+            assert_eq!(q, expect, "{p:?}");
+            assert!(quadrant(r, q).contains_point(p), "{p:?} in its quadrant");
+        }
+        // The four quadrants tile the region.
+        let total: f64 = (0..4).map(|i| quadrant(r, i).area()).sum();
+        assert!((total - r.area()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,262 @@
+//! The ring-constrained join over quadtrees — the paper's portability
+//! claim, made executable.
+//!
+//! The INJ methodology transfers almost verbatim: the filter is an
+//! incremental nearest-neighbour traversal with Ψ⁻ pruning, where
+//! Lemma 3's "MBR fully inside the pruning region" test applies to
+//! quadrant regions unchanged (it is valid for *any* region that bounds
+//! the subtree's points). One piece does **not** transfer: the
+//! verification step's face-inside-circle rule relies on MBR
+//! *minimality* — every face of an R-tree MBR touches a data point —
+//! and quadrant regions are fixed-space partitions with no such
+//! guarantee. The quadtree verification therefore uses only the
+//! point-inside and region-intersects rules, a porting subtlety the
+//! paper's Section 3 remark glosses over.
+
+use crate::node::{quadrant, QItem, QNode};
+use crate::tree::QuadTree;
+use ringjoin_geom::{Circle, HalfPlane, Point, Rect};
+use ringjoin_storage::PageId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A result pair of the quadtree RCJ.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QPair {
+    /// Member of `P`.
+    pub p: QItem,
+    /// Member of `Q`.
+    pub q: QItem,
+}
+
+impl QPair {
+    /// Identity key for set comparisons.
+    pub fn key(&self) -> (u64, u64) {
+        (self.p.id, self.q.id)
+    }
+}
+
+/// Computes the RCJ between quadtree-indexed pointsets: all pairs
+/// `⟨p, q⟩` whose diameter circle contains no other point of either
+/// tree, INJ-style (per-point filter + verification).
+pub fn rcj_quadtree(tq: &QuadTree, tp: &QuadTree) -> Vec<QPair> {
+    let mut out = Vec::new();
+    let mut outer: Vec<QItem> = Vec::new();
+    tq.for_each_leaf_df(|items| outer.extend_from_slice(items));
+    for q in outer {
+        let cands = filter(tp, q.point);
+        for p in cands {
+            let pair = QPair { p, q };
+            if verify_pair(tq, &pair) && verify_pair(tp, &pair) {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
+
+struct Elem {
+    key: f64,
+    seq: u64,
+    target: Target,
+}
+enum Target {
+    Node(PageId, Rect),
+    Item(QItem),
+}
+impl PartialEq for Elem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Elem {}
+impl PartialOrd for Elem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Elem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Algorithm 2 on a quadtree: candidates of `q` from `tp`.
+fn filter(tp: &QuadTree, q: Point) -> Vec<QItem> {
+    let mut s: Vec<QItem> = Vec::new();
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push(Elem {
+        key: 0.0,
+        seq,
+        target: Target::Node(tp.root_page(), tp.region()),
+    });
+    while let Some(elem) = heap.pop() {
+        match elem.target {
+            Target::Node(page, region) => {
+                // Lemma 3 on the quadrant region (valid for any
+                // subtree-bounding region).
+                if s.iter()
+                    .any(|p| HalfPlane::pruning_region(q, p.point).contains_rect(region))
+                {
+                    continue;
+                }
+                match tp.read_node(page) {
+                    QNode::Leaf { items, next } => {
+                        for it in items {
+                            seq += 1;
+                            heap.push(Elem {
+                                key: q.dist_sq(it.point),
+                                seq,
+                                target: Target::Item(it),
+                            });
+                        }
+                        if !next.is_invalid() {
+                            seq += 1;
+                            heap.push(Elem {
+                                key: region.mindist_sq(q),
+                                seq,
+                                target: Target::Node(next, region),
+                            });
+                        }
+                    }
+                    QNode::Internal { children } => {
+                        for (qi, child) in children.iter().enumerate() {
+                            if !child.is_invalid() {
+                                let sub = quadrant(region, qi);
+                                seq += 1;
+                                heap.push(Elem {
+                                    key: sub.mindist_sq(q),
+                                    seq,
+                                    target: Target::Node(*child, sub),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Target::Item(it) => {
+                if !s
+                    .iter()
+                    .any(|p| Circle::strictly_contains_diameter(p.point, q, it.point))
+                {
+                    s.push(it);
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Algorithm 3 on a quadtree, minus the face rule (quadrant regions are
+/// not minimal, so a face inside the circle guarantees nothing).
+fn verify_pair(tree: &QuadTree, pair: &QPair) -> bool {
+    let circle = Circle::from_diameter(pair.p.point, pair.q.point);
+    verify_rec(tree, tree.root_page(), tree.region(), pair, &circle)
+}
+
+fn verify_rec(tree: &QuadTree, page: PageId, region: Rect, pair: &QPair, circle: &Circle) -> bool {
+    if region.mindist_sq(circle.center) >= circle.radius_sq() * (1.0 + 1e-9) {
+        return true;
+    }
+    match tree.read_node(page) {
+        QNode::Leaf { items, next } => {
+            for it in items {
+                if Circle::strictly_contains_diameter(it.point, pair.p.point, pair.q.point) {
+                    return false;
+                }
+            }
+            if !next.is_invalid() {
+                return verify_rec(tree, next, region, pair, circle);
+            }
+            true
+        }
+        QNode::Internal { children } => {
+            for (qi, child) in children.iter().enumerate() {
+                if !child.is_invalid()
+                    && !verify_rec(tree, *child, quadrant(region, qi), pair, circle)
+                {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+    use ringjoin_storage::{MemDisk, Pager};
+
+    fn lcg(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| (next() * 1000.0, next() * 1000.0)).collect()
+    }
+
+    fn build(points: &[(f64, f64)]) -> QuadTree {
+        let pager = Pager::new(MemDisk::new(256), 64).into_shared();
+        let mut t = QuadTree::new(pager, Rect::new(pt(0.0, 0.0), pt(1000.0, 1000.0)));
+        for (i, &(x, y)) in points.iter().enumerate() {
+            t.insert(i as u64, pt(x, y));
+        }
+        t
+    }
+
+    fn brute(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> Vec<(u64, u64)> {
+        let inside = |x: (f64, f64), a: (f64, f64), b: (f64, f64)| {
+            Circle::strictly_contains_diameter(pt(x.0, x.1), pt(a.0, a.1), pt(b.0, b.1))
+        };
+        let mut keys = Vec::new();
+        for (i, &p) in ps.iter().enumerate() {
+            for (j, &q) in qs.iter().enumerate() {
+                let blocked = ps.iter().any(|&x| inside(x, p, q))
+                    || qs.iter().any(|&x| inside(x, p, q));
+                if !blocked {
+                    keys.push((i as u64, j as u64));
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn quadtree_rcj_matches_brute_force() {
+        let ps = lcg(150, 5);
+        let qs = lcg(150, 9);
+        let tp = build(&ps);
+        let tq = build(&qs);
+        let mut got: Vec<(u64, u64)> = rcj_quadtree(&tq, &tp).iter().map(QPair::key).collect();
+        got.sort_unstable();
+        assert_eq!(got, brute(&ps, &qs));
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn quadtree_rcj_on_clustered_data() {
+        // Two tight clusters: cross-cluster pairs are mostly blocked.
+        let mut ps = Vec::new();
+        let mut qs = Vec::new();
+        for i in 0..60 {
+            let o = (i % 8) as f64;
+            ps.push((100.0 + o, 100.0 + (i / 8) as f64));
+            qs.push((105.0 + o, 103.0 + (i / 8) as f64));
+        }
+        let tp = build(&ps);
+        let tq = build(&qs);
+        let mut got: Vec<(u64, u64)> = rcj_quadtree(&tq, &tp).iter().map(QPair::key).collect();
+        got.sort_unstable();
+        assert_eq!(got, brute(&ps, &qs));
+    }
+}

@@ -1,0 +1,74 @@
+//! Cross-index equivalence: the RCJ result is a property of the *data*,
+//! not the index — the quadtree-based join must produce exactly the same
+//! pairs as the R*-tree-based join on identical pointsets. This is the
+//! executable form of the paper's claim that its methodology "is
+//! directly applicable to other hierarchical spatial indexes".
+
+use proptest::prelude::*;
+use ringjoin_core::{pair_keys, rcj_join, RcjOptions};
+use ringjoin_geom::{pt, Rect};
+use ringjoin_quadtree::rcj::rcj_quadtree;
+use ringjoin_quadtree::QuadTree;
+use ringjoin_rtree::{bulk_load, Item};
+use ringjoin_storage::{MemDisk, Pager};
+
+const REGION: f64 = 1000.0;
+
+fn quad_of(points: &[(f64, f64)]) -> QuadTree {
+    let pager = Pager::new(MemDisk::new(512), 64).into_shared();
+    let mut t = QuadTree::new(pager, Rect::new(pt(0.0, 0.0), pt(REGION, REGION)));
+    for (i, &(x, y)) in points.iter().enumerate() {
+        t.insert(i as u64, pt(x, y));
+    }
+    t
+}
+
+fn rtree_keys(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    let pager = Pager::new(MemDisk::new(512), 128).into_shared();
+    let to_items = |v: &[(f64, f64)]| -> Vec<Item> {
+        v.iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+            .collect()
+    };
+    let tp = bulk_load(pager.clone(), to_items(ps));
+    let tq = bulk_load(pager.clone(), to_items(qs));
+    pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
+}
+
+fn quad_keys(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    let tp = quad_of(ps);
+    let tq = quad_of(qs);
+    let mut keys: Vec<(u64, u64)> = rcj_quadtree(&tq, &tp).iter().map(|p| p.key()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[test]
+fn quadtree_and_rtree_joins_agree_on_fixed_data() {
+    let mut state = 0x5eedu64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * REGION
+    };
+    let ps: Vec<(f64, f64)> = (0..400).map(|_| (next(), next())).collect();
+    let qs: Vec<(f64, f64)> = (0..400).map(|_| (next(), next())).collect();
+    let a = rtree_keys(&ps, &qs);
+    let b = quad_keys(&ps, &qs);
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quadtree_and_rtree_joins_agree(
+        ps in proptest::collection::vec((0.0..REGION, 0.0..REGION), 2..60),
+        qs in proptest::collection::vec((0.0..REGION, 0.0..REGION), 2..60),
+    ) {
+        prop_assert_eq!(rtree_keys(&ps, &qs), quad_keys(&ps, &qs));
+    }
+}

@@ -1,0 +1,53 @@
+//! A disk-based R*-tree, the index substrate of the RCJ reproduction.
+//!
+//! The paper assumes both join inputs are indexed by disk-resident
+//! R*-trees ([Beckmann et al., SIGMOD 1990]) with 1 KB pages. This crate
+//! implements that index on top of the [`ringjoin_storage`] pager so that
+//! every node access is buffer-managed and counted by the paper's cost
+//! model:
+//!
+//! * **Construction** — one-at-a-time R* insertion (ChooseSubtree with
+//!   overlap minimisation at the leaf level, margin-driven split-axis
+//!   selection, forced reinsertion), plus Sort-Tile-Recursive
+//!   [bulk loading](bulk_load) for building the large experimental
+//!   datasets quickly.
+//! * **Queries** — window [range](RTree::range) search, incremental
+//!   [nearest-neighbour](RTree::nearest_iter) ranking (Hjaltason & Samet),
+//!   and the [depth-first leaf scan](RTree::for_each_leaf_df) that gives
+//!   the join its buffer locality (Section 3.4 of the RCJ paper).
+//! * **Maintenance** — deletion with CondenseTree re-insertion.
+//!
+//! The node layout is an explicit on-page codec (see [`NodeCodec`]); with
+//! the paper's 1 KB pages a leaf holds up to 42 points and a branch up to
+//! 25 children.
+//!
+//! # Example
+//!
+//! ```
+//! use ringjoin_rtree::{RTree, Item};
+//! use ringjoin_storage::{MemDisk, Pager};
+//! use ringjoin_geom::{pt, Rect};
+//!
+//! let pager = Pager::new(MemDisk::new(1024), 64).into_shared();
+//! let mut tree = RTree::new(pager.clone());
+//! for i in 0..100 {
+//!     tree.insert(Item::new(i, pt((i % 10) as f64, (i / 10) as f64)));
+//! }
+//! let hits = tree.range(Rect::new(pt(0.0, 0.0), pt(2.0, 2.0)));
+//! assert_eq!(hits.len(), 9);
+//! assert_eq!(tree.validate().unwrap(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod node;
+mod nn;
+mod query;
+mod tree;
+
+pub use bulk::{bulk_load, bulk_load_with, DEFAULT_FILL};
+pub use nn::NearestIter;
+pub use node::{Item, Node, NodeCodec, NodeEntry, BRANCH_ENTRY_SIZE, HEADER_SIZE, LEAF_ENTRY_SIZE};
+pub use tree::{RTree, RTreeConfig};

@@ -1,0 +1,128 @@
+//! Incremental nearest-neighbour search (Hjaltason & Samet, TODS 1999).
+//!
+//! The INN algorithm is the ranking engine of the paper's filter step
+//! (Section 3.1): it yields the points of `P` in ascending distance from a
+//! query point, while the caller interleaves half-plane pruning. This
+//! module provides the plain iterator used for kNN queries and the kNN
+//! join; the RCJ filter embeds its own copy of the traversal because it
+//! must prune *heap entries*, not only results.
+
+use crate::node::{Item, NodeEntry};
+use crate::tree::RTree;
+use ringjoin_geom::Point;
+use ringjoin_storage::PageId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An element of the INN priority queue: either a node to expand or an
+/// item ready to be reported. Ordered by ascending `key` (squared distance
+/// from the query); ties broken by sequence number for determinism.
+struct HeapElem {
+    key: f64,
+    seq: u64,
+    target: Target,
+}
+
+enum Target {
+    Node(PageId),
+    Item(Item),
+}
+
+impl PartialEq for HeapElem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for HeapElem {}
+impl PartialOrd for HeapElem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapElem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need min-first.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Iterator yielding `(item, squared distance)` in ascending distance
+/// from a query point.
+pub struct NearestIter<'a> {
+    tree: &'a RTree,
+    query: Point,
+    heap: BinaryHeap<HeapElem>,
+    seq: u64,
+}
+
+impl<'a> NearestIter<'a> {
+    pub(crate) fn new(tree: &'a RTree, query: Point) -> Self {
+        let mut it = NearestIter {
+            tree,
+            query,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        it.push_node(tree.root_page());
+        it
+    }
+
+    fn push_node(&mut self, page: PageId) {
+        let node = self.tree.read_node(page);
+        for e in &node.entries {
+            let (key, target) = match e {
+                NodeEntry::Item(item) => (self.query.dist_sq(item.point), Target::Item(*item)),
+                NodeEntry::Child { mbr, page } => (mbr.mindist_sq(self.query), Target::Node(*page)),
+            };
+            self.seq += 1;
+            self.heap.push(HeapElem {
+                key,
+                seq: self.seq,
+                target,
+            });
+        }
+    }
+}
+
+impl Iterator for NearestIter<'_> {
+    type Item = (Item, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(elem) = self.heap.pop() {
+            match elem.target {
+                Target::Item(item) => return Some((item, elem.key)),
+                Target::Node(page) => self.push_node(page),
+            }
+        }
+        None
+    }
+}
+
+impl RTree {
+    /// Incremental nearest-neighbour iterator from `query`.
+    ///
+    /// ```
+    /// use ringjoin_rtree::{RTree, Item};
+    /// use ringjoin_storage::{MemDisk, Pager};
+    /// use ringjoin_geom::pt;
+    ///
+    /// let pager = Pager::new(MemDisk::new(1024), 32).into_shared();
+    /// let mut tree = RTree::new(pager);
+    /// for (i, p) in [pt(0.0, 0.0), pt(5.0, 0.0), pt(1.0, 1.0)].iter().enumerate() {
+    ///     tree.insert(Item::new(i as u64, *p));
+    /// }
+    /// let order: Vec<u64> = tree.nearest_iter(pt(0.2, 0.0)).map(|(it, _)| it.id).collect();
+    /// assert_eq!(order, vec![0, 2, 1]);
+    /// ```
+    pub fn nearest_iter(&self, query: Point) -> NearestIter<'_> {
+        NearestIter::new(self, query)
+    }
+
+    /// The `k` nearest items to `query`, closest first.
+    pub fn knn(&self, query: Point, k: usize) -> Vec<Item> {
+        self.nearest_iter(query).take(k).map(|(it, _)| it).collect()
+    }
+}

@@ -1,0 +1,323 @@
+//! On-page node representation and (de)serialization.
+//!
+//! A node occupies exactly one disk page. The layout is an explicit
+//! little-endian codec rather than a serde derive so that the bytes-per-page
+//! arithmetic the paper's experiments depend on (1 KB pages → node fan-out)
+//! is auditable:
+//!
+//! ```text
+//! header (8 bytes): level u16 | count u16 | reserved u32
+//! leaf entry   (24 bytes): id u64 | x f64 | y f64
+//! branch entry (40 bytes): child u32 | pad u32 | min.x f64 | min.y f64
+//!                          | max.x f64 | max.y f64
+//! ```
+//!
+//! With the paper's 1024-byte pages this yields a leaf capacity of 42
+//! points and a branch capacity of 25 children.
+
+use ringjoin_geom::{Point, Rect};
+use ringjoin_storage::PageId;
+
+/// Size of the fixed node header in bytes.
+pub const HEADER_SIZE: usize = 8;
+/// Size of a serialized leaf entry ([`Item`]) in bytes.
+pub const LEAF_ENTRY_SIZE: usize = 24;
+/// Size of a serialized branch entry in bytes.
+pub const BRANCH_ENTRY_SIZE: usize = 40;
+
+/// A data record: an identified point.
+///
+/// The `id` is carried through every operator; RCJ verification uses it to
+/// recognise a circle's own defining endpoints (which lie *on* the circle),
+/// and the self-join uses it to report each unordered pair once.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Item {
+    /// Application-assigned identifier, unique within a dataset.
+    pub id: u64,
+    /// Location of the record.
+    pub point: Point,
+}
+
+impl Item {
+    /// Creates an item.
+    #[inline]
+    pub const fn new(id: u64, point: Point) -> Self {
+        Item { id, point }
+    }
+}
+
+/// An entry of a node: a data item in leaves, a child reference in
+/// branches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NodeEntry {
+    /// Leaf-level entry.
+    Item(Item),
+    /// Internal-level entry: the MBR of the child subtree and its page.
+    Child {
+        /// Minimum bounding rectangle of everything below `page`.
+        mbr: Rect,
+        /// Page id of the child node.
+        page: PageId,
+    },
+}
+
+impl NodeEntry {
+    /// The minimum bounding rectangle of the entry (a degenerate rectangle
+    /// for items).
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        match self {
+            NodeEntry::Item(it) => Rect::from_point(it.point),
+            NodeEntry::Child { mbr, .. } => *mbr,
+        }
+    }
+
+    /// The child page, if this is a branch entry.
+    #[inline]
+    pub fn child_page(&self) -> Option<PageId> {
+        match self {
+            NodeEntry::Item(_) => None,
+            NodeEntry::Child { page, .. } => Some(*page),
+        }
+    }
+
+    /// The item, if this is a leaf entry.
+    #[inline]
+    pub fn item(&self) -> Option<Item> {
+        match self {
+            NodeEntry::Item(it) => Some(*it),
+            NodeEntry::Child { .. } => None,
+        }
+    }
+}
+
+/// An R-tree node, deserialized from one page.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Level of the node: 0 for leaves, `height - 1` for the root.
+    pub level: u16,
+    /// The entries; homogeneous ([`NodeEntry::Item`] iff `level == 0`).
+    pub entries: Vec<NodeEntry>,
+}
+
+impl Node {
+    /// A fresh empty node at `level`.
+    pub fn empty(level: u16) -> Self {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` for leaf nodes.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// The MBR of all entries.
+    pub fn mbr(&self) -> Rect {
+        let mut r = Rect::empty();
+        for e in &self.entries {
+            r.expand_rect(e.mbr());
+        }
+        r
+    }
+
+    /// The items of a leaf node.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if called on a branch node.
+    pub fn items(&self) -> impl Iterator<Item = Item> + '_ {
+        debug_assert!(self.is_leaf());
+        self.entries.iter().filter_map(|e| e.item())
+    }
+}
+
+/// Page-size-derived node capacities and codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeCodec {
+    page_size: usize,
+    /// Maximum number of items in a leaf node.
+    pub leaf_capacity: usize,
+    /// Maximum number of children in a branch node.
+    pub branch_capacity: usize,
+}
+
+impl NodeCodec {
+    /// Derives capacities from a page size.
+    ///
+    /// # Panics
+    /// Panics if the page is too small to hold at least two entries of each
+    /// kind (an R-tree node must be splittable into two non-empty groups).
+    pub fn new(page_size: usize) -> Self {
+        let leaf_capacity = (page_size - HEADER_SIZE) / LEAF_ENTRY_SIZE;
+        let branch_capacity = (page_size - HEADER_SIZE) / BRANCH_ENTRY_SIZE;
+        assert!(
+            leaf_capacity >= 2 && branch_capacity >= 2,
+            "page size {page_size} too small for an R-tree node"
+        );
+        NodeCodec {
+            page_size,
+            leaf_capacity,
+            branch_capacity,
+        }
+    }
+
+    /// Capacity of a node at the given level.
+    #[inline]
+    pub fn capacity(&self, level: u16) -> usize {
+        if level == 0 {
+            self.leaf_capacity
+        } else {
+            self.branch_capacity
+        }
+    }
+
+    /// Minimum fill of a node at the given level (the R*-tree's 40%).
+    #[inline]
+    pub fn min_fill(&self, level: u16) -> usize {
+        (self.capacity(level) * 2 / 5).max(1)
+    }
+
+    /// Serializes `node` into `page` (which must be `page_size` long).
+    pub fn encode(&self, node: &Node, page: &mut [u8]) {
+        debug_assert_eq!(page.len(), self.page_size);
+        debug_assert!(node.entries.len() <= self.capacity(node.level));
+        page[0..2].copy_from_slice(&node.level.to_le_bytes());
+        page[2..4].copy_from_slice(&(node.entries.len() as u16).to_le_bytes());
+        page[4..8].fill(0);
+        let mut off = HEADER_SIZE;
+        for e in &node.entries {
+            match e {
+                NodeEntry::Item(it) => {
+                    debug_assert!(node.is_leaf());
+                    page[off..off + 8].copy_from_slice(&it.id.to_le_bytes());
+                    page[off + 8..off + 16].copy_from_slice(&it.point.x.to_le_bytes());
+                    page[off + 16..off + 24].copy_from_slice(&it.point.y.to_le_bytes());
+                    off += LEAF_ENTRY_SIZE;
+                }
+                NodeEntry::Child { mbr, page: child } => {
+                    debug_assert!(!node.is_leaf());
+                    page[off..off + 4].copy_from_slice(&child.0.to_le_bytes());
+                    page[off + 4..off + 8].fill(0);
+                    page[off + 8..off + 16].copy_from_slice(&mbr.min.x.to_le_bytes());
+                    page[off + 16..off + 24].copy_from_slice(&mbr.min.y.to_le_bytes());
+                    page[off + 24..off + 32].copy_from_slice(&mbr.max.x.to_le_bytes());
+                    page[off + 32..off + 40].copy_from_slice(&mbr.max.y.to_le_bytes());
+                    off += BRANCH_ENTRY_SIZE;
+                }
+            }
+        }
+    }
+
+    /// Deserializes a node from `page`.
+    pub fn decode(&self, page: &[u8]) -> Node {
+        debug_assert_eq!(page.len(), self.page_size);
+        let level = u16::from_le_bytes([page[0], page[1]]);
+        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut off = HEADER_SIZE;
+        if level == 0 {
+            for _ in 0..count {
+                let id = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+                let x = f64::from_le_bytes(page[off + 8..off + 16].try_into().unwrap());
+                let y = f64::from_le_bytes(page[off + 16..off + 24].try_into().unwrap());
+                entries.push(NodeEntry::Item(Item::new(id, Point::new(x, y))));
+                off += LEAF_ENTRY_SIZE;
+            }
+        } else {
+            for _ in 0..count {
+                let child = u32::from_le_bytes(page[off..off + 4].try_into().unwrap());
+                let minx = f64::from_le_bytes(page[off + 8..off + 16].try_into().unwrap());
+                let miny = f64::from_le_bytes(page[off + 16..off + 24].try_into().unwrap());
+                let maxx = f64::from_le_bytes(page[off + 24..off + 32].try_into().unwrap());
+                let maxy = f64::from_le_bytes(page[off + 32..off + 40].try_into().unwrap());
+                entries.push(NodeEntry::Child {
+                    mbr: Rect {
+                        min: Point::new(minx, miny),
+                        max: Point::new(maxx, maxy),
+                    },
+                    page: PageId(child),
+                });
+                off += BRANCH_ENTRY_SIZE;
+            }
+        }
+        Node { level, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+
+    #[test]
+    fn capacities_for_1k_pages() {
+        let c = NodeCodec::new(1024);
+        assert_eq!(c.leaf_capacity, 42);
+        assert_eq!(c.branch_capacity, 25);
+        assert_eq!(c.min_fill(0), 16);
+        assert_eq!(c.min_fill(1), 10);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let c = NodeCodec::new(1024);
+        let mut node = Node::empty(0);
+        for i in 0..c.leaf_capacity {
+            node.entries.push(NodeEntry::Item(Item::new(
+                i as u64 * 7 + 1,
+                pt(i as f64 * 1.5, -(i as f64) * 0.25),
+            )));
+        }
+        let mut page = vec![0u8; 1024];
+        c.encode(&node, &mut page);
+        let back = c.decode(&page);
+        assert_eq!(back.level, 0);
+        assert_eq!(back.entries, node.entries);
+    }
+
+    #[test]
+    fn branch_roundtrip() {
+        let c = NodeCodec::new(1024);
+        let mut node = Node::empty(3);
+        for i in 0..c.branch_capacity {
+            node.entries.push(NodeEntry::Child {
+                mbr: Rect::new(pt(i as f64, 0.0), pt(i as f64 + 2.0, 5.0)),
+                page: PageId(i as u32 + 100),
+            });
+        }
+        let mut page = vec![0u8; 1024];
+        c.encode(&node, &mut page);
+        let back = c.decode(&page);
+        assert_eq!(back.level, 3);
+        assert_eq!(back.entries, node.entries);
+    }
+
+    #[test]
+    fn node_mbr_covers_entries() {
+        let mut node = Node::empty(0);
+        node.entries.push(NodeEntry::Item(Item::new(1, pt(1.0, 5.0))));
+        node.entries.push(NodeEntry::Item(Item::new(2, pt(-2.0, 3.0))));
+        let mbr = node.mbr();
+        assert_eq!(mbr, Rect::new(pt(-2.0, 3.0), pt(1.0, 5.0)));
+    }
+
+    #[test]
+    fn empty_node_roundtrip() {
+        let c = NodeCodec::new(256);
+        let node = Node::empty(0);
+        let mut page = vec![0u8; 256];
+        c.encode(&node, &mut page);
+        let back = c.decode(&page);
+        assert!(back.is_leaf());
+        assert!(back.entries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_page_rejected() {
+        NodeCodec::new(64);
+    }
+}

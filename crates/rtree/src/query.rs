@@ -1,0 +1,65 @@
+//! Range search and depth-first leaf traversal.
+
+use crate::node::{Item, Node, NodeEntry};
+use crate::tree::RTree;
+use ringjoin_geom::Rect;
+use ringjoin_storage::PageId;
+
+impl RTree {
+    /// Returns every item whose point lies inside `window` (closed
+    /// boundaries).
+    pub fn range(&self, window: Rect) -> Vec<Item> {
+        let mut out = Vec::new();
+        self.range_into(self.root_page(), window, &mut out);
+        out
+    }
+
+    fn range_into(&self, page: PageId, window: Rect, out: &mut Vec<Item>) {
+        let node = self.read_node(page);
+        if node.is_leaf() {
+            for e in &node.entries {
+                let it = e.item().expect("leaf entry");
+                if window.contains_point(it.point) {
+                    out.push(it);
+                }
+            }
+            return;
+        }
+        for e in &node.entries {
+            if let NodeEntry::Child { mbr, page } = e {
+                if mbr.intersects(window) {
+                    self.range_into(*page, window, out);
+                }
+            }
+        }
+    }
+
+    /// Visits every leaf node in **depth-first** order, the traversal the
+    /// paper prescribes for the outer side of the join (Section 3.4): leaf
+    /// nodes that are close in the tree tend to be close in space, so
+    /// consecutive filter/verification probes share buffer contents.
+    pub fn for_each_leaf_df(&self, mut f: impl FnMut(PageId, &Node)) {
+        self.df_rec(self.root_page(), &mut f);
+    }
+
+    fn df_rec(&self, page: PageId, f: &mut impl FnMut(PageId, &Node)) {
+        let node = self.read_node(page);
+        if node.is_leaf() {
+            f(page, &node);
+            return;
+        }
+        for e in &node.entries {
+            if let NodeEntry::Child { page, .. } = e {
+                self.df_rec(*page, f);
+            }
+        }
+    }
+
+    /// Collects every item by depth-first scan (test/diagnostic helper —
+    /// costs a full tree traversal).
+    pub fn all_items(&self) -> Vec<Item> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        self.for_each_leaf_df(|_, node| out.extend(node.items()));
+        out
+    }
+}

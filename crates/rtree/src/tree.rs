@@ -1,0 +1,677 @@
+//! The disk-based R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD
+//! 1990), the index the paper assumes on both join inputs.
+
+use crate::node::{Item, Node, NodeCodec, NodeEntry};
+use ringjoin_geom::Rect;
+use ringjoin_storage::{PageId, SharedPager};
+use std::collections::VecDeque;
+
+/// Tuning knobs of the R*-tree.
+///
+/// The defaults follow the original paper: forced reinsertion of the 30%
+/// of entries furthest from the node center on the first overflow per
+/// level, and a 40% minimum fill (the latter lives in
+/// [`NodeCodec::min_fill`]). `forced_reinsert` is exposed so the ablation
+/// benchmarks can quantify what tree quality contributes to join cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RTreeConfig {
+    /// Perform forced reinsertion on first overflow per level.
+    pub forced_reinsert: bool,
+    /// Fraction of entries evicted on a forced reinsert (paper value 0.3).
+    pub reinsert_fraction: f64,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            forced_reinsert: true,
+            reinsert_fraction: 0.3,
+        }
+    }
+}
+
+/// A disk-based R*-tree over [`Item`]s.
+///
+/// All node accesses go through the [`SharedPager`], so every traversal is
+/// measured by the paper's cost model (logical node accesses for CPU, page
+/// faults for I/O). Two trees participating in a join share one pager and
+/// hence one LRU buffer, as in Section 5 of the paper.
+pub struct RTree {
+    pager: SharedPager,
+    codec: NodeCodec,
+    root: PageId,
+    height: u16,
+    len: u64,
+    node_count: u64,
+    config: RTreeConfig,
+}
+
+/// Result of a recursive insertion step.
+enum InsertResult {
+    /// Subtree absorbed the entry; its MBR is now this.
+    Fit(Rect),
+    /// Subtree split: (old node's new MBR, new sibling MBR, sibling page).
+    Split(Rect, Rect, PageId),
+}
+
+/// Result of a recursive deletion step.
+enum RemoveResult {
+    NotFound,
+    /// Entry removed below; (new subtree MBR, child's entry count).
+    Updated(Rect, usize),
+}
+
+impl RTree {
+    /// Creates an empty tree whose nodes live in `pager`.
+    pub fn new(pager: SharedPager) -> Self {
+        Self::with_config(pager, RTreeConfig::default())
+    }
+
+    /// Creates an empty tree with explicit configuration.
+    pub fn with_config(pager: SharedPager, config: RTreeConfig) -> Self {
+        let (codec, root) = {
+            let mut p = pager.borrow_mut();
+            let codec = NodeCodec::new(p.page_size());
+            let root = p.allocate();
+            (codec, root)
+        };
+        let tree = RTree {
+            pager,
+            codec,
+            root,
+            height: 1,
+            len: 0,
+            node_count: 1,
+            config,
+        };
+        tree.write_node(root, &Node::empty(0));
+        tree
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if no item is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 for a tree that is a single leaf).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Page id of the root node.
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of nodes (= disk pages) of the tree; the paper sizes the
+    /// join buffer as a percentage of the *sum* of both trees' pages.
+    pub fn node_pages(&self) -> u64 {
+        self.node_count
+    }
+
+    /// The codec (capacities) in force for this tree's page size.
+    pub fn codec(&self) -> NodeCodec {
+        self.codec
+    }
+
+    /// A clone of the shared pager handle.
+    pub fn pager(&self) -> SharedPager {
+        self.pager.clone()
+    }
+
+    /// Reads and decodes the node stored at `page`, going through the
+    /// buffer manager (and therefore the I/O accounting).
+    pub fn read_node(&self, page: PageId) -> Node {
+        self.pager
+            .borrow_mut()
+            .read(page, |bytes| self.codec.decode(bytes))
+    }
+
+    pub(crate) fn write_node(&self, page: PageId, node: &Node) {
+        self.pager
+            .borrow_mut()
+            .write(page, |bytes| self.codec.encode(node, bytes));
+    }
+
+    fn allocate_page(&self) -> PageId {
+        self.pager.borrow_mut().allocate()
+    }
+
+    fn root_level(&self) -> u16 {
+        self.height - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (R* ChooseSubtree + forced reinsert + topological split)
+    // ------------------------------------------------------------------
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: Item) {
+        debug_assert!(item.point.is_finite(), "non-finite point {item:?}");
+        let mut reinsert_done = vec![false; self.height as usize];
+        let mut pending: VecDeque<(NodeEntry, u16)> = VecDeque::new();
+        pending.push_back((NodeEntry::Item(item), 0));
+        while let Some((entry, level)) = pending.pop_front() {
+            self.insert_from_root(entry, level, &mut reinsert_done, &mut pending);
+        }
+        self.len += 1;
+    }
+
+    fn insert_from_root(
+        &mut self,
+        entry: NodeEntry,
+        target_level: u16,
+        reinsert_done: &mut Vec<bool>,
+        pending: &mut VecDeque<(NodeEntry, u16)>,
+    ) {
+        let root = self.root;
+        let root_level = self.root_level();
+        match self.insert_rec(root, root_level, entry, target_level, reinsert_done, pending) {
+            InsertResult::Fit(_) => {}
+            InsertResult::Split(r1, r2, sibling) => {
+                // Grow the tree: a new root referencing the two halves.
+                let new_root_level = self.height;
+                let mut new_root = Node::empty(new_root_level);
+                new_root.entries.push(NodeEntry::Child {
+                    mbr: r1,
+                    page: root,
+                });
+                new_root.entries.push(NodeEntry::Child {
+                    mbr: r2,
+                    page: sibling,
+                });
+                let new_root_page = self.allocate_page();
+                self.write_node(new_root_page, &new_root);
+                self.root = new_root_page;
+                self.height += 1;
+                self.node_count += 1;
+                reinsert_done.push(true); // the fresh root level never reinserts
+            }
+        }
+    }
+
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        node_level: u16,
+        entry: NodeEntry,
+        target_level: u16,
+        reinsert_done: &mut [bool],
+        pending: &mut VecDeque<(NodeEntry, u16)>,
+    ) -> InsertResult {
+        let mut node = self.read_node(page);
+        debug_assert_eq!(node.level, node_level);
+
+        if node_level == target_level {
+            node.entries.push(entry);
+            if node.entries.len() <= self.codec.capacity(node_level) {
+                self.write_node(page, &node);
+                return InsertResult::Fit(node.mbr());
+            }
+            return self.handle_overflow(page, node, reinsert_done, pending);
+        }
+
+        let idx = self.choose_subtree(&node, entry.mbr(), node_level, target_level);
+        let child_page = node.entries[idx]
+            .child_page()
+            .expect("branch node entry must have a child");
+        match self.insert_rec(
+            child_page,
+            node_level - 1,
+            entry,
+            target_level,
+            reinsert_done,
+            pending,
+        ) {
+            InsertResult::Fit(child_mbr) => {
+                node.entries[idx] = NodeEntry::Child {
+                    mbr: child_mbr,
+                    page: child_page,
+                };
+                self.write_node(page, &node);
+                InsertResult::Fit(node.mbr())
+            }
+            InsertResult::Split(r1, r2, sibling) => {
+                node.entries[idx] = NodeEntry::Child {
+                    mbr: r1,
+                    page: child_page,
+                };
+                node.entries.push(NodeEntry::Child {
+                    mbr: r2,
+                    page: sibling,
+                });
+                if node.entries.len() <= self.codec.capacity(node_level) {
+                    self.write_node(page, &node);
+                    InsertResult::Fit(node.mbr())
+                } else {
+                    self.handle_overflow(page, node, reinsert_done, pending)
+                }
+            }
+        }
+    }
+
+    /// R* ChooseSubtree: overlap-enlargement for the level just above the
+    /// target (the "children are leaves" case of the original paper),
+    /// area-enlargement higher up; ties broken by area.
+    fn choose_subtree(&self, node: &Node, rect: Rect, node_level: u16, target_level: u16) -> usize {
+        debug_assert!(!node.entries.is_empty());
+        let use_overlap = node_level == target_level + 1;
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, e) in node.entries.iter().enumerate() {
+            let mbr = e.mbr();
+            let enlarged = mbr.union(rect);
+            let area_enl = enlarged.area() - mbr.area();
+            let key = if use_overlap {
+                let mut before = 0.0;
+                let mut after = 0.0;
+                for (j, other) in node.entries.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let o = other.mbr();
+                    before += mbr.overlap_area(o);
+                    after += enlarged.overlap_area(o);
+                }
+                (after - before, area_enl, mbr.area())
+            } else {
+                (area_enl, mbr.area(), 0.0)
+            };
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// R* OverflowTreatment: forced reinsert once per level per logical
+    /// insertion, otherwise split.
+    fn handle_overflow(
+        &mut self,
+        page: PageId,
+        mut node: Node,
+        reinsert_done: &mut [bool],
+        pending: &mut VecDeque<(NodeEntry, u16)>,
+    ) -> InsertResult {
+        let level = node.level;
+        let is_root = page == self.root;
+        let may_reinsert = self.config.forced_reinsert
+            && !is_root
+            && !reinsert_done
+                .get(level as usize)
+                .copied()
+                .unwrap_or(true);
+        if may_reinsert {
+            reinsert_done[level as usize] = true;
+            let count = node.entries.len();
+            let evict = ((count as f64 * self.config.reinsert_fraction) as usize).clamp(1, count - 1);
+            let center = node.mbr().center();
+            // Sort ascending by center distance; the furthest `evict`
+            // entries are taken from the tail, then reinserted closest
+            // first ("close reinsert").
+            node.entries.sort_by(|a, b| {
+                a.mbr()
+                    .center()
+                    .dist_sq(center)
+                    .total_cmp(&b.mbr().center().dist_sq(center))
+            });
+            let removed: Vec<NodeEntry> = node.entries.split_off(count - evict);
+            self.write_node(page, &node);
+            for e in removed {
+                pending.push_back((e, level));
+            }
+            InsertResult::Fit(node.mbr())
+        } else {
+            let (group1, group2) = self.split_entries(node.entries, level);
+            let sibling_page = self.allocate_page();
+            let node1 = Node {
+                level,
+                entries: group1,
+            };
+            let node2 = Node {
+                level,
+                entries: group2,
+            };
+            self.write_node(page, &node1);
+            self.write_node(sibling_page, &node2);
+            self.node_count += 1;
+            InsertResult::Split(node1.mbr(), node2.mbr(), sibling_page)
+        }
+    }
+
+    /// The R* split: choose the axis minimising the margin sum over all
+    /// legal distributions, then the distribution minimising overlap (ties:
+    /// total area).
+    fn split_entries(&self, entries: Vec<NodeEntry>, level: u16) -> (Vec<NodeEntry>, Vec<NodeEntry>) {
+        let total = entries.len();
+        let m = self.codec.min_fill(level).min(total / 2).max(1);
+
+        // For each axis and each boundary (min/max), sort and evaluate.
+        type SortKey = fn(&Rect) -> (f64, f64);
+        let sort_keys: [SortKey; 4] = [
+            |r| (r.min.x, r.max.x),
+            |r| (r.max.x, r.min.x),
+            |r| (r.min.y, r.max.y),
+            |r| (r.max.y, r.min.y),
+        ];
+
+        let mut best_axis = 0usize; // 0 = x, 1 = y
+        let mut best_margin = f64::INFINITY;
+        for axis in 0..2 {
+            let mut margin_sum = 0.0;
+            for key in &sort_keys[axis * 2..axis * 2 + 2] {
+                let mut sorted = entries.clone();
+                sorted.sort_by(|a, b| key(&a.mbr()).partial_cmp(&key(&b.mbr())).unwrap());
+                let (prefix, suffix) = prefix_suffix_mbrs(&sorted);
+                for k in m..=(total - m) {
+                    margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+                }
+            }
+            if margin_sum < best_margin {
+                best_margin = margin_sum;
+                best_axis = axis;
+            }
+        }
+
+        // On the chosen axis pick the best distribution over both sorts.
+        let mut best: Option<(f64, f64, Vec<NodeEntry>, usize)> = None;
+        for key in &sort_keys[best_axis * 2..best_axis * 2 + 2] {
+            let mut sorted = entries.clone();
+            sorted.sort_by(|a, b| key(&a.mbr()).partial_cmp(&key(&b.mbr())).unwrap());
+            let (prefix, suffix) = prefix_suffix_mbrs(&sorted);
+            for k in m..=(total - m) {
+                let bb1 = prefix[k - 1];
+                let bb2 = suffix[k];
+                let overlap = bb1.overlap_area(bb2);
+                let area = bb1.area() + bb2.area();
+                let better = match &best {
+                    None => true,
+                    Some((bo, ba, _, _)) => {
+                        overlap < *bo || (overlap == *bo && area < *ba)
+                    }
+                };
+                if better {
+                    best = Some((overlap, area, sorted.clone(), k));
+                }
+            }
+        }
+        let (_, _, sorted, k) = best.expect("at least one distribution exists");
+        let mut group1 = sorted;
+        let group2 = group1.split_off(k);
+        (group1, group2)
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion (classical R-tree CondenseTree)
+    // ------------------------------------------------------------------
+
+    /// Removes an item (matched by id *and* coordinates). Returns `true`
+    /// if it was present.
+    ///
+    /// Underflowing nodes are dissolved and their entries reinserted
+    /// (CondenseTree); the root is collapsed while it is a branch with a
+    /// single child.
+    pub fn remove(&mut self, item: Item) -> bool {
+        let root = self.root;
+        let root_level = self.root_level();
+        let mut orphans: Vec<(NodeEntry, u16)> = Vec::new();
+        let found = match self.remove_rec(root, root_level, item, &mut orphans) {
+            RemoveResult::NotFound => false,
+            RemoveResult::Updated(..) => true,
+        };
+        if !found {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Reinsert orphans (deepest-first so leaf items go last and find a
+        // fully repaired upper structure).
+        orphans.sort_by_key(|(_, lvl)| std::cmp::Reverse(*lvl));
+        for (entry, level) in orphans {
+            let mut reinsert_done = vec![false; self.height as usize];
+            let mut pending = VecDeque::new();
+            pending.push_back((entry, level));
+            while let Some((e, lvl)) = pending.pop_front() {
+                self.insert_from_root(e, lvl, &mut reinsert_done, &mut pending);
+            }
+        }
+        // Collapse degenerate roots.
+        loop {
+            let node = self.read_node(self.root);
+            if node.is_leaf() || node.entries.len() != 1 {
+                break;
+            }
+            let child = node.entries[0].child_page().expect("branch child");
+            self.root = child;
+            self.height -= 1;
+            self.node_count -= 1;
+        }
+        true
+    }
+
+    fn remove_rec(
+        &mut self,
+        page: PageId,
+        node_level: u16,
+        item: Item,
+        orphans: &mut Vec<(NodeEntry, u16)>,
+    ) -> RemoveResult {
+        let mut node = self.read_node(page);
+        if node.is_leaf() {
+            let pos = node.entries.iter().position(
+                |e| matches!(e, NodeEntry::Item(it) if it.id == item.id && it.point == item.point),
+            );
+            return match pos {
+                None => RemoveResult::NotFound,
+                Some(i) => {
+                    node.entries.remove(i);
+                    self.write_node(page, &node);
+                    RemoveResult::Updated(node.mbr(), node.entries.len())
+                }
+            };
+        }
+        for idx in 0..node.entries.len() {
+            let (mbr, child) = match node.entries[idx] {
+                NodeEntry::Child { mbr, page } => (mbr, page),
+                NodeEntry::Item(_) => unreachable!("branch node holds child entries"),
+            };
+            if !mbr.contains_point(item.point) {
+                continue;
+            }
+            match self.remove_rec(child, node_level - 1, item, orphans) {
+                RemoveResult::NotFound => continue,
+                RemoveResult::Updated(child_mbr, child_count) => {
+                    let min_fill = self.codec.min_fill(node_level - 1);
+                    if child_count < min_fill {
+                        // Dissolve the child: orphan its entries.
+                        let child_node = self.read_node(child);
+                        for e in child_node.entries {
+                            orphans.push((e, child_node.level));
+                        }
+                        node.entries.remove(idx);
+                        self.node_count -= 1;
+                    } else {
+                        node.entries[idx] = NodeEntry::Child {
+                            mbr: child_mbr,
+                            page: child,
+                        };
+                    }
+                    self.write_node(page, &node);
+                    return RemoveResult::Updated(node.mbr(), node.entries.len());
+                }
+            }
+        }
+        RemoveResult::NotFound
+    }
+
+    // ------------------------------------------------------------------
+    // Construction helpers used by bulk loading (crate::bulk)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn from_parts(
+        pager: SharedPager,
+        codec: NodeCodec,
+        root: PageId,
+        height: u16,
+        len: u64,
+        node_count: u64,
+        config: RTreeConfig,
+    ) -> Self {
+        RTree {
+            pager,
+            codec,
+            root,
+            height,
+            len,
+            node_count,
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (test oracle)
+    // ------------------------------------------------------------------
+
+    /// Exhaustively checks the structural invariants — level consistency,
+    /// MBR tightness, entry homogeneity, capacity, item/node counts — and
+    /// returns the number of items found. Test-oriented: walks the whole
+    /// tree.
+    ///
+    /// Occupancy is only required to be non-zero; STR-packed trees do not
+    /// promise the R* 40% minimum fill (their tails are balanced but may
+    /// sit below it). Use [`RTree::validate_min_fill`] for trees maintained
+    /// purely by insertion/deletion.
+    pub fn validate(&self) -> Result<u64, String> {
+        self.validate_impl(false)
+    }
+
+    /// [`RTree::validate`] plus the R* minimum-fill invariant on every
+    /// non-root node.
+    pub fn validate_min_fill(&self) -> Result<u64, String> {
+        self.validate_impl(true)
+    }
+
+    fn validate_impl(&self, check_min_fill: bool) -> Result<u64, String> {
+        let root_node = self.read_node(self.root);
+        if root_node.level != self.root_level() {
+            return Err(format!(
+                "root level {} != height-1 {}",
+                root_node.level,
+                self.root_level()
+            ));
+        }
+        let mut count = 0u64;
+        let mut nodes = 0u64;
+        self.validate_rec(
+            self.root,
+            self.root_level(),
+            true,
+            check_min_fill,
+            &mut count,
+            &mut nodes,
+        )?;
+        if count != self.len {
+            return Err(format!("len {} but found {count} items", self.len));
+        }
+        if nodes != self.node_count {
+            return Err(format!(
+                "node_count {} but found {nodes} nodes",
+                self.node_count
+            ));
+        }
+        Ok(count)
+    }
+
+    fn validate_rec(
+        &self,
+        page: PageId,
+        expected_level: u16,
+        is_root: bool,
+        check_min_fill: bool,
+        count: &mut u64,
+        nodes: &mut u64,
+    ) -> Result<Rect, String> {
+        *nodes += 1;
+        let node = self.read_node(page);
+        if node.level != expected_level {
+            return Err(format!(
+                "node {page:?}: level {} expected {expected_level}",
+                node.level
+            ));
+        }
+        let cap = self.codec.capacity(node.level);
+        if node.entries.len() > cap {
+            return Err(format!("node {page:?}: overflow {}", node.entries.len()));
+        }
+        if !is_root && node.entries.is_empty() {
+            return Err(format!("node {page:?}: empty non-root node"));
+        }
+        if check_min_fill && !is_root && node.entries.len() < self.codec.min_fill(node.level) {
+            return Err(format!(
+                "node {page:?}: underflow {} < {}",
+                node.entries.len(),
+                self.codec.min_fill(node.level)
+            ));
+        }
+        if node.is_leaf() {
+            *count += node.entries.len() as u64;
+            for e in &node.entries {
+                if e.item().is_none() {
+                    return Err(format!("leaf {page:?} holds a branch entry"));
+                }
+            }
+            return Ok(node.mbr());
+        }
+        let mut mbr = Rect::empty();
+        for e in &node.entries {
+            match e {
+                NodeEntry::Item(_) => {
+                    return Err(format!("branch {page:?} holds an item entry"))
+                }
+                NodeEntry::Child { mbr: stored, page: child } => {
+                    let actual = self.validate_rec(
+                        *child,
+                        node.level - 1,
+                        false,
+                        check_min_fill,
+                        count,
+                        nodes,
+                    )?;
+                    if actual != *stored {
+                        return Err(format!(
+                            "node {page:?}: stored child MBR {stored:?} != actual {actual:?}"
+                        ));
+                    }
+                    mbr.expand_rect(actual);
+                }
+            }
+        }
+        Ok(mbr)
+    }
+}
+
+/// Prefix and suffix MBR arrays of a sorted entry slice:
+/// `prefix[i]` covers `entries[..=i]`, `suffix[i]` covers `entries[i..]`.
+fn prefix_suffix_mbrs(entries: &[NodeEntry]) -> (Vec<Rect>, Vec<Rect>) {
+    let n = entries.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = Rect::empty();
+    for e in entries {
+        acc.expand_rect(e.mbr());
+        prefix.push(acc);
+    }
+    let mut suffix = vec![Rect::empty(); n + 1];
+    let mut acc = Rect::empty();
+    for i in (0..n).rev() {
+        acc.expand_rect(entries[i].mbr());
+        suffix[i] = acc;
+    }
+    (prefix, suffix)
+}
+

@@ -1,0 +1,334 @@
+//! Oracle tests: the R*-tree must agree with naive scans on every query,
+//! for both construction paths (incremental R* insertion and STR bulk
+//! loading), across uniform and skewed data, and after deletions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ringjoin_geom::{pt, Point, Rect};
+use ringjoin_rtree::{bulk_load, bulk_load_with, Item, RTree, RTreeConfig};
+use ringjoin_storage::{MemDisk, Pager, SharedPager};
+
+fn fresh_pager(buffer_pages: usize) -> SharedPager {
+    Pager::new(MemDisk::new(1024), buffer_pages).into_shared()
+}
+
+fn random_items(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<Item> {
+    (0..n)
+        .map(|i| {
+            Item::new(
+                i as u64,
+                pt(rng.gen_range(lo..hi), rng.gen_range(lo..hi)),
+            )
+        })
+        .collect()
+}
+
+fn clustered_items(rng: &mut StdRng, n: usize, clusters: usize) -> Vec<Item> {
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| pt(rng.gen_range(0.0..10000.0), rng.gen_range(0.0..10000.0)))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % clusters];
+            // Box-Muller Gaussian offsets.
+            let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..1.0));
+            let r = (-2.0 * u1.ln()).sqrt() * 300.0;
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            Item::new(i as u64, pt(c.x + r * theta.cos(), c.y + r * theta.sin()))
+        })
+        .collect()
+}
+
+fn build_insert(items: &[Item]) -> RTree {
+    let mut tree = RTree::new(fresh_pager(256));
+    for &it in items {
+        tree.insert(it);
+    }
+    tree
+}
+
+fn build_bulk(items: &[Item]) -> RTree {
+    bulk_load(fresh_pager(256), items.to_vec())
+}
+
+fn naive_range(items: &[Item], w: Rect) -> Vec<u64> {
+    let mut ids: Vec<u64> = items
+        .iter()
+        .filter(|it| w.contains_point(it.point))
+        .map(|it| it.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn sorted_ids(items: Vec<Item>) -> Vec<u64> {
+    let mut ids: Vec<u64> = items.into_iter().map(|it| it.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn range_queries_match_naive_both_builds() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let items = random_items(&mut rng, 3000, 0.0, 10000.0);
+    for tree in [build_insert(&items), build_bulk(&items)] {
+        assert_eq!(tree.validate().unwrap(), 3000);
+        for _ in 0..50 {
+            let a = pt(rng.gen_range(0.0..10000.0), rng.gen_range(0.0..10000.0));
+            let b = pt(
+                a.x + rng.gen_range(0.0..3000.0),
+                a.y + rng.gen_range(0.0..3000.0),
+            );
+            let w = Rect::new(a, b);
+            assert_eq!(sorted_ids(tree.range(w)), naive_range(&items, w));
+        }
+    }
+}
+
+#[test]
+fn range_on_clustered_data() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let items = clustered_items(&mut rng, 4000, 5);
+    for tree in [build_insert(&items), build_bulk(&items)] {
+        assert_eq!(tree.validate().unwrap(), 4000);
+        for _ in 0..30 {
+            let a = pt(
+                rng.gen_range(-500.0..10500.0),
+                rng.gen_range(-500.0..10500.0),
+            );
+            let b = pt(a.x + 1500.0, a.y + 1500.0);
+            let w = Rect::new(a, b);
+            assert_eq!(sorted_ids(tree.range(w)), naive_range(&items, w));
+        }
+    }
+}
+
+#[test]
+fn nearest_iter_yields_ascending_and_complete() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let items = random_items(&mut rng, 1200, 0.0, 1000.0);
+    for tree in [build_insert(&items), build_bulk(&items)] {
+        let q = pt(432.0, 567.0);
+        let got: Vec<(u64, f64)> = tree.nearest_iter(q).map(|(it, d)| (it.id, d)).collect();
+        assert_eq!(got.len(), items.len());
+        // Distances non-decreasing.
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Agrees with a naive sort.
+        let mut expect: Vec<(u64, f64)> = items
+            .iter()
+            .map(|it| (it.id, q.dist_sq(it.point)))
+            .collect();
+        expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        for (g, e) in got_sorted.iter().zip(&expect) {
+            assert_eq!(g.1, e.1);
+        }
+    }
+}
+
+#[test]
+fn knn_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let items = random_items(&mut rng, 800, 0.0, 100.0);
+    let tree = build_insert(&items);
+    for k in [1, 5, 17, 100] {
+        let q = pt(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+        let got: Vec<f64> = tree.knn(q, k).iter().map(|it| q.dist_sq(it.point)).collect();
+        let mut dists: Vec<f64> = items.iter().map(|it| q.dist_sq(it.point)).collect();
+        dists.sort_by(f64::total_cmp);
+        assert_eq!(got.len(), k);
+        for (g, e) in got.iter().zip(dists.iter()) {
+            assert_eq!(g, e);
+        }
+    }
+}
+
+#[test]
+fn duplicate_coordinates_are_kept_distinct() {
+    let mut tree = RTree::new(fresh_pager(64));
+    for i in 0..100 {
+        tree.insert(Item::new(i, pt(5.5, 5.5)));
+    }
+    // A few different ones (at integer coordinates, so they can never
+    // collide with the duplicates) to force structure.
+    for i in 100..200 {
+        tree.insert(Item::new(i, pt((i % 13) as f64, (i % 7) as f64)));
+    }
+    assert_eq!(tree.validate_min_fill().unwrap(), 200);
+    let w = Rect::new(pt(5.5, 5.5), pt(5.5, 5.5));
+    assert_eq!(tree.range(w).len(), 100);
+}
+
+#[test]
+fn deletion_removes_and_preserves_invariants() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let items = random_items(&mut rng, 1500, 0.0, 1000.0);
+    let mut tree = build_insert(&items);
+    // Remove every third item.
+    let mut remaining = Vec::new();
+    for (i, &it) in items.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(tree.remove(it), "item {i} should be removable");
+        } else {
+            remaining.push(it);
+        }
+    }
+    assert_eq!(tree.len(), remaining.len() as u64);
+    assert_eq!(tree.validate().unwrap(), remaining.len() as u64);
+    // Removed items are gone; remaining are present.
+    let all = sorted_ids(tree.all_items());
+    let expect = sorted_ids(remaining.clone());
+    assert_eq!(all, expect);
+    // Removing a non-existent item is a no-op.
+    assert!(!tree.remove(Item::new(999_999, pt(1.0, 1.0))));
+    assert_eq!(tree.validate().unwrap(), remaining.len() as u64);
+}
+
+#[test]
+fn delete_down_to_empty_and_reuse() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let items = random_items(&mut rng, 300, 0.0, 100.0);
+    let mut tree = build_insert(&items);
+    for &it in &items {
+        assert!(tree.remove(it));
+    }
+    assert!(tree.is_empty());
+    assert_eq!(tree.height(), 1);
+    assert_eq!(tree.validate().unwrap(), 0);
+    // The tree is still usable.
+    for &it in items.iter().take(50) {
+        tree.insert(it);
+    }
+    assert_eq!(tree.validate().unwrap(), 50);
+}
+
+#[test]
+fn incremental_insert_into_bulk_loaded_tree() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let initial = random_items(&mut rng, 2000, 0.0, 10000.0);
+    let mut tree = bulk_load(fresh_pager(256), initial.clone());
+    let extra: Vec<Item> = (0..500)
+        .map(|i| {
+            Item::new(
+                10_000 + i,
+                pt(rng.gen_range(0.0..10000.0), rng.gen_range(0.0..10000.0)),
+            )
+        })
+        .collect();
+    for &it in &extra {
+        tree.insert(it);
+    }
+    assert_eq!(tree.validate().unwrap(), 2500);
+    let all: Vec<Item> = initial.iter().chain(extra.iter()).copied().collect();
+    let w = Rect::new(pt(2000.0, 2000.0), pt(8000.0, 8000.0));
+    assert_eq!(sorted_ids(tree.range(w)), naive_range(&all, w));
+}
+
+#[test]
+fn bulk_fill_factor_controls_page_count() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let items = random_items(&mut rng, 5000, 0.0, 10000.0);
+    let dense = bulk_load_with(
+        fresh_pager(256),
+        items.clone(),
+        1.0,
+        RTreeConfig::default(),
+    );
+    let sparse = bulk_load_with(
+        fresh_pager(256),
+        items.clone(),
+        0.5,
+        RTreeConfig::default(),
+    );
+    assert!(dense.node_pages() < sparse.node_pages());
+    assert_eq!(dense.validate().unwrap(), 5000);
+    assert_eq!(sparse.validate().unwrap(), 5000);
+}
+
+#[test]
+fn without_forced_reinsert_tree_is_still_correct() {
+    let mut rng = StdRng::seed_from_u64(37);
+    let items = random_items(&mut rng, 2000, 0.0, 1000.0);
+    let mut tree = RTree::with_config(
+        fresh_pager(256),
+        RTreeConfig {
+            forced_reinsert: false,
+            ..Default::default()
+        },
+    );
+    for &it in &items {
+        tree.insert(it);
+    }
+    assert_eq!(tree.validate().unwrap(), 2000);
+    let w = Rect::new(pt(100.0, 100.0), pt(600.0, 400.0));
+    assert_eq!(sorted_ids(tree.range(w)), naive_range(&items, w));
+}
+
+#[test]
+fn empty_and_tiny_trees() {
+    let tree = RTree::new(fresh_pager(8));
+    assert!(tree.is_empty());
+    assert_eq!(tree.range(Rect::new(pt(0.0, 0.0), pt(1.0, 1.0))), vec![]);
+    assert_eq!(tree.nearest_iter(pt(0.0, 0.0)).count(), 0);
+    assert_eq!(tree.validate().unwrap(), 0);
+
+    let tiny = bulk_load(fresh_pager(8), vec![Item::new(1, pt(3.0, 3.0))]);
+    assert_eq!(tiny.len(), 1);
+    assert_eq!(tiny.height(), 1);
+    assert_eq!(tiny.validate().unwrap(), 1);
+    assert_eq!(tiny.knn(pt(0.0, 0.0), 1)[0].id, 1);
+}
+
+#[test]
+fn df_leaf_scan_visits_every_item_once() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let items = random_items(&mut rng, 2500, 0.0, 10000.0);
+    let tree = build_bulk(&items);
+    let mut seen = Vec::new();
+    tree.for_each_leaf_df(|_, node| {
+        assert!(node.is_leaf());
+        seen.extend(node.items().map(|it| it.id));
+    });
+    seen.sort_unstable();
+    assert_eq!(seen, (0..2500u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn shared_pager_hosts_two_trees() {
+    let pager = fresh_pager(128);
+    let mut rng = StdRng::seed_from_u64(43);
+    let a_items = random_items(&mut rng, 1000, 0.0, 100.0);
+    let b_items: Vec<Item> = random_items(&mut rng, 1000, 50.0, 150.0);
+    let a = bulk_load(pager.clone(), a_items.clone());
+    let b = bulk_load(pager.clone(), b_items.clone());
+    assert_eq!(a.validate().unwrap(), 1000);
+    assert_eq!(b.validate().unwrap(), 1000);
+    let w = Rect::new(pt(60.0, 60.0), pt(90.0, 90.0));
+    assert_eq!(sorted_ids(a.range(w)), naive_range(&a_items, w));
+    assert_eq!(sorted_ids(b.range(w)), naive_range(&b_items, w));
+    // Fault accounting is shared.
+    let stats = pager.borrow().stats();
+    assert!(stats.logical_reads > 0);
+}
+
+#[test]
+fn buffer_locality_of_df_scan() {
+    // A depth-first scan with a small buffer should fault roughly once per
+    // page, not once per access.
+    let mut rng = StdRng::seed_from_u64(47);
+    let items = random_items(&mut rng, 20_000, 0.0, 10000.0);
+    let pager = fresh_pager(16);
+    let tree = bulk_load(pager.clone(), items);
+    pager.borrow_mut().reset_stats();
+    tree.for_each_leaf_df(|_, _| {});
+    let s = pager.borrow().stats();
+    assert!(
+        s.read_faults as f64 <= tree.node_pages() as f64 * 1.05,
+        "DF scan should fault at most ~once per page: {} faults for {} pages",
+        s.read_faults,
+        tree.node_pages()
+    );
+}

@@ -1,0 +1,109 @@
+//! Property-based tests: the R*-tree behaves like a multiset of points
+//! under arbitrary interleavings of inserts and deletes.
+
+use proptest::prelude::*;
+use ringjoin_geom::{pt, Rect};
+use ringjoin_rtree::{bulk_load, Item, RTree};
+use ringjoin_storage::{MemDisk, Pager};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, f64, f64),
+    /// Remove the item at this index of the currently-live list (mod len).
+    RemoveAt(usize),
+    Range(f64, f64, f64, f64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..10_000, 0.0..100.0f64, 0.0..100.0f64)
+            .prop_map(|(id, x, y)| Op::Insert(id, x, y)),
+        1 => any::<usize>().prop_map(Op::RemoveAt),
+        1 => (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64)
+            .prop_map(|(a, b, c, d)| Op::Range(a, b, c, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_naive_model(ops in proptest::collection::vec(op(), 1..200)) {
+        let pager = Pager::new(MemDisk::new(256), 32).into_shared();
+        let mut tree = RTree::new(pager);
+        let mut model: Vec<Item> = Vec::new();
+        let mut next_unique = 100_000u64;
+
+        for o in ops {
+            match o {
+                Op::Insert(id, x, y) => {
+                    // Force unique ids so removal is unambiguous.
+                    next_unique += 1;
+                    let item = Item::new(id * 1_000_000 + next_unique, pt(x, y));
+                    tree.insert(item);
+                    model.push(item);
+                }
+                Op::RemoveAt(i) => {
+                    if model.is_empty() {
+                        prop_assert!(!tree.remove(Item::new(123, pt(1.0, 1.0))));
+                    } else {
+                        let item = model.swap_remove(i % model.len());
+                        prop_assert!(tree.remove(item));
+                    }
+                }
+                Op::Range(a, b, c, d) => {
+                    let w = Rect::new(pt(a, b), pt(c, d));
+                    let mut got: Vec<u64> =
+                        tree.range(w).into_iter().map(|it| it.id).collect();
+                    got.sort_unstable();
+                    let mut expect: Vec<u64> = model
+                        .iter()
+                        .filter(|it| w.contains_point(it.point))
+                        .map(|it| it.id)
+                        .collect();
+                    expect.sort_unstable();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+        prop_assert_eq!(tree.validate().unwrap(), model.len() as u64);
+
+        // Final NN ordering check from a fixed query point.
+        let q = pt(50.0, 50.0);
+        let got: Vec<f64> = tree.nearest_iter(q).map(|(_, d)| d).collect();
+        let mut expect: Vec<f64> = model.iter().map(|it| q.dist_sq(it.point)).collect();
+        expect.sort_by(f64::total_cmp);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(expect.iter()) {
+            prop_assert_eq!(g, e);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_insert_build(
+        points in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 0..400)
+    ) {
+        let items: Vec<Item> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+            .collect();
+        let bulk = bulk_load(
+            Pager::new(MemDisk::new(256), 64).into_shared(),
+            items.clone(),
+        );
+        let mut inc = RTree::new(Pager::new(MemDisk::new(256), 64).into_shared());
+        for &it in &items {
+            inc.insert(it);
+        }
+        bulk.validate().unwrap();
+        inc.validate_min_fill().unwrap();
+        let w = Rect::new(pt(200.0, 200.0), pt(700.0, 800.0));
+        let mut a: Vec<u64> = bulk.range(w).into_iter().map(|i| i.id).collect();
+        let mut b: Vec<u64> = inc.range(w).into_iter().map(|i| i.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,190 @@
+//! The ε-distance join (Brinkhoff, Kriegel, Seeger — SIGMOD 1993).
+//!
+//! Returns all pairs `⟨p, q⟩` with `dist(p, q) ≤ ε`, via synchronized
+//! traversal of the two R-trees: a pair of nodes is descended only when
+//! the minimum distance between their MBRs does not exceed ε.
+
+use ringjoin_rtree::{Item, Node, NodeEntry, RTree};
+
+/// Computes the ε-distance join between the trees of `P` and `Q`.
+///
+/// Result pairs are `(p, q)` with `p` from `tp` and `q` from `tq`;
+/// ordering is unspecified.
+pub fn epsilon_join(tp: &RTree, tq: &RTree, eps: f64) -> Vec<(Item, Item)> {
+    assert!(eps >= 0.0, "epsilon must be non-negative");
+    let mut out = Vec::new();
+    let eps_sq = eps * eps;
+    join_nodes(
+        tp,
+        tq,
+        &tp.read_node(tp.root_page()),
+        &tq.read_node(tq.root_page()),
+        eps,
+        eps_sq,
+        &mut out,
+    );
+    out
+}
+
+fn join_nodes(
+    tp: &RTree,
+    tq: &RTree,
+    a: &Node,
+    b: &Node,
+    eps: f64,
+    eps_sq: f64,
+    out: &mut Vec<(Item, Item)>,
+) {
+    match (a.is_leaf(), b.is_leaf()) {
+        (true, true) => {
+            for ea in &a.entries {
+                let pa = ea.item().expect("leaf entry");
+                for eb in &b.entries {
+                    let qb = eb.item().expect("leaf entry");
+                    if pa.point.dist_sq(qb.point) <= eps_sq {
+                        out.push((pa, qb));
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            for ea in &a.entries {
+                if let NodeEntry::Child { mbr, page } = ea {
+                    if mbr_point_reachable(*mbr, b, eps, eps_sq) {
+                        let child = tp.read_node(*page);
+                        join_nodes(tp, tq, &child, b, eps, eps_sq, out);
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            for eb in &b.entries {
+                if let NodeEntry::Child { mbr, page } = eb {
+                    if mbr_point_reachable(*mbr, a, eps, eps_sq) {
+                        let child = tq.read_node(*page);
+                        join_nodes(tp, tq, a, &child, eps, eps_sq, out);
+                    }
+                }
+            }
+        }
+        (false, false) => {
+            for ea in &a.entries {
+                let (ma, pa) = match ea {
+                    NodeEntry::Child { mbr, page } => (*mbr, *page),
+                    NodeEntry::Item(_) => unreachable!("branch node"),
+                };
+                for eb in &b.entries {
+                    let (mb, pb) = match eb {
+                        NodeEntry::Child { mbr, page } => (*mbr, *page),
+                        NodeEntry::Item(_) => unreachable!("branch node"),
+                    };
+                    if rect_mindist_sq(ma, mb) <= eps_sq {
+                        let ca = tp.read_node(pa);
+                        let cb = tq.read_node(pb);
+                        join_nodes(tp, tq, &ca, &cb, eps, eps_sq, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `true` if some point of leaf `b` is within ε of the rectangle.
+fn mbr_point_reachable(mbr: ringjoin_geom::Rect, b: &Node, _eps: f64, eps_sq: f64) -> bool {
+    b.entries.iter().any(|e| match e {
+        NodeEntry::Item(it) => mbr.mindist_sq(it.point) <= eps_sq,
+        NodeEntry::Child { mbr: m, .. } => rect_mindist_sq(mbr, *m) <= eps_sq,
+    })
+}
+
+/// Squared minimum distance between two rectangles.
+fn rect_mindist_sq(a: ringjoin_geom::Rect, b: ringjoin_geom::Rect) -> f64 {
+    let dx = (a.min.x - b.max.x).max(0.0).max(b.min.x - a.max.x);
+    let dy = (a.min.y - b.max.y).max(0.0).max(b.min.y - a.max.y);
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+    use ringjoin_rtree::bulk_load;
+    use ringjoin_storage::{MemDisk, Pager};
+
+    fn lcg_items(n: usize, seed: u64, span: f64) -> Vec<Item> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| Item::new(i as u64, pt(next() * span, next() * span)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive() {
+        let ps = lcg_items(300, 5, 1000.0);
+        let qs = lcg_items(250, 9, 1000.0);
+        let pager = Pager::new(MemDisk::new(512), 128).into_shared();
+        let tp = bulk_load(pager.clone(), ps.clone());
+        let tq = bulk_load(pager.clone(), qs.clone());
+        for eps in [0.0, 10.0, 55.0, 200.0] {
+            let mut got: Vec<(u64, u64)> = epsilon_join(&tp, &tq, eps)
+                .into_iter()
+                .map(|(p, q)| (p.id, q.id))
+                .collect();
+            got.sort_unstable();
+            let mut expect: Vec<(u64, u64)> = ps
+                .iter()
+                .flat_map(|p| {
+                    qs.iter()
+                        .filter(move |q| p.point.dist(q.point) <= eps)
+                        .map(move |q| (p.id, q.id))
+                })
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "eps = {eps}");
+        }
+    }
+
+    #[test]
+    fn zero_epsilon_finds_colocated_points() {
+        let pager = Pager::new(MemDisk::new(512), 16).into_shared();
+        let tp = bulk_load(
+            pager.clone(),
+            vec![Item::new(1, pt(5.0, 5.0)), Item::new(2, pt(9.0, 9.0))],
+        );
+        let tq = bulk_load(
+            pager.clone(),
+            vec![Item::new(7, pt(5.0, 5.0)), Item::new(8, pt(1.0, 1.0))],
+        );
+        let pairs = epsilon_join(&tp, &tq, 0.0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].0.id, pairs[0].1.id), (1, 7));
+    }
+
+    #[test]
+    fn asymmetric_tree_heights() {
+        // 2000 vs 3 points: trees of very different heights exercise the
+        // leaf/non-leaf recursion arms.
+        let ps = lcg_items(2000, 11, 100.0);
+        let qs = vec![
+            Item::new(0, pt(50.0, 50.0)),
+            Item::new(1, pt(10.0, 90.0)),
+            Item::new(2, pt(95.0, 5.0)),
+        ];
+        let pager = Pager::new(MemDisk::new(512), 128).into_shared();
+        let tp = bulk_load(pager.clone(), ps.clone());
+        let tq = bulk_load(pager.clone(), qs.clone());
+        let eps = 7.5;
+        let got = epsilon_join(&tp, &tq, eps).len();
+        let expect = ps
+            .iter()
+            .flat_map(|p| qs.iter().filter(move |q| p.point.dist(q.point) <= eps))
+            .count();
+        assert_eq!(got, expect);
+    }
+}

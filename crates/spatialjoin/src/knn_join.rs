@@ -1,0 +1,109 @@
+//! The k-nearest-neighbour join (Table 1 of the RCJ paper; cf. Gorder,
+//! VLDB 2004): for every `p ∈ P`, pair it with its `k` nearest
+//! neighbours in `Q`. Result size is exactly `k · |P|` (when `|Q| ≥ k`),
+//! and the operator is asymmetric — swapping the inputs changes the
+//! result.
+
+use ringjoin_rtree::{Item, RTree};
+
+/// Computes the kNN join: for each item of `tp`, its `k` nearest items
+/// of `tq`.
+///
+/// The outer side is scanned depth-first so consecutive kNN probes hit
+/// nearby regions of `tq` (the same locality argument as the RCJ outer
+/// scan).
+pub fn knn_join(tp: &RTree, tq: &RTree, k: usize) -> Vec<(Item, Item)> {
+    let mut out = Vec::new();
+    let mut leaves = Vec::new();
+    tp.for_each_leaf_df(|page, _| leaves.push(page));
+    for page in leaves {
+        let node = tp.read_node(page);
+        for p in node.items() {
+            for q in tq.knn(p.point, k) {
+                out.push((p, q));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+    use ringjoin_rtree::bulk_load;
+    use ringjoin_storage::{MemDisk, Pager};
+
+    fn lcg_items(n: usize, seed: u64, span: f64) -> Vec<Item> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| Item::new(i as u64, pt(next() * span, next() * span)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_knn() {
+        let ps = lcg_items(60, 13, 300.0);
+        let qs = lcg_items(80, 17, 300.0);
+        let pager = Pager::new(MemDisk::new(512), 64).into_shared();
+        let tp = bulk_load(pager.clone(), ps.clone());
+        let tq = bulk_load(pager.clone(), qs.clone());
+        for k in [1, 3, 7] {
+            let mut got: Vec<(u64, u64)> = knn_join(&tp, &tq, k)
+                .into_iter()
+                .map(|(p, q)| (p.id, q.id))
+                .collect();
+            got.sort_unstable();
+            let mut expect = Vec::new();
+            for p in &ps {
+                let mut by_d: Vec<(f64, u64)> =
+                    qs.iter().map(|q| (p.point.dist_sq(q.point), q.id)).collect();
+                by_d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for &(_, qid) in by_d.iter().take(k) {
+                    expect.push((p.id, qid));
+                }
+            }
+            expect.sort_unstable();
+            // Distances must agree rank-by-rank even if ties reorder ids.
+            assert_eq!(got.len(), expect.len(), "k={k}");
+            let dist_of = |pid: u64, qid: u64| {
+                ps[pid as usize].point.dist_sq(qs[qid as usize].point)
+            };
+            for (g, e) in got.iter().zip(expect.iter()) {
+                assert_eq!(g.0, e.0, "outer id mismatch at k={k}");
+                assert_eq!(dist_of(g.0, g.1), dist_of(e.0, e.1), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_size_is_k_times_p() {
+        let ps = lcg_items(40, 23, 100.0);
+        let qs = lcg_items(50, 29, 100.0);
+        let pager = Pager::new(MemDisk::new(512), 64).into_shared();
+        let tp = bulk_load(pager.clone(), ps);
+        let tq = bulk_load(pager.clone(), qs);
+        assert_eq!(knn_join(&tp, &tq, 4).len(), 4 * 40);
+    }
+
+    #[test]
+    fn asymmetric_operator() {
+        let ps = vec![Item::new(0, pt(0.0, 0.0)), Item::new(1, pt(10.0, 0.0))];
+        let qs = vec![
+            Item::new(0, pt(1.0, 0.0)),
+            Item::new(1, pt(2.0, 0.0)),
+            Item::new(2, pt(3.0, 0.0)),
+        ];
+        let pager = Pager::new(MemDisk::new(512), 16).into_shared();
+        let tp = bulk_load(pager.clone(), ps);
+        let tq = bulk_load(pager.clone(), qs);
+        assert_eq!(knn_join(&tp, &tq, 1).len(), 2);
+        assert_eq!(knn_join(&tq, &tp, 1).len(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! Classical spatial join operators, used by the RCJ paper as comparison
+//! baselines (Section 5.1 / Table 1):
+//!
+//! * [`epsilon_join`] — all pairs within distance ε (Brinkhoff et al.,
+//!   SIGMOD 1993), via synchronized R-tree traversal.
+//! * [`k_closest_pairs`] / [`ClosestPairsIter`] — the k pairs of minimum
+//!   distance (Hjaltason & Samet's incremental distance join).
+//! * [`knn_join`] — each `p ∈ P` with its k nearest neighbours in `Q`.
+//! * [`precision_recall`] — the resemblance metrics the paper uses to
+//!   show that none of these operators, however tuned, reproduces the
+//!   RCJ result (Figures 10–12).
+//!
+//! All operators run on the same disk-based R*-trees and pager as the RCJ
+//! itself, so their I/O behaviour is measured by the same cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod closest_pairs;
+mod epsilon;
+mod knn_join;
+mod quality;
+
+pub use closest_pairs::{k_closest_pairs, ClosestPairsIter};
+pub use epsilon::epsilon_join;
+pub use knn_join::knn_join;
+pub use quality::{precision_recall, Quality};

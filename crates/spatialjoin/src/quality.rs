@@ -1,0 +1,107 @@
+//! Precision/recall of a join result against the RCJ result set
+//! (Section 5.1 of the paper).
+//!
+//! The paper measures how well each classical join operator can imitate
+//! the RCJ result when its parameter (ε or k) is tuned:
+//!
+//! ```text
+//! precision(S', S) = |S ∩ S'| / |S'| · 100%
+//! recall(S', S)    = |S ∩ S'| / |S|  · 100%
+//! ```
+//!
+//! where `S` is the RCJ result and `S'` the other operator's. The paper's
+//! finding — reproduced by Figures 10–12 of the benchmark harness — is
+//! that no parameter value achieves both high precision and high recall.
+
+use std::collections::HashSet;
+
+/// Precision and recall (both in percent, `0..=100`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quality {
+    /// `|S ∩ S'| / |S'| · 100`.
+    pub precision: f64,
+    /// `|S ∩ S'| / |S| · 100`.
+    pub recall: f64,
+}
+
+/// Computes precision and recall of `candidate` (`S'`) with respect to
+/// `reference` (`S`), both given as `(p.id, q.id)` keys. `candidate` is
+/// treated as a *set* — duplicates are collapsed before measuring, since
+/// the paper's `S'` are result sets.
+///
+/// Degenerate conventions: an empty `S'` has precision 100 (it makes no
+/// false claims) and an empty `S` yields recall 100 (nothing to find).
+pub fn precision_recall(candidate: &[(u64, u64)], reference: &HashSet<(u64, u64)>) -> Quality {
+    let distinct: HashSet<(u64, u64)> = candidate.iter().copied().collect();
+    if distinct.is_empty() {
+        return Quality {
+            precision: 100.0,
+            recall: if reference.is_empty() { 100.0 } else { 0.0 },
+        };
+    }
+    let hits = distinct.iter().filter(|k| reference.contains(k)).count();
+    let precision = 100.0 * hits as f64 / distinct.len() as f64;
+    let recall = if reference.is_empty() {
+        100.0
+    } else {
+        100.0 * hits as f64 / reference.len() as f64
+    };
+    Quality { precision, recall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[(u64, u64)]) -> HashSet<(u64, u64)> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let s = set(&[(1, 1), (2, 2)]);
+        let q = precision_recall(&[(1, 1), (2, 2)], &s);
+        assert_eq!(q.precision, 100.0);
+        assert_eq!(q.recall, 100.0);
+    }
+
+    #[test]
+    fn subset_has_full_precision_partial_recall() {
+        let s = set(&[(1, 1), (2, 2), (3, 3), (4, 4)]);
+        let q = precision_recall(&[(1, 1)], &s);
+        assert_eq!(q.precision, 100.0);
+        assert_eq!(q.recall, 25.0);
+    }
+
+    #[test]
+    fn superset_has_partial_precision_full_recall() {
+        let s = set(&[(1, 1)]);
+        let q = precision_recall(&[(1, 1), (2, 2), (3, 3), (9, 9)], &s);
+        assert_eq!(q.precision, 25.0);
+        assert_eq!(q.recall, 100.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let s = set(&[(1, 1)]);
+        let q = precision_recall(&[(2, 2)], &s);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+    }
+
+    #[test]
+    fn empty_candidate() {
+        let s = set(&[(1, 1)]);
+        let q = precision_recall(&[], &s);
+        assert_eq!(q.precision, 100.0);
+        assert_eq!(q.recall, 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let s = set(&[(1, 1)]);
+        let q = precision_recall(&[(1, 1), (1, 1), (2, 2), (3, 3)], &s);
+        assert!((q.precision - 100.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q.recall, 100.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The pager: buffer-managed page access with the paper's I/O accounting.
+
+use crate::buffer::BufferManager;
+use crate::disk::{DiskStorage, PageId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// I/O statistics accumulated by a [`Pager`].
+///
+/// * `logical_reads` counts every page access, cached or not — the paper's
+///   CPU-cost proxy ("CPU time roughly models the total number (including
+///   repeated) of R-tree node accesses", Section 5).
+/// * `read_faults` / `write_faults` count buffer misses — the paper's I/O
+///   unit, charged at 10 ms each by the default [`CostModel`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page accesses for reading, including buffer hits.
+    pub logical_reads: u64,
+    /// Read accesses that missed the buffer and went to the device.
+    pub read_faults: u64,
+    /// Page accesses for writing, including buffer hits.
+    pub logical_writes: u64,
+    /// Write accesses that had to fetch the page from the device first.
+    pub write_faults: u64,
+}
+
+impl IoStats {
+    /// Total buffer misses (read + write).
+    pub fn faults(&self) -> u64 {
+        self.read_faults + self.write_faults
+    }
+
+    /// Total logical accesses (read + write).
+    pub fn accesses(&self) -> u64 {
+        self.logical_reads + self.logical_writes
+    }
+
+    /// Component-wise difference `self - earlier`, for measuring a phase.
+    pub fn since(&self, earlier: IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            read_faults: self.read_faults - earlier.read_faults,
+            logical_writes: self.logical_writes - earlier.logical_writes,
+            write_faults: self.write_faults - earlier.write_faults,
+        }
+    }
+}
+
+/// Converts [`IoStats`] into simulated I/O time.
+///
+/// The paper charges 10 ms per page fault ("a typical value", citing
+/// Silberschatz et al.); experiments report `faults × ms_per_fault` as I/O
+/// time next to measured CPU time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Milliseconds charged per page fault.
+    pub ms_per_fault: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { ms_per_fault: 10.0 }
+    }
+}
+
+impl CostModel {
+    /// Simulated I/O time in seconds for the given stats.
+    pub fn io_seconds(&self, stats: &IoStats) -> f64 {
+        stats.faults() as f64 * self.ms_per_fault / 1000.0
+    }
+}
+
+/// Buffer-managed access to a [`DiskStorage`], with I/O accounting.
+///
+/// Both R-trees of a join live in **one** pager so they share the single
+/// LRU buffer, exactly as in the paper ("the default size of the memory
+/// buffer is 1% of the sum of both tree sizes").
+pub struct Pager {
+    disk: Box<dyn DiskStorage>,
+    buffer: BufferManager,
+    stats: IoStats,
+}
+
+impl Pager {
+    /// Creates a pager over `disk` with a buffer of `buffer_pages` pages.
+    pub fn new<D: DiskStorage + 'static>(disk: D, buffer_pages: usize) -> Self {
+        let page_size = disk.page_size();
+        Pager {
+            disk: Box::new(disk),
+            buffer: BufferManager::new(page_size, buffer_pages),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Wraps this pager for shared ownership by several indexes.
+    pub fn into_shared(self) -> SharedPager {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Page size of the underlying device.
+    pub fn page_size(&self) -> usize {
+        self.disk.page_size()
+    }
+
+    /// Number of allocated pages on the device.
+    pub fn num_pages(&self) -> u32 {
+        self.disk.num_pages()
+    }
+
+    /// Allocates a fresh zeroed page.
+    pub fn allocate(&mut self) -> PageId {
+        self.disk.allocate()
+    }
+
+    /// Reads page `id`, faulting it in if absent, and passes its bytes to
+    /// `f`.
+    pub fn read<T>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> T) -> T {
+        self.stats.logical_reads += 1;
+        if self.buffer.get(id).is_none() {
+            self.stats.read_faults += 1;
+            let mut staging = vec![0u8; self.disk.page_size()];
+            self.disk.read_page(id, &mut staging);
+            self.buffer.insert(id).copy_from_slice(&staging);
+        }
+        f(self
+            .buffer
+            .get(id)
+            .expect("page just inserted must be cached"))
+    }
+
+    /// Updates page `id` through `f` and writes it through to the device.
+    ///
+    /// Write-through keeps the device authoritative, so evictions never
+    /// need a dirty-page flush — the join algorithms are read-only and the
+    /// paper's measurements exclude index construction anyway.
+    pub fn write(&mut self, id: PageId, f: impl FnOnce(&mut [u8])) {
+        self.stats.logical_writes += 1;
+        if self.buffer.get_mut(id).is_none() {
+            self.stats.write_faults += 1;
+            let mut staging = vec![0u8; self.disk.page_size()];
+            self.disk.read_page(id, &mut staging);
+            self.buffer.insert(id).copy_from_slice(&staging);
+        }
+        let bytes = self
+            .buffer
+            .get_mut(id)
+            .expect("page just inserted must be cached");
+        f(bytes);
+        let snapshot = bytes.to_vec();
+        self.disk.write_page(id, &snapshot);
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (e.g. after index construction, before the
+    /// measured join phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Resizes the LRU buffer (Figure 15 sweeps this).
+    pub fn set_buffer_capacity(&mut self, pages: usize) {
+        self.buffer.set_capacity(pages);
+    }
+
+    /// Current buffer capacity in pages.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    /// Empties the buffer for a cold start without touching statistics.
+    pub fn clear_buffer(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+/// Shared-ownership handle to a [`Pager`], letting two R-trees (and the
+/// join operators walking both) go through one buffer pool.
+///
+/// The workspace is single-threaded by design — the paper's cost model
+/// counts sequential page faults — so `Rc<RefCell<_>>` is the right tool;
+/// no lock is ever contended.
+pub type SharedPager = Rc<RefCell<Pager>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    #[test]
+    fn read_faults_then_hits() {
+        let mut p = Pager::new(MemDisk::new(128), 4);
+        let a = p.allocate();
+        p.read(a, |_| ());
+        p.read(a, |_| ());
+        p.read(a, |_| ());
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.read_faults, 1);
+    }
+
+    #[test]
+    fn write_through_persists_across_eviction() {
+        let mut p = Pager::new(MemDisk::new(128), 1);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.write(a, |bytes| bytes[7] = 99);
+        p.read(b, |_| ()); // evicts a
+        p.read(a, |bytes| assert_eq!(bytes[7], 99)); // must come from disk
+        let s = p.stats();
+        assert_eq!(s.read_faults, 2);
+        // The write path stages the page from the device before mutating,
+        // so the first touch of a page via write() is a write fault.
+        assert_eq!(s.write_faults, 1);
+    }
+
+    #[test]
+    fn write_to_uncached_page_counts_write_fault() {
+        let mut p = Pager::new(MemDisk::new(128), 1);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.write(a, |bytes| bytes[0] = 1);
+        p.write(b, |bytes| bytes[0] = 2); // evicts a
+        p.write(a, |bytes| bytes[1] = 3); // a no longer cached -> write fault
+        let s = p.stats();
+        assert_eq!(s.logical_writes, 3);
+        assert_eq!(s.write_faults, 3);
+        // Partial update preserved earlier write-through content.
+        p.read(a, |bytes| {
+            assert_eq!(bytes[0], 1);
+            assert_eq!(bytes[1], 3);
+        });
+    }
+
+    #[test]
+    fn stats_since_and_reset() {
+        let mut p = Pager::new(MemDisk::new(128), 2);
+        let a = p.allocate();
+        p.read(a, |_| ());
+        let before = p.stats();
+        p.read(a, |_| ());
+        let delta = p.stats().since(before);
+        assert_eq!(delta.logical_reads, 1);
+        assert_eq!(delta.read_faults, 0);
+        p.reset_stats();
+        assert_eq!(p.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn cost_model_default_is_ten_ms() {
+        let stats = IoStats {
+            read_faults: 100,
+            write_faults: 50,
+            ..Default::default()
+        };
+        assert_eq!(CostModel::default().io_seconds(&stats), 1.5);
+    }
+
+    #[test]
+    fn buffer_resize_affects_fault_rate() {
+        let mut p = Pager::new(MemDisk::new(128), 8);
+        let pages: Vec<_> = (0..8).map(|_| p.allocate()).collect();
+        // Warm all 8 in an 8-page buffer: 8 faults, then loops are free.
+        for _ in 0..3 {
+            for &id in &pages {
+                p.read(id, |_| ());
+            }
+        }
+        assert_eq!(p.stats().read_faults, 8);
+        // Shrink to 4: cyclic scanning now faults every access.
+        p.set_buffer_capacity(4);
+        p.reset_stats();
+        for _ in 0..2 {
+            for &id in &pages {
+                p.read(id, |_| ());
+            }
+        }
+        assert_eq!(p.stats().read_faults, 16);
+    }
+
+    #[test]
+    fn clear_buffer_forces_cold_reads() {
+        let mut p = Pager::new(MemDisk::new(128), 4);
+        let a = p.allocate();
+        p.read(a, |_| ());
+        p.clear_buffer();
+        p.read(a, |_| ());
+        assert_eq!(p.stats().read_faults, 2);
+    }
+}

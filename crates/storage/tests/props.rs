@@ -1,0 +1,136 @@
+//! Property-based tests for the storage layer: the pager must behave
+//! like a plain array of pages regardless of buffer capacity, and fault
+//! accounting must obey the LRU inclusion property.
+
+use proptest::prelude::*;
+use ringjoin_storage::{DiskStorage, FileDisk, MemDisk, PageId, Pager};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write `byte` at `offset` of page `page % allocated`.
+    Write(u8, u8, u8),
+    /// Read page `page % allocated` and check it.
+    Read(u8),
+    /// Allocate a new page.
+    Allocate,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(p, o, b)| Op::Write(p, o, b)),
+        3 => any::<u8>().prop_map(Op::Read),
+        1 => Just(Op::Allocate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pager is transparent: contents equal a reference model for
+    /// any op sequence and any (tiny) buffer capacity.
+    #[test]
+    fn pager_is_transparent(ops in proptest::collection::vec(op(), 1..120), cap in 1usize..5) {
+        const PS: usize = 128;
+        let mut pager = Pager::new(MemDisk::new(PS), cap);
+        let mut model: Vec<[u8; PS]> = Vec::new();
+        let first = pager.allocate();
+        prop_assert_eq!(first, PageId(0));
+        model.push([0u8; PS]);
+
+        for o in ops {
+            match o {
+                Op::Allocate => {
+                    pager.allocate();
+                    model.push([0u8; PS]);
+                }
+                Op::Write(p, off, b) => {
+                    let idx = p as usize % model.len();
+                    let off = off as usize % PS;
+                    pager.write(PageId(idx as u32), |bytes| bytes[off] = b);
+                    model[idx][off] = b;
+                }
+                Op::Read(p) => {
+                    let idx = p as usize % model.len();
+                    let expect = model[idx];
+                    pager.read(PageId(idx as u32), |bytes| {
+                        assert_eq!(bytes, &expect[..], "page {idx} diverged");
+                    });
+                }
+            }
+        }
+        // Every page equals the model at the end.
+        for (i, expect) in model.iter().enumerate() {
+            pager.read(PageId(i as u32), |bytes| {
+                assert_eq!(bytes, &expect[..]);
+            });
+        }
+    }
+
+    /// LRU inclusion property: for the same access string, a bigger
+    /// buffer never faults more.
+    #[test]
+    fn bigger_buffer_never_faults_more(
+        accesses in proptest::collection::vec(0u8..16, 1..300),
+        small in 1usize..4,
+        extra in 1usize..8,
+    ) {
+        let run = |cap: usize| {
+            let mut pager = Pager::new(MemDisk::new(128), cap);
+            for _ in 0..16 {
+                pager.allocate();
+            }
+            pager.reset_stats();
+            for &a in &accesses {
+                pager.read(PageId(a as u32), |_| ());
+            }
+            pager.stats().read_faults
+        };
+        prop_assert!(run(small + extra) <= run(small));
+    }
+
+    /// FileDisk and MemDisk are interchangeable bit-for-bit.
+    #[test]
+    fn file_and_mem_disks_agree(ops in proptest::collection::vec(op(), 1..60)) {
+        const PS: usize = 128;
+        let dir = std::env::temp_dir().join(format!(
+            "ringjoin-storage-props-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.bin");
+
+        let mut mem = MemDisk::new(PS);
+        let mut file = FileDisk::create(&path, PS).unwrap();
+        mem.allocate();
+        file.allocate();
+        let mut n = 1usize;
+
+        for o in &ops {
+            match o {
+                Op::Allocate => {
+                    mem.allocate();
+                    file.allocate();
+                    n += 1;
+                }
+                Op::Write(p, off, b) => {
+                    let idx = PageId((*p as usize % n) as u32);
+                    let mut buf = vec![0u8; PS];
+                    mem.read_page(idx, &mut buf);
+                    buf[*off as usize % PS] = *b;
+                    mem.write_page(idx, &buf);
+                    file.write_page(idx, &buf);
+                }
+                Op::Read(p) => {
+                    let idx = PageId((*p as usize % n) as u32);
+                    let mut a = vec![0u8; PS];
+                    let mut b = vec![0u8; PS];
+                    mem.read_page(idx, &mut a);
+                    file.read_page(idx, &mut b);
+                    prop_assert_eq!(&a, &b);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

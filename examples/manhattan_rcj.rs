@@ -1,0 +1,50 @@
+//! The Section 6 extension: RCJ under the Manhattan (L1) metric — the
+//! generalisation the paper leaves as future work.
+//!
+//! ```text
+//! cargo run --release --example manhattan_rcj
+//! ```
+//!
+//! In a gridded city, travel distance is L1, not Euclidean. The metric
+//! RCJ uses the *midpoint ball* (an L1 diamond) as its ring; see
+//! `ringjoin_core::metric_rcj` for the mirror-point generalisation of the
+//! paper's Lemma 1 that keeps the join exact in any Lp metric.
+
+use ringjoin::core::metric_rcj::metric_rcj_join;
+use ringjoin::{bulk_load, pair_keys, rcj_join, uniform, MemDisk, Metric, Pager, RcjOptions};
+use std::collections::HashSet;
+
+fn main() {
+    // Facilities on a city grid.
+    let shops = uniform(4_000, 404);
+    let homes = uniform(4_000, 505);
+    let pager = Pager::new(MemDisk::new(1024), 512).into_shared();
+    let tp = bulk_load(pager.clone(), shops);
+    let tq = bulk_load(pager.clone(), homes);
+
+    let euclid: HashSet<_> = pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
+        .into_iter()
+        .collect();
+
+    for metric in [Metric::L2, Metric::L1, Metric::Linf] {
+        let out = metric_rcj_join(&tq, &tp, metric);
+        let keys: HashSet<_> = pair_keys(&out.pairs).into_iter().collect();
+        let overlap = keys.intersection(&euclid).count();
+        println!(
+            "{:>5?}: {:>6} pairs | {:>6} shared with Euclidean | {:>6} candidates checked",
+            metric,
+            keys.len(),
+            overlap,
+            out.stats.candidate_pairs
+        );
+        if metric == Metric::L2 {
+            assert_eq!(keys, euclid, "L2 metric join must equal the Euclidean join");
+        }
+    }
+
+    println!(
+        "\nThe L2 row is bit-identical to the paper's RCJ; L1/Linf shift the\n\
+         result where the diamond/square ring sees different blockers than\n\
+         the circle — the effect the paper anticipated for road networks."
+    );
+}

@@ -1,0 +1,56 @@
+//! The self-RCJ application: postbox placement between buildings.
+//!
+//! ```text
+//! cargo run --release --example postboxes_selfjoin
+//! ```
+//!
+//! With `P = Q =` all buildings, each RCJ pair of the *self-join* is a
+//! pair of mutually "unobstructed" buildings; its circle center is a
+//! handy postbox spot. The result is exactly the Gabriel graph of the
+//! buildings — the self-join reports each edge once.
+
+use ringjoin::{
+    bulk_load, gaussian_clusters, pair_keys, rcj_brute_self, rcj_self_join, MemDisk, Pager,
+    RcjOptions,
+};
+
+fn main() {
+    // A town of 12,000 buildings in 8 districts.
+    let buildings = gaussian_clusters(12_000, 8, 700.0, 2024);
+
+    let pager = Pager::new(MemDisk::new(1024), 256).into_shared();
+    let tree = bulk_load(pager.clone(), buildings.clone());
+
+    let out = rcj_self_join(&tree, &RcjOptions::default());
+    println!(
+        "{} postbox locations for {} buildings ({:.2} per building)",
+        out.pairs.len(),
+        buildings.len(),
+        out.pairs.len() as f64 / buildings.len() as f64
+    );
+
+    // Gabriel-graph sanity: the edge count per node of a planar graph is
+    // below 3 (|E| <= 3|V| - 8 for Gabriel graphs).
+    assert!(out.pairs.len() < 3 * buildings.len());
+
+    // Spot-check against brute force on a small re-run.
+    let small: Vec<_> = buildings.iter().take(400).copied().collect();
+    let small_tree = bulk_load(
+        Pager::new(MemDisk::new(1024), 64).into_shared(),
+        small.clone(),
+    );
+    let fast = rcj_self_join(&small_tree, &RcjOptions::default());
+    let slow = rcj_brute_self(&small);
+    assert_eq!(pair_keys(&fast.pairs), pair_keys(&slow));
+    println!("brute-force cross-check on 400 buildings: OK ({} edges)", slow.len());
+
+    println!("\nfirst postboxes:");
+    for pair in out.pairs.iter().take(5) {
+        println!(
+            "  postbox at {} between buildings #{} and #{}",
+            pair.center(),
+            pair.p.id,
+            pair.q.id
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's portability claim, live: the same RCJ on two different
+//! hierarchical indexes gives the identical result set.
+//!
+//! ```text
+//! cargo run --release --example quadtree_portability
+//! ```
+//!
+//! Section 3 of the paper: "our methodology is directly applicable to
+//! other hierarchical spatial indexes (e.g., point quad-tree) as well".
+//! Here the same pointsets are indexed once by R*-trees and once by
+//! bucket PR quadtrees; the ring-constrained join over each must (and
+//! does) return exactly the same pairs — the result is a property of
+//! the data, the index only changes the access cost.
+
+use ringjoin::quadtree::rcj::rcj_quadtree;
+use ringjoin::quadtree::QuadTree;
+use ringjoin::{
+    bulk_load, gaussian_clusters, pair_keys, pt, rcj_join, MemDisk, Pager, RcjOptions, Rect,
+};
+
+fn main() {
+    let shops = gaussian_clusters(4_000, 6, 800.0, 31);
+    let homes = gaussian_clusters(4_000, 6, 800.0, 32);
+
+    // Path 1: R*-trees (the paper's setting).
+    let pager = Pager::new(MemDisk::new(1024), 512).into_shared();
+    let tp = bulk_load(pager.clone(), shops.clone());
+    let tq = bulk_load(pager.clone(), homes.clone());
+    let rtree_result = pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs);
+    let rtree_io = pager.borrow().stats();
+
+    // Path 2: PR quadtrees over the same data and page size.
+    let qpager = Pager::new(MemDisk::new(1024), 512).into_shared();
+    let region = Rect::new(pt(0.0, 0.0), pt(10_000.0, 10_000.0));
+    let mut qp = QuadTree::new(qpager.clone(), region);
+    let mut qq = QuadTree::new(qpager.clone(), region);
+    for it in &shops {
+        qp.insert(it.id, it.point);
+    }
+    for it in &homes {
+        qq.insert(it.id, it.point);
+    }
+    qpager.borrow_mut().reset_stats();
+    let mut quad_result: Vec<(u64, u64)> =
+        rcj_quadtree(&qq, &qp).iter().map(|p| p.key()).collect();
+    quad_result.sort_unstable();
+    let quad_io = qpager.borrow().stats();
+
+    assert_eq!(rtree_result, quad_result, "index choice must not change the join");
+    println!(
+        "identical result on both indexes: {} pairs",
+        rtree_result.len()
+    );
+    println!(
+        "R*-tree join:  {:>9} node accesses ({} pages in tree pair)",
+        rtree_io.logical_reads,
+        tp.node_pages() + tq.node_pages()
+    );
+    println!(
+        "quadtree join: {:>9} node accesses ({} pages in tree pair)",
+        quad_io.logical_reads,
+        qp.node_pages() + qq.node_pages()
+    );
+    println!(
+        "\nSame answer, different cost profile. (Not apples-to-apples on cost:\n\
+         the R*-tree path runs the bulk OBJ algorithm, the quadtree path the\n\
+         per-point INJ style — the point here is result identity.) One porting\n\
+         caveat the paper glosses over: the face-inside-circle rule needs MBR\n\
+         minimality, so the quadtree verification runs without it."
+    );
+}

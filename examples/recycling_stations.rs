@@ -1,0 +1,78 @@
+//! The paper's flagship application: placing recycling stations at fair
+//! locations between restaurants and residential complexes.
+//!
+//! ```text
+//! cargo run --release --example recycling_stations
+//! ```
+//!
+//! Restaurants cluster around commercial centers while residences spread
+//! wider — the GNIS-like generators model exactly this kind of co-located
+//! skew. The RCJ adapts to it: station rings are tight downtown and wide
+//! in the suburbs, with *no density parameter to tune*.
+
+use ringjoin::{
+    bulk_load, gnis_like, rcj_join, CostModel, GnisDataset, MemDisk, Pager, RcjAlgorithm,
+    RcjOptions,
+};
+
+fn main() {
+    // Restaurants (P): clustered like populated places. Residential
+    // complexes (Q): school-like spread (both personas share geography).
+    let restaurants = gnis_like(GnisDataset::PopulatedPlaces, 20_000);
+    let residences = gnis_like(GnisDataset::Schools, 20_000);
+
+    let pager = Pager::new(MemDisk::new(1024), usize::MAX / 2).into_shared();
+    let tp = bulk_load(pager.clone(), restaurants);
+    let tq = bulk_load(pager.clone(), residences);
+    // The paper's storage configuration: buffer = 1% of both trees.
+    let buffer = (((tp.node_pages() + tq.node_pages()) as f64 * 0.01).ceil() as usize).max(1);
+    {
+        let mut pg = pager.borrow_mut();
+        pg.set_buffer_capacity(buffer);
+        pg.clear_buffer();
+        pg.reset_stats();
+    }
+
+    // OBJ is the paper's best algorithm; the default.
+    let out = rcj_join(&tq, &tp, &RcjOptions::algorithm(RcjAlgorithm::Obj));
+
+    println!(
+        "{} candidate recycling stations derived from {} restaurant/residence pairs checked",
+        out.pairs.len(),
+        out.stats.candidate_pairs
+    );
+
+    // Ring radii adapt to local density — report the spread.
+    let mut radii: Vec<f64> = out.pairs.iter().map(|p| p.radius()).collect();
+    radii.sort_by(f64::total_cmp);
+    let pct = |f: f64| radii[(f * (radii.len() - 1) as f64) as usize];
+    println!(
+        "ring radius: p10 {:.1}  median {:.1}  p90 {:.1}  max {:.1}  (domain 10000 x 10000)",
+        pct(0.10),
+        pct(0.50),
+        pct(0.90),
+        radii[radii.len() - 1]
+    );
+    println!("  -> tight rings downtown, wide rings in sparse areas: no epsilon to tune.");
+
+    // A few concrete placements.
+    println!("\nsample placements:");
+    for pair in out.pairs.iter().take(5) {
+        println!(
+            "  station at {} — equidistant ({:.1}) from restaurant #{} and residence #{}",
+            pair.center(),
+            pair.radius(),
+            pair.p.id,
+            pair.q.id
+        );
+    }
+
+    // Cost under the paper's model.
+    let io = pager.borrow().stats();
+    println!(
+        "\ncost: {} node accesses, {} faults -> {:.1} s simulated I/O (10 ms/fault)",
+        io.logical_reads,
+        io.read_faults,
+        CostModel::default().io_seconds(&io)
+    );
+}

@@ -1,0 +1,58 @@
+//! # ringjoin — the Ring-Constrained Join
+//!
+//! A complete, from-scratch reproduction of **Yiu, Karras, Mamoulis:
+//! "Ring-constrained Join: Deriving Fair Middleman Locations from
+//! Pointsets via a Geometric Constraint" (EDBT 2008)** — the spatial join
+//! whose result pairs `⟨p, q⟩` are exactly those whose smallest enclosing
+//! circle contains no other data point. The circle centers are *fair
+//! middleman locations*: recycling stations between restaurants and
+//! residences, taxi stands between cinemas and restaurants, postboxes
+//! between buildings.
+//!
+//! This crate is a facade re-exporting the workspace's layers:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `ringjoin-geom` | points, MBRs, circles, the Ψ⁻ pruning half-planes, metrics |
+//! | [`storage`] | `ringjoin-storage` | 1 KB pages, LRU buffer manager, the 10 ms/fault cost model |
+//! | [`rtree`] | `ringjoin-rtree` | disk-based R*-tree with incremental NN search |
+//! | [`core`] | `ringjoin-core` | the RCJ: INJ / BIJ / OBJ, self-join, brute oracle, metric variants |
+//! | [`spatialjoin`] | `ringjoin-spatialjoin` | ε-join, k-closest-pairs, kNN join, precision/recall |
+//! | [`datagen`] | `ringjoin-datagen` | UI / Gaussian / GNIS-like workload generators |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ```
+//! use ringjoin::{bulk_load, rcj_join, uniform, MemDisk, Pager, RcjOptions};
+//!
+//! let pager = Pager::new(MemDisk::new(1024), 64).into_shared();
+//! let tp = bulk_load(pager.clone(), uniform(500, 1));
+//! let tq = bulk_load(pager.clone(), uniform(500, 2));
+//! let out = rcj_join(&tq, &tp, &RcjOptions::default());
+//! println!("{} fair middleman locations", out.pairs.len());
+//! # assert!(out.pairs.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod topk;
+
+pub use ringjoin_core as core;
+pub use topk::{rcj_by_diameter, RcjByDiameter};
+pub use ringjoin_datagen as datagen;
+pub use ringjoin_geom as geom;
+pub use ringjoin_quadtree as quadtree;
+pub use ringjoin_rtree as rtree;
+pub use ringjoin_spatialjoin as spatialjoin;
+pub use ringjoin_storage as storage;
+
+pub use ringjoin_core::{
+    pair_keys, rcj_brute, rcj_brute_self, rcj_join, rcj_self_join, sort_by_diameter,
+    OuterOrder, RcjAlgorithm, RcjOptions, RcjOutput, RcjPair, RcjStats,
+};
+pub use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset};
+pub use ringjoin_geom::{pt, Circle, HalfPlane, Metric, Point, Rect};
+pub use ringjoin_rtree::{bulk_load, bulk_load_with, Item, RTree, RTreeConfig};
+pub use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
+pub use ringjoin_storage::{CostModel, FileDisk, IoStats, MemDisk, Pager, SharedPager};

@@ -1,0 +1,173 @@
+//! Edge-case integration tests: degenerate geometry, pathological
+//! inputs, and ablation claims that deserve assertions rather than just
+//! bench numbers.
+
+use ringjoin::{
+    bulk_load, pair_keys, pt, rcj_brute_self, rcj_join, rcj_self_join, uniform, Item, MemDisk,
+    OuterOrder, Pager, RcjOptions,
+};
+
+#[test]
+fn colocated_self_join_is_complete_within_the_group() {
+    // Five buildings at one location plus two elsewhere: every pair of
+    // co-located buildings has a radius-zero circle nothing can invade,
+    // so all C(5,2) = 10 pairs qualify (strict-interior semantics).
+    let mut items: Vec<Item> = (0..5).map(|i| Item::new(i, pt(100.0, 100.0))).collect();
+    items.push(Item::new(10, pt(500.0, 500.0)));
+    items.push(Item::new(11, pt(900.0, 100.0)));
+
+    let expect = pair_keys(&rcj_brute_self(&items));
+    let tree = bulk_load(Pager::new(MemDisk::new(1024), 16).into_shared(), items);
+    let out = rcj_self_join(&tree, &RcjOptions::default());
+    assert_eq!(pair_keys(&out.pairs), expect);
+    let colocated = out
+        .pairs
+        .iter()
+        .filter(|p| p.p.id < 5 && p.q.id < 5)
+        .count();
+    assert_eq!(colocated, 10);
+}
+
+#[test]
+fn collinear_points_chain() {
+    // Points on a line: only consecutive ones pair (any skipped point is
+    // strictly inside the longer circle).
+    let ps: Vec<Item> = (0..10)
+        .map(|i| Item::new(i, pt(i as f64 * 10.0, 0.0)))
+        .collect();
+    let qs: Vec<Item> = (0..10)
+        .map(|i| Item::new(i, pt(i as f64 * 10.0 + 5.0, 0.0)))
+        .collect();
+    let pager = Pager::new(MemDisk::new(1024), 32).into_shared();
+    let tp = bulk_load(pager.clone(), ps.clone());
+    let tq = bulk_load(pager.clone(), qs.clone());
+    let out = rcj_join(&tq, &tp, &RcjOptions::default());
+    // Each q at x = 10i + 5 pairs exactly with p_i (left neighbour at
+    // distance 5) and p_{i+1} (right neighbour at distance 5).
+    let keys = pair_keys(&out.pairs);
+    for (i, q) in qs.iter().enumerate() {
+        assert!(keys.contains(&(i as u64, q.id)), "left neighbour of q{i}");
+        if i + 1 < ps.len() {
+            assert!(keys.contains(&((i + 1) as u64, q.id)), "right neighbour of q{i}");
+        }
+    }
+    assert_eq!(keys.len(), 2 * 10 - 1); // q9 has no right neighbour
+}
+
+#[test]
+fn identical_datasets_bichromatic_join() {
+    // P == Q coordinate-wise (distinct id spaces): every point is
+    // "mirrored" at distance zero, and those zero-radius circles are
+    // unbeatable -> the identity pairing is always in the result.
+    let items = uniform(300, 5);
+    let pager = Pager::new(MemDisk::new(1024), 64).into_shared();
+    let tp = bulk_load(pager.clone(), items.clone());
+    let tq = bulk_load(pager.clone(), items.clone());
+    let out = rcj_join(&tq, &tp, &RcjOptions::default());
+    let keys: std::collections::HashSet<_> = pair_keys(&out.pairs).into_iter().collect();
+    for it in &items {
+        assert!(keys.contains(&(it.id, it.id)), "identity pair for {}", it.id);
+    }
+}
+
+#[test]
+fn shuffled_order_costs_more_io_than_depth_first() {
+    // Section 3.4's claim as an assertion: destroying leaf-order
+    // locality increases page faults (with the paper's 1% buffer).
+    let p_items = uniform(20_000, 71);
+    let q_items = uniform(20_000, 72);
+    let pager = Pager::new(MemDisk::new(1024), usize::MAX / 2).into_shared();
+    let tp = bulk_load(pager.clone(), p_items);
+    let tq = bulk_load(pager.clone(), q_items);
+    let buffer = (((tp.node_pages() + tq.node_pages()) as f64 * 0.01).ceil() as usize).max(1);
+
+    let mut faults = Vec::new();
+    for order in [OuterOrder::DepthFirst, OuterOrder::Shuffled(1234)] {
+        {
+            let mut pg = pager.borrow_mut();
+            pg.set_buffer_capacity(buffer);
+            pg.clear_buffer();
+            pg.reset_stats();
+        }
+        let out = rcj_join(
+            &tq,
+            &tp,
+            &RcjOptions {
+                outer_order: order,
+                ..Default::default()
+            },
+        );
+        assert!(!out.pairs.is_empty());
+        faults.push(pager.borrow().stats().read_faults);
+    }
+    // The margin is modest at this scale (most I/O is filter probes into
+    // T_P, which are query-local regardless of outer order), but the
+    // direction must hold.
+    assert!(
+        faults[1] as f64 > faults[0] as f64 * 1.05,
+        "shuffled order should fault measurably more: DF {} vs shuffled {}",
+        faults[0],
+        faults[1]
+    );
+}
+
+#[test]
+fn extreme_coordinates_do_not_break_predicates() {
+    // Very large but finite coordinates.
+    let ps = vec![
+        Item::new(0, pt(1e12, 1e12)),
+        Item::new(1, pt(-1e12, 1e12)),
+    ];
+    let qs = vec![
+        Item::new(0, pt(0.0, -1e12)),
+        Item::new(1, pt(1e12 + 1.0, 1e12)),
+    ];
+    let pager = Pager::new(MemDisk::new(1024), 16).into_shared();
+    let tp = bulk_load(pager.clone(), ps.clone());
+    let tq = bulk_load(pager.clone(), qs.clone());
+    let out = rcj_join(&tq, &tp, &RcjOptions::default());
+    let expect = pair_keys(&ringjoin::rcj_brute(&ps, &qs));
+    assert_eq!(pair_keys(&out.pairs), expect);
+}
+
+#[test]
+fn one_sided_giant_input() {
+    // 1 point vs 5000: the single p pairs with the q's on "its side" of
+    // the cloud — exactness against brute force either way around.
+    let ps = vec![Item::new(0, pt(5_000.0, 5_000.0))];
+    let qs = uniform(5_000, 91);
+    let pager = Pager::new(MemDisk::new(1024), 128).into_shared();
+    let tp = bulk_load(pager.clone(), ps.clone());
+    let tq = bulk_load(pager.clone(), qs.clone());
+    let out = rcj_join(&tq, &tp, &RcjOptions::default());
+    let expect = pair_keys(&ringjoin::rcj_brute(&ps, &qs));
+    assert_eq!(pair_keys(&out.pairs), expect);
+    assert!(!out.pairs.is_empty());
+    // And flipped.
+    let out2 = rcj_join(&tp, &tq, &RcjOptions::default());
+    assert_eq!(out2.pairs.len(), out.pairs.len());
+}
+
+#[test]
+fn grid_data_with_massive_cocircularity() {
+    // Integer grids put four points on many circles — the strict
+    // interior semantics must keep all algorithms in agreement.
+    let ps: Vec<Item> = (0..100)
+        .map(|i| Item::new(i, pt((i % 10) as f64, (i / 10) as f64)))
+        .collect();
+    let qs: Vec<Item> = (0..100)
+        .map(|i| Item::new(i, pt((i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5)))
+        .collect();
+    let expect = pair_keys(&ringjoin::rcj_brute(&ps, &qs));
+    let pager = Pager::new(MemDisk::new(1024), 64).into_shared();
+    let tp = bulk_load(pager.clone(), ps);
+    let tq = bulk_load(pager.clone(), qs);
+    for algo in [
+        ringjoin::RcjAlgorithm::Inj,
+        ringjoin::RcjAlgorithm::Bij,
+        ringjoin::RcjAlgorithm::Obj,
+    ] {
+        let out = rcj_join(&tq, &tp, &RcjOptions::algorithm(algo));
+        assert_eq!(pair_keys(&out.pairs), expect, "{}", algo.name());
+    }
+}

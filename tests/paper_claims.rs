@@ -1,0 +1,187 @@
+//! The paper's qualitative claims, encoded as assertions at test scale.
+//! These are the "shape" checks of the reproduction: who wins, what
+//! grows, what trades off — independent of absolute timings.
+
+use ringjoin::{
+    bulk_load, epsilon_join, gaussian_clusters, gnis_like, pair_keys, rcj_join, uniform,
+    GnisDataset, Item, MemDisk, Pager, RcjAlgorithm, RcjOptions,
+};
+use std::collections::HashSet;
+
+struct Run {
+    candidates: u64,
+    results: u64,
+    node_accesses: u64,
+    faults: u64,
+}
+
+fn run(
+    p_items: Vec<Item>,
+    q_items: Vec<Item>,
+    algo: RcjAlgorithm,
+    buffer_frac: f64,
+) -> Run {
+    let pager = Pager::new(MemDisk::new(1024), usize::MAX / 2).into_shared();
+    let tp = bulk_load(pager.clone(), p_items);
+    let tq = bulk_load(pager.clone(), q_items);
+    let buffer =
+        (((tp.node_pages() + tq.node_pages()) as f64 * buffer_frac).ceil() as usize).max(1);
+    {
+        let mut pg = pager.borrow_mut();
+        pg.set_buffer_capacity(buffer);
+        pg.clear_buffer();
+        pg.reset_stats();
+    }
+    let out = rcj_join(&tq, &tp, &RcjOptions::algorithm(algo));
+    let io = pager.borrow().stats();
+    Run {
+        candidates: out.stats.candidate_pairs,
+        results: out.stats.result_pairs,
+        node_accesses: io.logical_reads,
+        faults: io.read_faults,
+    }
+}
+
+/// Table 4: OBJ produces the fewest candidates, BIJ the most; all are
+/// orders of magnitude below the Cartesian product.
+#[test]
+fn table4_candidate_ordering() {
+    let n = 6_000;
+    let p = gnis_like(GnisDataset::PopulatedPlaces, n);
+    let q = gnis_like(GnisDataset::Schools, n);
+    let inj = run(p.clone(), q.clone(), RcjAlgorithm::Inj, 0.01);
+    let bij = run(p.clone(), q.clone(), RcjAlgorithm::Bij, 0.01);
+    let obj = run(p, q, RcjAlgorithm::Obj, 0.01);
+    assert!(obj.candidates < inj.candidates, "OBJ must filter hardest");
+    assert!(inj.candidates < bij.candidates, "BIJ trades candidates for traversals");
+    assert_eq!(inj.results, obj.results);
+    // Four orders of magnitude below BRUTE, as the paper highlights.
+    let brute = (n as u64) * (n as u64);
+    assert!(inj.candidates * 100 < brute);
+}
+
+/// Figures 13/16: the bulk algorithms do far fewer node accesses than
+/// INJ, and OBJ at most as many as BIJ.
+#[test]
+fn bulk_algorithms_cut_node_accesses() {
+    let p = uniform(8_000, 1);
+    let q = uniform(8_000, 2);
+    let inj = run(p.clone(), q.clone(), RcjAlgorithm::Inj, 0.01);
+    let bij = run(p.clone(), q.clone(), RcjAlgorithm::Bij, 0.01);
+    let obj = run(p, q, RcjAlgorithm::Obj, 0.01);
+    assert!(
+        bij.node_accesses * 2 < inj.node_accesses,
+        "bulk computation must slash traversals: BIJ {} vs INJ {}",
+        bij.node_accesses,
+        inj.node_accesses
+    );
+    assert!(obj.node_accesses <= bij.node_accesses * 11 / 10);
+}
+
+/// Figure 16b: the RCJ result cardinality grows linearly with n.
+#[test]
+fn result_cardinality_linear_in_n() {
+    let r1 = run(uniform(2_000, 3), uniform(2_000, 4), RcjAlgorithm::Obj, 0.05).results;
+    let r2 = run(uniform(4_000, 3), uniform(4_000, 4), RcjAlgorithm::Obj, 0.05).results;
+    let r4 = run(uniform(8_000, 3), uniform(8_000, 4), RcjAlgorithm::Obj, 0.05).results;
+    let g21 = r2 as f64 / r1 as f64;
+    let g42 = r4 as f64 / r2 as f64;
+    for g in [g21, g42] {
+        assert!(
+            (1.6..=2.4).contains(&g),
+            "doubling n should roughly double |RCJ|: growth {g}"
+        );
+    }
+}
+
+/// Figure 17b: the result size is maximised at the 1:1 cardinality
+/// ratio.
+#[test]
+fn result_size_peaks_at_balanced_ratio() {
+    let total = 8_000;
+    let sizes = [(total / 5, 4 * total / 5), (total / 2, total / 2), (4 * total / 5, total / 5)];
+    let results: Vec<u64> = sizes
+        .iter()
+        .map(|&(np, nq)| {
+            run(uniform(np, 7), uniform(nq, 8), RcjAlgorithm::Obj, 0.05).results
+        })
+        .collect();
+    assert!(results[1] > results[0], "1:1 beats 1:4: {results:?}");
+    assert!(results[1] > results[2], "1:1 beats 4:1: {results:?}");
+}
+
+/// Figure 15: a larger buffer never increases fault counts (same access
+/// string, LRU inclusion property).
+#[test]
+fn faults_fall_with_buffer_size() {
+    let p = uniform(6_000, 9);
+    let q = uniform(6_000, 10);
+    let mut last = u64::MAX;
+    for frac in [0.002, 0.01, 0.05] {
+        let r = run(p.clone(), q.clone(), RcjAlgorithm::Obj, frac);
+        assert!(
+            r.faults <= last,
+            "faults must not grow with buffer size: {} then {}",
+            last,
+            r.faults
+        );
+        last = r.faults;
+    }
+}
+
+/// Section 5.1 / Figure 10: no ε simultaneously achieves high precision
+/// and high recall against the RCJ result.
+#[test]
+fn epsilon_join_cannot_imitate_rcj() {
+    let p_items = gnis_like(GnisDataset::PopulatedPlaces, 4_000);
+    let q_items = gnis_like(GnisDataset::Schools, 4_000);
+    let pager = Pager::new(MemDisk::new(1024), 4096).into_shared();
+    let tp = bulk_load(pager.clone(), p_items);
+    let tq = bulk_load(pager.clone(), q_items);
+    let rcj: HashSet<(u64, u64)> =
+        pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
+            .into_iter()
+            .collect();
+    for eps in [5.0, 15.0, 40.0, 100.0, 250.0, 600.0] {
+        let keys: Vec<(u64, u64)> = epsilon_join(&tp, &tq, eps)
+            .into_iter()
+            .map(|(a, b)| (a.id, b.id))
+            .collect();
+        let q = ringjoin::precision_recall(&keys, &rcj);
+        assert!(
+            q.precision.min(q.recall) < 75.0,
+            "eps={eps} imitated RCJ too well: precision {} recall {}",
+            q.precision,
+            q.recall
+        );
+    }
+}
+
+/// Robustness across distributions (Figure 18): all algorithms agree on
+/// heavily skewed Gaussian data, and the result stays linear-ish in n.
+#[test]
+fn skewed_data_agreement() {
+    for w in [2usize, 10] {
+        let p = gaussian_clusters(3_000, w, 1_000.0, 61);
+        let q = gaussian_clusters(3_000, w, 1_000.0, 62);
+        let pager = Pager::new(MemDisk::new(1024), 1024).into_shared();
+        let tp = bulk_load(pager.clone(), p);
+        let tq = bulk_load(pager.clone(), q);
+        let keys: Vec<_> = [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj]
+            .iter()
+            .map(|&a| pair_keys(&rcj_join(&tq, &tp, &RcjOptions::algorithm(a)).pairs))
+            .collect();
+        assert_eq!(keys[0], keys[1], "w={w}");
+        assert_eq!(keys[0], keys[2], "w={w}");
+        assert!(!keys[0].is_empty());
+    }
+}
+
+/// The introduction's observation: RCJ result size is comparable to the
+/// input size (planar-graph bound), never overwhelming the user.
+#[test]
+fn result_size_comparable_to_input() {
+    let r = run(uniform(5_000, 13), uniform(5_000, 14), RcjAlgorithm::Obj, 0.05);
+    assert!(r.results as usize <= 3 * (5_000 + 5_000));
+    assert!(r.results as usize >= 5_000 / 2, "result should not be trivial");
+}
