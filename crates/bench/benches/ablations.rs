@@ -19,7 +19,10 @@ fn bench_symmetric_pruning(c: &mut Criterion) {
     let w = workload();
     let mut g = c.benchmark_group("ablation_symmetric_pruning");
     g.sample_size(10);
-    for (name, algo) in [("bij_plain", RcjAlgorithm::Bij), ("obj_symmetric", RcjAlgorithm::Obj)] {
+    for (name, algo) in [
+        ("bij_plain", RcjAlgorithm::Bij),
+        ("obj_symmetric", RcjAlgorithm::Obj),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 w.reset();

@@ -23,14 +23,26 @@ fn bench_filter(c: &mut Criterion) {
         let leaf = uniform(30, 77);
         b.iter(|| {
             let mut stats = RcjStats::default();
-            black_box(bulk_filter(&w.tp, black_box(&leaf), false, false, &mut stats))
+            black_box(bulk_filter(
+                &w.tp,
+                black_box(&leaf),
+                false,
+                false,
+                &mut stats,
+            ))
         })
     });
     g.bench_function("bulk_leaf_of_30_symmetric", |b| {
         let leaf = uniform(30, 77);
         b.iter(|| {
             let mut stats = RcjStats::default();
-            black_box(bulk_filter(&w.tp, black_box(&leaf), true, false, &mut stats))
+            black_box(bulk_filter(
+                &w.tp,
+                black_box(&leaf),
+                true,
+                false,
+                &mut stats,
+            ))
         })
     });
     g.finish();

@@ -54,6 +54,9 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: experiments <all|{}> [--scale F] [--full]", ALL.join("|"));
+    eprintln!(
+        "usage: experiments <all|{}> [--scale F] [--full]",
+        ALL.join("|")
+    );
     std::process::exit(2);
 }

@@ -8,9 +8,7 @@
 //! with `1/sqrt(n)`.
 
 use crate::harness::{run_phase, run_rcj, secs, Measured, Table, Workload, DEFAULT_BUFFER_FRAC};
-use ringjoin_core::{
-    brute_candidates, pair_keys, rcj_join, RcjAlgorithm, RcjOptions,
-};
+use ringjoin_core::{brute_candidates, pair_keys, rcj_join, RcjAlgorithm, RcjOptions};
 use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset, PAPER_SIGMA};
 use ringjoin_rtree::Item;
 use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
@@ -116,7 +114,10 @@ pub fn table4(cfg: &ExpConfig) -> String {
         col.push(result.to_string());
         columns.push(col);
     }
-    for (i, name) in ["BRUTE", "INJ", "BIJ", "OBJ", "RCJ Results"].iter().enumerate() {
+    for (i, name) in ["BRUTE", "INJ", "BIJ", "OBJ", "RCJ Results"]
+        .iter()
+        .enumerate()
+    {
         t.row(vec![
             name.to_string(),
             columns[0][i].clone(),
@@ -155,7 +156,11 @@ pub fn fig10(cfg: &ExpConfig) -> String {
                 format!("{:.1}", qy.recall),
             ]);
         }
-        let _ = writeln!(out, "-- combination {name} (|RCJ| = {}) --", reference.len());
+        let _ = writeln!(
+            out,
+            "-- combination {name} (|RCJ| = {}) --",
+            reference.len()
+        );
         out.push_str(&t.render());
     }
     out
@@ -185,7 +190,11 @@ pub fn fig11(cfg: &ExpConfig) -> String {
                 format!("{:.1}", qy.recall),
             ]);
         }
-        let _ = writeln!(out, "-- combination {name} (|RCJ| = {}) --", reference.len());
+        let _ = writeln!(
+            out,
+            "-- combination {name} (|RCJ| = {}) --",
+            reference.len()
+        );
         out.push_str(&t.render());
     }
     out
@@ -212,7 +221,11 @@ pub fn fig12(cfg: &ExpConfig) -> String {
                 format!("{:.1}", qy.recall),
             ]);
         }
-        let _ = writeln!(out, "-- combination {name} (|RCJ| = {}) --", reference.len());
+        let _ = writeln!(
+            out,
+            "-- combination {name} (|RCJ| = {}) --",
+            reference.len()
+        );
         out.push_str(&t.render());
     }
     out
@@ -247,9 +260,8 @@ pub fn fig13(cfg: &ExpConfig) -> String {
 /// Figure 14: the cost of the verification step (UI data, |P|=|Q|=200K).
 pub fn fig14(cfg: &ExpConfig) -> String {
     let n = cfg.n(200_000);
-    let mut out = format!(
-        "== Figure 14: cost with vs without verification, |P|=|Q|={n}, UI data ==\n"
-    );
+    let mut out =
+        format!("== Figure 14: cost with vs without verification, |P|=|Q|={n}, UI data ==\n");
     let w = Workload::build(uniform(n, 101), uniform(n, 202), DEFAULT_BUFFER_FRAC);
     let mut header = vec!["algo", "verification"];
     header.extend(COST_HEADER);
@@ -277,9 +289,7 @@ pub fn fig14(cfg: &ExpConfig) -> String {
 /// Figure 15: the effect of the buffer size (UI data).
 pub fn fig15(cfg: &ExpConfig) -> String {
     let n = cfg.n(200_000);
-    let mut out = format!(
-        "== Figure 15: the effect of buffer size, |P|=|Q|={n}, UI data ==\n"
-    );
+    let mut out = format!("== Figure 15: the effect of buffer size, |P|=|Q|={n}, UI data ==\n");
     let mut w = Workload::build(uniform(n, 101), uniform(n, 202), DEFAULT_BUFFER_FRAC);
     let mut header = vec!["buffer(%)", "algo"];
     header.extend(COST_HEADER);
@@ -325,9 +335,8 @@ pub fn fig16(cfg: &ExpConfig) -> String {
 /// Figure 17: the effect of the cardinality ratio |P| : |Q|.
 pub fn fig17(cfg: &ExpConfig) -> String {
     let total = cfg.n(400_000);
-    let mut out = format!(
-        "== Figure 17: the effect of cardinality ratio, |P|+|Q|={total}, UI data ==\n"
-    );
+    let mut out =
+        format!("== Figure 17: the effect of cardinality ratio, |P|+|Q|={total}, UI data ==\n");
     let mut header = vec!["|P|:|Q|", "algo"];
     header.extend(COST_HEADER);
     header.push("results");
@@ -357,9 +366,8 @@ pub fn fig17(cfg: &ExpConfig) -> String {
 /// Figure 18: the effect of the number of clusters w (Gaussian data).
 pub fn fig18(cfg: &ExpConfig) -> String {
     let n = cfg.n(200_000);
-    let mut out = format!(
-        "== Figure 18: the effect of cluster count w, |P|=|Q|={n}, Gaussian data ==\n"
-    );
+    let mut out =
+        format!("== Figure 18: the effect of cluster count w, |P|=|Q|={n}, Gaussian data ==\n");
     let mut header = vec!["w", "algo"];
     header.extend(COST_HEADER);
     header.push("results");
@@ -425,15 +433,13 @@ pub fn baselines(cfg: &ExpConfig) -> String {
 /// errors validate it.
 pub fn ext_costmodel(cfg: &ExpConfig) -> String {
     let n0 = cfg.n(100_000);
-    let mut out = format!(
-        "== Extension: analytical cost model (calibrated at n={n0}, UI data) ==\n"
-    );
+    let mut out =
+        format!("== Extension: analytical cost model (calibrated at n={n0}, UI data) ==\n");
     let calibrate = |n: usize| -> (Workload, Vec<(RcjAlgorithm, u64, u64)>) {
         let w = Workload::build(uniform(n, 7), uniform(n, 8), DEFAULT_BUFFER_FRAC);
-        let leaves_q = w
-            .tq
-            .node_pages()
-            .min(w.tq.len() / w.tq.codec().leaf_capacity as u64 + 1);
+        let leaves_q =
+            w.tq.node_pages()
+                .min(w.tq.len() / w.tq.codec().leaf_capacity as u64 + 1);
         let mut rows = Vec::new();
         for algo in ALGOS {
             let m = run_rcj(&w, &RcjOptions::algorithm(algo));
@@ -451,7 +457,15 @@ pub fn ext_costmodel(cfg: &ExpConfig) -> String {
         .iter()
         .map(|&(a, acc, unit)| (a, acc as f64 / unit as f64))
         .collect();
-    let mut t = Table::new(&["n", "algo", "unit", "model c", "predicted", "measured", "err(%)"]);
+    let mut t = Table::new(&[
+        "n",
+        "algo",
+        "unit",
+        "model c",
+        "predicted",
+        "measured",
+        "err(%)",
+    ]);
     for factor in [2usize, 4] {
         let n = n0 * factor;
         let (_w, rows) = calibrate(n);
@@ -470,16 +484,25 @@ pub fn ext_costmodel(cfg: &ExpConfig) -> String {
         }
     }
     out.push_str(&t.render());
-    out.push_str(
-        "model: accesses(INJ) = c_INJ * |Q|;  accesses(BIJ/OBJ) = c * leaves(T_Q)\n",
-    );
+    out.push_str("model: accesses(INJ) = c_INJ * |Q|;  accesses(BIJ/OBJ) = c * leaves(T_Q)\n");
     out
 }
 
 /// All experiment ids, in presentation order.
 pub const ALL: [&str; 13] = [
-    "table2", "table4", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-    "fig18", "baselines", "ext_costmodel",
+    "table2",
+    "table4",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "baselines",
+    "ext_costmodel",
 ];
 
 /// Runs one experiment by id.
@@ -522,7 +545,10 @@ mod tests {
     fn dispatch_table_is_complete() {
         let cfg = ExpConfig { scale: 0.004 };
         for id in ALL {
-            assert!(run(id, &cfg).is_some(), "experiment {id} missing from dispatch");
+            assert!(
+                run(id, &cfg).is_some(),
+                "experiment {id} missing from dispatch"
+            );
         }
         assert!(run("fig99", &cfg).is_none());
         assert!(run("", &cfg).is_none());

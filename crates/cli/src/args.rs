@@ -119,6 +119,49 @@ mod tests {
     }
 
     #[test]
+    fn flags_take_no_value() {
+        // `--stats` must not swallow the following token: `join --stats
+        // --p p.bin` parses `p` as an option, not as the value of stats.
+        let a = parse(&s(&["join", "--stats", "--p", "p.bin"])).unwrap();
+        assert_eq!(a.opt("stats"), Some(""));
+        assert_eq!(a.req("p").unwrap(), "p.bin");
+        // A non-flag option does consume the next token, even if it
+        // looks like an option itself.
+        let b = parse(&s(&["join", "--p", "--stats"])).unwrap();
+        assert_eq!(b.req("p").unwrap(), "--stats");
+        assert!(!b.flag("stats"));
+    }
+
+    #[test]
+    fn unknown_option_without_value_is_rejected() {
+        // Unknown keys are fine when they carry a value (the subcommand
+        // validates them later)...
+        let ok = parse(&s(&["join", "--bogus", "1"])).unwrap();
+        assert_eq!(ok.opt("bogus"), Some("1"));
+        // ...but an unknown key with no value is a parse error, and the
+        // message names the offending option.
+        let err = parse(&s(&["join", "--bogus"])).unwrap_err();
+        assert!(err.0.contains("--bogus"), "unhelpful message: {}", err.0);
+        // `--` alone (empty option name) is rejected too.
+        assert!(parse(&s(&["join", "--", "x"])).is_err());
+    }
+
+    #[test]
+    fn missing_subcommand_is_a_clear_error() {
+        let err = parse(&[]).unwrap_err();
+        assert!(err.0.contains("subcommand"), "unhelpful message: {}", err.0);
+        // A flag cannot stand in for the subcommand.
+        let err = parse(&s(&["--stats"])).unwrap_err();
+        assert!(err.0.contains("--stats"), "unhelpful message: {}", err.0);
+    }
+
+    #[test]
+    fn repeated_options_last_one_wins() {
+        let a = parse(&s(&["join", "--algo", "inj", "--algo", "obj"])).unwrap();
+        assert_eq!(a.opt("algo"), Some("obj"));
+    }
+
+    #[test]
     fn parses_numbers_with_defaults() {
         let a = parse(&s(&["generate", "--n", "1000"])).unwrap();
         assert_eq!(a.req_parse::<usize>("n").unwrap(), 1000);

@@ -151,8 +151,7 @@ pub fn run(args: &Args) -> Result<Option<String>, ArgError> {
             let opts = RcjOptions::algorithm(algo);
             let (pager, out) = if self_join {
                 let items = load_items(args.req("input")?)?;
-                let (pager, tree, _empty) =
-                    build_trees(items, Vec::new(), page_size, buffer_frac);
+                let (pager, tree, _empty) = build_trees(items, Vec::new(), page_size, buffer_frac);
                 let out = rcj_self_join(&tree, &opts);
                 (pager, out)
             } else {
@@ -269,12 +268,29 @@ mod tests {
         let p = tmp("p.bin");
         let q = tmp("q.csv");
         let out = tmp("pairs.csv");
-        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "400", "--seed", "1", "--out", &p])).unwrap())
-            .unwrap();
-        run(&parse(&s(&["generate", "--kind", "gaussian", "--n", "400", "--clusters", "4", "--out", &q])).unwrap())
-            .unwrap();
-        run(&parse(&s(&["join", "--p", &p, "--q", &q, "--algo", "obj", "--out", &out])).unwrap())
-            .unwrap();
+        run(&parse(&s(&[
+            "generate", "--kind", "uniform", "--n", "400", "--seed", "1", "--out", &p,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&s(&[
+            "generate",
+            "--kind",
+            "gaussian",
+            "--n",
+            "400",
+            "--clusters",
+            "4",
+            "--out",
+            &q,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&s(&[
+            "join", "--p", &p, "--q", &q, "--algo", "obj", "--out", &out,
+        ]))
+        .unwrap())
+        .unwrap();
         let csv = std::fs::read_to_string(&out).unwrap();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "p_id,q_id,center_x,center_y,radius");
@@ -291,8 +307,11 @@ mod tests {
     #[test]
     fn self_join_and_topk() {
         let input = tmp("buildings.bin");
-        run(&parse(&s(&["generate", "--kind", "pp", "--n", "300", "--out", &input])).unwrap())
-            .unwrap();
+        run(&parse(&s(&[
+            "generate", "--kind", "pp", "--n", "300", "--out", &input,
+        ]))
+        .unwrap())
+        .unwrap();
         let out = tmp("self.csv");
         run(&parse(&s(&["self-join", "--input", &input, "--out", &out])).unwrap()).unwrap();
         let n_self = std::fs::read_to_string(&out).unwrap().lines().count() - 1;
@@ -300,16 +319,25 @@ mod tests {
 
         let p = tmp("tp.bin");
         let q = tmp("tq.bin");
-        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "200", "--seed", "2", "--out", &p])).unwrap())
-            .unwrap();
-        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "200", "--seed", "3", "--out", &q])).unwrap())
-            .unwrap();
+        run(&parse(&s(&[
+            "generate", "--kind", "uniform", "--n", "200", "--seed", "2", "--out", &p,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&s(&[
+            "generate", "--kind", "uniform", "--n", "200", "--seed", "3", "--out", &q,
+        ]))
+        .unwrap())
+        .unwrap();
         let out2 = tmp("topk.csv");
-        run(&parse(&s(&["top-k", "--p", &p, "--q", &q, "--k", "5", "--out", &out2])).unwrap())
-            .unwrap();
+        run(&parse(&s(&[
+            "top-k", "--p", &p, "--q", &q, "--k", "5", "--out", &out2,
+        ]))
+        .unwrap())
+        .unwrap();
         let csv = std::fs::read_to_string(&out2).unwrap();
         assert_eq!(csv.lines().count(), 6); // header + 5
-        // Radii ascending.
+                                            // Radii ascending.
         let radii: Vec<f64> = csv
             .lines()
             .skip(1)
@@ -324,10 +352,16 @@ mod tests {
     fn compare_and_bound() {
         let p = tmp("cp.bin");
         let q = tmp("cq.bin");
-        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "300", "--seed", "5", "--out", &p])).unwrap())
-            .unwrap();
-        run(&parse(&s(&["generate", "--kind", "uniform", "--n", "300", "--seed", "6", "--out", &q])).unwrap())
-            .unwrap();
+        run(&parse(&s(&[
+            "generate", "--kind", "uniform", "--n", "300", "--seed", "5", "--out", &p,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&s(&[
+            "generate", "--kind", "uniform", "--n", "300", "--seed", "6", "--out", &q,
+        ]))
+        .unwrap())
+        .unwrap();
         let msg = run(&parse(&s(&["compare", "--p", &p, "--q", &q, "--knn", "1"])).unwrap())
             .unwrap()
             .unwrap();
@@ -342,10 +376,15 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(run(&parse(&s(&["join", "--p", "/nonexistent.bin", "--q", "x.bin"])).unwrap())
-            .is_err());
+        assert!(
+            run(&parse(&s(&["join", "--p", "/nonexistent.bin", "--q", "x.bin"])).unwrap()).is_err()
+        );
         assert!(run(&parse(&s(&["frobnicate"])).unwrap()).is_err());
         assert!(run(&parse(&s(&["compare", "--p", "a", "--q", "b"])).unwrap()).is_err());
-        assert!(run(&parse(&s(&["generate", "--kind", "nope", "--n", "10", "--out", "/tmp/x"])).unwrap()).is_err());
+        assert!(run(&parse(&s(&[
+            "generate", "--kind", "nope", "--n", "10", "--out", "/tmp/x"
+        ]))
+        .unwrap())
+        .is_err());
     }
 }

@@ -96,7 +96,12 @@ mod tests {
     #[test]
     fn self_join_pairs_are_ordered_and_unique() {
         let items: Vec<Item> = (0..40)
-            .map(|i| Item::new(i, pt((i % 7) as f64 * 3.0, (i % 5) as f64 * 4.0 + i as f64 * 0.01)))
+            .map(|i| {
+                Item::new(
+                    i,
+                    pt((i % 7) as f64 * 3.0, (i % 5) as f64 * 4.0 + i as f64 * 0.01),
+                )
+            })
             .collect();
         let pairs = rcj_brute_self(&items);
         let mut keys: Vec<(u64, u64)> = pairs.iter().map(|p| p.key()).collect();

@@ -68,7 +68,12 @@ impl Ord for HeapElem {
 ///
 /// Returns the candidate set `S` in the order of discovery (ascending
 /// distance from `q`).
-pub fn filter(tree_p: &RTree, q: Point, exclude_id: Option<u64>, stats: &mut RcjStats) -> Vec<Item> {
+pub fn filter(
+    tree_p: &RTree,
+    q: Point,
+    exclude_id: Option<u64>,
+    stats: &mut RcjStats,
+) -> Vec<Item> {
     let mut s: Vec<Item> = Vec::new();
     let mut heap = BinaryHeap::new();
     let mut seq = 0u64;
@@ -169,9 +174,9 @@ pub fn bulk_filter(
 
     // The reference location: centroid of the leaf's points.
     let centroid = {
-        let (sx, sy) = leaf_points
-            .iter()
-            .fold((0.0f64, 0.0f64), |(sx, sy), it| (sx + it.point.x, sy + it.point.y));
+        let (sx, sy) = leaf_points.iter().fold((0.0f64, 0.0f64), |(sx, sy), it| {
+            (sx + it.point.x, sy + it.point.y)
+        });
         Point::new(sx / n as f64, sy / n as f64)
     };
 
@@ -294,7 +299,10 @@ mod tests {
         let mut s: Vec<usize> = Vec::new();
         for &(_, i) in &order {
             let x = pt(points[i].0, points[i].1);
-            if !s.iter().any(|&j| prunes(q, pt(points[j].0, points[j].1), x)) {
+            if !s
+                .iter()
+                .any(|&j| prunes(q, pt(points[j].0, points[j].1), x))
+            {
                 s.push(i);
             }
         }
@@ -346,13 +354,13 @@ mod tests {
         // e2 group: p4 survives (different direction), p5, p6 behind.
         // e3, e4 groups: far right, fully pruned.
         let points = [
-            (2.0, 5.0),   // 0 = p1
-            (3.2, 6.4),   // 1 = p2 (behind p1's line, same direction)
-            (3.4, 4.0),   // 2 = p3
-            (1.5, 0.5),   // 3 = p4 (south direction, inside p1's line x=2)
-            (3.6, 0.2),   // 4 = p5
-            (4.0, 1.4),   // 5 = p6
-            (9.0, 6.0),   // 6..: far east, pruned by p1
+            (2.0, 5.0), // 0 = p1
+            (3.2, 6.4), // 1 = p2 (behind p1's line, same direction)
+            (3.4, 4.0), // 2 = p3
+            (1.5, 0.5), // 3 = p4 (south direction, inside p1's line x=2)
+            (3.6, 0.2), // 4 = p5
+            (4.0, 1.4), // 5 = p6
+            (9.0, 6.0), // 6..: far east, pruned by p1
             (9.5, 5.5),
             (10.0, 4.0),
             (11.0, 6.5),
@@ -384,7 +392,12 @@ mod tests {
         // invariant testable here: every single-filter candidate appears
         // in the bulk set for the same q.
         let points: Vec<(f64, f64)> = (0..150)
-            .map(|i| (((i * 37) % 100) as f64 * 10.0, ((i * 61) % 100) as f64 * 10.0))
+            .map(|i| {
+                (
+                    ((i * 37) % 100) as f64 * 10.0,
+                    ((i * 61) % 100) as f64 * 10.0,
+                )
+            })
             .collect();
         let tree = tree_of(&points);
         let leaf: Vec<Item> = [(120.0, 340.0), (180.0, 410.0), (90.0, 400.0)]

@@ -158,8 +158,7 @@ fn process_leaf(
                 let exclude = self_join.then_some(q.id);
                 let cands = filter(tp, q.point, exclude, &mut out.stats);
                 out.stats.candidate_pairs += cands.len() as u64;
-                let pairs: Vec<RcjPair> =
-                    cands.into_iter().map(|p| RcjPair::new(p, q)).collect();
+                let pairs: Vec<RcjPair> = cands.into_iter().map(|p| RcjPair::new(p, q)).collect();
                 finish(tq, tp, pairs, self_join, opts, out);
             }
         }
@@ -342,7 +341,10 @@ mod tests {
         assert!(rk.len() >= vk.len());
         let raw_set: std::collections::HashSet<_> = rk.into_iter().collect();
         for k in vk {
-            assert!(raw_set.contains(&k), "verified pair {k:?} missing from candidates");
+            assert!(
+                raw_set.contains(&k),
+                "verified pair {k:?} missing from candidates"
+            );
         }
     }
 

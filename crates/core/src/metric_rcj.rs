@@ -188,10 +188,7 @@ fn metric_filter(
                     .iter()
                     .any(|cand| metric.strictly_inside_midball(cand.point, q, it.point));
                 if !pruned {
-                    mirrors.push(Point::new(
-                        2.0 * it.point.x - q.x,
-                        2.0 * it.point.y - q.y,
-                    ));
+                    mirrors.push(Point::new(2.0 * it.point.x - q.x, 2.0 * it.point.y - q.y));
                     s.push(it);
                 }
             }
@@ -364,7 +361,11 @@ mod tests {
                 let blocked =
                     |x: &Item| Metric::L1.strictly_inside_midball(x.point, p.point, q.point);
                 if !items.iter().any(blocked) {
-                    let (lo, hi) = if p.id < q.id { (p.id, q.id) } else { (q.id, p.id) };
+                    let (lo, hi) = if p.id < q.id {
+                        (p.id, q.id)
+                    } else {
+                        (q.id, p.id)
+                    };
                     expect.push((lo, hi));
                 }
             }

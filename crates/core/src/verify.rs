@@ -73,7 +73,15 @@ pub fn verify(
     // Sweep order: ascending left edge. Sub-lists built in this order
     // stay sorted, so the prefix property holds throughout the recursion.
     idxs.sort_by(|&a, &b| cands[a].bbox.min.x.total_cmp(&cands[b].bbox.min.x));
-    verify_node(tree, tree.root_page(), &idxs, &cands, alive, face_rule, stats);
+    verify_node(
+        tree,
+        tree.root_page(),
+        &idxs,
+        &cands,
+        alive,
+        face_rule,
+        stats,
+    );
 }
 
 /// Number of candidates in the sorted prefix whose bounding box starts

@@ -347,6 +347,9 @@ mod tests {
         let s = cells(&small);
         let l = cells(&large);
         let covered = s.iter().filter(|c| l.contains(c)).count() as f64 / s.len() as f64;
-        assert!(covered > 0.95, "small sample strays from the geography: {covered}");
+        assert!(
+            covered > 0.95,
+            "small sample strays from the geography: {covered}"
+        );
     }
 }

@@ -144,8 +144,8 @@ mod tests {
         let p = pt(2.0, 1.0);
         let psi = HalfPlane::pruning_region(q, p);
         let cases = [
-            Rect::new(pt(3.0, 2.0), pt(5.0, 4.0)),   // fully beyond
-            Rect::new(pt(1.0, 1.0), pt(5.0, 4.0)),   // straddles the line
+            Rect::new(pt(3.0, 2.0), pt(5.0, 4.0)),    // fully beyond
+            Rect::new(pt(1.0, 1.0), pt(5.0, 4.0)),    // straddles the line
             Rect::new(pt(-3.0, -3.0), pt(-1.0, 0.0)), // fully on q's side
         ];
         for r in cases {

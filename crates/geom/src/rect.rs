@@ -341,10 +341,7 @@ mod tests {
         // d = (1, 0): minimised at x = 0 -> value -1.
         assert_eq!(a.min_linear(origin, crate::Vec2 { x: 1.0, y: 0.0 }), -1.0);
         // d = (-1, -1): minimised at (2, 3) -> -(2-1) - (3-1) = -3.
-        assert_eq!(
-            a.min_linear(origin, crate::Vec2 { x: -1.0, y: -1.0 }),
-            -3.0
-        );
+        assert_eq!(a.min_linear(origin, crate::Vec2 { x: -1.0, y: -1.0 }), -3.0);
         // Brute-force check against all corners for a few directions.
         for d in [
             crate::Vec2 { x: 0.3, y: -0.7 },

@@ -57,7 +57,10 @@ impl QNode {
 /// Leaf bucket capacity for a page size.
 pub fn leaf_capacity(page_size: usize) -> usize {
     let cap = (page_size - HEADER - LEAF_EXTRA) / ITEM_SIZE;
-    assert!(cap >= 2, "page size {page_size} too small for a quadtree bucket");
+    assert!(
+        cap >= 2,
+        "page size {page_size} too small for a quadtree bucket"
+    );
     cap
 }
 

@@ -220,8 +220,8 @@ mod tests {
         let mut keys = Vec::new();
         for (i, &p) in ps.iter().enumerate() {
             for (j, &q) in qs.iter().enumerate() {
-                let blocked = ps.iter().any(|&x| inside(x, p, q))
-                    || qs.iter().any(|&x| inside(x, p, q));
+                let blocked =
+                    ps.iter().any(|&x| inside(x, p, q)) || qs.iter().any(|&x| inside(x, p, q));
                 if !blocked {
                     keys.push((i as u64, j as u64));
                 }

@@ -73,7 +73,9 @@ impl QuadTree {
     }
 
     fn write_node(&self, page: PageId, node: &QNode) {
-        self.pager.borrow_mut().write(page, |bytes| encode(node, bytes));
+        self.pager
+            .borrow_mut()
+            .write(page, |bytes| encode(node, bytes));
     }
 
     fn allocate(&mut self) -> PageId {
@@ -175,7 +177,11 @@ impl QuadTree {
         }
         match self.read_node(page) {
             QNode::Leaf { items, next } => {
-                out.extend(items.into_iter().filter(|it| window.contains_point(it.point)));
+                out.extend(
+                    items
+                        .into_iter()
+                        .filter(|it| window.contains_point(it.point)),
+                );
                 if !next.is_invalid() {
                     self.range_rec(next, region, window, out);
                 }

@@ -42,8 +42,8 @@
 #![warn(missing_docs)]
 
 mod bulk;
-mod node;
 mod nn;
+mod node;
 mod query;
 mod tree;
 

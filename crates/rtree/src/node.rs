@@ -298,8 +298,10 @@ mod tests {
     #[test]
     fn node_mbr_covers_entries() {
         let mut node = Node::empty(0);
-        node.entries.push(NodeEntry::Item(Item::new(1, pt(1.0, 5.0))));
-        node.entries.push(NodeEntry::Item(Item::new(2, pt(-2.0, 3.0))));
+        node.entries
+            .push(NodeEntry::Item(Item::new(1, pt(1.0, 5.0))));
+        node.entries
+            .push(NodeEntry::Item(Item::new(2, pt(-2.0, 3.0))));
         let mbr = node.mbr();
         assert_eq!(mbr, Rect::new(pt(-2.0, 3.0), pt(1.0, 5.0)));
     }

@@ -171,7 +171,14 @@ impl RTree {
     ) {
         let root = self.root;
         let root_level = self.root_level();
-        match self.insert_rec(root, root_level, entry, target_level, reinsert_done, pending) {
+        match self.insert_rec(
+            root,
+            root_level,
+            entry,
+            target_level,
+            reinsert_done,
+            pending,
+        ) {
             InsertResult::Fit(_) => {}
             InsertResult::Split(r1, r2, sibling) => {
                 // Grow the tree: a new root referencing the two halves.
@@ -303,14 +310,12 @@ impl RTree {
         let is_root = page == self.root;
         let may_reinsert = self.config.forced_reinsert
             && !is_root
-            && !reinsert_done
-                .get(level as usize)
-                .copied()
-                .unwrap_or(true);
+            && !reinsert_done.get(level as usize).copied().unwrap_or(true);
         if may_reinsert {
             reinsert_done[level as usize] = true;
             let count = node.entries.len();
-            let evict = ((count as f64 * self.config.reinsert_fraction) as usize).clamp(1, count - 1);
+            let evict =
+                ((count as f64 * self.config.reinsert_fraction) as usize).clamp(1, count - 1);
             let center = node.mbr().center();
             // Sort ascending by center distance; the furthest `evict`
             // entries are taken from the tail, then reinserted closest
@@ -348,7 +353,11 @@ impl RTree {
     /// The R* split: choose the axis minimising the margin sum over all
     /// legal distributions, then the distribution minimising overlap (ties:
     /// total area).
-    fn split_entries(&self, entries: Vec<NodeEntry>, level: u16) -> (Vec<NodeEntry>, Vec<NodeEntry>) {
+    fn split_entries(
+        &self,
+        entries: Vec<NodeEntry>,
+        level: u16,
+    ) -> (Vec<NodeEntry>, Vec<NodeEntry>) {
         let total = entries.len();
         let m = self.codec.min_fill(level).min(total / 2).max(1);
 
@@ -392,9 +401,7 @@ impl RTree {
                 let area = bb1.area() + bb2.area();
                 let better = match &best {
                     None => true,
-                    Some((bo, ba, _, _)) => {
-                        overlap < *bo || (overlap == *bo && area < *ba)
-                    }
+                    Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
                 };
                 if better {
                     best = Some((overlap, area, sorted.clone(), k));
@@ -631,10 +638,11 @@ impl RTree {
         let mut mbr = Rect::empty();
         for e in &node.entries {
             match e {
-                NodeEntry::Item(_) => {
-                    return Err(format!("branch {page:?} holds an item entry"))
-                }
-                NodeEntry::Child { mbr: stored, page: child } => {
+                NodeEntry::Item(_) => return Err(format!("branch {page:?} holds an item entry")),
+                NodeEntry::Child {
+                    mbr: stored,
+                    page: child,
+                } => {
                     let actual = self.validate_rec(
                         *child,
                         node.level - 1,
@@ -674,4 +682,3 @@ fn prefix_suffix_mbrs(entries: &[NodeEntry]) -> (Vec<Rect>, Vec<Rect>) {
     }
     (prefix, suffix)
 }
-

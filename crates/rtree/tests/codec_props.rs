@@ -7,24 +7,28 @@ use ringjoin_rtree::{Item, Node, NodeCodec, NodeEntry};
 use ringjoin_storage::PageId;
 
 fn leaf_node(cap: usize) -> impl Strategy<Value = Node> {
-    proptest::collection::vec(
-        (any::<u64>(), -1e9..1e9f64, -1e9..1e9f64),
-        0..=cap,
+    proptest::collection::vec((any::<u64>(), -1e9..1e9f64, -1e9..1e9f64), 0..=cap).prop_map(
+        |entries| Node {
+            level: 0,
+            entries: entries
+                .into_iter()
+                .map(|(id, x, y)| NodeEntry::Item(Item::new(id, pt(x, y))))
+                .collect(),
+        },
     )
-    .prop_map(|entries| Node {
-        level: 0,
-        entries: entries
-            .into_iter()
-            .map(|(id, x, y)| NodeEntry::Item(Item::new(id, pt(x, y))))
-            .collect(),
-    })
 }
 
 fn branch_node(cap: usize) -> impl Strategy<Value = Node> {
     (
         1u16..8,
         proptest::collection::vec(
-            (any::<u32>(), -1e9..1e9f64, -1e9..1e9f64, 0.0..1e6f64, 0.0..1e6f64),
+            (
+                any::<u32>(),
+                -1e9..1e9f64,
+                -1e9..1e9f64,
+                0.0..1e6f64,
+                0.0..1e6f64,
+            ),
             0..=cap,
         ),
     )

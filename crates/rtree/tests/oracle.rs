@@ -14,12 +14,7 @@ fn fresh_pager(buffer_pages: usize) -> SharedPager {
 
 fn random_items(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<Item> {
     (0..n)
-        .map(|i| {
-            Item::new(
-                i as u64,
-                pt(rng.gen_range(lo..hi), rng.gen_range(lo..hi)),
-            )
-        })
+        .map(|i| Item::new(i as u64, pt(rng.gen_range(lo..hi), rng.gen_range(lo..hi))))
         .collect()
 }
 
@@ -136,7 +131,11 @@ fn knn_matches_naive() {
     let tree = build_insert(&items);
     for k in [1, 5, 17, 100] {
         let q = pt(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
-        let got: Vec<f64> = tree.knn(q, k).iter().map(|it| q.dist_sq(it.point)).collect();
+        let got: Vec<f64> = tree
+            .knn(q, k)
+            .iter()
+            .map(|it| q.dist_sq(it.point))
+            .collect();
         let mut dists: Vec<f64> = items.iter().map(|it| q.dist_sq(it.point)).collect();
         dists.sort_by(f64::total_cmp);
         assert_eq!(got.len(), k);
@@ -231,18 +230,8 @@ fn incremental_insert_into_bulk_loaded_tree() {
 fn bulk_fill_factor_controls_page_count() {
     let mut rng = StdRng::seed_from_u64(31);
     let items = random_items(&mut rng, 5000, 0.0, 10000.0);
-    let dense = bulk_load_with(
-        fresh_pager(256),
-        items.clone(),
-        1.0,
-        RTreeConfig::default(),
-    );
-    let sparse = bulk_load_with(
-        fresh_pager(256),
-        items.clone(),
-        0.5,
-        RTreeConfig::default(),
-    );
+    let dense = bulk_load_with(fresh_pager(256), items.clone(), 1.0, RTreeConfig::default());
+    let sparse = bulk_load_with(fresh_pager(256), items.clone(), 0.5, RTreeConfig::default());
     assert!(dense.node_pages() < sparse.node_pages());
     assert_eq!(dense.validate().unwrap(), 5000);
     assert_eq!(sparse.validate().unwrap(), 5000);

@@ -62,8 +62,10 @@ mod tests {
             got.sort_unstable();
             let mut expect = Vec::new();
             for p in &ps {
-                let mut by_d: Vec<(f64, u64)> =
-                    qs.iter().map(|q| (p.point.dist_sq(q.point), q.id)).collect();
+                let mut by_d: Vec<(f64, u64)> = qs
+                    .iter()
+                    .map(|q| (p.point.dist_sq(q.point), q.id))
+                    .collect();
                 by_d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 for &(_, qid) in by_d.iter().take(k) {
                     expect.push((p.id, qid));
@@ -72,9 +74,8 @@ mod tests {
             expect.sort_unstable();
             // Distances must agree rank-by-rank even if ties reorder ids.
             assert_eq!(got.len(), expect.len(), "k={k}");
-            let dist_of = |pid: u64, qid: u64| {
-                ps[pid as usize].point.dist_sq(qs[qid as usize].point)
-            };
+            let dist_of =
+                |pid: u64, qid: u64| ps[pid as usize].point.dist_sq(qs[qid as usize].point);
             for (g, e) in got.iter().zip(expect.iter()) {
                 assert_eq!(g.0, e.0, "outer id mismatch at k={k}");
                 assert_eq!(dist_of(g.0, g.1), dist_of(e.0, e.1), "k={k}");

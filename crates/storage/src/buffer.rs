@@ -104,7 +104,10 @@ impl BufferManager {
     /// debug assertion) — the [`Pager`](crate::Pager) access path always
     /// probes [`BufferManager::get`] first.
     pub fn insert(&mut self, page: PageId) -> &mut [u8] {
-        debug_assert!(!self.map.contains_key(&page), "page {page:?} already cached");
+        debug_assert!(
+            !self.map.contains_key(&page),
+            "page {page:?} already cached"
+        );
         if self.map.len() >= self.capacity {
             self.evict_lru();
         }
@@ -307,7 +310,9 @@ mod tests {
         };
         let mut state = 0x12345678u64;
         for _ in 0..10_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let p = ((state >> 33) % 20) as u32;
             let hit = b.get(PageId(p)).is_some();
             if !hit {

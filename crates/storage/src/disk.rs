@@ -80,7 +80,8 @@ impl DiskStorage for MemDisk {
 
     fn allocate(&mut self) -> PageId {
         let id = PageId(self.pages.len() as u32);
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         id
     }
 

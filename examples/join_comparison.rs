@@ -24,7 +24,10 @@ fn main() {
     println!("RCJ result: {} pairs (parameter-free)\n", rcj.len());
 
     println!("eps-distance join vs RCJ:");
-    println!("{:>8} {:>10} {:>12} {:>9}", "eps", "pairs", "precision%", "recall%");
+    println!(
+        "{:>8} {:>10} {:>12} {:>9}",
+        "eps", "pairs", "precision%", "recall%"
+    );
     for eps in [5.0, 10.0, 20.0, 40.0, 80.0, 160.0] {
         let keys: Vec<(u64, u64)> = epsilon_join(&tp, &tq, eps)
             .into_iter()
@@ -53,7 +56,10 @@ fn main() {
     }
 
     println!("\nkNN join vs RCJ:");
-    println!("{:>8} {:>10} {:>12} {:>9}", "k", "pairs", "precision%", "recall%");
+    println!(
+        "{:>8} {:>10} {:>12} {:>9}",
+        "k", "pairs", "precision%", "recall%"
+    );
     for k in [1usize, 2, 4, 8] {
         let keys: Vec<(u64, u64)> = knn_join(&tp, &tq, k)
             .into_iter()

@@ -42,7 +42,10 @@ fn main() {
     let fast = rcj_self_join(&small_tree, &RcjOptions::default());
     let slow = rcj_brute_self(&small);
     assert_eq!(pair_keys(&fast.pairs), pair_keys(&slow));
-    println!("brute-force cross-check on 400 buildings: OK ({} edges)", slow.len());
+    println!(
+        "brute-force cross-check on 400 buildings: OK ({} edges)",
+        slow.len()
+    );
 
     println!("\nfirst postboxes:");
     for pair in out.pairs.iter().take(5) {

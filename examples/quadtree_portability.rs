@@ -41,12 +41,14 @@ fn main() {
         qq.insert(it.id, it.point);
     }
     qpager.borrow_mut().reset_stats();
-    let mut quad_result: Vec<(u64, u64)> =
-        rcj_quadtree(&qq, &qp).iter().map(|p| p.key()).collect();
+    let mut quad_result: Vec<(u64, u64)> = rcj_quadtree(&qq, &qp).iter().map(|p| p.key()).collect();
     quad_result.sort_unstable();
     let quad_io = qpager.borrow().stats();
 
-    assert_eq!(rtree_result, quad_result, "index choice must not change the join");
+    assert_eq!(
+        rtree_result, quad_result,
+        "index choice must not change the join"
+    );
     println!(
         "identical result on both indexes: {} pairs",
         rtree_result.len()

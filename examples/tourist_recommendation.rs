@@ -28,7 +28,10 @@ fn main() {
     sort_by_diameter(&mut out.pairs);
 
     println!("top-10 most compact cinema+restaurant pairs:");
-    println!("{:<4} {:>10} {:>24} {:>8} {:>8}", "#", "diameter", "meet at", "cinema", "rest.");
+    println!(
+        "{:<4} {:>10} {:>24} {:>8} {:>8}",
+        "#", "diameter", "meet at", "cinema", "rest."
+    );
     for (i, pair) in out.pairs.iter().take(10).enumerate() {
         println!(
             "{:<4} {:>10.2} {:>24} {:>8} {:>8}",

@@ -39,20 +39,26 @@
 pub mod topk;
 
 pub use ringjoin_core as core;
-pub use topk::{rcj_by_diameter, RcjByDiameter};
 pub use ringjoin_datagen as datagen;
 pub use ringjoin_geom as geom;
 pub use ringjoin_quadtree as quadtree;
 pub use ringjoin_rtree as rtree;
 pub use ringjoin_spatialjoin as spatialjoin;
 pub use ringjoin_storage as storage;
+pub use topk::{rcj_by_diameter, RcjByDiameter};
 
 pub use ringjoin_core::{
-    pair_keys, rcj_brute, rcj_brute_self, rcj_join, rcj_self_join, sort_by_diameter,
-    OuterOrder, RcjAlgorithm, RcjOptions, RcjOutput, RcjPair, RcjStats,
+    pair_keys, rcj_brute, rcj_brute_self, rcj_join, rcj_self_join, sort_by_diameter, OuterOrder,
+    RcjAlgorithm, RcjOptions, RcjOutput, RcjPair, RcjStats,
 };
 pub use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset};
 pub use ringjoin_geom::{pt, Circle, HalfPlane, Metric, Point, Rect};
 pub use ringjoin_rtree::{bulk_load, bulk_load_with, Item, RTree, RTreeConfig};
 pub use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
 pub use ringjoin_storage::{CostModel, FileDisk, IoStats, MemDisk, Pager, SharedPager};
+
+/// Compiles the README's code blocks as doctests so the documented
+/// quickstart can never drift from the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

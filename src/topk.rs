@@ -136,6 +136,9 @@ mod tests {
         let mut it = rcj_by_diameter(&tp, &tq);
         let _top: Vec<RcjPair> = it.by_ref().take(10).collect();
         let checked = it.stats().candidate_pairs;
-        assert!(checked < 800 * 800 / 100, "streamed top-10 checked {checked} pairs");
+        assert!(
+            checked < 800 * 800 / 100,
+            "streamed top-10 checked {checked} pairs"
+        );
     }
 }

@@ -48,7 +48,10 @@ fn collinear_points_chain() {
     for (i, q) in qs.iter().enumerate() {
         assert!(keys.contains(&(i as u64, q.id)), "left neighbour of q{i}");
         if i + 1 < ps.len() {
-            assert!(keys.contains(&((i + 1) as u64, q.id)), "right neighbour of q{i}");
+            assert!(
+                keys.contains(&((i + 1) as u64, q.id)),
+                "right neighbour of q{i}"
+            );
         }
     }
     assert_eq!(keys.len(), 2 * 10 - 1); // q9 has no right neighbour
@@ -66,7 +69,11 @@ fn identical_datasets_bichromatic_join() {
     let out = rcj_join(&tq, &tp, &RcjOptions::default());
     let keys: std::collections::HashSet<_> = pair_keys(&out.pairs).into_iter().collect();
     for it in &items {
-        assert!(keys.contains(&(it.id, it.id)), "identity pair for {}", it.id);
+        assert!(
+            keys.contains(&(it.id, it.id)),
+            "identity pair for {}",
+            it.id
+        );
     }
 }
 
@@ -114,10 +121,7 @@ fn shuffled_order_costs_more_io_than_depth_first() {
 #[test]
 fn extreme_coordinates_do_not_break_predicates() {
     // Very large but finite coordinates.
-    let ps = vec![
-        Item::new(0, pt(1e12, 1e12)),
-        Item::new(1, pt(-1e12, 1e12)),
-    ];
+    let ps = vec![Item::new(0, pt(1e12, 1e12)), Item::new(1, pt(-1e12, 1e12))];
     let qs = vec![
         Item::new(0, pt(0.0, -1e12)),
         Item::new(1, pt(1e12 + 1.0, 1e12)),

@@ -124,7 +124,10 @@ fn incremental_and_bulk_trees_join_identically() {
         }
         pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
     };
-    assert_eq!(bulk_keys, insert_keys, "join result must not depend on build path");
+    assert_eq!(
+        bulk_keys, insert_keys,
+        "join result must not depend on build path"
+    );
 }
 
 #[test]

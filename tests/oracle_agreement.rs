@@ -1,0 +1,126 @@
+//! Cross-algorithm oracle agreement: INJ, BIJ and OBJ must each produce
+//! exactly the brute-force pair set (`rcj_brute`, the `O(|P|·|Q|)`
+//! oracle) on every workload family of the paper's evaluation, and on
+//! the degenerate inputs a production system must survive. Constrained
+//! placement work validates pruning rules against exhaustive baselines
+//! (cf. the (1|1)-centroid and line-constrained placement literature);
+//! this suite is that baseline for the RCJ.
+
+use ringjoin::datagen::PAPER_SIGMA;
+use ringjoin::{
+    bulk_load, gaussian_clusters, gnis_like, pair_keys, pt, rcj_brute, rcj_join, uniform,
+    GnisDataset, Item, MemDisk, Pager, RcjAlgorithm, RcjOptions, SharedPager,
+};
+
+const ALGOS: [RcjAlgorithm; 3] = [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj];
+
+fn pager() -> SharedPager {
+    Pager::new(MemDisk::new(1024), 128).into_shared()
+}
+
+/// Asserts that all three index algorithms reproduce the oracle on the
+/// given pointsets.
+fn assert_all_algorithms_match_brute(ps: Vec<Item>, qs: Vec<Item>, label: &str) {
+    let expect = pair_keys(&rcj_brute(&ps, &qs));
+    let pg = pager();
+    let tp = bulk_load(pg.clone(), ps);
+    let tq = bulk_load(pg.clone(), qs);
+    for algo in ALGOS {
+        let got = pair_keys(&rcj_join(&tq, &tp, &RcjOptions::algorithm(algo)).pairs);
+        assert_eq!(
+            got,
+            expect,
+            "{} disagrees with rcj_brute on the {label} workload",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn agreement_on_uniform_workload() {
+    assert_all_algorithms_match_brute(uniform(800, 11), uniform(800, 12), "uniform");
+}
+
+#[test]
+fn agreement_on_asymmetric_cardinalities() {
+    // |P| >> |Q| and |P| << |Q| both stress the per-leaf batching.
+    assert_all_algorithms_match_brute(uniform(1200, 13), uniform(60, 14), "uniform 20:1");
+    assert_all_algorithms_match_brute(uniform(60, 15), uniform(1200, 16), "uniform 1:20");
+}
+
+#[test]
+fn agreement_on_gaussian_cluster_workload() {
+    assert_all_algorithms_match_brute(
+        gaussian_clusters(700, 4, PAPER_SIGMA, 21),
+        gaussian_clusters(700, 6, PAPER_SIGMA, 22),
+        "gaussian-cluster",
+    );
+}
+
+#[test]
+fn agreement_on_gnis_like_workload() {
+    // The paper's SP join: schools against populated places.
+    assert_all_algorithms_match_brute(
+        gnis_like(GnisDataset::PopulatedPlaces, 700),
+        gnis_like(GnisDataset::Schools, 700),
+        "GNIS-like SP",
+    );
+}
+
+#[test]
+fn degenerate_empty_p() {
+    assert_all_algorithms_match_brute(vec![], uniform(50, 31), "|P| = 0");
+}
+
+#[test]
+fn degenerate_single_point_p() {
+    // With |P| = 1 every q pairs with p unless another q lands in the
+    // circle; the filter's NN machinery must cope with a one-leaf tree.
+    assert_all_algorithms_match_brute(uniform(1, 32), uniform(120, 33), "|P| = 1");
+}
+
+#[test]
+fn degenerate_empty_q() {
+    assert_all_algorithms_match_brute(uniform(50, 34), vec![], "|Q| = 0");
+}
+
+#[test]
+fn degenerate_both_empty() {
+    assert_all_algorithms_match_brute(vec![], vec![], "|P| = |Q| = 0");
+}
+
+#[test]
+fn degenerate_duplicate_points() {
+    // Heavy coordinate duplication inside and across the two datasets:
+    // boundary (co-circular) placements must not invalidate pairs, and
+    // duplicates must not produce duplicate result rows.
+    let ps: Vec<Item> = (0..40)
+        .map(|i| Item::new(i, pt((i % 4) as f64, (i % 3) as f64)))
+        .collect();
+    let qs: Vec<Item> = (0..40)
+        .map(|i| Item::new(i, pt((i % 3) as f64, (i % 4) as f64)))
+        .collect();
+    let expect = pair_keys(&rcj_brute(&ps, &qs));
+    let pg = pager();
+    let tp = bulk_load(pg.clone(), ps);
+    let tq = bulk_load(pg.clone(), qs);
+    for algo in ALGOS {
+        let pairs = rcj_join(&tq, &tp, &RcjOptions::algorithm(algo)).pairs;
+        let got = pair_keys(&pairs);
+        let distinct: std::collections::HashSet<&(u64, u64)> = got.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            got.len(),
+            "{} emitted duplicates",
+            algo.name()
+        );
+        assert_eq!(got, expect, "{} on duplicate-heavy data", algo.name());
+    }
+}
+
+#[test]
+fn degenerate_all_points_identical() {
+    let ps: Vec<Item> = (0..20).map(|i| Item::new(i, pt(5.0, 5.0))).collect();
+    let qs: Vec<Item> = (0..20).map(|i| Item::new(i, pt(5.0, 5.0))).collect();
+    assert_all_algorithms_match_brute(ps, qs, "all-identical");
+}

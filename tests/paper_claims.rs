@@ -15,12 +15,7 @@ struct Run {
     faults: u64,
 }
 
-fn run(
-    p_items: Vec<Item>,
-    q_items: Vec<Item>,
-    algo: RcjAlgorithm,
-    buffer_frac: f64,
-) -> Run {
+fn run(p_items: Vec<Item>, q_items: Vec<Item>, algo: RcjAlgorithm, buffer_frac: f64) -> Run {
     let pager = Pager::new(MemDisk::new(1024), usize::MAX / 2).into_shared();
     let tp = bulk_load(pager.clone(), p_items);
     let tq = bulk_load(pager.clone(), q_items);
@@ -53,7 +48,10 @@ fn table4_candidate_ordering() {
     let bij = run(p.clone(), q.clone(), RcjAlgorithm::Bij, 0.01);
     let obj = run(p, q, RcjAlgorithm::Obj, 0.01);
     assert!(obj.candidates < inj.candidates, "OBJ must filter hardest");
-    assert!(inj.candidates < bij.candidates, "BIJ trades candidates for traversals");
+    assert!(
+        inj.candidates < bij.candidates,
+        "BIJ trades candidates for traversals"
+    );
     assert_eq!(inj.results, obj.results);
     // Four orders of magnitude below BRUTE, as the paper highlights.
     let brute = (n as u64) * (n as u64);
@@ -81,9 +79,27 @@ fn bulk_algorithms_cut_node_accesses() {
 /// Figure 16b: the RCJ result cardinality grows linearly with n.
 #[test]
 fn result_cardinality_linear_in_n() {
-    let r1 = run(uniform(2_000, 3), uniform(2_000, 4), RcjAlgorithm::Obj, 0.05).results;
-    let r2 = run(uniform(4_000, 3), uniform(4_000, 4), RcjAlgorithm::Obj, 0.05).results;
-    let r4 = run(uniform(8_000, 3), uniform(8_000, 4), RcjAlgorithm::Obj, 0.05).results;
+    let r1 = run(
+        uniform(2_000, 3),
+        uniform(2_000, 4),
+        RcjAlgorithm::Obj,
+        0.05,
+    )
+    .results;
+    let r2 = run(
+        uniform(4_000, 3),
+        uniform(4_000, 4),
+        RcjAlgorithm::Obj,
+        0.05,
+    )
+    .results;
+    let r4 = run(
+        uniform(8_000, 3),
+        uniform(8_000, 4),
+        RcjAlgorithm::Obj,
+        0.05,
+    )
+    .results;
     let g21 = r2 as f64 / r1 as f64;
     let g42 = r4 as f64 / r2 as f64;
     for g in [g21, g42] {
@@ -99,12 +115,14 @@ fn result_cardinality_linear_in_n() {
 #[test]
 fn result_size_peaks_at_balanced_ratio() {
     let total = 8_000;
-    let sizes = [(total / 5, 4 * total / 5), (total / 2, total / 2), (4 * total / 5, total / 5)];
+    let sizes = [
+        (total / 5, 4 * total / 5),
+        (total / 2, total / 2),
+        (4 * total / 5, total / 5),
+    ];
     let results: Vec<u64> = sizes
         .iter()
-        .map(|&(np, nq)| {
-            run(uniform(np, 7), uniform(nq, 8), RcjAlgorithm::Obj, 0.05).results
-        })
+        .map(|&(np, nq)| run(uniform(np, 7), uniform(nq, 8), RcjAlgorithm::Obj, 0.05).results)
         .collect();
     assert!(results[1] > results[0], "1:1 beats 1:4: {results:?}");
     assert!(results[1] > results[2], "1:1 beats 4:1: {results:?}");
@@ -138,10 +156,9 @@ fn epsilon_join_cannot_imitate_rcj() {
     let pager = Pager::new(MemDisk::new(1024), 4096).into_shared();
     let tp = bulk_load(pager.clone(), p_items);
     let tq = bulk_load(pager.clone(), q_items);
-    let rcj: HashSet<(u64, u64)> =
-        pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
-            .into_iter()
-            .collect();
+    let rcj: HashSet<(u64, u64)> = pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
+        .into_iter()
+        .collect();
     for eps in [5.0, 15.0, 40.0, 100.0, 250.0, 600.0] {
         let keys: Vec<(u64, u64)> = epsilon_join(&tp, &tq, eps)
             .into_iter()
@@ -181,7 +198,15 @@ fn skewed_data_agreement() {
 /// input size (planar-graph bound), never overwhelming the user.
 #[test]
 fn result_size_comparable_to_input() {
-    let r = run(uniform(5_000, 13), uniform(5_000, 14), RcjAlgorithm::Obj, 0.05);
+    let r = run(
+        uniform(5_000, 13),
+        uniform(5_000, 14),
+        RcjAlgorithm::Obj,
+        0.05,
+    );
     assert!(r.results as usize <= 3 * (5_000 + 5_000));
-    assert!(r.results as usize >= 5_000 / 2, "result should not be trivial");
+    assert!(
+        r.results as usize >= 5_000 / 2,
+        "result should not be trivial"
+    );
 }

@@ -1,0 +1,704 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of proptest that the workspace's six property suites use:
+//!
+//! * the [`proptest!`] block macro (with optional
+//!   `#![proptest_config(...)]`), [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], [`prop_assume!`], and [`prop_oneof!`];
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::boxed`], strategies for primitive ranges and tuples,
+//!   [`any`], [`Just`], and [`collection::vec`];
+//! * [`ProptestConfig`] with [`ProptestConfig::with_cases`].
+//!
+//! # Determinism
+//!
+//! Unlike upstream proptest (which seeds from the OS), every test here is
+//! **deterministic by default**: the per-case RNG seed is derived from the
+//! test's name and a global seed. CI therefore cannot flake on an unlucky
+//! draw. Two environment variables tune the behaviour:
+//!
+//! * `PROPTEST_CASES` — overrides the number of cases for every suite;
+//! * `PROPTEST_RNG_SEED` — changes the global seed (u64), for exploring
+//!   fresh inputs locally.
+//!
+//! On failure the harness panics with the failing seed, case number, and
+//! a `Debug` dump of the generated inputs. There is no shrinking: rerun
+//! with the printed seed to reproduce the exact case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Test-case errors
+// ---------------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// The case was rejected by [`prop_assume!`]; another is generated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs the failing variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs the rejecting variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// The deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Creates a generator for the given seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = TestRng { state: seed };
+        // Warm up so that near-identical seeds diverge immediately.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(Self::GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values, mirroring `proptest::strategy::Strategy`.
+///
+/// Values must be `Debug` (as upstream requires) so that failing inputs
+/// can be reported.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, func }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical whole-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+/// Weighted union of type-erased strategies; built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: fmt::Debug> OneOf<V> {
+    /// Builds the union; every weight must be positive.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().all(|(w, _)| *w > 0), "zero weight arm");
+        OneOf { arms }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut r = rng.below(total);
+        for (w, s) in &self.arms {
+            if r < *w as u64 {
+                return s.generate(rng);
+            }
+            r -= *w as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{fmt, Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_incl - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + runner
+// ---------------------------------------------------------------------------
+
+/// Per-block test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Global RNG seed; the per-test seed also hashes in the test name.
+    pub rng_seed: u64,
+}
+
+/// Default global seed (overridden by `PROPTEST_RNG_SEED`).
+const DEFAULT_SEED: u64 = 0x5ee0_0f0a_11c0_ffee;
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: env_u64("PROPTEST_CASES").map_or(256, |c| c as u32),
+            rng_seed: env_u64("PROPTEST_RNG_SEED").unwrap_or(DEFAULT_SEED),
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default config with a specific case count (still subject to the
+    /// `PROPTEST_CASES` environment override).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_u64("PROPTEST_CASES").map_or(cases, |c| c as u32),
+            ..Default::default()
+        }
+    }
+}
+
+/// FNV-1a, for deriving a per-test seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs one property (driver behind [`proptest!`]). Not public API.
+#[doc(hidden)]
+pub fn __run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+{
+    let base_seed = config.rng_seed ^ fnv1a(name);
+    let cases = config.cases.max(1);
+    let max_attempts = cases.saturating_mul(16).max(64);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    while passed < cases && attempts < max_attempts {
+        // The per-case seed must NOT be an affine function of the
+        // generator's own increment (state advances by GAMMA per draw):
+        // consecutive cases would then replay shifted windows of one
+        // shared stream. Hashing the case index decorrelates them.
+        let case_seed = base_seed ^ fnv1a(&attempts.to_string());
+        attempts += 1;
+        let mut rng = TestRng::new(case_seed);
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property `{name}` failed: {msg}\n\
+                 \x20 case seed: {case_seed:#x} (attempt {attempts}, global seed {global:#x})\n\
+                 \x20 inputs:\n{inputs}",
+                global = config.rng_seed,
+            ),
+        }
+    }
+    // Mirror upstream's "too many global rejects" abort: a suite that
+    // quietly ran fewer cases than configured is not a green suite.
+    assert!(
+        passed >= cases,
+        "property `{name}`: only {passed}/{cases} cases passed within {attempts} attempts \
+         (the rest were rejected by prop_assume!); loosen the assumption or raise max attempts"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::__run_proptest(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!(
+                        concat!("    ", stringify!($arg), " = {:?}\n"),
+                        &$arg
+                    ));)+
+                    s
+                };
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (inputs, outcome)
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (a fresh one is generated) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Weighted union of strategies; mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = (0u8..16, -5i64..5, 0.0..1.0f64);
+        for _ in 0..1000 {
+            let (a, b, c) = Strategy::generate(&s, &mut rng);
+            assert!(a < 16);
+            assert!((-5..5).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = TestRng::new(2);
+        let s = collection::vec(0u32..10, 3..7);
+        let t = collection::vec(0u32..10, 0..=4);
+        for _ in 0..500 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((3..=6).contains(&v.len()), "len {}", v.len());
+            let w = Strategy::generate(&t, &mut rng);
+            assert!(w.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::new(3);
+        let s = prop_oneof![
+            3 => Just(0u8),
+            1 => Just(1u8),
+        ];
+        let mut seen = [0usize; 2];
+        for _ in 0..400 {
+            seen[Strategy::generate(&s, &mut rng) as usize] += 1;
+        }
+        assert!(seen[0] > seen[1], "weights ignored: {seen:?}");
+        assert!(seen[1] > 0, "light arm never chosen");
+    }
+
+    #[test]
+    fn same_seed_same_values() {
+        let s = collection::vec((any::<u64>(), 0.0..1.0f64), 1..50);
+        let a = Strategy::generate(&s, &mut TestRng::new(9));
+        let b = Strategy::generate(&s, &mut TestRng::new(9));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: args, assume, assert.
+        #[test]
+        fn macro_smoke(x in 0u32..100, v in collection::vec(0u8..4, 0..10)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert_ne!(x, 13u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing_property` failed")]
+    fn failures_panic_with_context() {
+        let cfg = ProptestConfig::with_cases(8);
+        crate::__run_proptest(&cfg, "failing_property", |rng| {
+            let x = Strategy::generate(&(0u32..10), rng);
+            let outcome: TestCaseResult = (|| {
+                prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            })();
+            (format!("    x = {x:?}\n"), outcome)
+        });
+    }
+}

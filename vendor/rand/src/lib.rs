@@ -1,0 +1,211 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the (small) subset of the `rand` 0.8 API that the workspace
+//! actually uses: [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! primitive ranges, and the [`rngs::SmallRng`] / [`rngs::StdRng`]
+//! generator types. Both generators are the same deterministic SplitMix64
+//! stream — statistically fine for workload generation and tests, and
+//! reproducible across platforms and runs, which is exactly what the
+//! datagen and test suites need. It is **not** cryptographically secure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Golden-gamma increment of SplitMix64.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A source of random `u64`s. (Stand-in for `rand_core::RngCore`.)
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    fn next_unit_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seedable construction. (Stand-in for `rand::SeedableRng`; only the
+/// `seed_from_u64` constructor is provided.)
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let v = self.start + (self.end - self.start) * rng.next_unit_f64();
+        // Guard against FP rounding landing exactly on `end`.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty f32 range");
+        let v = self.start + (self.end - self.start) * rng.next_unit_f64() as f32;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_unit_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{mix, RngCore, SeedableRng, GAMMA};
+
+    /// Deterministic SplitMix64 stream (stand-in for `rand::rngs::SmallRng`).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    /// Deterministic SplitMix64 stream (stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    macro_rules! impl_splitmix {
+        ($t:ident, $salt:expr) => {
+            impl SeedableRng for $t {
+                fn seed_from_u64(seed: u64) -> Self {
+                    // Pre-mix so that small consecutive seeds give
+                    // uncorrelated streams.
+                    $t {
+                        state: mix(seed ^ $salt),
+                    }
+                }
+            }
+
+            impl RngCore for $t {
+                fn next_u64(&mut self) -> u64 {
+                    self.state = self.state.wrapping_add(GAMMA);
+                    mix(self.state)
+                }
+            }
+        };
+    }
+
+    impl_splitmix!(SmallRng, 0x243F_6A88_85A3_08D3);
+    impl_splitmix!(StdRng, 0x1319_8A2E_0370_7344);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f = r.gen_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let u = r.gen_range(3u64..17);
+            assert!((3..17).contains(&u));
+            let i = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_f64_covers_both_halves() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let n = 4096;
+        let low = (0..n).filter(|_| r.next_unit_f64() < 0.5).count();
+        assert!(low > n / 4 && low < 3 * n / 4, "biased: {low}/{n}");
+    }
+}
