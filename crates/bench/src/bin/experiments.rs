@@ -5,6 +5,8 @@
 //! experiments all                    # everything, laptop scale (12.5%)
 //! experiments fig16 --scale 0.25    # one figure at 25% of paper sizes
 //! experiments table4 --full         # paper-scale cardinalities
+//! experiments fig13 --threads 4     # RCJ runs on the parallel executor
+//! experiments scaling               # OBJ thread sweep -> BENCH_scaling.json
 //! ```
 
 use ringjoin_bench::experiments::{run, ExpConfig, ALL};
@@ -20,12 +22,13 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                cfg.scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("missing value for --scale"));
+                cfg.scale = parse_value(&args, i, "--scale");
             }
             "--full" => cfg.scale = 1.0,
+            "--threads" => {
+                i += 1;
+                cfg.threads = parse_value(&args, i, "--threads");
+            }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
             other if !other.starts_with("--") => ids.push(other.to_string()),
             other => usage(&format!("unknown flag {other}")),
@@ -52,10 +55,20 @@ fn main() {
     }
 }
 
+/// The value of flag `flag` at `args[i]`, distinguishing a missing value
+/// from an unparsable one in the error message.
+fn parse_value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    let v = args
+        .get(i)
+        .unwrap_or_else(|| usage(&format!("missing value for {flag}")));
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("invalid value for {flag}: {v:?}")))
+}
+
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments <all|{}> [--scale F] [--full]",
+        "usage: experiments <all|{}> [--scale F] [--full] [--threads N]",
         ALL.join("|")
     );
     std::process::exit(2);

@@ -8,7 +8,7 @@
 //! with `1/sqrt(n)`.
 
 use crate::harness::{run_phase, run_rcj, secs, Measured, Table, Workload, DEFAULT_BUFFER_FRAC};
-use ringjoin_core::{brute_candidates, pair_keys, rcj_join, RcjAlgorithm, RcjOptions};
+use ringjoin_core::{brute_candidates, pair_keys, rcj_join, Executor, RcjAlgorithm, RcjOptions};
 use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset, PAPER_SIGMA};
 use ringjoin_rtree::Item;
 use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
@@ -16,17 +16,31 @@ use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Global experiment configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExpConfig {
     /// Fraction of the paper's dataset cardinalities to generate.
     pub scale: f64,
+    /// Worker threads for the RCJ runs (0 = the `RINGJOIN_THREADS`-aware
+    /// default, 1 = sequential). The `scaling` experiment sweeps its own
+    /// thread counts and ignores this.
+    pub threads: usize,
+    /// Where the `scaling` experiment writes its JSON. `None` falls back
+    /// to the `RINGJOIN_SCALING_OUT` environment variable, then to
+    /// `BENCH_scaling.json` in the working directory. A field (not a
+    /// `set_var`) so tests can redirect it without touching the process
+    /// environment from multiple threads.
+    pub scaling_out: Option<String>,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
         // 1/8 of the paper's sizes: laptop-friendly (seconds per figure)
         // while keeping every curve's shape.
-        ExpConfig { scale: 0.125 }
+        ExpConfig {
+            scale: 0.125,
+            threads: 0,
+            scaling_out: None,
+        }
     }
 }
 
@@ -39,6 +53,16 @@ impl ExpConfig {
     /// density shrinks.
     fn dist_factor(&self) -> f64 {
         (1.0 / self.scale).sqrt()
+    }
+
+    /// RCJ options for one algorithm under this configuration's executor.
+    fn rcj_opts(&self, algorithm: RcjAlgorithm) -> RcjOptions {
+        let executor = if self.threads == 0 {
+            Executor::default()
+        } else {
+            Executor::threads(self.threads)
+        };
+        RcjOptions::algorithm(algorithm).with_executor(executor)
     }
 }
 
@@ -107,7 +131,7 @@ pub fn table4(cfg: &ExpConfig) -> String {
         let mut col = vec![format!("{:.2E}", brute as f64)];
         let mut result = 0u64;
         for algo in ALGOS {
-            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let m = run_rcj(&w, &cfg.rcj_opts(algo));
             col.push(m.stats.candidate_pairs.to_string());
             result = m.stats.result_pairs;
         }
@@ -245,7 +269,7 @@ pub fn fig13(cfg: &ExpConfig) -> String {
     for (name, q, p) in COMBINATIONS {
         let w = combo_workload(cfg, q, p);
         for algo in ALGOS {
-            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let m = run_rcj(&w, &cfg.rcj_opts(algo));
             let mut row = vec![name.to_string(), algo.name().to_string()];
             row.extend(cost_columns(&m));
             row.push(m.stats.candidate_pairs.to_string());
@@ -269,9 +293,8 @@ pub fn fig14(cfg: &ExpConfig) -> String {
     for algo in ALGOS {
         for verification in [true, false] {
             let opts = RcjOptions {
-                algorithm: algo,
                 skip_verification: !verification,
-                ..Default::default()
+                ..cfg.rcj_opts(algo)
             };
             let m = run_rcj(&w, &opts);
             let mut row = vec![
@@ -297,7 +320,7 @@ pub fn fig15(cfg: &ExpConfig) -> String {
     for frac_pct in [0.2, 0.5, 1.0, 2.0, 5.0] {
         w.set_buffer_frac(frac_pct / 100.0);
         for algo in ALGOS {
-            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let m = run_rcj(&w, &cfg.rcj_opts(algo));
             let mut row = vec![format!("{frac_pct}"), algo.name().to_string()];
             row.extend(cost_columns(&m));
             t.row(row);
@@ -321,7 +344,7 @@ pub fn fig16(cfg: &ExpConfig) -> String {
         let n = cfg.n(full_n);
         let w = Workload::build(uniform(n, 7), uniform(n, 8), DEFAULT_BUFFER_FRAC);
         for algo in ALGOS {
-            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let m = run_rcj(&w, &cfg.rcj_opts(algo));
             let mut row = vec![n.to_string(), algo.name().to_string()];
             row.extend(cost_columns(&m));
             row.push(m.stats.result_pairs.to_string());
@@ -352,7 +375,7 @@ pub fn fig17(cfg: &ExpConfig) -> String {
         let nq = total - np;
         let w = Workload::build(uniform(np, 31), uniform(nq, 37), DEFAULT_BUFFER_FRAC);
         for algo in ALGOS {
-            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let m = run_rcj(&w, &cfg.rcj_opts(algo));
             let mut row = vec![label.to_string(), algo.name().to_string()];
             row.extend(cost_columns(&m));
             row.push(m.stats.result_pairs.to_string());
@@ -379,7 +402,7 @@ pub fn fig18(cfg: &ExpConfig) -> String {
             DEFAULT_BUFFER_FRAC,
         );
         for algo in ALGOS {
-            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let m = run_rcj(&w, &cfg.rcj_opts(algo));
             let mut row = vec![wclusters.to_string(), algo.name().to_string()];
             row.extend(cost_columns(&m));
             row.push(m.stats.result_pairs.to_string());
@@ -413,7 +436,7 @@ pub fn baselines(cfg: &ExpConfig) -> String {
     let mut row = vec!["1NN-join".to_string(), pairs.len().to_string()];
     row.extend(cost_columns(&m));
     t.row(row);
-    let m = run_rcj(&w, &RcjOptions::default());
+    let m = run_rcj(&w, &cfg.rcj_opts(RcjAlgorithm::Obj));
     let mut row = vec!["RCJ (OBJ)".to_string(), m.stats.result_pairs.to_string()];
     row.extend(cost_columns(&m));
     t.row(row);
@@ -442,7 +465,7 @@ pub fn ext_costmodel(cfg: &ExpConfig) -> String {
                 .min(w.tq.len() / w.tq.codec().leaf_capacity as u64 + 1);
         let mut rows = Vec::new();
         for algo in ALGOS {
-            let m = run_rcj(&w, &RcjOptions::algorithm(algo));
+            let m = run_rcj(&w, &cfg.rcj_opts(algo));
             let unit = match algo {
                 RcjAlgorithm::Inj => w.tq.len(),
                 _ => leaves_q,
@@ -488,8 +511,125 @@ pub fn ext_costmodel(cfg: &ExpConfig) -> String {
     out
 }
 
+/// Thread counts swept by the [`scaling`] experiment (1 runs on the
+/// sequential executor and is the baseline).
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Scaling experiment (first entry of the perf trajectory, not a paper
+/// figure): OBJ over the Figure 13 workload at 1/2/4/8 worker threads.
+///
+/// Wall-clock seconds are measured per combination and compared against
+/// the sequential baseline; the determinism guarantee is asserted on
+/// every run (`pair_keys` must match the baseline exactly). Raw numbers
+/// are additionally written as JSON to `BENCH_scaling.json` (override
+/// the path with `RINGJOIN_SCALING_OUT`) so regressions are visible in
+/// version control.
+pub fn scaling(cfg: &ExpConfig) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "== Scaling: OBJ wall-clock vs worker threads, fig13 workload \
+         (scale {}, {cores} core(s) available) ==\n",
+        cfg.scale
+    );
+    if cores < 2 {
+        out.push_str(
+            "note: single-core machine — wall-clock speedup is capped at 1.0x; \
+             the sweep still validates determinism and records raw numbers.\n",
+        );
+    }
+    let mut t = Table::new(&[
+        "combination",
+        "threads",
+        "wall(s)",
+        "speedup",
+        "faults",
+        "node_acc",
+        "results",
+    ]);
+    let mut json_entries: Vec<String> = Vec::new();
+    for (name, q, p) in COMBINATIONS {
+        let w = combo_workload(cfg, q, p);
+        let mut baseline_secs = 0.0f64;
+        let mut baseline_keys: Vec<(u64, u64)> = Vec::new();
+        for threads in SCALING_THREADS {
+            let opts = RcjOptions::default().with_executor(Executor::threads(threads));
+            let (m, keys) = run_rcj_with_keys(&w, &opts);
+            if threads == 1 {
+                baseline_secs = m.cpu_secs;
+                baseline_keys = keys;
+            } else {
+                assert_eq!(
+                    baseline_keys, keys,
+                    "parallel run at {threads} threads diverged from sequential on {name}"
+                );
+            }
+            let speedup = baseline_secs / m.cpu_secs.max(1e-12);
+            t.row(vec![
+                name.to_string(),
+                threads.to_string(),
+                secs(m.cpu_secs),
+                format!("{speedup:.2}x"),
+                m.io.read_faults.to_string(),
+                m.io.logical_reads.to_string(),
+                m.stats.result_pairs.to_string(),
+            ]);
+            json_entries.push(format!(
+                "    {{\"combination\": \"{name}\", \"mode\": \"{}\", \"threads\": {threads}, \
+                 \"wall_secs\": {:.6}, \"speedup_vs_sequential\": {:.4}, \"read_faults\": {}, \
+                 \"logical_reads\": {}, \"result_pairs\": {}}}",
+                if threads == 1 {
+                    "sequential"
+                } else {
+                    "parallel"
+                },
+                m.cpu_secs,
+                speedup,
+                m.io.read_faults,
+                m.io.logical_reads,
+                m.stats.result_pairs,
+            ));
+        }
+    }
+    out.push_str(&t.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"scaling\",\n  \"workload\": \"fig13\",\n  \
+         \"algorithm\": \"OBJ\",\n  \"scale\": {},\n  \"available_cores\": {cores},\n  \
+         \"thread_counts\": {:?},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        cfg.scale,
+        SCALING_THREADS,
+        json_entries.join(",\n")
+    );
+    let path = match &cfg.scaling_out {
+        Some(p) => p.clone(),
+        None => std::env::var("RINGJOIN_SCALING_OUT")
+            .unwrap_or_else(|_| "BENCH_scaling.json".to_string()),
+    };
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "raw numbers written to {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}
+
+/// [`run_rcj`](crate::harness::run_rcj) plus the result keys (in driver
+/// order), for the determinism assertion of the scaling experiment.
+/// Measurement discipline is `run_phase`'s, identical to every figure.
+fn run_rcj_with_keys(w: &Workload, opts: &RcjOptions) -> (Measured, Vec<(u64, u64)>) {
+    crate::harness::warm_executor(w, opts);
+    let (out, mut m) = run_phase(w, || rcj_join(&w.tq, &w.tp, opts));
+    m.stats = out.stats;
+    (m, out.pairs.iter().map(|pr| pr.key()).collect())
+}
+
 /// All experiment ids, in presentation order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 14] = [
     "table2",
     "table4",
     "fig10",
@@ -503,6 +643,7 @@ pub const ALL: [&str; 13] = [
     "fig18",
     "baselines",
     "ext_costmodel",
+    "scaling",
 ];
 
 /// Runs one experiment by id.
@@ -521,6 +662,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<String> {
         "fig18" => fig18(cfg),
         "baselines" => baselines(cfg),
         "ext_costmodel" => ext_costmodel(cfg),
+        "scaling" => scaling(cfg),
         _ => return None,
     })
 }
@@ -543,7 +685,25 @@ mod tests {
     /// (Run at a tiny scale so the whole table executes in seconds.)
     #[test]
     fn dispatch_table_is_complete() {
-        let cfg = ExpConfig { scale: 0.004 };
+        // Keep the scaling experiment's JSON out of the repo tree when
+        // the dispatch test sweeps every experiment.
+        let dir = std::env::temp_dir().join(format!(
+            "ringjoin-bench-dispatch-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A field, not a set_var: mutating the environment races with the
+        // Executor::from_env reads of concurrently running tests.
+        let cfg = ExpConfig {
+            scale: 0.004,
+            scaling_out: Some(
+                dir.join("BENCH_scaling.json")
+                    .to_string_lossy()
+                    .into_owned(),
+            ),
+            ..Default::default()
+        };
         for id in ALL {
             assert!(
                 run(id, &cfg).is_some(),
@@ -556,16 +716,32 @@ mod tests {
 
     #[test]
     fn scaled_sizes_have_a_floor() {
-        let cfg = ExpConfig { scale: 1e-9 };
+        let cfg = ExpConfig {
+            scale: 1e-9,
+            ..Default::default()
+        };
         assert_eq!(cfg.n(200_000), 10, "scale floor protects tiny runs");
-        let full = ExpConfig { scale: 1.0 };
+        let full = ExpConfig {
+            scale: 1.0,
+            ..Default::default()
+        };
         assert_eq!(full.n(177_983), 177_983);
     }
 
     #[test]
     fn distance_factor_preserves_density() {
-        let cfg = ExpConfig { scale: 0.25 };
+        let cfg = ExpConfig {
+            scale: 0.25,
+            ..Default::default()
+        };
         assert!((cfg.dist_factor() - 2.0).abs() < 1e-12);
-        assert_eq!(ExpConfig { scale: 1.0 }.dist_factor(), 1.0);
+        assert_eq!(
+            ExpConfig {
+                scale: 1.0,
+                ..Default::default()
+            }
+            .dist_factor(),
+            1.0
+        );
     }
 }

@@ -156,6 +156,30 @@ mod tests {
     }
 
     #[test]
+    fn threads_option_parses_as_count() {
+        let a = parse(&s(&[
+            "join",
+            "--p",
+            "p.bin",
+            "--q",
+            "q.bin",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(a.opt_parse::<usize>("threads", 1).unwrap(), 4);
+        // Absent -> the default applies.
+        let b = parse(&s(&["join", "--p", "p.bin", "--q", "q.bin"])).unwrap();
+        assert_eq!(b.opt_parse::<usize>("threads", 1).unwrap(), 1);
+        assert_eq!(b.opt("threads"), None);
+        // Non-numeric thread counts are a parse error, not a silent 1.
+        let c = parse(&s(&["join", "--threads", "lots"])).unwrap();
+        assert!(c.opt_parse::<usize>("threads", 1).is_err());
+        // `--threads` consumes a value; trailing flag form is rejected.
+        assert!(parse(&s(&["join", "--threads"])).is_err());
+    }
+
+    #[test]
     fn repeated_options_last_one_wins() {
         let a = parse(&s(&["join", "--algo", "inj", "--algo", "obj"])).unwrap();
         assert_eq!(a.opt("algo"), Some("obj"));

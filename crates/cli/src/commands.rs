@@ -2,7 +2,8 @@
 
 use crate::args::{ArgError, Args};
 use ringjoin_core::{
-    bounds, rcj_join, rcj_self_join, sort_by_diameter, RcjAlgorithm, RcjOptions, RcjOutput,
+    bounds, rcj_join, rcj_self_join, sort_by_diameter, Executor, RcjAlgorithm, RcjOptions,
+    RcjOutput,
 };
 use ringjoin_datagen::{gaussian_clusters, gnis_like, io as dio, uniform, GnisDataset};
 use ringjoin_rtree::{bulk_load, Item, RTree};
@@ -22,15 +23,30 @@ COMMANDS
   generate   --kind uniform|gaussian|pp|sc|lo --n N --out FILE
              [--seed S] [--clusters W] [--sigma X]
   join       --p FILE --q FILE [--algo inj|bij|obj] [--out FILE]
-             [--buffer-frac F] [--page-size B] [--stats]
-  self-join  --input FILE [--algo inj|bij|obj] [--out FILE] [--stats]
-  top-k      --p FILE --q FILE --k K  (smallest ring diameters first)
+             [--buffer-frac F] [--page-size B] [--threads N] [--stats]
+  self-join  --input FILE [--algo inj|bij|obj] [--out FILE]
+             [--threads N] [--stats]
+  top-k      --p FILE --q FILE --k K [--threads N]
+             (smallest ring diameters first)
   compare    --p FILE --q FILE (--epsilon E | --kcp K | --knn K)
   bound      --np N --nq N  (result-size bounds)
   help
 
 Dataset files are .csv (id,x,y with header) or the .bin format written
-by `generate`; the extension decides the codec.";
+by `generate`; the extension decides the codec.
+
+`--threads N` runs the join on N worker threads (default 1, or the
+RINGJOIN_THREADS environment variable); parallel output is identical to
+sequential output, pair for pair.";
+
+/// Executor selection: an explicit `--threads` wins; otherwise the
+/// `RINGJOIN_THREADS`-aware default applies.
+fn parse_executor(args: &Args) -> Result<Executor, ArgError> {
+    Ok(match args.opt("threads") {
+        None => Executor::default(),
+        Some(_) => Executor::threads(args.req_parse("threads")?),
+    })
+}
 
 fn load_items(path: &str) -> Result<Vec<Item>, ArgError> {
     let res = if path.ends_with(".csv") {
@@ -148,7 +164,7 @@ pub fn run(args: &Args) -> Result<Option<String>, ArgError> {
             let algo = parse_algo(args.opt("algo"))?;
             let page_size: usize = args.opt_parse("page-size", 1024)?;
             let buffer_frac: f64 = args.opt_parse("buffer-frac", 0.01)?;
-            let opts = RcjOptions::algorithm(algo);
+            let opts = RcjOptions::algorithm(algo).with_executor(parse_executor(args)?);
             let (pager, out) = if self_join {
                 let items = load_items(args.req("input")?)?;
                 let (pager, tree, _empty) = build_trees(items, Vec::new(), page_size, buffer_frac);
@@ -174,7 +190,8 @@ pub fn run(args: &Args) -> Result<Option<String>, ArgError> {
             let (_pager, tp, tq) = build_trees(p_items, q_items, 1024, 0.01);
             // Full join then sort: simple and exact; the streaming path
             // lives in the `ringjoin` facade crate.
-            let mut out = rcj_join(&tq, &tp, &RcjOptions::default());
+            let opts = RcjOptions::default().with_executor(parse_executor(args)?);
+            let mut out = rcj_join(&tq, &tp, &opts);
             sort_by_diameter(&mut out.pairs);
             out.pairs.truncate(k);
             write_pairs(args.opt("out"), &out.pairs)?;
@@ -258,9 +275,10 @@ mod tests {
     }
 
     fn tmp(name: &str) -> String {
-        let d = std::env::temp_dir().join(format!("ringjoin-cli-{}", std::process::id()));
-        std::fs::create_dir_all(&d).unwrap();
-        d.join(name).to_string_lossy().into_owned()
+        ringjoin_testsupport::scratch_dir("cli")
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
     }
 
     #[test]
@@ -372,6 +390,58 @@ mod tests {
             .unwrap();
         assert!(b.contains("594"), "{b}");
         assert!(b.contains("10000"), "{b}");
+    }
+
+    #[test]
+    fn threaded_join_output_is_identical_to_sequential() {
+        let p = tmp("tp_par.bin");
+        let q = tmp("tq_par.bin");
+        for (path, seed) in [(&p, "11"), (&q, "12")] {
+            run(&parse(&s(&[
+                "generate", "--kind", "uniform", "--n", "600", "--seed", seed, "--out", path,
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+        let seq = tmp("pairs_seq.csv");
+        let par = tmp("pairs_par.csv");
+        run(&parse(&s(&[
+            "join",
+            "--p",
+            &p,
+            "--q",
+            &q,
+            "--threads",
+            "1",
+            "--out",
+            &seq,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&s(&[
+            "join",
+            "--p",
+            &p,
+            "--q",
+            &q,
+            "--threads",
+            "4",
+            "--out",
+            &par,
+        ]))
+        .unwrap())
+        .unwrap();
+        let seq_csv = std::fs::read_to_string(&seq).unwrap();
+        assert_eq!(
+            seq_csv,
+            std::fs::read_to_string(&par).unwrap(),
+            "parallel CSV must be byte-identical to sequential"
+        );
+        assert!(seq_csv.lines().count() > 1);
+        // Bad thread counts surface as argument errors.
+        assert!(
+            run(&parse(&s(&["join", "--p", &p, "--q", &q, "--threads", "x"])).unwrap()).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! The pluggable execution layer of the RCJ engine.
+//!
+//! The outer-leaf loop of every RCJ algorithm is embarrassingly parallel:
+//! leaf groups of `T_Q` touch disjoint slices of the output and all index
+//! access is read-only. What made the seed single-threaded was the
+//! storage layer (one `Rc<RefCell<_>>` pager), not the algorithms — so
+//! the executor parallelises at exactly that seam:
+//!
+//! * the outer leaf list (already in depth-first order) is partitioned
+//!   into **contiguous** chunks, one per worker, preserving the
+//!   Section 3.4 locality argument *within* each worker's buffer;
+//! * each worker runs the unchanged per-leaf driver over an `Arc`-shared
+//!   read-only [`PageSnapshot`](ringjoin_storage::PageSnapshot) through a
+//!   private [`WorkerPager`](ringjoin_storage::WorkerPager) whose LRU
+//!   capacity is the configured buffer budget divided by the worker
+//!   count;
+//! * results are concatenated **by chunk index** and per-worker counters
+//!   are merged ([`RcjStats::merge`], [`Pager::absorb`]), so a parallel
+//!   run's output is identical to the sequential run's — same pairs, same
+//!   order — and its aggregate statistics are the figures the paper
+//!   reports.
+//!
+//! Workers are plain `std::thread::scope` threads: no work stealing, no
+//! queues, no dependencies.
+
+use crate::index::{IndexProbe, NodeRef};
+use crate::join::{leaf_items, process_leaf, RcjOptions, RcjOutput};
+use crate::stats::RcjStats;
+use ringjoin_storage::{IoStats, PageAccess, SharedPager, WorkerPager};
+use std::rc::Rc;
+
+/// Execution mode of an RCJ run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Executor {
+    /// Process the outer leaves one by one through the shared pager —
+    /// the paper's original cost model.
+    Sequential,
+    /// Partition the outer leaves into contiguous depth-first chunks and
+    /// process them on `threads` worker threads. Output is byte-identical
+    /// to [`Executor::Sequential`].
+    Parallel {
+        /// Number of worker threads (values ≤ 1 behave sequentially).
+        threads: usize,
+    },
+}
+
+impl Executor {
+    /// An executor for `n` worker threads: [`Executor::Sequential`] for
+    /// `n ≤ 1`, [`Executor::Parallel`] otherwise.
+    pub fn threads(n: usize) -> Executor {
+        if n <= 1 {
+            Executor::Sequential
+        } else {
+            Executor::Parallel { threads: n }
+        }
+    }
+
+    /// Reads the executor from the `RINGJOIN_THREADS` environment
+    /// variable (unset, empty or ≤ 1 mean sequential). This is the
+    /// [`Default`], so every entry point — tests included — can be
+    /// switched to the parallel engine without touching code.
+    ///
+    /// # Panics
+    /// Panics on a set-but-unparsable value. Silently coercing a typo to
+    /// sequential would let a CI lane that exists to exercise the
+    /// parallel engine go green while testing nothing parallel.
+    pub fn from_env() -> Executor {
+        match std::env::var("RINGJOIN_THREADS") {
+            Ok(v) if v.trim().is_empty() => Executor::Sequential,
+            Ok(v) => {
+                Executor::threads(v.trim().parse().unwrap_or_else(|_| {
+                    panic!("RINGJOIN_THREADS must be a thread count, got {v:?}")
+                }))
+            }
+            Err(_) => Executor::Sequential,
+        }
+    }
+
+    /// The number of workers this executor would use.
+    pub fn worker_count(&self) -> usize {
+        match self {
+            Executor::Sequential => 1,
+            Executor::Parallel { threads } => (*threads).max(1),
+        }
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+/// Page-access handles for the two sides of a join.
+///
+/// Sequential runs hand out two clones of the shared pager(s); parallel
+/// workers hand out their private worker pagers — one if both trees live
+/// in the same pager (always true for self-joins), two otherwise.
+pub(crate) enum Pagers<'a> {
+    /// Both trees through one handle.
+    Shared(&'a mut dyn PageAccess),
+    /// Separate handles for the outer (`q`) and inner (`p`) tree.
+    Split {
+        /// Outer-tree access.
+        q: &'a mut dyn PageAccess,
+        /// Inner-tree access.
+        p: &'a mut dyn PageAccess,
+    },
+}
+
+impl Pagers<'_> {
+    /// Access to the outer tree's pages.
+    pub(crate) fn q(&mut self) -> &mut dyn PageAccess {
+        match self {
+            Pagers::Shared(pg) => *pg,
+            Pagers::Split { q, .. } => *q,
+        }
+    }
+
+    /// Access to the inner tree's pages.
+    pub(crate) fn p(&mut self) -> &mut dyn PageAccess {
+        match self {
+            Pagers::Shared(pg) => *pg,
+            Pagers::Split { p, .. } => *p,
+        }
+    }
+}
+
+/// Runs the per-leaf driver over `leaves` under the executor chosen in
+/// `opts`, returning pairs in deterministic leaf order.
+pub(crate) fn execute<PQ: IndexProbe, PP: IndexProbe>(
+    probe_q: &PQ,
+    probe_p: &PP,
+    pager_q: SharedPager,
+    pager_p: SharedPager,
+    leaves: &[NodeRef],
+    self_join: bool,
+    opts: &RcjOptions,
+) -> RcjOutput {
+    let workers = opts.executor.worker_count().min(leaves.len().max(1));
+    if workers <= 1 {
+        return run_sequential(probe_q, probe_p, pager_q, pager_p, leaves, self_join, opts);
+    }
+    run_parallel(
+        probe_q, probe_p, pager_q, pager_p, leaves, workers, self_join, opts,
+    )
+}
+
+fn run_sequential<PQ: IndexProbe, PP: IndexProbe>(
+    probe_q: &PQ,
+    probe_p: &PP,
+    pager_q: SharedPager,
+    pager_p: SharedPager,
+    leaves: &[NodeRef],
+    self_join: bool,
+    opts: &RcjOptions,
+) -> RcjOutput {
+    let mut out = RcjOutput {
+        pairs: Vec::new(),
+        stats: RcjStats::default(),
+    };
+    let mut pgq = pager_q;
+    let mut pgp = pager_p;
+    let mut pagers = Pagers::Split {
+        q: &mut pgq,
+        p: &mut pgp,
+    };
+    for leaf in leaves {
+        let items = leaf_items(probe_q, pagers.q(), *leaf);
+        process_leaf(
+            probe_q,
+            probe_p,
+            &mut pagers,
+            &items,
+            self_join,
+            opts,
+            &mut out,
+        );
+    }
+    out
+}
+
+/// Per-worker result, merged back in chunk order.
+struct WorkerOutput {
+    pairs: Vec<crate::RcjPair>,
+    stats: RcjStats,
+    io_q: IoStats,
+    io_p: Option<IoStats>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
+    probe_q: &PQ,
+    probe_p: &PP,
+    pager_q: SharedPager,
+    pager_p: SharedPager,
+    leaves: &[NodeRef],
+    workers: usize,
+    self_join: bool,
+    opts: &RcjOptions,
+) -> RcjOutput {
+    // One snapshot per distinct pager: trees sharing a pager (the paper's
+    // setup, and every self-join) share one snapshot and one per-worker
+    // buffer, exactly as they share one LRU buffer sequentially.
+    let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
+    let snap_q = pager_q.borrow_mut().snapshot();
+    let snap_p = if one_pager {
+        None
+    } else {
+        Some(pager_p.borrow_mut().snapshot())
+    };
+    // Each worker gets an equal slice of the configured buffer budget, so
+    // a parallel run uses the same total buffer memory as a sequential
+    // one.
+    let cap_q = (pager_q.borrow().buffer_capacity() / workers).max(1);
+    let cap_p = (pager_p.borrow().buffer_capacity() / workers).max(1);
+
+    let chunk_len = leaves.len().div_ceil(workers);
+    let chunks: Vec<&[NodeRef]> = leaves.chunks(chunk_len).collect();
+
+    let results: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let snap_q = snap_q.clone();
+                let snap_p = snap_p.clone();
+                scope.spawn(move || {
+                    let mut out = RcjOutput {
+                        pairs: Vec::new(),
+                        stats: RcjStats::default(),
+                    };
+                    let mut wq = WorkerPager::new(snap_q, cap_q);
+                    let mut wp = snap_p.map(|s| WorkerPager::new(s, cap_p));
+                    {
+                        let mut pagers = match wp.as_mut() {
+                            None => Pagers::Shared(&mut wq),
+                            Some(wp) => Pagers::Split { q: &mut wq, p: wp },
+                        };
+                        for leaf in *chunk {
+                            let items = leaf_items(probe_q, pagers.q(), *leaf);
+                            process_leaf(
+                                probe_q,
+                                probe_p,
+                                &mut pagers,
+                                &items,
+                                self_join,
+                                opts,
+                                &mut out,
+                            );
+                        }
+                    }
+                    WorkerOutput {
+                        pairs: out.pairs,
+                        stats: out.stats,
+                        io_q: wq.stats(),
+                        io_p: wp.map(|w| w.stats()),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("RCJ worker thread panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: chunk order is leaf order is sequential order.
+    let mut out = RcjOutput {
+        pairs: Vec::new(),
+        stats: RcjStats::default(),
+    };
+    for w in results {
+        out.pairs.extend(w.pairs);
+        out.stats.merge(w.stats);
+        pager_q.borrow_mut().absorb(w.io_q);
+        if let Some(io) = w.io_p {
+            pager_p.borrow_mut().absorb(io);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_constructor_folds_to_sequential() {
+        assert_eq!(Executor::threads(0), Executor::Sequential);
+        assert_eq!(Executor::threads(1), Executor::Sequential);
+        assert_eq!(Executor::threads(4), Executor::Parallel { threads: 4 });
+        assert_eq!(Executor::Sequential.worker_count(), 1);
+        assert_eq!(Executor::Parallel { threads: 8 }.worker_count(), 8);
+    }
+}

@@ -1,15 +1,21 @@
-//! The filter step (Algorithms 2 and 7 of the paper).
+//! The filter step (Algorithms 2 and 7 of the paper), index-agnostic.
 //!
-//! Given a query point `q ∈ Q`, the filter retrieves from the R-tree of
+//! Given a query point `q ∈ Q`, the filter retrieves from the index of
 //! `P` a *candidate set* `S` of points that may form RCJ pairs with `q`.
 //! It runs the incremental nearest-neighbour traversal of Hjaltason &
 //! Samet from `q`, interleaved with the half-plane pruning of Lemmas 1
 //! and 3: an entry strictly inside `Ψ⁻(q, p)` for any already-discovered
-//! candidate `p ∈ S` can be discarded — points (Lemma 1) outright, MBRs
-//! (Lemma 3) with their whole subtree. Because points arrive in ascending
-//! distance from `q`, close points enter `S` first and their pruning
-//! regions are largest (Section 3.1), which is what keeps `|S|` tiny in
-//! practice (a handful of points per query on the paper's datasets).
+//! candidate `p ∈ S` can be discarded — points (Lemma 1) outright,
+//! subtree regions (Lemma 3) with their whole subtree. Because points
+//! arrive in ascending distance from `q`, close points enter `S` first
+//! and their pruning regions are largest (Section 3.1), which is what
+//! keeps `|S|` tiny in practice.
+//!
+//! The traversal is written against [`IndexProbe`], so the same code
+//! filters through R-tree MBRs and quadtree quadrant regions — Lemma 3
+//! only needs the region to bound the subtree's points. Page access goes
+//! through an explicit [`PageAccess`], so the same code also runs on the
+//! shared sequential pager and on per-worker buffers.
 //!
 //! The bulk variant (Algorithm 7) filters a whole leaf node of `T_Q` in a
 //! single traversal of `T_P`, ordered by distance from the leaf centroid;
@@ -18,10 +24,10 @@
 //! sibling points of `q`'s leaf act as additional pruners at zero I/O
 //! cost.
 
+use crate::index::{IndexEntry, IndexProbe, NodeRef, RcjIndex};
 use crate::stats::RcjStats;
-use ringjoin_geom::{prunes, HalfPlane, Point, Rect};
-use ringjoin_rtree::{Item, NodeEntry, RTree};
-use ringjoin_storage::PageId;
+use ringjoin_geom::{prunes, HalfPlane, Item, Point, Rect};
+use ringjoin_storage::PageAccess;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -34,8 +40,9 @@ struct HeapElem {
 }
 
 enum Target {
-    /// An unvisited node and its MBR (kept for deheap-time Lemma 3 tests).
-    Node(PageId, Rect),
+    /// An unvisited node with its subtree-bounding region (kept for
+    /// deheap-time Lemma 3 tests).
+    Node(NodeRef),
     /// A data point awaiting its Lemma 1 test.
     Point(Item),
 }
@@ -60,7 +67,9 @@ impl Ord for HeapElem {
     }
 }
 
-/// Algorithm 2: candidate retrieval for a single query point.
+/// Algorithm 2: candidate retrieval for a single query point, through
+/// the tree's own pager (see [`filter_with`] for the executor-facing
+/// variant).
 ///
 /// `exclude_id` removes one identity from consideration — the query point
 /// itself during a self-join, where `T_P` is the same tree that contains
@@ -68,8 +77,21 @@ impl Ord for HeapElem {
 ///
 /// Returns the candidate set `S` in the order of discovery (ascending
 /// distance from `q`).
-pub fn filter(
-    tree_p: &RTree,
+pub fn filter<I: RcjIndex>(
+    tree_p: &I,
+    q: Point,
+    exclude_id: Option<u64>,
+    stats: &mut RcjStats,
+) -> Vec<Item> {
+    let mut pg = tree_p.pager();
+    filter_with(&tree_p.probe(), &mut pg, q, exclude_id, stats)
+}
+
+/// [`filter`] over an explicit probe and page-access handle — the form
+/// the executor's workers call with their private buffers.
+pub fn filter_with(
+    probe: &impl IndexProbe,
+    pg: &mut dyn PageAccess,
     q: Point,
     exclude_id: Option<u64>,
     stats: &mut RcjStats,
@@ -77,42 +99,36 @@ pub fn filter(
     let mut s: Vec<Item> = Vec::new();
     let mut heap = BinaryHeap::new();
     let mut seq = 0u64;
-    // Seed with the root; its MBR is unknown without a read, and pruning
-    // the root is pointless anyway, so use an all-covering rectangle.
     heap.push(HeapElem {
         key: 0.0,
         seq,
-        target: Target::Node(
-            tree_p.root_page(),
-            Rect::new(
-                Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
-                Point::new(f64::INFINITY, f64::INFINITY),
-            ),
-        ),
+        target: Target::Node(probe.root()),
     });
 
+    let mut entries: Vec<IndexEntry> = Vec::new();
     while let Some(elem) = heap.pop() {
         stats.filter_heap_pops += 1;
         match elem.target {
-            Target::Node(page, mbr) => {
+            Target::Node(node) => {
                 // Lemma 3 at deheap time: S may have grown since this
                 // entry was enqueued.
-                if rect_pruned(q, &s, mbr) {
+                if rect_pruned(q, &s, node.region) {
                     continue;
                 }
-                let node = tree_p.read_node(page);
-                for e in &node.entries {
+                entries.clear();
+                probe.expand(pg, node, &mut entries);
+                for e in &entries {
                     seq += 1;
                     match e {
-                        NodeEntry::Item(it) => heap.push(HeapElem {
+                        IndexEntry::Item(it) => heap.push(HeapElem {
                             key: q.dist_sq(it.point),
                             seq,
                             target: Target::Point(*it),
                         }),
-                        NodeEntry::Child { mbr, page } => heap.push(HeapElem {
-                            key: mbr.mindist_sq(q),
+                        IndexEntry::Node(child) => heap.push(HeapElem {
+                            key: child.region.mindist_sq(q),
                             seq,
-                            target: Target::Node(*page, *mbr),
+                            target: Target::Node(*child),
                         }),
                     }
                 }
@@ -136,7 +152,7 @@ fn point_pruned(q: Point, pruners: &[Item], x: Point) -> bool {
     pruners.iter().any(|p| prunes(q, p.point, x))
 }
 
-/// Lemma 3: is the MBR fully inside `Ψ⁻(q, p)` for some pruner `p`?
+/// Lemma 3: is the region fully inside `Ψ⁻(q, p)` for some pruner `p`?
 #[inline]
 fn rect_pruned(q: Point, pruners: &[Item], r: Rect) -> bool {
     pruners
@@ -150,8 +166,9 @@ pub struct BulkFilterResult {
     pub sets: Vec<Vec<Item>>,
 }
 
-/// Algorithms 7 + Section 4.2: bulk candidate retrieval for all points of
-/// one leaf node of `T_Q`.
+/// Algorithm 7 + Section 4.2: bulk candidate retrieval for all points of
+/// one leaf node of `T_Q`, through the tree's own pager (see
+/// [`bulk_filter_with`] for the executor-facing variant).
 ///
 /// * `leaf_points` — the points `V` of the leaf.
 /// * `symmetric` — enables the Lemma 5 rule (the OBJ optimisation):
@@ -159,8 +176,28 @@ pub struct BulkFilterResult {
 ///   member.
 /// * `exclude_same_id` — self-join mode: a `T_P` point with the same id
 ///   as `q` is `q` itself and never becomes its own candidate.
-pub fn bulk_filter(
-    tree_p: &RTree,
+pub fn bulk_filter<I: RcjIndex>(
+    tree_p: &I,
+    leaf_points: &[Item],
+    symmetric: bool,
+    exclude_same_id: bool,
+    stats: &mut RcjStats,
+) -> BulkFilterResult {
+    let mut pg = tree_p.pager();
+    bulk_filter_with(
+        &tree_p.probe(),
+        &mut pg,
+        leaf_points,
+        symmetric,
+        exclude_same_id,
+        stats,
+    )
+}
+
+/// [`bulk_filter`] over an explicit probe and page-access handle.
+pub fn bulk_filter_with(
+    probe: &impl IndexProbe,
+    pg: &mut dyn PageAccess,
     leaf_points: &[Item],
     symmetric: bool,
     exclude_same_id: bool,
@@ -185,13 +222,7 @@ pub fn bulk_filter(
     heap.push(HeapElem {
         key: 0.0,
         seq,
-        target: Target::Node(
-            tree_p.root_page(),
-            Rect::new(
-                Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
-                Point::new(f64::INFINITY, f64::INFINITY),
-            ),
-        ),
+        target: Target::Node(probe.root()),
     });
 
     // Pruner enumeration for leaf point `i`: its candidate set plus (under
@@ -225,28 +256,30 @@ pub fn bulk_filter(
         false
     };
 
+    let mut entries: Vec<IndexEntry> = Vec::new();
     while let Some(elem) = heap.pop() {
         stats.filter_heap_pops += 1;
         match elem.target {
-            Target::Node(page, mbr) => {
+            Target::Node(node) => {
                 // Discard only if prunable with respect to *every* leaf
                 // point (Algorithm 7, line 7).
-                if (0..n).all(|i| rect_pruned_for(i, &sets, mbr)) {
+                if (0..n).all(|i| rect_pruned_for(i, &sets, node.region)) {
                     continue;
                 }
-                let node = tree_p.read_node(page);
-                for e in &node.entries {
+                entries.clear();
+                probe.expand(pg, node, &mut entries);
+                for e in &entries {
                     seq += 1;
                     match e {
-                        NodeEntry::Item(it) => heap.push(HeapElem {
+                        IndexEntry::Item(it) => heap.push(HeapElem {
                             key: centroid.dist_sq(it.point),
                             seq,
                             target: Target::Point(*it),
                         }),
-                        NodeEntry::Child { mbr, page } => heap.push(HeapElem {
-                            key: mbr.mindist_sq(centroid),
+                        IndexEntry::Node(child) => heap.push(HeapElem {
+                            key: child.region.mindist_sq(centroid),
                             seq,
-                            target: Target::Node(*page, *mbr),
+                            target: Target::Node(*child),
                         }),
                     }
                 }
@@ -266,7 +299,6 @@ pub fn bulk_filter(
 
     BulkFilterResult { sets }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,181 @@
+//! The index abstraction the join drivers are generic over.
+//!
+//! Section 3 of the paper notes the RCJ methodology "is directly
+//! applicable to other hierarchical spatial indexes". Making that claim
+//! executable needs surprisingly little from an index:
+//!
+//! 1. a **node-expansion primitive** — decode one node into data items
+//!    and child references, each child carrying a region that bounds its
+//!    subtree's points. The filter's Lemma 3 pruning and the
+//!    verification's disjoint-entry rule are valid for *any*
+//!    subtree-bounding region (MBRs, quadrants, ...);
+//! 2. the **root** to start from;
+//! 3. one **capability flag**: whether regions are *minimal* (every face
+//!    touches a data point, as for R-tree MBRs). The face-inside-circle
+//!    verification shortcut is only sound on minimal regions — a
+//!    quadtree quadrant face strictly inside a circle guarantees
+//!    nothing, a porting subtlety the paper's remark glosses over.
+//!
+//! [`IndexProbe`] captures exactly that. It is deliberately a tiny
+//! `Copy + Send + Sync` value (root page plus decode parameters) with
+//! **no** interior page access of its own: every read goes through the
+//! [`PageAccess`] argument, which is how the same driver code runs
+//! sequentially over the owning [`SharedPager`] and in parallel over
+//! per-worker [`WorkerPager`](ringjoin_storage::WorkerPager)s.
+//! [`RcjIndex`] ties a probe to the tree that owns the pages.
+
+use ringjoin_geom::{Item, Point, Rect};
+use ringjoin_rtree::{NodeCodec, NodeEntry, RTree};
+use ringjoin_storage::{read_page_as, PageAccess, PageId, SharedPager};
+
+/// A reference to an index node: its page plus a region bounding every
+/// point in its subtree (an MBR for R-trees, a quadrant region for
+/// quadtrees).
+#[derive(Clone, Copy, Debug)]
+pub struct NodeRef {
+    /// Page holding the node.
+    pub page: PageId,
+    /// Region bounding the subtree's points.
+    pub region: Rect,
+}
+
+/// One entry obtained by expanding a node.
+#[derive(Clone, Copy, Debug)]
+pub enum IndexEntry {
+    /// A data record stored in the node.
+    Item(Item),
+    /// A child (or overflow-continuation) node.
+    Node(NodeRef),
+}
+
+/// A compact, thread-shareable traversal handle for one spatial index.
+///
+/// All INJ/BIJ/OBJ driver logic — leaf enumeration, the incremental-NN
+/// filter, circle verification — is written once against this trait; see
+/// the crate's [`filter`](crate::filter_with), [`verify`](crate::verify_with)
+/// and [`rcj_join`](crate::rcj_join).
+pub trait IndexProbe: Copy + Send + Sync {
+    /// The root node. Its region may be conservative (the R-tree uses
+    /// the whole plane rather than reading the root's MBR); drivers
+    /// never apply pruning tests to the root region itself.
+    fn root(&self) -> NodeRef;
+
+    /// `true` if subtree regions are minimal, i.e. every region face
+    /// touches a data point. Gates the face-inside-circle verification
+    /// rule.
+    fn minimal_regions(&self) -> bool;
+
+    /// Decodes the node at `node` through `pg` and appends its entries
+    /// to `out` in storage order. Child regions must bound the child's
+    /// subtree; overflow continuations reuse the node's own region.
+    fn expand(&self, pg: &mut dyn PageAccess, node: NodeRef, out: &mut Vec<IndexEntry>);
+}
+
+/// An index the RCJ drivers can run over.
+pub trait RcjIndex {
+    /// The thread-shareable traversal handle.
+    type Probe: IndexProbe;
+
+    /// Creates a probe for this tree.
+    fn probe(&self) -> Self::Probe;
+
+    /// The pager owning this tree's pages: the sequential access path,
+    /// and the source of the snapshot the parallel executor hands to its
+    /// workers.
+    fn pager(&self) -> SharedPager;
+}
+
+/// [`IndexProbe`] of the R*-tree: the node codec plus the root page.
+#[derive(Clone, Copy, Debug)]
+pub struct RTreeProbe {
+    codec: NodeCodec,
+    root: PageId,
+}
+
+impl IndexProbe for RTreeProbe {
+    fn root(&self) -> NodeRef {
+        // The root's MBR is unknown without a read, and pruning the root
+        // would be pointless anyway: bound it by the whole plane.
+        NodeRef {
+            page: self.root,
+            region: Rect::new(
+                Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+                Point::new(f64::INFINITY, f64::INFINITY),
+            ),
+        }
+    }
+
+    fn minimal_regions(&self) -> bool {
+        true
+    }
+
+    fn expand(&self, pg: &mut dyn PageAccess, node: NodeRef, out: &mut Vec<IndexEntry>) {
+        let decoded = read_page_as(pg, node.page, |bytes| self.codec.decode(bytes));
+        for e in &decoded.entries {
+            match e {
+                NodeEntry::Item(it) => out.push(IndexEntry::Item(*it)),
+                NodeEntry::Child { mbr, page } => out.push(IndexEntry::Node(NodeRef {
+                    page: *page,
+                    region: *mbr,
+                })),
+            }
+        }
+    }
+}
+
+impl RcjIndex for RTree {
+    type Probe = RTreeProbe;
+
+    fn probe(&self) -> RTreeProbe {
+        RTreeProbe {
+            codec: self.codec(),
+            root: self.root_page(),
+        }
+    }
+
+    fn pager(&self) -> SharedPager {
+        self.pager()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+    use ringjoin_rtree::bulk_load;
+    use ringjoin_storage::{MemDisk, Pager};
+
+    #[test]
+    fn rtree_probe_expands_every_item_exactly_once() {
+        let pager = Pager::new(MemDisk::new(256), 64).into_shared();
+        let items: Vec<Item> = (0..300)
+            .map(|i| Item::new(i, pt((i % 17) as f64, (i % 23) as f64)))
+            .collect();
+        let tree = bulk_load(pager.clone(), items);
+        let probe = tree.probe();
+        assert!(probe.minimal_regions());
+
+        // Exhaustive DF walk through the trait only.
+        let mut pg = tree.pager();
+        let mut stack = vec![probe.root()];
+        let mut seen = Vec::new();
+        while let Some(node) = stack.pop() {
+            let mut entries = Vec::new();
+            probe.expand(&mut pg, node, &mut entries);
+            for e in entries {
+                match e {
+                    IndexEntry::Item(it) => seen.push(it.id),
+                    IndexEntry::Node(child) => {
+                        // Child regions bound their subtrees (spot check:
+                        // the region is inside the parent's).
+                        assert!(node.region.contains_point(child.region.min));
+                        assert!(node.region.contains_point(child.region.max));
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..300u64).collect::<Vec<_>>());
+    }
+}

@@ -1,12 +1,24 @@
 //! The RCJ join drivers: INJ (Algorithms 4–5), BIJ (Algorithm 6) and OBJ
 //! (Section 4.2), plus the self-join variant.
+//!
+//! The drivers are generic over [`RcjIndex`], so one implementation of
+//! each algorithm serves every index (R*-tree, quadtree, and any future
+//! one) — the index-specific knowledge lives entirely in the
+//! [`IndexProbe`](crate::IndexProbe). Execution is delegated to the
+//! [`executor`](crate::executor): leaf groups of the outer tree are
+//! processed either sequentially through the shared pager or split into
+//! contiguous depth-first chunks across worker threads, with results
+//! merged deterministically so both modes produce identical output.
 
-use crate::filter::{bulk_filter, filter};
+use crate::executor::{execute, Pagers};
+use crate::filter::{bulk_filter_with, filter_with};
+use crate::index::{IndexEntry, IndexProbe, NodeRef, RcjIndex};
 use crate::pair::RcjPair;
 use crate::stats::RcjStats;
-use crate::verify::verify;
-use ringjoin_rtree::{Item, RTree};
-use ringjoin_storage::PageId;
+use crate::verify::verify_with;
+use crate::Executor;
+use ringjoin_geom::Item;
+use ringjoin_storage::PageAccess;
 
 /// Which RCJ algorithm to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -56,10 +68,15 @@ pub struct RcjOptions {
     /// Skip the verification step, reporting raw filter candidates
     /// (Figure 14 measures its cost share; results are then a superset).
     pub skip_verification: bool,
-    /// Disable the face-inside-circle verification shortcut (ablation).
+    /// Disable the face-inside-circle verification shortcut (ablation;
+    /// only ever active on indexes with minimal regions).
     pub no_face_rule: bool,
     /// Leaf processing order for the outer tree.
     pub outer_order: OuterOrder,
+    /// Execution mode (default [`Executor::from_env`]: sequential unless
+    /// `RINGJOIN_THREADS` says otherwise). Parallel runs produce output
+    /// identical to sequential runs, pair for pair, in the same order.
+    pub executor: Executor,
 }
 
 impl RcjOptions {
@@ -70,10 +87,17 @@ impl RcjOptions {
             ..Default::default()
         }
     }
+
+    /// Returns these options with the given executor.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
 }
 
 /// The outcome of an RCJ run: result pairs plus CPU-side counters (I/O
-/// counters live in the shared pager and are snapshotted by the caller).
+/// counters live in the shared pager and are snapshotted by the caller;
+/// parallel runs fold their per-worker I/O counters back into it).
 #[derive(Clone, Debug)]
 pub struct RcjOutput {
     /// The join result (or the unverified candidates when
@@ -87,7 +111,9 @@ pub struct RcjOutput {
 /// `tq`) and `P` (inner, indexed by `tp`).
 ///
 /// Returns all pairs `⟨p, q⟩`, `p ∈ P`, `q ∈ Q`, whose smallest enclosing
-/// circle contains no other point of `P ∪ Q` strictly inside.
+/// circle contains no other point of `P ∪ Q` strictly inside. The two
+/// indexes need not be of the same kind — any [`RcjIndex`] works on
+/// either side.
 ///
 /// ```
 /// use ringjoin_core::{rcj_join, RcjOptions};
@@ -106,7 +132,7 @@ pub struct RcjOutput {
 /// keys.sort();
 /// assert_eq!(keys, vec![(1, 1), (2, 1), (2, 2)]); // <p1,q2> is excluded
 /// ```
-pub fn rcj_join(tq: &RTree, tp: &RTree, opts: &RcjOptions) -> RcjOutput {
+pub fn rcj_join<IQ: RcjIndex, IP: RcjIndex>(tq: &IQ, tp: &IP, opts: &RcjOptions) -> RcjOutput {
     run(tq, tp, false, opts)
 }
 
@@ -114,38 +140,87 @@ pub fn rcj_join(tq: &RTree, tp: &RTree, opts: &RcjOptions) -> RcjOutput {
 /// application): all unordered pairs of distinct points whose circle
 /// contains no third point. Each pair is reported once, with
 /// `p.id < q.id`.
-pub fn rcj_self_join(tree: &RTree, opts: &RcjOptions) -> RcjOutput {
+pub fn rcj_self_join<I: RcjIndex>(tree: &I, opts: &RcjOptions) -> RcjOutput {
     run(tree, tree, true, opts)
 }
 
-fn run(tq: &RTree, tp: &RTree, self_join: bool, opts: &RcjOptions) -> RcjOutput {
-    let mut out = RcjOutput {
-        pairs: Vec::new(),
-        stats: RcjStats::default(),
-    };
-    // Collect the leaf pages in depth-first order (one cheap pass over
-    // T_Q), optionally destroy the locality for the ablation, then
-    // process leaf by leaf. Re-reading each leaf page right before its
+fn run<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    self_join: bool,
+    opts: &RcjOptions,
+) -> RcjOutput {
+    let probe_q = tq.probe();
+    // Collect the outer leaf groups in depth-first order (one cheap pass
+    // over T_Q, charged to the shared pager in both execution modes),
+    // optionally destroy the locality for the ablation, then hand the
+    // list to the executor. Re-reading each leaf page right before its
     // group is processed keeps it hot in the buffer in the depth-first
     // case, matching Algorithm 5's inline recursion.
-    let mut leaves: Vec<PageId> = Vec::new();
-    tq.for_each_leaf_df(|page, _| leaves.push(page));
+    let mut leaves: Vec<NodeRef> = Vec::new();
+    {
+        let mut pg = tq.pager();
+        collect_leaves(&probe_q, &mut pg, probe_q.root(), &mut leaves);
+    }
     if let OuterOrder::Shuffled(seed) = opts.outer_order {
         shuffle(&mut leaves, seed);
     }
-    for page in leaves {
-        let node = tq.read_node(page);
-        let items: Vec<Item> = node.items().collect();
-        process_leaf(tq, tp, &items, self_join, opts, &mut out);
-    }
+    let mut out = execute(
+        &probe_q,
+        &tp.probe(),
+        tq.pager(),
+        tp.pager(),
+        &leaves,
+        self_join,
+        opts,
+    );
     out.stats.result_pairs = out.pairs.len() as u64;
     out
 }
 
-/// Computes the RCJ contribution of one leaf of `T_Q`.
-fn process_leaf(
-    tq: &RTree,
-    tp: &RTree,
+/// Depth-first walk recording every node that stores data items — R-tree
+/// leaves, quadtree buckets and their overflow-chain pages alike.
+fn collect_leaves(
+    probe: &impl IndexProbe,
+    pg: &mut dyn PageAccess,
+    node: NodeRef,
+    out: &mut Vec<NodeRef>,
+) {
+    let mut entries: Vec<IndexEntry> = Vec::new();
+    probe.expand(pg, node, &mut entries);
+    if entries.iter().any(|e| matches!(e, IndexEntry::Item(_))) {
+        out.push(node);
+    }
+    for e in &entries {
+        if let IndexEntry::Node(child) = e {
+            collect_leaves(probe, pg, *child, out);
+        }
+    }
+}
+
+/// The data items of one collected leaf group (re-expanding the node, so
+/// the page is hot right when the group is processed).
+pub(crate) fn leaf_items(
+    probe: &impl IndexProbe,
+    pg: &mut dyn PageAccess,
+    leaf: NodeRef,
+) -> Vec<Item> {
+    let mut entries: Vec<IndexEntry> = Vec::new();
+    probe.expand(pg, leaf, &mut entries);
+    entries
+        .into_iter()
+        .filter_map(|e| match e {
+            IndexEntry::Item(it) => Some(it),
+            IndexEntry::Node(_) => None,
+        })
+        .collect()
+}
+
+/// Computes the RCJ contribution of one leaf group of `T_Q`.
+pub(crate) fn process_leaf<PQ: IndexProbe, PP: IndexProbe>(
+    probe_q: &PQ,
+    probe_p: &PP,
+    pagers: &mut Pagers<'_>,
     leaf_points: &[Item],
     self_join: bool,
     opts: &RcjOptions,
@@ -156,29 +231,37 @@ fn process_leaf(
             // Algorithm 4: per-point filter and verification.
             for &q in leaf_points {
                 let exclude = self_join.then_some(q.id);
-                let cands = filter(tp, q.point, exclude, &mut out.stats);
+                let cands = filter_with(probe_p, pagers.p(), q.point, exclude, &mut out.stats);
                 out.stats.candidate_pairs += cands.len() as u64;
                 let pairs: Vec<RcjPair> = cands.into_iter().map(|p| RcjPair::new(p, q)).collect();
-                finish(tq, tp, pairs, self_join, opts, out);
+                finish(probe_q, probe_p, pagers, pairs, self_join, opts, out);
             }
         }
         RcjAlgorithm::Bij | RcjAlgorithm::Obj => {
             let symmetric = opts.algorithm == RcjAlgorithm::Obj;
-            let bulk = bulk_filter(tp, leaf_points, symmetric, self_join, &mut out.stats);
+            let bulk = bulk_filter_with(
+                probe_p,
+                pagers.p(),
+                leaf_points,
+                symmetric,
+                self_join,
+                &mut out.stats,
+            );
             let mut pairs: Vec<RcjPair> = Vec::new();
             for (i, &q) in leaf_points.iter().enumerate() {
                 out.stats.candidate_pairs += bulk.sets[i].len() as u64;
                 pairs.extend(bulk.sets[i].iter().map(|&p| RcjPair::new(p, q)));
             }
-            finish(tq, tp, pairs, self_join, opts, out);
+            finish(probe_q, probe_p, pagers, pairs, self_join, opts, out);
         }
     }
 }
 
 /// Verification + reporting for a batch of candidate pairs.
-fn finish(
-    tq: &RTree,
-    tp: &RTree,
+fn finish<PQ: IndexProbe, PP: IndexProbe>(
+    probe_q: &PQ,
+    probe_p: &PP,
+    pagers: &mut Pagers<'_>,
     pairs: Vec<RcjPair>,
     self_join: bool,
     opts: &RcjOptions,
@@ -190,9 +273,23 @@ fn finish(
     let mut alive = vec![true; pairs.len()];
     if !opts.skip_verification {
         let face = !opts.no_face_rule;
-        verify(tq, &pairs, &mut alive, face, &mut out.stats);
+        verify_with(
+            probe_q,
+            pagers.q(),
+            &pairs,
+            &mut alive,
+            face,
+            &mut out.stats,
+        );
         if !self_join {
-            verify(tp, &pairs, &mut alive, face, &mut out.stats);
+            verify_with(
+                probe_p,
+                pagers.p(),
+                &pairs,
+                &mut alive,
+                face,
+                &mut out.stats,
+            );
         }
     }
     for (i, pr) in pairs.into_iter().enumerate() {
@@ -223,7 +320,6 @@ fn shuffle<T>(v: &mut [T], seed: u64) {
         v.swap(i, j);
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,6 +30,13 @@
 //! * [`rcj_self_join`] — the self-RCJ (postboxes application).
 //! * [`metric_rcj`] — the Section 6 "future work" generalisation to
 //!   `L1`/`L∞` metrics, via the mirror-point reformulation of Lemma 1.
+//! * [`RcjIndex`]/[`IndexProbe`] — the drivers are index-agnostic: the
+//!   same INJ/BIJ/OBJ code runs over R*-trees, quadtrees, and any index
+//!   that can expand a node into items and region-bounded children.
+//! * [`Executor`] — sequential or deterministic multi-threaded
+//!   execution ([`Executor::Parallel`] output is identical to
+//!   sequential, pair for pair); `RINGJOIN_THREADS` switches the
+//!   session default.
 //!
 //! # Quickstart
 //!
@@ -58,7 +65,9 @@
 
 pub mod bounds;
 mod brute;
+mod executor;
 mod filter;
+mod index;
 mod join;
 pub mod metric_rcj;
 mod pair;
@@ -66,8 +75,10 @@ mod stats;
 mod verify;
 
 pub use brute::{brute_candidates, rcj_brute, rcj_brute_self};
-pub use filter::{bulk_filter, filter, BulkFilterResult};
+pub use executor::Executor;
+pub use filter::{bulk_filter, bulk_filter_with, filter, filter_with, BulkFilterResult};
+pub use index::{IndexEntry, IndexProbe, NodeRef, RTreeProbe, RcjIndex};
 pub use join::{rcj_join, rcj_self_join, OuterOrder, RcjAlgorithm, RcjOptions, RcjOutput};
 pub use pair::{pair_keys, sort_by_diameter, RcjPair};
 pub use stats::RcjStats;
-pub use verify::verify;
+pub use verify::{verify, verify_with};

@@ -22,8 +22,11 @@ pub struct RcjStats {
 }
 
 impl RcjStats {
-    /// Component-wise sum, for aggregating per-leaf runs.
-    pub fn add(&mut self, other: RcjStats) {
+    /// Component-wise sum — aggregates per-leaf runs, and per-worker
+    /// counters of a parallel run into the same totals a sequential run
+    /// reports (every counter is a plain sum over leaf groups, so the
+    /// merge of any partition equals the sequential figure).
+    pub fn merge(&mut self, other: RcjStats) {
         self.candidate_pairs += other.candidate_pairs;
         self.result_pairs += other.result_pairs;
         self.filter_heap_pops += other.filter_heap_pops;
@@ -36,14 +39,47 @@ mod tests {
     use super::*;
 
     #[test]
-    fn add_accumulates() {
+    fn merge_of_any_partition_equals_the_total() {
+        // Chunked counters merged in any order sum to the same totals —
+        // the invariant the parallel executor's aggregation rests on.
+        let parts = [
+            RcjStats {
+                candidate_pairs: 5,
+                result_pairs: 1,
+                filter_heap_pops: 100,
+                verify_node_visits: 7,
+            },
+            RcjStats::default(),
+            RcjStats {
+                candidate_pairs: 3,
+                result_pairs: 2,
+                filter_heap_pops: 50,
+                verify_node_visits: 11,
+            },
+        ];
+        let mut fwd = RcjStats::default();
+        let mut rev = RcjStats::default();
+        for s in parts {
+            fwd.merge(s);
+        }
+        for s in parts.iter().rev() {
+            rev.merge(*s);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.candidate_pairs, 8);
+        assert_eq!(fwd.filter_heap_pops, 150);
+        assert_eq!(fwd.verify_node_visits, 18);
+    }
+
+    #[test]
+    fn merge_accumulates_every_counter() {
         let mut a = RcjStats {
             candidate_pairs: 1,
             result_pairs: 2,
             filter_heap_pops: 3,
             verify_node_visits: 4,
         };
-        a.add(RcjStats {
+        a.merge(RcjStats {
             candidate_pairs: 10,
             result_pairs: 20,
             filter_heap_pops: 30,

@@ -1,29 +1,34 @@
-//! The verification step (Algorithm 3 of the paper).
+//! The verification step (Algorithm 3 of the paper), index-agnostic.
 //!
 //! Candidate pairs that survive the filter are checked against both
 //! datasets: a pair `⟨p, q⟩` is an RCJ result iff its enclosing circle
 //! contains no other data point strictly inside. Verification descends an
-//! R-tree once for a whole *set* of circles, pruning with three rules from
+//! index once for a whole *set* of circles, pruning with three rules from
 //! Section 3.2:
 //!
 //! * **point inside** — a data point strictly inside a circle kills the
 //!   corresponding pair;
-//! * **disjoint entry** — subtrees whose MBR does not reach a circle's
+//! * **disjoint entry** — subtrees whose region does not reach a circle's
 //!   open interior are never descended for that circle;
-//! * **face inside** — if a face of an MBR lies strictly inside a circle,
-//!   MBR minimality guarantees a data point strictly inside, so the pair
-//!   dies *without* descending the subtree.
+//! * **face inside** — if a face of a *minimal* region (an R-tree MBR)
+//!   lies strictly inside a circle, minimality guarantees a data point
+//!   strictly inside, so the pair dies *without* descending the subtree.
+//!
+//! The first two rules are sound for any subtree-bounding region and are
+//! applied on every index; the face rule is gated on
+//! [`IndexProbe::minimal_regions`] — quadtree quadrants partition space,
+//! not data, so a quadrant face inside a circle guarantees nothing.
 //!
 //! All point-level predicates use the exact dot-product form
 //! ([`Circle::strictly_contains_diameter`]), so the circle's own
 //! endpoints — which live in the verified trees — never invalidate their
 //! own pair and no id bookkeeping is needed.
 
+use crate::index::{IndexEntry, IndexProbe, NodeRef, RcjIndex};
 use crate::pair::RcjPair;
 use crate::stats::RcjStats;
 use ringjoin_geom::{Circle, Point, Rect};
-use ringjoin_rtree::{NodeEntry, RTree};
-use ringjoin_storage::PageId;
+use ringjoin_storage::PageAccess;
 
 /// A candidate circle with cached geometry for the rectangle tests.
 struct Cand {
@@ -38,7 +43,8 @@ struct Cand {
 /// whose circle strictly contains a point of the tree.
 ///
 /// `face_rule` enables the face-inside-circle shortcut (on in all paper
-/// algorithms; exposed for the ablation benchmark).
+/// algorithms; exposed for the ablation benchmark). It only takes effect
+/// on indexes whose regions are minimal MBRs — see the module docs.
 ///
 /// Candidate-vs-entry comparisons use the paper's plane-sweep idea
 /// (Section 3.2, "plane-sweep is an efficient method for detecting the
@@ -46,14 +52,29 @@ struct Cand {
 /// kept sorted by the left edge of each circle's bounding box, so each
 /// node entry only probes the prefix of candidates whose boxes can reach
 /// it in x, with a cheap y/x reject before the exact circle tests.
-pub fn verify(
-    tree: &RTree,
+pub fn verify<I: RcjIndex>(
+    tree: &I,
+    pairs: &[RcjPair],
+    alive: &mut [bool],
+    face_rule: bool,
+    stats: &mut RcjStats,
+) {
+    let mut pg = tree.pager();
+    verify_with(&tree.probe(), &mut pg, pairs, alive, face_rule, stats)
+}
+
+/// [`verify`] over an explicit probe and page-access handle — the form
+/// the executor's workers call with their private buffers.
+pub fn verify_with(
+    probe: &impl IndexProbe,
+    pg: &mut dyn PageAccess,
     pairs: &[RcjPair],
     alive: &mut [bool],
     face_rule: bool,
     stats: &mut RcjStats,
 ) {
     debug_assert_eq!(pairs.len(), alive.len());
+    let face_rule = face_rule && probe.minimal_regions();
     let cands: Vec<Cand> = pairs
         .iter()
         .map(|pr| {
@@ -74,8 +95,9 @@ pub fn verify(
     // stay sorted, so the prefix property holds throughout the recursion.
     idxs.sort_by(|&a, &b| cands[a].bbox.min.x.total_cmp(&cands[b].bbox.min.x));
     verify_node(
-        tree,
-        tree.root_page(),
+        probe,
+        pg,
+        probe.root(),
         &idxs,
         &cands,
         alive,
@@ -91,9 +113,11 @@ fn sweep_prefix(idxs: &[usize], cands: &[Cand], x_limit: f64) -> usize {
     idxs.partition_point(|&i| cands[i].bbox.min.x <= x_limit)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn verify_node(
-    tree: &RTree,
-    page: PageId,
+    probe: &impl IndexProbe,
+    pg: &mut dyn PageAccess,
+    node: NodeRef,
     idxs: &[usize],
     cands: &[Cand],
     alive: &mut [bool],
@@ -101,10 +125,11 @@ fn verify_node(
     stats: &mut RcjStats,
 ) {
     stats.verify_node_visits += 1;
-    let node = tree.read_node(page);
-    if node.is_leaf() {
-        for e in &node.entries {
-            if let NodeEntry::Item(it) = e {
+    let mut entries: Vec<IndexEntry> = Vec::new();
+    probe.expand(pg, node, &mut entries);
+    for e in &entries {
+        match e {
+            IndexEntry::Item(it) => {
                 let frontier = sweep_prefix(idxs, cands, it.point.x);
                 for &i in &idxs[..frontier] {
                     if alive[i]
@@ -115,28 +140,25 @@ fn verify_node(
                     }
                 }
             }
-        }
-        return;
-    }
-    for e in &node.entries {
-        if let NodeEntry::Child { mbr, page: child } = e {
-            let frontier = sweep_prefix(idxs, cands, mbr.max.x);
-            let mut sub: Vec<usize> = Vec::new();
-            for &i in &idxs[..frontier] {
-                if !alive[i] || !cands[i].bbox.intersects(*mbr) {
-                    continue;
+            IndexEntry::Node(child) => {
+                let frontier = sweep_prefix(idxs, cands, child.region.max.x);
+                let mut sub: Vec<usize> = Vec::new();
+                for &i in &idxs[..frontier] {
+                    if !alive[i] || !cands[i].bbox.intersects(child.region) {
+                        continue;
+                    }
+                    if face_rule && face_inside(child.region, cands[i].p, cands[i].q) {
+                        // Guaranteed point inside: the pair dies without I/O.
+                        alive[i] = false;
+                        continue;
+                    }
+                    if intersects_interior(&cands[i].circle, child.region) {
+                        sub.push(i);
+                    }
                 }
-                if face_rule && face_inside(*mbr, cands[i].p, cands[i].q) {
-                    // Guaranteed point inside: the pair dies without I/O.
-                    alive[i] = false;
-                    continue;
+                if !sub.is_empty() {
+                    verify_node(probe, pg, *child, &sub, cands, alive, face_rule, stats);
                 }
-                if intersects_interior(&cands[i].circle, *mbr) {
-                    sub.push(i);
-                }
-            }
-            if !sub.is_empty() {
-                verify_node(tree, *child, &sub, cands, alive, face_rule, stats);
             }
         }
     }
@@ -171,12 +193,11 @@ fn face_inside(r: Rect, p: Point, q: Point) -> bool {
 fn intersects_interior(c: &Circle, r: Rect) -> bool {
     r.mindist_sq(c.center) < c.radius_sq() * (1.0 + 1e-9)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ringjoin_geom::pt;
-    use ringjoin_rtree::{bulk_load, Item};
+    use ringjoin_rtree::{bulk_load, Item, RTree};
     use ringjoin_storage::{MemDisk, Pager};
 
     fn tree_of(points: &[(f64, f64)]) -> RTree {

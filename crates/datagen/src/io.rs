@@ -98,13 +98,7 @@ mod tests {
     use crate::uniform;
 
     fn tmpdir() -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "ringjoin-io-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&d).unwrap();
-        d
+        ringjoin_testsupport::scratch_dir("io")
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! The identified data record both spatial indexes store.
+
+use crate::Point;
+
+/// A data record: an identified point.
+///
+/// The `id` is carried through every operator; RCJ verification uses it to
+/// recognise a circle's own defining endpoints (which lie *on* the circle),
+/// and the self-join uses it to report each unordered pair once. Both the
+/// R*-tree and the quadtree store exactly this record — a shared record
+/// type is what lets the join drivers stay index-agnostic.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Item {
+    /// Application-assigned identifier, unique within a dataset.
+    pub id: u64,
+    /// Location of the record.
+    pub point: Point,
+}
+
+impl Item {
+    /// Creates an item.
+    #[inline]
+    pub const fn new(id: u64, point: Point) -> Self {
+        Item { id, point }
+    }
+}

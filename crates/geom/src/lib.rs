@@ -51,12 +51,14 @@
 
 mod circle;
 mod halfplane;
+mod item;
 mod metric;
 mod point;
 mod rect;
 
 pub use circle::Circle;
 pub use halfplane::{prunes, HalfPlane};
+pub use item::Item;
 pub use metric::Metric;
 pub use point::{pt, Point, Vec2};
 pub use rect::Rect;

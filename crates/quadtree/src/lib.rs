@@ -5,11 +5,13 @@
 //! applicable to other hierarchical spatial indexes (e.g., point
 //! quad-tree) as well". This crate makes that claim executable: a
 //! page-per-node PR quadtree over the same [`ringjoin_storage`] pager
-//! (so the same buffer manager and I/O accounting), with range search,
-//! incremental nearest-neighbour ranking, and — in [`rcj`] — a complete
-//! INJ-style ring-constrained join whose filter and verification steps
-//! reuse the identical geometric machinery (Lemmas 1/3, Algorithm 3's
-//! rules) on quadrant regions instead of MBRs.
+//! (so the same buffer manager and I/O accounting), with range search
+//! and incremental nearest-neighbour ranking. The ring-constrained join
+//! itself is **not** reimplemented here: [`rcj`] only provides the
+//! [`rcj::QuadTreeProbe`] implementation of `ringjoin_core`'s
+//! `RcjIndex`, and the shared generic INJ/BIJ/OBJ drivers run over
+//! quadrant regions exactly as they run over R-tree MBRs (minus the
+//! face-inside-circle rule, which needs minimal regions).
 //!
 //! # Structure
 //!
@@ -43,4 +45,5 @@ pub mod rcj;
 mod tree;
 
 pub use node::{QItem, QNode};
+pub use rcj::QuadTreeProbe;
 pub use tree::{QNearestIter, QuadTree};

@@ -17,14 +17,10 @@ pub const LEAF_EXTRA: usize = 8;
 /// Bytes per stored point.
 pub const ITEM_SIZE: usize = 24;
 
-/// A stored point record.
-#[derive(Clone, Copy, PartialEq, Debug)]
-pub struct QItem {
-    /// Application id.
-    pub id: u64,
-    /// Location.
-    pub point: Point,
-}
+/// A stored point record — the same [`ringjoin_geom::Item`] the R*-tree
+/// stores, so the index-agnostic join drivers need no conversion. The
+/// alias survives from when the quadtree had its own record type.
+pub type QItem = ringjoin_geom::Item;
 
 /// A decoded quadtree node.
 #[derive(Clone, Debug, PartialEq)]

@@ -1,196 +1,96 @@
-//! The ring-constrained join over quadtrees — the paper's portability
-//! claim, made executable.
+//! The quadtree face of the index-agnostic RCJ engine — the paper's
+//! portability claim, made executable.
 //!
-//! The INJ methodology transfers almost verbatim: the filter is an
-//! incremental nearest-neighbour traversal with Ψ⁻ pruning, where
-//! Lemma 3's "MBR fully inside the pruning region" test applies to
-//! quadrant regions unchanged (it is valid for *any* region that bounds
-//! the subtree's points). One piece does **not** transfer: the
-//! verification step's face-inside-circle rule relies on MBR
+//! There is no quadtree-specific join code anymore: INJ, BIJ and OBJ run
+//! through the shared generic drivers in `ringjoin_core`. All this
+//! module contributes is the [`IndexProbe`] describing how to traverse a
+//! quadtree — node expansion over quadrant regions (Lemma 3's pruning
+//! test applies to *any* region that bounds the subtree's points), with
+//! overflow-chain pages surfacing as continuation nodes.
+//!
+//! One capability does **not** transfer, and the probe says so:
+//! the verification step's face-inside-circle rule relies on region
 //! *minimality* — every face of an R-tree MBR touches a data point —
 //! and quadrant regions are fixed-space partitions with no such
-//! guarantee. The quadtree verification therefore uses only the
-//! point-inside and region-intersects rules, a porting subtlety the
-//! paper's Section 3 remark glosses over.
+//! guarantee. [`IndexProbe::minimal_regions`] therefore answers `false`
+//! here, and the generic verification falls back to the point-inside and
+//! region-intersects rules alone — a porting subtlety the paper's
+//! Section 3 remark glosses over.
 
-use crate::node::{quadrant, QItem, QNode};
+use crate::node::{decode, quadrant, QNode};
 use crate::tree::QuadTree;
-use ringjoin_geom::{Circle, HalfPlane, Point, Rect};
-use ringjoin_storage::PageId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use ringjoin_core::{IndexEntry, IndexProbe, NodeRef, RcjIndex};
+use ringjoin_geom::Rect;
+use ringjoin_storage::{read_page_as, PageAccess, PageId, SharedPager};
 
-/// A result pair of the quadtree RCJ.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct QPair {
-    /// Member of `P`.
-    pub p: QItem,
-    /// Member of `Q`.
-    pub q: QItem,
+/// [`IndexProbe`] of the bucket PR quadtree: the root page plus the
+/// covered region (quadrant regions are derived, not stored).
+#[derive(Clone, Copy, Debug)]
+pub struct QuadTreeProbe {
+    root: PageId,
+    region: Rect,
 }
 
-impl QPair {
-    /// Identity key for set comparisons.
-    pub fn key(&self) -> (u64, u64) {
-        (self.p.id, self.q.id)
-    }
-}
-
-/// Computes the RCJ between quadtree-indexed pointsets: all pairs
-/// `⟨p, q⟩` whose diameter circle contains no other point of either
-/// tree, INJ-style (per-point filter + verification).
-pub fn rcj_quadtree(tq: &QuadTree, tp: &QuadTree) -> Vec<QPair> {
-    let mut out = Vec::new();
-    let mut outer: Vec<QItem> = Vec::new();
-    tq.for_each_leaf_df(|items| outer.extend_from_slice(items));
-    for q in outer {
-        let cands = filter(tp, q.point);
-        for p in cands {
-            let pair = QPair { p, q };
-            if verify_pair(tq, &pair) && verify_pair(tp, &pair) {
-                out.push(pair);
-            }
+impl IndexProbe for QuadTreeProbe {
+    fn root(&self) -> NodeRef {
+        NodeRef {
+            page: self.root,
+            region: self.region,
         }
     }
-    out
-}
 
-struct Elem {
-    key: f64,
-    seq: u64,
-    target: Target,
-}
-enum Target {
-    Node(PageId, Rect),
-    Item(QItem),
-}
-impl PartialEq for Elem {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.seq == other.seq
+    fn minimal_regions(&self) -> bool {
+        // Quadrants partition space, not data: a face strictly inside a
+        // circle guarantees no point inside, so the face rule is unsound.
+        false
     }
-}
-impl Eq for Elem {}
-impl PartialOrd for Elem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Elem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .key
-            .total_cmp(&self.key)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
-/// Algorithm 2 on a quadtree: candidates of `q` from `tp`.
-fn filter(tp: &QuadTree, q: Point) -> Vec<QItem> {
-    let mut s: Vec<QItem> = Vec::new();
-    let mut heap = BinaryHeap::new();
-    let mut seq = 0u64;
-    heap.push(Elem {
-        key: 0.0,
-        seq,
-        target: Target::Node(tp.root_page(), tp.region()),
-    });
-    while let Some(elem) = heap.pop() {
-        match elem.target {
-            Target::Node(page, region) => {
-                // Lemma 3 on the quadrant region (valid for any
-                // subtree-bounding region).
-                if s.iter()
-                    .any(|p| HalfPlane::pruning_region(q, p.point).contains_rect(region))
-                {
-                    continue;
+    fn expand(&self, pg: &mut dyn PageAccess, node: NodeRef, out: &mut Vec<IndexEntry>) {
+        match read_page_as(pg, node.page, decode) {
+            QNode::Leaf { items, next } => {
+                out.extend(items.into_iter().map(IndexEntry::Item));
+                if !next.is_invalid() {
+                    // Overflow chains bound the same quadrant region.
+                    out.push(IndexEntry::Node(NodeRef {
+                        page: next,
+                        region: node.region,
+                    }));
                 }
-                match tp.read_node(page) {
-                    QNode::Leaf { items, next } => {
-                        for it in items {
-                            seq += 1;
-                            heap.push(Elem {
-                                key: q.dist_sq(it.point),
-                                seq,
-                                target: Target::Item(it),
-                            });
-                        }
-                        if !next.is_invalid() {
-                            seq += 1;
-                            heap.push(Elem {
-                                key: region.mindist_sq(q),
-                                seq,
-                                target: Target::Node(next, region),
-                            });
-                        }
-                    }
-                    QNode::Internal { children } => {
-                        for (qi, child) in children.iter().enumerate() {
-                            if !child.is_invalid() {
-                                let sub = quadrant(region, qi);
-                                seq += 1;
-                                heap.push(Elem {
-                                    key: sub.mindist_sq(q),
-                                    seq,
-                                    target: Target::Node(*child, sub),
-                                });
-                            }
-                        }
+            }
+            QNode::Internal { children } => {
+                for (qi, child) in children.iter().enumerate() {
+                    if !child.is_invalid() {
+                        out.push(IndexEntry::Node(NodeRef {
+                            page: *child,
+                            region: quadrant(node.region, qi),
+                        }));
                     }
                 }
             }
-            Target::Item(it) => {
-                if !s
-                    .iter()
-                    .any(|p| Circle::strictly_contains_diameter(p.point, q, it.point))
-                {
-                    s.push(it);
-                }
-            }
         }
     }
-    s
 }
 
-/// Algorithm 3 on a quadtree, minus the face rule (quadrant regions are
-/// not minimal, so a face inside the circle guarantees nothing).
-fn verify_pair(tree: &QuadTree, pair: &QPair) -> bool {
-    let circle = Circle::from_diameter(pair.p.point, pair.q.point);
-    verify_rec(tree, tree.root_page(), tree.region(), pair, &circle)
-}
+impl RcjIndex for QuadTree {
+    type Probe = QuadTreeProbe;
 
-fn verify_rec(tree: &QuadTree, page: PageId, region: Rect, pair: &QPair, circle: &Circle) -> bool {
-    if region.mindist_sq(circle.center) >= circle.radius_sq() * (1.0 + 1e-9) {
-        return true;
+    fn probe(&self) -> QuadTreeProbe {
+        QuadTreeProbe {
+            root: self.root_page(),
+            region: self.region(),
+        }
     }
-    match tree.read_node(page) {
-        QNode::Leaf { items, next } => {
-            for it in items {
-                if Circle::strictly_contains_diameter(it.point, pair.p.point, pair.q.point) {
-                    return false;
-                }
-            }
-            if !next.is_invalid() {
-                return verify_rec(tree, next, region, pair, circle);
-            }
-            true
-        }
-        QNode::Internal { children } => {
-            for (qi, child) in children.iter().enumerate() {
-                if !child.is_invalid()
-                    && !verify_rec(tree, *child, quadrant(region, qi), pair, circle)
-                {
-                    return false;
-                }
-            }
-            true
-        }
+
+    fn pager(&self) -> SharedPager {
+        self.pager()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringjoin_geom::pt;
+    use ringjoin_core::{pair_keys, rcj_join, RcjAlgorithm, RcjOptions};
+    use ringjoin_geom::{pt, Circle};
     use ringjoin_storage::{MemDisk, Pager};
 
     fn lcg(n: usize, seed: u64) -> Vec<(f64, f64)> {
@@ -232,15 +132,22 @@ mod tests {
     }
 
     #[test]
-    fn quadtree_rcj_matches_brute_force() {
+    fn all_generic_algorithms_match_brute_force_on_quadtrees() {
         let ps = lcg(150, 5);
         let qs = lcg(150, 9);
         let tp = build(&ps);
         let tq = build(&qs);
-        let mut got: Vec<(u64, u64)> = rcj_quadtree(&tq, &tp).iter().map(QPair::key).collect();
-        got.sort_unstable();
-        assert_eq!(got, brute(&ps, &qs));
-        assert!(!got.is_empty());
+        let expect = brute(&ps, &qs);
+        assert!(!expect.is_empty());
+        for algo in [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj] {
+            let out = rcj_join(&tq, &tp, &RcjOptions::algorithm(algo));
+            assert_eq!(
+                pair_keys(&out.pairs),
+                expect,
+                "{} over quadtrees disagrees with brute force",
+                algo.name()
+            );
+        }
     }
 
     #[test]
@@ -255,8 +162,26 @@ mod tests {
         }
         let tp = build(&ps);
         let tq = build(&qs);
-        let mut got: Vec<(u64, u64)> = rcj_quadtree(&tq, &tp).iter().map(QPair::key).collect();
-        got.sort_unstable();
-        assert_eq!(got, brute(&ps, &qs));
+        let out = rcj_join(&tq, &tp, &RcjOptions::default());
+        assert_eq!(pair_keys(&out.pairs), brute(&ps, &qs));
+    }
+
+    #[test]
+    fn duplicate_flood_joins_through_overflow_chains() {
+        // 300 co-located points chain past MAX_DEPTH; the probe must
+        // surface chain pages as continuation nodes, or the join would
+        // silently lose most of the data.
+        let pager = Pager::new(MemDisk::new(256), 64).into_shared();
+        let region = Rect::new(pt(0.0, 0.0), pt(100.0, 100.0));
+        let mut tq = QuadTree::new(pager.clone(), region);
+        for i in 0..300u64 {
+            tq.insert(i, pt(50.0, 50.0));
+        }
+        let mut tp = QuadTree::new(pager, region);
+        tp.insert(0, pt(10.0, 10.0));
+        // The co-located q's sit exactly ON each other's circles (never
+        // strictly inside), so every one of the 300 pairs qualifies.
+        let out = rcj_join(&tq, &tp, &RcjOptions::default());
+        assert_eq!(out.pairs.len(), 300);
     }
 }

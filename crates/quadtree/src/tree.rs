@@ -67,6 +67,11 @@ impl QuadTree {
         self.root
     }
 
+    /// A clone of the shared pager handle.
+    pub fn pager(&self) -> SharedPager {
+        self.pager.clone()
+    }
+
     /// Reads a node through the buffer manager.
     pub fn read_node(&self, page: PageId) -> QNode {
         self.pager.borrow_mut().read(page, decode)

@@ -2,14 +2,16 @@
 //! not the index — the quadtree-based join must produce exactly the same
 //! pairs as the R*-tree-based join on identical pointsets. This is the
 //! executable form of the paper's claim that its methodology "is
-//! directly applicable to other hierarchical spatial indexes".
+//! directly applicable to other hierarchical spatial indexes" — and
+//! since the engine became index-agnostic, both runs go through the
+//! *same* generic drivers, differing only in the `RcjIndex` probe (and
+//! the two sides of one join may even mix index kinds).
 
 use proptest::prelude::*;
-use ringjoin_core::{pair_keys, rcj_join, RcjOptions};
+use ringjoin_core::{pair_keys, rcj_join, RcjAlgorithm, RcjOptions};
 use ringjoin_geom::{pt, Rect};
-use ringjoin_quadtree::rcj::rcj_quadtree;
 use ringjoin_quadtree::QuadTree;
-use ringjoin_rtree::{bulk_load, Item};
+use ringjoin_rtree::{bulk_load, Item, RTree};
 use ringjoin_storage::{MemDisk, Pager};
 
 const REGION: f64 = 1000.0;
@@ -23,25 +25,28 @@ fn quad_of(points: &[(f64, f64)]) -> QuadTree {
     t
 }
 
-fn rtree_keys(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> Vec<(u64, u64)> {
+fn to_items(v: &[(f64, f64)]) -> Vec<Item> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+        .collect()
+}
+
+fn rtree_of(points: &[(f64, f64)]) -> RTree {
     let pager = Pager::new(MemDisk::new(512), 128).into_shared();
-    let to_items = |v: &[(f64, f64)]| -> Vec<Item> {
-        v.iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
-            .collect()
-    };
-    let tp = bulk_load(pager.clone(), to_items(ps));
-    let tq = bulk_load(pager.clone(), to_items(qs));
+    bulk_load(pager, to_items(points))
+}
+
+fn rtree_keys(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    let tp = rtree_of(ps);
+    let tq = rtree_of(qs);
     pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
 }
 
-fn quad_keys(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> Vec<(u64, u64)> {
+fn quad_keys(ps: &[(f64, f64)], qs: &[(f64, f64)], algo: RcjAlgorithm) -> Vec<(u64, u64)> {
     let tp = quad_of(ps);
     let tq = quad_of(qs);
-    let mut keys: Vec<(u64, u64)> = rcj_quadtree(&tq, &tp).iter().map(|p| p.key()).collect();
-    keys.sort_unstable();
-    keys
+    pair_keys(&rcj_join(&tq, &tp, &RcjOptions::algorithm(algo)).pairs)
 }
 
 #[test]
@@ -56,9 +61,42 @@ fn quadtree_and_rtree_joins_agree_on_fixed_data() {
     let ps: Vec<(f64, f64)> = (0..400).map(|_| (next(), next())).collect();
     let qs: Vec<(f64, f64)> = (0..400).map(|_| (next(), next())).collect();
     let a = rtree_keys(&ps, &qs);
-    let b = quad_keys(&ps, &qs);
     assert!(!a.is_empty());
-    assert_eq!(a, b);
+    for algo in [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj] {
+        assert_eq!(a, quad_keys(&ps, &qs, algo), "{}", algo.name());
+    }
+}
+
+#[test]
+fn mixed_index_join_agrees() {
+    // The generic driver does not require both sides to be the same
+    // index: R*-tree inner, quadtree outer (and vice versa) must still
+    // produce the RCJ.
+    let mut state = 0xABCDu64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * REGION
+    };
+    let ps: Vec<(f64, f64)> = (0..250).map(|_| (next(), next())).collect();
+    let qs: Vec<(f64, f64)> = (0..250).map(|_| (next(), next())).collect();
+    let reference = rtree_keys(&ps, &qs);
+    assert!(!reference.is_empty());
+
+    let keys_rq = {
+        let tp = rtree_of(&ps);
+        let tq = quad_of(&qs);
+        pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
+    };
+    assert_eq!(reference, keys_rq, "rtree inner × quadtree outer");
+
+    let keys_qr = {
+        let tp = quad_of(&ps);
+        let tq = rtree_of(&qs);
+        pair_keys(&rcj_join(&tq, &tp, &RcjOptions::default()).pairs)
+    };
+    assert_eq!(reference, keys_qr, "quadtree inner × rtree outer");
 }
 
 proptest! {
@@ -69,6 +107,6 @@ proptest! {
         ps in proptest::collection::vec((0.0..REGION, 0.0..REGION), 2..60),
         qs in proptest::collection::vec((0.0..REGION, 0.0..REGION), 2..60),
     ) {
-        prop_assert_eq!(rtree_keys(&ps, &qs), quad_keys(&ps, &qs));
+        prop_assert_eq!(rtree_keys(&ps, &qs), quad_keys(&ps, &qs, RcjAlgorithm::Obj));
     }
 }

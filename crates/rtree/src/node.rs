@@ -18,33 +18,14 @@
 use ringjoin_geom::{Point, Rect};
 use ringjoin_storage::PageId;
 
+pub use ringjoin_geom::Item;
+
 /// Size of the fixed node header in bytes.
 pub const HEADER_SIZE: usize = 8;
 /// Size of a serialized leaf entry ([`Item`]) in bytes.
 pub const LEAF_ENTRY_SIZE: usize = 24;
 /// Size of a serialized branch entry in bytes.
 pub const BRANCH_ENTRY_SIZE: usize = 40;
-
-/// A data record: an identified point.
-///
-/// The `id` is carried through every operator; RCJ verification uses it to
-/// recognise a circle's own defining endpoints (which lie *on* the circle),
-/// and the self-join uses it to report each unordered pair once.
-#[derive(Clone, Copy, PartialEq, Debug)]
-pub struct Item {
-    /// Application-assigned identifier, unique within a dataset.
-    pub id: u64,
-    /// Location of the record.
-    pub point: Point,
-}
-
-impl Item {
-    /// Creates an item.
-    #[inline]
-    pub const fn new(id: u64, point: Point) -> Self {
-        Item { id, point }
-    }
-}
 
 /// An entry of a node: a data item in leaves, a child reference in
 /// branches.

@@ -16,6 +16,11 @@
 //!   writes.
 //! * [`CostModel`] — converts fault counts into the simulated I/O time the
 //!   paper reports (10 ms per fault by default).
+//! * [`PageAccess`] + [`PageSnapshot`] / [`WorkerPager`] — the
+//!   concurrency seam: an object-safe read path implemented by both the
+//!   shared sequential pager and per-worker pagers over an `Arc`-shared
+//!   read-only snapshot, which is what lets the join executor run
+//!   workers without a contended lock.
 //!
 //! # Example
 //!
@@ -44,7 +49,9 @@
 mod buffer;
 mod disk;
 mod pager;
+mod snapshot;
 
 pub use buffer::BufferManager;
 pub use disk::{DiskStorage, FileDisk, MemDisk, PageId};
-pub use pager::{CostModel, IoStats, Pager, SharedPager};
+pub use pager::{read_page_as, CostModel, IoStats, PageAccess, Pager, SharedPager};
+pub use snapshot::{PageSnapshot, WorkerPager};

@@ -44,6 +44,15 @@ impl IoStats {
             write_faults: self.write_faults - earlier.write_faults,
         }
     }
+
+    /// Component-wise sum — aggregates per-worker counters into the
+    /// totals the paper reports for a whole join.
+    pub fn merge(&mut self, other: IoStats) {
+        self.logical_reads += other.logical_reads;
+        self.read_faults += other.read_faults;
+        self.logical_writes += other.logical_writes;
+        self.write_faults += other.write_faults;
+    }
 }
 
 /// Converts [`IoStats`] into simulated I/O time.
@@ -79,6 +88,10 @@ pub struct Pager {
     disk: Box<dyn DiskStorage>,
     buffer: BufferManager,
     stats: IoStats,
+    /// Last snapshot taken, reused while no write/allocation has
+    /// invalidated it — repeated parallel joins over unmodified trees
+    /// must not each pay an O(database) copy.
+    snapshot_cache: Option<crate::PageSnapshot>,
 }
 
 impl Pager {
@@ -89,6 +102,7 @@ impl Pager {
             disk: Box::new(disk),
             buffer: BufferManager::new(page_size, buffer_pages),
             stats: IoStats::default(),
+            snapshot_cache: None,
         }
     }
 
@@ -109,6 +123,7 @@ impl Pager {
 
     /// Allocates a fresh zeroed page.
     pub fn allocate(&mut self) -> PageId {
+        self.snapshot_cache = None;
         self.disk.allocate()
     }
 
@@ -134,6 +149,7 @@ impl Pager {
     /// need a dirty-page flush — the join algorithms are read-only and the
     /// paper's measurements exclude index construction anyway.
     pub fn write(&mut self, id: PageId, f: impl FnOnce(&mut [u8])) {
+        self.snapshot_cache = None;
         self.stats.logical_writes += 1;
         if self.buffer.get_mut(id).is_none() {
             self.stats.write_faults += 1;
@@ -153,6 +169,45 @@ impl Pager {
     /// Current statistics snapshot.
     pub fn stats(&self) -> IoStats {
         self.stats
+    }
+
+    /// Adds externally accumulated statistics (per-worker counters from
+    /// a parallel run) into this pager's totals, so `stats()` reports the
+    /// same aggregate figures a sequential run would.
+    pub fn absorb(&mut self, delta: IoStats) {
+        self.stats.merge(delta);
+    }
+
+    /// Captures an immutable, `Arc`-shared copy of every allocated page,
+    /// read straight from the device — no buffer pollution, no
+    /// statistics. This is the read-only page source the parallel
+    /// executor hands to its [`WorkerPager`](crate::WorkerPager)s; the
+    /// write-through discipline of [`Pager::write`] guarantees the device
+    /// is current.
+    ///
+    /// The snapshot is cached: while no write or allocation has gone
+    /// through this pager since the last call, the same `Arc` is handed
+    /// back, so back-to-back parallel joins over unmodified trees copy
+    /// the database once, not once per run. (Mutating the device behind
+    /// the pager's back is outside the contract — all index writes go
+    /// through [`Pager::write`].)
+    pub fn snapshot(&mut self) -> crate::PageSnapshot {
+        if let Some(snap) = &self.snapshot_cache {
+            return snap.clone();
+        }
+        let page_size = self.disk.page_size();
+        let n = self.disk.num_pages();
+        let mut pages = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            // Read straight into the page's final allocation: one copy
+            // per page, not a staging read plus a clone.
+            let mut page = vec![0u8; page_size];
+            self.disk.read_page(PageId(i), &mut page);
+            pages.push(page.into_boxed_slice());
+        }
+        let snap = crate::PageSnapshot::from_pages(page_size, pages);
+        self.snapshot_cache = Some(snap.clone());
+        snap
     }
 
     /// Zeroes the statistics (e.g. after index construction, before the
@@ -180,10 +235,67 @@ impl Pager {
 /// Shared-ownership handle to a [`Pager`], letting two R-trees (and the
 /// join operators walking both) go through one buffer pool.
 ///
-/// The workspace is single-threaded by design — the paper's cost model
-/// counts sequential page faults — so `Rc<RefCell<_>>` is the right tool;
-/// no lock is ever contended.
+/// This is the *sequential* access path — the paper's cost model counts
+/// page faults through one LRU buffer, so `Rc<RefCell<_>>` suffices and
+/// no lock is ever contended. Parallel runs never touch it: they go
+/// through an [`Arc`-shared snapshot](Pager::snapshot) with per-worker
+/// [`WorkerPager`](crate::WorkerPager)s instead, and both paths meet in
+/// the [`PageAccess`] trait.
 pub type SharedPager = Rc<RefCell<Pager>>;
+
+/// Object-safe read access to pages.
+///
+/// The join drivers are generic over this, so one implementation serves
+/// both execution modes: the owning [`SharedPager`] for sequential runs
+/// and a per-worker [`WorkerPager`](crate::WorkerPager) for parallel
+/// runs. Every call counts as one logical read (and possibly one fault)
+/// in the implementation's statistics.
+pub trait PageAccess {
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Reads page `id`, counting the access, and hands its bytes to `f`
+    /// exactly once.
+    fn with_page(&mut self, id: PageId, f: &mut dyn FnMut(&[u8]));
+}
+
+/// Reads a page through a [`PageAccess`] and maps its bytes to a value —
+/// the ergonomic (non-object-safe) wrapper over
+/// [`PageAccess::with_page`].
+pub fn read_page_as<T>(
+    pg: &mut (impl PageAccess + ?Sized),
+    id: PageId,
+    f: impl FnOnce(&[u8]) -> T,
+) -> T {
+    let mut f = Some(f);
+    let mut out = None;
+    pg.with_page(id, &mut |bytes| {
+        if let Some(f) = f.take() {
+            out = Some(f(bytes));
+        }
+    });
+    out.expect("PageAccess::with_page must invoke the callback")
+}
+
+impl PageAccess for Pager {
+    fn page_size(&self) -> usize {
+        self.disk.page_size()
+    }
+
+    fn with_page(&mut self, id: PageId, f: &mut dyn FnMut(&[u8])) {
+        self.read(id, |bytes| f(bytes));
+    }
+}
+
+impl PageAccess for SharedPager {
+    fn page_size(&self) -> usize {
+        self.borrow().page_size()
+    }
+
+    fn with_page(&mut self, id: PageId, f: &mut dyn FnMut(&[u8])) {
+        self.borrow_mut().read(id, |bytes| f(bytes));
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -92,12 +92,7 @@ proptest! {
     #[test]
     fn file_and_mem_disks_agree(ops in proptest::collection::vec(op(), 1..60)) {
         const PS: usize = 128;
-        let dir = std::env::temp_dir().join(format!(
-            "ringjoin-storage-props-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = ringjoin_testsupport::scratch_dir("storage-props");
         let path = dir.join("disk.bin");
 
         let mut mem = MemDisk::new(PS);

@@ -1,0 +1,56 @@
+//! Shared test support for the ringjoin workspace.
+//!
+//! Exists so every crate's tests stop hand-rolling the same
+//! process-and-thread-unique temp-directory helper (it used to be copied
+//! verbatim between `ringjoin_storage`'s property tests and
+//! `ringjoin_datagen`'s I/O tests). Dependency-free by design: it is a
+//! dev-dependency of half the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Creates (if needed) and returns a scratch directory unique to this
+/// process *and* thread, so concurrently running tests — including the
+/// same proptest case on different worker threads — never collide.
+///
+/// The directory is named `ringjoin-<label>-<pid>-<thread id>` under the
+/// system temp dir. Callers may remove it when done; leaking it is also
+/// fine, the OS temp dir is the contract.
+pub fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ringjoin-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_exist_and_differ_by_label() {
+        let a = scratch_dir("alpha");
+        let b = scratch_dir("beta");
+        assert!(a.is_dir());
+        assert!(b.is_dir());
+        assert_ne!(a, b);
+        // Idempotent for the same label on the same thread.
+        assert_eq!(a, scratch_dir("alpha"));
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn scratch_dirs_differ_across_threads() {
+        let here = scratch_dir("thread");
+        let there = std::thread::spawn(|| scratch_dir("thread")).join().unwrap();
+        assert_ne!(here, there);
+        std::fs::remove_dir_all(&here).ok();
+        std::fs::remove_dir_all(&there).ok();
+    }
+}

@@ -48,8 +48,8 @@ pub use ringjoin_storage as storage;
 pub use topk::{rcj_by_diameter, RcjByDiameter};
 
 pub use ringjoin_core::{
-    pair_keys, rcj_brute, rcj_brute_self, rcj_join, rcj_self_join, sort_by_diameter, OuterOrder,
-    RcjAlgorithm, RcjOptions, RcjOutput, RcjPair, RcjStats,
+    pair_keys, rcj_brute, rcj_brute_self, rcj_join, rcj_self_join, sort_by_diameter, Executor,
+    IndexProbe, OuterOrder, RcjAlgorithm, RcjIndex, RcjOptions, RcjOutput, RcjPair, RcjStats,
 };
 pub use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset};
 pub use ringjoin_geom::{pt, Circle, HalfPlane, Metric, Point, Rect};

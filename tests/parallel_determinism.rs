@@ -1,0 +1,288 @@
+//! Parallel determinism: for every algorithm × index × thread count, the
+//! parallel executor must produce **exactly** the sequential output —
+//! the same pairs in the same order, the same CPU-side counters, and the
+//! same aggregate logical node accesses. This is the guarantee that lets
+//! the whole test suite (and every downstream consumer) switch executors
+//! via `RINGJOIN_THREADS` without observable difference.
+
+use proptest::prelude::*;
+use ringjoin::geom::Rect;
+use ringjoin::quadtree::QuadTree;
+use ringjoin::{
+    bulk_load, pt, rcj_join, rcj_self_join, Executor, Item, MemDisk, Pager, RcjAlgorithm, RcjIndex,
+    RcjOptions, RcjOutput, RcjStats,
+};
+use ringjoin_storage::IoStats;
+
+const REGION: f64 = 1000.0;
+const ALGOS: [RcjAlgorithm; 3] = [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj];
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn to_items(v: &[(f64, f64)]) -> Vec<Item> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+        .collect()
+}
+
+/// Ordered result keys — NOT sorted: the determinism guarantee covers
+/// the output order, not just the output set.
+fn ordered_keys(out: &RcjOutput) -> Vec<(u64, u64)> {
+    out.pairs.iter().map(|pr| pr.key()).collect()
+}
+
+/// Runs the join under one executor and returns (ordered keys, CPU
+/// stats, I/O stats accumulated in the shared pager during the run).
+fn run_exec<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    algo: RcjAlgorithm,
+    executor: Executor,
+) -> (Vec<(u64, u64)>, RcjStats, IoStats) {
+    let pager = tq.pager();
+    let before = pager.borrow().stats();
+    let out = rcj_join(tq, tp, &RcjOptions::algorithm(algo).with_executor(executor));
+    let io = pager.borrow().stats().since(before);
+    (ordered_keys(&out), out.stats, io)
+}
+
+/// Asserts sequential == parallel for every algorithm and thread count
+/// over already-built trees (both trees must share `tq`'s pager so the
+/// I/O aggregation comparison is meaningful).
+fn assert_deterministic<IQ: RcjIndex, IP: RcjIndex>(tq: &IQ, tp: &IP, label: &str) {
+    for algo in ALGOS {
+        let (seq_keys, seq_stats, seq_io) = run_exec(tq, tp, algo, Executor::Sequential);
+        for threads in THREADS {
+            let (par_keys, par_stats, par_io) =
+                run_exec(tq, tp, algo, Executor::Parallel { threads });
+            assert_eq!(
+                seq_keys,
+                par_keys,
+                "{label}/{}/{threads} threads: pair sequence diverged",
+                algo.name()
+            );
+            // Merged per-worker CPU counters must equal the sequential
+            // figures (every counter is a plain sum over leaf groups).
+            assert_eq!(
+                seq_stats,
+                par_stats,
+                "{label}/{}/{threads} threads: RcjStats diverged",
+                algo.name()
+            );
+            // Logical node accesses are deterministic per leaf group, so
+            // the absorbed per-worker totals must match the sequential
+            // count exactly. (Faults legitimately differ: per-worker
+            // buffers have their own LRU histories.)
+            assert_eq!(
+                seq_io.logical_reads,
+                par_io.logical_reads,
+                "{label}/{}/{threads} threads: aggregate node accesses diverged",
+                algo.name()
+            );
+        }
+    }
+}
+
+fn rtree_pair(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> (ringjoin::RTree, ringjoin::RTree) {
+    // Tiny pages force multi-level trees (and several leaf groups to
+    // chunk) even for proptest-sized inputs.
+    let pager = Pager::new(MemDisk::new(256), 32).into_shared();
+    let tp = bulk_load(pager.clone(), to_items(ps));
+    let tq = bulk_load(pager, to_items(qs));
+    (tq, tp)
+}
+
+fn quad_pair(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> (QuadTree, QuadTree) {
+    let pager = Pager::new(MemDisk::new(256), 32).into_shared();
+    let region = Rect::new(pt(0.0, 0.0), pt(REGION, REGION));
+    let mut tp = QuadTree::new(pager.clone(), region);
+    for it in to_items(ps) {
+        tp.insert(it.id, it.point);
+    }
+    let mut tq = QuadTree::new(pager, region);
+    for it in to_items(qs) {
+        tq.insert(it.id, it.point);
+    }
+    (tq, tp)
+}
+
+/// Uniform points over the region.
+fn uniform_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0..REGION, 0.0..REGION), 4..max)
+}
+
+/// Gaussian-ish clusters: a few centers, points packed tightly around
+/// them (box-clamped into the region).
+fn clustered_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        proptest::collection::vec((100.0..900.0f64, 100.0..900.0f64), 1..4),
+        proptest::collection::vec((0usize..4, -30.0..30.0f64, -30.0..30.0f64), 4..max),
+    )
+        .prop_map(|(centers, offsets)| {
+            offsets
+                .into_iter()
+                .map(|(c, dx, dy)| {
+                    let (cx, cy) = centers[c % centers.len()];
+                    (
+                        (cx + dx).clamp(0.0, REGION - 1e-9),
+                        (cy + dy).clamp(0.0, REGION - 1e-9),
+                    )
+                })
+                .collect()
+        })
+}
+
+/// Duplicate-heavy data: coordinates snapped to a coarse grid, so many
+/// points coincide exactly (quadtree overflow chains, zero-radius
+/// circles, ties everywhere).
+fn duplicate_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0u32..6, 0u32..6), 4..max).prop_map(|cells| {
+        cells
+            .into_iter()
+            .map(|(gx, gy)| (gx as f64 * 150.0 + 10.0, gy as f64 * 150.0 + 10.0))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_equals_sequential_rtree_uniform(
+        ps in uniform_pts(80),
+        qs in uniform_pts(80),
+    ) {
+        let (tq, tp) = rtree_pair(&ps, &qs);
+        assert_deterministic(&tq, &tp, "rtree/uniform");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_rtree_clustered(
+        ps in clustered_pts(80),
+        qs in clustered_pts(80),
+    ) {
+        let (tq, tp) = rtree_pair(&ps, &qs);
+        assert_deterministic(&tq, &tp, "rtree/clustered");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_rtree_duplicates(
+        ps in duplicate_pts(60),
+        qs in duplicate_pts(60),
+    ) {
+        let (tq, tp) = rtree_pair(&ps, &qs);
+        assert_deterministic(&tq, &tp, "rtree/duplicates");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_quadtree_uniform(
+        ps in uniform_pts(80),
+        qs in uniform_pts(80),
+    ) {
+        let (tq, tp) = quad_pair(&ps, &qs);
+        assert_deterministic(&tq, &tp, "quadtree/uniform");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_quadtree_clustered(
+        ps in clustered_pts(80),
+        qs in clustered_pts(80),
+    ) {
+        let (tq, tp) = quad_pair(&ps, &qs);
+        assert_deterministic(&tq, &tp, "quadtree/clustered");
+    }
+
+    #[test]
+    fn parallel_equals_sequential_quadtree_duplicates(
+        ps in duplicate_pts(60),
+        qs in duplicate_pts(60),
+    ) {
+        let (tq, tp) = quad_pair(&ps, &qs);
+        assert_deterministic(&tq, &tp, "quadtree/duplicates");
+    }
+}
+
+#[test]
+fn parallel_self_join_is_deterministic_on_both_indexes() {
+    let pts: Vec<(f64, f64)> = (0..500)
+        .map(|i| {
+            let a = (i * 37 % 199) as f64;
+            let b = (i * 61 % 211) as f64;
+            (a * 4.9, b * 4.5)
+        })
+        .collect();
+
+    let pager = Pager::new(MemDisk::new(256), 32).into_shared();
+    let tree = bulk_load(pager, to_items(&pts));
+    let seq = rcj_self_join(
+        &tree,
+        &RcjOptions::default().with_executor(Executor::Sequential),
+    );
+    assert!(!seq.pairs.is_empty());
+    for threads in THREADS {
+        let par = rcj_self_join(
+            &tree,
+            &RcjOptions::default().with_executor(Executor::Parallel { threads }),
+        );
+        assert_eq!(ordered_keys(&seq), ordered_keys(&par));
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    let qpager = Pager::new(MemDisk::new(256), 32).into_shared();
+    let mut qtree = QuadTree::new(qpager, Rect::new(pt(0.0, 0.0), pt(REGION, REGION)));
+    for it in to_items(&pts) {
+        qtree.insert(it.id, it.point);
+    }
+    let seq = rcj_self_join(
+        &qtree,
+        &RcjOptions::default().with_executor(Executor::Sequential),
+    );
+    assert!(!seq.pairs.is_empty());
+    for threads in THREADS {
+        let par = rcj_self_join(
+            &qtree,
+            &RcjOptions::default().with_executor(Executor::Parallel { threads }),
+        );
+        assert_eq!(ordered_keys(&seq), ordered_keys(&par));
+        assert_eq!(seq.stats, par.stats);
+    }
+}
+
+/// The executor honors every option combination, not just defaults:
+/// shuffled outer order and skipped verification must also be
+/// order-identical between modes.
+#[test]
+fn parallel_determinism_covers_option_variants() {
+    let ps: Vec<(f64, f64)> = (0..400)
+        .map(|i| ((i * 13 % 97) as f64 * 10.0, (i * 29 % 89) as f64 * 11.0))
+        .collect();
+    let qs: Vec<(f64, f64)> = (0..400)
+        .map(|i| ((i * 17 % 93) as f64 * 10.5, (i * 31 % 83) as f64 * 11.5))
+        .collect();
+    let (tq, tp) = rtree_pair(&ps, &qs);
+    for base in [
+        RcjOptions {
+            outer_order: ringjoin::OuterOrder::Shuffled(7),
+            ..Default::default()
+        },
+        RcjOptions {
+            skip_verification: true,
+            ..Default::default()
+        },
+        RcjOptions {
+            no_face_rule: true,
+            ..Default::default()
+        },
+    ] {
+        let seq = rcj_join(&tq, &tp, &base.with_executor(Executor::Sequential));
+        for threads in THREADS {
+            let par = rcj_join(
+                &tq,
+                &tp,
+                &base.with_executor(Executor::Parallel { threads }),
+            );
+            assert_eq!(ordered_keys(&seq), ordered_keys(&par));
+            assert_eq!(seq.stats, par.stats);
+        }
+    }
+}
