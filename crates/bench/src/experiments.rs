@@ -8,7 +8,10 @@
 //! with `1/sqrt(n)`.
 
 use crate::harness::{run_phase, run_rcj, secs, Measured, Table, Workload, DEFAULT_BUFFER_FRAC};
-use ringjoin_core::{brute_candidates, pair_keys, rcj_join, Executor, RcjAlgorithm, RcjOptions};
+use ringjoin_core::planner::{cost_units, CalibrationSample, DatasetSummary, JoinCostModel};
+use ringjoin_core::{
+    brute_candidates, pair_keys, rcj_join, Executor, RcjAlgorithm, RcjIndex, RcjOptions,
+};
 use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset, PAPER_SIGMA};
 use ringjoin_rtree::Item;
 use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
@@ -444,70 +447,81 @@ pub fn baselines(cfg: &ExpConfig) -> String {
     out
 }
 
-/// Extension experiment (paper future-work item 1): a calibrated
-/// analytical cost model for the algorithms' node accesses.
+/// Extension experiment (paper future-work item 1): the planner's
+/// calibrated analytical cost model, validated against measurement.
 ///
-/// The local operations of the join are density-invariant on uniform
-/// data — the filter's unpruned region shrinks as `1/sqrt(n)` exactly as
-/// fast as the data densifies — so node accesses are linear in the
-/// number of *outer work units*: points of `Q` for INJ, leaves of `T_Q`
-/// for BIJ/OBJ. The model calibrates one constant per algorithm at a
-/// small size and predicts accesses at 2x and 4x; the printed relative
-/// errors validate it.
+/// The model itself lives in `ringjoin_core::planner` (it is what
+/// resolves `RcjAlgorithm::Auto` and prices `explain` plans); this
+/// experiment is its measurement harness. The local operations of the
+/// join are density-invariant on uniform data — the filter's unpruned
+/// region shrinks as `1/sqrt(n)` exactly as fast as the data densifies —
+/// so per-phase node reads are linear in the number of *outer work
+/// units*: points of `Q` for INJ, leaves of `T_Q` for BIJ/OBJ. The
+/// experiment calibrates a [`JoinCostModel`] at a small size, predicts
+/// filter/verify node reads at 2x and 4x, and prints the relative
+/// errors plus the algorithm `Auto` would pick at each size.
 pub fn ext_costmodel(cfg: &ExpConfig) -> String {
     let n0 = cfg.n(100_000);
-    let mut out =
-        format!("== Extension: analytical cost model (calibrated at n={n0}, UI data) ==\n");
-    let calibrate = |n: usize| -> (Workload, Vec<(RcjAlgorithm, u64, u64)>) {
+    let mut out = format!(
+        "== Extension: planner cost model (core::planner, calibrated at n={n0}, UI data) ==\n"
+    );
+    // One measured run per algorithm at size n: the workload summary the
+    // planner would see, plus per-phase node reads.
+    let measure = |n: usize| -> (DatasetSummary, Vec<CalibrationSample>) {
         let w = Workload::build(uniform(n, 7), uniform(n, 8), DEFAULT_BUFFER_FRAC);
-        let leaves_q =
-            w.tq.node_pages()
-                .min(w.tq.len() / w.tq.codec().leaf_capacity as u64 + 1);
-        let mut rows = Vec::new();
-        for algo in ALGOS {
-            let m = run_rcj(&w, &cfg.rcj_opts(algo));
-            let unit = match algo {
-                RcjAlgorithm::Inj => w.tq.len(),
-                _ => leaves_q,
-            };
-            rows.push((algo, m.io.logical_reads, unit));
-        }
-        (w, rows)
+        let summary = w.tq.summary();
+        let samples = ALGOS
+            .map(|algo| {
+                let m = run_rcj(&w, &cfg.rcj_opts(algo));
+                CalibrationSample {
+                    algorithm: algo,
+                    units: cost_units(algo, &summary).0,
+                    filter_reads: m.stats.filter_node_reads,
+                    verify_reads: m.stats.verify_node_visits,
+                }
+            })
+            .to_vec();
+        (summary, samples)
     };
 
-    let (_w0, base) = calibrate(n0);
-    let constants: Vec<(RcjAlgorithm, f64)> = base
-        .iter()
-        .map(|&(a, acc, unit)| (a, acc as f64 / unit as f64))
-        .collect();
+    let (summary0, samples0) = measure(n0);
+    let model = JoinCostModel::calibrate(&samples0);
     let mut t = Table::new(&[
         "n",
         "algo",
-        "unit",
-        "model c",
-        "predicted",
-        "measured",
+        "units",
+        "pred filter",
+        "pred verify",
+        "measured f",
+        "measured v",
         "err(%)",
     ]);
+    let mut auto_choices = vec![format!("n={n0}: {}", model.choose(&summary0).name())];
     for factor in [2usize, 4] {
         let n = n0 * factor;
-        let (_w, rows) = calibrate(n);
-        for ((algo, measured, unit), &(_, c)) in rows.into_iter().zip(constants.iter()) {
-            let predicted = c * unit as f64;
-            let err = 100.0 * (predicted - measured as f64).abs() / measured as f64;
+        let (summary, samples) = measure(n);
+        for s in samples {
+            let e = model.estimate(s.algorithm, &summary);
+            let measured = (s.filter_reads + s.verify_reads) as f64;
+            let err = 100.0 * (e.total_reads() - measured).abs() / measured.max(1.0);
             t.row(vec![
                 n.to_string(),
-                algo.name().to_string(),
-                unit.to_string(),
-                format!("{c:.2}"),
-                format!("{predicted:.0}"),
-                measured.to_string(),
+                s.algorithm.name().to_string(),
+                format!("{} {}", e.units, e.unit),
+                format!("{:.0}", e.filter_reads),
+                format!("{:.0}", e.verify_reads),
+                s.filter_reads.to_string(),
+                s.verify_reads.to_string(),
                 format!("{err:.1}"),
             ]);
         }
+        auto_choices.push(format!("n={n}: {}", model.choose(&summary).name()));
     }
     out.push_str(&t.render());
-    out.push_str("model: accesses(INJ) = c_INJ * |Q|;  accesses(BIJ/OBJ) = c * leaves(T_Q)\n");
+    out.push_str(
+        "model: reads(INJ) = (c_f + c_v) * |Q|;  reads(BIJ/OBJ) = (c_f + c_v) * leaves(T_Q)\n",
+    );
+    let _ = writeln!(out, "Auto would choose: {}", auto_choices.join(", "));
     out
 }
 
@@ -594,11 +608,19 @@ pub fn scaling(cfg: &ExpConfig) -> String {
     }
     out.push_str(&t.render());
 
+    // Provenance lives in the schema itself, not just README prose:
+    // `available_cores` plus an explicit `single_core_container` flag,
+    // so downstream trajectory tooling never misreads the ~1.0x
+    // speedups a single-core recording produces as regressions.
     let json = format!(
         "{{\n  \"experiment\": \"scaling\",\n  \"workload\": \"fig13\",\n  \
          \"algorithm\": \"OBJ\",\n  \"scale\": {},\n  \"available_cores\": {cores},\n  \
+         \"single_core_container\": {},\n  \
+         \"speedups_meaningful\": {},\n  \
          \"thread_counts\": {:?},\n  \"entries\": [\n{}\n  ]\n}}\n",
         cfg.scale,
+        cores < 2,
+        cores >= 2,
         SCALING_THREADS,
         json_entries.join(",\n")
     );

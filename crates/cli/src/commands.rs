@@ -1,8 +1,15 @@
 //! Subcommand implementations.
+//!
+//! Every join-shaped command (`join`, `self-join`, `top-k`, `explain`)
+//! goes through the core [`Engine`]: datasets are registered under
+//! names, the query builder produces an inspectable [`Plan`] (which
+//! `explain` prints verbatim and `--stats` summarises as a plan line),
+//! and execution is `plan.collect()` — or the diameter-ordered stream
+//! with early exit for `top-k`.
 
 use crate::args::{ArgError, Args};
 use ringjoin_core::{
-    bounds, rcj_join, rcj_self_join, sort_by_diameter, Executor, RcjAlgorithm, RcjOptions,
+    bounds, rcj_join, Engine, Executor, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjOptions,
     RcjOutput,
 };
 use ringjoin_datagen::{gaussian_clusters, gnis_like, io as dio, uniform, GnisDataset};
@@ -22,12 +29,16 @@ USAGE: ringjoin-cli <command> [options]
 COMMANDS
   generate   --kind uniform|gaussian|pp|sc|lo --n N --out FILE
              [--seed S] [--clusters W] [--sigma X]
-  join       --p FILE --q FILE [--algo inj|bij|obj] [--out FILE]
-             [--buffer-frac F] [--page-size B] [--threads N] [--stats]
-  self-join  --input FILE [--algo inj|bij|obj] [--out FILE]
+  join       --p FILE --q FILE [--algo auto|inj|bij|obj] [--out FILE]
+             [--index rtree|quadtree] [--buffer-frac F] [--page-size B]
              [--threads N] [--stats]
-  top-k      --p FILE --q FILE --k K [--threads N]
-             (smallest ring diameters first)
+  self-join  --input FILE [--algo auto|inj|bij|obj] [--out FILE]
+             [--index rtree|quadtree] [--threads N] [--stats]
+  top-k      --p FILE --q FILE --k K [--index rtree|quadtree]
+             (smallest ring diameters first, streamed with early exit)
+  explain    (--p FILE --q FILE | --input FILE) [--algo ...] [--k K]
+             [--index rtree|quadtree] [--threads N]
+             (print the resolved query plan without running it)
   compare    --p FILE --q FILE (--epsilon E | --kcp K | --knn K)
   bound      --np N --nq N  (result-size bounds)
   help
@@ -35,16 +46,28 @@ COMMANDS
 Dataset files are .csv (id,x,y with header) or the .bin format written
 by `generate`; the extension decides the codec.
 
-`--threads N` runs the join on N worker threads (default 1, or the
-RINGJOIN_THREADS environment variable); parallel output is identical to
-sequential output, pair for pair.";
+`--algo auto` (the `explain` default) lets the cost-model planner pick
+the algorithm. `--threads N` runs the join on N >= 1 worker threads
+(default 1, or the RINGJOIN_THREADS environment variable); parallel
+output is identical to sequential output, pair for pair.";
 
 /// Executor selection: an explicit `--threads` wins; otherwise the
-/// `RINGJOIN_THREADS`-aware default applies.
+/// `RINGJOIN_THREADS`-aware default applies. A thread *count* must be at
+/// least 1 — `--threads 0` is rejected here, and the env-var path
+/// rejects `RINGJOIN_THREADS=0` the same way, so neither spelling
+/// silently coerces to sequential.
 fn parse_executor(args: &Args) -> Result<Executor, ArgError> {
     Ok(match args.opt("threads") {
         None => Executor::default(),
-        Some(_) => Executor::threads(args.req_parse("threads")?),
+        Some(_) => {
+            let n: usize = args.req_parse("threads")?;
+            if n == 0 {
+                return Err(ArgError(
+                    "--threads must be at least 1 (got 0); omit the flag for the default".into(),
+                ));
+            }
+            Executor::threads(n)
+        }
     })
 }
 
@@ -66,8 +89,11 @@ fn save_items(path: &str, items: &[Item]) -> Result<(), ArgError> {
     res.map_err(|e| ArgError(format!("cannot write {path}: {e}")))
 }
 
-fn parse_algo(s: Option<&str>) -> Result<RcjAlgorithm, ArgError> {
-    match s.unwrap_or("obj") {
+/// Parses `--algo`; `default` differs by command (`obj` for joins,
+/// `auto` for `explain`).
+fn parse_algo(s: Option<&str>, default: &str) -> Result<RcjAlgorithm, ArgError> {
+    match s.unwrap_or(default) {
+        "auto" => Ok(RcjAlgorithm::Auto),
         "inj" => Ok(RcjAlgorithm::Inj),
         "bij" => Ok(RcjAlgorithm::Bij),
         "obj" => Ok(RcjAlgorithm::Obj),
@@ -75,7 +101,45 @@ fn parse_algo(s: Option<&str>) -> Result<RcjAlgorithm, ArgError> {
     }
 }
 
-/// Builds both trees in one pager with the paper's buffer rule.
+fn parse_index(s: Option<&str>) -> Result<IndexKind, ArgError> {
+    match s.unwrap_or("rtree") {
+        "rtree" => Ok(IndexKind::Rtree),
+        "quadtree" => Ok(IndexKind::Quadtree),
+        other => Err(ArgError(format!("unknown index kind {other:?}"))),
+    }
+}
+
+/// Builds an engine session for one command invocation: datasets loaded
+/// from the given files under fixed names, the paper's buffer rule
+/// applied, construction I/O excluded from the statistics.
+fn build_engine(args: &Args, self_join: bool) -> Result<Engine, ArgError> {
+    let page_size: usize = args.opt_parse("page-size", 1024)?;
+    let buffer_frac: f64 = args.opt_parse("buffer-frac", 0.01)?;
+    let index = parse_index(args.opt("index"))?;
+    let mut engine =
+        Engine::with_pager(Pager::new(MemDisk::new(page_size), usize::MAX / 2).into_shared());
+    if self_join {
+        let items = load_items(args.req("input")?)?;
+        engine.load("input", items).index(index);
+    } else {
+        engine.load("p", load_items(args.req("p")?)?).index(index);
+        engine.load("q", load_items(args.req("q")?)?).index(index);
+    }
+    engine.set_buffer_frac(buffer_frac);
+    Ok(engine)
+}
+
+/// Query builder over the fixed dataset names of [`build_engine`].
+fn query(engine: &Engine, self_join: bool) -> QueryBuilder<'_> {
+    if self_join {
+        engine.query().self_join("input")
+    } else {
+        engine.query().join("q", "p")
+    }
+}
+
+/// Legacy tree builder for the `compare` command, whose baselines
+/// (ε-join, k-closest-pairs, kNN) run over concrete R-trees.
 fn build_trees(
     p_items: Vec<Item>,
     q_items: Vec<Item>,
@@ -123,8 +187,11 @@ fn write_pairs(out: Option<&str>, pairs: &[ringjoin_core::RcjPair]) -> Result<()
     emit().map_err(|e| ArgError(format!("write failed: {e}")))
 }
 
-fn report_stats(pager: &SharedPager, out: &RcjOutput) {
+/// `--stats` reporting: the resolved plan line first, then the run
+/// counters.
+fn report_stats(pager: &SharedPager, plan: &Plan<'_>, out: &RcjOutput) {
     let io = pager.borrow().stats();
+    eprintln!("plan: {}", plan.summary_line());
     eprintln!(
         "pairs: {}  candidates: {}  node accesses: {}  faults: {}  io-time: {:.2}s (10ms/fault)",
         out.stats.result_pairs,
@@ -133,6 +200,10 @@ fn report_stats(pager: &SharedPager, out: &RcjOutput) {
         io.read_faults,
         CostModel::default().io_seconds(&io),
     );
+}
+
+fn engine_err(e: ringjoin_core::EngineError) -> ArgError {
+    ArgError(e.to_string())
 }
 
 /// Runs one parsed command; returns the text to print on stdout (pair
@@ -161,41 +232,50 @@ pub fn run(args: &Args) -> Result<Option<String>, ArgError> {
         }
         "join" | "self-join" => {
             let self_join = args.command == "self-join";
-            let algo = parse_algo(args.opt("algo"))?;
-            let page_size: usize = args.opt_parse("page-size", 1024)?;
-            let buffer_frac: f64 = args.opt_parse("buffer-frac", 0.01)?;
-            let opts = RcjOptions::algorithm(algo).with_executor(parse_executor(args)?);
-            let (pager, out) = if self_join {
-                let items = load_items(args.req("input")?)?;
-                let (pager, tree, _empty) = build_trees(items, Vec::new(), page_size, buffer_frac);
-                let out = rcj_self_join(&tree, &opts);
-                (pager, out)
-            } else {
-                let p_items = load_items(args.req("p")?)?;
-                let q_items = load_items(args.req("q")?)?;
-                let (pager, tp, tq) = build_trees(p_items, q_items, page_size, buffer_frac);
-                let out = rcj_join(&tq, &tp, &opts);
-                (pager, out)
-            };
+            let algo = parse_algo(args.opt("algo"), "obj")?;
+            let executor = parse_executor(args)?;
+            let engine = build_engine(args, self_join)?;
+            let plan = query(&engine, self_join)
+                .algorithm(algo)
+                .executor(executor)
+                .plan()
+                .map_err(engine_err)?;
+            let out = plan.collect();
             if args.flag("stats") {
-                report_stats(&pager, &out);
+                report_stats(&engine.pager(), &plan, &out);
             }
             write_pairs(args.opt("out"), &out.pairs)?;
             Ok(None)
         }
         "top-k" => {
             let k: usize = args.req_parse("k")?;
-            let p_items = load_items(args.req("p")?)?;
-            let q_items = load_items(args.req("q")?)?;
-            let (_pager, tp, tq) = build_trees(p_items, q_items, 1024, 0.01);
-            // Full join then sort: simple and exact; the streaming path
-            // lives in the `ringjoin` facade crate.
-            let opts = RcjOptions::default().with_executor(parse_executor(args)?);
-            let mut out = rcj_join(&tq, &tp, &opts);
-            sort_by_diameter(&mut out.pairs);
-            out.pairs.truncate(k);
+            let executor = parse_executor(args)?;
+            let engine = build_engine(args, false)?;
+            // The plan's top-k path streams in ascending ring diameter
+            // with early exit — no full join, no sort.
+            let plan = query(&engine, false)
+                .executor(executor)
+                .top_k(k)
+                .plan()
+                .map_err(engine_err)?;
+            let out = plan.collect();
+            if args.flag("stats") {
+                report_stats(&engine.pager(), &plan, &out);
+            }
             write_pairs(args.opt("out"), &out.pairs)?;
             Ok(None)
+        }
+        "explain" => {
+            let self_join = args.opt("input").is_some();
+            let algo = parse_algo(args.opt("algo"), "auto")?;
+            let executor = parse_executor(args)?;
+            let engine = build_engine(args, self_join)?;
+            let mut builder = query(&engine, self_join).algorithm(algo).executor(executor);
+            if let Some(_k) = args.opt("k") {
+                builder = builder.top_k(args.req_parse("k")?);
+            }
+            let plan = builder.plan().map_err(engine_err)?;
+            Ok(Some(plan.to_string()))
         }
         "compare" => {
             let p_items = load_items(args.req("p")?)?;
@@ -320,6 +400,29 @@ mod tests {
             fields[2].parse::<f64>().unwrap();
             fields[4].parse::<f64>().unwrap();
         }
+        // The auto algorithm and the quadtree index produce the same
+        // pair set over the same files.
+        let out_auto = tmp("pairs_auto.csv");
+        let out_quad = tmp("pairs_quad.csv");
+        run(&parse(&s(&[
+            "join", "--p", &p, "--q", &q, "--algo", "auto", "--out", &out_auto,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&parse(&s(&[
+            "join", "--p", &p, "--q", &q, "--index", "quadtree", "--out", &out_quad,
+        ]))
+        .unwrap())
+        .unwrap();
+        let keys = |csv: &str| -> std::collections::BTreeSet<String> {
+            csv.lines()
+                .skip(1)
+                .map(|l| l.split(',').take(2).collect::<Vec<_>>().join(","))
+                .collect()
+        };
+        let base = keys(&csv);
+        assert_eq!(keys(&std::fs::read_to_string(&out_auto).unwrap()), base);
+        assert_eq!(keys(&std::fs::read_to_string(&out_quad).unwrap()), base);
     }
 
     #[test]
@@ -364,6 +467,87 @@ mod tests {
         for w in radii.windows(2) {
             assert!(w[0] <= w[1]);
         }
+    }
+
+    #[test]
+    fn explain_prints_the_plan() {
+        let p = tmp("ep.bin");
+        let q = tmp("eq.bin");
+        for (path, seed) in [(&p, "21"), (&q, "22")] {
+            run(&parse(&s(&[
+                "generate", "--kind", "uniform", "--n", "400", "--seed", seed, "--out", path,
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+        let text = run(&parse(&s(&["explain", "--p", &p, "--q", &q])).unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(text.contains("RCJ join"), "{text}");
+        assert!(text.contains("resolved from AUTO"), "{text}");
+        assert!(text.contains("<- chosen"), "{text}");
+        assert!(text.contains("plan line: algo="), "{text}");
+
+        // Fixed algorithm and threads show up.
+        let text = run(&parse(&s(&[
+            "explain",
+            "--p",
+            &p,
+            "--q",
+            &q,
+            "--algo",
+            "inj",
+            "--threads",
+            "4",
+        ]))
+        .unwrap())
+        .unwrap()
+        .unwrap();
+        assert!(text.contains("INJ (fixed by the query)"), "{text}");
+        assert!(text.contains("parallel (4 threads)"), "{text}");
+
+        // Top-k plans are honest: the diameter stream bypasses the leaf
+        // algorithms and has no parallel path, whatever the flags said.
+        let text = run(&parse(&s(&[
+            "explain",
+            "--p",
+            &p,
+            "--q",
+            &q,
+            "--algo",
+            "inj",
+            "--threads",
+            "4",
+            "--k",
+            "7",
+        ]))
+        .unwrap())
+        .unwrap()
+        .unwrap();
+        assert!(text.contains("top-k: 7"), "{text}");
+        assert!(
+            text.contains("diameter-ordered incremental stream"),
+            "{text}"
+        );
+        assert!(text.contains("executor: sequential (forced"), "{text}");
+        assert!(text.contains("algo=topk-stream"), "{text}");
+        assert!(text.contains("threads=1"), "{text}");
+
+        // Self-join form.
+        let text = run(&parse(&s(&["explain", "--input", &p])).unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(text.contains("RCJ self-join"), "{text}");
+
+        // Mixed-kind tag appears when --index differs between runs is
+        // impossible through one flag, but the quadtree tag must show.
+        let text = run(&parse(&s(&[
+            "explain", "--p", &p, "--q", &q, "--index", "quadtree",
+        ]))
+        .unwrap())
+        .unwrap()
+        .unwrap();
+        assert!(text.contains("index=quadtree"), "{text}");
     }
 
     #[test]
@@ -445,6 +629,32 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_is_rejected_with_a_clear_error() {
+        let p = tmp("zt_p.bin");
+        let q = tmp("zt_q.bin");
+        for (path, seed) in [(&p, "31"), (&q, "32")] {
+            run(&parse(&s(&[
+                "generate", "--kind", "uniform", "--n", "50", "--seed", seed, "--out", path,
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+        for cmd in [
+            vec!["join", "--p", &p, "--q", &q, "--threads", "0"],
+            vec!["self-join", "--input", &p, "--threads", "0"],
+            vec!["top-k", "--p", &p, "--q", &q, "--k", "3", "--threads", "0"],
+            vec!["explain", "--p", &p, "--q", &q, "--threads", "0"],
+        ] {
+            let err = run(&parse(&s(&cmd)).unwrap()).unwrap_err();
+            assert!(
+                err.0.contains("--threads must be at least 1"),
+                "{cmd:?}: unhelpful message {}",
+                err.0
+            );
+        }
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(
             run(&parse(&s(&["join", "--p", "/nonexistent.bin", "--q", "x.bin"])).unwrap()).is_err()
@@ -453,6 +663,17 @@ mod tests {
         assert!(run(&parse(&s(&["compare", "--p", "a", "--q", "b"])).unwrap()).is_err());
         assert!(run(&parse(&s(&[
             "generate", "--kind", "nope", "--n", "10", "--out", "/tmp/x"
+        ]))
+        .unwrap())
+        .is_err());
+        // Unknown index kinds and algorithms are argument errors too.
+        assert!(run(&parse(&s(&[
+            "join", "--p", "a.bin", "--q", "b.bin", "--index", "btree"
+        ]))
+        .unwrap())
+        .is_err());
+        assert!(run(&parse(&s(&[
+            "join", "--p", "a.bin", "--q", "b.bin", "--algo", "fastest"
         ]))
         .unwrap())
         .is_err());

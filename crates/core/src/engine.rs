@@ -1,0 +1,925 @@
+//! The session layer: an [`Engine`] holding named, indexed datasets and
+//! serving repeated RCJ queries over them.
+//!
+//! The paper's interface — one function call over two freshly built
+//! trees — is the wrong shape for serving: facility-location workloads
+//! (the (1|1)-centroid problem, line-constrained server placement) ask
+//! *many* placement queries against *standing* pointsets. The engine is
+//! that session:
+//!
+//! ```text
+//!   Engine::new()                         session: one pager, a default executor
+//!     .load("shops", items).index(Rtree)  named datasets, any index kind
+//!     .query().join("homes", "shops")     builder: what to join, how
+//!     .plan()?                            inspectable Plan (algorithm, cost
+//!                                         estimates, executor) — `explain`
+//!     .stream() / .collect()              lazy RcjStream or materialised RcjOutput
+//! ```
+//!
+//! Datasets persist across queries, so index construction is paid once;
+//! page snapshots taken for parallel execution are cached in the pager
+//! and reused; and because both built-in probes live in this crate, the
+//! two sides of one join can mix index kinds freely. The
+//! [`Plan`] resolves [`RcjAlgorithm::Auto`] through the
+//! [`planner`](crate::planner)'s calibrated cost model and implements
+//! [`std::fmt::Display`] — the CLI's `explain` subcommand prints it
+//! verbatim.
+
+use crate::join::{rcj_join, rcj_self_join, RcjAlgorithm, RcjOptions, RcjOutput};
+use crate::planner::{DatasetSummary, JoinCostModel, PlanEstimate};
+use crate::stream::{
+    rcj_self_stream, rcj_self_stream_by_diameter, rcj_stream, rcj_stream_by_diameter, RcjStream,
+};
+use crate::{Executor, OuterOrder, RcjIndex};
+use ringjoin_geom::{pt, Item, Rect};
+use ringjoin_quadtree::QuadTree;
+use ringjoin_rtree::{bulk_load, RTree};
+use ringjoin_storage::{MemDisk, Pager, SharedPager};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index kind to build for a dataset registered with
+/// [`Engine::load`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IndexKind {
+    /// Disk-based R*-tree (the paper's index; minimal MBRs, so the
+    /// verification face rule applies).
+    #[default]
+    Rtree,
+    /// Disk-based bucket PR quadtree (space-partitioning regions; the
+    /// face rule is disabled automatically).
+    Quadtree,
+}
+
+impl IndexKind {
+    /// Lower-case tag used in plan lines and summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Rtree => "rtree",
+            IndexKind::Quadtree => "quadtree",
+        }
+    }
+}
+
+/// Errors surfaced by the query builder / planner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query referenced a dataset name never registered with
+    /// [`Engine::load`].
+    UnknownDataset(String),
+    /// [`QueryBuilder::plan`] was called before
+    /// [`QueryBuilder::join`]/[`QueryBuilder::self_join`] chose inputs.
+    NoQuery,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => {
+                write!(
+                    f,
+                    "unknown dataset {name:?} (register it with Engine::load)"
+                )
+            }
+            EngineError::NoQuery => {
+                write!(
+                    f,
+                    "no query inputs: call .join(outer, inner) or .self_join(dataset)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One registered dataset: its name and the index built over it.
+struct Dataset {
+    name: String,
+    index: AnyIndex,
+}
+
+/// The index kinds the engine can host natively.
+enum AnyIndex {
+    Rtree(RTree),
+    Quadtree(QuadTree),
+}
+
+impl Dataset {
+    fn kind(&self) -> IndexKind {
+        match self.index {
+            AnyIndex::Rtree(_) => IndexKind::Rtree,
+            AnyIndex::Quadtree(_) => IndexKind::Quadtree,
+        }
+    }
+
+    fn summary(&self) -> DatasetSummary {
+        match &self.index {
+            AnyIndex::Rtree(t) => t.summary(),
+            AnyIndex::Quadtree(t) => t.summary(),
+        }
+    }
+}
+
+/// Dispatches a two-sided closure over the concrete index types of an
+/// (outer, inner) dataset pair — the monomorphisation point of every
+/// engine query.
+macro_rules! with_tree_pair {
+    ($outer:expr, $inner:expr, |$tq:ident, $tp:ident| $body:expr) => {
+        match (&$outer.index, &$inner.index) {
+            (AnyIndex::Rtree($tq), AnyIndex::Rtree($tp)) => $body,
+            (AnyIndex::Rtree($tq), AnyIndex::Quadtree($tp)) => $body,
+            (AnyIndex::Quadtree($tq), AnyIndex::Rtree($tp)) => $body,
+            (AnyIndex::Quadtree($tq), AnyIndex::Quadtree($tp)) => $body,
+        }
+    };
+}
+
+/// Single-sided variant of [`with_tree_pair!`] for self-joins.
+macro_rules! with_tree {
+    ($ds:expr, |$t:ident| $body:expr) => {
+        match &$ds.index {
+            AnyIndex::Rtree($t) => $body,
+            AnyIndex::Quadtree($t) => $body,
+        }
+    };
+}
+
+/// A long-lived RCJ session: one shared pager, named indexed datasets,
+/// and a default [`Executor`]. See the crate-level docs for the
+/// Engine → Plan → Stream walkthrough.
+pub struct Engine {
+    pager: SharedPager,
+    datasets: BTreeMap<String, Dataset>,
+    executor: Executor,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An in-memory engine: 1 KB pages (the paper's size) and an
+    /// effectively unlimited buffer. Use [`Engine::with_pager`] to bring
+    /// your own storage, and [`Engine::set_buffer_frac`] for the paper's
+    /// buffer-sizing rule.
+    pub fn new() -> Self {
+        Engine::with_pager(Pager::new(MemDisk::new(1024), usize::MAX / 2).into_shared())
+    }
+
+    /// An engine over an existing pager — every dataset loaded into this
+    /// engine allocates its pages there, and all queries share its
+    /// buffer.
+    pub fn with_pager(pager: SharedPager) -> Self {
+        Engine {
+            pager,
+            datasets: BTreeMap::new(),
+            executor: Executor::default(),
+        }
+    }
+
+    /// The session's shared pager (I/O statistics live here).
+    pub fn pager(&self) -> SharedPager {
+        self.pager.clone()
+    }
+
+    /// Sets the default executor new queries inherit (individual queries
+    /// override it with [`QueryBuilder::executor`]).
+    pub fn set_default_executor(&mut self, executor: Executor) {
+        self.executor = executor;
+    }
+
+    /// The default executor new queries inherit.
+    pub fn default_executor(&self) -> Executor {
+        self.executor
+    }
+
+    /// Applies the paper's buffer rule — capacity = `frac` of the total
+    /// index pages currently loaded (min 1) — then cold-starts the
+    /// buffer and zeroes the I/O statistics, so subsequent queries are
+    /// measured from a clean slate. Call after loading datasets.
+    pub fn set_buffer_frac(&mut self, frac: f64) {
+        let total: u64 = self.datasets.values().map(|d| d.summary().pages).sum();
+        let cap = ((total as f64 * frac).ceil() as usize).max(1);
+        let mut pg = self.pager.borrow_mut();
+        pg.set_buffer_capacity(cap);
+        pg.clear_buffer();
+        pg.reset_stats();
+    }
+
+    /// Starts registering a dataset: `engine.load(name, items)` returns
+    /// a [`LoadBuilder`]; choosing the index kind
+    /// ([`LoadBuilder::index`]) builds it and completes the
+    /// registration. Re-using a name replaces the dataset (the old
+    /// index's pages remain allocated in the pager — a session-level
+    /// trade-off documented on [`LoadBuilder::index`]).
+    pub fn load(&mut self, name: impl Into<String>, items: Vec<Item>) -> LoadBuilder<'_> {
+        LoadBuilder {
+            engine: self,
+            name: name.into(),
+            items,
+        }
+    }
+
+    /// Handle describing a registered dataset, if any.
+    pub fn dataset(&self, name: &str) -> Option<DatasetHandle> {
+        self.datasets.get(name).map(|ds| DatasetHandle {
+            name: ds.name.clone(),
+            kind: ds.kind(),
+            summary: ds.summary(),
+        })
+    }
+
+    /// Names of all registered datasets (sorted).
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.datasets.keys().cloned().collect()
+    }
+
+    /// Starts building a query over this engine's datasets.
+    pub fn query(&self) -> QueryBuilder<'_> {
+        QueryBuilder {
+            engine: self,
+            kind: None,
+            algorithm: RcjAlgorithm::Auto,
+            executor: None,
+            top_k: None,
+            skip_verification: false,
+            no_face_rule: false,
+            outer_order: OuterOrder::DepthFirst,
+        }
+    }
+
+    fn get(&self, name: &str) -> Result<&Dataset, EngineError> {
+        self.datasets
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
+    }
+}
+
+/// Pending dataset registration: created by [`Engine::load`], completed
+/// by [`LoadBuilder::index`].
+pub struct LoadBuilder<'e> {
+    engine: &'e mut Engine,
+    name: String,
+    items: Vec<Item>,
+}
+
+impl LoadBuilder<'_> {
+    /// Builds the chosen index over the items in the engine's pager and
+    /// registers the dataset under its name, returning a descriptive
+    /// [`DatasetHandle`].
+    ///
+    /// R-trees are STR bulk-loaded; quadtrees cover the items' bounding
+    /// box and are built by insertion. Replacing an existing name keeps
+    /// the old index's pages allocated (pages are never reclaimed within
+    /// a session) — the buffer can be re-sized afterwards with
+    /// [`Engine::set_buffer_frac`].
+    pub fn index(self, kind: IndexKind) -> DatasetHandle {
+        let LoadBuilder {
+            engine,
+            name,
+            items,
+        } = self;
+        let index = match kind {
+            IndexKind::Rtree => AnyIndex::Rtree(bulk_load(engine.pager.clone(), items)),
+            IndexKind::Quadtree => {
+                let region = Rect::from_points(items.iter().map(|it| it.point))
+                    .unwrap_or_else(|| Rect::new(pt(0.0, 0.0), pt(1.0, 1.0)));
+                let mut tree = QuadTree::new(engine.pager.clone(), region);
+                for it in items {
+                    tree.insert(it.id, it.point);
+                }
+                AnyIndex::Quadtree(tree)
+            }
+        };
+        let ds = Dataset {
+            name: name.clone(),
+            index,
+        };
+        let handle = DatasetHandle {
+            name: ds.name.clone(),
+            kind: ds.kind(),
+            summary: ds.summary(),
+        };
+        engine.datasets.insert(name, ds);
+        handle
+    }
+}
+
+/// Description of a registered dataset: its name, index kind, and
+/// catalog summary. Cheap to clone; dereferences to the dataset name so
+/// it can be passed wherever a query expects one.
+#[derive(Clone, Debug)]
+pub struct DatasetHandle {
+    name: String,
+    kind: IndexKind,
+    summary: DatasetSummary,
+}
+
+impl DatasetHandle {
+    /// The dataset's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The index kind built over the dataset.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// The catalog summary the planner costs queries with.
+    pub fn summary(&self) -> DatasetSummary {
+        self.summary
+    }
+}
+
+impl std::ops::Deref for DatasetHandle {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for DatasetHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}: {} items, {} pages)",
+            self.name,
+            self.kind.name(),
+            self.summary.items,
+            self.summary.pages
+        )
+    }
+}
+
+/// What a query joins.
+#[derive(Clone, Debug)]
+enum QueryKind {
+    /// Bichromatic join: outer `Q`, inner `P`.
+    Join { outer: String, inner: String },
+    /// Self-join of one dataset.
+    SelfJoin { dataset: String },
+}
+
+/// Fluent query specification over an [`Engine`]; terminal call is
+/// [`QueryBuilder::plan`] (or the [`QueryBuilder::collect`] /
+/// [`QueryBuilder::stream`] shortcuts).
+pub struct QueryBuilder<'e> {
+    engine: &'e Engine,
+    kind: Option<QueryKind>,
+    algorithm: RcjAlgorithm,
+    executor: Option<Executor>,
+    top_k: Option<usize>,
+    skip_verification: bool,
+    no_face_rule: bool,
+    outer_order: OuterOrder,
+}
+
+impl<'e> QueryBuilder<'e> {
+    /// Joins dataset `outer` (the `Q` side, whose leaves drive the scan)
+    /// with dataset `inner` (the `P` side the filter probes).
+    pub fn join(mut self, outer: impl AsRef<str>, inner: impl AsRef<str>) -> Self {
+        self.kind = Some(QueryKind::Join {
+            outer: outer.as_ref().to_string(),
+            inner: inner.as_ref().to_string(),
+        });
+        self
+    }
+
+    /// Self-joins one dataset (the postboxes application); each
+    /// unordered pair is reported once, smaller id first.
+    pub fn self_join(mut self, dataset: impl AsRef<str>) -> Self {
+        self.kind = Some(QueryKind::SelfJoin {
+            dataset: dataset.as_ref().to_string(),
+        });
+        self
+    }
+
+    /// Algorithm choice (default [`RcjAlgorithm::Auto`]: the planner
+    /// picks by estimated cost).
+    pub fn algorithm(mut self, algorithm: RcjAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the engine's default executor for this query.
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Shorthand for [`QueryBuilder::executor`] with
+    /// [`Executor::threads`].
+    pub fn threads(self, n: usize) -> Self {
+        self.executor(Executor::threads(n))
+    }
+
+    /// Asks for only the `k` most compact pairs (smallest ring
+    /// diameters, the tourist-recommendation ranking). The plan switches
+    /// to the diameter-ordered incremental stream with early exit —
+    /// which bypasses the INJ/BIJ/OBJ leaf drivers and is inherently
+    /// sequential, so any [`QueryBuilder::algorithm`]/
+    /// [`QueryBuilder::executor`] choice is overridden and the plan
+    /// reports `algo=topk-stream threads=1`.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Skips verification, reporting raw filter candidates (a superset).
+    pub fn skip_verification(mut self) -> Self {
+        self.skip_verification = true;
+        self
+    }
+
+    /// Disables the face-inside-circle verification shortcut (ablation).
+    pub fn no_face_rule(mut self) -> Self {
+        self.no_face_rule = true;
+        self
+    }
+
+    /// Processes the outer leaves in a seeded shuffled order (ablation).
+    pub fn outer_order(mut self, order: OuterOrder) -> Self {
+        self.outer_order = order;
+        self
+    }
+
+    /// Resolves dataset names and the algorithm choice into an
+    /// inspectable [`Plan`]. No page is read: planning works on catalog
+    /// summaries only.
+    pub fn plan(self) -> Result<Plan<'e>, EngineError> {
+        let kind = self.kind.ok_or(EngineError::NoQuery)?;
+        let (outer, inner, self_join) = match &kind {
+            QueryKind::Join { outer, inner } => {
+                (self.engine.get(outer)?, self.engine.get(inner)?, false)
+            }
+            QueryKind::SelfJoin { dataset } => {
+                let ds = self.engine.get(dataset)?;
+                (ds, ds, true)
+            }
+        };
+        let model = JoinCostModel::default();
+        let outer_summary = outer.summary();
+        let algorithm = match self.algorithm {
+            RcjAlgorithm::Auto => model.choose(&outer_summary),
+            concrete => concrete,
+        };
+        // A top-k plan runs the diameter-ordered stream, which bypasses
+        // the leaf algorithms and has no parallel path — the plan must
+        // say so rather than report an executor that would never run.
+        let executor = if self.top_k.is_some() {
+            Executor::Sequential
+        } else {
+            self.executor.unwrap_or(self.engine.executor)
+        };
+        Ok(Plan {
+            outer,
+            inner,
+            self_join,
+            algorithm,
+            auto_resolved: self.algorithm == RcjAlgorithm::Auto,
+            estimates: model.estimates(&outer_summary),
+            executor,
+            top_k: self.top_k,
+            skip_verification: self.skip_verification,
+            no_face_rule: self.no_face_rule,
+            outer_order: self.outer_order,
+        })
+    }
+
+    /// Plans and materialises in one call.
+    pub fn collect(self) -> Result<RcjOutput, EngineError> {
+        Ok(self.plan()?.collect())
+    }
+
+    /// Plans and opens the lazy stream in one call.
+    pub fn stream(self) -> Result<RcjStream, EngineError> {
+        Ok(self.plan()?.stream())
+    }
+}
+
+/// A resolved, inspectable query plan: concrete algorithm, executor,
+/// cost estimates, and the datasets it runs over. Produced by
+/// [`QueryBuilder::plan`]; execute it with [`Plan::stream`] (lazy) or
+/// [`Plan::collect`] (materialised). `Display` renders the `explain`
+/// text.
+pub struct Plan<'e> {
+    outer: &'e Dataset,
+    inner: &'e Dataset,
+    self_join: bool,
+    algorithm: RcjAlgorithm,
+    auto_resolved: bool,
+    estimates: [PlanEstimate; 3],
+    executor: Executor,
+    top_k: Option<usize>,
+    skip_verification: bool,
+    no_face_rule: bool,
+    outer_order: OuterOrder,
+}
+
+impl Plan<'_> {
+    /// The concrete algorithm this plan runs ([`RcjAlgorithm::Auto`] is
+    /// already resolved). Top-k plans bypass the leaf algorithms
+    /// entirely (see [`QueryBuilder::top_k`]); the resolved value is
+    /// still recorded here but only executes if `top_k` is removed.
+    pub fn algorithm(&self) -> RcjAlgorithm {
+        self.algorithm
+    }
+
+    /// `true` when the algorithm was chosen by the planner (the query
+    /// asked for [`RcjAlgorithm::Auto`]).
+    pub fn auto_resolved(&self) -> bool {
+        self.auto_resolved
+    }
+
+    /// The executor this plan runs under.
+    pub fn executor(&self) -> Executor {
+        self.executor
+    }
+
+    /// The top-k bound, if the query asked for one.
+    pub fn top_k(&self) -> Option<usize> {
+        self.top_k
+    }
+
+    /// `true` for self-join plans.
+    pub fn is_self_join(&self) -> bool {
+        self.self_join
+    }
+
+    /// The planner's estimates for all three concrete algorithms
+    /// (OBJ, BIJ, INJ order) on this workload.
+    pub fn estimates(&self) -> &[PlanEstimate; 3] {
+        &self.estimates
+    }
+
+    /// Index kinds as a compact tag: `rtree` when both sides match,
+    /// `rtree+quadtree` (outer+inner) otherwise.
+    pub fn index_tag(&self) -> String {
+        let (o, i) = (self.outer.kind().name(), self.inner.kind().name());
+        if o == i {
+            o.to_string()
+        } else {
+            format!("{o}+{i}")
+        }
+    }
+
+    /// One-line summary (`algo=obj index=rtree threads=4`), printed by
+    /// the CLI's `--stats` reporting. Top-k plans run the
+    /// diameter-ordered stream, not a leaf algorithm, and say so
+    /// (`algo=topk-stream threads=1`).
+    pub fn summary_line(&self) -> String {
+        let algo = if self.top_k.is_some() {
+            "topk-stream".to_string()
+        } else {
+            self.algorithm.name().to_lowercase()
+        };
+        format!(
+            "algo={algo} index={} threads={}",
+            self.index_tag(),
+            self.executor.worker_count(),
+        )
+    }
+
+    /// The resolved driver options this plan executes with.
+    fn options(&self) -> RcjOptions {
+        RcjOptions {
+            algorithm: self.algorithm,
+            skip_verification: self.skip_verification,
+            no_face_rule: self.no_face_rule,
+            outer_order: self.outer_order,
+            executor: self.executor,
+        }
+    }
+
+    /// Runs the plan and materialises the result. Top-k plans collect
+    /// the `k` most compact pairs in ascending diameter order (via the
+    /// early-exit stream); other plans run the whole-list executor.
+    pub fn collect(&self) -> RcjOutput {
+        if self.top_k.is_some() {
+            let mut stream = self.stream();
+            let pairs: Vec<_> = stream.by_ref().collect();
+            let mut stats = stream.stats();
+            stats.result_pairs = pairs.len() as u64;
+            return RcjOutput { pairs, stats };
+        }
+        let opts = self.options();
+        if self.self_join {
+            with_tree!(self.outer, |t| rcj_self_join(t, &opts))
+        } else {
+            with_tree_pair!(self.outer, self.inner, |tq, tp| rcj_join(tq, tp, &opts))
+        }
+    }
+
+    /// Opens the plan's lazy [`RcjStream`]. Leaf-order plans yield
+    /// exactly the [`Plan::collect`] pairs in the same order with
+    /// bounded memory; top-k plans yield up to `k` pairs in ascending
+    /// ring diameter with early exit (the executor is ignored there —
+    /// the incremental traversal is inherently sequential).
+    pub fn stream(&self) -> RcjStream {
+        let opts = self.options();
+        match (self.top_k, self.self_join) {
+            (Some(k), false) => with_tree_pair!(self.outer, self.inner, |tq, tp| {
+                rcj_stream_by_diameter(tq, tp, &opts).limit(k)
+            }),
+            (Some(k), true) => {
+                with_tree!(self.outer, |t| rcj_self_stream_by_diameter(t, &opts)
+                    .limit(k))
+            }
+            (None, false) => {
+                with_tree_pair!(self.outer, self.inner, |tq, tp| rcj_stream(tq, tp, &opts))
+            }
+            (None, true) => with_tree!(self.outer, |t| rcj_self_stream(t, &opts)),
+        }
+    }
+}
+
+impl fmt::Display for Plan<'_> {
+    /// The `explain` rendering: query shape, resolved algorithm with the
+    /// planner's per-algorithm estimates, executor, and option flags.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let describe = |ds: &Dataset| {
+            let s = ds.summary();
+            format!(
+                "{} ({}: {} items, {} pages, ~{} leaves)",
+                ds.name, s.kind, s.items, s.pages, s.leaf_pages
+            )
+        };
+        if self.self_join {
+            writeln!(f, "RCJ self-join over {}", describe(self.outer))?;
+        } else {
+            writeln!(
+                f,
+                "RCJ join outer={} inner={}",
+                describe(self.outer),
+                describe(self.inner)
+            )?;
+        }
+        if let Some(k) = self.top_k {
+            // The diameter-ordered stream bypasses the leaf algorithms
+            // and has no parallel path; showing estimates or a thread
+            // count here would describe a run that never happens.
+            writeln!(
+                f,
+                "  algorithm: diameter-ordered incremental stream (top-k bypasses INJ/BIJ/OBJ)"
+            )?;
+            writeln!(
+                f,
+                "  executor: sequential (forced: the incremental traversal has no parallel path)"
+            )?;
+            writeln!(
+                f,
+                "  top-k: {k} (early exit after the {k} most compact pairs)"
+            )?;
+        } else {
+            writeln!(
+                f,
+                "  algorithm: {}{}",
+                self.algorithm.name(),
+                if self.auto_resolved {
+                    " (resolved from AUTO by the cost model)"
+                } else {
+                    " (fixed by the query)"
+                }
+            )?;
+            for e in &self.estimates {
+                writeln!(
+                    f,
+                    "    est {}: {:.0} filter + {:.0} verify = {:.0} node reads ({} {}){}",
+                    e.algorithm.name(),
+                    e.filter_reads,
+                    e.verify_reads,
+                    e.total_reads(),
+                    e.units,
+                    e.unit,
+                    if e.algorithm == self.algorithm {
+                        "  <- chosen"
+                    } else {
+                        ""
+                    }
+                )?;
+            }
+            match self.executor {
+                Executor::Sequential => writeln!(f, "  executor: sequential")?,
+                Executor::Parallel { threads } => {
+                    writeln!(f, "  executor: parallel ({threads} threads)")?
+                }
+            }
+        }
+        if self.skip_verification {
+            writeln!(f, "  verification: skipped (candidates only)")?;
+        }
+        if self.no_face_rule {
+            writeln!(f, "  face rule: disabled")?;
+        }
+        if let OuterOrder::Shuffled(seed) = self.outer_order {
+            writeln!(f, "  outer order: shuffled (seed {seed})")?;
+        }
+        write!(f, "  plan line: {}", self.summary_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pair_keys, rcj_brute, RcjPair};
+
+    fn points(n: usize, seed: u64, span: f64) -> Vec<Item> {
+        ringjoin_testsupport::lcg_points(n, seed, span)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Item::new(i as u64, pt(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn load_query_collect_roundtrip() {
+        let ps = points(150, 3, 800.0);
+        let qs = points(150, 7, 800.0);
+        let expect = pair_keys(&rcj_brute(&ps, &qs));
+        assert!(!expect.is_empty());
+
+        let mut engine = Engine::new();
+        let hp = engine.load("restaurants", ps).index(IndexKind::Rtree);
+        let hq = engine.load("residences", qs).index(IndexKind::Rtree);
+        assert_eq!(hp.name(), "restaurants");
+        assert_eq!(hq.kind(), IndexKind::Rtree);
+        assert!(hq.to_string().contains("150 items"));
+
+        let out = engine
+            .query()
+            .join("residences", "restaurants")
+            .collect()
+            .unwrap();
+        assert_eq!(pair_keys(&out.pairs), expect);
+    }
+
+    #[test]
+    fn mixed_index_join_agrees_with_rtree_join() {
+        let ps = points(200, 11, 1000.0);
+        let qs = points(200, 13, 1000.0);
+        let mut engine = Engine::new();
+        engine.load("p_rt", ps.clone()).index(IndexKind::Rtree);
+        engine.load("p_qt", ps).index(IndexKind::Quadtree);
+        engine.load("q_rt", qs.clone()).index(IndexKind::Rtree);
+        engine.load("q_qt", qs).index(IndexKind::Quadtree);
+
+        let reference = engine.query().join("q_rt", "p_rt").collect().unwrap();
+        for (q, p) in [("q_rt", "p_qt"), ("q_qt", "p_rt"), ("q_qt", "p_qt")] {
+            let out = engine.query().join(q, p).collect().unwrap();
+            assert_eq!(
+                pair_keys(&out.pairs),
+                pair_keys(&reference.pairs),
+                "{q} x {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_join_plan_reports_each_pair_once() {
+        let mut engine = Engine::new();
+        engine
+            .load("buildings", points(180, 17, 600.0))
+            .index(IndexKind::Rtree);
+        let out = engine.query().self_join("buildings").collect().unwrap();
+        assert!(!out.pairs.is_empty());
+        for pr in &out.pairs {
+            assert!(pr.p.id < pr.q.id);
+        }
+    }
+
+    #[test]
+    fn plan_is_inspectable_and_auto_resolves() {
+        let mut engine = Engine::new();
+        engine
+            .load("a", points(300, 19, 900.0))
+            .index(IndexKind::Rtree);
+        engine
+            .load("b", points(300, 23, 900.0))
+            .index(IndexKind::Quadtree);
+        let plan = engine.query().join("a", "b").threads(4).plan().unwrap();
+        assert!(plan.auto_resolved());
+        assert_ne!(plan.algorithm(), RcjAlgorithm::Auto);
+        assert_eq!(plan.executor(), Executor::Parallel { threads: 4 });
+        assert_eq!(plan.index_tag(), "rtree+quadtree");
+        assert_eq!(
+            plan.summary_line(),
+            format!(
+                "algo={} index=rtree+quadtree threads=4",
+                plan.algorithm().name().to_lowercase()
+            )
+        );
+        let text = plan.to_string();
+        assert!(text.contains("RCJ join outer=a"), "{text}");
+        assert!(text.contains("<- chosen"), "{text}");
+        assert!(text.contains("parallel (4 threads)"), "{text}");
+        assert!(text.contains("plan line: algo="), "{text}");
+    }
+
+    #[test]
+    fn unknown_names_and_missing_query_error() {
+        let engine = Engine::new();
+        assert_eq!(
+            engine.query().join("x", "y").plan().err(),
+            Some(EngineError::UnknownDataset("x".into()))
+        );
+        assert_eq!(engine.query().plan().err(), Some(EngineError::NoQuery));
+        assert!(engine.dataset("x").is_none());
+        let msg = EngineError::UnknownDataset("x".into()).to_string();
+        assert!(msg.contains('x'), "{msg}");
+    }
+
+    #[test]
+    fn top_k_plan_streams_most_compact_pairs() {
+        let mut engine = Engine::new();
+        engine
+            .load("p", points(250, 29, 2000.0))
+            .index(IndexKind::Rtree);
+        engine
+            .load("q", points(250, 31, 2000.0))
+            .index(IndexKind::Rtree);
+        let full = engine.query().join("q", "p").collect().unwrap();
+        let k = 10.min(full.pairs.len());
+        let plan = engine.query().join("q", "p").top_k(k).plan().unwrap();
+        assert!(plan.to_string().contains("top-k"), "{plan}");
+        // Top-k reports the stream it actually runs, not a leaf
+        // algorithm/executor that would never execute.
+        assert_eq!(
+            plan.summary_line(),
+            "algo=topk-stream index=rtree threads=1"
+        );
+        assert_eq!(plan.executor(), Executor::Sequential);
+        let top = plan.collect();
+        assert_eq!(top.pairs.len(), k);
+        for w in top.pairs.windows(2) {
+            assert!(w[0].diameter() <= w[1].diameter());
+        }
+        // Every top pair is a real join result.
+        let all: std::collections::HashSet<_> = pair_keys(&full.pairs).into_iter().collect();
+        for pr in &top.pairs {
+            assert!(all.contains(&pr.key()));
+        }
+    }
+
+    #[test]
+    fn stream_equals_collect_through_the_engine() {
+        let mut engine = Engine::new();
+        engine
+            .load("p", points(220, 37, 1500.0))
+            .index(IndexKind::Quadtree);
+        engine
+            .load("q", points(220, 41, 1500.0))
+            .index(IndexKind::Rtree);
+        for threads in [1, 4] {
+            let plan = engine
+                .query()
+                .join("q", "p")
+                .threads(threads)
+                .plan()
+                .unwrap();
+            let collected = plan.collect();
+            let streamed: Vec<RcjPair> = plan.stream().collect();
+            assert_eq!(streamed, collected.pairs, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn replacing_a_dataset_swaps_the_index() {
+        let mut engine = Engine::new();
+        engine
+            .load("d", points(50, 43, 400.0))
+            .index(IndexKind::Rtree);
+        assert_eq!(engine.dataset("d").unwrap().kind(), IndexKind::Rtree);
+        engine
+            .load("d", points(80, 47, 400.0))
+            .index(IndexKind::Quadtree);
+        let h = engine.dataset("d").unwrap();
+        assert_eq!(h.kind(), IndexKind::Quadtree);
+        assert_eq!(h.summary().items, 80);
+        assert_eq!(engine.dataset_names(), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn buffer_frac_applies_papers_rule() {
+        let mut engine = Engine::new();
+        engine
+            .load("p", points(1000, 53, 5000.0))
+            .index(IndexKind::Rtree);
+        engine
+            .load("q", points(1000, 59, 5000.0))
+            .index(IndexKind::Quadtree);
+        engine.set_buffer_frac(0.5);
+        let total: u64 = ["p", "q"]
+            .iter()
+            .map(|n| engine.dataset(n).unwrap().summary().pages)
+            .sum();
+        assert_eq!(
+            engine.pager().borrow().buffer_capacity(),
+            ((total as f64 * 0.5).ceil() as usize).max(1)
+        );
+    }
+}

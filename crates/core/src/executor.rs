@@ -15,17 +15,21 @@
 //!   capacity is the configured buffer budget divided by the worker
 //!   count;
 //! * results are concatenated **by chunk index** and per-worker counters
-//!   are merged ([`RcjStats::merge`], [`Pager::absorb`]), so a parallel
-//!   run's output is identical to the sequential run's — same pairs, same
-//!   order — and its aggregate statistics are the figures the paper
-//!   reports.
+//!   are merged ([`RcjStats::merge`], [`Pager::absorb`](ringjoin_storage::Pager::absorb)),
+//!   so a parallel run's output is identical to the sequential run's —
+//!   same pairs, same order — and its aggregate statistics are the
+//!   figures the paper reports.
 //!
 //! Workers are plain `std::thread::scope` threads: no work stealing, no
-//! queues, no dependencies.
+//! queues, no dependencies. Pairs leave the executor through the
+//! caller's [`PairSink`](crate::PairSink); the sequential path honors a
+//! sink's early-exit request leaf by leaf, the parallel path after its
+//! deterministic merge.
 
 use crate::index::{IndexProbe, NodeRef};
-use crate::join::{leaf_items, process_leaf, RcjOptions, RcjOutput};
+use crate::join::{leaf_items, process_leaf, RcjOptions};
 use crate::stats::RcjStats;
+use crate::stream::PairSink;
 use ringjoin_storage::{IoStats, PageAccess, SharedPager, WorkerPager};
 use std::rc::Rc;
 
@@ -56,21 +60,28 @@ impl Executor {
     }
 
     /// Reads the executor from the `RINGJOIN_THREADS` environment
-    /// variable (unset, empty or ≤ 1 mean sequential). This is the
+    /// variable (unset or empty mean sequential). This is the
     /// [`Default`], so every entry point — tests included — can be
     /// switched to the parallel engine without touching code.
     ///
     /// # Panics
-    /// Panics on a set-but-unparsable value. Silently coercing a typo to
-    /// sequential would let a CI lane that exists to exercise the
-    /// parallel engine go green while testing nothing parallel.
+    /// Panics on a set-but-unparsable value, and on `0` — matching the
+    /// CLI's `--threads` validation, a thread *count* must be at least
+    /// one (unset the variable for the default). Silently coercing a
+    /// typo to sequential would let a CI lane that exists to exercise
+    /// the parallel engine go green while testing nothing parallel.
     pub fn from_env() -> Executor {
         match std::env::var("RINGJOIN_THREADS") {
             Ok(v) if v.trim().is_empty() => Executor::Sequential,
             Ok(v) => {
-                Executor::threads(v.trim().parse().unwrap_or_else(|_| {
+                let n: usize = v.trim().parse().unwrap_or_else(|_| {
                     panic!("RINGJOIN_THREADS must be a thread count, got {v:?}")
-                }))
+                });
+                assert!(
+                    n >= 1,
+                    "RINGJOIN_THREADS must be at least 1 (got 0); unset it for the default"
+                );
+                Executor::threads(n)
             }
             Err(_) => Executor::Sequential,
         }
@@ -127,7 +138,9 @@ impl Pagers<'_> {
 }
 
 /// Runs the per-leaf driver over `leaves` under the executor chosen in
-/// `opts`, returning pairs in deterministic leaf order.
+/// `opts`, emitting pairs into `sink` in deterministic leaf order and
+/// returning the accumulated CPU-side counters.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute<PQ: IndexProbe, PP: IndexProbe>(
     probe_q: &PQ,
     probe_p: &PP,
@@ -136,16 +149,20 @@ pub(crate) fn execute<PQ: IndexProbe, PP: IndexProbe>(
     leaves: &[NodeRef],
     self_join: bool,
     opts: &RcjOptions,
-) -> RcjOutput {
+    sink: &mut dyn PairSink,
+) -> RcjStats {
     let workers = opts.executor.worker_count().min(leaves.len().max(1));
     if workers <= 1 {
-        return run_sequential(probe_q, probe_p, pager_q, pager_p, leaves, self_join, opts);
+        return run_sequential(
+            probe_q, probe_p, pager_q, pager_p, leaves, self_join, opts, sink,
+        );
     }
     run_parallel(
-        probe_q, probe_p, pager_q, pager_p, leaves, workers, self_join, opts,
+        probe_q, probe_p, pager_q, pager_p, leaves, workers, self_join, opts, sink,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sequential<PQ: IndexProbe, PP: IndexProbe>(
     probe_q: &PQ,
     probe_p: &PP,
@@ -154,11 +171,9 @@ fn run_sequential<PQ: IndexProbe, PP: IndexProbe>(
     leaves: &[NodeRef],
     self_join: bool,
     opts: &RcjOptions,
-) -> RcjOutput {
-    let mut out = RcjOutput {
-        pairs: Vec::new(),
-        stats: RcjStats::default(),
-    };
+    sink: &mut dyn PairSink,
+) -> RcjStats {
+    let mut stats = RcjStats::default();
     let mut pgq = pager_q;
     let mut pgp = pager_p;
     let mut pagers = Pagers::Split {
@@ -167,17 +182,20 @@ fn run_sequential<PQ: IndexProbe, PP: IndexProbe>(
     };
     for leaf in leaves {
         let items = leaf_items(probe_q, pagers.q(), *leaf);
-        process_leaf(
+        if !process_leaf(
             probe_q,
             probe_p,
             &mut pagers,
             &items,
             self_join,
             opts,
-            &mut out,
-        );
+            sink,
+            &mut stats,
+        ) {
+            break;
+        }
     }
-    out
+    stats
 }
 
 /// Per-worker result, merged back in chunk order.
@@ -198,7 +216,8 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
     workers: usize,
     self_join: bool,
     opts: &RcjOptions,
-) -> RcjOutput {
+    sink: &mut dyn PairSink,
+) -> RcjStats {
     // One snapshot per distinct pager: trees sharing a pager (the paper's
     // setup, and every self-join) share one snapshot and one per-worker
     // buffer, exactly as they share one LRU buffer sequentially.
@@ -225,10 +244,8 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
                 let snap_q = snap_q.clone();
                 let snap_p = snap_p.clone();
                 scope.spawn(move || {
-                    let mut out = RcjOutput {
-                        pairs: Vec::new(),
-                        stats: RcjStats::default(),
-                    };
+                    let mut pairs: Vec<crate::RcjPair> = Vec::new();
+                    let mut stats = RcjStats::default();
                     let mut wq = WorkerPager::new(snap_q, cap_q);
                     let mut wp = snap_p.map(|s| WorkerPager::new(s, cap_p));
                     {
@@ -245,13 +262,14 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
                                 &items,
                                 self_join,
                                 opts,
-                                &mut out,
+                                &mut pairs,
+                                &mut stats,
                             );
                         }
                     }
                     WorkerOutput {
-                        pairs: out.pairs,
-                        stats: out.stats,
+                        pairs,
+                        stats,
                         io_q: wq.stats(),
                         io_p: wp.map(|w| w.stats()),
                     }
@@ -265,19 +283,26 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
     });
 
     // Deterministic merge: chunk order is leaf order is sequential order.
-    let mut out = RcjOutput {
-        pairs: Vec::new(),
-        stats: RcjStats::default(),
-    };
+    // The sink can stop the *reporting* early, but counters and I/O are
+    // always fully absorbed — the work has already happened.
+    let mut stats = RcjStats::default();
+    let mut reporting = true;
     for w in results {
-        out.pairs.extend(w.pairs);
-        out.stats.merge(w.stats);
+        stats.merge(w.stats);
         pager_q.borrow_mut().absorb(w.io_q);
         if let Some(io) = w.io_p {
             pager_p.borrow_mut().absorb(io);
         }
+        if reporting {
+            for pr in w.pairs {
+                if !sink.push(pr) {
+                    reporting = false;
+                    break;
+                }
+            }
+        }
     }
-    out
+    stats
 }
 
 #[cfg(test)]

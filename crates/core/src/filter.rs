@@ -116,6 +116,7 @@ pub fn filter_with(
                     continue;
                 }
                 entries.clear();
+                stats.filter_node_reads += 1;
                 probe.expand(pg, node, &mut entries);
                 for e in &entries {
                     seq += 1;
@@ -267,6 +268,7 @@ pub fn bulk_filter_with(
                     continue;
                 }
                 entries.clear();
+                stats.filter_node_reads += 1;
                 probe.expand(pg, node, &mut entries);
                 for e in &entries {
                     seq += 1;

@@ -9,12 +9,24 @@
 //! processed either sequentially through the shared pager or split into
 //! contiguous depth-first chunks across worker threads, with results
 //! merged deterministically so both modes produce identical output.
+//!
+//! Result pairs are *emitted*, not materialised: every driver reports
+//! through a [`PairSink`](crate::PairSink), and a plain `Vec<RcjPair>`
+//! is just one sink. [`rcj_join`]/[`rcj_self_join`] are thin
+//! materialising wrappers over [`rcj_join_into`]/[`rcj_self_join_into`];
+//! the lazy access path over the same drivers is
+//! [`RcjStream`](crate::RcjStream) (via the engine's
+//! [`Plan::stream`](crate::Plan::stream) or [`rcj_stream`](crate::rcj_stream)).
+//! [`RcjAlgorithm::Auto`] defers the algorithm choice to the
+//! [`planner`](crate::planner)'s calibrated cost model.
 
 use crate::executor::{execute, Pagers};
 use crate::filter::{bulk_filter_with, filter_with};
 use crate::index::{IndexEntry, IndexProbe, NodeRef, RcjIndex};
 use crate::pair::RcjPair;
+use crate::planner::JoinCostModel;
 use crate::stats::RcjStats;
+use crate::stream::PairSink;
 use crate::verify::verify_with;
 use crate::Executor;
 use ringjoin_geom::Item;
@@ -33,15 +45,32 @@ pub enum RcjAlgorithm {
     /// Lemma 5 — the paper's best algorithm.
     #[default]
     Obj,
+    /// Defer the choice to the [`planner`](crate::planner): the
+    /// calibrated cost model picks the concrete algorithm with the
+    /// smallest estimated node reads at plan time (before any page is
+    /// touched). The engine's [`Plan`](crate::Plan) records — and
+    /// `explain` shows — what `Auto` resolved to.
+    Auto,
 }
 
 impl RcjAlgorithm {
-    /// Display name as used in the paper's figures.
+    /// Display name as used in the paper's figures (`Auto` before
+    /// resolution renders as `AUTO`).
     pub fn name(&self) -> &'static str {
         match self {
             RcjAlgorithm::Inj => "INJ",
             RcjAlgorithm::Bij => "BIJ",
             RcjAlgorithm::Obj => "OBJ",
+            RcjAlgorithm::Auto => "AUTO",
+        }
+    }
+
+    /// Resolves `Auto` against an outer-dataset summary with the default
+    /// cost model; concrete algorithms resolve to themselves.
+    pub fn resolve(self, outer: &crate::planner::DatasetSummary) -> RcjAlgorithm {
+        match self {
+            RcjAlgorithm::Auto => JoinCostModel::default().choose(outer),
+            concrete => concrete,
         }
     }
 }
@@ -63,7 +92,8 @@ pub enum OuterOrder {
 /// Options controlling an RCJ run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RcjOptions {
-    /// Algorithm choice (default [`RcjAlgorithm::Obj`]).
+    /// Algorithm choice (default [`RcjAlgorithm::Obj`];
+    /// [`RcjAlgorithm::Auto`] defers to the planner).
     pub algorithm: RcjAlgorithm,
     /// Skip the verification step, reporting raw filter candidates
     /// (Figure 14 measures its cost share; results are then a superset).
@@ -75,7 +105,7 @@ pub struct RcjOptions {
     pub outer_order: OuterOrder,
     /// Execution mode (default [`Executor::from_env`]: sequential unless
     /// `RINGJOIN_THREADS` says otherwise). Parallel runs produce output
-    /// identical to sequential runs, pair for pair, in the same order.
+    /// identical to sequential runs, pair for pair.
     pub executor: Executor,
 }
 
@@ -115,6 +145,12 @@ pub struct RcjOutput {
 /// indexes need not be of the same kind — any [`RcjIndex`] works on
 /// either side.
 ///
+/// This is the one-shot materialising form: a thin wrapper that runs
+/// [`rcj_join_into`] with a `Vec` sink. Sessions holding datasets across
+/// queries should use the [`Engine`](crate::Engine); lazy consumption
+/// goes through [`rcj_stream`](crate::rcj_stream) /
+/// [`Plan::stream`](crate::Plan::stream).
+///
 /// ```
 /// use ringjoin_core::{rcj_join, RcjOptions};
 /// use ringjoin_rtree::{bulk_load, Item};
@@ -139,9 +175,39 @@ pub fn rcj_join<IQ: RcjIndex, IP: RcjIndex>(tq: &IQ, tp: &IP, opts: &RcjOptions)
 /// Computes the self-RCJ of one dataset (the paper's postboxes
 /// application): all unordered pairs of distinct points whose circle
 /// contains no third point. Each pair is reported once, with
-/// `p.id < q.id`.
+/// `p.id < q.id`. Like [`rcj_join`], a materialising wrapper over
+/// [`rcj_self_join_into`].
 pub fn rcj_self_join<I: RcjIndex>(tree: &I, opts: &RcjOptions) -> RcjOutput {
     run(tree, tree, true, opts)
+}
+
+/// [`rcj_join`] emitting through a caller-supplied [`PairSink`] instead
+/// of materialising a `Vec`.
+///
+/// Under [`Executor::Sequential`] pairs reach the sink leaf group by
+/// leaf group, and a sink returning `false` stops the join early (the
+/// remaining outer leaves are never read). Under a parallel executor the
+/// deterministic merge happens first, so the sink sees the same pairs in
+/// the same order but only after all workers finish; early exit then
+/// saves reporting, not work. Returns the run's counters
+/// (`result_pairs` counts the pairs the drivers reported to the sink).
+pub fn rcj_join_into<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    opts: &RcjOptions,
+    sink: &mut dyn PairSink,
+) -> RcjStats {
+    run_into(tq, tp, false, opts, sink)
+}
+
+/// [`rcj_self_join`] emitting through a caller-supplied [`PairSink`];
+/// see [`rcj_join_into`] for the sink contract.
+pub fn rcj_self_join_into<I: RcjIndex>(
+    tree: &I,
+    opts: &RcjOptions,
+    sink: &mut dyn PairSink,
+) -> RcjStats {
+    run_into(tree, tree, true, opts, sink)
 }
 
 fn run<IQ: RcjIndex, IP: RcjIndex>(
@@ -150,13 +216,46 @@ fn run<IQ: RcjIndex, IP: RcjIndex>(
     self_join: bool,
     opts: &RcjOptions,
 ) -> RcjOutput {
+    let mut pairs: Vec<RcjPair> = Vec::new();
+    let stats = run_into(tq, tp, self_join, opts, &mut pairs);
+    RcjOutput { pairs, stats }
+}
+
+fn run_into<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    self_join: bool,
+    opts: &RcjOptions,
+    sink: &mut dyn PairSink,
+) -> RcjStats {
+    // `Auto` resolves against the outer summary before any leaf work;
+    // the drivers below only ever see concrete algorithms.
+    let opts = RcjOptions {
+        algorithm: opts.algorithm.resolve(&tq.summary()),
+        ..*opts
+    };
     let probe_q = tq.probe();
-    // Collect the outer leaf groups in depth-first order (one cheap pass
-    // over T_Q, charged to the shared pager in both execution modes),
-    // optionally destroy the locality for the ablation, then hand the
-    // list to the executor. Re-reading each leaf page right before its
-    // group is processed keeps it hot in the buffer in the depth-first
-    // case, matching Algorithm 5's inline recursion.
+    let leaves = outer_leaves(tq, &opts);
+    execute(
+        &probe_q,
+        &tp.probe(),
+        tq.pager(),
+        tp.pager(),
+        &leaves,
+        self_join,
+        &opts,
+        sink,
+    )
+}
+
+/// Collects the outer leaf groups in depth-first order (one cheap pass
+/// over `T_Q`, charged to the shared pager in both execution modes),
+/// optionally destroying the locality for the ablation. Re-reading each
+/// leaf page right before its group is processed keeps it hot in the
+/// buffer in the depth-first case, matching Algorithm 5's inline
+/// recursion.
+pub(crate) fn outer_leaves<IQ: RcjIndex>(tq: &IQ, opts: &RcjOptions) -> Vec<NodeRef> {
+    let probe_q = tq.probe();
     let mut leaves: Vec<NodeRef> = Vec::new();
     {
         let mut pg = tq.pager();
@@ -165,17 +264,7 @@ fn run<IQ: RcjIndex, IP: RcjIndex>(
     if let OuterOrder::Shuffled(seed) = opts.outer_order {
         shuffle(&mut leaves, seed);
     }
-    let mut out = execute(
-        &probe_q,
-        &tp.probe(),
-        tq.pager(),
-        tp.pager(),
-        &leaves,
-        self_join,
-        opts,
-    );
-    out.stats.result_pairs = out.pairs.len() as u64;
-    out
+    leaves
 }
 
 /// Depth-first walk recording every node that stores data items — R-tree
@@ -216,7 +305,13 @@ pub(crate) fn leaf_items(
         .collect()
 }
 
-/// Computes the RCJ contribution of one leaf group of `T_Q`.
+/// Computes the RCJ contribution of one leaf group of `T_Q`, emitting
+/// result pairs into `sink`. Returns `false` as soon as the sink
+/// requests a stop (early exit), `true` otherwise.
+///
+/// `opts.algorithm` must be concrete — [`RcjAlgorithm::Auto`] is
+/// resolved at plan time, before leaf processing starts.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn process_leaf<PQ: IndexProbe, PP: IndexProbe>(
     probe_q: &PQ,
     probe_p: &PP,
@@ -224,18 +319,24 @@ pub(crate) fn process_leaf<PQ: IndexProbe, PP: IndexProbe>(
     leaf_points: &[Item],
     self_join: bool,
     opts: &RcjOptions,
-    out: &mut RcjOutput,
-) {
+    sink: &mut dyn PairSink,
+    stats: &mut RcjStats,
+) -> bool {
     match opts.algorithm {
         RcjAlgorithm::Inj => {
             // Algorithm 4: per-point filter and verification.
             for &q in leaf_points {
                 let exclude = self_join.then_some(q.id);
-                let cands = filter_with(probe_p, pagers.p(), q.point, exclude, &mut out.stats);
-                out.stats.candidate_pairs += cands.len() as u64;
+                let cands = filter_with(probe_p, pagers.p(), q.point, exclude, stats);
+                stats.candidate_pairs += cands.len() as u64;
                 let pairs: Vec<RcjPair> = cands.into_iter().map(|p| RcjPair::new(p, q)).collect();
-                finish(probe_q, probe_p, pagers, pairs, self_join, opts, out);
+                if !finish(
+                    probe_q, probe_p, pagers, pairs, self_join, opts, sink, stats,
+                ) {
+                    return false;
+                }
             }
+            true
         }
         RcjAlgorithm::Bij | RcjAlgorithm::Obj => {
             let symmetric = opts.algorithm == RcjAlgorithm::Obj;
@@ -245,19 +346,24 @@ pub(crate) fn process_leaf<PQ: IndexProbe, PP: IndexProbe>(
                 leaf_points,
                 symmetric,
                 self_join,
-                &mut out.stats,
+                stats,
             );
             let mut pairs: Vec<RcjPair> = Vec::new();
             for (i, &q) in leaf_points.iter().enumerate() {
-                out.stats.candidate_pairs += bulk.sets[i].len() as u64;
+                stats.candidate_pairs += bulk.sets[i].len() as u64;
                 pairs.extend(bulk.sets[i].iter().map(|&p| RcjPair::new(p, q)));
             }
-            finish(probe_q, probe_p, pagers, pairs, self_join, opts, out);
+            finish(
+                probe_q, probe_p, pagers, pairs, self_join, opts, sink, stats,
+            )
         }
+        RcjAlgorithm::Auto => unreachable!("Auto must be resolved before leaf processing"),
     }
 }
 
-/// Verification + reporting for a batch of candidate pairs.
+/// Verification + reporting for a batch of candidate pairs. Returns
+/// `false` when the sink stopped the run mid-batch.
+#[allow(clippy::too_many_arguments)]
 fn finish<PQ: IndexProbe, PP: IndexProbe>(
     probe_q: &PQ,
     probe_p: &PP,
@@ -265,47 +371,35 @@ fn finish<PQ: IndexProbe, PP: IndexProbe>(
     pairs: Vec<RcjPair>,
     self_join: bool,
     opts: &RcjOptions,
-    out: &mut RcjOutput,
-) {
+    sink: &mut dyn PairSink,
+    stats: &mut RcjStats,
+) -> bool {
     if pairs.is_empty() {
-        return;
+        return true;
     }
     let mut alive = vec![true; pairs.len()];
     if !opts.skip_verification {
         let face = !opts.no_face_rule;
-        verify_with(
-            probe_q,
-            pagers.q(),
-            &pairs,
-            &mut alive,
-            face,
-            &mut out.stats,
-        );
+        verify_with(probe_q, pagers.q(), &pairs, &mut alive, face, stats);
         if !self_join {
-            verify_with(
-                probe_p,
-                pagers.p(),
-                &pairs,
-                &mut alive,
-                face,
-                &mut out.stats,
-            );
+            verify_with(probe_p, pagers.p(), &pairs, &mut alive, face, stats);
         }
     }
     for (i, pr) in pairs.into_iter().enumerate() {
         if !alive[i] {
             continue;
         }
-        if self_join {
-            // Each unordered pair is discovered from both endpoints;
-            // report it from the smaller id only.
-            if pr.p.id < pr.q.id {
-                out.pairs.push(pr);
-            }
-        } else {
-            out.pairs.push(pr);
+        // Self-joins discover each unordered pair from both endpoints;
+        // report it from the smaller id only.
+        if self_join && pr.p.id >= pr.q.id {
+            continue;
+        }
+        stats.result_pairs += 1;
+        if !sink.push(pr) {
+            return false;
         }
     }
+    true
 }
 
 /// Deterministic Fisher–Yates shuffle with an xorshift generator — no RNG
@@ -341,16 +435,7 @@ mod tests {
             .collect()
     }
 
-    fn lcg_points(n: usize, seed: u64, span: f64) -> Vec<(f64, f64)> {
-        let mut state = seed;
-        let mut next = || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n).map(|_| (next() * span, next() * span)).collect()
-    }
+    use ringjoin_testsupport::lcg_points;
 
     #[test]
     fn all_algorithms_match_brute_force() {
@@ -373,6 +458,58 @@ mod tests {
             assert_eq!(out.stats.result_pairs, expect.len() as u64);
             assert!(out.stats.candidate_pairs >= out.stats.result_pairs);
         }
+    }
+
+    #[test]
+    fn auto_resolves_and_matches_brute_force() {
+        let ps = items(&lcg_points(130, 17, 900.0), 0);
+        let qs = items(&lcg_points(140, 19, 900.0), 0);
+        let expect = pair_keys(&rcj_brute(&ps, &qs));
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps);
+        let tq = bulk_load(pg.clone(), qs);
+        let out = rcj_join(&tq, &tp, &RcjOptions::algorithm(RcjAlgorithm::Auto));
+        assert_eq!(pair_keys(&out.pairs), expect, "AUTO diverged from oracle");
+        // Resolution is deterministic and concrete.
+        let resolved = RcjAlgorithm::Auto.resolve(&tq.summary());
+        assert_ne!(resolved, RcjAlgorithm::Auto);
+        assert_eq!(resolved.name(), resolved.resolve(&tq.summary()).name());
+    }
+
+    #[test]
+    fn sink_early_exit_stops_the_sequential_run() {
+        struct TakeTwo(Vec<RcjPair>);
+        impl crate::PairSink for TakeTwo {
+            fn push(&mut self, pair: RcjPair) -> bool {
+                self.0.push(pair);
+                self.0.len() < 2
+            }
+        }
+        let ps = items(&lcg_points(300, 23, 2000.0), 0);
+        let qs = items(&lcg_points(300, 27, 2000.0), 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps);
+        let tq = bulk_load(pg.clone(), qs);
+        let full = rcj_join(
+            &tq,
+            &tp,
+            &RcjOptions::default().with_executor(Executor::Sequential),
+        );
+        assert!(full.pairs.len() > 2);
+
+        let mut sink = TakeTwo(Vec::new());
+        let stats = rcj_join_into(
+            &tq,
+            &tp,
+            &RcjOptions::default().with_executor(Executor::Sequential),
+            &mut sink,
+        );
+        assert_eq!(sink.0.len(), 2);
+        // The prefix matches the full run, and the early exit did
+        // strictly less filter work than the full run.
+        assert_eq!(sink.0[0].key(), full.pairs[0].key());
+        assert_eq!(sink.0[1].key(), full.pairs[1].key());
+        assert!(stats.filter_heap_pops < full.stats.filter_heap_pops);
     }
 
     #[test]

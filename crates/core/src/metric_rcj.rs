@@ -281,15 +281,10 @@ mod tests {
     }
 
     fn lcg_items(n: usize, seed: u64, span: f64, base: u64) -> Vec<Item> {
-        let mut state = seed;
-        let mut next = || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n)
-            .map(|i| Item::new(base + i as u64, pt(next() * span, next() * span)))
+        ringjoin_testsupport::lcg_points(n, seed, span)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Item::new(base + i as u64, pt(x, y)))
             .collect()
     }
 

@@ -17,7 +17,13 @@ pub struct RcjStats {
     /// Entries deheaped across all filter invocations (CPU-side filter
     /// effort).
     pub filter_heap_pops: u64,
-    /// Nodes visited by the verification step (CPU-side verify effort).
+    /// Index nodes expanded (= pages read) by the filter step. Together
+    /// with [`RcjStats::verify_node_visits`] this splits the total node
+    /// accesses by phase — the per-phase unit costs the
+    /// [`planner`](crate::planner) calibrates.
+    pub filter_node_reads: u64,
+    /// Nodes visited by the verification step (CPU-side verify effort,
+    /// and the verify-phase share of node accesses).
     pub verify_node_visits: u64,
 }
 
@@ -30,6 +36,7 @@ impl RcjStats {
         self.candidate_pairs += other.candidate_pairs;
         self.result_pairs += other.result_pairs;
         self.filter_heap_pops += other.filter_heap_pops;
+        self.filter_node_reads += other.filter_node_reads;
         self.verify_node_visits += other.verify_node_visits;
     }
 }
@@ -47,6 +54,7 @@ mod tests {
                 candidate_pairs: 5,
                 result_pairs: 1,
                 filter_heap_pops: 100,
+                filter_node_reads: 20,
                 verify_node_visits: 7,
             },
             RcjStats::default(),
@@ -54,6 +62,7 @@ mod tests {
                 candidate_pairs: 3,
                 result_pairs: 2,
                 filter_heap_pops: 50,
+                filter_node_reads: 10,
                 verify_node_visits: 11,
             },
         ];
@@ -68,6 +77,7 @@ mod tests {
         assert_eq!(fwd, rev);
         assert_eq!(fwd.candidate_pairs, 8);
         assert_eq!(fwd.filter_heap_pops, 150);
+        assert_eq!(fwd.filter_node_reads, 30);
         assert_eq!(fwd.verify_node_visits, 18);
     }
 
@@ -77,17 +87,20 @@ mod tests {
             candidate_pairs: 1,
             result_pairs: 2,
             filter_heap_pops: 3,
+            filter_node_reads: 5,
             verify_node_visits: 4,
         };
         a.merge(RcjStats {
             candidate_pairs: 10,
             result_pairs: 20,
             filter_heap_pops: 30,
+            filter_node_reads: 50,
             verify_node_visits: 40,
         });
         assert_eq!(a.candidate_pairs, 11);
         assert_eq!(a.result_pairs, 22);
         assert_eq!(a.filter_heap_pops, 33);
+        assert_eq!(a.filter_node_reads, 55);
         assert_eq!(a.verify_node_visits, 44);
     }
 }

@@ -1,0 +1,765 @@
+//! Lazy, bounded-memory result streaming for the RCJ.
+//!
+//! The paper's algorithms are described as "compute the whole join" —
+//! but their structure is naturally incremental: every driver processes
+//! the outer tree one leaf group at a time, and each leaf group's
+//! contribution is final the moment it is produced. This module exposes
+//! that seam in two pieces:
+//!
+//! * [`PairSink`] — the emission half. The generic INJ/BIJ/OBJ drivers
+//!   report result pairs through this trait instead of pushing into a
+//!   `Vec`; a sink may stop the run early. `Vec<RcjPair>` implements it
+//!   (never stopping), which is all [`rcj_join`](crate::rcj_join) needs
+//!   to keep its one-shot shape.
+//! * [`RcjStream`] — the consumption half: a lazy iterator over result
+//!   pairs. Three sources back it:
+//!   * **sequential leaf order** — one outer leaf group per pull through
+//!     the shared pager; exactly the sequential executor, suspended
+//!     between leaves;
+//!   * **parallel leaf order** — outer leaves are processed in *waves*
+//!     of `workers × 4` leaves on scoped threads over per-worker
+//!     [`WorkerPager`](ringjoin_storage::WorkerPager)s, merged by chunk
+//!     index. The pair sequence is **identical** to the sequential
+//!     stream (and to [`rcj_join`](crate::rcj_join) under either
+//!     executor); memory stays bounded by one wave;
+//!   * **ascending ring diameter** — an index-agnostic incremental
+//!     distance join (Hjaltason–Samet) over the two probes, with each
+//!     candidate lazily verified. Since candidate distance *is* ring
+//!     diameter, taking the first `k` pairs answers a top-k query with
+//!     early exit: the traversal never expands subtree pairs further
+//!     than the `k`-th diameter.
+//!
+//! The engine's [`Plan::stream`](crate::Plan::stream) picks the source;
+//! the free functions [`rcj_stream`], [`rcj_self_stream`],
+//! [`rcj_stream_by_diameter`] and [`rcj_self_stream_by_diameter`] build
+//! streams directly over trees.
+
+use crate::executor::Pagers;
+use crate::index::{IndexEntry, IndexProbe, NodeRef, RcjIndex};
+use crate::join::{leaf_items, outer_leaves, process_leaf, RcjOptions};
+use crate::pair::RcjPair;
+use crate::stats::RcjStats;
+use crate::verify::verify_with;
+use ringjoin_geom::{Item, Rect};
+use ringjoin_storage::{SharedPager, WorkerPager};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
+
+/// Receiver of RCJ result pairs.
+///
+/// The join drivers emit every verified pair through a sink. Returning
+/// `false` asks the driver to stop: the sequential executor abandons the
+/// remaining outer leaves (see [`rcj_join_into`](crate::rcj_join_into)),
+/// which is what gives streams and top-k queries their early exit.
+pub trait PairSink {
+    /// Receives one result pair; returns `false` to stop the run.
+    fn push(&mut self, pair: RcjPair) -> bool;
+}
+
+/// The materialising sink: plain collection, never stops.
+impl PairSink for Vec<RcjPair> {
+    fn push(&mut self, pair: RcjPair) -> bool {
+        self.push(pair);
+        true
+    }
+}
+
+/// Internal supplier of pair batches (one outer leaf group, one wave of
+/// leaf groups, or one diameter-ordered candidate per call).
+trait BatchSource {
+    /// Appends the next batch of pairs to `out` (possibly none), charging
+    /// counters to `stats`. Returns `false` when the stream is exhausted.
+    fn next_batch(&mut self, out: &mut Vec<RcjPair>, stats: &mut RcjStats) -> bool;
+}
+
+/// A lazy iterator over RCJ result pairs.
+///
+/// Built by [`Plan::stream`](crate::Plan::stream) or the free
+/// [`rcj_stream`]-family constructors. Leaf-order streams yield exactly
+/// the [`rcj_join`](crate::rcj_join) output — same pairs, same order —
+/// while holding at most one leaf batch (sequential) or one wave
+/// (parallel) in memory. Diameter-order streams yield pairs in ascending
+/// ring diameter with early exit.
+pub struct RcjStream {
+    source: Box<dyn BatchSource>,
+    buf: VecDeque<RcjPair>,
+    scratch: Vec<RcjPair>,
+    stats: RcjStats,
+    limit: Option<usize>,
+    yielded: usize,
+}
+
+impl RcjStream {
+    fn new(source: Box<dyn BatchSource>) -> Self {
+        RcjStream {
+            source,
+            buf: VecDeque::new(),
+            scratch: Vec::new(),
+            stats: RcjStats::default(),
+            limit: None,
+            yielded: 0,
+        }
+    }
+
+    /// Caps the stream at `k` pairs: after the `k`-th pair the stream
+    /// ends and no further index page is read. This is the top-k early
+    /// exit when combined with a diameter-ordered stream.
+    pub fn limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
+    /// Counters accumulated so far. `result_pairs` counts the pairs
+    /// *produced* by the underlying driver (at least the pairs yielded;
+    /// a leaf-order stream may have buffered a few more from the current
+    /// batch).
+    pub fn stats(&self) -> RcjStats {
+        self.stats
+    }
+}
+
+impl Iterator for RcjStream {
+    type Item = RcjPair;
+
+    fn next(&mut self) -> Option<RcjPair> {
+        if self.limit.is_some_and(|k| self.yielded >= k) {
+            return None;
+        }
+        while self.buf.is_empty() {
+            self.scratch.clear();
+            if !self.source.next_batch(&mut self.scratch, &mut self.stats) {
+                return None;
+            }
+            self.buf.extend(self.scratch.drain(..));
+        }
+        self.yielded += 1;
+        self.buf.pop_front()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf-order sources
+// ---------------------------------------------------------------------
+
+/// Sequential source: one outer leaf group per batch through the shared
+/// pager — the sequential executor, suspended between leaf groups.
+struct SeqLeafSource<PQ: IndexProbe, PP: IndexProbe> {
+    probe_q: PQ,
+    probe_p: PP,
+    pager_q: SharedPager,
+    pager_p: SharedPager,
+    leaves: Vec<NodeRef>,
+    pos: usize,
+    self_join: bool,
+    opts: RcjOptions,
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for SeqLeafSource<PQ, PP> {
+    fn next_batch(&mut self, out: &mut Vec<RcjPair>, stats: &mut RcjStats) -> bool {
+        if self.pos >= self.leaves.len() {
+            return false;
+        }
+        let leaf = self.leaves[self.pos];
+        self.pos += 1;
+        let mut pagers = Pagers::Split {
+            q: &mut self.pager_q,
+            p: &mut self.pager_p,
+        };
+        let items = leaf_items(&self.probe_q, pagers.q(), leaf);
+        process_leaf(
+            &self.probe_q,
+            &self.probe_p,
+            &mut pagers,
+            &items,
+            self.self_join,
+            &self.opts,
+            out,
+            stats,
+        );
+        true
+    }
+}
+
+/// Number of outer leaf groups each worker processes per wave of the
+/// parallel stream. Small enough to bound buffered output, large enough
+/// to amortise the scoped-thread spawn.
+const WAVE_LEAVES_PER_WORKER: usize = 4;
+
+/// One parallel worker's persistent state across waves: its private
+/// buffer(s) over the shared snapshot (LRU history survives waves, like
+/// a whole-run worker's does within its chunk).
+struct WaveWorker {
+    wq: WorkerPager,
+    wp: Option<WorkerPager>,
+}
+
+/// Parallel source: waves of `workers × WAVE_LEAVES_PER_WORKER` leaf
+/// groups on scoped threads, merged by chunk index — the same
+/// deterministic order as the sequential stream.
+struct ParLeafSource<PQ: IndexProbe, PP: IndexProbe> {
+    probe_q: PQ,
+    probe_p: PP,
+    /// Owning pagers, kept to absorb the per-worker I/O counters when
+    /// the stream is dropped (consumed or abandoned).
+    pager_q: SharedPager,
+    pager_p: SharedPager,
+    workers: Vec<WaveWorker>,
+    leaves: Vec<NodeRef>,
+    pos: usize,
+    self_join: bool,
+    opts: RcjOptions,
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> ParLeafSource<PQ, PP> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        probe_q: PQ,
+        probe_p: PP,
+        pager_q: SharedPager,
+        pager_p: SharedPager,
+        leaves: Vec<NodeRef>,
+        workers: usize,
+        self_join: bool,
+        opts: RcjOptions,
+    ) -> Self {
+        let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
+        let snap_q = pager_q.borrow_mut().snapshot();
+        let snap_p = (!one_pager).then(|| pager_p.borrow_mut().snapshot());
+        let cap_q = (pager_q.borrow().buffer_capacity() / workers).max(1);
+        let cap_p = (pager_p.borrow().buffer_capacity() / workers).max(1);
+        let workers = (0..workers)
+            .map(|_| WaveWorker {
+                wq: WorkerPager::new(snap_q.clone(), cap_q),
+                wp: snap_p.clone().map(|s| WorkerPager::new(s, cap_p)),
+            })
+            .collect();
+        ParLeafSource {
+            probe_q,
+            probe_p,
+            pager_q,
+            pager_p,
+            workers,
+            leaves,
+            pos: 0,
+            self_join,
+            opts,
+        }
+    }
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for ParLeafSource<PQ, PP> {
+    fn next_batch(&mut self, out: &mut Vec<RcjPair>, stats: &mut RcjStats) -> bool {
+        if self.pos >= self.leaves.len() {
+            return false;
+        }
+        let wave_len =
+            (self.workers.len() * WAVE_LEAVES_PER_WORKER).min(self.leaves.len() - self.pos);
+        let wave = &self.leaves[self.pos..self.pos + wave_len];
+        self.pos += wave_len;
+        let chunk_len = wave_len.div_ceil(self.workers.len()).max(1);
+
+        let probe_q = self.probe_q;
+        let probe_p = self.probe_p;
+        let self_join = self.self_join;
+        let opts = self.opts;
+        let results: Vec<(Vec<RcjPair>, RcjStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .chunks(chunk_len)
+                .zip(self.workers.iter_mut())
+                .map(|(chunk, worker)| {
+                    scope.spawn(move || {
+                        let mut pairs: Vec<RcjPair> = Vec::new();
+                        let mut wstats = RcjStats::default();
+                        let mut pagers = match worker.wp.as_mut() {
+                            None => Pagers::Shared(&mut worker.wq),
+                            Some(wp) => Pagers::Split {
+                                q: &mut worker.wq,
+                                p: wp,
+                            },
+                        };
+                        for leaf in chunk {
+                            let items = leaf_items(&probe_q, pagers.q(), *leaf);
+                            process_leaf(
+                                &probe_q,
+                                &probe_p,
+                                &mut pagers,
+                                &items,
+                                self_join,
+                                &opts,
+                                &mut pairs,
+                                &mut wstats,
+                            );
+                        }
+                        (pairs, wstats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("RCJ stream worker panicked"))
+                .collect()
+        });
+        // Chunk order is leaf order is sequential order.
+        for (pairs, wstats) in results {
+            out.extend(pairs);
+            stats.merge(wstats);
+        }
+        true
+    }
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> Drop for ParLeafSource<PQ, PP> {
+    /// Folds the per-worker I/O counters back into the owning pagers so
+    /// aggregate statistics match the whole-run executor's accounting
+    /// even for partially consumed streams.
+    fn drop(&mut self) {
+        let mut pq = self.pager_q.borrow_mut();
+        for w in &self.workers {
+            pq.absorb(w.wq.stats());
+        }
+        drop(pq);
+        let mut pp = self.pager_p.borrow_mut();
+        for w in &self.workers {
+            if let Some(wp) = &w.wp {
+                pp.absorb(wp.stats());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diameter-order source (top-k)
+// ---------------------------------------------------------------------
+
+/// Traversal target of the incremental distance join: an index node (with
+/// its subtree-bounding region) or a data item.
+#[derive(Clone, Copy)]
+enum CpRef {
+    Node(NodeRef),
+    Item(Item),
+}
+
+impl CpRef {
+    fn rect(&self) -> Rect {
+        match self {
+            CpRef::Node(n) => n.region,
+            CpRef::Item(it) => Rect::from_point(it.point),
+        }
+    }
+}
+
+/// Heap element: a pair of targets ordered by ascending mindist (then
+/// insertion sequence, for determinism among ties).
+struct CpElem {
+    key: f64,
+    seq: u64,
+    a: CpRef,
+    b: CpRef,
+}
+
+impl PartialEq for CpElem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for CpElem {}
+impl PartialOrd for CpElem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CpElem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Diameter-ordered source: an index-agnostic incremental distance join
+/// over the two probes (`a` targets from `T_P`, `b` targets from `T_Q`),
+/// lazily verifying each candidate. Candidate distance equals ring
+/// diameter, so the emission order is ascending diameter and every RCJ
+/// pair eventually appears (the traversal enumerates `P × Q`
+/// exhaustively if fully drained).
+struct DiameterSource<PQ: IndexProbe, PP: IndexProbe> {
+    probe_q: PQ,
+    probe_p: PP,
+    pager_q: SharedPager,
+    pager_p: SharedPager,
+    heap: BinaryHeap<CpElem>,
+    seq: u64,
+    self_join: bool,
+    verify: bool,
+    face_rule: bool,
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> DiameterSource<PQ, PP> {
+    fn new(
+        probe_q: PQ,
+        probe_p: PP,
+        pager_q: SharedPager,
+        pager_p: SharedPager,
+        self_join: bool,
+        opts: &RcjOptions,
+    ) -> Self {
+        let mut src = DiameterSource {
+            probe_q,
+            probe_p,
+            pager_q,
+            pager_p,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            self_join,
+            verify: !opts.skip_verification,
+            face_rule: !opts.no_face_rule,
+        };
+        src.push(CpRef::Node(probe_p.root()), CpRef::Node(probe_q.root()));
+        src
+    }
+
+    fn push(&mut self, a: CpRef, b: CpRef) {
+        let key = match (&a, &b) {
+            (CpRef::Item(p), CpRef::Item(q)) => p.point.dist_sq(q.point),
+            _ => a.rect().mindist_rect_sq(b.rect()),
+        };
+        self.seq += 1;
+        self.heap.push(CpElem {
+            key,
+            seq: self.seq,
+            a,
+            b,
+        });
+    }
+
+    /// Expands the `a`-side node against a fixed `b` target.
+    fn expand_a(&mut self, node: NodeRef, b: CpRef, stats: &mut RcjStats) {
+        stats.filter_node_reads += 1;
+        let mut entries: Vec<IndexEntry> = Vec::new();
+        self.probe_p.expand(&mut self.pager_p, node, &mut entries);
+        for e in entries {
+            let a = match e {
+                IndexEntry::Item(it) => CpRef::Item(it),
+                IndexEntry::Node(n) => CpRef::Node(n),
+            };
+            self.push(a, b);
+        }
+    }
+
+    /// Expands the `b`-side node against a fixed `a` target.
+    fn expand_b(&mut self, a: CpRef, node: NodeRef, stats: &mut RcjStats) {
+        stats.filter_node_reads += 1;
+        let mut entries: Vec<IndexEntry> = Vec::new();
+        self.probe_q.expand(&mut self.pager_q, node, &mut entries);
+        for e in entries {
+            let b = match e {
+                IndexEntry::Item(it) => CpRef::Item(it),
+                IndexEntry::Node(n) => CpRef::Node(n),
+            };
+            self.push(a, b);
+        }
+    }
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for DiameterSource<PQ, PP> {
+    fn next_batch(&mut self, out: &mut Vec<RcjPair>, stats: &mut RcjStats) -> bool {
+        while let Some(elem) = self.heap.pop() {
+            stats.filter_heap_pops += 1;
+            match (elem.a, elem.b) {
+                (CpRef::Item(p), CpRef::Item(q)) => {
+                    if self.self_join && p.id >= q.id {
+                        // Self-joins see each unordered pair from both
+                        // sides (and each point against itself); report
+                        // once, smaller id first.
+                        continue;
+                    }
+                    let pair = RcjPair::new(p, q);
+                    stats.candidate_pairs += 1;
+                    let mut alive = [true];
+                    if self.verify {
+                        verify_with(
+                            &self.probe_q,
+                            &mut self.pager_q,
+                            &[pair],
+                            &mut alive,
+                            self.face_rule,
+                            stats,
+                        );
+                        if alive[0] && !self.self_join {
+                            verify_with(
+                                &self.probe_p,
+                                &mut self.pager_p,
+                                &[pair],
+                                &mut alive,
+                                self.face_rule,
+                                stats,
+                            );
+                        }
+                    }
+                    if alive[0] {
+                        stats.result_pairs += 1;
+                        out.push(pair);
+                        return true;
+                    }
+                }
+                (CpRef::Node(na), b @ CpRef::Node(nb)) => {
+                    // Expand the larger node first (classic heuristic).
+                    if na.region.area() >= nb.region.area() {
+                        self.expand_a(na, b, stats);
+                    } else {
+                        self.expand_b(CpRef::Node(na), nb, stats);
+                    }
+                }
+                (CpRef::Node(na), b @ CpRef::Item(_)) => self.expand_a(na, b, stats),
+                (a @ CpRef::Item(_), CpRef::Node(nb)) => self.expand_b(a, nb, stats),
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------
+
+fn leaf_stream<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    self_join: bool,
+    opts: &RcjOptions,
+) -> RcjStream {
+    // `Auto` resolves exactly as in the one-shot path.
+    let opts = RcjOptions {
+        algorithm: opts.algorithm.resolve(&tq.summary()),
+        ..*opts
+    };
+    let leaves = outer_leaves(tq, &opts);
+    let workers = opts.executor.worker_count().min(leaves.len().max(1));
+    if workers <= 1 {
+        RcjStream::new(Box::new(SeqLeafSource {
+            probe_q: tq.probe(),
+            probe_p: tp.probe(),
+            pager_q: tq.pager(),
+            pager_p: tp.pager(),
+            leaves,
+            pos: 0,
+            self_join,
+            opts,
+        }))
+    } else {
+        RcjStream::new(Box::new(ParLeafSource::new(
+            tq.probe(),
+            tp.probe(),
+            tq.pager(),
+            tp.pager(),
+            leaves,
+            workers,
+            self_join,
+            opts,
+        )))
+    }
+}
+
+/// Lazily streams the RCJ of `(tq, tp)` in deterministic leaf order —
+/// the same pairs in the same order as
+/// [`rcj_join`](crate::rcj_join) with the same options, with memory
+/// bounded by one leaf batch (sequential executor) or one wave
+/// (parallel executor).
+pub fn rcj_stream<IQ: RcjIndex, IP: RcjIndex>(tq: &IQ, tp: &IP, opts: &RcjOptions) -> RcjStream {
+    leaf_stream(tq, tp, false, opts)
+}
+
+/// Lazily streams the self-RCJ of one dataset; the streaming analogue of
+/// [`rcj_self_join`](crate::rcj_self_join).
+pub fn rcj_self_stream<I: RcjIndex>(tree: &I, opts: &RcjOptions) -> RcjStream {
+    leaf_stream(tree, tree, true, opts)
+}
+
+/// Streams the RCJ of `(tq, tp)` in **ascending ring diameter** order —
+/// the tourist-recommendation ranking. Combine with
+/// [`RcjStream::limit`] (or just `take(k)`) for a top-k query with
+/// early exit: only the index regions within the `k`-th diameter are
+/// ever expanded. Honors `opts.skip_verification` and
+/// `opts.no_face_rule`; the executor choice is ignored (the incremental
+/// traversal is inherently sequential).
+pub fn rcj_stream_by_diameter<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    opts: &RcjOptions,
+) -> RcjStream {
+    RcjStream::new(Box::new(DiameterSource::new(
+        tq.probe(),
+        tp.probe(),
+        tq.pager(),
+        tp.pager(),
+        false,
+        opts,
+    )))
+}
+
+/// Diameter-ordered self-RCJ stream; each unordered pair appears once,
+/// smaller id first. See [`rcj_stream_by_diameter`].
+pub fn rcj_self_stream_by_diameter<I: RcjIndex>(tree: &I, opts: &RcjOptions) -> RcjStream {
+    RcjStream::new(Box::new(DiameterSource::new(
+        tree.probe(),
+        tree.probe(),
+        tree.pager(),
+        tree.pager(),
+        true,
+        opts,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pair_keys, rcj_join, rcj_self_join, sort_by_diameter, Executor, RcjAlgorithm};
+    use ringjoin_geom::pt;
+    use ringjoin_rtree::bulk_load;
+    use ringjoin_storage::{MemDisk, Pager, SharedPager};
+
+    fn pager() -> SharedPager {
+        Pager::new(MemDisk::new(512), 64).into_shared()
+    }
+
+    fn items(n: usize, seed: u64, span: f64) -> Vec<Item> {
+        ringjoin_testsupport::lcg_points(n, seed, span)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Item::new(i as u64, pt(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn sequential_stream_equals_materialised_join() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), items(400, 3, 2000.0));
+        let tq = bulk_load(pg.clone(), items(400, 5, 2000.0));
+        for algo in [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj] {
+            let opts = RcjOptions::algorithm(algo).with_executor(Executor::Sequential);
+            let full = rcj_join(&tq, &tp, &opts);
+            let mut stream = rcj_stream(&tq, &tp, &opts);
+            let streamed: Vec<RcjPair> = stream.by_ref().collect();
+            assert_eq!(streamed, full.pairs, "{}", algo.name());
+            assert_eq!(stream.stats(), full.stats, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn parallel_stream_equals_materialised_join() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), items(500, 7, 3000.0));
+        let tq = bulk_load(pg.clone(), items(500, 11, 3000.0));
+        for threads in [2, 4, 8] {
+            let opts = RcjOptions::default().with_executor(Executor::Parallel { threads });
+            let full = rcj_join(&tq, &tp, &opts);
+            let mut stream = rcj_stream(&tq, &tp, &opts);
+            let streamed: Vec<RcjPair> = stream.by_ref().collect();
+            assert_eq!(streamed, full.pairs, "threads={threads}");
+            assert_eq!(stream.stats(), full.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_stream_absorbs_io_counters() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), items(400, 13, 2500.0));
+        let tq = bulk_load(pg.clone(), items(400, 17, 2500.0));
+        let opts = RcjOptions::default().with_executor(Executor::Parallel { threads: 4 });
+
+        let before = pg.borrow().stats();
+        let seq_opts = RcjOptions::default().with_executor(Executor::Sequential);
+        let _ = rcj_join(&tq, &tp, &seq_opts);
+        let seq_reads = pg.borrow().stats().since(before).logical_reads;
+
+        let before = pg.borrow().stats();
+        {
+            let stream = rcj_stream(&tq, &tp, &opts);
+            let _: Vec<RcjPair> = stream.collect();
+        } // drop absorbs worker counters
+        let par_reads = pg.borrow().stats().since(before).logical_reads;
+        assert_eq!(seq_reads, par_reads);
+    }
+
+    #[test]
+    fn self_join_stream_equals_materialised() {
+        let pg = pager();
+        let tree = bulk_load(pg.clone(), items(400, 19, 1500.0));
+        for threads in [1, 4] {
+            let opts = RcjOptions::default().with_executor(Executor::threads(threads));
+            let full = rcj_self_join(&tree, &opts);
+            let streamed: Vec<RcjPair> = rcj_self_stream(&tree, &opts).collect();
+            assert_eq!(streamed, full.pairs, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn diameter_stream_is_sorted_and_complete() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), items(150, 23, 800.0));
+        let tq = bulk_load(pg.clone(), items(150, 29, 800.0));
+        let opts = RcjOptions::default();
+        let all: Vec<RcjPair> = rcj_stream_by_diameter(&tq, &tp, &opts).collect();
+        for w in all.windows(2) {
+            assert!(w[0].diameter() <= w[1].diameter());
+        }
+        let full = rcj_join(&tq, &tp, &opts);
+        assert_eq!(pair_keys(&all), pair_keys(&full.pairs));
+    }
+
+    #[test]
+    fn diameter_stream_prefix_matches_sorted_join() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), items(300, 31, 2000.0));
+        let tq = bulk_load(pg.clone(), items(300, 37, 2000.0));
+        let opts = RcjOptions::default();
+        let mut full = rcj_join(&tq, &tp, &opts).pairs;
+        sort_by_diameter(&mut full);
+        let top: Vec<RcjPair> = rcj_stream_by_diameter(&tq, &tp, &opts).limit(25).collect();
+        assert_eq!(top.len(), 25);
+        for (s, f) in top.iter().zip(full.iter()) {
+            assert_eq!(s.key(), f.key());
+        }
+    }
+
+    #[test]
+    fn diameter_self_stream_reports_each_pair_once() {
+        let pg = pager();
+        let tree = bulk_load(pg.clone(), items(200, 41, 1000.0));
+        let opts = RcjOptions::default();
+        let all: Vec<RcjPair> = rcj_self_stream_by_diameter(&tree, &opts).collect();
+        for pr in &all {
+            assert!(pr.p.id < pr.q.id);
+        }
+        let full = rcj_self_join(&tree, &opts);
+        assert_eq!(pair_keys(&all), pair_keys(&full.pairs));
+    }
+
+    #[test]
+    fn limit_stops_reading_pages() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), items(600, 43, 4000.0));
+        let tq = bulk_load(pg.clone(), items(600, 47, 4000.0));
+        let opts = RcjOptions::default();
+
+        let before = pg.borrow().stats();
+        let top: Vec<RcjPair> = rcj_stream_by_diameter(&tq, &tp, &opts).limit(5).collect();
+        let topk_reads = pg.borrow().stats().since(before).logical_reads;
+        assert_eq!(top.len(), 5);
+
+        let before = pg.borrow().stats();
+        let full = rcj_join(
+            &tq,
+            &tp,
+            &RcjOptions::default().with_executor(Executor::Sequential),
+        );
+        let full_reads = pg.borrow().stats().since(before).logical_reads;
+        assert!(full.pairs.len() > 5);
+        assert!(
+            topk_reads < full_reads,
+            "top-5 stream read {topk_reads} pages, full join {full_reads}"
+        );
+    }
+}

@@ -196,6 +196,22 @@ impl Rect {
         dx * dx + dy * dy
     }
 
+    /// Squared minimum distance between any point of `self` and any point
+    /// of `other` (zero when the rectangles intersect).
+    ///
+    /// The rectangle–rectangle `mindist` bound that orders incremental
+    /// distance-join traversals (Hjaltason & Samet, SIGMOD 1998).
+    #[inline]
+    pub fn mindist_rect_sq(&self, other: Rect) -> f64 {
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
     /// Squared maximum distance from `p` to any point of the rectangle.
     #[inline]
     pub fn maxdist_sq(&self, p: Point) -> f64 {
@@ -311,6 +327,21 @@ mod tests {
         assert_eq!(a.mindist_sq(pt(2.0, 2.0)), 0.0);
         assert_eq!(a.mindist_sq(pt(7.0, 2.0)), 9.0);
         assert_eq!(a.mindist_sq(pt(7.0, 8.0)), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn mindist_rect_handles_overlap_and_gaps() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        // Overlapping and touching rectangles are at distance zero.
+        assert_eq!(a.mindist_rect_sq(r(2.0, 2.0, 6.0, 6.0)), 0.0);
+        assert_eq!(a.mindist_rect_sq(r(4.0, 0.0, 5.0, 4.0)), 0.0);
+        // Gap in x only, then a diagonal gap; symmetric both ways.
+        assert_eq!(a.mindist_rect_sq(r(7.0, 1.0, 9.0, 3.0)), 9.0);
+        assert_eq!(a.mindist_rect_sq(r(7.0, 8.0, 9.0, 9.0)), 9.0 + 16.0);
+        assert_eq!(r(7.0, 8.0, 9.0, 9.0).mindist_rect_sq(a), 9.0 + 16.0);
+        // Degenerate (point) rectangle agrees with point mindist.
+        let p = pt(7.0, 8.0);
+        assert_eq!(a.mindist_rect_sq(Rect::from_point(p)), a.mindist_sq(p));
     }
 
     #[test]

@@ -6,12 +6,10 @@
 //! quad-tree) as well". This crate makes that claim executable: a
 //! page-per-node PR quadtree over the same [`ringjoin_storage`] pager
 //! (so the same buffer manager and I/O accounting), with range search
-//! and incremental nearest-neighbour ranking. The ring-constrained join
-//! itself is **not** reimplemented here: [`rcj`] only provides the
-//! [`rcj::QuadTreeProbe`] implementation of `ringjoin_core`'s
-//! `RcjIndex`, and the shared generic INJ/BIJ/OBJ drivers run over
-//! quadrant regions exactly as they run over R-tree MBRs (minus the
-//! face-inside-circle rule, which needs minimal regions).
+//! and incremental nearest-neighbour ranking. The shared generic
+//! INJ/BIJ/OBJ drivers of `ringjoin_core` run over quadrant regions
+//! exactly as they run over R-tree MBRs (minus the face-inside-circle
+//! rule, which needs minimal regions).
 //!
 //! # Structure
 //!
@@ -20,6 +18,13 @@
 //! place as an internal node with four on-demand children (NW/NE/SW/SE
 //! by midpoint). Duplicate-heavy data cannot split forever: past a
 //! maximum depth, leaves chain into overflow pages instead.
+//!
+//! The ring-constrained join itself is **not** implemented here — and
+//! not even its probe is: `ringjoin_core` owns the `QuadTreeProbe`
+//! (core depends on this crate, not the other way around), so the core
+//! engine can register quadtree datasets natively alongside R-trees.
+//! This crate only exports the node codec primitives the probe needs
+//! ([`quadtree_decode`], [`quadrant`]).
 //!
 //! ```
 //! use ringjoin_quadtree::QuadTree;
@@ -41,9 +46,7 @@
 #![warn(missing_docs)]
 
 mod node;
-pub mod rcj;
 mod tree;
 
-pub use node::{QItem, QNode};
-pub use rcj::QuadTreeProbe;
+pub use node::{decode as quadtree_decode, quadrant, QItem, QNode};
 pub use tree::{QNearestIter, QuadTree};

@@ -57,6 +57,11 @@ impl QuadTree {
         self.node_count
     }
 
+    /// Points a leaf page can hold before splitting (page-size derived).
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_cap
+    }
+
     /// The covered region.
     pub fn region(&self) -> Rect {
         self.region

@@ -1,10 +1,13 @@
 //! Shared test support for the ringjoin workspace.
 //!
-//! Exists so every crate's tests stop hand-rolling the same
-//! process-and-thread-unique temp-directory helper (it used to be copied
+//! Exists so every crate's tests stop hand-rolling the same helpers:
+//! the process-and-thread-unique temp-directory maker (once copied
 //! verbatim between `ringjoin_storage`'s property tests and
-//! `ringjoin_datagen`'s I/O tests). Dependency-free by design: it is a
-//! dev-dependency of half the workspace.
+//! `ringjoin_datagen`'s I/O tests) and the deterministic LCG point
+//! generator (once pasted into five test modules of `ringjoin_core`
+//! alone). Dependency-free by design: it is a dev-dependency of half
+//! the workspace, so it returns plain tuples rather than depending on
+//! `ringjoin_geom` for `Item`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +31,40 @@ pub fn scratch_dir(label: &str) -> PathBuf {
     dir
 }
 
+/// Deterministic pseudo-random points in `[0, span) × [0, span)` from a
+/// 64-bit LCG (Knuth's MMIX multiplier), two draws per point.
+///
+/// One canonical copy of the generator every test workload is built
+/// from: same `(n, seed, span)` always yields the same points, across
+/// crates and toolchains, with no RNG dependency. Callers map the
+/// tuples into their own record types.
+pub fn lcg_points(n: usize, seed: u64, span: f64) -> Vec<(f64, f64)> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| (next() * span, next() * span)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lcg_points_are_deterministic_and_in_range() {
+        let a = lcg_points(100, 7, 1000.0);
+        let b = lcg_points(100, 7, 1000.0);
+        assert_eq!(a, b);
+        assert_ne!(a, lcg_points(100, 8, 1000.0));
+        assert!(a
+            .iter()
+            .all(|&(x, y)| (0.0..1000.0).contains(&x) && (0.0..1000.0).contains(&y)));
+        // A longer run is a prefix-extension of a shorter one.
+        assert_eq!(a[..50], lcg_points(50, 7, 1000.0)[..]);
+    }
 
     #[test]
     fn scratch_dirs_exist_and_differ_by_label() {

@@ -20,7 +20,26 @@
 //! | [`spatialjoin`] | `ringjoin-spatialjoin` | ε-join, k-closest-pairs, kNN join, precision/recall |
 //! | [`datagen`] | `ringjoin-datagen` | UI / Gaussian / GNIS-like workload generators |
 //!
-//! The most common entry points are re-exported at the top level.
+//! The most common entry points are re-exported at the top level. The
+//! documented front door is the session API (`Engine` → `Plan` →
+//! `RcjStream`):
+//!
+//! ```
+//! use ringjoin::{uniform, Engine, IndexKind};
+//!
+//! let mut engine = Engine::new();
+//! engine.load("shops", uniform(500, 1)).index(IndexKind::Rtree);
+//! engine.load("homes", uniform(500, 2)).index(IndexKind::Rtree);
+//! let plan = engine.query().join("homes", "shops").plan()?;
+//! println!("{plan}"); // `explain`: resolved algorithm + cost estimates
+//! let out = plan.collect();
+//! println!("{} fair middleman locations", out.pairs.len());
+//! # assert!(out.pairs.len() > 0);
+//! # Ok::<(), ringjoin::EngineError>(())
+//! ```
+//!
+//! The paper-shaped one-shot call remains as a compat layer over the
+//! same drivers:
 //!
 //! ```
 //! use ringjoin::{bulk_load, rcj_join, uniform, MemDisk, Pager, RcjOptions};
@@ -48,8 +67,11 @@ pub use ringjoin_storage as storage;
 pub use topk::{rcj_by_diameter, RcjByDiameter};
 
 pub use ringjoin_core::{
-    pair_keys, rcj_brute, rcj_brute_self, rcj_join, rcj_self_join, sort_by_diameter, Executor,
-    IndexProbe, OuterOrder, RcjAlgorithm, RcjIndex, RcjOptions, RcjOutput, RcjPair, RcjStats,
+    pair_keys, rcj_brute, rcj_brute_self, rcj_join, rcj_join_into, rcj_self_join,
+    rcj_self_join_into, rcj_self_stream, rcj_self_stream_by_diameter, rcj_stream,
+    rcj_stream_by_diameter, sort_by_diameter, DatasetHandle, Engine, EngineError, Executor,
+    IndexKind, IndexProbe, OuterOrder, PairSink, Plan, QueryBuilder, RcjAlgorithm, RcjIndex,
+    RcjOptions, RcjOutput, RcjPair, RcjStats, RcjStream,
 };
 pub use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset};
 pub use ringjoin_geom::{pt, Circle, HalfPlane, Metric, Point, Rect};

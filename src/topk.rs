@@ -5,61 +5,26 @@
 //! order so a tourist can browse the most compact facility pairs first.
 //! Computing the *whole* join and sorting works (see
 //! [`sort_by_diameter`](crate::sort_by_diameter)), but a browsing UI only
-//! needs the first few results. This module combines two primitives the
-//! paper already relies on:
+//! needs the first few results.
 //!
-//! * the **incremental distance join** (Hjaltason–Samet) yields candidate
-//!   pairs in ascending distance — which *is* ascending ring diameter;
-//! * the RCJ **verification** decides each candidate in isolation.
-//!
-//! Since every RCJ pair appears in the distance-ordered stream, filtering
-//! that stream through verification yields RCJ results lazily in exactly
-//! the diameter order, stopping after `k` hits — no full join, no sort.
+//! This module is now a thin veneer over the core engine's streaming
+//! layer: [`rcj_by_diameter`] opens a diameter-ordered
+//! [`RcjStream`] — an index-agnostic incremental
+//! distance join (candidate distance *is* ring diameter) with lazy
+//! verification and early exit. The same stream backs the engine's
+//! `query().top_k(k)` plans and the CLI's `top-k` subcommand; prefer
+//! [`Engine`](crate::core::Engine) when the datasets live in a session.
 
-use ringjoin_core::{verify, RcjPair, RcjStats};
-use ringjoin_rtree::RTree;
-use ringjoin_spatialjoin::ClosestPairsIter;
+use ringjoin_core::{rcj_stream_by_diameter, RcjIndex, RcjOptions, RcjStream};
 
-/// Iterator over RCJ result pairs in ascending ring-diameter order.
-///
-/// Construct with [`rcj_by_diameter`].
-pub struct RcjByDiameter<'a> {
-    pairs: ClosestPairsIter<'a>,
-    tp: &'a RTree,
-    tq: &'a RTree,
-    stats: RcjStats,
-}
-
-impl<'a> RcjByDiameter<'a> {
-    /// Verification counters accumulated so far.
-    pub fn stats(&self) -> RcjStats {
-        self.stats
-    }
-}
-
-impl Iterator for RcjByDiameter<'_> {
-    type Item = RcjPair;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        for (p, q, _dist_sq) in self.pairs.by_ref() {
-            let pair = RcjPair::new(p, q);
-            let mut alive = [true];
-            verify(self.tq, &[pair], &mut alive, true, &mut self.stats);
-            if alive[0] {
-                verify(self.tp, &[pair], &mut alive, true, &mut self.stats);
-            }
-            self.stats.candidate_pairs += 1;
-            if alive[0] {
-                self.stats.result_pairs += 1;
-                return Some(pair);
-            }
-        }
-        None
-    }
-}
+/// Compatibility alias: the diameter-ordered stream *is* the core
+/// [`RcjStream`] (older revisions had a dedicated iterator type here).
+pub type RcjByDiameter = RcjStream;
 
 /// Streams the RCJ result of `(tp, tq)` in ascending ring-diameter
-/// order; take the first `k` for a top-k query.
+/// order; take the first `k` for a top-k query with early exit (only
+/// the index regions within the `k`-th diameter are ever expanded).
+/// Works over any [`RcjIndex`] on either side.
 ///
 /// ```
 /// use ringjoin::{bulk_load, rcj_by_diameter, uniform, MemDisk, Pager};
@@ -72,21 +37,16 @@ impl Iterator for RcjByDiameter<'_> {
 /// assert!(top3[0].diameter() <= top3[1].diameter());
 /// assert!(top3[1].diameter() <= top3[2].diameter());
 /// ```
-pub fn rcj_by_diameter<'a>(tp: &'a RTree, tq: &'a RTree) -> RcjByDiameter<'a> {
-    RcjByDiameter {
-        pairs: ClosestPairsIter::new(tp, tq),
-        tp,
-        tq,
-        stats: RcjStats::default(),
-    }
+pub fn rcj_by_diameter<IP: RcjIndex, IQ: RcjIndex>(tp: &IP, tq: &IQ) -> RcjByDiameter {
+    rcj_stream_by_diameter(tq, tp, &RcjOptions::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringjoin_core::{pair_keys, rcj_join, sort_by_diameter, RcjOptions};
+    use ringjoin_core::{pair_keys, rcj_join, sort_by_diameter, RcjPair};
     use ringjoin_datagen::uniform;
-    use ringjoin_rtree::bulk_load;
+    use ringjoin_rtree::{bulk_load, RTree};
     use ringjoin_storage::{MemDisk, Pager};
 
     fn trees() -> (ringjoin_storage::SharedPager, RTree, RTree) {
@@ -140,5 +100,31 @@ mod tests {
             checked < 800 * 800 / 100,
             "streamed top-10 checked {checked} pairs"
         );
+    }
+
+    #[test]
+    fn works_over_quadtrees_too() {
+        use ringjoin_geom::{pt, Rect};
+        use ringjoin_quadtree::QuadTree;
+
+        let pager = Pager::new(MemDisk::new(1024), 128).into_shared();
+        let items_p = uniform(200, 31);
+        let items_q = uniform(200, 32);
+        let region = Rect::new(pt(0.0, 0.0), pt(10_000.0, 10_000.0));
+        let mut tp = QuadTree::new(pager.clone(), region);
+        for it in &items_p {
+            tp.insert(it.id, it.point);
+        }
+        let tq = bulk_load(pager.clone(), items_q);
+        let top: Vec<RcjPair> = rcj_by_diameter(&tp, &tq).take(20).collect();
+        assert_eq!(top.len(), 20);
+        for w in top.windows(2) {
+            assert!(w[0].diameter() <= w[1].diameter());
+        }
+        let full = rcj_join(&tq, &tp, &RcjOptions::default()).pairs;
+        let all: std::collections::HashSet<_> = pair_keys(&full).into_iter().collect();
+        for pr in &top {
+            assert!(all.contains(&pr.key()), "streamed pair not in full join");
+        }
     }
 }

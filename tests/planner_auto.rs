@@ -1,0 +1,130 @@
+//! Planner regret bound: `RcjAlgorithm::Auto` must never pick an
+//! algorithm whose **measured verify-phase I/O** (verification node
+//! visits) exceeds the best fixed choice by more than 2x, across
+//! uniform, Gaussian-clustered and duplicate-heavy workloads at small
+//! scale. The planner costs queries from O(1) catalog summaries, so a
+//! bounded-regret guarantee against measurement is exactly what keeps
+//! `Auto` safe to default to.
+
+use proptest::prelude::*;
+use ringjoin::{pt, Engine, IndexKind, RcjAlgorithm, RcjStats};
+use ringjoin_rtree::Item;
+
+const REGION: f64 = 1000.0;
+const FIXED: [RcjAlgorithm; 3] = [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj];
+
+fn to_items(v: &[(f64, f64)]) -> Vec<Item> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+        .collect()
+}
+
+fn uniform_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0..REGION, 0.0..REGION), 8..max)
+}
+
+fn gaussianish_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        proptest::collection::vec((100.0..900.0f64, 100.0..900.0f64), 1..5),
+        proptest::collection::vec((0usize..5, -40.0..40.0f64, -40.0..40.0f64), 8..max),
+    )
+        .prop_map(|(centers, offsets)| {
+            offsets
+                .into_iter()
+                .map(|(c, dx, dy)| {
+                    let (cx, cy) = centers[c % centers.len()];
+                    (
+                        (cx + dx).clamp(0.0, REGION - 1e-9),
+                        (cy + dy).clamp(0.0, REGION - 1e-9),
+                    )
+                })
+                .collect()
+        })
+}
+
+fn clustered_grid_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0u32..8, 0u32..8), 8..max).prop_map(|cells| {
+        cells
+            .into_iter()
+            .map(|(gx, gy)| (gx as f64 * 120.0 + 15.0, gy as f64 * 120.0 + 15.0))
+            .collect()
+    })
+}
+
+/// Runs one algorithm over a fresh engine session and returns its
+/// counters.
+fn run_with(ps: &[(f64, f64)], qs: &[(f64, f64)], algo: RcjAlgorithm) -> RcjStats {
+    let mut engine = Engine::new();
+    engine.load("p", to_items(ps)).index(IndexKind::Rtree);
+    engine.load("q", to_items(qs)).index(IndexKind::Rtree);
+    engine
+        .query()
+        .join("q", "p")
+        .algorithm(algo)
+        .threads(1)
+        .collect()
+        .unwrap()
+        .stats
+}
+
+fn assert_auto_regret_bounded(ps: &[(f64, f64)], qs: &[(f64, f64)], label: &str) {
+    let auto_stats = run_with(ps, qs, RcjAlgorithm::Auto);
+    let best_fixed_verify = FIXED
+        .iter()
+        .map(|&a| run_with(ps, qs, a).verify_node_visits)
+        .min()
+        .unwrap();
+    assert!(
+        auto_stats.verify_node_visits <= best_fixed_verify.saturating_mul(2).max(4),
+        "{label}: Auto verify I/O {} exceeds 2x the best fixed choice ({best_fixed_verify})",
+        auto_stats.verify_node_visits,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn auto_verify_io_within_2x_of_best_uniform(
+        ps in uniform_pts(90),
+        qs in uniform_pts(90),
+    ) {
+        assert_auto_regret_bounded(&ps, &qs, "uniform");
+    }
+
+    #[test]
+    fn auto_verify_io_within_2x_of_best_gaussian(
+        ps in gaussianish_pts(90),
+        qs in gaussianish_pts(90),
+    ) {
+        assert_auto_regret_bounded(&ps, &qs, "gaussian");
+    }
+
+    #[test]
+    fn auto_verify_io_within_2x_of_best_clustered(
+        ps in clustered_grid_pts(70),
+        qs in clustered_grid_pts(70),
+    ) {
+        assert_auto_regret_bounded(&ps, &qs, "clustered");
+    }
+}
+
+/// The resolution is visible and deterministic: planning the same query
+/// twice resolves Auto to the same concrete algorithm, and the plan
+/// records that it was auto-resolved.
+#[test]
+fn auto_resolution_is_deterministic_and_recorded() {
+    let pts: Vec<(f64, f64)> = (0..600)
+        .map(|i| (((i * 37) % 199) as f64 * 5.0, ((i * 61) % 211) as f64 * 4.7))
+        .collect();
+    let mut engine = Engine::new();
+    engine.load("p", to_items(&pts)).index(IndexKind::Rtree);
+    engine.load("q", to_items(&pts)).index(IndexKind::Quadtree);
+    let a = engine.query().join("q", "p").plan().unwrap();
+    let b = engine.query().join("q", "p").plan().unwrap();
+    assert!(a.auto_resolved());
+    assert_eq!(a.algorithm(), b.algorithm());
+    assert_ne!(a.algorithm(), RcjAlgorithm::Auto);
+    assert!(a.to_string().contains("resolved from AUTO"));
+}

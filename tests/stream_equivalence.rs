@@ -1,0 +1,176 @@
+//! Streaming equivalence: `plan.stream()` must be **byte-identical** —
+//! the same pairs, in the same order, with the same coordinates — to
+//! `plan.collect().pairs`, across both index kinds, all three concrete
+//! algorithms, and sequential vs. parallel executors. This is the
+//! guarantee that lets a serving layer switch between the lazy,
+//! bounded-memory stream and full materialisation without observable
+//! difference.
+//!
+//! Plus the bounded-memory/early-exit claim: a top-k plan answered via
+//! the diameter-ordered stream must read strictly fewer index pages
+//! than full materialisation, because it expands no region beyond the
+//! `k`-th smallest diameter.
+
+use proptest::prelude::*;
+use ringjoin::{pt, Engine, IndexKind, Item, RcjAlgorithm, RcjPair};
+
+const REGION: f64 = 1000.0;
+const ALGOS: [RcjAlgorithm; 3] = [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj];
+const KINDS: [IndexKind; 2] = [IndexKind::Rtree, IndexKind::Quadtree];
+const THREADS: [usize; 2] = [1, 4];
+
+fn to_items(v: &[(f64, f64)]) -> Vec<Item> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+        .collect()
+}
+
+/// Uniform points over the region.
+fn uniform_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0..REGION, 0.0..REGION), 4..max)
+}
+
+/// Clustered points: a few centers with tight offsets (box-clamped).
+fn clustered_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        proptest::collection::vec((100.0..900.0f64, 100.0..900.0f64), 1..4),
+        proptest::collection::vec((0usize..4, -30.0..30.0f64, -30.0..30.0f64), 4..max),
+    )
+        .prop_map(|(centers, offsets)| {
+            offsets
+                .into_iter()
+                .map(|(c, dx, dy)| {
+                    let (cx, cy) = centers[c % centers.len()];
+                    (
+                        (cx + dx).clamp(0.0, REGION - 1e-9),
+                        (cy + dy).clamp(0.0, REGION - 1e-9),
+                    )
+                })
+                .collect()
+        })
+}
+
+/// For every index kind × algorithm × thread count: stream == collect,
+/// byte for byte (RcjPair derives PartialEq over ids *and* coordinates).
+fn assert_stream_equals_collect(ps: &[(f64, f64)], qs: &[(f64, f64)]) {
+    for kind in KINDS {
+        let mut engine = Engine::new();
+        engine.load("p", to_items(ps)).index(kind);
+        engine.load("q", to_items(qs)).index(kind);
+        for algo in ALGOS {
+            for threads in THREADS {
+                let plan = engine
+                    .query()
+                    .join("q", "p")
+                    .algorithm(algo)
+                    .threads(threads)
+                    .plan()
+                    .unwrap();
+                let collected = plan.collect();
+                let streamed: Vec<RcjPair> = plan.stream().collect();
+                assert_eq!(
+                    streamed,
+                    collected.pairs,
+                    "{}/{}/{threads} threads: stream diverged from collect",
+                    kind.name(),
+                    algo.name(),
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn stream_equals_collect_uniform(
+        ps in uniform_pts(70),
+        qs in uniform_pts(70),
+    ) {
+        assert_stream_equals_collect(&ps, &qs);
+    }
+
+    #[test]
+    fn stream_equals_collect_clustered(
+        ps in clustered_pts(70),
+        qs in clustered_pts(70),
+    ) {
+        assert_stream_equals_collect(&ps, &qs);
+    }
+
+    #[test]
+    fn self_join_stream_equals_collect(
+        pts in uniform_pts(70),
+    ) {
+        for kind in KINDS {
+            let mut engine = Engine::new();
+            engine.load("d", to_items(&pts)).index(kind);
+            for threads in THREADS {
+                let plan = engine
+                    .query()
+                    .self_join("d")
+                    .threads(threads)
+                    .plan()
+                    .unwrap();
+                let collected = plan.collect();
+                let streamed: Vec<RcjPair> = plan.stream().collect();
+                prop_assert_eq!(&streamed, &collected.pairs);
+            }
+        }
+    }
+}
+
+/// Bounded-memory smoke: a top-5 query through the diameter-ordered
+/// stream must touch strictly fewer index pages than materialising the
+/// whole join — the early exit is real, not cosmetic.
+#[test]
+fn top_k_stream_reads_strictly_fewer_pages_than_full_join() {
+    let n = 1500;
+    let mk = |seed: u64| -> Vec<Item> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| Item::new(i as u64, pt(next() * 10_000.0, next() * 10_000.0)))
+            .collect()
+    };
+    let mut engine = Engine::new();
+    engine.load("p", mk(77)).index(IndexKind::Rtree);
+    engine.load("q", mk(78)).index(IndexKind::Rtree);
+    let pager = engine.pager();
+
+    let before = pager.borrow().stats();
+    let top = engine
+        .query()
+        .join("q", "p")
+        .top_k(5)
+        .plan()
+        .unwrap()
+        .collect();
+    let topk_reads = pager.borrow().stats().since(before).logical_reads;
+    assert_eq!(top.pairs.len(), 5);
+    for w in top.pairs.windows(2) {
+        assert!(w[0].diameter() <= w[1].diameter());
+    }
+
+    let before = pager.borrow().stats();
+    let full = engine
+        .query()
+        .join("q", "p")
+        .threads(1)
+        .plan()
+        .unwrap()
+        .collect();
+    let full_reads = pager.borrow().stats().since(before).logical_reads;
+    assert!(full.pairs.len() > 5);
+    assert!(
+        topk_reads < full_reads,
+        "top-5 stream read {topk_reads} pages, full materialisation {full_reads}"
+    );
+}
