@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for CI.
+
+Compares a freshly recorded BENCH_scaling.json against the committed
+baseline and fails (exit 1) if `logical_reads` regresses by more than
+the tolerance for any (combination, threads) entry. Logical reads are
+deterministic — the same code reads the same pages — so they gate
+reliably on shared runners, where wall-clock numbers are advisory noise
+(they are printed for context only).
+
+Optionally sanity-checks a BENCH_serving.json smoke: every shard count
+must have completed with a positive request rate and the same result
+cardinality (the serving sweep itself asserts byte-identity; the file
+check catches a sweep that silently did not run).
+
+Usage:
+  check_bench.py --baseline ci/BENCH_scaling_baseline.json \
+                 --fresh /tmp/BENCH_scaling_smoke.json \
+                 [--serving /tmp/BENCH_serving_smoke.json] \
+                 [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}")
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def check_scaling(baseline_path: str, fresh_path: str, tolerance: float) -> None:
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+    if baseline.get("scale") != fresh.get("scale"):
+        fail(
+            f"scale mismatch: baseline {baseline.get('scale')} vs fresh "
+            f"{fresh.get('scale')} — logical reads only compare at equal scale "
+            f"(re-record {baseline_path} if the CI scale changed)"
+        )
+
+    def index(doc: dict) -> dict:
+        return {
+            (e["combination"], e["threads"]): e for e in doc.get("entries", [])
+        }
+
+    base, new = index(baseline), index(fresh)
+    if not base:
+        fail(f"{baseline_path} has no entries")
+    missing = sorted(set(base) - set(new))
+    if missing:
+        fail(f"fresh run is missing entries: {missing}")
+
+    regressions = []
+    for key in sorted(base):
+        b, f = base[key], new[key]
+        for counter in ("logical_reads", "result_pairs"):
+            if b[counter] == 0:
+                continue
+            ratio = f[counter] / b[counter]
+            note = ""
+            if counter == "logical_reads" and ratio > 1.0 + tolerance:
+                regressions.append(
+                    f"{key}: {counter} {b[counter]} -> {f[counter]} "
+                    f"(+{(ratio - 1.0) * 100:.1f}% > {tolerance * 100:.0f}%)"
+                )
+                note = "  <-- REGRESSION"
+            elif counter == "result_pairs" and f[counter] != b[counter]:
+                regressions.append(
+                    f"{key}: {counter} changed {b[counter]} -> {f[counter]} "
+                    f"(the join answer itself moved)"
+                )
+                note = "  <-- ANSWER CHANGED"
+            print(
+                f"  {key[0]:>4} threads={key[1]:<2} {counter}: "
+                f"{b[counter]} -> {f[counter]} ({(ratio - 1.0) * 100:+.1f}%){note}"
+            )
+        wall = f.get("wall_secs", 0.0)
+        print(f"  {key[0]:>4} threads={key[1]:<2} wall_secs: {wall:.4f} (advisory)")
+    if regressions:
+        fail("I/O regressions vs committed baseline:\n  " + "\n  ".join(regressions))
+    print(f"check_bench: scaling OK ({len(base)} entries within {tolerance * 100:.0f}%)")
+
+
+def check_serving(path: str) -> None:
+    doc = load(path)
+    entries = doc.get("entries", [])
+    if not entries:
+        fail(f"{path} has no entries — the serving sweep did not run")
+    cardinalities = {e.get("result_pairs") for e in entries}
+    if len(cardinalities) != 1:
+        fail(f"serving result cardinality differs across shard counts: {cardinalities}")
+    for e in entries:
+        for rate in ("join_req_per_sec", "topk_req_per_sec"):
+            if e.get(rate, 0) <= 0:
+                fail(f"serving entry {e.get('shards')} shards has non-positive {rate}")
+        print(
+            f"  shards={e['shards']}: join {e['join_req_per_sec']:.2f} req/s, "
+            f"topk {e['topk_req_per_sec']:.2f} req/s, {e['result_pairs']} pairs (advisory)"
+        )
+    print(f"check_bench: serving OK ({len(entries)} shard counts)")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--serving")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+    check_scaling(args.baseline, args.fresh, args.tolerance)
+    if args.serving:
+        check_serving(args.serving)
+
+
+if __name__ == "__main__":
+    main()

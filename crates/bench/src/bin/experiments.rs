@@ -7,6 +7,7 @@
 //! experiments table4 --full         # paper-scale cardinalities
 //! experiments fig13 --threads 4     # RCJ runs on the parallel executor
 //! experiments scaling               # OBJ thread sweep -> BENCH_scaling.json
+//! experiments serving               # sharded-server req/s sweep -> BENCH_serving.json
 //! ```
 
 use ringjoin_bench::experiments::{run, ExpConfig, ALL};

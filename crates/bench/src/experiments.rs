@@ -33,6 +33,9 @@ pub struct ExpConfig {
     /// `set_var`) so tests can redirect it without touching the process
     /// environment from multiple threads.
     pub scaling_out: Option<String>,
+    /// Where the `serving` experiment writes its JSON; same fallback
+    /// scheme via `RINGJOIN_SERVING_OUT`, then `BENCH_serving.json`.
+    pub serving_out: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -43,6 +46,7 @@ impl Default for ExpConfig {
             scale: 0.125,
             threads: 0,
             scaling_out: None,
+            serving_out: None,
         }
     }
 }
@@ -640,6 +644,155 @@ pub fn scaling(cfg: &ExpConfig) -> String {
     out
 }
 
+/// Shard counts swept by the [`serving`] experiment.
+pub const SERVING_SHARDS: [usize; 3] = [1, 2, 4];
+
+/// Requests measured per operation and shard count by [`serving`].
+pub const SERVING_REQUESTS: usize = 5;
+
+/// Serving experiment (the sharded-server entry of the perf
+/// trajectory): requests/sec against a live `ringjoin-server` over TCP
+/// vs shard count, on the SP workload (Schools outer, PopulatedPlaces
+/// inner).
+///
+/// Per shard count: bind an ephemeral-port server, `LOAD` both
+/// datasets, then time [`SERVING_REQUESTS`] `JOIN` and `TOPK` requests
+/// end-to-end (wire + fan-out + merge). The determinism guarantee is
+/// asserted on every sweep — the join answer must be byte-identical
+/// across shard counts. Raw numbers are written as JSON to
+/// `BENCH_serving.json` (override with the `serving_out` field or
+/// `RINGJOIN_SERVING_OUT`); wall-clock figures are advisory on shared
+/// runners, so regression gating keys on the deterministic I/O counters
+/// of `BENCH_scaling.json` instead.
+pub fn serving(cfg: &ExpConfig) -> String {
+    use ringjoin_server::{Client, Server, ServerConfig};
+    use std::time::Instant;
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "== Serving: requests/sec vs shard count, SP workload over TCP \
+         (scale {}, {cores} core(s) available) ==\n",
+        cfg.scale
+    );
+    if cores < 2 {
+        out.push_str(
+            "note: single-core machine — shard scaling is capped at 1.0x; \
+             the sweep still validates determinism and records raw numbers.\n",
+        );
+    }
+    let p_items = gnis_like(
+        GnisDataset::PopulatedPlaces,
+        cfg.n(GnisDataset::PopulatedPlaces.full_cardinality()),
+    );
+    let q_items = gnis_like(
+        GnisDataset::Schools,
+        cfg.n(GnisDataset::Schools.full_cardinality()),
+    );
+    let k = 10usize;
+
+    let mut t = Table::new(&[
+        "shards",
+        "load(s)",
+        "join req/s",
+        "topk req/s",
+        "pairs",
+        "shards queried",
+    ]);
+    let mut json_entries: Vec<String> = Vec::new();
+    let mut baseline_pairs: Option<Vec<(u64, u64)>> = None;
+    for shards in SERVING_SHARDS {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards,
+        })
+        .expect("bind serving-bench server");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
+        let mut client = Client::connect(addr).expect("connect serving-bench client");
+
+        let t0 = Instant::now();
+        client
+            .load("p", ringjoin_core::IndexKind::Rtree, &p_items)
+            .expect("load p");
+        client
+            .load("q", ringjoin_core::IndexKind::Rtree, &q_items)
+            .expect("load q");
+        let load_secs = t0.elapsed().as_secs_f64();
+
+        // Warm once, then measure; the warm-up answer doubles as the
+        // determinism check across shard counts.
+        let warm = client
+            .join("q", "p", RcjAlgorithm::Auto, None)
+            .expect("warm join");
+        let keys: Vec<(u64, u64)> = warm.pairs.iter().map(|pr| pr.key()).collect();
+        match &baseline_pairs {
+            None => baseline_pairs = Some(keys),
+            Some(base) => assert_eq!(base, &keys, "sharded answer diverged at {shards} shards"),
+        }
+
+        let t0 = Instant::now();
+        for _ in 0..SERVING_REQUESTS {
+            client
+                .join("q", "p", RcjAlgorithm::Auto, None)
+                .expect("join");
+        }
+        let join_rps = SERVING_REQUESTS as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let t0 = Instant::now();
+        for _ in 0..SERVING_REQUESTS {
+            client.top_k("q", "p", k).expect("topk");
+        }
+        let topk_rps = SERVING_REQUESTS as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+
+        t.row(vec![
+            shards.to_string(),
+            secs(load_secs),
+            format!("{join_rps:.2}"),
+            format!("{topk_rps:.2}"),
+            warm.pairs.len().to_string(),
+            warm.shards_queried.to_string(),
+        ]);
+        json_entries.push(format!(
+            "    {{\"shards\": {shards}, \"load_secs\": {load_secs:.6}, \
+             \"join_req_per_sec\": {join_rps:.4}, \"topk_req_per_sec\": {topk_rps:.4}, \
+             \"result_pairs\": {}, \"shards_queried\": {}}}",
+            warm.pairs.len(),
+            warm.shards_queried,
+        ));
+    }
+    out.push_str(&t.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"serving\",\n  \"workload\": \"SP\",\n  \
+         \"transport\": \"tcp-loopback\",\n  \"scale\": {},\n  \
+         \"available_cores\": {cores},\n  \"single_core_container\": {},\n  \
+         \"speedups_meaningful\": {},\n  \"requests_per_mode\": {SERVING_REQUESTS},\n  \
+         \"top_k\": {k},\n  \"shard_counts\": {:?},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        cfg.scale,
+        cores < 2,
+        cores >= 2,
+        SERVING_SHARDS,
+        json_entries.join(",\n")
+    );
+    let path = match &cfg.serving_out {
+        Some(p) => p.clone(),
+        None => std::env::var("RINGJOIN_SERVING_OUT")
+            .unwrap_or_else(|_| "BENCH_serving.json".to_string()),
+    };
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "raw numbers written to {path}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "could not write {path}: {e}");
+        }
+    }
+    out
+}
+
 /// [`run_rcj`](crate::harness::run_rcj) plus the result keys (in driver
 /// order), for the determinism assertion of the scaling experiment.
 /// Measurement discipline is `run_phase`'s, identical to every figure.
@@ -651,7 +804,7 @@ fn run_rcj_with_keys(w: &Workload, opts: &RcjOptions) -> (Measured, Vec<(u64, u6
 }
 
 /// All experiment ids, in presentation order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "table2",
     "table4",
     "fig10",
@@ -666,6 +819,7 @@ pub const ALL: [&str; 14] = [
     "baselines",
     "ext_costmodel",
     "scaling",
+    "serving",
 ];
 
 /// Runs one experiment by id.
@@ -685,6 +839,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<String> {
         "baselines" => baselines(cfg),
         "ext_costmodel" => ext_costmodel(cfg),
         "scaling" => scaling(cfg),
+        "serving" => serving(cfg),
         _ => return None,
     })
 }
@@ -721,6 +876,11 @@ mod tests {
             scale: 0.004,
             scaling_out: Some(
                 dir.join("BENCH_scaling.json")
+                    .to_string_lossy()
+                    .into_owned(),
+            ),
+            serving_out: Some(
+                dir.join("BENCH_serving.json")
                     .to_string_lossy()
                     .into_owned(),
             ),

@@ -3,11 +3,16 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand and its options.
+/// Parsed command line: a subcommand, an optional sub-subcommand (the
+/// `client <op>` form), and its options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The first positional argument.
     pub command: String,
+    /// An optional second positional argument immediately after the
+    /// command (e.g. the operation of `client join`). Commands that take
+    /// no sub-operation reject a stray one at dispatch time.
+    pub sub: Option<String>,
     /// `--key value` options (flags map to an empty string).
     pub options: BTreeMap<String, String>,
 }
@@ -35,6 +40,10 @@ pub fn parse(raw: &[String]) -> Result<Args, ArgError> {
     if command.starts_with("--") {
         return Err(ArgError(format!("expected subcommand, got flag {command}")));
     }
+    let sub = match iter.peek() {
+        Some(a) if !a.starts_with("--") => iter.next().cloned(),
+        _ => None,
+    };
     let mut options = BTreeMap::new();
     while let Some(arg) = iter.next() {
         let key = arg
@@ -52,7 +61,11 @@ pub fn parse(raw: &[String]) -> Result<Args, ArgError> {
             .ok_or_else(|| ArgError(format!("missing value for --{key}")))?;
         options.insert(key.to_string(), value.clone());
     }
-    Ok(Args { command, options })
+    Ok(Args {
+        command,
+        sub,
+        options,
+    })
 }
 
 impl Args {
@@ -115,7 +128,27 @@ mod tests {
         assert!(parse(&[]).is_err());
         assert!(parse(&s(&["--join"])).is_err());
         assert!(parse(&s(&["join", "--p"])).is_err());
-        assert!(parse(&s(&["join", "stray"])).is_err());
+        // A positional after the options is still an error: the sub slot
+        // only exists immediately after the command.
+        assert!(parse(&s(&["join", "--p", "p.bin", "stray"])).is_err());
+    }
+
+    #[test]
+    fn second_positional_becomes_the_sub_operation() {
+        let a = parse(&s(&["client", "join", "--outer", "q", "--inner", "p"])).unwrap();
+        assert_eq!(a.command, "client");
+        assert_eq!(a.sub.as_deref(), Some("join"));
+        assert_eq!(a.req("outer").unwrap(), "q");
+        // No sub: the slot stays empty, options parse as before.
+        let b = parse(&s(&["serve", "--shards", "4"])).unwrap();
+        assert_eq!(b.sub, None);
+        assert_eq!(b.opt_parse::<usize>("shards", 1).unwrap(), 4);
+        // A stray positional on a sub-less command parses into the slot;
+        // dispatch rejects it (commands::run checks expectations).
+        let c = parse(&s(&["join", "stray"])).unwrap();
+        assert_eq!(c.sub.as_deref(), Some("stray"));
+        // Only one extra positional fits.
+        assert!(parse(&s(&["client", "join", "extra"])).is_err());
     }
 
     #[test]

@@ -25,10 +25,15 @@
 //! [`std::fmt::Display`] — the CLI's `explain` subcommand prints it
 //! verbatim.
 
-use crate::join::{rcj_join, rcj_self_join, RcjAlgorithm, RcjOptions, RcjOutput};
+use crate::join::{
+    leaf_regions, rcj_join, rcj_join_leaves_into, rcj_self_join, rcj_self_join_leaves_into,
+    RcjAlgorithm, RcjOptions, RcjOutput,
+};
 use crate::planner::{DatasetSummary, JoinCostModel, PlanEstimate};
+use crate::stats::RcjStats;
 use crate::stream::{
-    rcj_self_stream, rcj_self_stream_by_diameter, rcj_stream, rcj_stream_by_diameter, RcjStream,
+    rcj_self_stream, rcj_self_stream_by_diameter, rcj_self_stream_by_diameter_in, rcj_stream,
+    rcj_stream_by_diameter, rcj_stream_by_diameter_in, RcjStream, TaggedPairSink,
 };
 use crate::{Executor, OuterOrder, RcjIndex};
 use ringjoin_geom::{pt, Item, Rect};
@@ -235,6 +240,18 @@ impl Engine {
     /// Names of all registered datasets (sorted).
     pub fn dataset_names(&self) -> Vec<String> {
         self.datasets.keys().cloned().collect()
+    }
+
+    /// The regions of a dataset's leaf groups in depth-first order — the
+    /// position of a region in this list is the leaf group's **global
+    /// leaf index**, the key [`Plan::run_leaves`] partitions by and
+    /// sharded executions merge by.
+    ///
+    /// Reads every index page once; shard routers should cache the
+    /// result per dataset (it is immutable until the name is re-loaded).
+    pub fn leaf_regions(&self, name: &str) -> Result<Vec<Rect>, EngineError> {
+        let ds = self.get(name)?;
+        Ok(with_tree!(ds, |t| leaf_regions(t)))
     }
 
     /// Starts building a query over this engine's datasets.
@@ -612,6 +629,56 @@ impl Plan<'_> {
             with_tree!(self.outer, |t| rcj_self_join(t, &opts))
         } else {
             with_tree_pair!(self.outer, self.inner, |tq, tp| rcj_join(tq, tp, &opts))
+        }
+    }
+
+    /// Runs the plan's leaf drivers over an explicit **subset** of the
+    /// outer dataset's leaf groups (positions into
+    /// [`Engine::leaf_regions`]), emitting every pair tagged with the
+    /// global leaf index that produced it.
+    ///
+    /// This is the per-shard execution primitive: disjoint position sets
+    /// run independently, and ordering the union of tagged pairs by leaf
+    /// index reproduces [`Plan::collect`] byte for byte, with the
+    /// per-run [`RcjStats`] merging to the sequential totals. The subset
+    /// runs sequentially in-thread (the caller owns the parallelism) and
+    /// any `top_k` bound on the plan is ignored — top-k shards use
+    /// [`Plan::stream_by_diameter_in`] instead.
+    pub fn run_leaves(&self, positions: &[usize], sink: &mut dyn TaggedPairSink) -> RcjStats {
+        let opts = self.options();
+        if self.self_join {
+            with_tree!(self.outer, |t| rcj_self_join_leaves_into(
+                t, positions, &opts, sink
+            ))
+        } else {
+            with_tree_pair!(self.outer, self.inner, |tq, tp| rcj_join_leaves_into(
+                tq, tp, positions, &opts, sink
+            ))
+        }
+    }
+
+    /// Opens the plan's diameter-ordered stream restricted to one
+    /// shard's cell: only pairs whose `q` (for self-joins: whose
+    /// larger-id endpoint) lies in `q_region` — half-open membership, so
+    /// adjacent cells partition boundary points — are yielded, in
+    /// ascending ring diameter. Any `top_k` bound on the plan is applied
+    /// as a [`RcjStream::limit`], preserving the early exit per shard; a
+    /// k-bounded merge of per-cell streams reproduces the unrestricted
+    /// top-k answer.
+    pub fn stream_by_diameter_in(&self, q_region: Rect) -> RcjStream {
+        let opts = self.options();
+        let stream = if self.self_join {
+            with_tree!(self.outer, |t| rcj_self_stream_by_diameter_in(
+                t, q_region, &opts
+            ))
+        } else {
+            with_tree_pair!(self.outer, self.inner, |tq, tp| {
+                rcj_stream_by_diameter_in(tq, tp, q_region, &opts)
+            })
+        };
+        match self.top_k {
+            Some(k) => stream.limit(k),
+            None => stream,
         }
     }
 

@@ -26,10 +26,10 @@ use crate::index::{IndexEntry, IndexProbe, NodeRef, RcjIndex};
 use crate::pair::RcjPair;
 use crate::planner::JoinCostModel;
 use crate::stats::RcjStats;
-use crate::stream::PairSink;
+use crate::stream::{PairSink, TaggedPairSink};
 use crate::verify::verify_with;
 use crate::Executor;
-use ringjoin_geom::Item;
+use ringjoin_geom::{Item, Rect};
 use ringjoin_storage::PageAccess;
 
 /// Which RCJ algorithm to run.
@@ -62,6 +62,20 @@ impl RcjAlgorithm {
             RcjAlgorithm::Bij => "BIJ",
             RcjAlgorithm::Obj => "OBJ",
             RcjAlgorithm::Auto => "AUTO",
+        }
+    }
+
+    /// Parses the lowercase user-facing spelling
+    /// (`auto`/`inj`/`bij`/`obj`) — the one mapping the CLI flags and
+    /// the server wire protocol both resolve through, so the two
+    /// surfaces cannot drift apart.
+    pub fn from_name(s: &str) -> Option<RcjAlgorithm> {
+        match s {
+            "auto" => Some(RcjAlgorithm::Auto),
+            "inj" => Some(RcjAlgorithm::Inj),
+            "bij" => Some(RcjAlgorithm::Bij),
+            "obj" => Some(RcjAlgorithm::Obj),
+            _ => None,
         }
     }
 
@@ -246,6 +260,132 @@ fn run_into<IQ: RcjIndex, IP: RcjIndex>(
         &opts,
         sink,
     )
+}
+
+/// The regions of `tree`'s leaf groups in depth-first order — the same
+/// order [`rcj_join`]'s drivers process them in (with the default
+/// [`OuterOrder::DepthFirst`]), so the position of a region in this list
+/// is the leaf group's **global leaf index**: the partition key of
+/// [`rcj_join_leaves_into`] and the merge key sharded executions order
+/// their results by.
+///
+/// Each region is the *tight* MBR of the group's data items, not the
+/// stored node region — node regions can be conservative (the R-tree
+/// probe bounds its root by the whole plane, and a quadtree quadrant is
+/// a space partition, not a data bound), and a shard router needs a
+/// finite, data-derived rectangle to assign and route by.
+///
+/// Reads every leaf page once; callers that route repeatedly (a shard
+/// router) should cache the result per dataset.
+pub fn leaf_regions<I: RcjIndex>(tree: &I) -> Vec<Rect> {
+    let opts = RcjOptions::default();
+    let probe = tree.probe();
+    let mut pg = tree.pager();
+    outer_leaves(tree, &opts)
+        .into_iter()
+        .map(|n| {
+            let items = leaf_items(&probe, &mut pg, n);
+            Rect::from_points(items.iter().map(|it| it.point)).unwrap_or(n.region)
+        })
+        .collect()
+}
+
+/// Adapts a [`TaggedPairSink`] to the per-leaf [`PairSink`] contract,
+/// stamping every pair with the global leaf index being processed.
+struct TagAdapter<'a> {
+    leaf: usize,
+    inner: &'a mut dyn TaggedPairSink,
+}
+
+impl PairSink for TagAdapter<'_> {
+    fn push(&mut self, pair: RcjPair) -> bool {
+        self.inner.push(self.leaf, pair)
+    }
+}
+
+/// Runs the RCJ drivers over an explicit **subset** of the outer tree's
+/// leaf groups, emitting each pair tagged with the global leaf index
+/// that produced it.
+///
+/// `positions` index into the depth-first leaf list (the order of
+/// [`leaf_regions`]); out-of-range positions are ignored. Because every
+/// leaf group's contribution is independent, running disjoint position
+/// sets — on different threads, processes, or machines — and ordering
+/// the tagged results by leaf index reproduces the full
+/// [`rcj_join`] output *byte for byte*, and the per-run [`RcjStats`]
+/// [merge](RcjStats::merge) to the sequential totals. This is the
+/// primitive a space-partitioned shard router executes per shard.
+///
+/// The subset is processed sequentially in-thread (the caller owns the
+/// parallelism); a sink returning `false` stops the run early.
+pub fn rcj_join_leaves_into<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    positions: &[usize],
+    opts: &RcjOptions,
+    sink: &mut dyn TaggedPairSink,
+) -> RcjStats {
+    run_leaf_subset(tq, tp, false, positions, opts, sink)
+}
+
+/// Self-join variant of [`rcj_join_leaves_into`]; see there for the
+/// partitioning contract.
+pub fn rcj_self_join_leaves_into<I: RcjIndex>(
+    tree: &I,
+    positions: &[usize],
+    opts: &RcjOptions,
+    sink: &mut dyn TaggedPairSink,
+) -> RcjStats {
+    run_leaf_subset(tree, tree, true, positions, opts, sink)
+}
+
+fn run_leaf_subset<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    self_join: bool,
+    positions: &[usize],
+    opts: &RcjOptions,
+    sink: &mut dyn TaggedPairSink,
+) -> RcjStats {
+    let opts = RcjOptions {
+        algorithm: opts.algorithm.resolve(&tq.summary()),
+        // Global leaf indices are only meaningful in depth-first order.
+        outer_order: OuterOrder::DepthFirst,
+        ..*opts
+    };
+    let leaves = outer_leaves(tq, &opts);
+    let probe_q = tq.probe();
+    let probe_p = tp.probe();
+    let mut stats = RcjStats::default();
+    let mut pgq = tq.pager();
+    let mut pgp = tp.pager();
+    let mut pagers = Pagers::Split {
+        q: &mut pgq,
+        p: &mut pgp,
+    };
+    for &pos in positions {
+        let Some(leaf) = leaves.get(pos) else {
+            continue;
+        };
+        let items = leaf_items(&probe_q, pagers.q(), *leaf);
+        let mut tagged = TagAdapter {
+            leaf: pos,
+            inner: sink,
+        };
+        if !process_leaf(
+            &probe_q,
+            &probe_p,
+            &mut pagers,
+            &items,
+            self_join,
+            &opts,
+            &mut tagged,
+            &mut stats,
+        ) {
+            break;
+        }
+    }
+    stats
 }
 
 /// Collects the outer leaf groups in depth-first order (one cheap pass
@@ -611,6 +751,63 @@ mod tests {
         let obj = rcj_join(&tq, &tp, &RcjOptions::algorithm(RcjAlgorithm::Obj));
         assert!(obj.stats.candidate_pairs <= bij.stats.candidate_pairs);
         assert_eq!(pair_keys(&bij.pairs), pair_keys(&obj.pairs));
+    }
+
+    #[test]
+    fn leaf_subset_runs_partition_the_join() {
+        let ps = items(&lcg_points(250, 63, 1500.0), 0);
+        let qs = items(&lcg_points(250, 67, 1500.0), 0);
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), ps);
+        let tq = bulk_load(pg.clone(), qs);
+        let opts = RcjOptions::default().with_executor(Executor::Sequential);
+        let full = rcj_join(&tq, &tp, &opts);
+
+        let regions = leaf_regions(&tq);
+        assert!(regions.len() > 1, "workload too small to partition");
+        // Split the leaf list into interleaved (non-contiguous) subsets:
+        // the merge key is the tag, not the subset shape.
+        let evens: Vec<usize> = (0..regions.len()).step_by(2).collect();
+        let odds: Vec<usize> = (1..regions.len()).step_by(2).collect();
+        let mut tagged: Vec<(usize, RcjPair)> = Vec::new();
+        let mut stats = rcj_join_leaves_into(&tq, &tp, &odds, &opts, &mut tagged);
+        stats.merge(rcj_join_leaves_into(&tq, &tp, &evens, &opts, &mut tagged));
+        // Ordering by the global leaf index reproduces the sequential
+        // output byte for byte, and the stats merge to its totals.
+        tagged.sort_by_key(|(leaf, _)| *leaf);
+        let merged: Vec<RcjPair> = tagged.into_iter().map(|(_, pr)| pr).collect();
+        assert_eq!(merged, full.pairs);
+        assert_eq!(stats, full.stats);
+        // Out-of-range positions are ignored, not a panic.
+        let mut none: Vec<(usize, RcjPair)> = Vec::new();
+        let s = rcj_join_leaves_into(&tq, &tp, &[regions.len() + 7], &opts, &mut none);
+        assert!(none.is_empty());
+        assert_eq!(s, RcjStats::default());
+    }
+
+    #[test]
+    fn self_join_leaf_subsets_partition_too() {
+        let its = items(&lcg_points(220, 71, 900.0), 0);
+        let pg = pager();
+        let tree = bulk_load(pg.clone(), its);
+        let opts = RcjOptions::default().with_executor(Executor::Sequential);
+        let full = rcj_self_join(&tree, &opts);
+        let n = leaf_regions(&tree).len();
+        let mut tagged: Vec<(usize, RcjPair)> = Vec::new();
+        let mut stats = RcjStats::default();
+        for start in 0..3usize {
+            let subset: Vec<usize> = (start..n).step_by(3).collect();
+            stats.merge(rcj_self_join_leaves_into(
+                &tree,
+                &subset,
+                &opts,
+                &mut tagged,
+            ));
+        }
+        tagged.sort_by_key(|(leaf, _)| *leaf);
+        let merged: Vec<RcjPair> = tagged.into_iter().map(|(_, pr)| pr).collect();
+        assert_eq!(merged, full.pairs);
+        assert_eq!(stats, full.stats);
     }
 
     #[test]

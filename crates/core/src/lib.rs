@@ -137,13 +137,13 @@ pub use executor::Executor;
 pub use filter::{bulk_filter, bulk_filter_with, filter, filter_with, BulkFilterResult};
 pub use index::{IndexEntry, IndexProbe, NodeRef, QuadTreeProbe, RTreeProbe, RcjIndex};
 pub use join::{
-    rcj_join, rcj_join_into, rcj_self_join, rcj_self_join_into, OuterOrder, RcjAlgorithm,
-    RcjOptions, RcjOutput,
+    leaf_regions, rcj_join, rcj_join_into, rcj_join_leaves_into, rcj_self_join, rcj_self_join_into,
+    rcj_self_join_leaves_into, OuterOrder, RcjAlgorithm, RcjOptions, RcjOutput,
 };
 pub use pair::{pair_keys, sort_by_diameter, RcjPair};
 pub use stats::RcjStats;
 pub use stream::{
-    rcj_self_stream, rcj_self_stream_by_diameter, rcj_stream, rcj_stream_by_diameter, PairSink,
-    RcjStream,
+    rcj_self_stream, rcj_self_stream_by_diameter, rcj_self_stream_by_diameter_in, rcj_stream,
+    rcj_stream_by_diameter, rcj_stream_by_diameter_in, PairSink, RcjStream, TaggedPairSink,
 };
 pub use verify::{verify, verify_with};

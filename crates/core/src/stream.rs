@@ -65,6 +65,29 @@ impl PairSink for Vec<RcjPair> {
     }
 }
 
+/// Receiver of RCJ result pairs tagged with the **global outer-leaf
+/// index** that produced them.
+///
+/// The tag is what makes distributed execution mergeable: a shard
+/// router runs [`rcj_join_leaves_into`](crate::rcj_join_leaves_into)
+/// over disjoint leaf subsets and orders the union of tagged pairs by
+/// leaf index, reproducing the single-engine output byte for byte (the
+/// router adds its own shard id as provenance). Returning `false` asks
+/// the driver to stop early, as with [`PairSink`].
+pub trait TaggedPairSink {
+    /// Receives one result pair produced by outer leaf group `leaf`;
+    /// returns `false` to stop the run.
+    fn push(&mut self, leaf: usize, pair: RcjPair) -> bool;
+}
+
+/// The materialising tagged sink: collects `(leaf, pair)`, never stops.
+impl TaggedPairSink for Vec<(usize, RcjPair)> {
+    fn push(&mut self, leaf: usize, pair: RcjPair) -> bool {
+        self.push((leaf, pair));
+        true
+    }
+}
+
 /// Internal supplier of pair batches (one outer leaf group, one wave of
 /// leaf groups, or one diameter-ordered candidate per call).
 trait BatchSource {
@@ -349,13 +372,32 @@ impl CpRef {
     }
 }
 
-/// Heap element: a pair of targets ordered by ascending mindist (then
-/// insertion sequence, for determinism among ties).
+/// Heap element: a pair of targets ordered by ascending mindist; ties
+/// order node expansions first, then item pairs by ascending pair key
+/// (see [`CpElem::rank`]), then insertion sequence.
 struct CpElem {
     key: f64,
     seq: u64,
     a: CpRef,
     b: CpRef,
+}
+
+impl CpElem {
+    /// Tie rank among elements at the same distance key: elements still
+    /// containing a node come first (a node at mindist `d` may hide a
+    /// pair of diameter exactly `d` with a smaller key, so it must be
+    /// expanded before any tied pair is emitted), then item-item pairs
+    /// in ascending pair key. This makes the emission order of
+    /// equal-diameter pairs **canonical** — independent of traversal
+    /// history — which is what lets a sharded k-bounded merge keyed on
+    /// `(diameter, pair key)` reproduce the single-engine stream byte
+    /// for byte even through exact ties (duplicate coordinates).
+    fn rank(&self) -> (u8, (u64, u64)) {
+        match (&self.a, &self.b) {
+            (CpRef::Item(p), CpRef::Item(q)) => (1, (p.id, q.id)),
+            _ => (0, (0, 0)),
+        }
+    }
 }
 
 impl PartialEq for CpElem {
@@ -371,9 +413,12 @@ impl PartialOrd for CpElem {
 }
 impl Ord for CpElem {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed comparisons: BinaryHeap is a max-heap, and the
+        // traversal needs the smallest (key, rank, seq) on top.
         other
             .key
             .total_cmp(&self.key)
+            .then_with(|| other.rank().cmp(&self.rank()))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -394,6 +439,11 @@ struct DiameterSource<PQ: IndexProbe, PP: IndexProbe> {
     self_join: bool,
     verify: bool,
     face_rule: bool,
+    /// Restriction of the `Q` side to one shard's cell: only pairs whose
+    /// `q` lies in the region (half-open membership, so adjacent cells
+    /// partition boundary points) are emitted, and `q`-subtrees disjoint
+    /// from the region are never expanded. `None` = unrestricted.
+    q_region: Option<Rect>,
 }
 
 impl<PQ: IndexProbe, PP: IndexProbe> DiameterSource<PQ, PP> {
@@ -403,6 +453,7 @@ impl<PQ: IndexProbe, PP: IndexProbe> DiameterSource<PQ, PP> {
         pager_q: SharedPager,
         pager_p: SharedPager,
         self_join: bool,
+        q_region: Option<Rect>,
         opts: &RcjOptions,
     ) -> Self {
         let mut src = DiameterSource {
@@ -415,12 +466,29 @@ impl<PQ: IndexProbe, PP: IndexProbe> DiameterSource<PQ, PP> {
             self_join,
             verify: !opts.skip_verification,
             face_rule: !opts.no_face_rule,
+            q_region,
         };
         src.push(CpRef::Node(probe_p.root()), CpRef::Node(probe_q.root()));
         src
     }
 
+    /// May the `Q`-side target `b` still produce an in-region `q`?
+    /// Nodes use a (conservative, closed) intersection test; items use
+    /// the exact half-open membership.
+    fn q_side_admissible(&self, b: &CpRef) -> bool {
+        match (self.q_region, b) {
+            (None, _) => true,
+            (Some(region), CpRef::Node(n)) => n.region.intersects(region),
+            (Some(region), CpRef::Item(it)) => region.contains_point_half_open(it.point),
+        }
+    }
+
     fn push(&mut self, a: CpRef, b: CpRef) {
+        if !self.q_side_admissible(&b) {
+            // Outside this shard's cell: the subtree (or point) cannot
+            // contribute an owned pair, so it never enters the heap.
+            return;
+        }
         let key = match (&a, &b) {
             (CpRef::Item(p), CpRef::Item(q)) => p.point.dist_sq(q.point),
             _ => a.rect().mindist_rect_sq(b.rect()),
@@ -595,6 +663,33 @@ pub fn rcj_stream_by_diameter<IQ: RcjIndex, IP: RcjIndex>(
         tq.pager(),
         tp.pager(),
         false,
+        None,
+        opts,
+    )))
+}
+
+/// [`rcj_stream_by_diameter`] restricted to one shard's cell: only
+/// pairs whose `q` lies in `q_region` (half-open membership:
+/// min-inclusive, max-exclusive) are emitted, and `Q`-subtrees disjoint
+/// from the region are never expanded.
+///
+/// Running this stream per cell of a space partition yields **disjoint**
+/// sub-streams whose union is exactly the unrestricted stream — so a
+/// shard router can merge per-shard diameter-ordered streams with a
+/// k-bounded heap and keep the top-k early exit across shards.
+pub fn rcj_stream_by_diameter_in<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    q_region: Rect,
+    opts: &RcjOptions,
+) -> RcjStream {
+    RcjStream::new(Box::new(DiameterSource::new(
+        tq.probe(),
+        tp.probe(),
+        tq.pager(),
+        tp.pager(),
+        false,
+        Some(q_region),
         opts,
     )))
 }
@@ -608,6 +703,28 @@ pub fn rcj_self_stream_by_diameter<I: RcjIndex>(tree: &I, opts: &RcjOptions) -> 
         tree.pager(),
         tree.pager(),
         true,
+        None,
+        opts,
+    )))
+}
+
+/// [`rcj_self_stream_by_diameter`] restricted to one shard's cell: a
+/// pair `{i, j}` (reported `p.id < q.id`) is owned by the cell that
+/// contains its **larger-id** endpoint, so per-cell streams partition
+/// the self-join result exactly as the bichromatic variant does. See
+/// [`rcj_stream_by_diameter_in`].
+pub fn rcj_self_stream_by_diameter_in<I: RcjIndex>(
+    tree: &I,
+    q_region: Rect,
+    opts: &RcjOptions,
+) -> RcjStream {
+    RcjStream::new(Box::new(DiameterSource::new(
+        tree.probe(),
+        tree.probe(),
+        tree.pager(),
+        tree.pager(),
+        true,
+        Some(q_region),
         opts,
     )))
 }
@@ -735,6 +852,48 @@ mod tests {
         }
         let full = rcj_self_join(&tree, &opts);
         assert_eq!(pair_keys(&all), pair_keys(&full.pairs));
+    }
+
+    #[test]
+    fn region_restricted_diameter_streams_partition_the_result() {
+        let pg = pager();
+        let tp = bulk_load(pg.clone(), items(200, 51, 1000.0));
+        let tq = bulk_load(pg.clone(), items(200, 53, 1000.0));
+        let opts = RcjOptions::default();
+        let all: Vec<RcjPair> = rcj_stream_by_diameter(&tq, &tp, &opts).collect();
+        // Two half-open cells split at x = 500: every q belongs to
+        // exactly one, so the union of the restricted streams is the
+        // unrestricted stream.
+        let inf = f64::INFINITY;
+        let left = Rect::new(ringjoin_geom::pt(-inf, -inf), ringjoin_geom::pt(500.0, inf));
+        let right = Rect::new(ringjoin_geom::pt(500.0, -inf), ringjoin_geom::pt(inf, inf));
+        let mut union: Vec<RcjPair> = Vec::new();
+        for cell in [left, right] {
+            let part: Vec<RcjPair> = rcj_stream_by_diameter_in(&tq, &tp, cell, &opts).collect();
+            for w in part.windows(2) {
+                assert!(w[0].diameter() <= w[1].diameter());
+            }
+            for pr in &part {
+                assert!(cell.contains_point_half_open(pr.q.point));
+            }
+            union.extend(part);
+        }
+        assert_eq!(pair_keys(&union), pair_keys(&all));
+
+        // Self-join: ownership is by the larger-id endpoint (reported as
+        // the pair's q side), partitioning the result the same way.
+        let tree = bulk_load(pg.clone(), items(180, 57, 800.0));
+        let self_all: Vec<RcjPair> = rcj_self_stream_by_diameter(&tree, &opts).collect();
+        let mut self_union: Vec<RcjPair> = Vec::new();
+        for cell in [left, right] {
+            let part: Vec<RcjPair> = rcj_self_stream_by_diameter_in(&tree, cell, &opts).collect();
+            for pr in &part {
+                assert!(pr.p.id < pr.q.id);
+                assert!(cell.contains_point_half_open(pr.q.point));
+            }
+            self_union.extend(part);
+        }
+        assert_eq!(pair_keys(&self_union), pair_keys(&self_all));
     }
 
     #[test]

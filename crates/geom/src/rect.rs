@@ -147,6 +147,36 @@ impl Rect {
         self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
     }
 
+    /// Half-open membership: min-inclusive, max-exclusive
+    /// (`min <= p < max` per axis).
+    ///
+    /// With this convention, rectangles sharing an edge *partition* the
+    /// points along it instead of both claiming them — which is what
+    /// space-partitioned sharding needs to route every point to exactly
+    /// one cell. Cells extending to `+∞` accept everything on that side.
+    #[inline]
+    pub fn contains_point_half_open(&self, p: Point) -> bool {
+        self.min.x <= p.x && p.x < self.max.x && self.min.y <= p.y && p.y < self.max.y
+    }
+
+    /// The rectangle grown by `margin` on every side (the *ring-expanded*
+    /// bounds of a region query: a ring of diameter at most `d` that
+    /// intersects `B` lies entirely within `B.inflate(d)`).
+    ///
+    /// `margin` must be non-negative; the empty rectangle stays empty
+    /// rather than inverting into a spurious region.
+    #[inline]
+    pub fn inflate(&self, margin: f64) -> Rect {
+        debug_assert!(margin >= 0.0, "inflate takes a non-negative margin");
+        if self.is_empty() {
+            return *self;
+        }
+        Rect {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
     /// `true` if `other` lies entirely inside `self` (boundaries allowed).
     #[inline]
     pub fn contains_rect(&self, other: Rect) -> bool {
@@ -342,6 +372,31 @@ mod tests {
         // Degenerate (point) rectangle agrees with point mindist.
         let p = pt(7.0, 8.0);
         assert_eq!(a.mindist_rect_sq(Rect::from_point(p)), a.mindist_sq(p));
+    }
+
+    #[test]
+    fn half_open_membership_partitions_shared_edges() {
+        let left = r(0.0, 0.0, 2.0, 4.0);
+        let right = r(2.0, 0.0, 4.0, 4.0);
+        // A point on the shared edge belongs to exactly one cell.
+        let p = pt(2.0, 1.0);
+        assert!(!left.contains_point_half_open(p));
+        assert!(right.contains_point_half_open(p));
+        assert!(left.contains_point(p) && right.contains_point(p)); // closed: both
+        assert!(left.contains_point_half_open(pt(0.0, 0.0))); // min-inclusive
+        assert!(!left.contains_point_half_open(pt(1.0, 4.0))); // max-exclusive
+                                                               // Infinite max edges accept everything on that side.
+        let open = Rect::new(pt(2.0, 0.0), pt(f64::INFINITY, f64::INFINITY));
+        assert!(open.contains_point_half_open(pt(1e300, 1e300)));
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let a = r(1.0, 2.0, 3.0, 5.0);
+        assert_eq!(a.inflate(2.0), r(-1.0, 0.0, 5.0, 7.0));
+        assert_eq!(a.inflate(0.0), a);
+        // Empty stays empty instead of inverting into a region.
+        assert!(Rect::empty().inflate(10.0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! The blocking client of the wire protocol: one TCP connection, one
+//! in-flight request at a time.
+
+use crate::proto::{parse_pairs, read_frame, write_frame, Reply, Request};
+use crate::sharded::RingBounds;
+use crate::ServerError;
+use ringjoin_core::{IndexKind, RcjAlgorithm, RcjPair, RcjStats};
+use ringjoin_geom::Item;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking wire-protocol client. Every method sends one request
+/// frame and waits for the matching response; `ERR` responses surface
+/// as [`ServerError::Remote`].
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A join-shaped answer as received over the wire: the pairs (exactly
+/// the server's merge order, coordinates bit-exact) plus the counters
+/// the server reported on the status line.
+#[derive(Clone, Debug)]
+pub struct RemoteOutput {
+    /// Result pairs in the server's deterministic merge order.
+    pub pairs: Vec<RcjPair>,
+    /// Counters parsed from the status line (fields the server did not
+    /// send stay zero).
+    pub stats: RcjStats,
+    /// How many shards the server queried for this request.
+    pub shards_queried: usize,
+}
+
+fn field_u64(reply: &Reply, key: &str) -> u64 {
+    reply
+        .field(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_default()
+}
+
+impl Client {
+    /// Connects to a server (e.g. `"127.0.0.1:4815"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServerError::Io(format!("cannot connect: {e}")))?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and parses the response.
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ServerError> {
+        write_frame(&mut self.stream, req.encode().as_bytes())
+            .map_err(|e| ServerError::Io(format!("send failed: {e}")))?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(|e| ServerError::Io(format!("receive failed: {e}")))?
+            .ok_or_else(|| ServerError::Io("server closed the connection".into()))?;
+        Reply::parse(&payload)
+    }
+
+    /// Registers a dataset on the server (every shard builds the chosen
+    /// index over it). Errors if the name is already loaded.
+    pub fn load(
+        &mut self,
+        name: &str,
+        kind: IndexKind,
+        items: &[Item],
+    ) -> Result<Reply, ServerError> {
+        self.request(&Request::Load {
+            name: name.to_string(),
+            kind,
+            items: items.to_vec(),
+        })
+    }
+
+    fn join_shaped(&mut self, req: &Request) -> Result<RemoteOutput, ServerError> {
+        let reply = self.request(req)?;
+        let pairs = parse_pairs(&reply.body)?;
+        let stats = RcjStats {
+            candidate_pairs: field_u64(&reply, "candidates"),
+            result_pairs: field_u64(&reply, "result_pairs"),
+            filter_heap_pops: 0,
+            filter_node_reads: field_u64(&reply, "filter_node_reads"),
+            verify_node_visits: field_u64(&reply, "verify_node_visits"),
+        };
+        Ok(RemoteOutput {
+            pairs,
+            stats,
+            shards_queried: field_u64(&reply, "shards_queried") as usize,
+        })
+    }
+
+    /// Runs a bichromatic join; the answer is byte-identical to a local
+    /// single-engine run over the same data.
+    pub fn join(
+        &mut self,
+        outer: &str,
+        inner: &str,
+        algo: RcjAlgorithm,
+        bounds: Option<RingBounds>,
+    ) -> Result<RemoteOutput, ServerError> {
+        self.join_shaped(&Request::Join {
+            outer: outer.to_string(),
+            inner: inner.to_string(),
+            algo,
+            bounds,
+        })
+    }
+
+    /// Runs a self-join; see [`Client::join`].
+    pub fn self_join(
+        &mut self,
+        dataset: &str,
+        algo: RcjAlgorithm,
+        bounds: Option<RingBounds>,
+    ) -> Result<RemoteOutput, ServerError> {
+        self.join_shaped(&Request::SelfJoin {
+            dataset: dataset.to_string(),
+            algo,
+            bounds,
+        })
+    }
+
+    /// The `k` most compact pairs in ascending ring diameter.
+    pub fn top_k(
+        &mut self,
+        outer: &str,
+        inner: &str,
+        k: usize,
+    ) -> Result<RemoteOutput, ServerError> {
+        self.join_shaped(&Request::TopK {
+            outer: outer.to_string(),
+            inner: inner.to_string(),
+            k,
+        })
+    }
+
+    /// The server's resolved plan plus sharding postscript.
+    pub fn explain(
+        &mut self,
+        outer: &str,
+        inner: Option<&str>,
+        algo: RcjAlgorithm,
+        k: Option<usize>,
+    ) -> Result<String, ServerError> {
+        let reply = self.request(&Request::Explain {
+            outer: outer.to_string(),
+            inner: inner.map(str::to_string),
+            algo,
+            k,
+        })?;
+        Ok(reply.body)
+    }
+
+    /// The server's catalog and request counters, as human-readable
+    /// text (status-line fields first, then the body lines).
+    pub fn stats(&mut self) -> Result<String, ServerError> {
+        let reply = self.request(&Request::Stats)?;
+        let mut out = String::new();
+        for (k, v) in &reply.fields {
+            out.push_str(&format!("{k} {v}\n"));
+        }
+        out.push_str(&reply.body);
+        Ok(out)
+    }
+
+    /// Asks the server to stop after acknowledging.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}

@@ -1,0 +1,106 @@
+//! Sharded serving for the ring-constrained join: per-shard
+//! [`Engine`](ringjoin_core::Engine)s behind a space partition and a
+//! small length-prefixed TCP wire protocol.
+//!
+//! The layers, bottom up:
+//!
+//! * [`SpacePartition`] — a longest-axis median split of the plane into
+//!   `n` disjoint half-open cells, balanced by the dataset's points;
+//!   [`SpacePartition::locate`] is total, so every leaf group and every
+//!   point is owned by exactly one shard.
+//! * [`ShardedEngine`] — `n` long-lived shard workers, each owning a
+//!   full [`Engine`](ringjoin_core::Engine) replica (the ring
+//!   constraint is *global*, so verification needs the whole index —
+//!   shards partition the **work**, not the data) and one cell of the
+//!   partition. Join output is byte-identical to a single engine: pairs
+//!   merge by global outer-leaf index, top-k merges the per-shard
+//!   diameter-ordered streams with a k-bounded heap, and per-shard
+//!   [`RcjStats`](ringjoin_core::RcjStats) merge to the sequential
+//!   totals.
+//! * [`proto`] — the frame format (`u32` big-endian length + UTF-8
+//!   payload) and the request/response grammar (`LOAD`, `JOIN`,
+//!   `SELFJOIN`, `TOPK`, `EXPLAIN`, `STATS`, `SHUTDOWN`).
+//! * [`Server`] / [`Client`] — the blocking TCP endpoints: process
+//!   lifetime on one side, a one-connection session on the other.
+//!
+//! ```no_run
+//! use ringjoin_server::{Client, Server, ServerConfig};
+//! use ringjoin_core::{IndexKind, RcjAlgorithm};
+//! # fn items() -> Vec<ringjoin_geom::Item> { Vec::new() }
+//!
+//! let server = Server::bind(&ServerConfig { addr: "127.0.0.1:0".into(), shards: 4 })?;
+//! let addr = server.local_addr();
+//! std::thread::spawn(move || server.serve());
+//!
+//! let mut client = Client::connect(addr)?;
+//! client.load("shops", IndexKind::Rtree, &items())?;
+//! client.load("homes", IndexKind::Rtree, &items())?;
+//! let out = client.join("homes", "shops", RcjAlgorithm::Auto, None)?;
+//! println!("{} fair middleman locations from {} shard(s)", out.pairs.len(), out.shards_queried);
+//! client.shutdown()?;
+//! # Ok::<(), ringjoin_server::ServerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod partition;
+pub mod proto;
+mod server;
+mod sharded;
+
+pub use client::{Client, RemoteOutput};
+pub use partition::SpacePartition;
+pub use server::{Server, ServerConfig};
+pub use sharded::{DatasetInfo, RingBounds, ShardedEngine, ShardedOutput};
+
+use std::fmt;
+
+/// Everything that can go wrong serving a request — always reported to
+/// the client as an `ERR` frame, never a panic of the serving process.
+#[derive(Clone, Debug)]
+pub enum ServerError {
+    /// A shard *count* must be at least 1 (mirrors the `--threads 0`
+    /// validation of the executor and CLI).
+    InvalidShards,
+    /// `LOAD` named a dataset that is already registered; a serving
+    /// process refuses to swap data under a running client.
+    DuplicateDataset(String),
+    /// A query referenced a dataset never loaded.
+    UnknownDataset(String),
+    /// Malformed request line, option, or parameter.
+    BadRequest(String),
+    /// A shard worker died (its thread is gone).
+    ShardGone(usize),
+    /// A shard-side failure (plan error surfaced by a worker).
+    Internal(String),
+    /// Socket-level failure.
+    Io(String),
+    /// The server answered `ERR` (client side).
+    Remote(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::InvalidShards => {
+                write!(f, "shard count must be at least 1 (got 0)")
+            }
+            ServerError::DuplicateDataset(name) => write!(
+                f,
+                "dataset {name:?} is already loaded (pick a new name; serving never replaces data in place)"
+            ),
+            ServerError::UnknownDataset(name) => {
+                write!(f, "unknown dataset {name:?} (LOAD it first)")
+            }
+            ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServerError::ShardGone(i) => write!(f, "shard worker {i} is gone"),
+            ServerError::Internal(msg) => write!(f, "shard error: {msg}"),
+            ServerError::Io(msg) => write!(f, "io error: {msg}"),
+            ServerError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}

@@ -1,0 +1,278 @@
+//! The space partition shard routing is built on: a longest-axis
+//! median split (a k-d-style split tree) dividing the plane into `n`
+//! disjoint **half-open** cells balanced by point count.
+//!
+//! Cells are half-open (min-inclusive, max-exclusive per axis) and the
+//! outermost cells extend to infinity, so [`SpacePartition::locate`] is
+//! a *total* function: every point of the plane belongs to exactly one
+//! cell. That totality is what makes sharded execution lossless — each
+//! outer leaf group (by its region center) and each top-k `q` point (by
+//! its location) is owned by exactly one shard, whatever the data does
+//! at cell boundaries (duplicates, points exactly on a split line).
+
+use ringjoin_geom::{Point, Rect};
+
+/// One interior split or a terminal cell of the split tree.
+enum SplitNode {
+    /// Terminal: the cell id.
+    Cell(usize),
+    /// Interior: points with `coord(axis) < at` go left, the rest right.
+    Split {
+        axis: usize,
+        at: f64,
+        left: Box<SplitNode>,
+        right: Box<SplitNode>,
+    },
+}
+
+/// A longest-axis median-split partition of the plane into `n` disjoint
+/// half-open cells, balanced by the point multiset it was built from.
+pub struct SpacePartition {
+    root: SplitNode,
+    cells: Vec<Rect>,
+}
+
+fn coord(p: Point, axis: usize) -> f64 {
+    if axis == 0 {
+        p.x
+    } else {
+        p.y
+    }
+}
+
+/// The whole plane as a (half-open) rectangle.
+fn plane() -> Rect {
+    Rect::new(
+        Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        Point::new(f64::INFINITY, f64::INFINITY),
+    )
+}
+
+impl SpacePartition {
+    /// Builds a partition of the plane into `cells >= 1` half-open cells
+    /// from the point multiset, splitting each region at the weighted
+    /// median of its longest axis so cell populations stay proportional
+    /// to the cell counts they subdivide into.
+    ///
+    /// Deterministic in the multiset of points (input order is
+    /// irrelevant). Degenerate inputs — empty, or all points identical —
+    /// still produce `cells` total cells; the surplus ones are simply
+    /// empty of data.
+    ///
+    /// # Panics
+    /// Panics if `cells == 0` (a shard *count* must be at least one —
+    /// callers validate user input before building).
+    pub fn build(points: &[Point], cells: usize) -> SpacePartition {
+        assert!(cells >= 1, "a space partition needs at least one cell");
+        let mut pts: Vec<Point> = points.to_vec();
+        let mut out = SpacePartition {
+            root: SplitNode::Cell(0),
+            cells: vec![Rect::empty(); cells],
+        };
+        let mut next_id = 0;
+        out.root = split(&mut pts, cells, plane(), &mut next_id, &mut out.cells);
+        debug_assert_eq!(next_id, cells);
+        out
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `false` — a partition always has at least one cell (paired with
+    /// [`SpacePartition::len`] for the usual container idiom).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The half-open region of cell `i`; outermost cells extend to
+    /// infinity.
+    pub fn cell(&self, i: usize) -> Rect {
+        self.cells[i]
+    }
+
+    /// The unique cell containing `p` (half-open membership: a point
+    /// exactly on a split line belongs to the right/upper side).
+    pub fn locate(&self, p: Point) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                SplitNode::Cell(id) => return *id,
+                SplitNode::Split {
+                    axis,
+                    at,
+                    left,
+                    right,
+                } => {
+                    node = if coord(p, *axis) < *at { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+/// Recursive splitter: carves `region` into `cells` half-open cells over
+/// the points currently inside it, registering each terminal cell's
+/// region under the next id.
+fn split(
+    points: &mut [Point],
+    cells: usize,
+    region: Rect,
+    next_id: &mut usize,
+    out: &mut [Rect],
+) -> SplitNode {
+    if cells == 1 {
+        let id = *next_id;
+        *next_id += 1;
+        out[id] = region;
+        return SplitNode::Cell(id);
+    }
+    let left_cells = cells / 2;
+    let right_cells = cells - left_cells;
+
+    // Longest axis of the *data* extent (ties and empty slices fall back
+    // to x), split at the coordinate that puts ~left_cells/cells of the
+    // points strictly below it.
+    let bbox = Rect::from_points(points.iter().copied());
+    let axis = match bbox {
+        Some(b) if (b.max.y - b.min.y) > (b.max.x - b.min.x) => 1,
+        _ => 0,
+    };
+    points.sort_by(|a, b| coord(*a, axis).total_cmp(&coord(*b, axis)));
+    let at = if points.is_empty() {
+        // No data to balance: split the (possibly infinite) region at a
+        // deterministic finite coordinate.
+        let lo = coord(region.min, axis);
+        let hi = coord(region.max, axis);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => (lo + hi) / 2.0,
+            (true, false) => lo + 1.0,
+            (false, true) => hi - 1.0,
+            (false, false) => 0.0,
+        }
+    } else {
+        let target = (points.len() * left_cells / cells).min(points.len() - 1);
+        coord(points[target], axis)
+    };
+    // Half-open split: strictly-below goes left, `>= at` goes right (all
+    // duplicates of the median coordinate land on one side, keeping the
+    // predicate and the cell geometry in exact agreement).
+    let cut = points.partition_point(|p| coord(*p, axis) < at);
+    let (lo_pts, hi_pts) = points.split_at_mut(cut);
+
+    let mut left_region = region;
+    let mut right_region = region;
+    if axis == 0 {
+        left_region.max.x = at;
+        right_region.min.x = at;
+    } else {
+        left_region.max.y = at;
+        right_region.min.y = at;
+    }
+    let left = Box::new(split(lo_pts, left_cells, left_region, next_id, out));
+    let right = Box::new(split(hi_pts, right_cells, right_region, next_id, out));
+    SplitNode::Split {
+        axis,
+        at,
+        left,
+        right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_geom::pt;
+
+    fn points(n: usize, seed: u64) -> Vec<Point> {
+        ringjoin_testsupport::lcg_points(n, seed, 1000.0)
+            .into_iter()
+            .map(|(x, y)| pt(x, y))
+            .collect()
+    }
+
+    #[test]
+    fn locate_is_total_and_agrees_with_cell_geometry() {
+        let pts = points(500, 11);
+        for cells in [1, 2, 3, 4, 7, 8] {
+            let part = SpacePartition::build(&pts, cells);
+            assert_eq!(part.len(), cells);
+            assert!(!part.is_empty());
+            for p in &pts {
+                let id = part.locate(*p);
+                assert!(id < cells);
+                // Exactly one cell claims the point, and it is locate's.
+                let owners: Vec<usize> = (0..cells)
+                    .filter(|&i| part.cell(i).contains_point_half_open(*p))
+                    .collect();
+                assert_eq!(owners, vec![id], "cells={cells} point {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn populations_are_balanced() {
+        let pts = points(1000, 13);
+        for cells in [2, 4, 8] {
+            let part = SpacePartition::build(&pts, cells);
+            let mut counts = vec![0usize; cells];
+            for p in &pts {
+                counts[part.locate(*p)] += 1;
+            }
+            let expect = pts.len() / cells;
+            for (i, c) in counts.iter().enumerate() {
+                assert!(
+                    *c >= expect / 2 && *c <= expect * 2,
+                    "cell {i} holds {c} of {} points across {cells} cells",
+                    pts.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_belong_to_exactly_one_cell() {
+        // Many duplicates exactly at the median: the split predicate and
+        // the half-open cells must agree on where they live.
+        let mut pts = vec![pt(5.0, 5.0); 50];
+        pts.extend((0..50).map(|i| pt(i as f64 / 10.0, 5.0)));
+        for cells in [2, 3, 4] {
+            let part = SpacePartition::build(&pts, cells);
+            for p in &pts {
+                let owners = (0..cells)
+                    .filter(|&i| part.cell(i).contains_point_half_open(*p))
+                    .count();
+                assert_eq!(owners, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_still_produce_total_partitions() {
+        // Empty input: every cell exists, locate is total.
+        let part = SpacePartition::build(&[], 4);
+        assert_eq!(part.len(), 4);
+        let id = part.locate(pt(123.0, -456.0));
+        assert!(id < 4);
+        // All-identical input: duplicates land in one cell together.
+        let same = vec![pt(7.0, 7.0); 40];
+        let part = SpacePartition::build(&same, 4);
+        let owner = part.locate(pt(7.0, 7.0));
+        assert!(same.iter().all(|p| part.locate(*p) == owner));
+    }
+
+    #[test]
+    fn deterministic_in_the_multiset_not_the_order() {
+        let mut a = points(300, 17);
+        let part1 = SpacePartition::build(&a, 4);
+        a.reverse();
+        let part2 = SpacePartition::build(&a, 4);
+        for p in &a {
+            assert_eq!(part1.locate(*p), part2.locate(*p));
+        }
+        for i in 0..4 {
+            assert_eq!(part1.cell(i), part2.cell(i));
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The wire protocol: length-prefixed UTF-8 frames over TCP.
+//!
+//! Every message — request or response — is one **frame**: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 text.
+//! A request payload is a command line (plus, for `LOAD`, a body of data
+//! rows); a response payload is a status line (`OK key=value ...` or
+//! `ERR message`) plus an optional body. One request yields exactly one
+//! response; requests are served in order on a connection.
+//!
+//! | request | body | response body |
+//! |---|---|---|
+//! | `LOAD <name> <rtree\|quadtree>` | `id x y` rows | — |
+//! | `JOIN <outer> <inner> [algo=..] [bounds=x0,y0,x1,y1 maxd=D]` | — | pair rows |
+//! | `SELFJOIN <dataset> [algo=..] [bounds=.. maxd=..]` | — | pair rows |
+//! | `TOPK <outer> <inner> <k>` | — | pair rows |
+//! | `EXPLAIN <outer> [<inner>] [algo=..] [k=K]` | — | plan text |
+//! | `STATS` | — | catalog text |
+//! | `SHUTDOWN` | — | — |
+//!
+//! Pair rows are `p_id p_x p_y q_id q_x q_y` (floats in Rust's
+//! shortest-round-trip `Display` form, so coordinates survive the wire
+//! bit-exactly and a client can re-derive centers and radii without
+//! loss). Numbers in command lines use the same convention.
+
+use crate::sharded::RingBounds;
+use crate::ServerError;
+use ringjoin_core::{IndexKind, RcjAlgorithm, RcjPair};
+use ringjoin_geom::{pt, Item, Rect};
+use std::io::{Read, Write};
+
+/// Hard cap on a frame payload (64 MiB): a malformed or hostile length
+/// prefix must not make either end allocate unboundedly.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
+    })?;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean end of
+/// stream (EOF before any length byte); errors on truncated frames,
+/// oversized lengths, and non-UTF-8 payloads.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated frame length",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Register a dataset on every shard.
+    Load {
+        /// Dataset name (no whitespace).
+        name: String,
+        /// Index kind to build.
+        kind: IndexKind,
+        /// The points.
+        items: Vec<Item>,
+    },
+    /// Bichromatic join (`outer` drives, `inner` is probed).
+    Join {
+        /// Outer dataset name.
+        outer: String,
+        /// Inner dataset name.
+        inner: String,
+        /// Algorithm (default `Auto`).
+        algo: RcjAlgorithm,
+        /// Optional region-of-interest restriction.
+        bounds: Option<RingBounds>,
+    },
+    /// Self-join of one dataset.
+    SelfJoin {
+        /// The dataset.
+        dataset: String,
+        /// Algorithm (default `Auto`).
+        algo: RcjAlgorithm,
+        /// Optional region-of-interest restriction.
+        bounds: Option<RingBounds>,
+    },
+    /// The `k` most compact pairs, ascending ring diameter.
+    TopK {
+        /// Outer dataset name.
+        outer: String,
+        /// Inner dataset name.
+        inner: String,
+        /// How many pairs.
+        k: usize,
+    },
+    /// Print the resolved plan plus the sharding postscript.
+    Explain {
+        /// Outer dataset name.
+        outer: String,
+        /// Inner dataset (`None` = self-join explain).
+        inner: Option<String>,
+        /// Algorithm (default `Auto`).
+        algo: RcjAlgorithm,
+        /// Optional top-k bound.
+        k: Option<usize>,
+    },
+    /// Server catalog and counters.
+    Stats,
+    /// Stop the server after acknowledging.
+    Shutdown,
+}
+
+/// Validates a dataset name for the wire: non-empty, no whitespace or
+/// control characters (names are whitespace-delimited on the wire).
+pub fn validate_name(name: &str) -> Result<(), ServerError> {
+    if name.is_empty() {
+        return Err(ServerError::BadRequest("empty dataset name".into()));
+    }
+    if name.chars().any(|c| c.is_whitespace() || c.is_control()) {
+        return Err(ServerError::BadRequest(format!(
+            "dataset name {name:?} contains whitespace or control characters"
+        )));
+    }
+    Ok(())
+}
+
+fn kind_name(kind: IndexKind) -> &'static str {
+    kind.name()
+}
+
+fn parse_kind(s: &str) -> Result<IndexKind, ServerError> {
+    match s {
+        "rtree" => Ok(IndexKind::Rtree),
+        "quadtree" => Ok(IndexKind::Quadtree),
+        other => Err(ServerError::BadRequest(format!(
+            "unknown index kind {other:?}"
+        ))),
+    }
+}
+
+fn algo_name(algo: RcjAlgorithm) -> String {
+    algo.name().to_lowercase()
+}
+
+fn parse_algo(s: &str) -> Result<RcjAlgorithm, ServerError> {
+    RcjAlgorithm::from_name(s)
+        .ok_or_else(|| ServerError::BadRequest(format!("unknown algorithm {s:?}")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ServerError> {
+    s.parse()
+        .map_err(|_| ServerError::BadRequest(format!("invalid {what}: {s:?}")))
+}
+
+fn encode_bounds(out: &mut String, bounds: &Option<RingBounds>) {
+    if let Some(rb) = bounds {
+        out.push_str(&format!(
+            " bounds={},{},{},{} maxd={}",
+            rb.bounds.min.x, rb.bounds.min.y, rb.bounds.max.x, rb.bounds.max.y, rb.max_diameter
+        ));
+    }
+}
+
+/// Parses `algo=`/`bounds=`/`maxd=`/`k=` options from command-line
+/// tokens; unknown options are a protocol error.
+struct Options {
+    algo: RcjAlgorithm,
+    bounds: Option<Rect>,
+    maxd: Option<f64>,
+    k: Option<usize>,
+}
+
+fn parse_options(tokens: &[&str]) -> Result<Options, ServerError> {
+    let mut opts = Options {
+        algo: RcjAlgorithm::Auto,
+        bounds: None,
+        maxd: None,
+        k: None,
+    };
+    for t in tokens {
+        let (key, value) = t.split_once('=').ok_or_else(|| {
+            ServerError::BadRequest(format!("expected key=value option, got {t:?}"))
+        })?;
+        match key {
+            "algo" => opts.algo = parse_algo(value)?,
+            "maxd" => opts.maxd = Some(parse_num(value, "maxd")?),
+            "k" => opts.k = Some(parse_num(value, "k")?),
+            "bounds" => {
+                let nums: Vec<f64> = value
+                    .split(',')
+                    .map(|v| parse_num(v, "bounds coordinate"))
+                    .collect::<Result<_, _>>()?;
+                if nums.len() != 4 {
+                    return Err(ServerError::BadRequest(
+                        "bounds needs exactly x0,y0,x1,y1".into(),
+                    ));
+                }
+                opts.bounds = Some(Rect::new(pt(nums[0], nums[1]), pt(nums[2], nums[3])));
+            }
+            other => return Err(ServerError::BadRequest(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn ring_bounds(opts: &Options) -> Result<Option<RingBounds>, ServerError> {
+    match (opts.bounds, opts.maxd) {
+        (None, None) => Ok(None),
+        (Some(bounds), Some(max_diameter)) => Ok(Some(RingBounds {
+            bounds,
+            max_diameter,
+        })),
+        _ => Err(ServerError::BadRequest(
+            "bounds= and maxd= must be given together".into(),
+        )),
+    }
+}
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Load { name, kind, items } => {
+                let mut out = format!("LOAD {name} {}\n", kind_name(*kind));
+                for it in items {
+                    out.push_str(&format!("{} {} {}\n", it.id, it.point.x, it.point.y));
+                }
+                out
+            }
+            Request::Join {
+                outer,
+                inner,
+                algo,
+                bounds,
+            } => {
+                let mut out = format!("JOIN {outer} {inner} algo={}", algo_name(*algo));
+                encode_bounds(&mut out, bounds);
+                out
+            }
+            Request::SelfJoin {
+                dataset,
+                algo,
+                bounds,
+            } => {
+                let mut out = format!("SELFJOIN {dataset} algo={}", algo_name(*algo));
+                encode_bounds(&mut out, bounds);
+                out
+            }
+            Request::TopK { outer, inner, k } => format!("TOPK {outer} {inner} {k}"),
+            Request::Explain {
+                outer,
+                inner,
+                algo,
+                k,
+            } => {
+                let mut out = format!("EXPLAIN {outer}");
+                if let Some(inner) = inner {
+                    out.push_str(&format!(" {inner}"));
+                }
+                out.push_str(&format!(" algo={}", algo_name(*algo)));
+                if let Some(k) = k {
+                    out.push_str(&format!(" k={k}"));
+                }
+                out
+            }
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+
+    /// Parses a frame payload into a request.
+    pub fn parse(payload: &str) -> Result<Request, ServerError> {
+        let (line, body) = match payload.split_once('\n') {
+            Some((line, body)) => (line, body),
+            None => (payload, ""),
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&cmd, args)) = tokens.split_first() else {
+            return Err(ServerError::BadRequest("empty request".into()));
+        };
+        match cmd {
+            "LOAD" => {
+                let [name, kind] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: LOAD <name> <rtree|quadtree>".into(),
+                    ));
+                };
+                validate_name(name)?;
+                let items = parse_item_rows(body)?;
+                Ok(Request::Load {
+                    name: name.to_string(),
+                    kind: parse_kind(kind)?,
+                    items,
+                })
+            }
+            "JOIN" => {
+                let [outer, inner, rest @ ..] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: JOIN <outer> <inner> [algo=..] [bounds=.. maxd=..]".into(),
+                    ));
+                };
+                let opts = parse_options(rest)?;
+                Ok(Request::Join {
+                    outer: outer.to_string(),
+                    inner: inner.to_string(),
+                    algo: opts.algo,
+                    bounds: ring_bounds(&opts)?,
+                })
+            }
+            "SELFJOIN" => {
+                let [dataset, rest @ ..] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: SELFJOIN <dataset> [algo=..] [bounds=.. maxd=..]".into(),
+                    ));
+                };
+                let opts = parse_options(rest)?;
+                Ok(Request::SelfJoin {
+                    dataset: dataset.to_string(),
+                    algo: opts.algo,
+                    bounds: ring_bounds(&opts)?,
+                })
+            }
+            "TOPK" => {
+                let [outer, inner, k] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: TOPK <outer> <inner> <k>".into(),
+                    ));
+                };
+                Ok(Request::TopK {
+                    outer: outer.to_string(),
+                    inner: inner.to_string(),
+                    k: parse_num(k, "k")?,
+                })
+            }
+            "EXPLAIN" => {
+                let (names, rest): (Vec<&str>, Vec<&str>) =
+                    args.iter().partition(|t| !t.contains('='));
+                let (outer, inner) = match names.as_slice() {
+                    [outer] => (outer.to_string(), None),
+                    [outer, inner] => (outer.to_string(), Some(inner.to_string())),
+                    _ => {
+                        return Err(ServerError::BadRequest(
+                            "usage: EXPLAIN <outer> [<inner>] [algo=..] [k=K]".into(),
+                        ))
+                    }
+                };
+                let opts = parse_options(&rest)?;
+                Ok(Request::Explain {
+                    outer,
+                    inner,
+                    algo: opts.algo,
+                    k: opts.k,
+                })
+            }
+            "STATS" => Ok(Request::Stats),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(ServerError::BadRequest(format!(
+                "unknown command {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parses `id x y` data rows (used by `LOAD`).
+fn parse_item_rows(body: &str) -> Result<Vec<Item>, ServerError> {
+    let mut items = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [id, x, y] = fields.as_slice() else {
+            return Err(ServerError::BadRequest(format!(
+                "expected `id x y` data row, got {line:?}"
+            )));
+        };
+        items.push(Item::new(
+            parse_num(id, "item id")?,
+            pt(parse_num(x, "x coordinate")?, parse_num(y, "y coordinate")?),
+        ));
+    }
+    Ok(items)
+}
+
+/// Encodes result pairs as wire rows (`p_id p_x p_y q_id q_x q_y`, one
+/// per line, shortest-round-trip floats).
+pub fn encode_pairs(pairs: &[RcjPair]) -> String {
+    let mut out = String::new();
+    for pr in pairs {
+        out.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            pr.p.id, pr.p.point.x, pr.p.point.y, pr.q.id, pr.q.point.x, pr.q.point.y
+        ));
+    }
+    out
+}
+
+/// Parses wire pair rows back into [`RcjPair`]s (bit-exact round trip).
+pub fn parse_pairs(body: &str) -> Result<Vec<RcjPair>, ServerError> {
+    let mut pairs = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [pid, px, py, qid, qx, qy] = fields.as_slice() else {
+            return Err(ServerError::BadRequest(format!(
+                "expected 6-field pair row, got {line:?}"
+            )));
+        };
+        pairs.push(RcjPair::new(
+            Item::new(
+                parse_num(pid, "p id")?,
+                pt(parse_num(px, "p x")?, parse_num(py, "p y")?),
+            ),
+            Item::new(
+                parse_num(qid, "q id")?,
+                pt(parse_num(qx, "q x")?, parse_num(qy, "q y")?),
+            ),
+        ));
+    }
+    Ok(pairs)
+}
+
+/// A parsed server response: the `OK` status-line fields plus the body.
+/// (`ERR` responses surface as errors before a `Reply` is built.)
+#[derive(Clone, Debug, Default)]
+pub struct Reply {
+    /// `key=value` fields of the status line, in order.
+    pub fields: Vec<(String, String)>,
+    /// Everything after the status line.
+    pub body: String,
+}
+
+impl Reply {
+    /// Builds an `OK` payload from fields and a body.
+    pub fn encode(fields: &[(&str, String)], body: &str) -> String {
+        let mut out = String::from("OK");
+        for (k, v) in fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        out.push_str(body);
+        out
+    }
+
+    /// Builds an `ERR` payload.
+    pub fn encode_err(message: &str) -> String {
+        // Keep the status machine-parsable: the message stays on one line.
+        format!("ERR {}", message.replace('\n', " "))
+    }
+
+    /// Parses a response payload; `ERR` payloads become
+    /// [`ServerError::Remote`].
+    pub fn parse(payload: &str) -> Result<Reply, ServerError> {
+        let (line, body) = match payload.split_once('\n') {
+            Some((line, body)) => (line, body),
+            None => (payload, ""),
+        };
+        if let Some(msg) = line.strip_prefix("ERR") {
+            return Err(ServerError::Remote(msg.trim().to_string()));
+        }
+        let Some(rest) = line.strip_prefix("OK") else {
+            return Err(ServerError::BadRequest(format!(
+                "malformed response status line {line:?}"
+            )));
+        };
+        let fields = rest
+            .split_whitespace()
+            .map(|t| match t.split_once('=') {
+                Some((k, v)) => Ok((k.to_string(), v.to_string())),
+                None => Err(ServerError::BadRequest(format!(
+                    "malformed response field {t:?}"
+                ))),
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Reply {
+            fields,
+            body: body.to_string(),
+        })
+    }
+
+    /// Looks up a status-line field.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        write_frame(&mut buf, "unicode ✓".as_bytes()).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "hello frame");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "unicode ✓");
+        assert!(read_frame(&mut r).unwrap().is_none()); // clean EOF
+
+        // A hostile length prefix is rejected before allocation.
+        let huge = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        let mut r = std::io::Cursor::new(huge);
+        assert!(read_frame(&mut r).is_err());
+        // Truncated payloads error rather than hang or return garbage.
+        let mut short: Vec<u8> = 10u32.to_be_bytes().to_vec();
+        short.extend_from_slice(b"abc");
+        assert!(read_frame(&mut std::io::Cursor::new(short)).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_through_encode_parse() {
+        let reqs = [
+            Request::Load {
+                name: "shops".into(),
+                kind: IndexKind::Quadtree,
+                items: vec![Item::new(7, pt(1.25, -3.5)), Item::new(9, pt(0.1, 2e-17))],
+            },
+            Request::Join {
+                outer: "q".into(),
+                inner: "p".into(),
+                algo: RcjAlgorithm::Obj,
+                bounds: None,
+            },
+            Request::SelfJoin {
+                dataset: "d".into(),
+                algo: RcjAlgorithm::Auto,
+                bounds: Some(RingBounds {
+                    bounds: Rect::new(pt(0.5, 1.5), pt(10.25, 20.75)),
+                    max_diameter: 3.375,
+                }),
+            },
+            Request::TopK {
+                outer: "q".into(),
+                inner: "p".into(),
+                k: 12,
+            },
+            Request::Explain {
+                outer: "q".into(),
+                inner: Some("p".into()),
+                algo: RcjAlgorithm::Inj,
+                k: Some(4),
+            },
+            Request::Explain {
+                outer: "d".into(),
+                inner: None,
+                algo: RcjAlgorithm::Auto,
+                k: None,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let parsed = Request::parse(&req.encode()).unwrap();
+            // RingBounds has no PartialEq; compare the re-encoding,
+            // which is injective over the request structure.
+            assert_eq!(req.encode(), parsed.encode(), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "",
+            "FROBNICATE x",
+            "LOAD",
+            "LOAD name btree",
+            "LOAD bad name rtree",
+            "JOIN onlyone",
+            "JOIN q p algo=fastest",
+            "JOIN q p bounds=1,2,3",
+            "JOIN q p bounds=1,2,3,4", // maxd missing
+            "JOIN q p maxd=5",         // bounds missing
+            "TOPK q p notanumber",
+            "EXPLAIN",
+            "EXPLAIN a b c",
+            "JOIN q p frobnicate=1",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(Request::parse("LOAD d rtree\n1 2").is_err());
+        assert!(Request::parse("LOAD d rtree\n1 x y").is_err());
+    }
+
+    #[test]
+    fn pair_rows_round_trip_bit_exactly() {
+        let pairs = vec![
+            RcjPair::new(
+                Item::new(1, pt(0.1 + 0.2, 1e300)),
+                Item::new(2, pt(-0.0, 2.5e-308)),
+            ),
+            RcjPair::new(Item::new(3, pt(7.0, 8.0)), Item::new(4, pt(9.5, 10.25))),
+        ];
+        let parsed = parse_pairs(&encode_pairs(&pairs)).unwrap();
+        assert_eq!(parsed, pairs);
+        assert!(parse_pairs("1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn replies_parse_fields_and_errors() {
+        let payload = Reply::encode(&[("pairs", "3".into()), ("shards", "2".into())], "a b\n");
+        let reply = Reply::parse(&payload).unwrap();
+        assert_eq!(reply.field("pairs"), Some("3"));
+        assert_eq!(reply.field("shards"), Some("2"));
+        assert_eq!(reply.field("missing"), None);
+        assert_eq!(reply.body, "a b\n");
+
+        let err = Reply::parse(&Reply::encode_err("it\nbroke")).unwrap_err();
+        match err {
+            ServerError::Remote(msg) => assert_eq!(msg, "it broke"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        assert!(Reply::parse("WAT 1").is_err());
+        assert!(Reply::parse("OK pairs").is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! The process-lifetime half of serving: a TCP listener translating
+//! wire-protocol frames into [`ShardedEngine`] calls.
+//!
+//! The server handles one client session at a time, requests strictly
+//! in order — concurrency lives *below* the protocol, in the per-shard
+//! worker threads a request fans out to. (Concurrent client sessions
+//! and replicated listeners are the ROADMAP's follow-on items.) A
+//! request can never take the process down: every failure — protocol,
+//! catalog, validation — is returned to the client as an `ERR` frame
+//! and the serving loop continues; only `SHUTDOWN` ends it.
+
+use crate::proto::{encode_pairs, read_frame, write_frame, Reply, Request};
+use crate::sharded::{ShardedEngine, ShardedOutput};
+use crate::ServerError;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4815` (port `0` picks an
+    /// ephemeral port — query it with [`Server::local_addr`]).
+    pub addr: String,
+    /// Number of shard engines (must be at least 1).
+    pub shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4815".to_string(),
+            shards: 1,
+        }
+    }
+}
+
+/// A bound, ready-to-serve RCJ server: the TCP listener plus the
+/// sharded engine behind it. Construct with [`Server::bind`], run with
+/// [`Server::serve`] (blocking until a `SHUTDOWN` request).
+pub struct Server {
+    listener: TcpListener,
+    engine: ShardedEngine,
+    requests: u64,
+}
+
+/// What handling one request decided: the response payload, and whether
+/// the serving loop should stop after sending it.
+struct Handled {
+    payload: String,
+    shutdown: bool,
+}
+
+impl Server {
+    /// Validates the configuration (shard count >= 1), spawns the shard
+    /// workers and binds the listener.
+    pub fn bind(config: &ServerConfig) -> Result<Server, ServerError> {
+        let engine = ShardedEngine::new(config.shards)?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServerError::Io(format!("cannot bind {}: {e}", config.addr)))?;
+        Ok(Server {
+            listener,
+            engine,
+            requests: 0,
+        })
+    }
+
+    /// The bound address (the actual port when the config asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Serves connections until a `SHUTDOWN` request, then drains the
+    /// shard workers and returns. A per-connection I/O error drops that
+    /// connection and the loop continues; only a failing `accept` (the
+    /// listener itself is broken) is fatal.
+    pub fn serve(mut self) -> std::io::Result<()> {
+        loop {
+            let (stream, _peer) = self.listener.accept()?;
+            match self.serve_connection(stream) {
+                Ok(true) => {
+                    self.engine.shutdown();
+                    return Ok(());
+                }
+                Ok(false) => {}
+                Err(e) => eprintln!("ringjoin-server: connection error: {e}"),
+            }
+        }
+    }
+
+    /// Serves one connection until the peer closes it; `Ok(true)` means
+    /// a `SHUTDOWN` was acknowledged.
+    fn serve_connection(&mut self, mut stream: TcpStream) -> std::io::Result<bool> {
+        while let Some(payload) = read_frame(&mut stream)? {
+            self.requests += 1;
+            let handled = match Request::parse(&payload) {
+                Ok(req) => self.handle(req),
+                Err(e) => Handled {
+                    payload: Reply::encode_err(&e.to_string()),
+                    shutdown: false,
+                },
+            };
+            write_frame(&mut stream, handled.payload.as_bytes())?;
+            if handled.shutdown {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Dispatches one parsed request against the sharded engine. Every
+    /// error becomes an `ERR` payload — the serving process never
+    /// panics on a request.
+    fn handle(&mut self, req: Request) -> Handled {
+        let result: Result<(String, bool), ServerError> = match req {
+            Request::Load { name, kind, items } => {
+                self.engine.load(&name, items, kind).map(|info| {
+                    (
+                        Reply::encode(
+                            &[
+                                ("dataset", info.name.clone()),
+                                ("kind", info.kind.name().to_string()),
+                                ("items", info.items.to_string()),
+                                ("shards", self.engine.shard_count().to_string()),
+                            ],
+                            "",
+                        ),
+                        false,
+                    )
+                })
+            }
+            Request::Join {
+                outer,
+                inner,
+                algo,
+                bounds,
+            } => self
+                .engine
+                .join(&outer, &inner, algo, bounds)
+                .map(|out| (join_reply(&out), false)),
+            Request::SelfJoin {
+                dataset,
+                algo,
+                bounds,
+            } => self
+                .engine
+                .self_join(&dataset, algo, bounds)
+                .map(|out| (join_reply(&out), false)),
+            Request::TopK { outer, inner, k } => self
+                .engine
+                .top_k(&outer, &inner, k)
+                .map(|out| (join_reply(&out), false)),
+            Request::Explain {
+                outer,
+                inner,
+                algo,
+                k,
+            } => self
+                .engine
+                .explain(&outer, inner.as_deref(), algo, k)
+                .map(|text| (Reply::encode(&[], &text), false)),
+            Request::Stats => Ok((self.stats_reply(), false)),
+            Request::Shutdown => Ok((Reply::encode(&[("bye", "1".to_string())], ""), true)),
+        };
+        match result {
+            Ok((payload, shutdown)) => Handled { payload, shutdown },
+            Err(e) => Handled {
+                payload: Reply::encode_err(&e.to_string()),
+                shutdown: false,
+            },
+        }
+    }
+
+    /// The `STATS` body: shard count, request counter, and one line per
+    /// loaded dataset.
+    fn stats_reply(&self) -> String {
+        let mut body = String::new();
+        for name in self.engine.dataset_names() {
+            let info = self.engine.dataset(&name).expect("catalog name listed");
+            body.push_str(&format!(
+                "dataset {name} kind={} items={} leaves_per_shard={:?} items_per_shard={:?}\n",
+                info.kind.name(),
+                info.items,
+                info.leaves_per_shard,
+                info.items_per_shard,
+            ));
+        }
+        Reply::encode(
+            &[
+                ("shards", self.engine.shard_count().to_string()),
+                ("datasets", self.engine.dataset_names().len().to_string()),
+                ("requests", self.requests.to_string()),
+            ],
+            &body,
+        )
+    }
+}
+
+/// The shared reply shape of `JOIN`/`SELFJOIN`/`TOPK`: run counters on
+/// the status line, pair rows in the body.
+fn join_reply(out: &ShardedOutput) -> String {
+    Reply::encode(
+        &[
+            ("pairs", out.pairs.len().to_string()),
+            ("shards_queried", out.shards_queried.to_string()),
+            ("candidates", out.stats.candidate_pairs.to_string()),
+            ("result_pairs", out.stats.result_pairs.to_string()),
+            ("filter_node_reads", out.stats.filter_node_reads.to_string()),
+            (
+                "verify_node_visits",
+                out.stats.verify_node_visits.to_string(),
+            ),
+        ],
+        &encode_pairs(&out.pairs),
+    )
+}

@@ -1,0 +1,968 @@
+//! The sharded RCJ session: one [`Engine`] per shard behind a space
+//! partition, with deterministic cross-shard merges.
+//!
+//! # Why shards replicate the index
+//!
+//! The ring constraint is **global**: a pair qualifies only if its
+//! circle is empty of *every* point of `P ∪ Q`, so no shard can verify
+//! a pair from a fragment of the data alone. The sharding that
+//! preserves exact semantics therefore partitions the **work**, not the
+//! data: each shard owns one half-open cell of a longest-axis
+//! median-split [`SpacePartition`] and drives the join for the outer
+//! leaf groups whose region centers fall in its cell, against a full
+//! (read-only) index replica it can filter and verify on locally. This
+//! is the classic replicated-index / partitioned-query serving layout —
+//! on a multi-node deployment each shard engine is a node.
+//!
+//! # Determinism
+//!
+//! * **Join / self-join** — shards emit pairs tagged with the global
+//!   outer-leaf index ([`Plan::run_leaves`]); the merge orders tagged
+//!   pairs by `(leaf index, shard id)` (the shard id can never tie —
+//!   each leaf is owned by exactly one shard), reproducing the
+//!   single-engine output *byte for byte*, with per-shard [`RcjStats`]
+//!   merging to the sequential totals.
+//! * **Top-k** — shards run diameter-ordered streams restricted to
+//!   their cell ([`Plan::stream_by_diameter_in`]), each limited to `k`,
+//!   and a k-bounded heap merge keeps the `k` smallest overall — the
+//!   early exit survives sharding. Exact diameter ties are ordered by
+//!   pair key — the same canonical tie order the single-engine
+//!   diameter stream emits — so byte-identity holds even through
+//!   duplicate coordinates. (Top-k *stats* do depend on the partition,
+//!   since partition-shaped work is precisely what early exit avoids.)
+//!
+//! Shard workers are long-lived threads owning their engines, so index
+//! construction is paid once per `LOAD` and queries are message
+//! round-trips — the in-process shape of the wire protocol the
+//! [`Server`](crate::Server) speaks.
+
+use crate::partition::SpacePartition;
+use crate::ServerError;
+use ringjoin_core::{Engine, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjPair, RcjStats};
+use ringjoin_geom::{Item, Rect};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A region-of-interest restriction on a join: report only pairs whose
+/// ring (the pair's circle) intersects `bounds` and whose diameter is at
+/// most `max_diameter`.
+///
+/// The pair's `q` then necessarily lies within
+/// `bounds.inflate(max_diameter)` — the **ring-expanded bounds** — which
+/// is what routes the request to the subset of shards (and outer leaf
+/// groups) that can contribute.
+#[derive(Clone, Copy, Debug)]
+pub struct RingBounds {
+    /// The region of interest the ring must intersect.
+    pub bounds: Rect,
+    /// Upper bound on the ring diameter of reported pairs (must be
+    /// non-negative and finite).
+    pub max_diameter: f64,
+}
+
+impl RingBounds {
+    /// The ring-expanded routing rectangle.
+    pub fn inflated(&self) -> Rect {
+        self.bounds.inflate(self.max_diameter)
+    }
+
+    /// Does `pair` satisfy the restriction? (Circle-rectangle
+    /// intersection: the circle meets `bounds` iff the center is within
+    /// one radius of it.)
+    pub fn admits(&self, pair: &RcjPair) -> bool {
+        pair.diameter() <= self.max_diameter
+            && self.bounds.mindist_sq(pair.center()) <= pair.radius() * pair.radius()
+    }
+}
+
+/// What a sharded query returns: the merged pairs, the merged run
+/// counters, and how many shards participated.
+#[derive(Clone, Debug)]
+pub struct ShardedOutput {
+    /// Merged result pairs (leaf order for joins, ascending ring
+    /// diameter for top-k).
+    pub pairs: Vec<RcjPair>,
+    /// Per-shard [`RcjStats`] merged component-wise.
+    pub stats: RcjStats,
+    /// Number of shards the request fanned out to.
+    pub shards_queried: usize,
+}
+
+/// Catalog description of one loaded dataset, as reported by
+/// [`ShardedEngine::load`] and [`ShardedEngine::dataset`].
+#[derive(Clone, Debug)]
+pub struct DatasetInfo {
+    /// Registered name.
+    pub name: String,
+    /// Index kind every shard built.
+    pub kind: IndexKind,
+    /// Total points.
+    pub items: u64,
+    /// Outer leaf groups owned by each shard (sums to the dataset's
+    /// leaf-group count).
+    pub leaves_per_shard: Vec<usize>,
+    /// Points located in each shard's cell.
+    pub items_per_shard: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------
+// Worker-side request/reply messages
+// ---------------------------------------------------------------------
+
+struct LoadReq {
+    name: String,
+    kind: IndexKind,
+    items: Vec<Item>,
+    cell: Rect,
+    /// (owned leaf count, union of owned leaf regions)
+    reply: Sender<Result<(usize, Rect), String>>,
+}
+
+/// What a shard returns for one join request: leaf-tagged pairs plus
+/// its run counters.
+type ShardJoinReply = (Vec<(usize, RcjPair)>, RcjStats);
+
+struct JoinReq {
+    outer: String,
+    /// `None` = self-join of `outer`.
+    inner: Option<String>,
+    algo: RcjAlgorithm,
+    bounds: Option<RingBounds>,
+    reply: Sender<Result<ShardJoinReply, String>>,
+}
+
+struct TopKReq {
+    outer: String,
+    inner: Option<String>,
+    k: usize,
+    reply: Sender<Result<(Vec<RcjPair>, RcjStats), String>>,
+}
+
+struct ExplainReq {
+    outer: String,
+    inner: Option<String>,
+    algo: RcjAlgorithm,
+    top_k: Option<usize>,
+    reply: Sender<Result<String, String>>,
+}
+
+enum ShardMsg {
+    Load(LoadReq),
+    Join(JoinReq),
+    TopK(TopKReq),
+    Explain(ExplainReq),
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------
+// The worker: one long-lived thread owning one Engine
+// ---------------------------------------------------------------------
+
+struct WorkerDataset {
+    cell: Rect,
+    leaf_regions: Vec<Rect>,
+    owned: Vec<usize>,
+}
+
+struct ShardWorker {
+    engine: Engine,
+    datasets: BTreeMap<String, WorkerDataset>,
+}
+
+impl ShardWorker {
+    fn run(mut self, rx: Receiver<ShardMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Load(req) => {
+                    let out = self.load(req.name, req.kind, req.items, req.cell);
+                    let _ = req.reply.send(out);
+                }
+                ShardMsg::Join(req) => {
+                    let out = self.join(&req.outer, req.inner.as_deref(), req.algo, req.bounds);
+                    let _ = req.reply.send(out);
+                }
+                ShardMsg::TopK(req) => {
+                    let out = self.top_k(&req.outer, req.inner.as_deref(), req.k);
+                    let _ = req.reply.send(out);
+                }
+                ShardMsg::Explain(req) => {
+                    let out = self.explain(&req.outer, req.inner.as_deref(), req.algo, req.top_k);
+                    let _ = req.reply.send(out);
+                }
+                ShardMsg::Shutdown => break,
+            }
+        }
+    }
+
+    fn load(
+        &mut self,
+        name: String,
+        kind: IndexKind,
+        items: Vec<Item>,
+        cell: Rect,
+    ) -> Result<(usize, Rect), String> {
+        self.engine.load(name.clone(), items).index(kind);
+        let leaf_regions = self.engine.leaf_regions(&name).map_err(|e| e.to_string())?;
+        let owned: Vec<usize> = leaf_regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| cell.contains_point_half_open(r.center()))
+            .map(|(i, _)| i)
+            .collect();
+        let mut extent = Rect::empty();
+        for &i in &owned {
+            extent.expand_rect(leaf_regions[i]);
+        }
+        let owned_count = owned.len();
+        self.datasets.insert(
+            name,
+            WorkerDataset {
+                cell,
+                leaf_regions,
+                owned,
+            },
+        );
+        Ok((owned_count, extent))
+    }
+
+    fn plan<'e>(
+        engine: &'e Engine,
+        outer: &str,
+        inner: Option<&str>,
+        algo: RcjAlgorithm,
+        top_k: Option<usize>,
+    ) -> Result<Plan<'e>, String> {
+        let mut q: QueryBuilder<'e> = match inner {
+            Some(inner) => engine.query().join(outer, inner),
+            None => engine.query().self_join(outer),
+        };
+        q = q.algorithm(algo);
+        if let Some(k) = top_k {
+            q = q.top_k(k);
+        }
+        q.plan().map_err(|e| e.to_string())
+    }
+
+    fn join(
+        &mut self,
+        outer: &str,
+        inner: Option<&str>,
+        algo: RcjAlgorithm,
+        bounds: Option<RingBounds>,
+    ) -> Result<ShardJoinReply, String> {
+        let ds = self
+            .datasets
+            .get(outer)
+            .ok_or_else(|| format!("shard has no dataset {outer:?}"))?;
+        let positions: Vec<usize> = match &bounds {
+            None => ds.owned.clone(),
+            Some(rb) => {
+                let inflated = rb.inflated();
+                ds.owned
+                    .iter()
+                    .copied()
+                    .filter(|&i| ds.leaf_regions[i].intersects(inflated))
+                    .collect()
+            }
+        };
+        let plan = Self::plan(&self.engine, outer, inner, algo, None)?;
+        let mut tagged: Vec<(usize, RcjPair)> = Vec::new();
+        let mut stats = plan.run_leaves(&positions, &mut tagged);
+        if let Some(rb) = bounds {
+            tagged.retain(|(_, pr)| rb.admits(pr));
+            stats.result_pairs = tagged.len() as u64;
+        }
+        Ok((tagged, stats))
+    }
+
+    fn top_k(
+        &mut self,
+        outer: &str,
+        inner: Option<&str>,
+        k: usize,
+    ) -> Result<(Vec<RcjPair>, RcjStats), String> {
+        let ds = self
+            .datasets
+            .get(outer)
+            .ok_or_else(|| format!("shard has no dataset {outer:?}"))?;
+        let cell = ds.cell;
+        let plan = Self::plan(&self.engine, outer, inner, RcjAlgorithm::Auto, Some(k))?;
+        let mut stream = plan.stream_by_diameter_in(cell);
+        let pairs: Vec<RcjPair> = stream.by_ref().collect();
+        Ok((pairs, stream.stats()))
+    }
+
+    fn explain(
+        &mut self,
+        outer: &str,
+        inner: Option<&str>,
+        algo: RcjAlgorithm,
+        top_k: Option<usize>,
+    ) -> Result<String, String> {
+        let plan = Self::plan(&self.engine, outer, inner, algo, top_k)?;
+        Ok(plan.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded engine: router + catalog over the worker threads
+// ---------------------------------------------------------------------
+
+struct Shard {
+    tx: Sender<ShardMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct CatalogEntry {
+    kind: IndexKind,
+    items: u64,
+    /// Leaf groups owned by each shard.
+    leaves: Vec<usize>,
+    /// Points located in each shard's cell.
+    item_counts: Vec<u64>,
+    /// Union of each shard's owned leaf regions — the shard extent
+    /// ring-expanded bounds are routed against. Empty for shards that
+    /// own nothing.
+    extents: Vec<Rect>,
+}
+
+/// A sharded RCJ session: `n` shard engines (one worker thread each)
+/// behind a per-dataset [`SpacePartition`], answering joins, self-joins
+/// and top-k queries with output byte-identical to a single
+/// [`Engine`]. See the module docs for the architecture and the
+/// determinism contract.
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    catalog: BTreeMap<String, CatalogEntry>,
+}
+
+impl ShardedEngine {
+    /// Spawns `shards >= 1` shard workers (rejecting `0` — a shard
+    /// *count* must be at least one, mirroring the `--threads`
+    /// validation of the executor).
+    pub fn new(shards: usize) -> Result<ShardedEngine, ServerError> {
+        if shards == 0 {
+            return Err(ServerError::InvalidShards);
+        }
+        let shards = (0..shards)
+            .map(|_| {
+                let (tx, rx) = channel();
+                // The engine is built *inside* the worker thread: its
+                // pager is single-threaded by design (`Rc`-shared), and
+                // never leaves the thread that owns it — shards only
+                // ever exchange plain-data messages.
+                let handle = std::thread::spawn(move || {
+                    let worker = ShardWorker {
+                        engine: Engine::new(),
+                        datasets: BTreeMap::new(),
+                    };
+                    worker.run(rx);
+                });
+                Shard {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Ok(ShardedEngine {
+            shards,
+            catalog: BTreeMap::new(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Names of all loaded datasets (sorted).
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.catalog.keys().cloned().collect()
+    }
+
+    /// Catalog description of one loaded dataset.
+    pub fn dataset(&self, name: &str) -> Option<DatasetInfo> {
+        self.catalog.get(name).map(|e| DatasetInfo {
+            name: name.to_string(),
+            kind: e.kind,
+            items: e.items,
+            leaves_per_shard: e.leaves.clone(),
+            items_per_shard: e.item_counts.clone(),
+        })
+    }
+
+    /// Loads a dataset on every shard: computes the dataset's space
+    /// partition, hands each worker the full item set (the index is
+    /// replicated — see the module docs) plus its cell, and records the
+    /// routing catalog. Rejects a name that is already loaded with a
+    /// protocol-level error instead of silently replacing the dataset
+    /// (a serving process must not swap data under a running client).
+    pub fn load(
+        &mut self,
+        name: &str,
+        items: Vec<Item>,
+        kind: IndexKind,
+    ) -> Result<DatasetInfo, ServerError> {
+        if self.catalog.contains_key(name) {
+            return Err(ServerError::DuplicateDataset(name.to_string()));
+        }
+        let n = self.shards.len();
+        let points: Vec<_> = items.iter().map(|it| it.point).collect();
+        let partition = SpacePartition::build(&points, n);
+        let mut item_counts = vec![0u64; n];
+        for p in &points {
+            item_counts[partition.locate(*p)] += 1;
+        }
+        // Fan the load out, then collect: index construction runs on all
+        // shards concurrently.
+        let mut replies = Vec::with_capacity(n);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (reply, rx) = channel();
+            shard
+                .tx
+                .send(ShardMsg::Load(LoadReq {
+                    name: name.to_string(),
+                    kind,
+                    items: items.clone(),
+                    cell: partition.cell(i),
+                    reply,
+                }))
+                .map_err(|_| ServerError::ShardGone(i))?;
+            replies.push(rx);
+        }
+        let mut leaves = Vec::with_capacity(n);
+        let mut extents = Vec::with_capacity(n);
+        for (i, rx) in replies.into_iter().enumerate() {
+            let (count, extent) = rx
+                .recv()
+                .map_err(|_| ServerError::ShardGone(i))?
+                .map_err(ServerError::Internal)?;
+            leaves.push(count);
+            extents.push(extent);
+        }
+        self.catalog.insert(
+            name.to_string(),
+            CatalogEntry {
+                kind,
+                items: items.len() as u64,
+                leaves: leaves.clone(),
+                item_counts: item_counts.clone(),
+                extents,
+            },
+        );
+        Ok(DatasetInfo {
+            name: name.to_string(),
+            kind,
+            items: items.len() as u64,
+            leaves_per_shard: leaves,
+            items_per_shard: item_counts,
+        })
+    }
+
+    fn entry(&self, name: &str) -> Result<&CatalogEntry, ServerError> {
+        self.catalog
+            .get(name)
+            .ok_or_else(|| ServerError::UnknownDataset(name.to_string()))
+    }
+
+    /// Shards a bichromatic join across the outer dataset's partition
+    /// and merges the per-shard streams back into the exact
+    /// single-engine answer (same pairs, same order, same merged
+    /// [`RcjStats`]). With `bounds`, only pairs whose ring intersects
+    /// the bounds (and is at most `max_diameter` wide) are computed, and
+    /// only the shards whose extent meets the ring-expanded bounds are
+    /// queried.
+    pub fn join(
+        &self,
+        outer: &str,
+        inner: &str,
+        algo: RcjAlgorithm,
+        bounds: Option<RingBounds>,
+    ) -> Result<ShardedOutput, ServerError> {
+        self.entry(inner)?;
+        self.join_impl(outer, Some(inner), algo, bounds)
+    }
+
+    /// Sharded self-join; see [`ShardedEngine::join`].
+    pub fn self_join(
+        &self,
+        dataset: &str,
+        algo: RcjAlgorithm,
+        bounds: Option<RingBounds>,
+    ) -> Result<ShardedOutput, ServerError> {
+        self.join_impl(dataset, None, algo, bounds)
+    }
+
+    fn join_impl(
+        &self,
+        outer: &str,
+        inner: Option<&str>,
+        algo: RcjAlgorithm,
+        bounds: Option<RingBounds>,
+    ) -> Result<ShardedOutput, ServerError> {
+        let entry = self.entry(outer)?;
+        if let Some(rb) = &bounds {
+            validate_bounds(rb)?;
+        }
+        // Route: shards owning no leaf of the outer dataset can never
+        // contribute; with bounds, neither can shards whose extent
+        // misses the ring-expanded bounds.
+        let participating: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| entry.leaves[i] > 0)
+            .filter(|&i| match &bounds {
+                None => true,
+                Some(rb) => entry.extents[i].intersects(rb.inflated()),
+            })
+            .collect();
+        let mut replies = Vec::new();
+        for &i in &participating {
+            let (reply, rx) = channel();
+            self.shards[i]
+                .tx
+                .send(ShardMsg::Join(JoinReq {
+                    outer: outer.to_string(),
+                    inner: inner.map(str::to_string),
+                    algo,
+                    bounds,
+                    reply,
+                }))
+                .map_err(|_| ServerError::ShardGone(i))?;
+            replies.push((i, rx));
+        }
+        let mut stats = RcjStats::default();
+        let mut tagged: Vec<(usize, RcjPair)> = Vec::new();
+        for (i, rx) in replies {
+            let (pairs, shard_stats) = rx
+                .recv()
+                .map_err(|_| ServerError::ShardGone(i))?
+                .map_err(ServerError::Internal)?;
+            tagged.extend(pairs);
+            stats.merge(shard_stats);
+        }
+        // The deterministic merge: global leaf order. Each leaf is owned
+        // by exactly one shard and each shard's batch is already in leaf
+        // order, so a stable sort on the leaf index alone reproduces the
+        // sequential emission order exactly.
+        tagged.sort_by_key(|(leaf, _)| *leaf);
+        Ok(ShardedOutput {
+            pairs: tagged.into_iter().map(|(_, pr)| pr).collect(),
+            stats,
+            shards_queried: participating.len(),
+        })
+    }
+
+    /// Sharded top-k by ascending ring diameter: every shard streams its
+    /// cell's pairs diameter-ordered with the `k` early exit, and a
+    /// k-bounded merge keeps the `k` most compact overall. Exact
+    /// diameter ties are ordered by pair key, matching the
+    /// single-engine stream's canonical tie order.
+    pub fn top_k(&self, outer: &str, inner: &str, k: usize) -> Result<ShardedOutput, ServerError> {
+        self.entry(inner)?;
+        self.top_k_impl(outer, Some(inner), k)
+    }
+
+    /// Sharded self-join top-k; see [`ShardedEngine::top_k`].
+    pub fn top_k_self(&self, dataset: &str, k: usize) -> Result<ShardedOutput, ServerError> {
+        self.top_k_impl(dataset, None, k)
+    }
+
+    fn top_k_impl(
+        &self,
+        outer: &str,
+        inner: Option<&str>,
+        k: usize,
+    ) -> Result<ShardedOutput, ServerError> {
+        let entry = self.entry(outer)?;
+        // Top-k ownership is by q *point* location, so shards whose cell
+        // holds no point of the outer dataset can never contribute.
+        let participating: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| entry.item_counts[i] > 0)
+            .collect();
+        let mut replies = Vec::new();
+        for &i in &participating {
+            let (reply, rx) = channel();
+            self.shards[i]
+                .tx
+                .send(ShardMsg::TopK(TopKReq {
+                    outer: outer.to_string(),
+                    inner: inner.map(str::to_string),
+                    k,
+                    reply,
+                }))
+                .map_err(|_| ServerError::ShardGone(i))?;
+            replies.push((i, rx));
+        }
+        let mut stats = RcjStats::default();
+        let mut streams: Vec<std::vec::IntoIter<RcjPair>> = Vec::new();
+        for (i, rx) in replies {
+            let (pairs, shard_stats) = rx
+                .recv()
+                .map_err(|_| ServerError::ShardGone(i))?
+                .map_err(ServerError::Internal)?;
+            stats.merge(shard_stats);
+            streams.push(pairs.into_iter());
+        }
+        let pairs = merge_top_k(streams, k);
+        stats.result_pairs = pairs.len() as u64;
+        Ok(ShardedOutput {
+            pairs,
+            stats,
+            shards_queried: participating.len(),
+        })
+    }
+
+    /// The resolved plan a shard runs for this query (they are identical
+    /// across shards — every shard plans over the same replica), plus a
+    /// sharding postscript: shard count and the per-shard routing the
+    /// request would fan out with.
+    pub fn explain(
+        &self,
+        outer: &str,
+        inner: Option<&str>,
+        algo: RcjAlgorithm,
+        top_k: Option<usize>,
+    ) -> Result<String, ServerError> {
+        let entry = self.entry(outer)?;
+        if let Some(inner) = inner {
+            self.entry(inner)?;
+        }
+        let (reply, rx) = channel();
+        self.shards[0]
+            .tx
+            .send(ShardMsg::Explain(ExplainReq {
+                outer: outer.to_string(),
+                inner: inner.map(str::to_string),
+                algo,
+                top_k,
+                reply,
+            }))
+            .map_err(|_| ServerError::ShardGone(0))?;
+        let plan = rx
+            .recv()
+            .map_err(|_| ServerError::ShardGone(0))?
+            .map_err(ServerError::Internal)?;
+        let mut out = plan;
+        out.push('\n');
+        out.push_str(&format!(
+            "  sharding: {} shard(s); outer leaves per shard: {:?}; items per shard: {:?}",
+            self.shards.len(),
+            entry.leaves,
+            entry.item_counts,
+        ));
+        Ok(out)
+    }
+
+    /// Stops every shard worker. Called automatically on drop; explicit
+    /// shutdown lets callers observe join panics.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        for shard in &self.shards {
+            let _ = shard.tx.send(ShardMsg::Shutdown);
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Validates a [`RingBounds`] request parameter.
+fn validate_bounds(rb: &RingBounds) -> Result<(), ServerError> {
+    if rb.bounds.is_empty() {
+        return Err(ServerError::BadRequest("bounds rectangle is empty".into()));
+    }
+    if !(rb.max_diameter.is_finite() && rb.max_diameter >= 0.0) {
+        return Err(ServerError::BadRequest(
+            "maxd must be finite and non-negative".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// K-bounded heap merge of per-shard diameter-ordered pair streams:
+/// repeatedly takes the globally smallest head by `(diameter, pair
+/// key)` until `k` pairs are drawn or every stream is dry. Pulls at
+/// most `k` pairs from any one stream.
+fn merge_top_k(mut streams: Vec<std::vec::IntoIter<RcjPair>>, k: usize) -> Vec<RcjPair> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Each heap entry carries its pair; (diameter, key) is a total
+    // order over NaN-free data, `src` resumes the right stream.
+    struct Head {
+        pair: RcjPair,
+        src: usize,
+    }
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.pair
+                .diameter()
+                .total_cmp(&other.pair.diameter())
+                .then_with(|| self.pair.key().cmp(&other.pair.key()))
+                .then_with(|| self.src.cmp(&other.src))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Head>> = streams
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(src, s)| s.next().map(|pair| Reverse(Head { pair, src })))
+        .collect();
+    let mut out = Vec::with_capacity(k.min(64));
+    while out.len() < k {
+        let Some(Reverse(top)) = heap.pop() else {
+            break;
+        };
+        out.push(top.pair);
+        if let Some(pair) = streams[top.src].next() {
+            heap.push(Reverse(Head { pair, src: top.src }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringjoin_core::{Engine, RcjStream};
+    use ringjoin_geom::pt;
+
+    fn items(n: usize, seed: u64, span: f64) -> Vec<Item> {
+        ringjoin_testsupport::lcg_points(n, seed, span)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Item::new(i as u64, pt(x, y)))
+            .collect()
+    }
+
+    fn unsharded(p: &[Item], q: &[Item], kind: IndexKind) -> Engine {
+        let mut engine = Engine::new();
+        engine.load("p", p.to_vec()).index(kind);
+        engine.load("q", q.to_vec()).index(kind);
+        engine
+    }
+
+    #[test]
+    fn sharded_join_is_byte_identical_to_single_engine() {
+        let ps = items(220, 3, 1200.0);
+        let qs = items(220, 5, 1200.0);
+        let engine = unsharded(&ps, &qs, IndexKind::Rtree);
+        let reference = engine.query().join("q", "p").collect().unwrap();
+
+        for shards in [1usize, 2, 3, 4] {
+            let mut se = ShardedEngine::new(shards).unwrap();
+            se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
+            se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
+            let out = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+            assert_eq!(out.pairs, reference.pairs, "shards={shards}");
+            assert_eq!(out.stats, reference.stats, "shards={shards}");
+            assert!(out.shards_queried >= 1 && out.shards_queried <= shards);
+        }
+    }
+
+    #[test]
+    fn sharded_self_join_matches_and_reports_once() {
+        let its = items(200, 7, 900.0);
+        let mut engine = Engine::new();
+        engine.load("d", its.clone()).index(IndexKind::Quadtree);
+        let reference = engine.query().self_join("d").collect().unwrap();
+
+        let mut se = ShardedEngine::new(3).unwrap();
+        se.load("d", its, IndexKind::Quadtree).unwrap();
+        let out = se.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(out.pairs, reference.pairs);
+        assert_eq!(out.stats, reference.stats);
+        for pr in &out.pairs {
+            assert!(pr.p.id < pr.q.id);
+        }
+    }
+
+    #[test]
+    fn sharded_top_k_matches_single_engine_stream() {
+        let ps = items(260, 11, 2500.0);
+        let qs = items(260, 13, 2500.0);
+        let engine = unsharded(&ps, &qs, IndexKind::Rtree);
+        let k = 15;
+        let reference: Vec<RcjPair> = {
+            let plan = engine.query().join("q", "p").top_k(k).plan().unwrap();
+            let s: RcjStream = plan.stream();
+            s.collect()
+        };
+        for shards in [1usize, 2, 4] {
+            let mut se = ShardedEngine::new(shards).unwrap();
+            se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
+            se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
+            let out = se.top_k("q", "p", k).unwrap();
+            assert_eq!(out.pairs.len(), k);
+            assert_eq!(out.pairs, reference, "shards={shards}");
+            assert_eq!(out.stats.result_pairs, k as u64);
+        }
+    }
+
+    #[test]
+    fn ring_bounds_restrict_and_route() {
+        let ps = items(300, 17, 2000.0);
+        let qs = items(300, 19, 2000.0);
+        let engine = unsharded(&ps, &qs, IndexKind::Rtree);
+        let full = engine.query().join("q", "p").collect().unwrap();
+        let rb = RingBounds {
+            bounds: Rect::new(pt(400.0, 400.0), pt(900.0, 900.0)),
+            max_diameter: 150.0,
+        };
+        let expect: Vec<RcjPair> = full
+            .pairs
+            .iter()
+            .copied()
+            .filter(|pr| rb.admits(pr))
+            .collect();
+
+        let mut se = ShardedEngine::new(4).unwrap();
+        se.load("p", ps, IndexKind::Rtree).unwrap();
+        se.load("q", qs, IndexKind::Rtree).unwrap();
+        let out = se.join("q", "p", RcjAlgorithm::Auto, Some(rb)).unwrap();
+        assert_eq!(out.pairs, expect);
+        assert_eq!(out.stats.result_pairs, expect.len() as u64);
+        assert!(
+            !out.pairs.is_empty(),
+            "bounds query found nothing; widen the test region"
+        );
+        // A far-away region of interest routes to no shard at all.
+        let far = RingBounds {
+            bounds: Rect::new(pt(1e6, 1e6), pt(2e6, 2e6)),
+            max_diameter: 10.0,
+        };
+        let out = se.join("q", "p", RcjAlgorithm::Auto, Some(far)).unwrap();
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.shards_queried, 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs_without_panicking() {
+        assert!(matches!(
+            ShardedEngine::new(0),
+            Err(ServerError::InvalidShards)
+        ));
+        let mut se = ShardedEngine::new(2).unwrap();
+        se.load("d", items(40, 23, 300.0), IndexKind::Rtree)
+            .unwrap();
+        // Duplicate name: protocol error, dataset untouched.
+        let err = se.load("d", items(10, 29, 300.0), IndexKind::Quadtree);
+        assert!(matches!(err, Err(ServerError::DuplicateDataset(_))));
+        assert_eq!(se.dataset("d").unwrap().items, 40);
+        // Unknown datasets and malformed bounds are errors, not panics.
+        assert!(matches!(
+            se.join("d", "missing", RcjAlgorithm::Auto, None),
+            Err(ServerError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            se.top_k("missing", "d", 3),
+            Err(ServerError::UnknownDataset(_))
+        ));
+        let bad = RingBounds {
+            bounds: Rect::empty(),
+            max_diameter: 1.0,
+        };
+        assert!(matches!(
+            se.self_join("d", RcjAlgorithm::Auto, Some(bad)),
+            Err(ServerError::BadRequest(_))
+        ));
+        let nan = RingBounds {
+            bounds: Rect::new(pt(0.0, 0.0), pt(1.0, 1.0)),
+            max_diameter: f64::NAN,
+        };
+        assert!(matches!(
+            se.self_join("d", RcjAlgorithm::Auto, Some(nan)),
+            Err(ServerError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn explain_includes_the_sharding_postscript() {
+        let mut se = ShardedEngine::new(2).unwrap();
+        se.load("p", items(120, 31, 700.0), IndexKind::Rtree)
+            .unwrap();
+        se.load("q", items(120, 37, 700.0), IndexKind::Rtree)
+            .unwrap();
+        let text = se
+            .explain("q", Some("p"), RcjAlgorithm::Auto, None)
+            .unwrap();
+        assert!(text.contains("RCJ join"), "{text}");
+        assert!(text.contains("sharding: 2 shard(s)"), "{text}");
+        let text = se.explain("q", None, RcjAlgorithm::Auto, Some(5)).unwrap();
+        assert!(text.contains("self-join"), "{text}");
+        assert!(text.contains("top-k"), "{text}");
+    }
+
+    #[test]
+    fn top_k_byte_identity_survives_exact_diameter_ties() {
+        // Two result pairs of identical diameter 1.0 that a 2-shard
+        // median split separates, with the traversal discovering them
+        // in the opposite order of their pair keys: byte-identity then
+        // rests entirely on the canonical (diameter, key) tie order
+        // shared by the single-engine stream and the sharded merge.
+        let ps = vec![Item::new(1, pt(0.0, 0.0)), Item::new(0, pt(10.0, 0.0))];
+        let qs = vec![Item::new(1, pt(1.0, 0.0)), Item::new(0, pt(11.0, 0.0))];
+        let engine = unsharded(&ps, &qs, IndexKind::Rtree);
+        let reference: Vec<RcjPair> = engine
+            .query()
+            .join("q", "p")
+            .top_k(2)
+            .plan()
+            .unwrap()
+            .stream()
+            .collect();
+        assert_eq!(reference.len(), 2);
+        assert_eq!(reference[0].diameter(), reference[1].diameter());
+        // Canonical order: ascending pair key among exact ties.
+        assert!(reference[0].key() < reference[1].key());
+
+        for shards in [1usize, 2, 4] {
+            let mut se = ShardedEngine::new(shards).unwrap();
+            se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
+            se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
+            let out = se.top_k("q", "p", 2).unwrap();
+            assert_eq!(
+                out.pairs, reference,
+                "tie order diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_merge_breaks_ties_deterministically() {
+        let mk = |pid: u64, qid: u64, d: f64| {
+            RcjPair::new(Item::new(pid, pt(0.0, 0.0)), Item::new(qid, pt(d, 0.0)))
+        };
+        let a = vec![mk(1, 1, 1.0), mk(1, 2, 2.0)];
+        let b = vec![mk(0, 9, 1.0), mk(2, 2, 2.0)];
+        let merged = merge_top_k(vec![a.into_iter(), b.into_iter()], 3);
+        let keys: Vec<_> = ringjoin_core::pair_keys(&merged);
+        assert_eq!(merged.len(), 3);
+        // Equal diameters order by pair key: (0,9) before (1,1).
+        assert_eq!(merged[0].key(), (0, 9));
+        assert_eq!(merged[1].key(), (1, 1));
+        assert!(keys.contains(&(1, 2)) || keys.contains(&(2, 2)));
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end wire tests: a real `Server` on an ephemeral port, driven
+//! by the blocking `Client` over TCP, checked against an in-process
+//! single `Engine` — the same round trip CI's server smoke job performs
+//! with the CLI.
+
+use ringjoin_core::{Engine, IndexKind, RcjAlgorithm};
+use ringjoin_geom::{pt, Item, Rect};
+use ringjoin_server::{Client, RingBounds, Server, ServerConfig};
+
+fn items(n: usize, seed: u64, span: f64) -> Vec<Item> {
+    ringjoin_testsupport::lcg_points(n, seed, span)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (x, y))| Item::new(i as u64, pt(x, y)))
+        .collect()
+}
+
+/// Starts a server on an ephemeral port, returns its address and the
+/// serve-thread handle (joined after SHUTDOWN).
+fn start(shards: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards,
+    })
+    .expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+#[test]
+fn tcp_round_trip_matches_in_process_engine() {
+    let ps = items(240, 41, 1500.0);
+    let qs = items(240, 43, 1500.0);
+    let mut engine = Engine::new();
+    engine.load("p", ps.clone()).index(IndexKind::Rtree);
+    engine.load("q", qs.clone()).index(IndexKind::Rtree);
+    let local = engine.query().join("q", "p").collect().unwrap();
+
+    let (addr, handle) = start(3);
+    let mut client = Client::connect(addr).unwrap();
+    client.load("p", IndexKind::Rtree, &ps).unwrap();
+    client.load("q", IndexKind::Rtree, &qs).unwrap();
+
+    // JOIN: byte-identical pairs in identical order, stats agree.
+    let remote = client.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+    assert_eq!(remote.pairs, local.pairs);
+    assert_eq!(remote.stats.result_pairs, local.stats.result_pairs);
+    assert_eq!(remote.stats.candidate_pairs, local.stats.candidate_pairs);
+    assert!(remote.shards_queried >= 1);
+
+    // TOPK: ascending diameter, a prefix-consistent answer.
+    let k = 9usize.min(local.pairs.len());
+    let top = client.top_k("q", "p", k).unwrap();
+    assert_eq!(top.pairs.len(), k);
+    for w in top.pairs.windows(2) {
+        assert!(w[0].diameter() <= w[1].diameter());
+    }
+
+    // Bounds-restricted join: the post-filtered local answer.
+    let rb = RingBounds {
+        bounds: Rect::new(pt(300.0, 300.0), pt(1000.0, 1000.0)),
+        max_diameter: 120.0,
+    };
+    let restricted = client.join("q", "p", RcjAlgorithm::Auto, Some(rb)).unwrap();
+    let expect: Vec<_> = local
+        .pairs
+        .iter()
+        .copied()
+        .filter(|p| rb.admits(p))
+        .collect();
+    assert_eq!(restricted.pairs, expect);
+
+    // EXPLAIN carries the plan and the sharding postscript.
+    let text = client
+        .explain("q", Some("p"), RcjAlgorithm::Auto, None)
+        .unwrap();
+    assert!(text.contains("RCJ join"), "{text}");
+    assert!(text.contains("sharding: 3 shard(s)"), "{text}");
+
+    // STATS reflects the catalog and counts our requests.
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("shards 3"), "{stats}");
+    assert!(stats.contains("dataset p"), "{stats}");
+    assert!(stats.contains("dataset q"), "{stats}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_server() {
+    let (addr, handle) = start(2);
+    let mut client = Client::connect(addr).unwrap();
+    let data = items(60, 47, 400.0);
+    client.load("d", IndexKind::Quadtree, &data).unwrap();
+
+    // Duplicate LOAD: protocol error, dataset intact, server alive.
+    let err = client.load("d", IndexKind::Rtree, &data).unwrap_err();
+    assert!(err.to_string().contains("already loaded"), "{err}");
+    // Unknown dataset: protocol error.
+    let err = client
+        .join("d", "missing", RcjAlgorithm::Auto, None)
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown dataset"), "{err}");
+    // Malformed request straight through the frame layer.
+    let reply = client
+        .request(&ringjoin_server::proto::Request::Stats)
+        .unwrap();
+    assert_eq!(reply.field("datasets"), Some("1"));
+
+    // The session still works after all those errors.
+    let out = client.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+    let mut engine = Engine::new();
+    engine.load("d", data).index(IndexKind::Quadtree);
+    let local = engine.query().self_join("d").collect().unwrap();
+    assert_eq!(out.pairs, local.pairs);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn sessions_can_reconnect() {
+    let (addr, handle) = start(1);
+    {
+        let mut first = Client::connect(addr).unwrap();
+        first
+            .load("d", IndexKind::Rtree, &items(50, 53, 300.0))
+            .unwrap();
+        // Dropped without SHUTDOWN: the connection closes, the server
+        // keeps running and keeps the loaded data.
+    }
+    let mut second = Client::connect(addr).unwrap();
+    let stats = second.stats().unwrap();
+    assert!(stats.contains("dataset d"), "{stats}");
+    let out = second.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+    assert!(out.stats.result_pairs > 0);
+    second.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -19,6 +19,7 @@
 //! | [`core`] | `ringjoin-core` | the RCJ: INJ / BIJ / OBJ, self-join, brute oracle, metric variants |
 //! | [`spatialjoin`] | `ringjoin-spatialjoin` | ε-join, k-closest-pairs, kNN join, precision/recall |
 //! | [`datagen`] | `ringjoin-datagen` | UI / Gaussian / GNIS-like workload generators |
+//! | [`server`] | `ringjoin-server` | sharded serving: space partition, shard engines, TCP wire protocol, client |
 //!
 //! The most common entry points are re-exported at the top level. The
 //! documented front door is the session API (`Engine` → `Plan` →
@@ -62,6 +63,7 @@ pub use ringjoin_datagen as datagen;
 pub use ringjoin_geom as geom;
 pub use ringjoin_quadtree as quadtree;
 pub use ringjoin_rtree as rtree;
+pub use ringjoin_server as server;
 pub use ringjoin_spatialjoin as spatialjoin;
 pub use ringjoin_storage as storage;
 pub use topk::{rcj_by_diameter, RcjByDiameter};
@@ -76,6 +78,7 @@ pub use ringjoin_core::{
 pub use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset};
 pub use ringjoin_geom::{pt, Circle, HalfPlane, Metric, Point, Rect};
 pub use ringjoin_rtree::{bulk_load, bulk_load_with, Item, RTree, RTreeConfig};
+pub use ringjoin_server::{Client, RingBounds, Server, ServerConfig, ShardedEngine};
 pub use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
 pub use ringjoin_storage::{CostModel, FileDisk, IoStats, MemDisk, Pager, SharedPager};
 

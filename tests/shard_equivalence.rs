@@ -1,0 +1,167 @@
+//! Sharded vs unsharded **byte-identity**: a [`ShardedEngine`] must
+//! answer join, self-join and top-k queries with exactly the output of
+//! a single [`Engine`] over the same data — same pairs, same order,
+//! same coordinates — across shard counts, index kinds, and data
+//! shapes.
+//!
+//! For leaf-driven queries (join, self-join) the merged per-shard
+//! [`RcjStats`] must also equal the single-engine counters exactly:
+//! every leaf group is processed once by exactly one shard, so the
+//! counters are a partition-invariant sum. Top-k counters are *not*
+//! asserted equal — early-exit work depends on the partition (that is
+//! the point of the k-bounded merge) — but the answer itself is.
+
+use proptest::prelude::*;
+use ringjoin::{pt, Engine, IndexKind, Item, RcjPair, RcjStats, ShardedEngine};
+
+const REGION: f64 = 1000.0;
+const KINDS: [IndexKind; 2] = [IndexKind::Rtree, IndexKind::Quadtree];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn to_items(v: &[(f64, f64)]) -> Vec<Item> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+        .collect()
+}
+
+/// Uniform points over the region.
+fn uniform_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0..REGION, 0.0..REGION), 4..max)
+}
+
+/// Gaussian-ish points: box-clamped offsets around a single center.
+fn gaussian_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        (200.0..800.0f64, 200.0..800.0f64),
+        proptest::collection::vec((-150.0..150.0f64, -150.0..150.0f64), 4..max),
+    )
+        .prop_map(|((cx, cy), offsets)| {
+            offsets
+                .into_iter()
+                .map(|(dx, dy)| {
+                    (
+                        (cx + dx * dx.abs() / 150.0).clamp(0.0, REGION - 1e-9),
+                        (cy + dy * dy.abs() / 150.0).clamp(0.0, REGION - 1e-9),
+                    )
+                })
+                .collect()
+        })
+}
+
+/// Clustered points: a few tight centers.
+fn clustered_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        proptest::collection::vec((100.0..900.0f64, 100.0..900.0f64), 1..4),
+        proptest::collection::vec((0usize..4, -30.0..30.0f64, -30.0..30.0f64), 4..max),
+    )
+        .prop_map(|(centers, offsets)| {
+            offsets
+                .into_iter()
+                .map(|(c, dx, dy)| {
+                    let (cx, cy) = centers[c % centers.len()];
+                    (
+                        (cx + dx).clamp(0.0, REGION - 1e-9),
+                        (cy + dy).clamp(0.0, REGION - 1e-9),
+                    )
+                })
+                .collect()
+        })
+}
+
+/// One of the three data shapes, chosen by the case.
+fn any_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop_oneof![uniform_pts(max), gaussian_pts(max), clustered_pts(max)]
+}
+
+/// Single-engine reference: (pairs, stats) for the full join.
+fn reference_join(
+    p: &[Item],
+    q: &[Item],
+    kind: IndexKind,
+) -> (Vec<RcjPair>, RcjStats, Vec<RcjPair>) {
+    let mut engine = Engine::new();
+    engine.load("p", p.to_vec()).index(kind);
+    engine.load("q", q.to_vec()).index(kind);
+    let out = engine.query().join("q", "p").collect().unwrap();
+    let k = 8.min(out.pairs.len().max(1));
+    let top: Vec<RcjPair> = engine
+        .query()
+        .join("q", "p")
+        .top_k(k)
+        .plan()
+        .unwrap()
+        .stream()
+        .collect();
+    (out.pairs, out.stats, top)
+}
+
+proptest! {
+    /// Join: pairs, order and merged stats byte-identical across
+    /// {1,2,4} shards and both index kinds.
+    #[test]
+    fn sharded_join_is_byte_identical(
+        pv in any_pts(60),
+        qv in any_pts(60),
+        kind_idx in 0usize..2,
+    ) {
+        let kind = KINDS[kind_idx];
+        let (p, q) = (to_items(&pv), to_items(&qv));
+        let (ref_pairs, ref_stats, ref_top) = reference_join(&p, &q, kind);
+
+        for shards in SHARD_COUNTS {
+            let mut se = ShardedEngine::new(shards).unwrap();
+            se.load("p", p.clone(), kind).unwrap();
+            se.load("q", q.clone(), kind).unwrap();
+
+            let out = se.join("q", "p", ringjoin::RcjAlgorithm::Auto, None).unwrap();
+            prop_assert_eq!(&out.pairs, &ref_pairs, "join diverged at {} shards ({:?})", shards, kind);
+            prop_assert_eq!(out.stats, ref_stats, "join stats diverged at {} shards ({:?})", shards, kind);
+
+            let k = ref_top.len();
+            if k > 0 {
+                let top = se.top_k("q", "p", k).unwrap();
+                prop_assert_eq!(&top.pairs, &ref_top, "top-{} diverged at {} shards ({:?})", k, shards, kind);
+            }
+        }
+    }
+
+    /// Self-join: each unordered pair once (smaller id first), same
+    /// order and stats as the single engine; self top-k agrees with the
+    /// single-engine diameter stream.
+    #[test]
+    fn sharded_self_join_is_byte_identical(
+        v in any_pts(70),
+        kind_idx in 0usize..2,
+    ) {
+        let kind = KINDS[kind_idx];
+        let items = to_items(&v);
+        let mut engine = Engine::new();
+        engine.load("d", items.clone()).index(kind);
+        let reference = engine.query().self_join("d").collect().unwrap();
+        let k = 6.min(reference.pairs.len().max(1));
+        let ref_top: Vec<RcjPair> = engine
+            .query()
+            .self_join("d")
+            .top_k(k)
+            .plan()
+            .unwrap()
+            .stream()
+            .collect();
+
+        for shards in SHARD_COUNTS {
+            let mut se = ShardedEngine::new(shards).unwrap();
+            se.load("d", items.clone(), kind).unwrap();
+            let out = se.self_join("d", ringjoin::RcjAlgorithm::Auto, None).unwrap();
+            prop_assert_eq!(&out.pairs, &reference.pairs, "self-join diverged at {} shards ({:?})", shards, kind);
+            prop_assert_eq!(out.stats, reference.stats, "self-join stats diverged at {} shards ({:?})", shards, kind);
+            for pr in &out.pairs {
+                prop_assert!(pr.p.id < pr.q.id);
+            }
+            if k > 0 {
+                let top = se.top_k_self("d", k).unwrap();
+                prop_assert_eq!(&top.pairs, &ref_top, "self top-{} diverged at {} shards ({:?})", k, shards, kind);
+            }
+        }
+    }
+}
