@@ -533,21 +533,47 @@ pub fn ext_costmodel(cfg: &ExpConfig) -> String {
 /// sequential executor and is the baseline).
 pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// The skew workloads appended to the [`scaling`] sweep: clustered
+/// outer datasets are where equal-count contiguous chunking loses and
+/// the work-stealing scheduler earns its keep. `SKEW-G` is the paper's
+/// Gaussian generator (Figure 18's 10-cluster shape); `SKEW-C` packs
+/// the same mass into 3 tight clusters (quarter sigma).
+pub const SCALING_SKEW: [&str; 2] = ["SKEW-G", "SKEW-C"];
+
+fn skew_workload(cfg: &ExpConfig, name: &str) -> Workload {
+    let nq = cfg.n(GnisDataset::Schools.full_cardinality());
+    let np = cfg.n(GnisDataset::PopulatedPlaces.full_cardinality());
+    let q_items = match name {
+        "SKEW-G" => gaussian_clusters(nq, 10, PAPER_SIGMA, 71),
+        "SKEW-C" => gaussian_clusters(nq, 3, PAPER_SIGMA / 4.0, 73),
+        other => panic!("unknown skew workload {other:?}"),
+    };
+    Workload::build(
+        gnis_like(GnisDataset::PopulatedPlaces, np),
+        q_items,
+        DEFAULT_BUFFER_FRAC,
+    )
+}
+
 /// Scaling experiment (first entry of the perf trajectory, not a paper
-/// figure): OBJ over the Figure 13 workload at 1/2/4/8 worker threads.
+/// figure): OBJ at 1/2/4/8 worker threads over the Figure 13 workload
+/// plus the [`SCALING_SKEW`] clustered variants.
 ///
 /// Wall-clock seconds are measured per combination and compared against
 /// the sequential baseline; the determinism guarantee is asserted on
 /// every run (`pair_keys` must match the baseline exactly). Raw numbers
-/// are additionally written as JSON to `BENCH_scaling.json` (override
-/// the path with `RINGJOIN_SCALING_OUT`) so regressions are visible in
-/// version control.
+/// — including `read_faults`, `read_hits` and the derived hit rate of
+/// the shared buffer pool — are additionally written as JSON to
+/// `BENCH_scaling.json` (override the path with `RINGJOIN_SCALING_OUT`)
+/// so regressions are visible in version control. Sequential baselines
+/// stay in the file per the ROADMAP, so regressions in either mode are
+/// caught.
 pub fn scaling(cfg: &ExpConfig) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut out = format!(
-        "== Scaling: OBJ wall-clock vs worker threads, fig13 workload \
+        "== Scaling: OBJ wall-clock vs worker threads, fig13 + skew workloads \
          (scale {}, {cores} core(s) available) ==\n",
         cfg.scale
     );
@@ -563,17 +589,29 @@ pub fn scaling(cfg: &ExpConfig) -> String {
         "wall(s)",
         "speedup",
         "faults",
+        "hits",
+        "hit-rate",
         "node_acc",
         "results",
     ]);
     let mut json_entries: Vec<String> = Vec::new();
-    for (name, q, p) in COMBINATIONS {
-        let w = combo_workload(cfg, q, p);
+    // Lazily built: each workload owns a MemDisk plus a cached full
+    // page snapshot, so only one lives at a time.
+    let workloads = COMBINATIONS
+        .iter()
+        .map(|&(name, q, p)| (name, combo_workload(cfg, q, p)))
+        .chain(
+            SCALING_SKEW
+                .iter()
+                .map(|&name| (name, skew_workload(cfg, name))),
+        );
+    for (name, w) in workloads {
+        let w = &w;
         let mut baseline_secs = 0.0f64;
         let mut baseline_keys: Vec<(u64, u64)> = Vec::new();
         for threads in SCALING_THREADS {
             let opts = RcjOptions::default().with_executor(Executor::threads(threads));
-            let (m, keys) = run_rcj_with_keys(&w, &opts);
+            let (m, keys) = run_rcj_with_keys(w, &opts);
             if threads == 1 {
                 baseline_secs = m.cpu_secs;
                 baseline_keys = keys;
@@ -590,12 +628,15 @@ pub fn scaling(cfg: &ExpConfig) -> String {
                 secs(m.cpu_secs),
                 format!("{speedup:.2}x"),
                 m.io.read_faults.to_string(),
+                m.io.read_hits.to_string(),
+                format!("{:.1}%", 100.0 * m.io.read_hit_rate()),
                 m.io.logical_reads.to_string(),
                 m.stats.result_pairs.to_string(),
             ]);
             json_entries.push(format!(
                 "    {{\"combination\": \"{name}\", \"mode\": \"{}\", \"threads\": {threads}, \
                  \"wall_secs\": {:.6}, \"speedup_vs_sequential\": {:.4}, \"read_faults\": {}, \
+                 \"read_hits\": {}, \"hit_rate\": {:.4}, \
                  \"logical_reads\": {}, \"result_pairs\": {}}}",
                 if threads == 1 {
                     "sequential"
@@ -605,6 +646,8 @@ pub fn scaling(cfg: &ExpConfig) -> String {
                 m.cpu_secs,
                 speedup,
                 m.io.read_faults,
+                m.io.read_hits,
+                m.io.read_hit_rate(),
                 m.io.logical_reads,
                 m.stats.result_pairs,
             ));
@@ -617,7 +660,7 @@ pub fn scaling(cfg: &ExpConfig) -> String {
     // so downstream trajectory tooling never misreads the ~1.0x
     // speedups a single-core recording produces as regressions.
     let json = format!(
-        "{{\n  \"experiment\": \"scaling\",\n  \"workload\": \"fig13\",\n  \
+        "{{\n  \"experiment\": \"scaling\",\n  \"workload\": \"fig13+skew\",\n  \
          \"algorithm\": \"OBJ\",\n  \"scale\": {},\n  \"available_cores\": {cores},\n  \
          \"single_core_container\": {},\n  \
          \"speedups_meaningful\": {},\n  \

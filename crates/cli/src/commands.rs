@@ -202,11 +202,14 @@ fn report_stats(pager: &SharedPager, plan: &Plan<'_>, out: &RcjOutput) {
     let io = pager.borrow().stats();
     eprintln!("plan: {}", plan.summary_line());
     eprintln!(
-        "pairs: {}  candidates: {}  node accesses: {}  faults: {}  io-time: {:.2}s (10ms/fault)",
+        "pairs: {}  candidates: {}  node accesses: {}  hits: {}  faults: {}  \
+         hit-rate: {:.1}%  io-time: {:.2}s (10ms/fault)",
         out.stats.result_pairs,
         out.stats.candidate_pairs,
         io.logical_reads,
+        io.read_hits,
         io.read_faults,
+        100.0 * io.read_hit_rate(),
         CostModel::default().io_seconds(&io),
     );
 }

@@ -26,8 +26,8 @@
 //! verbatim.
 
 use crate::join::{
-    leaf_regions, rcj_join, rcj_join_leaves_into, rcj_self_join, rcj_self_join_leaves_into,
-    RcjAlgorithm, RcjOptions, RcjOutput,
+    leaf_regions, rcj_join, rcj_join_leaves_into, rcj_join_leaves_pooled, rcj_self_join,
+    rcj_self_join_leaves_into, rcj_self_join_leaves_pooled, RcjAlgorithm, RcjOptions, RcjOutput,
 };
 use crate::planner::{DatasetSummary, JoinCostModel, PlanEstimate};
 use crate::stats::RcjStats;
@@ -653,6 +653,35 @@ impl Plan<'_> {
         } else {
             with_tree_pair!(self.outer, self.inner, |tq, tp| rcj_join_leaves_into(
                 tq, tp, positions, &opts, sink
+            ))
+        }
+    }
+
+    /// [`Plan::run_leaves`] with page accounting routed through a
+    /// caller-supplied shared
+    /// [`BufferPool`](ringjoin_storage::BufferPool) instead of the
+    /// engine pager's LRU.
+    ///
+    /// Engine datasets all live in one pager, so the run reads a single
+    /// cached snapshot through the pool; per-run I/O counters are
+    /// absorbed back into the engine pager on return. This is how the
+    /// sharded server keeps its replicas on **one** warm cache: every
+    /// shard passes the same pool, and pages faulted by one shard's
+    /// leaf subset are hits for the next.
+    pub fn run_leaves_pooled(
+        &self,
+        positions: &[usize],
+        pool: &ringjoin_storage::BufferPool,
+        sink: &mut dyn TaggedPairSink,
+    ) -> RcjStats {
+        let opts = self.options();
+        if self.self_join {
+            with_tree!(self.outer, |t| rcj_self_join_leaves_pooled(
+                t, positions, pool, &opts, sink
+            ))
+        } else {
+            with_tree_pair!(self.outer, self.inner, |tq, tp| rcj_join_leaves_pooled(
+                tq, tp, positions, pool, &opts, sink
             ))
         }
     }

@@ -4,34 +4,51 @@
 //! leaf groups of `T_Q` touch disjoint slices of the output and all index
 //! access is read-only. What made the seed single-threaded was the
 //! storage layer (one `Rc<RefCell<_>>` pager), not the algorithms — so
-//! the executor parallelises at exactly that seam:
+//! the executor parallelises at exactly that seam. Two design decisions
+//! carry the parallel cold-cache fix:
 //!
-//! * the outer leaf list (already in depth-first order) is partitioned
-//!   into **contiguous** chunks, one per worker, preserving the
-//!   Section 3.4 locality argument *within* each worker's buffer;
-//! * each worker runs the unchanged per-leaf driver over an `Arc`-shared
-//!   read-only [`PageSnapshot`](ringjoin_storage::PageSnapshot) through a
-//!   private [`WorkerPager`](ringjoin_storage::WorkerPager) whose LRU
-//!   capacity is the configured buffer budget divided by the worker
-//!   count;
-//! * results are concatenated **by chunk index** and per-worker counters
-//!   are merged ([`RcjStats::merge`], [`Pager::absorb`](ringjoin_storage::Pager::absorb)),
-//!   so a parallel run's output is identical to the sequential run's —
-//!   same pairs, same order — and its aggregate statistics are the
-//!   figures the paper reports.
+//! * **One shared cache, not `workers` cold ones.** Every worker reads
+//!   the `Arc`-shared read-only
+//!   [`PageSnapshot`](ringjoin_storage::PageSnapshot) through a
+//!   [`PooledPager`](ringjoin_storage::PooledPager) accounting into the
+//!   pager's cached [shared pool](ringjoin_storage::Pager::shared_pool)
+//!   — a sharded clock-sweep cache at the **same total budget** as the
+//!   sequential LRU. Hot inner nodes faulted by one worker are hits for
+//!   every other worker (and for later runs: the pool stays warm across
+//!   joins over an unmodified pager).
+//! * **Work stealing, merged by leaf index.** The outer leaf list is
+//!   seeded into per-worker deques as contiguous chunks weighted by
+//!   **leaf spatial extent** (a cheap locality-aware proxy for work on
+//!   skewed `T_Q`), and an idle worker steals a bounded batch from the
+//!   **tail** of a loaded peer — the end farthest from the victim's own
+//!   scan position, so locality within each deque survives the steal.
+//!   Every emitted pair is tagged with its **global leaf index** through
+//!   the [`TaggedPairSink`](crate::TaggedPairSink) seam; a stable merge
+//!   on that tag reproduces the sequential emission order byte for byte
+//!   regardless of which worker processed which leaf — the same merge
+//!   contract the sharded server uses.
 //!
-//! Workers are plain `std::thread::scope` threads: no work stealing, no
-//! queues, no dependencies. Pairs leave the executor through the
-//! caller's [`PairSink`](crate::PairSink); the sequential path honors a
-//! sink's early-exit request leaf by leaf, the parallel path after its
-//! deterministic merge.
+//! Per-worker [`RcjStats`] and [`IoStats`] are plain sums over leaf
+//! groups, so merging them ([`RcjStats::merge`],
+//! [`Pager::absorb`](ringjoin_storage::Pager::absorb)) yields the exact
+//! sequential totals — parallel CPU counters and `logical_reads` are
+//! deterministic; only the hit/fault split varies with scheduling (two
+//! workers racing on a cold page may both fault it), which is why the
+//! bench guard gates faults with a tolerance and logical reads exactly.
+//!
+//! Workers are plain `std::thread::scope` threads. Pairs leave the
+//! executor through the caller's [`PairSink`](crate::PairSink); the
+//! sequential path honors a sink's early-exit request leaf by leaf, the
+//! parallel path after its deterministic merge.
 
 use crate::index::{IndexProbe, NodeRef};
-use crate::join::{leaf_items, process_leaf, RcjOptions};
+use crate::join::{leaf_items, process_leaf, RcjOptions, TagAdapter};
 use crate::stats::RcjStats;
 use crate::stream::PairSink;
-use ringjoin_storage::{IoStats, PageAccess, SharedPager, WorkerPager};
+use ringjoin_storage::{IoStats, PageAccess, PooledPager, SharedPager};
+use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Mutex;
 
 /// Execution mode of an RCJ run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -39,9 +56,9 @@ pub enum Executor {
     /// Process the outer leaves one by one through the shared pager —
     /// the paper's original cost model.
     Sequential,
-    /// Partition the outer leaves into contiguous depth-first chunks and
-    /// process them on `threads` worker threads. Output is byte-identical
-    /// to [`Executor::Sequential`].
+    /// Schedule the outer leaves across `threads` work-stealing workers
+    /// over the shared buffer pool. Output is byte-identical to
+    /// [`Executor::Sequential`].
     Parallel {
         /// Number of worker threads (values ≤ 1 behave sequentially).
         threads: usize,
@@ -105,7 +122,7 @@ impl Default for Executor {
 /// Page-access handles for the two sides of a join.
 ///
 /// Sequential runs hand out two clones of the shared pager(s); parallel
-/// workers hand out their private worker pagers — one if both trees live
+/// workers hand out their private pooled pagers — one if both trees live
 /// in the same pager (always true for self-joins), two otherwise.
 pub(crate) enum Pagers<'a> {
     /// Both trees through one handle.
@@ -198,9 +215,96 @@ fn run_sequential<PQ: IndexProbe, PP: IndexProbe>(
     stats
 }
 
-/// Per-worker result, merged back in chunk order.
+// ---------------------------------------------------------------------
+// The work-stealing scheduler
+// ---------------------------------------------------------------------
+
+/// Upper bound on the leaves moved by one steal. Stealing half the
+/// victim's tail balances fast, but an unbounded grab from a huge deque
+/// would just relocate the imbalance; a batch bound keeps every steal a
+/// small, cache-friendly contiguous run.
+const STEAL_BATCH: usize = 32;
+
+/// Scheduling weight of one outer leaf group: its spatial extent
+/// (rectangle half-perimeter). On skewed `T_Q` a wide leaf spans more of
+/// the inner tree — more filter sub-trees opened, more verification
+/// probes — so extent-weighted seeding hands each worker comparable
+/// *work*, not just comparable leaf counts. The `1.0` floor keeps
+/// zero-extent leaves (duplicate-heavy data) and non-finite regions (a
+/// root standing in for the whole plane) schedulable.
+fn leaf_weight(leaf: &NodeRef) -> f64 {
+    let margin = leaf.region.margin();
+    if margin.is_finite() && margin > 0.0 {
+        1.0 + margin
+    } else {
+        1.0
+    }
+}
+
+/// Seeds the per-worker deques: contiguous runs of leaf positions whose
+/// cumulative extent weight is balanced across workers. Contiguity
+/// preserves the Section 3.4 locality argument within each deque; the
+/// weighting front-loads balance so stealing is a correction, not the
+/// primary scheduler.
+fn seed_queues(leaves: &[NodeRef], workers: usize) -> Vec<Mutex<VecDeque<usize>>> {
+    let total: f64 = leaves.iter().map(leaf_weight).sum();
+    let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut chunk = 0usize;
+    let mut acc = 0.0;
+    for (pos, leaf) in leaves.iter().enumerate() {
+        queues[chunk].push_back(pos);
+        acc += leaf_weight(leaf);
+        // Cut to the next chunk once this one carries its share of the
+        // total weight; an over-heavy leaf (one giant group on skewed
+        // data) closes its chunk immediately instead of dragging
+        // neighbours along.
+        while chunk + 1 < workers && acc >= total * (chunk + 1) as f64 / workers as f64 {
+            chunk += 1;
+        }
+    }
+    queues.into_iter().map(Mutex::new).collect()
+}
+
+/// Takes the next leaf position for worker `w`: its own deque's front,
+/// or a bounded batch stolen from the tail of the first non-empty peer
+/// (scanned round-robin from `w + 1`). Returns `None` when every deque
+/// is empty at scan time — a racing peer may still repopulate one, in
+/// which case that peer simply finishes the work itself.
+fn next_leaf(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(pos) = queues[w].lock().expect("worker deque poisoned").pop_front() {
+        return Some(pos);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        let mut vq = queues[victim].lock().expect("worker deque poisoned");
+        let len = vq.len();
+        if len == 0 {
+            continue;
+        }
+        // Bounded tail steal: up to half the victim's remaining leaves,
+        // capped at STEAL_BATCH, taken from the end farthest from the
+        // victim's own scan position.
+        let take = len.div_ceil(2).min(STEAL_BATCH);
+        let mut stolen = vq.split_off(len - take);
+        drop(vq);
+        let first = stolen.pop_front();
+        if !stolen.is_empty() {
+            queues[w]
+                .lock()
+                .expect("worker deque poisoned")
+                .extend(stolen);
+        }
+        return first;
+    }
+    None
+}
+
+/// Per-worker result, merged deterministically by leaf tag.
 struct WorkerOutput {
-    pairs: Vec<crate::RcjPair>,
+    /// Pairs tagged with the position of their outer leaf group in the
+    /// scheduled leaf list.
+    tagged: Vec<(usize, crate::RcjPair)>,
     stats: RcjStats,
     io_q: IoStats,
     io_p: Option<IoStats>,
@@ -218,43 +322,47 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
     opts: &RcjOptions,
     sink: &mut dyn PairSink,
 ) -> RcjStats {
-    // One snapshot per distinct pager: trees sharing a pager (the paper's
-    // setup, and every self-join) share one snapshot and one per-worker
-    // buffer, exactly as they share one LRU buffer sequentially.
+    // One snapshot and one shared pool per distinct pager: trees sharing
+    // a pager (the paper's setup, and every self-join) share both,
+    // exactly as they share one LRU buffer sequentially. The pool is
+    // cached in the pager, so repeated runs keep it warm.
     let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
-    let snap_q = pager_q.borrow_mut().snapshot();
-    let snap_p = if one_pager {
+    let (snap_q, pool_q) = {
+        let mut pg = pager_q.borrow_mut();
+        (pg.snapshot(), pg.shared_pool())
+    };
+    let snap_pool_p = if one_pager {
         None
     } else {
-        Some(pager_p.borrow_mut().snapshot())
+        let mut pg = pager_p.borrow_mut();
+        Some((pg.snapshot(), pg.shared_pool()))
     };
-    // Each worker gets an equal slice of the configured buffer budget, so
-    // a parallel run uses the same total buffer memory as a sequential
-    // one.
-    let cap_q = (pager_q.borrow().buffer_capacity() / workers).max(1);
-    let cap_p = (pager_p.borrow().buffer_capacity() / workers).max(1);
 
-    let chunk_len = leaves.len().div_ceil(workers);
-    let chunks: Vec<&[NodeRef]> = leaves.chunks(chunk_len).collect();
+    let queues = seed_queues(leaves, workers);
 
     let results: Vec<WorkerOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
                 let snap_q = snap_q.clone();
-                let snap_p = snap_p.clone();
+                let snap_pool_p = snap_pool_p.clone();
+                let pool_q = pool_q.clone();
+                let queues = &queues;
                 scope.spawn(move || {
-                    let mut pairs: Vec<crate::RcjPair> = Vec::new();
+                    let mut tagged: Vec<(usize, crate::RcjPair)> = Vec::new();
                     let mut stats = RcjStats::default();
-                    let mut wq = WorkerPager::new(snap_q, cap_q);
-                    let mut wp = snap_p.map(|s| WorkerPager::new(s, cap_p));
+                    let mut wq = PooledPager::new(snap_q, pool_q);
+                    let mut wp = snap_pool_p.map(|(s, pool)| PooledPager::new(s, pool));
                     {
                         let mut pagers = match wp.as_mut() {
                             None => Pagers::Shared(&mut wq),
                             Some(wp) => Pagers::Split { q: &mut wq, p: wp },
                         };
-                        for leaf in *chunk {
-                            let items = leaf_items(probe_q, pagers.q(), *leaf);
+                        while let Some(pos) = next_leaf(queues, w) {
+                            let items = leaf_items(probe_q, pagers.q(), leaves[pos]);
+                            let mut tag_sink = TagAdapter {
+                                leaf: pos,
+                                inner: &mut tagged,
+                            };
                             process_leaf(
                                 probe_q,
                                 probe_p,
@@ -262,13 +370,13 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
                                 &items,
                                 self_join,
                                 opts,
-                                &mut pairs,
+                                &mut tag_sink,
                                 &mut stats,
                             );
                         }
                     }
                     WorkerOutput {
-                        pairs,
+                        tagged,
                         stats,
                         io_q: wq.stats(),
                         io_p: wp.map(|w| w.stats()),
@@ -282,24 +390,26 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
             .collect()
     });
 
-    // Deterministic merge: chunk order is leaf order is sequential order.
-    // The sink can stop the *reporting* early, but counters and I/O are
-    // always fully absorbed — the work has already happened.
+    // Deterministic merge: every leaf is processed by exactly one worker
+    // and its pairs are contiguous in that worker's emission order, so a
+    // stable sort on the leaf tag reconstructs the sequential sequence
+    // exactly — whichever worker ended up with which leaf. Counters and
+    // I/O are always fully absorbed (the work has already happened); the
+    // sink can only stop the *reporting* early.
     let mut stats = RcjStats::default();
-    let mut reporting = true;
+    let mut merged: Vec<(usize, crate::RcjPair)> = Vec::new();
     for w in results {
         stats.merge(w.stats);
         pager_q.borrow_mut().absorb(w.io_q);
         if let Some(io) = w.io_p {
             pager_p.borrow_mut().absorb(io);
         }
-        if reporting {
-            for pr in w.pairs {
-                if !sink.push(pr) {
-                    reporting = false;
-                    break;
-                }
-            }
+        merged.extend(w.tagged);
+    }
+    merged.sort_by_key(|(leaf, _)| *leaf);
+    for (_, pr) in merged {
+        if !sink.push(pr) {
+            break;
         }
     }
     stats
@@ -308,6 +418,7 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringjoin_geom::{pt, Rect};
 
     #[test]
     fn threads_constructor_folds_to_sequential() {
@@ -316,5 +427,94 @@ mod tests {
         assert_eq!(Executor::threads(4), Executor::Parallel { threads: 4 });
         assert_eq!(Executor::Sequential.worker_count(), 1);
         assert_eq!(Executor::Parallel { threads: 8 }.worker_count(), 8);
+    }
+
+    fn leaf(w: f64) -> NodeRef {
+        NodeRef {
+            page: ringjoin_storage::PageId(0),
+            region: Rect::new(pt(0.0, 0.0), pt(w, 0.0)),
+        }
+    }
+
+    #[test]
+    fn seeding_is_contiguous_complete_and_weight_balanced() {
+        // Nine leaves: one hugely wide, eight slim. Equal-count chunking
+        // would give worker 0 the giant *plus* a third of the rest;
+        // weighted seeding isolates the giant.
+        let leaves: Vec<NodeRef> = [1000.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+            .iter()
+            .map(|&w| leaf(w))
+            .collect();
+        let queues = seed_queues(&leaves, 3);
+        let chunks: Vec<Vec<usize>> = queues
+            .iter()
+            .map(|q| q.lock().unwrap().iter().copied().collect())
+            .collect();
+        // Complete and contiguous.
+        let flat: Vec<usize> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..9).collect::<Vec<_>>());
+        // The giant leaf dominates two-thirds of the weight: it must sit
+        // alone in its chunk (its midpoint lands in worker 0's band and
+        // every slim leaf's midpoint lands past it).
+        assert_eq!(chunks[0], vec![0]);
+        assert!(!chunks[1].is_empty() || !chunks[2].is_empty());
+    }
+
+    #[test]
+    fn degenerate_weights_still_schedule_every_leaf() {
+        // Zero-extent and non-finite regions fall back to unit weight.
+        let inf = f64::INFINITY;
+        let leaves = vec![
+            leaf(0.0),
+            NodeRef {
+                page: ringjoin_storage::PageId(0),
+                region: Rect::new(pt(-inf, -inf), pt(inf, inf)),
+            },
+            leaf(0.0),
+            leaf(5.0),
+        ];
+        let queues = seed_queues(&leaves, 8);
+        let mut flat: Vec<usize> = queues
+            .iter()
+            .flat_map(|q| q.lock().unwrap().iter().copied().collect::<Vec<_>>())
+            .collect();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stealing_drains_everything_exactly_once() {
+        let leaves: Vec<NodeRef> = (0..100).map(|_| leaf(1.0)).collect();
+        // Pathological seed: everything on worker 0 — the other three
+        // live purely off steals.
+        let queues: Vec<Mutex<VecDeque<usize>>> = vec![
+            Mutex::new((0..100).collect()),
+            Mutex::new(VecDeque::new()),
+            Mutex::new(VecDeque::new()),
+            Mutex::new(VecDeque::new()),
+        ];
+        let _ = leaves;
+        let processed: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let queues = &queues;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(pos) = next_leaf(queues, w) {
+                            mine.push(pos);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<usize> = processed.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..100).collect::<Vec<_>>(),
+            "lost or duplicated leaves"
+        );
     }
 }

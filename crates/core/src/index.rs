@@ -22,7 +22,7 @@
 //! goes through the [`PageAccess`] argument, which is how the same
 //! driver code runs sequentially over the owning [`SharedPager`] and in
 //! parallel over per-worker
-//! [`WorkerPager`](ringjoin_storage::WorkerPager)s. [`RcjIndex`] ties a
+//! [`PooledPager`](ringjoin_storage::PooledPager)s. [`RcjIndex`] ties a
 //! probe to the tree that owns the pages, and additionally describes the
 //! dataset ([`RcjIndex::summary`]) so the
 //! [`planner`](crate::planner) can cost queries without touching pages.

@@ -291,10 +291,12 @@ pub fn leaf_regions<I: RcjIndex>(tree: &I) -> Vec<Rect> {
 }
 
 /// Adapts a [`TaggedPairSink`] to the per-leaf [`PairSink`] contract,
-/// stamping every pair with the global leaf index being processed.
-struct TagAdapter<'a> {
-    leaf: usize,
-    inner: &'a mut dyn TaggedPairSink,
+/// stamping every pair with the global leaf index being processed. Used
+/// by the leaf-subset drivers below and by the work-stealing executor
+/// (whose deterministic merge key is exactly this tag).
+pub(crate) struct TagAdapter<'a> {
+    pub(crate) leaf: usize,
+    pub(crate) inner: &'a mut dyn TaggedPairSink,
 }
 
 impl PairSink for TagAdapter<'_> {
@@ -339,12 +341,102 @@ pub fn rcj_self_join_leaves_into<I: RcjIndex>(
     run_leaf_subset(tree, tree, true, positions, opts, sink)
 }
 
+/// [`rcj_join_leaves_into`] with page accounting routed through a
+/// caller-supplied shared [`BufferPool`](ringjoin_storage::BufferPool)
+/// instead of the owning pagers'
+/// LRU buffers.
+///
+/// This is the per-shard hot path of the sharded server: every shard
+/// replica accounts into **one** pool, so inner-tree pages faulted by
+/// one shard's run are warm for every other shard (the replicas are
+/// built identically, so their page-id spaces coincide). Reads go
+/// through cached [snapshots](ringjoin_storage::Pager::snapshot) and
+/// the per-run [`IoStats`](ringjoin_storage::IoStats) are absorbed back
+/// into the owning pager(s) on return, exactly like a parallel
+/// executor worker's. When the two trees live in *different* pagers
+/// they share the one pool — results stay exact (bytes always come
+/// from each side's own snapshot); only the hit/fault accounting
+/// conflates the two id spaces.
+pub fn rcj_join_leaves_pooled<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    positions: &[usize],
+    pool: &ringjoin_storage::BufferPool,
+    opts: &RcjOptions,
+    sink: &mut dyn TaggedPairSink,
+) -> RcjStats {
+    run_leaf_subset_pooled(tq, tp, false, positions, pool, opts, sink)
+}
+
+/// Self-join variant of [`rcj_join_leaves_pooled`].
+pub fn rcj_self_join_leaves_pooled<I: RcjIndex>(
+    tree: &I,
+    positions: &[usize],
+    pool: &ringjoin_storage::BufferPool,
+    opts: &RcjOptions,
+    sink: &mut dyn TaggedPairSink,
+) -> RcjStats {
+    run_leaf_subset_pooled(tree, tree, true, positions, pool, opts, sink)
+}
+
 fn run_leaf_subset<IQ: RcjIndex, IP: RcjIndex>(
     tq: &IQ,
     tp: &IP,
     self_join: bool,
     positions: &[usize],
     opts: &RcjOptions,
+    sink: &mut dyn TaggedPairSink,
+) -> RcjStats {
+    let mut pgq = tq.pager();
+    let mut pgp = tp.pager();
+    let mut pagers = Pagers::Split {
+        q: &mut pgq,
+        p: &mut pgp,
+    };
+    leaf_subset_loop(tq, tp, self_join, positions, opts, &mut pagers, sink)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_leaf_subset_pooled<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    self_join: bool,
+    positions: &[usize],
+    pool: &ringjoin_storage::BufferPool,
+    opts: &RcjOptions,
+    sink: &mut dyn TaggedPairSink,
+) -> RcjStats {
+    let pager_q = tq.pager();
+    let pager_p = tp.pager();
+    let one_pager = std::rc::Rc::ptr_eq(&pager_q, &pager_p);
+    let snap_q = pager_q.borrow_mut().snapshot();
+    let snap_p = (!one_pager).then(|| pager_p.borrow_mut().snapshot());
+    let mut wq = ringjoin_storage::PooledPager::new(snap_q, pool.clone());
+    let mut wp = snap_p.map(|s| ringjoin_storage::PooledPager::new(s, pool.clone()));
+    let stats = {
+        let mut pagers = match wp.as_mut() {
+            None => Pagers::Shared(&mut wq),
+            Some(wp) => Pagers::Split { q: &mut wq, p: wp },
+        };
+        leaf_subset_loop(tq, tp, self_join, positions, opts, &mut pagers, sink)
+    };
+    // Aggregate I/O exactly as the parallel executor does, so the
+    // owning pagers report the same totals under either access path.
+    pager_q.borrow_mut().absorb(wq.stats());
+    if let Some(wp) = wp {
+        pager_p.borrow_mut().absorb(wp.stats());
+    }
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn leaf_subset_loop<IQ: RcjIndex, IP: RcjIndex>(
+    tq: &IQ,
+    tp: &IP,
+    self_join: bool,
+    positions: &[usize],
+    opts: &RcjOptions,
+    pagers: &mut Pagers<'_>,
     sink: &mut dyn TaggedPairSink,
 ) -> RcjStats {
     let opts = RcjOptions {
@@ -357,12 +449,6 @@ fn run_leaf_subset<IQ: RcjIndex, IP: RcjIndex>(
     let probe_q = tq.probe();
     let probe_p = tp.probe();
     let mut stats = RcjStats::default();
-    let mut pgq = tq.pager();
-    let mut pgp = tp.pager();
-    let mut pagers = Pagers::Split {
-        q: &mut pgq,
-        p: &mut pgp,
-    };
     for &pos in positions {
         let Some(leaf) = leaves.get(pos) else {
             continue;
@@ -375,7 +461,7 @@ fn run_leaf_subset<IQ: RcjIndex, IP: RcjIndex>(
         if !process_leaf(
             &probe_q,
             &probe_p,
-            &mut pagers,
+            pagers,
             &items,
             self_join,
             &opts,

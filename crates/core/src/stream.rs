@@ -18,10 +18,13 @@
 //!     between leaves;
 //!   * **parallel leaf order** — outer leaves are processed in *waves*
 //!     of `workers × 4` leaves on scoped threads over per-worker
-//!     [`WorkerPager`](ringjoin_storage::WorkerPager)s, merged by chunk
-//!     index. The pair sequence is **identical** to the sequential
-//!     stream (and to [`rcj_join`](crate::rcj_join) under either
-//!     executor); memory stays bounded by one wave;
+//!     [`PooledPager`](ringjoin_storage::PooledPager)s that all account
+//!     into the pager's cached
+//!     [shared pool](ringjoin_storage::Pager::shared_pool), merged by
+//!     chunk index. The pair sequence is **identical** to the
+//!     sequential stream (and to [`rcj_join`](crate::rcj_join) under
+//!     either executor); memory stays bounded by one wave, and the
+//!     cache stays warm across waves and across runs;
 //!   * **ascending ring diameter** — an index-agnostic incremental
 //!     distance join (Hjaltason–Samet) over the two probes, with each
 //!     candidate lazily verified. Since candidate distance *is* ring
@@ -41,7 +44,7 @@ use crate::pair::RcjPair;
 use crate::stats::RcjStats;
 use crate::verify::verify_with;
 use ringjoin_geom::{Item, Rect};
-use ringjoin_storage::{SharedPager, WorkerPager};
+use ringjoin_storage::{PooledPager, SharedPager};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
@@ -209,12 +212,13 @@ impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for SeqLeafSource<PQ, PP> {
 /// to amortise the scoped-thread spawn.
 const WAVE_LEAVES_PER_WORKER: usize = 4;
 
-/// One parallel worker's persistent state across waves: its private
-/// buffer(s) over the shared snapshot (LRU history survives waves, like
-/// a whole-run worker's does within its chunk).
+/// One parallel worker's persistent state across waves: its pooled
+/// handle(s) over the shared snapshot. The cache itself lives in the
+/// pager's shared pool — residency survives waves, workers, and whole
+/// runs; only the per-worker counters are private here.
 struct WaveWorker {
-    wq: WorkerPager,
-    wp: Option<WorkerPager>,
+    wq: PooledPager,
+    wp: Option<PooledPager>,
 }
 
 /// Parallel source: waves of `workers × WAVE_LEAVES_PER_WORKER` leaf
@@ -247,14 +251,20 @@ impl<PQ: IndexProbe, PP: IndexProbe> ParLeafSource<PQ, PP> {
         opts: RcjOptions,
     ) -> Self {
         let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
-        let snap_q = pager_q.borrow_mut().snapshot();
-        let snap_p = (!one_pager).then(|| pager_p.borrow_mut().snapshot());
-        let cap_q = (pager_q.borrow().buffer_capacity() / workers).max(1);
-        let cap_p = (pager_p.borrow().buffer_capacity() / workers).max(1);
+        let (snap_q, pool_q) = {
+            let mut pg = pager_q.borrow_mut();
+            (pg.snapshot(), pg.shared_pool())
+        };
+        let snap_pool_p = (!one_pager).then(|| {
+            let mut pg = pager_p.borrow_mut();
+            (pg.snapshot(), pg.shared_pool())
+        });
         let workers = (0..workers)
             .map(|_| WaveWorker {
-                wq: WorkerPager::new(snap_q.clone(), cap_q),
-                wp: snap_p.clone().map(|s| WorkerPager::new(s, cap_p)),
+                wq: PooledPager::new(snap_q.clone(), pool_q.clone()),
+                wp: snap_pool_p
+                    .clone()
+                    .map(|(s, pool)| PooledPager::new(s, pool)),
             })
             .collect();
         ParLeafSource {

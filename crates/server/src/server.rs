@@ -171,8 +171,9 @@ impl Server {
         }
     }
 
-    /// The `STATS` body: shard count, request counter, and one line per
-    /// loaded dataset.
+    /// The `STATS` body: shard count, request counter, the shared
+    /// buffer pool's lifetime hit/fault counters (cache behavior on the
+    /// wire), and one line per loaded dataset.
     fn stats_reply(&self) -> String {
         let mut body = String::new();
         for name in self.engine.dataset_names() {
@@ -185,11 +186,15 @@ impl Server {
                 info.items_per_shard,
             ));
         }
+        let (pool_hits, pool_faults, pool_hit_rate) = self.engine.pool_stats();
         Reply::encode(
             &[
                 ("shards", self.engine.shard_count().to_string()),
                 ("datasets", self.engine.dataset_names().len().to_string()),
                 ("requests", self.requests.to_string()),
+                ("pool_hits", pool_hits.to_string()),
+                ("pool_faults", pool_faults.to_string()),
+                ("pool_hit_rate", format!("{pool_hit_rate:.4}")),
             ],
             &body,
         )

@@ -40,6 +40,7 @@ use crate::partition::SpacePartition;
 use crate::ServerError;
 use ringjoin_core::{Engine, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjPair, RcjStats};
 use ringjoin_geom::{Item, Rect};
+use ringjoin_storage::BufferPool;
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -168,6 +169,12 @@ struct WorkerDataset {
 struct ShardWorker {
     engine: Engine,
     datasets: BTreeMap<String, WorkerDataset>,
+    /// The pool shared by **every** shard worker of this
+    /// [`ShardedEngine`]. Replicas are built identically, so their
+    /// page-id spaces coincide — inner-tree pages one shard's join
+    /// faults in are warm for every other shard's, instead of each
+    /// replica re-faulting its private engine buffer.
+    pool: BufferPool,
 }
 
 impl ShardWorker {
@@ -268,7 +275,7 @@ impl ShardWorker {
         };
         let plan = Self::plan(&self.engine, outer, inner, algo, None)?;
         let mut tagged: Vec<(usize, RcjPair)> = Vec::new();
-        let mut stats = plan.run_leaves(&positions, &mut tagged);
+        let mut stats = plan.run_leaves_pooled(&positions, &self.pool, &mut tagged);
         if let Some(rb) = bounds {
             tagged.retain(|(_, pr)| rb.admits(pr));
             stats.result_pairs = tagged.len() as u64;
@@ -335,27 +342,38 @@ struct CatalogEntry {
 pub struct ShardedEngine {
     shards: Vec<Shard>,
     catalog: BTreeMap<String, CatalogEntry>,
+    /// The one buffer pool all shard workers account through (see
+    /// [`ShardedEngine::pool_stats`]).
+    pool: BufferPool,
 }
 
 impl ShardedEngine {
     /// Spawns `shards >= 1` shard workers (rejecting `0` — a shard
     /// *count* must be at least one, mirroring the `--threads`
-    /// validation of the executor).
+    /// validation of the executor). All workers share **one** buffer
+    /// pool: sized effectively unbounded like each engine's default
+    /// buffer, it exists so replicas warm pages for each other and so
+    /// cache behavior is observable per serving process.
     pub fn new(shards: usize) -> Result<ShardedEngine, ServerError> {
         if shards == 0 {
             return Err(ServerError::InvalidShards);
         }
+        let pool = BufferPool::new(usize::MAX / 2);
         let shards = (0..shards)
             .map(|_| {
                 let (tx, rx) = channel();
+                let pool = pool.clone();
                 // The engine is built *inside* the worker thread: its
                 // pager is single-threaded by design (`Rc`-shared), and
                 // never leaves the thread that owns it — shards only
-                // ever exchange plain-data messages.
+                // ever exchange plain-data messages. The pool, by
+                // contrast, is `Send + Sync` and deliberately crosses
+                // into every worker.
                 let handle = std::thread::spawn(move || {
                     let worker = ShardWorker {
                         engine: Engine::new(),
                         datasets: BTreeMap::new(),
+                        pool,
                     };
                     worker.run(rx);
                 });
@@ -368,12 +386,20 @@ impl ShardedEngine {
         Ok(ShardedEngine {
             shards,
             catalog: BTreeMap::new(),
+            pool,
         })
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Lifetime counters of the pool shared by every shard worker:
+    /// `(hits, faults, hit rate)`. Surfaced on the wire by the `STATS`
+    /// response, so cache behavior is observable end to end.
+    pub fn pool_stats(&self) -> (u64, u64, f64) {
+        (self.pool.hits(), self.pool.faults(), self.pool.hit_rate())
     }
 
     /// Names of all loaded datasets (sorted).
@@ -896,6 +922,36 @@ mod tests {
             se.self_join("d", RcjAlgorithm::Auto, Some(nan)),
             Err(ServerError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn shard_replicas_share_one_warm_pool() {
+        let ps = items(220, 91, 1100.0);
+        let qs = items(220, 93, 1100.0);
+        let mut se = ShardedEngine::new(4).unwrap();
+        se.load("p", ps, IndexKind::Rtree).unwrap();
+        se.load("q", qs, IndexKind::Rtree).unwrap();
+        let (h0, f0, _) = se.pool_stats();
+        assert_eq!(h0 + f0, 0, "loads alone must not touch the pool");
+
+        let first = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+        assert!(!first.pairs.is_empty());
+        let (h1, f1, rate1) = se.pool_stats();
+        assert!(f1 > 0, "a cold pool must fault");
+        assert!(
+            h1 > 0,
+            "shards replaying the same inner tree must hit each other's pages"
+        );
+        assert!(rate1 > 0.0 && rate1 < 1.0);
+
+        // Second identical join: the (unbounded) pool is fully warm, so
+        // not a single new fault — the serving win in one assertion.
+        let second = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(second.pairs, first.pairs);
+        let (h2, f2, rate2) = se.pool_stats();
+        assert_eq!(f2, f1, "warm pool must not fault again");
+        assert!(h2 > h1);
+        assert!(rate2 > rate1);
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! A shared, sharded clock-sweep buffer pool — the storage half of the
+//! parallel cold-cache fix.
+//!
+//! The previous per-worker design divided the configured buffer budget
+//! into `workers` private LRUs that each started cold and never shared
+//! hot pages: at high thread counts every worker
+//! re-faults the inner tree's upper levels, and measured `read_faults`
+//! degenerate to `logical_reads`. The [`BufferPool`] replaces that with
+//! **one** cache all workers hit:
+//!
+//! * a **fixed page-frame arena** split into `N` lock-striped shards,
+//!   keyed by page id (`id % N`), so concurrent workers rarely contend
+//!   on the same lock;
+//! * **clock-sweep (second chance) eviction** per shard — an `O(1)`
+//!   amortised approximation of LRU whose bookkeeping is a single
+//!   referenced bit, cheap enough to sit on the hot path of every page
+//!   access;
+//! * **atomic hit/fault counters** for pool-level observability (the
+//!   per-worker [`IoStats`] of each [`PooledPager`] remain the unit the
+//!   executor merges back into the owning pager).
+//!
+//! Because the parallel read path serves bytes from an immutable,
+//! always-resident [`PageSnapshot`], the frames track *residency and
+//! recency only* — no bytes are copied on a fault. A fault means "this access would have gone to the device
+//! under the configured budget", which keeps the paper's I/O accounting
+//! intact while the cache itself is shared and stays warm across
+//! workers, waves, runs, and server shard replicas.
+
+use crate::disk::PageId;
+use crate::pager::{IoStats, PageAccess};
+use crate::snapshot::PageSnapshot;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default number of lock stripes. Sixteen keeps the probability of two
+/// workers colliding on one mutex low at the thread counts the executor
+/// sweeps (≤ 8) without scattering the arena into uselessly small
+/// shards.
+pub const DEFAULT_POOL_SHARDS: usize = 16;
+
+/// One frame of the arena: which page occupies it plus the clock's
+/// referenced bit.
+struct Frame {
+    page: PageId,
+    referenced: bool,
+}
+
+/// One lock stripe: a fixed-capacity frame arena with a clock hand.
+struct PoolShard {
+    capacity: usize,
+    /// Grows lazily up to `capacity`, then frames are only ever reused.
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+}
+
+impl PoolShard {
+    fn new(capacity: usize) -> PoolShard {
+        PoolShard {
+            capacity,
+            // Lazy arena: huge capacities (the engine's effectively
+            // unbounded default) must not pre-allocate.
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    /// Touches `page`; returns `true` on a hit. On a miss the page is
+    /// installed, evicting by clock sweep when the arena is full.
+    fn access(&mut self, page: PageId) -> bool {
+        if let Some(&idx) = self.map.get(&page) {
+            self.frames[idx].referenced = true;
+            return true;
+        }
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page,
+                referenced: true,
+            });
+            self.map.insert(page, self.frames.len() - 1);
+        } else {
+            // Second chance: spin the hand, clearing referenced bits,
+            // until a frame that was not touched since the last sweep
+            // gives up its slot. Terminates within two laps.
+            loop {
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.frames.len();
+                if self.frames[idx].referenced {
+                    self.frames[idx].referenced = false;
+                } else {
+                    let evicted = self.frames[idx].page;
+                    self.map.remove(&evicted);
+                    self.frames[idx] = Frame {
+                        page,
+                        referenced: true,
+                    };
+                    self.map.insert(page, idx);
+                    break;
+                }
+            }
+        }
+        false
+    }
+
+    fn clear(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+        self.hand = 0;
+    }
+}
+
+struct PoolInner {
+    shards: Vec<Mutex<PoolShard>>,
+    capacity: usize,
+    hits: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// A shared, sharded clock-sweep page cache (see the module docs).
+///
+/// Cloning is cheap (an `Arc` bump); all clones address the same
+/// frames and counters, and the pool is `Send + Sync`, so one pool can
+/// back any number of concurrent [`PooledPager`]s — parallel join
+/// workers, stream waves, and server shard replicas alike.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` total frames (clamped to at least 1) across
+    /// [`DEFAULT_POOL_SHARDS`] lock stripes.
+    pub fn new(capacity: usize) -> BufferPool {
+        BufferPool::with_shards(capacity, DEFAULT_POOL_SHARDS)
+    }
+
+    /// A pool of `capacity` total frames across `shards` lock stripes.
+    /// The stripe count is clamped so every stripe holds at least one
+    /// frame and the *total* arena never exceeds `capacity` — the pool
+    /// competes with the per-worker-LRU design at the same budget.
+    pub fn with_shards(capacity: usize, shards: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| Mutex::new(PoolShard::new(base + usize::from(i < extra))))
+            .collect();
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                shards,
+                capacity,
+                hits: AtomicU64::new(0),
+                faults: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Total frame capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Touches `page`, returning `true` on a hit, and bumps the pool's
+    /// atomic counters. This is the whole concurrency surface: one
+    /// striped lock acquisition per page access.
+    pub fn access(&self, page: PageId) -> bool {
+        let shard = (page.0 as usize) % self.inner.shards.len();
+        let hit = self.inner.shards[shard]
+            .lock()
+            .expect("buffer pool shard poisoned")
+            .access(page);
+        if hit {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Pages currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("buffer pool shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` if no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit counter (all clones, all threads).
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime fault counter (all clones, all threads).
+    pub fn faults(&self) -> u64 {
+        self.inner.faults.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime hit rate in `[0, 1]` (`0` before any access).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.faults();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Evicts every resident page (a cold start between measured runs)
+    /// without touching the lifetime counters.
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.lock().expect("buffer pool shard poisoned").clear();
+        }
+    }
+
+    /// `true` if both handles address the same frames and counters.
+    pub fn shares_frames(&self, other: &BufferPool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// A worker's handle onto a shared [`BufferPool`]: snapshot-backed reads
+/// whose hit/fault accounting goes through the pool, with private
+/// [`IoStats`] merged back into the owning pager by the executor's
+/// absorb-per-worker aggregation.
+///
+/// Bytes are always served from this handle's own snapshot; the pool
+/// only decides whether the access counts as a hit or a fault. (When
+/// several handles over *different* pagers share one pool — the sharded
+/// server's replicas — their page-id spaces coincide because the
+/// replicas are built identically; unrelated pagers sharing a pool
+/// would merely conflate accounting, never bytes.)
+pub struct PooledPager {
+    snapshot: PageSnapshot,
+    pool: BufferPool,
+    stats: IoStats,
+}
+
+impl PooledPager {
+    /// A handle over `snapshot` accounting through `pool`.
+    pub fn new(snapshot: PageSnapshot, pool: BufferPool) -> PooledPager {
+        PooledPager {
+            snapshot,
+            pool,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// This handle's accumulated statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The shared pool this handle accounts through.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+impl PageAccess for PooledPager {
+    fn page_size(&self) -> usize {
+        self.snapshot.page_size()
+    }
+
+    fn with_page(&mut self, id: PageId, f: &mut dyn FnMut(&[u8])) {
+        self.stats.logical_reads += 1;
+        if self.pool.access(id) {
+            self.stats.read_hits += 1;
+        } else {
+            self.stats.read_faults += 1;
+        }
+        f(self.snapshot.page(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::pager::{read_page_as, Pager};
+
+    fn snapshot_with_pages(n: u32) -> PageSnapshot {
+        let mut p = Pager::new(MemDisk::new(128), 4);
+        for i in 0..n {
+            let id = p.allocate();
+            p.write(id, |bytes| bytes[0] = i as u8 + 1);
+        }
+        p.snapshot()
+    }
+
+    #[test]
+    fn capacity_is_distributed_not_inflated() {
+        let pool = BufferPool::with_shards(10, 4);
+        assert_eq!(pool.capacity(), 10);
+        assert_eq!(pool.shard_count(), 4);
+        // Tiny capacities shrink the stripe count instead of inflating
+        // the arena.
+        let tiny = BufferPool::with_shards(3, 16);
+        assert_eq!(tiny.capacity(), 3);
+        assert_eq!(tiny.shard_count(), 3);
+        assert_eq!(BufferPool::with_shards(0, 0).capacity(), 1);
+    }
+
+    #[test]
+    fn hits_and_faults_count() {
+        let pool = BufferPool::new(8);
+        assert!(!pool.access(PageId(1)));
+        assert!(pool.access(PageId(1)));
+        assert!(!pool.access(PageId(2)));
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.faults(), 2);
+        assert!((pool.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pool.len(), 2);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(!pool.access(PageId(1)), "cold after clear");
+        assert_eq!(pool.hits(), 1, "clear keeps lifetime counters");
+    }
+
+    #[test]
+    fn clock_sweep_evicts_unreferenced_first() {
+        // One shard so the clock order is observable.
+        let pool = BufferPool::with_shards(2, 1);
+        pool.access(PageId(0));
+        pool.access(PageId(1));
+        // Both frames carry fresh referenced bits, so this sweep clears
+        // them and falls back to hand order: page 0 is evicted and the
+        // survivor (1) is left unreferenced while 2 enters referenced.
+        assert!(!pool.access(PageId(2)));
+        // Second chance proper: the next eviction takes the
+        // unreferenced page 1 and spares the referenced page 2.
+        assert!(!pool.access(PageId(3)));
+        assert!(pool.access(PageId(2)), "referenced page survived");
+        assert!(!pool.access(PageId(1)), "unreferenced page was evicted");
+    }
+
+    #[test]
+    fn cyclic_scan_over_capacity_faults_forever() {
+        let pool = BufferPool::with_shards(4, 1);
+        for round in 0..3 {
+            for i in 0..8u32 {
+                let hit = pool.access(PageId(i));
+                if round > 0 {
+                    assert!(!hit, "4-frame clock on an 8-page cycle must thrash");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_pager_serves_snapshot_bytes_and_counts() {
+        let snap = snapshot_with_pages(3);
+        let pool = BufferPool::new(8);
+        let mut pg = PooledPager::new(snap, pool.clone());
+        read_page_as(&mut pg, PageId(0), |b| assert_eq!(b[0], 1));
+        read_page_as(&mut pg, PageId(0), |b| assert_eq!(b[0], 1));
+        read_page_as(&mut pg, PageId(2), |b| assert_eq!(b[0], 3));
+        let s = pg.stats();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.read_faults, 2);
+        assert_eq!(s.logical_reads, s.read_hits + s.read_faults);
+        assert_eq!(pool.hits() + pool.faults(), 3);
+    }
+
+    #[test]
+    fn workers_share_one_warm_pool_across_threads() {
+        // The cold-cache fix in miniature: 4 workers scanning the same 8
+        // pages through one pool fault 8 times *total*, not 8 per
+        // worker (modulo races on the initial touch).
+        let snap = snapshot_with_pages(8);
+        let pool = BufferPool::new(64);
+        let totals: Vec<IoStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let snap = snap.clone();
+                    let pool = pool.clone();
+                    scope.spawn(move || {
+                        let mut pg = PooledPager::new(snap, pool);
+                        for i in 0..8u32 {
+                            read_page_as(&mut pg, PageId(i), |b| {
+                                assert_eq!(b[0], i as u8 + 1);
+                            });
+                        }
+                        pg.stats()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut merged = IoStats::default();
+        for s in totals {
+            merged.merge(s);
+        }
+        assert_eq!(merged.logical_reads, 32);
+        // At most one fault per (page, racing worker) pair; with any
+        // scheduling at all the overwhelming majority of accesses hit.
+        assert!(merged.read_faults >= 8);
+        assert!(
+            merged.read_faults <= 8 * 4,
+            "faults cannot exceed one per worker per page"
+        );
+        assert_eq!(merged.read_hits + merged.read_faults, 32);
+        assert_eq!(pool.hits(), merged.read_hits);
+        assert_eq!(pool.faults(), merged.read_faults);
+    }
+
+    #[test]
+    fn clones_share_frames() {
+        let a = BufferPool::new(4);
+        let b = a.clone();
+        assert!(a.shares_frames(&b));
+        assert!(!a.shares_frames(&BufferPool::new(4)));
+        a.access(PageId(7));
+        assert!(b.access(PageId(7)), "clone sees the resident page");
+    }
+}

@@ -16,11 +16,15 @@
 //!   writes.
 //! * [`CostModel`] — converts fault counts into the simulated I/O time the
 //!   paper reports (10 ms per fault by default).
-//! * [`PageAccess`] + [`PageSnapshot`] / [`WorkerPager`] — the
-//!   concurrency seam: an object-safe read path implemented by both the
-//!   shared sequential pager and per-worker pagers over an `Arc`-shared
-//!   read-only snapshot, which is what lets the join executor run
-//!   workers without a contended lock.
+//! * [`PageAccess`] + [`PageSnapshot`] — the concurrency seam: an
+//!   object-safe read path implemented by both the shared sequential
+//!   pager and per-worker handles over an `Arc`-shared read-only
+//!   snapshot, which is what lets the join executor run workers without
+//!   a contended lock on the bytes.
+//! * [`BufferPool`] + [`PooledPager`] — the shared, sharded clock-sweep
+//!   cache parallel workers account through ([`Pager::shared_pool`]):
+//!   one warm cache at the sequential budget instead of `workers` cold
+//!   per-worker LRUs, with atomic hit/fault counters for observability.
 //!
 //! # Example
 //!
@@ -47,11 +51,13 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod buffer_pool;
 mod disk;
 mod pager;
 mod snapshot;
 
 pub use buffer::BufferManager;
+pub use buffer_pool::{BufferPool, PooledPager, DEFAULT_POOL_SHARDS};
 pub use disk::{DiskStorage, FileDisk, MemDisk, PageId};
 pub use pager::{read_page_as, CostModel, IoStats, PageAccess, Pager, SharedPager};
-pub use snapshot::{PageSnapshot, WorkerPager};
+pub use snapshot::PageSnapshot;

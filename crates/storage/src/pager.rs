@@ -16,6 +16,12 @@ use std::rc::Rc;
 pub struct IoStats {
     /// Page accesses for reading, including buffer hits.
     pub logical_reads: u64,
+    /// Read accesses served from the buffer (or the shared
+    /// [`BufferPool`](crate::BufferPool)) — always
+    /// `logical_reads - read_faults`, maintained explicitly so hit
+    /// rates survive [`IoStats::merge`]/[`IoStats::since`] arithmetic
+    /// without re-derivation.
+    pub read_hits: u64,
     /// Read accesses that missed the buffer and went to the device.
     pub read_faults: u64,
     /// Page accesses for writing, including buffer hits.
@@ -35,10 +41,23 @@ impl IoStats {
         self.logical_reads + self.logical_writes
     }
 
+    /// Fraction of read accesses served without a fault, in `[0, 1]`
+    /// (`0` before any read). The observability headline of the shared
+    /// buffer pool: parallel runs should hold this near the sequential
+    /// figure instead of collapsing toward zero as workers multiply.
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / self.logical_reads as f64
+        }
+    }
+
     /// Component-wise difference `self - earlier`, for measuring a phase.
     pub fn since(&self, earlier: IoStats) -> IoStats {
         IoStats {
             logical_reads: self.logical_reads - earlier.logical_reads,
+            read_hits: self.read_hits - earlier.read_hits,
             read_faults: self.read_faults - earlier.read_faults,
             logical_writes: self.logical_writes - earlier.logical_writes,
             write_faults: self.write_faults - earlier.write_faults,
@@ -49,6 +68,7 @@ impl IoStats {
     /// totals the paper reports for a whole join.
     pub fn merge(&mut self, other: IoStats) {
         self.logical_reads += other.logical_reads;
+        self.read_hits += other.read_hits;
         self.read_faults += other.read_faults;
         self.logical_writes += other.logical_writes;
         self.write_faults += other.write_faults;
@@ -92,6 +112,12 @@ pub struct Pager {
     /// invalidated it — repeated parallel joins over unmodified trees
     /// must not each pay an O(database) copy.
     snapshot_cache: Option<crate::PageSnapshot>,
+    /// The shared buffer pool parallel runs account through, sized to
+    /// this pager's buffer capacity and kept **warm across runs** (the
+    /// whole point of the shared-pool design). Re-created when the
+    /// capacity changes; emptied — but not replaced — by
+    /// [`Pager::clear_buffer`].
+    pool_cache: Option<crate::BufferPool>,
 }
 
 impl Pager {
@@ -103,6 +129,7 @@ impl Pager {
             buffer: BufferManager::new(page_size, buffer_pages),
             stats: IoStats::default(),
             snapshot_cache: None,
+            pool_cache: None,
         }
     }
 
@@ -131,7 +158,9 @@ impl Pager {
     /// `f`.
     pub fn read<T>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> T) -> T {
         self.stats.logical_reads += 1;
-        if self.buffer.get(id).is_none() {
+        if self.buffer.get(id).is_some() {
+            self.stats.read_hits += 1;
+        } else {
             self.stats.read_faults += 1;
             let mut staging = vec![0u8; self.disk.page_size()];
             self.disk.read_page(id, &mut staging);
@@ -181,7 +210,7 @@ impl Pager {
     /// Captures an immutable, `Arc`-shared copy of every allocated page,
     /// read straight from the device — no buffer pollution, no
     /// statistics. This is the read-only page source the parallel
-    /// executor hands to its [`WorkerPager`](crate::WorkerPager)s; the
+    /// executor hands to its [`PooledPager`](crate::PooledPager)s; the
     /// write-through discipline of [`Pager::write`] guarantees the device
     /// is current.
     ///
@@ -210,15 +239,36 @@ impl Pager {
         snap
     }
 
+    /// The shared [`BufferPool`](crate::BufferPool) parallel runs over
+    /// this pager account through, sized to the current buffer capacity
+    /// — a parallel run competes with the sequential LRU at the **same
+    /// total budget**, it does not get `workers ×` the memory.
+    ///
+    /// Cached like the snapshot: repeated parallel runs (and streaming
+    /// waves) over an unmodified pager share one pool and therefore hit
+    /// pages earlier runs warmed. [`Pager::set_buffer_capacity`]
+    /// replaces the pool (the budget changed);
+    /// [`Pager::clear_buffer`] empties it in place (a cold start).
+    pub fn shared_pool(&mut self) -> crate::BufferPool {
+        if let Some(pool) = &self.pool_cache {
+            return pool.clone();
+        }
+        let pool = crate::BufferPool::new(self.buffer.capacity());
+        self.pool_cache = Some(pool.clone());
+        pool
+    }
+
     /// Zeroes the statistics (e.g. after index construction, before the
     /// measured join phase).
     pub fn reset_stats(&mut self) {
         self.stats = IoStats::default();
     }
 
-    /// Resizes the LRU buffer (Figure 15 sweeps this).
+    /// Resizes the LRU buffer (Figure 15 sweeps this). The shared pool
+    /// is re-created on next use so parallel runs see the new budget.
     pub fn set_buffer_capacity(&mut self, pages: usize) {
         self.buffer.set_capacity(pages);
+        self.pool_cache = None;
     }
 
     /// Current buffer capacity in pages.
@@ -226,9 +276,15 @@ impl Pager {
         self.buffer.capacity()
     }
 
-    /// Empties the buffer for a cold start without touching statistics.
+    /// Empties the buffer — and the shared pool, if one was handed out —
+    /// for a cold start without touching statistics. Outstanding pool
+    /// handles stay valid (the pool is emptied in place, not replaced),
+    /// so measured runs restart cold under both execution modes.
     pub fn clear_buffer(&mut self) {
         self.buffer.clear();
+        if let Some(pool) = &self.pool_cache {
+            pool.clear();
+        }
     }
 }
 
@@ -239,7 +295,8 @@ impl Pager {
 /// page faults through one LRU buffer, so `Rc<RefCell<_>>` suffices and
 /// no lock is ever contended. Parallel runs never touch it: they go
 /// through an [`Arc`-shared snapshot](Pager::snapshot) with per-worker
-/// [`WorkerPager`](crate::WorkerPager)s instead, and both paths meet in
+/// [`PooledPager`](crate::PooledPager)s over the shared
+/// [`BufferPool`](crate::BufferPool) instead, and both paths meet in
 /// the [`PageAccess`] trait.
 pub type SharedPager = Rc<RefCell<Pager>>;
 
@@ -247,7 +304,7 @@ pub type SharedPager = Rc<RefCell<Pager>>;
 ///
 /// The join drivers are generic over this, so one implementation serves
 /// both execution modes: the owning [`SharedPager`] for sequential runs
-/// and a per-worker [`WorkerPager`](crate::WorkerPager) for parallel
+/// and a per-worker [`PooledPager`](crate::PooledPager) for parallel
 /// runs. Every call counts as one logical read (and possibly one fault)
 /// in the implementation's statistics.
 pub trait PageAccess {

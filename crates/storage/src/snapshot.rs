@@ -1,32 +1,25 @@
-//! Read-only page snapshots and per-worker pagers — the storage side of
-//! the parallel executor.
+//! Read-only page snapshots — the storage side of the parallel
+//! executor.
 //!
 //! The paper's pager is inherently serial: one LRU buffer, one fault
 //! counter, interior mutability on every read. To let join workers run
-//! concurrently without a contended lock, the parallel executor splits
-//! that design in two:
-//!
-//! * [`PageSnapshot`] — an immutable, `Arc`-shared copy of every
-//!   allocated page, captured once after the indexes are built
-//!   ([`Pager::snapshot`](crate::Pager::snapshot)). After that load it is
-//!   lock-free: workers read pages through shared references only.
-//! * [`WorkerPager`] — a per-worker view over a snapshot with its **own**
-//!   LRU buffer and [`IoStats`], so the paper's buffer-locality model
-//!   still applies within each worker and fault accounting needs no
-//!   synchronisation. Worker stats are merged back into the owning pager
-//!   when the run completes.
+//! concurrently without a contended lock, the parallel read path splits
+//! that design in two: an immutable [`PageSnapshot`] holding the bytes
+//! (this module), and per-worker
+//! [`PooledPager`](crate::PooledPager) handles accounting hits and
+//! faults through the shared, sharded
+//! [`BufferPool`](crate::BufferPool). Worker stats are merged back into
+//! the owning pager when the run completes.
 
-use crate::buffer::BufferManager;
 use crate::disk::PageId;
-use crate::pager::{IoStats, PageAccess};
 use std::sync::Arc;
 
 /// An immutable snapshot of every allocated page of a pager.
 ///
 /// Cloning is cheap (an `Arc` bump); all clones share the same page
 /// bytes. Reads never fault, never lock and never touch statistics —
-/// per-access accounting is the job of the [`WorkerPager`] layered on
-/// top.
+/// per-access accounting is the job of the
+/// [`PooledPager`](crate::PooledPager) layered on top.
 #[derive(Clone)]
 pub struct PageSnapshot {
     inner: Arc<SnapshotInner>,
@@ -70,68 +63,11 @@ impl PageSnapshot {
     }
 }
 
-/// A single-worker pager: snapshot-backed reads through a private LRU
-/// with private [`IoStats`].
-///
-/// Accounting is semantically identical to
-/// [`Pager::read`](crate::Pager::read) — every access is a logical read,
-/// LRU misses are read faults — but with no shared mutable state, so any
-/// number of workers can run concurrently. Because the snapshot's bytes
-/// are immutable and always resident, the LRU here is purely a *recency
-/// tracker* for fault accounting: reads are served straight from the
-/// shared snapshot, never copied into per-worker frames.
-pub struct WorkerPager {
-    snapshot: PageSnapshot,
-    /// LRU bookkeeping only — constructed with a zero page size, so its
-    /// frames hold no bytes and `insert` never copies.
-    buffer: BufferManager,
-    stats: IoStats,
-}
-
-impl WorkerPager {
-    /// Creates a worker pager over `snapshot` with a private buffer of
-    /// `buffer_pages` pages (clamped to at least 1).
-    pub fn new(snapshot: PageSnapshot, buffer_pages: usize) -> Self {
-        WorkerPager {
-            snapshot,
-            buffer: BufferManager::new(0, buffer_pages),
-            stats: IoStats::default(),
-        }
-    }
-
-    /// This worker's accumulated statistics.
-    pub fn stats(&self) -> IoStats {
-        self.stats
-    }
-
-    /// Capacity of the private buffer in pages.
-    pub fn buffer_capacity(&self) -> usize {
-        self.buffer.capacity()
-    }
-}
-
-impl PageAccess for WorkerPager {
-    fn page_size(&self) -> usize {
-        self.snapshot.page_size()
-    }
-
-    fn with_page(&mut self, id: PageId, f: &mut dyn FnMut(&[u8])) {
-        self.stats.logical_reads += 1;
-        if self.buffer.get(id).is_none() {
-            self.stats.read_faults += 1;
-            self.buffer.insert(id);
-        }
-        // Served straight from the immutable shared snapshot; the LRU
-        // above only decided whether this access counts as a fault.
-        f(self.snapshot.page(id));
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::disk::MemDisk;
-    use crate::pager::{read_page_as, Pager};
+    use crate::pager::Pager;
 
     fn snapshot_with_pages(n: u32) -> PageSnapshot {
         let mut p = Pager::new(MemDisk::new(128), 4);
@@ -185,45 +121,17 @@ mod tests {
     }
 
     #[test]
-    fn worker_pager_counts_like_the_real_pager() {
-        let snap = snapshot_with_pages(3);
-        let mut w = WorkerPager::new(snap, 2);
-        // Two distinct pages fault, repeats hit.
-        read_page_as(&mut w, PageId(0), |b| assert_eq!(b[0], 1));
-        read_page_as(&mut w, PageId(1), |b| assert_eq!(b[0], 2));
-        read_page_as(&mut w, PageId(0), |_| ());
-        // Third page evicts the LRU (page 1); re-reading it faults again.
-        read_page_as(&mut w, PageId(2), |_| ());
-        read_page_as(&mut w, PageId(1), |_| ());
-        let s = w.stats();
-        assert_eq!(s.logical_reads, 5);
-        assert_eq!(s.read_faults, 4);
-        assert_eq!(s.logical_writes, 0);
-    }
-
-    #[test]
-    fn worker_pagers_share_one_snapshot_across_threads() {
+    fn snapshots_are_shareable_across_threads() {
         let snap = snapshot_with_pages(8);
-        let totals: Vec<IoStats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| {
-                    let snap = snap.clone();
-                    scope.spawn(move || {
-                        let mut w = WorkerPager::new(snap, 2);
-                        for i in 0..8u32 {
-                            read_page_as(&mut w, PageId(i), |b| {
-                                assert_eq!(b[0], i as u8 + 1);
-                            });
-                        }
-                        w.stats()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let snap = snap.clone();
+                scope.spawn(move || {
+                    for i in 0..8u32 {
+                        assert_eq!(snap.page(PageId(i))[0], i as u8 + 1);
+                    }
+                });
+            }
         });
-        for s in totals {
-            assert_eq!(s.logical_reads, 8);
-            assert_eq!(s.read_faults, 8, "2-page buffer on an 8-page scan");
-        }
     }
 }

@@ -80,7 +80,9 @@ pub use ringjoin_geom::{pt, Circle, HalfPlane, Metric, Point, Rect};
 pub use ringjoin_rtree::{bulk_load, bulk_load_with, Item, RTree, RTreeConfig};
 pub use ringjoin_server::{Client, RingBounds, Server, ServerConfig, ShardedEngine};
 pub use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
-pub use ringjoin_storage::{CostModel, FileDisk, IoStats, MemDisk, Pager, SharedPager};
+pub use ringjoin_storage::{
+    BufferPool, CostModel, FileDisk, IoStats, MemDisk, Pager, PooledPager, SharedPager,
+};
 
 /// Compiles the README's code blocks as doctests so the documented
 /// quickstart can never drift from the real API.

@@ -1,0 +1,267 @@
+//! Work-stealing determinism: whatever the scheduler does — weighted
+//! seeding, tail steals, racing workers over the shared buffer pool —
+//! the executor's output must be **byte-identical** to the sequential
+//! run: the same pairs in the same order, the same merged [`RcjStats`],
+//! and the same aggregate logical node accesses. Skewed (Gaussian /
+//! clustered) outer datasets are the point: they are where the seeded
+//! chunks are most unequal and stealing actually happens.
+//!
+//! The suite also pins the streaming surfaces: the parallel leaf-order
+//! stream and the top-k diameter stream must be unaffected by the
+//! executor choice.
+
+use proptest::prelude::*;
+use ringjoin::geom::Rect;
+use ringjoin::quadtree::QuadTree;
+use ringjoin::{
+    bulk_load, pt, rcj_join, rcj_self_join, rcj_stream, rcj_stream_by_diameter, Executor, Item,
+    MemDisk, Pager, RcjAlgorithm, RcjIndex, RcjOptions, RcjPair, RcjStats,
+};
+use ringjoin_storage::IoStats;
+
+const REGION: f64 = 1000.0;
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn to_items(v: &[(f64, f64)]) -> Vec<Item> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+        .collect()
+}
+
+fn rtree_pair(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> (ringjoin::RTree, ringjoin::RTree) {
+    // Tiny pages force multi-level trees with many leaf groups, so the
+    // scheduler has real deques to seed and steal from.
+    let pager = Pager::new(MemDisk::new(256), 32).into_shared();
+    let tp = bulk_load(pager.clone(), to_items(ps));
+    let tq = bulk_load(pager, to_items(qs));
+    (tq, tp)
+}
+
+fn quad_pair(ps: &[(f64, f64)], qs: &[(f64, f64)]) -> (QuadTree, QuadTree) {
+    let pager = Pager::new(MemDisk::new(256), 32).into_shared();
+    let region = Rect::new(pt(0.0, 0.0), pt(REGION, REGION));
+    let mut tp = QuadTree::new(pager.clone(), region);
+    for it in to_items(ps) {
+        tp.insert(it.id, it.point);
+    }
+    let mut tq = QuadTree::new(pager, region);
+    for it in to_items(qs) {
+        tq.insert(it.id, it.point);
+    }
+    (tq, tp)
+}
+
+/// Sequential vs stealing executor over already-built trees: ordered
+/// pairs, merged stats, aggregate logical reads — all byte-identical.
+fn assert_steal_deterministic<IQ: RcjIndex, IP: RcjIndex>(tq: &IQ, tp: &IP, label: &str) {
+    for algo in [RcjAlgorithm::Inj, RcjAlgorithm::Bij, RcjAlgorithm::Obj] {
+        let run = |executor: Executor| -> (Vec<(u64, u64)>, RcjStats, IoStats) {
+            let pager = tq.pager();
+            let before = pager.borrow().stats();
+            let out = rcj_join(tq, tp, &RcjOptions::algorithm(algo).with_executor(executor));
+            let io = pager.borrow().stats().since(before);
+            (out.pairs.iter().map(|pr| pr.key()).collect(), out.stats, io)
+        };
+        let (seq_keys, seq_stats, seq_io) = run(Executor::Sequential);
+        for threads in THREADS {
+            let (par_keys, par_stats, par_io) = run(Executor::Parallel { threads });
+            prop_assert_eq_keys(&seq_keys, &par_keys, label, algo, threads);
+            assert_eq!(
+                seq_stats,
+                par_stats,
+                "{label}/{}/{threads}t: merged RcjStats diverged",
+                algo.name()
+            );
+            assert_eq!(
+                seq_io.logical_reads,
+                par_io.logical_reads,
+                "{label}/{}/{threads}t: aggregate node accesses diverged",
+                algo.name()
+            );
+            assert_eq!(
+                par_io.read_hits + par_io.read_faults,
+                par_io.logical_reads,
+                "{label}/{}/{threads}t: hit/fault split does not sum to logical reads",
+                algo.name()
+            );
+        }
+    }
+}
+
+/// Ordered comparison with a diff-friendly failure message (the full
+/// vectors can be thousands of pairs).
+fn prop_assert_eq_keys(
+    seq: &[(u64, u64)],
+    par: &[(u64, u64)],
+    label: &str,
+    algo: RcjAlgorithm,
+    threads: usize,
+) {
+    if seq != par {
+        let first = seq
+            .iter()
+            .zip(par.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(seq.len().min(par.len()));
+        panic!(
+            "{label}/{}/{threads}t: pair sequence diverged at index {first} \
+             (seq len {}, par len {})",
+            algo.name(),
+            seq.len(),
+            par.len()
+        );
+    }
+}
+
+/// Uniform points over the region.
+fn uniform_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0..REGION, 0.0..REGION), 8..max)
+}
+
+/// Gaussian-ish skew: most mass packed tightly around a few centers,
+/// the rest scattered — leaf extents (the scheduler's weights) vary by
+/// orders of magnitude.
+fn gaussian_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        proptest::collection::vec((100.0..900.0f64, 100.0..900.0f64), 2..5),
+        proptest::collection::vec((0usize..8, -25.0..25.0f64, -25.0..25.0f64), 8..max),
+    )
+        .prop_map(|(centers, offsets)| {
+            offsets
+                .into_iter()
+                .map(|(c, dx, dy)| {
+                    if c < centers.len() {
+                        let (cx, cy) = centers[c];
+                        (
+                            (cx + dx * 0.3).clamp(0.0, REGION - 1e-9),
+                            (cy + dy * 0.3).clamp(0.0, REGION - 1e-9),
+                        )
+                    } else {
+                        // Sparse background mass.
+                        ((dx + 25.0) * 19.9, (dy + 25.0) * 19.9)
+                    }
+                })
+                .collect()
+        })
+}
+
+/// Hard clustering: one dense blob plus a thin diagonal — the
+/// equal-count chunking worst case the ROADMAP called out.
+fn clustered_pts(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0u32..100, -8.0..8.0f64, -8.0..8.0f64), 8..max).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (g, dx, dy))| {
+                if i % 4 == 0 {
+                    // Diagonal stragglers.
+                    (g as f64 * 9.9, g as f64 * 9.9)
+                } else {
+                    // Dense blob near the origin corner.
+                    (
+                        (60.0 + dx).clamp(0.0, REGION),
+                        (60.0 + dy).clamp(0.0, REGION),
+                    )
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn stealing_equals_sequential_rtree_uniform(
+        ps in uniform_pts(90),
+        qs in uniform_pts(90),
+    ) {
+        let (tq, tp) = rtree_pair(&ps, &qs);
+        assert_steal_deterministic(&tq, &tp, "rtree/uniform");
+    }
+
+    #[test]
+    fn stealing_equals_sequential_rtree_gaussian(
+        ps in gaussian_pts(90),
+        qs in gaussian_pts(90),
+    ) {
+        let (tq, tp) = rtree_pair(&ps, &qs);
+        assert_steal_deterministic(&tq, &tp, "rtree/gaussian");
+    }
+
+    #[test]
+    fn stealing_equals_sequential_rtree_clustered(
+        ps in clustered_pts(90),
+        qs in clustered_pts(90),
+    ) {
+        let (tq, tp) = rtree_pair(&ps, &qs);
+        assert_steal_deterministic(&tq, &tp, "rtree/clustered");
+    }
+
+    #[test]
+    fn stealing_equals_sequential_quadtree_uniform(
+        ps in uniform_pts(90),
+        qs in uniform_pts(90),
+    ) {
+        let (tq, tp) = quad_pair(&ps, &qs);
+        assert_steal_deterministic(&tq, &tp, "quadtree/uniform");
+    }
+
+    #[test]
+    fn stealing_equals_sequential_quadtree_gaussian(
+        ps in gaussian_pts(90),
+        qs in gaussian_pts(90),
+    ) {
+        let (tq, tp) = quad_pair(&ps, &qs);
+        assert_steal_deterministic(&tq, &tp, "quadtree/gaussian");
+    }
+
+    #[test]
+    fn stealing_equals_sequential_quadtree_clustered(
+        ps in clustered_pts(90),
+        qs in clustered_pts(90),
+    ) {
+        let (tq, tp) = quad_pair(&ps, &qs);
+        assert_steal_deterministic(&tq, &tp, "quadtree/clustered");
+    }
+
+    #[test]
+    fn stealing_self_join_and_streams_match_sequential(
+        pts in clustered_pts(110),
+    ) {
+        // Self-join under stealing.
+        let pager = Pager::new(MemDisk::new(256), 32).into_shared();
+        let tree = bulk_load(pager, to_items(&pts));
+        let seq = rcj_self_join(
+            &tree,
+            &RcjOptions::default().with_executor(Executor::Sequential),
+        );
+        for threads in THREADS {
+            let par = rcj_self_join(
+                &tree,
+                &RcjOptions::default().with_executor(Executor::Parallel { threads }),
+            );
+            assert_eq!(seq.pairs, par.pairs, "self-join diverged at {threads}t");
+            assert_eq!(seq.stats, par.stats);
+        }
+
+        // Bichromatic streams over skewed data: the parallel leaf-order
+        // stream yields the sequential sequence, and the top-k diameter
+        // stream ignores the executor entirely.
+        let (tq, tp) = rtree_pair(&pts, &pts);
+        let seq_opts = RcjOptions::default().with_executor(Executor::Sequential);
+        let full = rcj_join(&tq, &tp, &seq_opts);
+        for threads in THREADS {
+            let opts = RcjOptions::default().with_executor(Executor::Parallel { threads });
+            let streamed: Vec<RcjPair> = rcj_stream(&tq, &tp, &opts).collect();
+            assert_eq!(streamed, full.pairs, "leaf stream diverged at {threads}t");
+
+            let k = 7.min(full.pairs.len());
+            let top_seq: Vec<RcjPair> =
+                rcj_stream_by_diameter(&tq, &tp, &seq_opts).limit(k).collect();
+            let top_par: Vec<RcjPair> =
+                rcj_stream_by_diameter(&tq, &tp, &opts).limit(k).collect();
+            assert_eq!(top_seq, top_par, "top-k stream diverged at {threads}t");
+        }
+    }
+}
