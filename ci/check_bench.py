@@ -108,11 +108,43 @@ def check_serving(path: str) -> None:
         for rate in ("join_req_per_sec", "topk_req_per_sec"):
             if e.get(rate, 0) <= 0:
                 fail(f"serving entry {e.get('shards')} shards has non-positive {rate}")
+        # Latency percentiles are advisory wall-clock, but they must at
+        # least be shaped like latencies: present, positive, p50 <= p99.
+        for op in ("join", "topk"):
+            p50, p99 = e.get(f"{op}_p50_ms", 0), e.get(f"{op}_p99_ms", 0)
+            if p50 <= 0 or p99 <= 0:
+                fail(f"serving entry {e.get('shards')} shards lacks {op} p50/p99 latencies")
+            if p50 > p99:
+                fail(f"serving entry {e.get('shards')} shards: {op} p50 {p50} > p99 {p99}")
         print(
-            f"  shards={e['shards']}: join {e['join_req_per_sec']:.2f} req/s, "
+            f"  shards={e['shards']}: join {e['join_req_per_sec']:.2f} req/s "
+            f"(p50 {e['join_p50_ms']:.1f} / p99 {e['join_p99_ms']:.1f} ms), "
             f"topk {e['topk_req_per_sec']:.2f} req/s, {e['result_pairs']} pairs (advisory)"
         )
-    print(f"check_bench: serving OK ({len(entries)} shard counts)")
+    concurrent = doc.get("concurrent", [])
+    if not concurrent:
+        fail(f"{path} has no concurrent entries — the multi-session phase did not run")
+    if max(c.get("clients", 0) for c in concurrent) < 4:
+        fail("concurrent serving phase never reached 4 clients")
+    for c in concurrent:
+        if c.get("join_req_per_sec", 0) <= 0:
+            fail(f"concurrent entry {c.get('clients')} clients has non-positive req/s")
+        p50, p99 = c.get("p50_ms", 0), c.get("p99_ms", 0)
+        if p50 <= 0 or p99 <= 0 or p50 > p99:
+            fail(f"concurrent entry {c.get('clients')} clients: bad p50/p99 ({p50}/{p99})")
+        if c.get("result_pairs") not in cardinalities:
+            fail(
+                f"concurrent entry {c.get('clients')} clients: result_pairs "
+                f"{c.get('result_pairs')} differs from the single-session sweep"
+            )
+        print(
+            f"  clients={c['clients']}: join {c['join_req_per_sec']:.2f} req/s "
+            f"(p50 {p50:.1f} / p99 {p99:.1f} ms) (advisory)"
+        )
+    print(
+        f"check_bench: serving OK ({len(entries)} shard counts, "
+        f"{len(concurrent)} concurrent client counts)"
+    )
 
 
 def main() -> None:

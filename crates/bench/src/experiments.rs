@@ -693,6 +693,21 @@ pub const SERVING_SHARDS: [usize; 3] = [1, 2, 4];
 /// Requests measured per operation and shard count by [`serving`].
 pub const SERVING_REQUESTS: usize = 5;
 
+/// Concurrent-client counts measured by the [`serving`] experiment's
+/// multi-session phase (at the largest shard count).
+pub const SERVING_CLIENTS: [usize; 2] = [2, 4];
+
+/// Nearest-rank percentile over an unsorted sample, in the sample's
+/// unit. Empty samples report 0 (a fresh run, not a NaN).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
 /// Serving experiment (the sharded-server entry of the perf
 /// trajectory): requests/sec against a live `ringjoin-server` over TCP
 /// vs shard count, on the SP workload (Schools outer, PopulatedPlaces
@@ -700,13 +715,21 @@ pub const SERVING_REQUESTS: usize = 5;
 ///
 /// Per shard count: bind an ephemeral-port server, `LOAD` both
 /// datasets, then time [`SERVING_REQUESTS`] `JOIN` and `TOPK` requests
-/// end-to-end (wire + fan-out + merge). The determinism guarantee is
+/// end-to-end (wire + fan-out + merge), recording throughput plus
+/// nearest-rank p50/p99 latencies. The determinism guarantee is
 /// asserted on every sweep — the join answer must be byte-identical
-/// across shard counts. Raw numbers are written as JSON to
-/// `BENCH_serving.json` (override with the `serving_out` field or
-/// `RINGJOIN_SERVING_OUT`); wall-clock figures are advisory on shared
-/// runners, so regression gating keys on the deterministic I/O counters
-/// of `BENCH_scaling.json` instead.
+/// across shard counts.
+///
+/// A second phase re-runs the largest shard count with
+/// [`SERVING_CLIENTS`] concurrent sessions, each its own TCP
+/// connection issuing [`SERVING_REQUESTS`] joins: aggregate req/s and
+/// cross-session p50/p99 are recorded, and every session's every
+/// answer is checked byte-identical to the single-session baseline.
+///
+/// Raw numbers are written as JSON to `BENCH_serving.json` (override
+/// with the `serving_out` field or `RINGJOIN_SERVING_OUT`); wall-clock
+/// figures are advisory on shared runners, so regression gating keys
+/// on the deterministic I/O counters of `BENCH_scaling.json` instead.
 pub fn serving(cfg: &ExpConfig) -> String {
     use ringjoin_server::{Client, Server, ServerConfig};
     use std::time::Instant;
@@ -739,7 +762,9 @@ pub fn serving(cfg: &ExpConfig) -> String {
         "shards",
         "load(s)",
         "join req/s",
+        "join p50/p99 (ms)",
         "topk req/s",
+        "topk p50/p99 (ms)",
         "pairs",
         "shards queried",
     ]);
@@ -749,6 +774,7 @@ pub fn serving(cfg: &ExpConfig) -> String {
         let server = Server::bind(&ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             shards,
+            ..ServerConfig::default()
         })
         .expect("bind serving-bench server");
         let addr = server.local_addr();
@@ -775,32 +801,50 @@ pub fn serving(cfg: &ExpConfig) -> String {
             Some(base) => assert_eq!(base, &keys, "sharded answer diverged at {shards} shards"),
         }
 
+        let mut join_ms: Vec<f64> = Vec::with_capacity(SERVING_REQUESTS);
         let t0 = Instant::now();
         for _ in 0..SERVING_REQUESTS {
+            let r0 = Instant::now();
             client
                 .join("q", "p", RcjAlgorithm::Auto, None)
                 .expect("join");
+            join_ms.push(r0.elapsed().as_secs_f64() * 1e3);
         }
         let join_rps = SERVING_REQUESTS as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let mut topk_ms: Vec<f64> = Vec::with_capacity(SERVING_REQUESTS);
         let t0 = Instant::now();
         for _ in 0..SERVING_REQUESTS {
+            let r0 = Instant::now();
             client.top_k("q", "p", k).expect("topk");
+            topk_ms.push(r0.elapsed().as_secs_f64() * 1e3);
         }
         let topk_rps = SERVING_REQUESTS as f64 / t0.elapsed().as_secs_f64().max(1e-9);
         client.shutdown().expect("shutdown");
         handle.join().expect("server thread");
 
+        let (jp50, jp99) = (
+            percentile(&mut join_ms, 50.0),
+            percentile(&mut join_ms, 99.0),
+        );
+        let (tp50, tp99) = (
+            percentile(&mut topk_ms, 50.0),
+            percentile(&mut topk_ms, 99.0),
+        );
         t.row(vec![
             shards.to_string(),
             secs(load_secs),
             format!("{join_rps:.2}"),
+            format!("{jp50:.2}/{jp99:.2}"),
             format!("{topk_rps:.2}"),
+            format!("{tp50:.2}/{tp99:.2}"),
             warm.pairs.len().to_string(),
             warm.shards_queried.to_string(),
         ]);
         json_entries.push(format!(
             "    {{\"shards\": {shards}, \"load_secs\": {load_secs:.6}, \
              \"join_req_per_sec\": {join_rps:.4}, \"topk_req_per_sec\": {topk_rps:.4}, \
+             \"join_p50_ms\": {jp50:.4}, \"join_p99_ms\": {jp99:.4}, \
+             \"topk_p50_ms\": {tp50:.4}, \"topk_p99_ms\": {tp99:.4}, \
              \"result_pairs\": {}, \"shards_queried\": {}}}",
             warm.pairs.len(),
             warm.shards_queried,
@@ -808,17 +852,104 @@ pub fn serving(cfg: &ExpConfig) -> String {
     }
     out.push_str(&t.render());
 
+    // Concurrent phase: the largest shard count again, now with
+    // [`SERVING_CLIENTS`] sessions hammering joins at once. Aggregate
+    // throughput and cross-session tail latency are recorded; byte
+    // identity against the single-session baseline is asserted on
+    // every reply of every session.
+    let shards = *SERVING_SHARDS.last().expect("non-empty shard sweep");
+    let baseline = baseline_pairs.as_ref().expect("baseline recorded");
+    let mut ct = Table::new(&["clients", "join req/s", "p50 (ms)", "p99 (ms)", "pairs"]);
+    let mut conc_entries: Vec<String> = Vec::new();
+    for clients in SERVING_CLIENTS {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards,
+            max_sessions: clients + 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind concurrent serving-bench server");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
+        let mut loader = Client::connect(addr).expect("connect loader");
+        loader
+            .load("p", ringjoin_core::IndexKind::Rtree, &p_items)
+            .expect("load p");
+        loader
+            .load("q", ringjoin_core::IndexKind::Rtree, &q_items)
+            .expect("load q");
+
+        let t0 = Instant::now();
+        let mut all_ms: Vec<f64> = Vec::with_capacity(clients * SERVING_REQUESTS);
+        std::thread::scope(|scope| {
+            let sessions: Vec<_> = (0..clients)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect session");
+                        let mut ms = Vec::with_capacity(SERVING_REQUESTS);
+                        for _ in 0..SERVING_REQUESTS {
+                            let r0 = Instant::now();
+                            let out = client
+                                .join("q", "p", RcjAlgorithm::Auto, None)
+                                .expect("concurrent join");
+                            ms.push(r0.elapsed().as_secs_f64() * 1e3);
+                            let keys: Vec<(u64, u64)> =
+                                out.pairs.iter().map(|pr| pr.key()).collect();
+                            assert_eq!(
+                                &keys, baseline,
+                                "concurrent session answer diverged from baseline"
+                            );
+                        }
+                        ms
+                    })
+                })
+                .collect();
+            for s in sessions {
+                all_ms.extend(s.join().expect("session thread"));
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        let total = (clients * SERVING_REQUESTS) as f64;
+        let rps = total / wall;
+        loader.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+
+        let (p50, p99) = (percentile(&mut all_ms, 50.0), percentile(&mut all_ms, 99.0));
+        ct.row(vec![
+            clients.to_string(),
+            format!("{rps:.2}"),
+            format!("{p50:.2}"),
+            format!("{p99:.2}"),
+            baseline.len().to_string(),
+        ]);
+        conc_entries.push(format!(
+            "    {{\"clients\": {clients}, \"shards\": {shards}, \
+             \"join_req_per_sec\": {rps:.4}, \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \
+             \"requests\": {}, \"result_pairs\": {}}}",
+            clients * SERVING_REQUESTS,
+            baseline.len(),
+        ));
+    }
+    out.push_str(&format!(
+        "-- concurrent sessions at {shards} shards (byte-identity asserted per reply) --\n"
+    ));
+    out.push_str(&ct.render());
+
     let json = format!(
         "{{\n  \"experiment\": \"serving\",\n  \"workload\": \"SP\",\n  \
          \"transport\": \"tcp-loopback\",\n  \"scale\": {},\n  \
          \"available_cores\": {cores},\n  \"single_core_container\": {},\n  \
          \"speedups_meaningful\": {},\n  \"requests_per_mode\": {SERVING_REQUESTS},\n  \
-         \"top_k\": {k},\n  \"shard_counts\": {:?},\n  \"entries\": [\n{}\n  ]\n}}\n",
+         \"top_k\": {k},\n  \"shard_counts\": {:?},\n  \
+         \"client_counts\": {:?},\n  \"entries\": [\n{}\n  ],\n  \
+         \"concurrent\": [\n{}\n  ]\n}}\n",
         cfg.scale,
         cores < 2,
         cores >= 2,
         SERVING_SHARDS,
-        json_entries.join(",\n")
+        SERVING_CLIENTS,
+        json_entries.join(",\n"),
+        conc_entries.join(",\n")
     );
     let path = match &cfg.serving_out {
         Some(p) => p.clone(),

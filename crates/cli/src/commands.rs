@@ -43,16 +43,22 @@ COMMANDS
   compare    --p FILE --q FILE (--epsilon E | --kcp K | --knn K)
   bound      --np N --nq N  (result-size bounds)
   serve      [--addr HOST:PORT | --port N] [--shards N]
-             (long-lived sharded server; default 127.0.0.1:4815, 1 shard)
+             [--max-sessions N] [--queue-depth N]
+             (long-lived sharded server; default 127.0.0.1:4815, 1 shard,
+              16 concurrent sessions, admission queue depth 32)
   client load      --name NAME --input FILE [--index rtree|quadtree]
   client join      --outer Q --inner P [--algo ..] [--out FILE] [--stats]
-                   [--bounds X0,Y0,X1,Y1 --max-diameter D]
+                   [--bounds X0,Y0,X1,Y1 --max-diameter D] [--pipeline N]
   client self-join --dataset NAME [--algo ..] [--out FILE] [--stats]
-  client top-k     --outer Q --inner P --k K [--out FILE]
+                   [--pipeline N]
+  client top-k     --outer Q --inner P --k K [--out FILE] [--pipeline N]
   client explain   --outer Q [--inner P] [--algo ..] [--k K]
   client stats
   client shutdown
-             (every client operation takes [--addr HOST:PORT])
+             (every client operation takes [--addr HOST:PORT] and
+              [--timeout SECS] (default 30; 0 = wait forever);
+              --pipeline N sends N copies back to back on one
+              connection and checks the replies agree byte for byte)
   help
 
 Dataset files are .csv (id,x,y with header) or the .bin format written
@@ -276,19 +282,61 @@ fn cmd_serve(args: &Args) -> Result<Option<String>, ArgError> {
             "--shards must be at least 1 (got 0); omit the flag for a single shard".into(),
         ));
     }
+    let max_sessions: usize = args.opt_parse("max-sessions", 16)?;
+    if max_sessions == 0 {
+        return Err(ArgError(
+            "--max-sessions must be at least 1 (got 0); omit the flag for the default 16".into(),
+        ));
+    }
+    let queue_depth: usize = args.opt_parse("queue-depth", 32)?;
     let addr = match args.opt("addr") {
         Some(a) => a.to_string(),
         None => format!("127.0.0.1:{}", args.opt_parse::<u16>("port", 4815)?),
     };
-    let server = Server::bind(&ServerConfig { addr, shards }).map_err(server_err)?;
+    let server = Server::bind(&ServerConfig {
+        addr,
+        shards,
+        max_sessions,
+        queue_depth,
+        ..ServerConfig::default()
+    })
+    .map_err(server_err)?;
     eprintln!(
-        "ringjoin-server listening on {} with {shards} shard(s)",
+        "ringjoin-server listening on {} with {shards} shard(s), {max_sessions} session(s), queue depth {queue_depth}",
         server.local_addr()
     );
     server
         .serve()
         .map_err(|e| ArgError(format!("serve failed: {e}")))?;
     Ok(Some("server stopped".into()))
+}
+
+/// Runs a join-shaped request once, or `--pipeline N` times back to
+/// back on the same connection. Pipelined replies must agree byte for
+/// byte (the serving invariant); the decoded last reply is returned.
+fn run_join_shaped(
+    client: &mut Client,
+    args: &Args,
+    req: ringjoin_server::proto::Request,
+) -> Result<ringjoin_server::RemoteOutput, ArgError> {
+    let n: usize = args.opt_parse("pipeline", 1)?;
+    if n == 0 {
+        return Err(ArgError(
+            "--pipeline must be at least 1 (got 0); omit the flag for a single request".into(),
+        ));
+    }
+    let batch = vec![req; n];
+    let replies = client.pipeline(&batch).map_err(server_err)?;
+    let first = &replies[0];
+    for (i, reply) in replies.iter().enumerate().skip(1) {
+        if reply.body != first.body {
+            return Err(ArgError(format!(
+                "pipelined reply {i} diverged from reply 0 (the server broke byte-identity)"
+            )));
+        }
+    }
+    let last = replies.last().expect("pipeline returned no replies");
+    Client::decode_output(last).map_err(server_err)
 }
 
 /// The `client <op>` command family: one connection, one operation.
@@ -299,7 +347,11 @@ fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
         )
     })?;
     let addr = args.opt("addr").unwrap_or("127.0.0.1:4815");
-    let mut client = Client::connect(addr).map_err(server_err)?;
+    let timeout = match args.opt_parse::<u64>("timeout", 30)? {
+        0 => None,
+        secs => Some(std::time::Duration::from_secs(secs)),
+    };
+    let mut client = Client::connect_with_timeout(addr, timeout).map_err(server_err)?;
     match op {
         "load" => {
             let name = args.req("name")?;
@@ -314,15 +366,13 @@ fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
             )))
         }
         "join" => {
-            let algo = parse_algo(args.opt("algo"), "obj")?;
-            let out = client
-                .join(
-                    args.req("outer")?,
-                    args.req("inner")?,
-                    algo,
-                    parse_bounds(args)?,
-                )
-                .map_err(server_err)?;
+            let req = ringjoin_server::proto::Request::Join {
+                outer: args.req("outer")?.to_string(),
+                inner: args.req("inner")?.to_string(),
+                algo: parse_algo(args.opt("algo"), "obj")?,
+                bounds: parse_bounds(args)?,
+            };
+            let out = run_join_shaped(&mut client, args, req)?;
             if args.flag("stats") {
                 report_remote_stats(&out);
             }
@@ -330,10 +380,12 @@ fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
             Ok(None)
         }
         "self-join" => {
-            let algo = parse_algo(args.opt("algo"), "obj")?;
-            let out = client
-                .self_join(args.req("dataset")?, algo, parse_bounds(args)?)
-                .map_err(server_err)?;
+            let req = ringjoin_server::proto::Request::SelfJoin {
+                dataset: args.req("dataset")?.to_string(),
+                algo: parse_algo(args.opt("algo"), "obj")?,
+                bounds: parse_bounds(args)?,
+            };
+            let out = run_join_shaped(&mut client, args, req)?;
             if args.flag("stats") {
                 report_remote_stats(&out);
             }
@@ -341,9 +393,12 @@ fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
             Ok(None)
         }
         "top-k" => {
-            let out = client
-                .top_k(args.req("outer")?, args.req("inner")?, args.req_parse("k")?)
-                .map_err(server_err)?;
+            let req = ringjoin_server::proto::Request::TopK {
+                outer: args.req("outer")?.to_string(),
+                inner: args.req("inner")?.to_string(),
+                k: args.req_parse("k")?,
+            };
+            let out = run_join_shaped(&mut client, args, req)?;
             if args.flag("stats") {
                 report_remote_stats(&out);
             }
@@ -846,6 +901,7 @@ mod tests {
         let server = Server::bind(&ServerConfig {
             addr: "127.0.0.1:0".into(),
             shards: 3,
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = server.local_addr().to_string();
@@ -884,6 +940,31 @@ mod tests {
             "sharded server CSV must be byte-identical to the in-process join"
         );
         assert!(remote.lines().count() > 1);
+
+        // A pipelined run sends N copies on one connection, asserts the
+        // replies agree, and writes the same bytes.
+        let piped_csv = tmp("srv_piped.csv");
+        run(&parse(&s(&[
+            "client",
+            "join",
+            "--addr",
+            &addr,
+            "--outer",
+            "q",
+            "--inner",
+            "p",
+            "--pipeline",
+            "3",
+            "--out",
+            &piped_csv,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&piped_csv).unwrap(),
+            remote,
+            "pipelined CSV must be byte-identical to the single-request run"
+        );
 
         // top-k, explain and stats round-trip too.
         let topk_csv = tmp("srv_topk.csv");
@@ -924,6 +1005,40 @@ mod tests {
     fn serve_rejects_zero_shards_and_stray_positionals_error() {
         let err = run(&parse(&s(&["serve", "--shards", "0"])).unwrap()).unwrap_err();
         assert!(err.0.contains("--shards must be at least 1"), "{}", err.0);
+        // Zero sessions would make the server unreachable: rejected.
+        let err = run(&parse(&s(&["serve", "--max-sessions", "0"])).unwrap()).unwrap_err();
+        assert!(
+            err.0.contains("--max-sessions must be at least 1"),
+            "{}",
+            err.0
+        );
+        // --pipeline 0 would send nothing and hang: rejected before any
+        // request goes out (the server is real, so the error is ours).
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let paddr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+        let err = run(&parse(&s(&[
+            "client",
+            "join",
+            "--addr",
+            &paddr,
+            "--outer",
+            "q",
+            "--inner",
+            "p",
+            "--pipeline",
+            "0",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("--pipeline must be at least 1"), "{}", err.0);
+        run(&parse(&s(&["client", "shutdown", "--addr", &paddr])).unwrap()).unwrap();
+        handle.join().unwrap();
         // Commands without a sub-operation reject a stray positional.
         let err = run(&parse(&s(&["join", "stray", "--p", "a", "--q", "b"])).unwrap()).unwrap_err();
         assert!(err.0.contains("stray"), "{}", err.0);

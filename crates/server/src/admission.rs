@@ -1,0 +1,143 @@
+//! Admission control for the serving front door: a bounded queue of
+//! permits in front of the shard workers.
+//!
+//! Engine-bound requests (loads, joins, top-k) must [`Admission::admit`]
+//! before they touch the [`ShardedEngine`](crate::ShardedEngine). At
+//! most `max_inflight` requests run at once; up to `queue_depth` more
+//! wait their turn; everything beyond that is rejected immediately with
+//! [`Busy`], which the server turns into an `ERR busy` frame carrying a
+//! retry hint. The queue is *bounded by construction* — an overload can
+//! delay clients but can never grow server memory without limit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// The admission queue is full: the request should be bounced back to
+/// the client with a retry hint, not enqueued.
+#[derive(Clone, Copy, Debug)]
+pub struct Busy;
+
+struct Gate {
+    /// Requests currently holding a permit.
+    active: usize,
+    /// Requests blocked in [`Admission::admit`] waiting for a permit.
+    waiting: usize,
+}
+
+/// The bounded admission queue. Cheap to share behind the server's
+/// `Arc`; one instance fronts all sessions.
+pub struct Admission {
+    gate: Mutex<Gate>,
+    turnstile: Condvar,
+    max_inflight: usize,
+    queue_depth: usize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// An admitted request's slot, released on drop.
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Admission {
+    /// `max_inflight >= 1` requests run concurrently; `queue_depth`
+    /// more may wait.
+    pub fn new(max_inflight: usize, queue_depth: usize) -> Admission {
+        Admission {
+            gate: Mutex::new(Gate {
+                active: 0,
+                waiting: 0,
+            }),
+            turnstile: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a permit, blocking in the queue if the server is at
+    /// capacity — or fails fast with [`Busy`] if the queue itself is
+    /// full.
+    pub fn admit(&self) -> Result<Permit<'_>, Busy> {
+        let mut gate = self.gate.lock().expect("admission gate poisoned");
+        if gate.active >= self.max_inflight {
+            if gate.waiting >= self.queue_depth {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(Busy);
+            }
+            gate.waiting += 1;
+            while gate.active >= self.max_inflight {
+                gate = self.turnstile.wait(gate).expect("admission gate poisoned");
+            }
+            gate.waiting -= 1;
+        }
+        gate.active += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Permit { admission: self })
+    }
+
+    /// Lifetime counters: `(admitted, rejected_busy)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.admitted.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut gate = self.admission.gate.lock().expect("admission gate poisoned");
+        gate.active -= 1;
+        drop(gate);
+        self.admission.turnstile.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_bound_concurrency_and_queue_overflow_is_busy() {
+        let adm = Admission::new(1, 0);
+        let held = adm.admit().unwrap();
+        // Slot taken, zero queue: the next request is shed immediately.
+        assert!(adm.admit().is_err());
+        assert_eq!(adm.stats(), (1, 1));
+        drop(held);
+        // Released: the slot is available again.
+        let again = adm.admit().unwrap();
+        drop(again);
+        assert_eq!(adm.stats(), (2, 1));
+    }
+
+    #[test]
+    fn queued_requests_run_after_the_active_one_releases() {
+        use std::sync::Arc;
+        let adm = Arc::new(Admission::new(1, 4));
+        let held = adm.admit().unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let adm = Arc::clone(&adm);
+            handles.push(std::thread::spawn(move || {
+                let permit = adm.admit().expect("within queue depth");
+                drop(permit);
+            }));
+        }
+        // Give the waiters time to enqueue, then open the turnstile.
+        while adm.gate.lock().unwrap().waiting < 3 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (admitted, rejected) = adm.stats();
+        assert_eq!(admitted, 4);
+        assert_eq!(rejected, 0);
+        assert_eq!(adm.gate.lock().unwrap().active, 0);
+    }
+}

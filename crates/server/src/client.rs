@@ -1,5 +1,14 @@
-//! The blocking client of the wire protocol: one TCP connection, one
-//! in-flight request at a time.
+//! The blocking client of the wire protocol: one TCP connection,
+//! requests answered in order — one at a time through the typed
+//! helpers, or several in flight through [`Client::send`] /
+//! [`Client::recv`] pipelining.
+//!
+//! Every request is stamped with an auto-incrementing `#<id>` token and
+//! the echoed id is checked on receive, so a pipelining client knows
+//! each reply really answers the request it thinks it does. Sockets
+//! carry read/write timeouts ([`DEFAULT_TIMEOUT`] unless configured),
+//! so a hung server surfaces as [`ServerError::Timeout`] instead of
+//! wedging the caller forever.
 
 use crate::proto::{parse_pairs, read_frame, write_frame, Reply, Request};
 use crate::sharded::RingBounds;
@@ -7,12 +16,20 @@ use crate::ServerError;
 use ringjoin_core::{IndexKind, RcjAlgorithm, RcjPair, RcjStats};
 use ringjoin_geom::Item;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// A blocking wire-protocol client. Every method sends one request
-/// frame and waits for the matching response; `ERR` responses surface
-/// as [`ServerError::Remote`].
+/// Socket read/write deadline applied by [`Client::connect`]. Generous
+/// because joins genuinely take a while — the deadline is for *hung*
+/// servers, not slow ones.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A blocking wire-protocol client. Every typed method sends one
+/// request frame and waits for the matching response; `ERR` responses
+/// surface as [`ServerError::Remote`] (overload as
+/// [`ServerError::Busy`], hangs as [`ServerError::Timeout`]).
 pub struct Client {
     stream: TcpStream,
+    next_id: u64,
 }
 
 /// A join-shaped answer as received over the wire: the pairs (exactly
@@ -36,23 +53,131 @@ fn field_u64(reply: &Reply, key: &str) -> u64 {
         .unwrap_or_default()
 }
 
+fn io_error(context: &str, e: std::io::Error) -> ServerError {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) {
+        ServerError::Timeout(format!("{context}: {e}"))
+    } else {
+        ServerError::Io(format!("{context}: {e}"))
+    }
+}
+
 impl Client {
-    /// Connects to a server (e.g. `"127.0.0.1:4815"`).
+    /// Connects to a server (e.g. `"127.0.0.1:4815"`) with
+    /// [`DEFAULT_TIMEOUT`] socket deadlines.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_TIMEOUT))
+    }
+
+    /// Connects with an explicit socket deadline (`None` = block
+    /// forever, the pre-timeout behavior).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ServerError> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| ServerError::Io(format!("cannot connect: {e}")))?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        let mut client = Client { stream, next_id: 1 };
+        client.set_timeout(timeout)?;
+        Ok(client)
     }
 
-    /// Sends one request and parses the response.
-    pub fn request(&mut self, req: &Request) -> Result<Reply, ServerError> {
-        write_frame(&mut self.stream, req.encode().as_bytes())
-            .map_err(|e| ServerError::Io(format!("send failed: {e}")))?;
+    /// Reconfigures the socket read/write deadline.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServerError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .and_then(|()| self.stream.set_write_timeout(timeout))
+            .map_err(|e| ServerError::Io(format!("cannot set socket timeout: {e}")))
+    }
+
+    /// Sends one request frame without waiting for the reply, returning
+    /// the request id stamped on it. Pair with [`Client::recv`]:
+    /// several sends back to back pipeline on the connection.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ServerError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = crate::proto::encode_request_id(id, &req.encode());
+        write_frame(&mut self.stream, payload.as_bytes())
+            .map_err(|e| io_error("send failed", e))?;
+        Ok(id)
+    }
+
+    /// Receives one reply: the echoed request id (if any) and the
+    /// parsed outcome. The outer `Result` is transport failure; the
+    /// inner one is the server's verdict on that request.
+    #[allow(clippy::type_complexity)]
+    pub fn recv(&mut self) -> Result<(Option<u64>, Result<Reply, ServerError>), ServerError> {
         let payload = read_frame(&mut self.stream)
-            .map_err(|e| ServerError::Io(format!("receive failed: {e}")))?
+            .map_err(|e| io_error("receive failed", e))?
             .ok_or_else(|| ServerError::Io("server closed the connection".into()))?;
-        Reply::parse(&payload)
+        Ok(Reply::parse_with_id(&payload))
+    }
+
+    /// Sends like [`Client::send`], but when the write fails because
+    /// the peer already closed the connection, drains one pending reply
+    /// first: a server that sheds a session writes its `ERR busy` frame
+    /// *before* closing, and that verdict beats a raw broken pipe.
+    fn send_or_pending_err(&mut self, req: &Request) -> Result<u64, ServerError> {
+        match self.send(req) {
+            Ok(id) => Ok(id),
+            Err(send_err) => {
+                if let Ok((_, Err(server_err))) = self.recv() {
+                    return Err(server_err);
+                }
+                Err(send_err)
+            }
+        }
+    }
+
+    /// Sends one request and parses the response, checking that the
+    /// echoed id matches.
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ServerError> {
+        let id = self.send_or_pending_err(req)?;
+        let (reply_id, outcome) = self.recv()?;
+        let reply = outcome?;
+        if reply_id != Some(id) {
+            return Err(ServerError::BadRequest(format!(
+                "reply id {reply_id:?} does not match request id {id}"
+            )));
+        }
+        Ok(reply)
+    }
+
+    /// Pipelines `reqs`: all requests are written before any reply is
+    /// read, then the in-order replies are matched to their request ids.
+    /// The first server-side `ERR` aborts with that request's error
+    /// (later replies of the batch are drained first, keeping the
+    /// connection usable).
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Reply>, ServerError> {
+        let mut ids = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            ids.push(self.send_or_pending_err(req)?);
+        }
+        let mut replies = Vec::with_capacity(reqs.len());
+        let mut first_err = None;
+        for &id in &ids {
+            let (reply_id, outcome) = self.recv()?;
+            match outcome {
+                // An ERR with no id is unsolicited — the server shed
+                // this *session* (e.g. over the session limit), not one
+                // request of the batch; nothing more is coming.
+                Err(e) if reply_id.is_none() => return Err(e),
+                Err(e) if reply_id == Some(id) => first_err = first_err.or(Some(e)),
+                Ok(reply) if reply_id == Some(id) => replies.push(reply),
+                _ => {
+                    return Err(ServerError::BadRequest(format!(
+                        "pipelined reply id {reply_id:?} does not match request id {id}"
+                    )))
+                }
+            }
+        }
+        match first_err {
+            None => Ok(replies),
+            Some(e) => Err(e),
+        }
     }
 
     /// Registers a dataset on the server (every shard builds the chosen
@@ -70,21 +195,28 @@ impl Client {
         })
     }
 
-    fn join_shaped(&mut self, req: &Request) -> Result<RemoteOutput, ServerError> {
-        let reply = self.request(req)?;
+    /// Decodes a join-shaped reply (`JOIN`/`SELFJOIN`/`TOPK`) into a
+    /// [`RemoteOutput`] — public so pipelining callers can decode the
+    /// replies [`Client::pipeline`] hands back.
+    pub fn decode_output(reply: &Reply) -> Result<RemoteOutput, ServerError> {
         let pairs = parse_pairs(&reply.body)?;
         let stats = RcjStats {
-            candidate_pairs: field_u64(&reply, "candidates"),
-            result_pairs: field_u64(&reply, "result_pairs"),
+            candidate_pairs: field_u64(reply, "candidates"),
+            result_pairs: field_u64(reply, "result_pairs"),
             filter_heap_pops: 0,
-            filter_node_reads: field_u64(&reply, "filter_node_reads"),
-            verify_node_visits: field_u64(&reply, "verify_node_visits"),
+            filter_node_reads: field_u64(reply, "filter_node_reads"),
+            verify_node_visits: field_u64(reply, "verify_node_visits"),
         };
         Ok(RemoteOutput {
             pairs,
             stats,
-            shards_queried: field_u64(&reply, "shards_queried") as usize,
+            shards_queried: field_u64(reply, "shards_queried") as usize,
         })
+    }
+
+    fn join_shaped(&mut self, req: &Request) -> Result<RemoteOutput, ServerError> {
+        let reply = self.request(req)?;
+        Self::decode_output(&reply)
     }
 
     /// Runs a bichromatic join; the answer is byte-identical to a local
@@ -155,6 +287,9 @@ impl Client {
         let reply = self.request(&Request::Stats)?;
         let mut out = String::new();
         for (k, v) in &reply.fields {
+            if k == "id" {
+                continue; // transport detail, not a statistic
+            }
             out.push_str(&format!("{k} {v}\n"));
         }
         out.push_str(&reply.body);

@@ -19,16 +19,26 @@
 //!   totals.
 //! * [`proto`] — the frame format (`u32` big-endian length + UTF-8
 //!   payload) and the request/response grammar (`LOAD`, `JOIN`,
-//!   `SELFJOIN`, `TOPK`, `EXPLAIN`, `STATS`, `SHUTDOWN`).
-//! * [`Server`] / [`Client`] — the blocking TCP endpoints: process
-//!   lifetime on one side, a one-connection session on the other.
+//!   `SELFJOIN`, `TOPK`, `EXPLAIN`, `STATS`, `SHUTDOWN`), with optional
+//!   `#<id>` request tokens echoed in replies so clients can pipeline.
+//! * [`Server`] / [`Client`] — the blocking TCP endpoints. The server
+//!   accepts up to `max_sessions` concurrent sessions (one thread
+//!   each) over one shared engine, with a bounded admission queue in
+//!   front of the shard workers: overload is shed as `ERR busy` +
+//!   retry hint ([`ServerError::Busy`] client-side), never buffered
+//!   without bound. Results stay byte-identical to a single in-process
+//!   engine no matter how many sessions are interleaving.
 //!
 //! ```no_run
 //! use ringjoin_server::{Client, Server, ServerConfig};
 //! use ringjoin_core::{IndexKind, RcjAlgorithm};
 //! # fn items() -> Vec<ringjoin_geom::Item> { Vec::new() }
 //!
-//! let server = Server::bind(&ServerConfig { addr: "127.0.0.1:0".into(), shards: 4 })?;
+//! let server = Server::bind(&ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     shards: 4,
+//!     ..ServerConfig::default()
+//! })?;
 //! let addr = server.local_addr();
 //! std::thread::spawn(move || server.serve());
 //!
@@ -44,13 +54,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod client;
 mod partition;
+mod plan_cache;
 pub mod proto;
 mod server;
 mod sharded;
 
-pub use client::{Client, RemoteOutput};
+pub use client::{Client, RemoteOutput, DEFAULT_TIMEOUT};
 pub use partition::SpacePartition;
 pub use server::{Server, ServerConfig};
 pub use sharded::{DatasetInfo, RingBounds, ShardedEngine, ShardedOutput};
@@ -77,6 +89,15 @@ pub enum ServerError {
     Internal(String),
     /// Socket-level failure.
     Io(String),
+    /// A socket operation exceeded its deadline (client side) — the
+    /// peer is hung or unreachable, not merely slow to compute.
+    Timeout(String),
+    /// The server shed load: the admission queue (or the session limit)
+    /// is full. Carries the server's retry hint.
+    Busy {
+        /// How long the server suggests waiting before retrying.
+        retry_after_ms: u64,
+    },
     /// The server answered `ERR` (client side).
     Remote(String),
 }
@@ -98,6 +119,10 @@ impl fmt::Display for ServerError {
             ServerError::ShardGone(i) => write!(f, "shard worker {i} is gone"),
             ServerError::Internal(msg) => write!(f, "shard error: {msg}"),
             ServerError::Io(msg) => write!(f, "io error: {msg}"),
+            ServerError::Timeout(msg) => write!(f, "timed out: {msg}"),
+            ServerError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
             ServerError::Remote(msg) => write!(f, "server error: {msg}"),
         }
     }

@@ -1,0 +1,135 @@
+//! The front-door plan cache: repeated queries skip algorithm
+//! resolution.
+//!
+//! Planning an RCJ query reads no pages — it costs one cost-model
+//! evaluation over the outer dataset's catalog summary — but on a hot
+//! serving path even that is repeated work, and caching it makes the
+//! resolved choice *observable* (`STATS` reports hits/misses). The key
+//! is `(outer, inner, query shape, requested algorithm)`; the value is
+//! the concrete [`RcjAlgorithm`] the shards are told to run. Datasets
+//! are never replaced in place (`LOAD` of a duplicate name is refused),
+//! so cached resolutions never go stale and no invalidation is needed.
+
+use ringjoin_core::RcjAlgorithm;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Which query shape a cached resolution applies to. Top-k bypasses the
+/// leaf algorithms entirely (it always streams by diameter), so only
+/// join shapes carry an algorithm choice — but the shape is part of the
+/// key so the two can never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryShape {
+    /// Bichromatic join.
+    Join,
+    /// Self-join.
+    SelfJoin,
+}
+
+/// `(outer, inner, shape, requested algorithm)` — the algorithm keyed by
+/// its stable name because [`RcjAlgorithm`] itself is unordered.
+type PlanKey = (String, Option<String>, QueryShape, &'static str);
+
+/// A concurrent map from query shape to resolved algorithm, with
+/// lifetime hit/miss counters.
+pub struct PlanCache {
+    plans: RwLock<BTreeMap<PlanKey, RcjAlgorithm>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            plans: RwLock::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached resolution for this query shape, or runs
+    /// `plan` once and remembers its answer.
+    pub fn resolve(
+        &self,
+        outer: &str,
+        inner: Option<&str>,
+        shape: QueryShape,
+        requested: RcjAlgorithm,
+        plan: impl FnOnce() -> RcjAlgorithm,
+    ) -> RcjAlgorithm {
+        let key = (
+            outer.to_string(),
+            inner.map(str::to_string),
+            shape,
+            requested.name(),
+        );
+        if let Some(&resolved) = self.plans.read().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return resolved;
+        }
+        let resolved = plan();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.plans
+            .write()
+            .expect("plan cache poisoned")
+            .insert(key, resolved);
+        resolved
+    }
+
+    /// Lifetime counters: `(hits, misses)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_resolution_is_a_hit_and_skips_planning() {
+        let cache = PlanCache::new();
+        let mut planned = 0;
+        for _ in 0..3 {
+            let algo = cache.resolve("q", Some("p"), QueryShape::Join, RcjAlgorithm::Auto, || {
+                planned += 1;
+                RcjAlgorithm::Obj
+            });
+            assert_eq!(algo, RcjAlgorithm::Obj);
+        }
+        assert_eq!(planned, 1, "planning must run exactly once per shape");
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn distinct_shapes_do_not_alias() {
+        let cache = PlanCache::new();
+        let a = cache.resolve("q", Some("p"), QueryShape::Join, RcjAlgorithm::Auto, || {
+            RcjAlgorithm::Obj
+        });
+        // Same datasets, different requested algorithm: its own entry.
+        let b = cache.resolve("q", Some("p"), QueryShape::Join, RcjAlgorithm::Inj, || {
+            RcjAlgorithm::Inj
+        });
+        // Self-join of "q" is yet another shape.
+        let c = cache.resolve("q", None, QueryShape::SelfJoin, RcjAlgorithm::Auto, || {
+            RcjAlgorithm::Bij
+        });
+        assert_eq!(
+            (a, b, c),
+            (RcjAlgorithm::Obj, RcjAlgorithm::Inj, RcjAlgorithm::Bij)
+        );
+        assert_eq!(cache.stats(), (0, 3));
+    }
+}

@@ -5,17 +5,34 @@
 //! A request payload is a command line (plus, for `LOAD`, a body of data
 //! rows); a response payload is a status line (`OK key=value ...` or
 //! `ERR message`) plus an optional body. One request yields exactly one
-//! response; requests are served in order on a connection.
+//! response; requests are served in order on a connection, so a client
+//! may **pipeline**: send several frames back to back and read the
+//! replies afterwards.
 //!
 //! | request | body | response body |
 //! |---|---|---|
-//! | `LOAD <name> <rtree\|quadtree>` | `id x y` rows | — |
-//! | `JOIN <outer> <inner> [algo=..] [bounds=x0,y0,x1,y1 maxd=D]` | — | pair rows |
-//! | `SELFJOIN <dataset> [algo=..] [bounds=.. maxd=..]` | — | pair rows |
-//! | `TOPK <outer> <inner> <k>` | — | pair rows |
-//! | `EXPLAIN <outer> [<inner>] [algo=..] [k=K]` | — | plan text |
-//! | `STATS` | — | catalog text |
-//! | `SHUTDOWN` | — | — |
+//! | `[#<id>] LOAD <name> <rtree\|quadtree>` | `id x y` rows | — |
+//! | `[#<id>] JOIN <outer> <inner> [algo=..] [bounds=x0,y0,x1,y1 maxd=D]` | — | pair rows |
+//! | `[#<id>] SELFJOIN <dataset> [algo=..] [bounds=.. maxd=..]` | — | pair rows |
+//! | `[#<id>] TOPK <outer> <inner> <k>` | — | pair rows |
+//! | `[#<id>] EXPLAIN <outer> [<inner>] [algo=..] [k=K]` | — | plan text |
+//! | `[#<id>] STATS` | — | catalog text |
+//! | `[#<id>] SHUTDOWN` | — | — |
+//!
+//! # Request IDs
+//!
+//! A request payload may start with a `#<id>` token (a `u64`); the
+//! server echoes it back as the first status-line field (`OK id=<id>
+//! ...`) or, on failure, right after the status word (`ERR id=<id>
+//! message`). IDs let a pipelining client check that the in-order
+//! replies really match its in-order requests. The framing is
+//! version-tolerant in both directions: id-less requests are still
+//! accepted (the reply then carries no `id`), and clients ignore
+//! status-line fields they do not know.
+//!
+//! An overloaded server rejects work with `ERR [id=N] busy
+//! retry_after_ms=<ms> (...)`; clients surface that as
+//! [`ServerError::Busy`] carrying the retry hint.
 //!
 //! Pair rows are `p_id p_x p_y q_id q_x q_y` (floats in Rust's
 //! shortest-round-trip `Display` form, so coordinates survive the wire
@@ -48,24 +65,90 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Largest single read while receiving a payload. The receive buffer
+/// grows with the bytes that actually arrive, so a corrupt or hostile
+/// length prefix costs at most one chunk of allocation — not the 64 MiB
+/// the prefix promises.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+/// How many consecutive read-timeout ticks [`read_frame_idle`] tolerates
+/// *inside* a frame before declaring the peer stalled. (Timeouts before
+/// the first length byte are a normal idle connection, reported as
+/// [`FrameRead::Idle`] so the caller can run housekeeping.)
+const MID_FRAME_PATIENCE: u32 = 150;
+
+/// Outcome of one read attempt on a connection with a read timeout.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(String),
+    /// The read timeout expired with no frame in flight — the peer is
+    /// connected but quiet. Poll your shutdown flag and try again.
+    Idle,
+    /// Clean end of stream before any length byte.
+    Eof,
+}
+
 /// Reads one frame's payload. Returns `Ok(None)` on a clean end of
 /// stream (EOF before any length byte); errors on truncated frames,
-/// oversized lengths, and non-UTF-8 payloads.
+/// oversized lengths, non-UTF-8 payloads — and read timeouts, which a
+/// blocking client treats as a hung server.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
+    match read_frame_inner(r, false)? {
+        FrameRead::Frame(payload) => Ok(Some(payload)),
+        FrameRead::Eof => Ok(None),
+        FrameRead::Idle => unreachable!("strict reads never report Idle"),
+    }
+}
+
+/// [`read_frame`] for a socket with a short read timeout: a timeout
+/// between frames is reported as [`FrameRead::Idle`] instead of an
+/// error, so a serving loop can interleave shutdown checks with reads.
+/// A peer that stalls *mid-frame* for `MID_FRAME_PATIENCE` consecutive
+/// ticks is an error.
+pub fn read_frame_idle(r: &mut impl Read) -> std::io::Result<FrameRead> {
+    read_frame_inner(r, true)
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn read_frame_inner(r: &mut impl Read, idle_ok: bool) -> std::io::Result<FrameRead> {
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
+    let mut stalls = 0u32;
     while filled < 4 {
-        let n = r.read(&mut len_bytes[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(None);
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated frame length",
+                ))
             }
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "truncated frame length",
-            ));
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if idle_ok && is_timeout(&e) => {
+                if filled == 0 {
+                    return Ok(FrameRead::Idle);
+                }
+                stalls += 1;
+                if stalls > MID_FRAME_PATIENCE {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
         }
-        filled += n;
     }
     let len = u32::from_be_bytes(len_bytes);
     if len > MAX_FRAME {
@@ -74,11 +157,62 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
             format!("frame length {len} exceeds MAX_FRAME"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    // Chunked receive: allocation tracks bytes received, never the
+    // (untrusted) length prefix.
+    let mut payload: Vec<u8> = Vec::with_capacity((len as usize).min(READ_CHUNK));
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut remaining = len as usize;
+    let mut stalls = 0u32;
+    while remaining > 0 {
+        let want = remaining.min(READ_CHUNK);
+        match r.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated frame payload",
+                ))
+            }
+            Ok(n) => {
+                payload.extend_from_slice(&chunk[..n]);
+                remaining -= n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if idle_ok && is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MID_FRAME_PATIENCE {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
     String::from_utf8(payload)
-        .map(Some)
+        .map(FrameRead::Frame)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Prefixes a request payload with its `#<id>` token.
+pub fn encode_request_id(id: u64, payload: &str) -> String {
+    format!("#{id} {payload}")
+}
+
+/// Splits an optional leading `#<id>` token off a request payload,
+/// returning the id (if any) and the rest of the payload. Id-less
+/// payloads pass through untouched — the framing is optional.
+pub fn split_request_id(payload: &str) -> Result<(Option<u64>, &str), ServerError> {
+    let Some(rest) = payload.strip_prefix('#') else {
+        return Ok((None, payload));
+    };
+    let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+    let (digits, tail) = rest.split_at(end);
+    let id: u64 = digits
+        .parse()
+        .map_err(|_| ServerError::BadRequest(format!("malformed request id {digits:?}")))?;
+    Ok((Some(id), tail.strip_prefix(' ').unwrap_or(tail)))
 }
 
 /// A parsed client request.
@@ -457,6 +591,8 @@ pub fn parse_pairs(body: &str) -> Result<Vec<RcjPair>, ServerError> {
 /// (`ERR` responses surface as errors before a `Reply` is built.)
 #[derive(Clone, Debug, Default)]
 pub struct Reply {
+    /// The echoed request id, when the request carried one.
+    pub id: Option<u64>,
     /// `key=value` fields of the status line, in order.
     pub fields: Vec<(String, String)>,
     /// Everything after the status line.
@@ -466,7 +602,16 @@ pub struct Reply {
 impl Reply {
     /// Builds an `OK` payload from fields and a body.
     pub fn encode(fields: &[(&str, String)], body: &str) -> String {
+        Self::encode_ok(None, fields, body)
+    }
+
+    /// Builds an `OK` payload, echoing the request id (if any) as the
+    /// first status-line field.
+    pub fn encode_ok(id: Option<u64>, fields: &[(&str, String)], body: &str) -> String {
         let mut out = String::from("OK");
+        if let Some(id) = id {
+            out.push_str(&format!(" id={id}"));
+        }
         for (k, v) in fields {
             out.push_str(&format!(" {k}={v}"));
         }
@@ -477,26 +622,76 @@ impl Reply {
 
     /// Builds an `ERR` payload.
     pub fn encode_err(message: &str) -> String {
+        Self::encode_err_id(None, message)
+    }
+
+    /// Builds an `ERR` payload, echoing the request id (if any) right
+    /// after the status word so pipelining clients can still match the
+    /// failure to its request.
+    pub fn encode_err_id(id: Option<u64>, message: &str) -> String {
         // Keep the status machine-parsable: the message stays on one line.
-        format!("ERR {}", message.replace('\n', " "))
+        let msg = message.replace('\n', " ");
+        match id {
+            Some(id) => format!("ERR id={id} {msg}"),
+            None => format!("ERR {msg}"),
+        }
+    }
+
+    /// The backpressure rejection: `ERR [id=N] busy retry_after_ms=<ms>
+    /// (<what>)`. Clients parse it back as [`ServerError::Busy`].
+    pub fn encode_busy(id: Option<u64>, retry_after_ms: u64, what: &str) -> String {
+        Self::encode_err_id(
+            id,
+            &format!("busy retry_after_ms={retry_after_ms} ({what})"),
+        )
     }
 
     /// Parses a response payload; `ERR` payloads become
-    /// [`ServerError::Remote`].
+    /// [`ServerError::Remote`] (or [`ServerError::Busy`] for the
+    /// backpressure rejection).
     pub fn parse(payload: &str) -> Result<Reply, ServerError> {
+        Self::parse_with_id(payload).1
+    }
+
+    /// [`Reply::parse`], but the echoed request id survives even when
+    /// the response is an error — a pipelining client needs it to match
+    /// an `ERR` to the request that caused it.
+    pub fn parse_with_id(payload: &str) -> (Option<u64>, Result<Reply, ServerError>) {
         let (line, body) = match payload.split_once('\n') {
             Some((line, body)) => (line, body),
             None => (payload, ""),
         };
         if let Some(msg) = line.strip_prefix("ERR") {
-            return Err(ServerError::Remote(msg.trim().to_string()));
+            let mut msg = msg.trim();
+            let mut id = None;
+            if let Some(rest) = msg.strip_prefix("id=") {
+                let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+                if let Ok(n) = rest[..end].parse::<u64>() {
+                    id = Some(n);
+                    msg = rest[end..].trim_start();
+                }
+            }
+            let err = if let Some(rest) = msg.strip_prefix("busy") {
+                let retry_after_ms = rest
+                    .split_whitespace()
+                    .find_map(|t| t.strip_prefix("retry_after_ms="))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                ServerError::Busy { retry_after_ms }
+            } else {
+                ServerError::Remote(msg.to_string())
+            };
+            return (id, Err(err));
         }
         let Some(rest) = line.strip_prefix("OK") else {
-            return Err(ServerError::BadRequest(format!(
-                "malformed response status line {line:?}"
-            )));
+            return (
+                None,
+                Err(ServerError::BadRequest(format!(
+                    "malformed response status line {line:?}"
+                ))),
+            );
         };
-        let fields = rest
+        let fields: Vec<(String, String)> = match rest
             .split_whitespace()
             .map(|t| match t.split_once('=') {
                 Some((k, v)) => Ok((k.to_string(), v.to_string())),
@@ -504,11 +699,23 @@ impl Reply {
                     "malformed response field {t:?}"
                 ))),
             })
-            .collect::<Result<_, _>>()?;
-        Ok(Reply {
-            fields,
-            body: body.to_string(),
-        })
+            .collect()
+        {
+            Ok(fields) => fields,
+            Err(e) => return (None, Err(e)),
+        };
+        let id = fields
+            .iter()
+            .find(|(k, _)| k == "id")
+            .and_then(|(_, v)| v.parse().ok());
+        (
+            id,
+            Ok(Reply {
+                id,
+                fields,
+                body: body.to_string(),
+            }),
+        )
     }
 
     /// Looks up a status-line field.
@@ -542,6 +749,95 @@ mod tests {
         let mut short: Vec<u8> = 10u32.to_be_bytes().to_vec();
         short.extend_from_slice(b"abc");
         assert!(read_frame(&mut std::io::Cursor::new(short)).is_err());
+    }
+
+    /// Regression (oversized-allocation bug): a length prefix promising
+    /// MAX_FRAME with no payload behind it must fail after at most one
+    /// read chunk of allocation — the receive buffer tracks bytes that
+    /// actually arrive, not the untrusted prefix.
+    #[test]
+    fn hostile_length_prefix_does_not_preallocate() {
+        struct CountingEof(usize);
+        impl Read for CountingEof {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                self.0 += 1;
+                Ok(0) // EOF right after the length prefix
+            }
+        }
+        let prefix = MAX_FRAME.to_be_bytes();
+        let mut r = std::io::Cursor::new(prefix.to_vec()).chain(CountingEof(0));
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+        // Payloads larger than one read chunk still round-trip intact.
+        let big = "x".repeat(READ_CHUNK * 3 + 17);
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, big.as_bytes()).unwrap();
+        let got = read_frame(&mut std::io::Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(got, big);
+    }
+
+    #[test]
+    fn request_ids_split_and_round_trip() {
+        assert_eq!(split_request_id("STATS").unwrap(), (None, "STATS"));
+        assert_eq!(
+            split_request_id(&encode_request_id(7, "STATS")).unwrap(),
+            (Some(7), "STATS")
+        );
+        let (id, rest) = split_request_id("#42 LOAD d rtree\n1 2 3\n").unwrap();
+        assert_eq!(id, Some(42));
+        assert_eq!(rest, "LOAD d rtree\n1 2 3\n");
+        assert!(split_request_id("#x STATS").is_err());
+        assert!(split_request_id("# STATS").is_err());
+        // A bare id with no command is a valid split, then a parse error.
+        let (id, rest) = split_request_id("#9").unwrap();
+        assert_eq!(id, Some(9));
+        assert!(Request::parse(rest).is_err());
+    }
+
+    #[test]
+    fn replies_echo_ids_on_ok_and_err() {
+        let payload = Reply::encode_ok(Some(3), &[("pairs", "1".into())], "row\n");
+        let (id, reply) = Reply::parse_with_id(&payload);
+        let reply = reply.unwrap();
+        assert_eq!(id, Some(3));
+        assert_eq!(reply.id, Some(3));
+        assert_eq!(reply.field("pairs"), Some("1"));
+
+        let (id, err) = Reply::parse_with_id(&Reply::encode_err_id(Some(8), "nope"));
+        assert_eq!(id, Some(8));
+        assert!(matches!(err, Err(ServerError::Remote(m)) if m == "nope"));
+
+        let (id, err) = Reply::parse_with_id(&Reply::encode_busy(Some(5), 75, "queue full"));
+        assert_eq!(id, Some(5));
+        assert!(matches!(err, Err(ServerError::Busy { retry_after_ms: 75 })));
+        // Version tolerance: id-less replies keep parsing.
+        let (id, reply) = Reply::parse_with_id(&Reply::encode(&[("x", "1".into())], ""));
+        assert_eq!(id, None);
+        assert!(reply.unwrap().id.is_none());
+    }
+
+    #[test]
+    fn idle_reads_distinguish_quiet_peers_from_stalled_frames() {
+        struct Timeouts<R>(R, Vec<bool>);
+        impl<R: Read> Read for Timeouts<R> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1.pop().unwrap_or(false) {
+                    return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"));
+                }
+                self.0.read(buf)
+            }
+        }
+        let mut framed: Vec<u8> = Vec::new();
+        write_frame(&mut framed, b"STATS").unwrap();
+        // Timeout before any byte: Idle; then the frame arrives whole.
+        let mut r = Timeouts(std::io::Cursor::new(framed), vec![false, true]);
+        assert!(matches!(read_frame_idle(&mut r).unwrap(), FrameRead::Idle));
+        match read_frame_idle(&mut r).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, "STATS"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(read_frame_idle(&mut r).unwrap(), FrameRead::Eof));
     }
 
     #[test]

@@ -1,18 +1,44 @@
 //! The process-lifetime half of serving: a TCP listener translating
-//! wire-protocol frames into [`ShardedEngine`] calls.
+//! wire-protocol frames into [`ShardedEngine`] calls, one session
+//! thread per connection.
 //!
-//! The server handles one client session at a time, requests strictly
-//! in order — concurrency lives *below* the protocol, in the per-shard
-//! worker threads a request fans out to. (Concurrent client sessions
-//! and replicated listeners are the ROADMAP's follow-on items.) A
-//! request can never take the process down: every failure — protocol,
-//! catalog, validation — is returned to the client as an `ERR` frame
-//! and the serving loop continues; only `SHUTDOWN` ends it.
+//! # Concurrency model
+//!
+//! The listener accepts up to [`ServerConfig::max_sessions`] concurrent
+//! connections; each gets its own session thread reading frames in
+//! order (so clients can pipeline) against the one shared engine.
+//! Connections beyond the limit are not queued blind — they get an
+//! `ERR busy` frame with a retry hint and are closed. Below the
+//! sessions sits the admission gate: at most `max_inflight`
+//! engine-bound requests run at once, `queue_depth` more wait, and the
+//! rest are bounced with the same `ERR busy` shape. Memory is bounded
+//! by construction at both layers — overload sheds load, it never
+//! accumulates it.
+//!
+//! A request can never take the process down: every failure — protocol,
+//! catalog, validation, overload — is returned to the client as an
+//! `ERR` frame and the serving loop continues; only `SHUTDOWN` ends it.
+//! The shutdown decision is acted on *before* the ack write, so a
+//! client that dies right after sending `SHUTDOWN` still stops the
+//! server.
 
-use crate::proto::{encode_pairs, read_frame, write_frame, Reply, Request};
+use crate::admission::Admission;
+use crate::proto::{
+    encode_pairs, read_frame_idle, split_request_id, write_frame, FrameRead, Reply, Request,
+};
 use crate::sharded::{ShardedEngine, ShardedOutput};
 use crate::ServerError;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a session blocks in `read` before checking the shutdown
+/// flag (the poll granularity of an idle connection).
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// The retry hint attached to `ERR busy` rejections.
+const RETRY_AFTER_MS: u64 = 50;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -22,6 +48,15 @@ pub struct ServerConfig {
     pub addr: String,
     /// Number of shard engines (must be at least 1).
     pub shards: usize,
+    /// Concurrent client sessions accepted (must be at least 1);
+    /// further connections are rejected with `ERR busy`.
+    pub max_sessions: usize,
+    /// Engine-bound requests that may *wait* for an admission slot
+    /// before the server starts shedding load with `ERR busy`.
+    pub queue_depth: usize,
+    /// Engine-bound requests running concurrently; `0` means "one per
+    /// shard", the default.
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -29,6 +64,9 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:4815".to_string(),
             shards: 1,
+            max_sessions: 16,
+            queue_depth: 32,
+            max_inflight: 0,
         }
     }
 }
@@ -38,173 +76,346 @@ impl Default for ServerConfig {
 /// [`Server::serve`] (blocking until a `SHUTDOWN` request).
 pub struct Server {
     listener: TcpListener,
-    engine: ShardedEngine,
-    requests: u64,
+    shared: Arc<Shared>,
 }
 
-/// What handling one request decided: the response payload, and whether
-/// the serving loop should stop after sending it.
+/// Everything the session threads share.
+struct Shared {
+    engine: ShardedEngine,
+    admission: Admission,
+    max_sessions: usize,
+    /// Live session count (incremented at accept, decremented when the
+    /// session thread finishes).
+    sessions: AtomicUsize,
+    sessions_total: AtomicU64,
+    /// Requests answered `OK` / answered `ERR` (unparseable frames land
+    /// in the error bucket, not in the success count).
+    requests_ok: AtomicU64,
+    requests_err: AtomicU64,
+    /// Connections turned away at the session limit.
+    rejected_sessions: AtomicU64,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and pokes the listener awake so the
+    /// accept loop observes it. Runs *before* any ack is written: the
+    /// decision to stop must survive a client that vanishes mid-ack.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// Decrements the live-session gauge even if the session errors out.
+struct SessionGuard(Arc<Shared>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What handling one request decided: the response payload, whether the
+/// server should stop after sending it, and whether it counts as a
+/// success.
 struct Handled {
     payload: String,
     shutdown: bool,
+    ok: bool,
+}
+
+impl Handled {
+    fn err(id: Option<u64>, e: &ServerError) -> Handled {
+        Handled {
+            payload: Reply::encode_err_id(id, &e.to_string()),
+            shutdown: false,
+            ok: false,
+        }
+    }
 }
 
 impl Server {
-    /// Validates the configuration (shard count >= 1), spawns the shard
-    /// workers and binds the listener.
+    /// Validates the configuration (shard count and session limit both
+    /// at least 1), spawns the shard workers and binds the listener.
     pub fn bind(config: &ServerConfig) -> Result<Server, ServerError> {
+        if config.max_sessions == 0 {
+            return Err(ServerError::BadRequest(
+                "max_sessions must be at least 1 (got 0)".into(),
+            ));
+        }
         let engine = ShardedEngine::new(config.shards)?;
+        let max_inflight = if config.max_inflight == 0 {
+            config.shards
+        } else {
+            config.max_inflight
+        };
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServerError::Io(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServerError::Io(format!("bound listener has no address: {e}")))?;
         Ok(Server {
             listener,
-            engine,
-            requests: 0,
+            shared: Arc::new(Shared {
+                engine,
+                admission: Admission::new(max_inflight, config.queue_depth),
+                max_sessions: config.max_sessions,
+                sessions: AtomicUsize::new(0),
+                sessions_total: AtomicU64::new(0),
+                requests_ok: AtomicU64::new(0),
+                requests_err: AtomicU64::new(0),
+                rejected_sessions: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
         })
     }
 
     /// The bound address (the actual port when the config asked for 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+        self.shared.addr
     }
 
-    /// Serves connections until a `SHUTDOWN` request, then drains the
-    /// shard workers and returns. A per-connection I/O error drops that
-    /// connection and the loop continues; only a failing `accept` (the
-    /// listener itself is broken) is fatal.
-    pub fn serve(mut self) -> std::io::Result<()> {
+    /// Serves connections until a `SHUTDOWN` request: each accepted
+    /// connection gets a session thread, up to the session limit —
+    /// beyond it, connections receive `ERR busy` and are closed. On
+    /// shutdown the listener stops accepting, live sessions are joined
+    /// (they observe the flag within one idle tick), and the shard
+    /// workers drain. A per-connection I/O error drops that connection
+    /// and the loop continues; only a failing `accept` (the listener
+    /// itself is broken) is fatal.
+    pub fn serve(self) -> std::io::Result<()> {
+        let Server { listener, shared } = self;
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
-            let (stream, _peer) = self.listener.accept()?;
-            match self.serve_connection(stream) {
-                Ok(true) => {
-                    self.engine.shutdown();
-                    return Ok(());
+            let (stream, _peer) = listener.accept()?;
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            sessions.retain(|h| !h.is_finished());
+            if shared.sessions.load(Ordering::SeqCst) >= shared.max_sessions {
+                shared.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+                let mut stream = stream;
+                let reject = Reply::encode_busy(
+                    None,
+                    RETRY_AFTER_MS,
+                    &format!("session limit {} reached", shared.max_sessions),
+                );
+                let _ = write_frame(&mut stream, reject.as_bytes());
+                continue;
+            }
+            shared.sessions.fetch_add(1, Ordering::SeqCst);
+            shared.sessions_total.fetch_add(1, Ordering::Relaxed);
+            let session_shared = Arc::clone(&shared);
+            sessions.push(std::thread::spawn(move || {
+                let guard = SessionGuard(session_shared);
+                if let Err(e) = serve_session(stream, &guard.0) {
+                    eprintln!("ringjoin-server: connection error: {e}");
                 }
-                Ok(false) => {}
-                Err(e) => eprintln!("ringjoin-server: connection error: {e}"),
-            }
+            }));
         }
-    }
-
-    /// Serves one connection until the peer closes it; `Ok(true)` means
-    /// a `SHUTDOWN` was acknowledged.
-    fn serve_connection(&mut self, mut stream: TcpStream) -> std::io::Result<bool> {
-        while let Some(payload) = read_frame(&mut stream)? {
-            self.requests += 1;
-            let handled = match Request::parse(&payload) {
-                Ok(req) => self.handle(req),
-                Err(e) => Handled {
-                    payload: Reply::encode_err(&e.to_string()),
-                    shutdown: false,
-                },
-            };
-            write_frame(&mut stream, handled.payload.as_bytes())?;
-            if handled.shutdown {
-                return Ok(true);
-            }
+        for handle in sessions {
+            let _ = handle.join();
         }
-        Ok(false)
+        Ok(())
     }
+}
 
-    /// Dispatches one parsed request against the sharded engine. Every
-    /// error becomes an `ERR` payload — the serving process never
-    /// panics on a request.
-    fn handle(&mut self, req: Request) -> Handled {
-        let result: Result<(String, bool), ServerError> = match req {
-            Request::Load { name, kind, items } => {
-                self.engine.load(&name, items, kind).map(|info| {
-                    (
-                        Reply::encode(
-                            &[
-                                ("dataset", info.name.clone()),
-                                ("kind", info.kind.name().to_string()),
-                                ("items", info.items.to_string()),
-                                ("shards", self.engine.shard_count().to_string()),
-                            ],
-                            "",
-                        ),
-                        false,
-                    )
-                })
-            }
-            Request::Join {
-                outer,
-                inner,
-                algo,
-                bounds,
-            } => self
-                .engine
-                .join(&outer, &inner, algo, bounds)
-                .map(|out| (join_reply(&out), false)),
-            Request::SelfJoin {
-                dataset,
-                algo,
-                bounds,
-            } => self
-                .engine
-                .self_join(&dataset, algo, bounds)
-                .map(|out| (join_reply(&out), false)),
-            Request::TopK { outer, inner, k } => self
-                .engine
-                .top_k(&outer, &inner, k)
-                .map(|out| (join_reply(&out), false)),
-            Request::Explain {
-                outer,
-                inner,
-                algo,
-                k,
-            } => self
-                .engine
-                .explain(&outer, inner.as_deref(), algo, k)
-                .map(|text| (Reply::encode(&[], &text), false)),
-            Request::Stats => Ok((self.stats_reply(), false)),
-            Request::Shutdown => Ok((Reply::encode(&[("bye", "1".to_string())], ""), true)),
+/// One session: frames in order until EOF, a fatal I/O error, or
+/// shutdown (ours or another session's, observed within an idle tick).
+fn serve_session(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(IDLE_TICK))?;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match read_frame_idle(&mut stream)? {
+            FrameRead::Eof => return Ok(()),
+            FrameRead::Idle => continue,
+            FrameRead::Frame(payload) => payload,
         };
-        match result {
-            Ok((payload, shutdown)) => Handled { payload, shutdown },
-            Err(e) => Handled {
-                payload: Reply::encode_err(&e.to_string()),
-                shutdown: false,
-            },
+        let handled = handle_payload(&payload, shared);
+        if handled.ok {
+            shared.requests_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.requests_err.fetch_add(1, Ordering::Relaxed);
         }
+        if handled.shutdown {
+            // Commit to stopping *before* the ack write: if the client
+            // is already gone, the decision must not be lost with it.
+            shared.begin_shutdown();
+            let _ = write_frame(&mut stream, handled.payload.as_bytes());
+            return Ok(());
+        }
+        write_frame(&mut stream, handled.payload.as_bytes())?;
     }
+}
 
-    /// The `STATS` body: shard count, request counter, the shared
-    /// buffer pool's lifetime hit/fault counters (cache behavior on the
-    /// wire), and one line per loaded dataset.
-    fn stats_reply(&self) -> String {
-        let mut body = String::new();
-        for name in self.engine.dataset_names() {
-            let info = self.engine.dataset(&name).expect("catalog name listed");
-            body.push_str(&format!(
-                "dataset {name} kind={} items={} leaves_per_shard={:?} items_per_shard={:?}\n",
-                info.kind.name(),
-                info.items,
-                info.leaves_per_shard,
-                info.items_per_shard,
-            ));
-        }
-        let (pool_hits, pool_faults, pool_hit_rate) = self.engine.pool_stats();
-        Reply::encode(
-            &[
-                ("shards", self.engine.shard_count().to_string()),
-                ("datasets", self.engine.dataset_names().len().to_string()),
-                ("requests", self.requests.to_string()),
-                ("pool_hits", pool_hits.to_string()),
-                ("pool_faults", pool_faults.to_string()),
-                ("pool_hit_rate", format!("{pool_hit_rate:.4}")),
-            ],
-            &body,
-        )
+/// Splits the request id, parses the command, passes the admission
+/// gate (engine-bound work only) and dispatches. Every failure becomes
+/// an `ERR` payload carrying the request id when one was given.
+fn handle_payload(payload: &str, shared: &Shared) -> Handled {
+    let (id, body) = match split_request_id(payload) {
+        Ok(split) => split,
+        Err(e) => return Handled::err(None, &e),
+    };
+    let req = match Request::parse(body) {
+        Ok(req) => req,
+        Err(e) => return Handled::err(id, &e),
+    };
+    // STATS and SHUTDOWN never touch the shard workers and must stay
+    // answerable on an overloaded server; everything else takes an
+    // admission permit (released when the dispatch returns).
+    let _permit = match req {
+        Request::Stats | Request::Shutdown => None,
+        _ => match shared.admission.admit() {
+            Ok(permit) => Some(permit),
+            Err(_) => {
+                return Handled {
+                    payload: Reply::encode_busy(id, RETRY_AFTER_MS, "admission queue full"),
+                    shutdown: false,
+                    ok: false,
+                }
+            }
+        },
+    };
+    dispatch(req, id, shared)
+}
+
+/// Dispatches one parsed request against the sharded engine. Every
+/// error becomes an `ERR` payload — the serving process never panics on
+/// a request.
+fn dispatch(req: Request, id: Option<u64>, shared: &Shared) -> Handled {
+    let engine = &shared.engine;
+    let result: Result<(String, bool), ServerError> = match req {
+        Request::Load { name, kind, items } => engine.load(&name, items, kind).map(|info| {
+            (
+                Reply::encode_ok(
+                    id,
+                    &[
+                        ("dataset", info.name.clone()),
+                        ("kind", info.kind.name().to_string()),
+                        ("items", info.items.to_string()),
+                        ("shards", engine.shard_count().to_string()),
+                    ],
+                    "",
+                ),
+                false,
+            )
+        }),
+        Request::Join {
+            outer,
+            inner,
+            algo,
+            bounds,
+        } => engine
+            .join(&outer, &inner, algo, bounds)
+            .map(|out| (join_reply(id, &out), false)),
+        Request::SelfJoin {
+            dataset,
+            algo,
+            bounds,
+        } => engine
+            .self_join(&dataset, algo, bounds)
+            .map(|out| (join_reply(id, &out), false)),
+        Request::TopK { outer, inner, k } => engine
+            .top_k(&outer, &inner, k)
+            .map(|out| (join_reply(id, &out), false)),
+        Request::Explain {
+            outer,
+            inner,
+            algo,
+            k,
+        } => engine
+            .explain(&outer, inner.as_deref(), algo, k)
+            .map(|text| (Reply::encode_ok(id, &[], &text), false)),
+        Request::Stats => Ok((stats_reply(id, shared), false)),
+        Request::Shutdown => Ok((Reply::encode_ok(id, &[("bye", "1".to_string())], ""), true)),
+    };
+    match result {
+        Ok((payload, shutdown)) => Handled {
+            payload,
+            shutdown,
+            ok: true,
+        },
+        Err(e) => Handled::err(id, &e),
     }
+}
+
+/// The `STATS` body: shard count, session and request counters (split
+/// into `requests_ok`/`requests_err`; the counters exclude the `STATS`
+/// request reporting them), admission and plan-cache counters, the
+/// shared buffer pool's lifetime hit/fault counters (cache behavior on
+/// the wire), and one line per loaded dataset.
+fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
+    let engine = &shared.engine;
+    let mut body = String::new();
+    for name in engine.dataset_names() {
+        let info = engine.dataset(&name).expect("catalog name listed");
+        body.push_str(&format!(
+            "dataset {name} kind={} items={} leaves_per_shard={:?} items_per_shard={:?}\n",
+            info.kind.name(),
+            info.items,
+            info.leaves_per_shard,
+            info.items_per_shard,
+        ));
+    }
+    let (pool_hits, pool_faults, _) = engine.pool_stats();
+    // Never NaN: a fresh server (0 hits + 0 faults) reports 0.0000.
+    let pool_hit_rate = if pool_hits + pool_faults == 0 {
+        0.0
+    } else {
+        pool_hits as f64 / (pool_hits + pool_faults) as f64
+    };
+    let (admitted, rejected_busy) = shared.admission.stats();
+    let (plan_hits, plan_misses) = engine.plan_cache_stats();
+    Reply::encode_ok(
+        id,
+        &[
+            ("shards", engine.shard_count().to_string()),
+            ("datasets", engine.dataset_names().len().to_string()),
+            (
+                "sessions",
+                shared.sessions.load(Ordering::SeqCst).to_string(),
+            ),
+            (
+                "sessions_total",
+                shared.sessions_total.load(Ordering::Relaxed).to_string(),
+            ),
+            ("max_sessions", shared.max_sessions.to_string()),
+            (
+                "requests_ok",
+                shared.requests_ok.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "requests_err",
+                shared.requests_err.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "rejected_sessions",
+                shared.rejected_sessions.load(Ordering::Relaxed).to_string(),
+            ),
+            ("admitted", admitted.to_string()),
+            ("rejected_busy", rejected_busy.to_string()),
+            ("plan_cache_hits", plan_hits.to_string()),
+            ("plan_cache_misses", plan_misses.to_string()),
+            ("pool_hits", pool_hits.to_string()),
+            ("pool_faults", pool_faults.to_string()),
+            ("pool_hit_rate", format!("{pool_hit_rate:.4}")),
+        ],
+        &body,
+    )
 }
 
 /// The shared reply shape of `JOIN`/`SELFJOIN`/`TOPK`: run counters on
 /// the status line, pair rows in the body.
-fn join_reply(out: &ShardedOutput) -> String {
-    Reply::encode(
+fn join_reply(id: Option<u64>, out: &ShardedOutput) -> String {
+    Reply::encode_ok(
+        id,
         &[
             ("pairs", out.pairs.len().to_string()),
             ("shards_queried", out.shards_queried.to_string()),

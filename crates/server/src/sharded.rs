@@ -37,12 +37,15 @@
 //! [`Server`](crate::Server) speaks.
 
 use crate::partition::SpacePartition;
+use crate::plan_cache::{PlanCache, QueryShape};
 use crate::ServerError;
+use ringjoin_core::planner::{DatasetSummary, JoinCostModel};
 use ringjoin_core::{Engine, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjPair, RcjStats};
 use ringjoin_geom::{Item, Rect};
 use ringjoin_storage::BufferPool;
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 
 /// A region-of-interest restriction on a join: report only pairs whose
@@ -116,8 +119,8 @@ struct LoadReq {
     kind: IndexKind,
     items: Vec<Item>,
     cell: Rect,
-    /// (owned leaf count, union of owned leaf regions)
-    reply: Sender<Result<(usize, Rect), String>>,
+    /// (owned leaf count, union of owned leaf regions, catalog summary)
+    reply: Sender<Result<(usize, Rect, DatasetSummary), String>>,
 }
 
 /// What a shard returns for one join request: leaf-tagged pairs plus
@@ -208,8 +211,9 @@ impl ShardWorker {
         kind: IndexKind,
         items: Vec<Item>,
         cell: Rect,
-    ) -> Result<(usize, Rect), String> {
-        self.engine.load(name.clone(), items).index(kind);
+    ) -> Result<(usize, Rect, DatasetSummary), String> {
+        let handle = self.engine.load(name.clone(), items).index(kind);
+        let summary = handle.summary();
         let leaf_regions = self.engine.leaf_regions(&name).map_err(|e| e.to_string())?;
         let owned: Vec<usize> = leaf_regions
             .iter()
@@ -230,7 +234,7 @@ impl ShardWorker {
                 owned,
             },
         );
-        Ok((owned_count, extent))
+        Ok((owned_count, extent, summary))
     }
 
     fn plan<'e>(
@@ -332,16 +336,31 @@ struct CatalogEntry {
     /// ring-expanded bounds are routed against. Empty for shards that
     /// own nothing.
     extents: Vec<Rect>,
+    /// The planner-facing summary (identical across shards — every
+    /// replica is built the same way), kept in the catalog so the
+    /// front door can resolve `Auto` without asking a worker.
+    summary: DatasetSummary,
 }
+
+type Catalog = BTreeMap<String, CatalogEntry>;
 
 /// A sharded RCJ session: `n` shard engines (one worker thread each)
 /// behind a per-dataset [`SpacePartition`], answering joins, self-joins
 /// and top-k queries with output byte-identical to a single
 /// [`Engine`]. See the module docs for the architecture and the
 /// determinism contract.
+///
+/// Every method takes `&self`, so one engine can serve **concurrent
+/// sessions** behind an `Arc`: queries hold the catalog's read lock
+/// across their fan-out and merge, while [`ShardedEngine::load`] takes
+/// the write lock — a `LOAD` is serialized against every in-flight
+/// join and can never swap the catalog under one.
 pub struct ShardedEngine {
     shards: Vec<Shard>,
-    catalog: BTreeMap<String, CatalogEntry>,
+    catalog: RwLock<Catalog>,
+    /// Resolved-algorithm cache keyed on (outer, inner, shape,
+    /// requested algorithm); see the `plan_cache` module.
+    plans: PlanCache,
     /// The one buffer pool all shard workers account through (see
     /// [`ShardedEngine::pool_stats`]).
     pool: BufferPool,
@@ -385,7 +404,8 @@ impl ShardedEngine {
             .collect();
         Ok(ShardedEngine {
             shards,
-            catalog: BTreeMap::new(),
+            catalog: RwLock::new(BTreeMap::new()),
+            plans: PlanCache::new(),
             pool,
         })
     }
@@ -402,14 +422,23 @@ impl ShardedEngine {
         (self.pool.hits(), self.pool.faults(), self.pool.hit_rate())
     }
 
+    /// Lifetime counters of the plan cache: `(hits, misses)`.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.plans.stats()
+    }
+
+    fn read_catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read().expect("catalog lock poisoned")
+    }
+
     /// Names of all loaded datasets (sorted).
     pub fn dataset_names(&self) -> Vec<String> {
-        self.catalog.keys().cloned().collect()
+        self.read_catalog().keys().cloned().collect()
     }
 
     /// Catalog description of one loaded dataset.
     pub fn dataset(&self, name: &str) -> Option<DatasetInfo> {
-        self.catalog.get(name).map(|e| DatasetInfo {
+        self.read_catalog().get(name).map(|e| DatasetInfo {
             name: name.to_string(),
             kind: e.kind,
             items: e.items,
@@ -424,13 +453,19 @@ impl ShardedEngine {
     /// routing catalog. Rejects a name that is already loaded with a
     /// protocol-level error instead of silently replacing the dataset
     /// (a serving process must not swap data under a running client).
+    ///
+    /// Holds the catalog's **write** lock for the whole load, so a
+    /// `LOAD` waits for in-flight joins (which hold read locks) and
+    /// joins admitted after it wait for the load — no query ever sees a
+    /// half-registered dataset.
     pub fn load(
-        &mut self,
+        &self,
         name: &str,
         items: Vec<Item>,
         kind: IndexKind,
     ) -> Result<DatasetInfo, ServerError> {
-        if self.catalog.contains_key(name) {
+        let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+        if catalog.contains_key(name) {
             return Err(ServerError::DuplicateDataset(name.to_string()));
         }
         let n = self.shards.len();
@@ -459,15 +494,18 @@ impl ShardedEngine {
         }
         let mut leaves = Vec::with_capacity(n);
         let mut extents = Vec::with_capacity(n);
+        let mut summary = None;
         for (i, rx) in replies.into_iter().enumerate() {
-            let (count, extent) = rx
+            let (count, extent, shard_summary) = rx
                 .recv()
                 .map_err(|_| ServerError::ShardGone(i))?
                 .map_err(ServerError::Internal)?;
             leaves.push(count);
             extents.push(extent);
+            summary = Some(shard_summary);
         }
-        self.catalog.insert(
+        let summary = summary.expect("at least one shard replied");
+        catalog.insert(
             name.to_string(),
             CatalogEntry {
                 kind,
@@ -475,6 +513,7 @@ impl ShardedEngine {
                 leaves: leaves.clone(),
                 item_counts: item_counts.clone(),
                 extents,
+                summary,
             },
         );
         Ok(DatasetInfo {
@@ -486,10 +525,32 @@ impl ShardedEngine {
         })
     }
 
-    fn entry(&self, name: &str) -> Result<&CatalogEntry, ServerError> {
-        self.catalog
+    fn require<'c>(catalog: &'c Catalog, name: &str) -> Result<&'c CatalogEntry, ServerError> {
+        catalog
             .get(name)
             .ok_or_else(|| ServerError::UnknownDataset(name.to_string()))
+    }
+
+    /// Resolves the algorithm the shards will run, through the plan
+    /// cache: `Auto` is decided once per query shape by the cost model
+    /// over the outer dataset's catalog summary; concrete requests pass
+    /// through (and are cached all the same, making repeats observable).
+    fn resolve_algo(
+        &self,
+        outer: &str,
+        inner: Option<&str>,
+        requested: RcjAlgorithm,
+        summary: DatasetSummary,
+    ) -> RcjAlgorithm {
+        let shape = match inner {
+            Some(_) => QueryShape::Join,
+            None => QueryShape::SelfJoin,
+        };
+        self.plans
+            .resolve(outer, inner, shape, requested, || match requested {
+                RcjAlgorithm::Auto => JoinCostModel::default().choose(&summary),
+                concrete => concrete,
+            })
     }
 
     /// Shards a bichromatic join across the outer dataset's partition
@@ -506,8 +567,9 @@ impl ShardedEngine {
         algo: RcjAlgorithm,
         bounds: Option<RingBounds>,
     ) -> Result<ShardedOutput, ServerError> {
-        self.entry(inner)?;
-        self.join_impl(outer, Some(inner), algo, bounds)
+        let catalog = self.read_catalog();
+        Self::require(&catalog, inner)?;
+        self.join_locked(&catalog, outer, Some(inner), algo, bounds)
     }
 
     /// Sharded self-join; see [`ShardedEngine::join`].
@@ -517,20 +579,26 @@ impl ShardedEngine {
         algo: RcjAlgorithm,
         bounds: Option<RingBounds>,
     ) -> Result<ShardedOutput, ServerError> {
-        self.join_impl(dataset, None, algo, bounds)
+        let catalog = self.read_catalog();
+        self.join_locked(&catalog, dataset, None, algo, bounds)
     }
 
-    fn join_impl(
+    /// The shared join fan-out, run under the catalog's read lock (held
+    /// by the caller through `catalog`): routing, the cache-resolved
+    /// algorithm, the worker round-trips and the deterministic merge.
+    fn join_locked(
         &self,
+        catalog: &Catalog,
         outer: &str,
         inner: Option<&str>,
         algo: RcjAlgorithm,
         bounds: Option<RingBounds>,
     ) -> Result<ShardedOutput, ServerError> {
-        let entry = self.entry(outer)?;
+        let entry = Self::require(catalog, outer)?;
         if let Some(rb) = &bounds {
             validate_bounds(rb)?;
         }
+        let algo = self.resolve_algo(outer, inner, algo, entry.summary);
         // Route: shards owning no leaf of the outer dataset can never
         // contribute; with bounds, neither can shards whose extent
         // misses the ring-expanded bounds.
@@ -584,22 +652,25 @@ impl ShardedEngine {
     /// diameter ties are ordered by pair key, matching the
     /// single-engine stream's canonical tie order.
     pub fn top_k(&self, outer: &str, inner: &str, k: usize) -> Result<ShardedOutput, ServerError> {
-        self.entry(inner)?;
-        self.top_k_impl(outer, Some(inner), k)
+        let catalog = self.read_catalog();
+        Self::require(&catalog, inner)?;
+        self.top_k_locked(&catalog, outer, Some(inner), k)
     }
 
     /// Sharded self-join top-k; see [`ShardedEngine::top_k`].
     pub fn top_k_self(&self, dataset: &str, k: usize) -> Result<ShardedOutput, ServerError> {
-        self.top_k_impl(dataset, None, k)
+        let catalog = self.read_catalog();
+        self.top_k_locked(&catalog, dataset, None, k)
     }
 
-    fn top_k_impl(
+    fn top_k_locked(
         &self,
+        catalog: &Catalog,
         outer: &str,
         inner: Option<&str>,
         k: usize,
     ) -> Result<ShardedOutput, ServerError> {
-        let entry = self.entry(outer)?;
+        let entry = Self::require(catalog, outer)?;
         // Top-k ownership is by q *point* location, so shards whose cell
         // holds no point of the outer dataset can never contribute.
         let participating: Vec<usize> = (0..self.shards.len())
@@ -649,9 +720,10 @@ impl ShardedEngine {
         algo: RcjAlgorithm,
         top_k: Option<usize>,
     ) -> Result<String, ServerError> {
-        let entry = self.entry(outer)?;
+        let catalog = self.read_catalog();
+        let entry = Self::require(&catalog, outer)?;
         if let Some(inner) = inner {
-            self.entry(inner)?;
+            Self::require(&catalog, inner)?;
         }
         let (reply, rx) = channel();
         self.shards[0]
@@ -798,7 +870,7 @@ mod tests {
         let reference = engine.query().join("q", "p").collect().unwrap();
 
         for shards in [1usize, 2, 3, 4] {
-            let mut se = ShardedEngine::new(shards).unwrap();
+            let se = ShardedEngine::new(shards).unwrap();
             se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
             se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
             let out = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
@@ -815,7 +887,7 @@ mod tests {
         engine.load("d", its.clone()).index(IndexKind::Quadtree);
         let reference = engine.query().self_join("d").collect().unwrap();
 
-        let mut se = ShardedEngine::new(3).unwrap();
+        let se = ShardedEngine::new(3).unwrap();
         se.load("d", its, IndexKind::Quadtree).unwrap();
         let out = se.self_join("d", RcjAlgorithm::Auto, None).unwrap();
         assert_eq!(out.pairs, reference.pairs);
@@ -837,7 +909,7 @@ mod tests {
             s.collect()
         };
         for shards in [1usize, 2, 4] {
-            let mut se = ShardedEngine::new(shards).unwrap();
+            let se = ShardedEngine::new(shards).unwrap();
             se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
             se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
             let out = se.top_k("q", "p", k).unwrap();
@@ -864,7 +936,7 @@ mod tests {
             .filter(|pr| rb.admits(pr))
             .collect();
 
-        let mut se = ShardedEngine::new(4).unwrap();
+        let se = ShardedEngine::new(4).unwrap();
         se.load("p", ps, IndexKind::Rtree).unwrap();
         se.load("q", qs, IndexKind::Rtree).unwrap();
         let out = se.join("q", "p", RcjAlgorithm::Auto, Some(rb)).unwrap();
@@ -890,7 +962,7 @@ mod tests {
             ShardedEngine::new(0),
             Err(ServerError::InvalidShards)
         ));
-        let mut se = ShardedEngine::new(2).unwrap();
+        let se = ShardedEngine::new(2).unwrap();
         se.load("d", items(40, 23, 300.0), IndexKind::Rtree)
             .unwrap();
         // Duplicate name: protocol error, dataset untouched.
@@ -928,7 +1000,7 @@ mod tests {
     fn shard_replicas_share_one_warm_pool() {
         let ps = items(220, 91, 1100.0);
         let qs = items(220, 93, 1100.0);
-        let mut se = ShardedEngine::new(4).unwrap();
+        let se = ShardedEngine::new(4).unwrap();
         se.load("p", ps, IndexKind::Rtree).unwrap();
         se.load("q", qs, IndexKind::Rtree).unwrap();
         let (h0, f0, _) = se.pool_stats();
@@ -956,7 +1028,7 @@ mod tests {
 
     #[test]
     fn explain_includes_the_sharding_postscript() {
-        let mut se = ShardedEngine::new(2).unwrap();
+        let se = ShardedEngine::new(2).unwrap();
         se.load("p", items(120, 31, 700.0), IndexKind::Rtree)
             .unwrap();
         se.load("q", items(120, 37, 700.0), IndexKind::Rtree)
@@ -995,7 +1067,7 @@ mod tests {
         assert!(reference[0].key() < reference[1].key());
 
         for shards in [1usize, 2, 4] {
-            let mut se = ShardedEngine::new(shards).unwrap();
+            let se = ShardedEngine::new(shards).unwrap();
             se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
             se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
             let out = se.top_k("q", "p", 2).unwrap();

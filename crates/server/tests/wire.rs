@@ -18,11 +18,15 @@ fn items(n: usize, seed: u64, span: f64) -> Vec<Item> {
 /// Starts a server on an ephemeral port, returns its address and the
 /// serve-thread handle (joined after SHUTDOWN).
 fn start(shards: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
-    let server = Server::bind(&ServerConfig {
+    start_with(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         shards,
+        ..ServerConfig::default()
     })
-    .expect("bind ephemeral");
+}
+
+fn start_with(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&config).expect("bind ephemeral");
     let addr = server.local_addr();
     let handle = std::thread::spawn(move || server.serve().expect("serve"));
     (addr, handle)
@@ -137,5 +141,181 @@ fn sessions_can_reconnect() {
     let out = second.self_join("d", RcjAlgorithm::Auto, None).unwrap();
     assert!(out.stats.result_pairs > 0);
     second.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Regression (lost-shutdown bug): a client that sends `SHUTDOWN` and
+/// dies before the ack can be written must still stop the server — the
+/// decision is acted on before (and regardless of) ack delivery.
+#[test]
+fn shutdown_is_honored_even_if_the_ack_is_lost() {
+    use ringjoin_server::proto::{write_frame, Request};
+    let (addr, handle) = start(1);
+    {
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(&mut raw, Request::Shutdown.encode().as_bytes()).unwrap();
+        // Kill the connection immediately — never read the ack.
+        raw.shutdown(std::net::Shutdown::Both).unwrap();
+    }
+    // The serve loop must still wind down; join would hang forever on
+    // the old behavior (the harness test timeout is the failure mode).
+    handle.join().unwrap();
+}
+
+/// Regression (no-socket-timeout bug): a server that accepts but never
+/// replies must surface as `ServerError::Timeout`, not wedge the client
+/// forever.
+#[test]
+fn client_times_out_instead_of_hanging() {
+    use ringjoin_server::ServerError;
+    // A bare listener that never answers: connects succeed (backlog),
+    // frames go nowhere.
+    let mute = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = mute.local_addr().unwrap();
+    let mut client =
+        Client::connect_with_timeout(addr, Some(std::time::Duration::from_millis(200))).unwrap();
+    let err = client.stats().unwrap_err();
+    assert!(
+        matches!(err, ServerError::Timeout(_)),
+        "expected Timeout, got {err:?}"
+    );
+}
+
+/// Regression (stats NaN / conflated-counter bug): a fresh server
+/// reports `pool_hit_rate 0.0000` (never NaN) and counts unparseable
+/// frames in `requests_err`, not alongside successful requests.
+#[test]
+fn fresh_server_stats_are_finite_and_split_ok_from_err() {
+    use ringjoin_server::proto::{read_frame, write_frame, Request};
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.request(&Request::Stats).unwrap();
+    assert_eq!(reply.field("pool_hit_rate"), Some("0.0000"));
+    assert_eq!(reply.field("requests_ok"), Some("0"));
+    assert_eq!(reply.field("requests_err"), Some("0"));
+
+    // One garbage frame on a raw connection: answered ERR, server alive.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    write_frame(&mut raw, b"FROBNICATE the server").unwrap();
+    let err_payload = read_frame(&mut raw).unwrap().unwrap();
+    assert!(err_payload.starts_with("ERR"), "{err_payload}");
+    drop(raw);
+
+    let reply = client.request(&Request::Stats).unwrap();
+    assert_eq!(reply.field("requests_err"), Some("1"));
+    // The earlier STATS was a success; this one isn't counted yet
+    // (counters exclude the request reporting them).
+    assert_eq!(reply.field("requests_ok"), Some("1"));
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Backpressure: with one admission slot and a zero-depth queue, a
+/// client whose join lands while another is running gets `ERR busy`
+/// plus a retry hint — never an unbounded wait.
+#[test]
+fn admission_queue_overflow_returns_busy() {
+    use ringjoin_server::proto::Request;
+    use ringjoin_server::ServerError;
+    let (addr, handle) = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        max_inflight: 1,
+        queue_depth: 0,
+        ..ServerConfig::default()
+    });
+    let mut loader = Client::connect(addr).unwrap();
+    loader
+        .load("p", IndexKind::Rtree, &items(400, 61, 1500.0))
+        .unwrap();
+    loader
+        .load("q", IndexKind::Rtree, &items(400, 67, 1500.0))
+        .unwrap();
+
+    // The hog pipelines a burst of joins, keeping the only slot busy.
+    let mut hog = Client::connect(addr).unwrap();
+    let join_req = Request::Join {
+        outer: "q".to_string(),
+        inner: "p".to_string(),
+        algo: RcjAlgorithm::Auto,
+        bounds: None,
+    };
+    const BURST: usize = 24;
+    let mut hog_ids = Vec::new();
+    for _ in 0..BURST {
+        hog_ids.push(hog.send(&join_req).unwrap());
+    }
+
+    // The probe keeps asking until it collides with the hog.
+    let mut probe = Client::connect(addr).unwrap();
+    let mut saw_busy = None;
+    for _ in 0..200 {
+        match probe.join("q", "p", RcjAlgorithm::Auto, None) {
+            Err(ServerError::Busy { retry_after_ms }) => {
+                saw_busy = Some(retry_after_ms);
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+            Ok(_) => {}
+        }
+    }
+    let retry_after_ms = saw_busy.expect("probe never saw ERR busy during the hog's burst");
+    assert!(retry_after_ms > 0, "busy must carry a retry hint");
+
+    // The hog drains its replies: each is either a result or a busy
+    // rejection (the probe may have held the slot) — in-order ids
+    // either way, and the session stays usable.
+    for id in hog_ids {
+        let (reply_id, outcome) = hog.recv().unwrap();
+        assert_eq!(reply_id, Some(id));
+        match outcome {
+            Ok(_) | Err(ServerError::Busy { .. }) => {}
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    let after = hog.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+    assert!(!after.pairs.is_empty());
+
+    loader.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The connection limit: a server with `max_sessions = 1` turns the
+/// second connection away with `ERR busy` instead of accepting without
+/// bound.
+#[test]
+fn session_limit_rejects_with_busy() {
+    use ringjoin_server::ServerError;
+    let (addr, handle) = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        max_sessions: 1,
+        ..ServerConfig::default()
+    });
+    let mut first = Client::connect(addr).unwrap();
+    first.stats().unwrap(); // session established and serving
+
+    let mut second = Client::connect(addr).unwrap();
+    let err = second.stats().unwrap_err();
+    assert!(
+        matches!(err, ServerError::Busy { retry_after_ms } if retry_after_ms > 0),
+        "expected Busy, got {err:?}"
+    );
+
+    // The first session keeps working; once it closes, a new session
+    // gets its slot.
+    first.stats().unwrap();
+    drop(first);
+    let mut third = loop {
+        let mut candidate = Client::connect(addr).unwrap();
+        match candidate.stats() {
+            Ok(_) => break candidate,
+            Err(ServerError::Busy { .. }) => {
+                std::thread::sleep(std::time::Duration::from_millis(20))
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    };
+    third.shutdown().unwrap();
     handle.join().unwrap();
 }

@@ -110,7 +110,7 @@ proptest! {
         let (ref_pairs, ref_stats, ref_top) = reference_join(&p, &q, kind);
 
         for shards in SHARD_COUNTS {
-            let mut se = ShardedEngine::new(shards).unwrap();
+            let se = ShardedEngine::new(shards).unwrap();
             se.load("p", p.clone(), kind).unwrap();
             se.load("q", q.clone(), kind).unwrap();
 
@@ -150,7 +150,7 @@ proptest! {
             .collect();
 
         for shards in SHARD_COUNTS {
-            let mut se = ShardedEngine::new(shards).unwrap();
+            let se = ShardedEngine::new(shards).unwrap();
             se.load("d", items.clone(), kind).unwrap();
             let out = se.self_join("d", ringjoin::RcjAlgorithm::Auto, None).unwrap();
             prop_assert_eq!(&out.pairs, &reference.pairs, "self-join diverged at {} shards ({:?})", shards, kind);
@@ -163,5 +163,64 @@ proptest! {
                 prop_assert_eq!(&top.pairs, &ref_top, "self top-{} diverged at {} shards ({:?})", k, shards, kind);
             }
         }
+    }
+
+    /// Concurrent sessions: every method of [`ShardedEngine`] takes
+    /// `&self`, so several sessions can share one engine behind an
+    /// `Arc`. Three threads interleaving join and top-k must each get
+    /// the single-engine answer byte for byte, every round — the
+    /// serving-path invariant the multi-session server rests on.
+    #[test]
+    fn concurrent_sessions_are_byte_identical(
+        pv in any_pts(50),
+        qv in any_pts(50),
+        kind_idx in 0usize..2,
+    ) {
+        let kind = KINDS[kind_idx];
+        let (p, q) = (to_items(&pv), to_items(&qv));
+        let (ref_pairs, _, ref_top) = reference_join(&p, &q, kind);
+
+        let se = std::sync::Arc::new(ShardedEngine::new(3).unwrap());
+        se.load("p", p.clone(), kind).unwrap();
+        se.load("q", q.clone(), kind).unwrap();
+
+        let mut mismatch: Option<String> = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|session| {
+                    let se = std::sync::Arc::clone(&se);
+                    let (ref_pairs, ref_top) = (&ref_pairs, &ref_top);
+                    scope.spawn(move || -> Result<(), String> {
+                        for round in 0..2 {
+                            let out = se
+                                .join("q", "p", ringjoin::RcjAlgorithm::Auto, None)
+                                .map_err(|e| e.to_string())?;
+                            if &out.pairs != ref_pairs {
+                                return Err(format!(
+                                    "session {session} round {round}: join diverged"
+                                ));
+                            }
+                            if !ref_top.is_empty() {
+                                let top = se
+                                    .top_k("q", "p", ref_top.len())
+                                    .map_err(|e| e.to_string())?;
+                                if &top.pairs != ref_top {
+                                    return Err(format!(
+                                        "session {session} round {round}: top-k diverged"
+                                    ));
+                                }
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(e) = h.join().expect("session thread panicked") {
+                    mismatch.get_or_insert(e);
+                }
+            }
+        });
+        prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap_or_default());
     }
 }
