@@ -11,7 +11,14 @@ Read faults share the tolerance rather than an exact gate: with the
 shared buffer pool, two parallel workers racing on a cold page may both
 fault it, so parallel fault counts can wiggle by a handful of pages
 between runs — a >10% jump, by contrast, means the cache actually got
-worse (e.g. someone re-split it per worker).
+worse (e.g. someone re-split it per worker). On disk-native recordings
+(`"storage": "on-disk"`) the fault gate is relaxed further to a
+residency invariant — whether the background prefetcher staged a page
+before the worker asked for it is scheduling-timing dependent, so the
+hit/fault *split* is not reproducible, only the accounting identity
+`read_hits + read_faults == logical_reads` and `prefetch_hits <=
+read_hits` are. Out-of-core entries (combination `*-OOC`) must
+additionally fault at all: their budget is a quarter of the dataset.
 
 Optionally sanity-checks a BENCH_serving.json smoke: every shard count
 must have completed with a positive request rate and the same result
@@ -52,6 +59,14 @@ def check_scaling(baseline_path: str, fresh_path: str, tolerance: float) -> None
             f"{fresh.get('scale')} — logical reads only compare at equal scale "
             f"(re-record {baseline_path} if the CI scale changed)"
         )
+    storage = fresh.get("storage", "resident")
+    if baseline.get("storage", "resident") != storage:
+        fail(
+            f"storage mismatch: baseline {baseline.get('storage', 'resident')} vs "
+            f"fresh {storage} — the hit/fault split only compares within one mode "
+            f"(re-record {baseline_path} if the CI storage mode changed)"
+        )
+    on_disk = storage == "on-disk"
 
     def index(doc: dict) -> dict:
         return {
@@ -68,12 +83,40 @@ def check_scaling(baseline_path: str, fresh_path: str, tolerance: float) -> None
     regressions = []
     for key in sorted(base):
         b, f = base[key], new[key]
+        # Residency invariants of the fresh run: the hit/fault split must
+        # partition the logical reads exactly, prefetch hits are a subset
+        # of the hits, and an out-of-core entry must actually fault.
+        if "prefetch_hits" not in f:
+            fail(f"{key}: fresh entry lacks prefetch_hits (stale recorder?)")
+        if f["read_hits"] + f["read_faults"] != f["logical_reads"]:
+            fail(
+                f"{key}: read_hits {f['read_hits']} + read_faults {f['read_faults']} "
+                f"!= logical_reads {f['logical_reads']} (accounting broke)"
+            )
+        if f["prefetch_hits"] > f["read_hits"]:
+            fail(
+                f"{key}: prefetch_hits {f['prefetch_hits']} > read_hits "
+                f"{f['read_hits']} (prefetch hits must be a subset of hits)"
+            )
+        ooc = key[0].endswith("-OOC")
+        if ooc and f["read_faults"] == 0:
+            fail(
+                f"{key}: out-of-core entry recorded zero read_faults — a "
+                f"quarter-size budget that never faults means the budget is "
+                f"not being enforced"
+            )
+        # The fault split is prefetch-timing dependent whenever the page
+        # space is a real file, so those entries keep only the invariants
+        # above plus the deterministic logical_reads gate.
+        fault_gated = not on_disk and not ooc
         for counter in ("logical_reads", "read_faults", "result_pairs"):
             if b.get(counter, 0) == 0:
                 continue
             ratio = f[counter] / b[counter]
             note = ""
-            if counter in ("logical_reads", "read_faults") and ratio > 1.0 + tolerance:
+            if counter == "read_faults" and not fault_gated:
+                note = "  (advisory: prefetch-timing dependent)"
+            elif counter in ("logical_reads", "read_faults") and ratio > 1.0 + tolerance:
                 regressions.append(
                     f"{key}: {counter} {b[counter]} -> {f[counter]} "
                     f"(+{(ratio - 1.0) * 100:.1f}% > {tolerance * 100:.0f}%)"
@@ -86,14 +129,17 @@ def check_scaling(baseline_path: str, fresh_path: str, tolerance: float) -> None
                 )
                 note = "  <-- ANSWER CHANGED"
             print(
-                f"  {key[0]:>4} threads={key[1]:<2} {counter}: "
+                f"  {key[0]:>6} threads={key[1]:<2} {counter}: "
                 f"{b[counter]} -> {f[counter]} ({(ratio - 1.0) * 100:+.1f}%){note}"
             )
         wall = f.get("wall_secs", 0.0)
-        print(f"  {key[0]:>4} threads={key[1]:<2} wall_secs: {wall:.4f} (advisory)")
+        print(f"  {key[0]:>6} threads={key[1]:<2} wall_secs: {wall:.4f} (advisory)")
     if regressions:
         fail("I/O regressions vs committed baseline:\n  " + "\n  ".join(regressions))
-    print(f"check_bench: scaling OK ({len(base)} entries within {tolerance * 100:.0f}%)")
+    print(
+        f"check_bench: scaling OK ({len(base)} entries within {tolerance * 100:.0f}%, "
+        f"{storage} storage)"
+    )
 
 
 def check_serving(path: str) -> None:

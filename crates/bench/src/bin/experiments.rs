@@ -7,6 +7,7 @@
 //! experiments table4 --full         # paper-scale cardinalities
 //! experiments fig13 --threads 4     # RCJ runs on the parallel executor
 //! experiments scaling               # OBJ thread sweep -> BENCH_scaling.json
+//! experiments scaling --on-disk     # same sweep over spilled page files
 //! experiments serving               # sharded-server req/s sweep -> BENCH_serving.json
 //! ```
 
@@ -26,6 +27,7 @@ fn main() {
                 cfg.scale = parse_value(&args, i, "--scale");
             }
             "--full" => cfg.scale = 1.0,
+            "--on-disk" => cfg.on_disk = true,
             "--threads" => {
                 i += 1;
                 cfg.threads = parse_value(&args, i, "--threads");
@@ -69,7 +71,7 @@ fn parse_value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments <all|{}> [--scale F] [--full] [--threads N]",
+        "usage: experiments <all|{}> [--scale F] [--full] [--threads N] [--on-disk]",
         ALL.join("|")
     );
     std::process::exit(2);

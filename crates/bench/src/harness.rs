@@ -47,6 +47,27 @@ impl Workload {
         pg.set_buffer_capacity(buf);
     }
 
+    /// Resizes the buffer to an absolute page count (the out-of-core
+    /// phase pins it to a fraction of the dataset, not of RAM).
+    pub fn set_buffer_pages(&self, pages: usize) {
+        self.pager.borrow_mut().set_buffer_capacity(pages.max(1));
+    }
+
+    /// Combined node pages of both trees (the disk-resident footprint).
+    pub fn node_pages(&self) -> usize {
+        (self.tp.node_pages() + self.tq.node_pages()) as usize
+    }
+
+    /// Moves the workload's page space into an on-disk page file: after
+    /// this every buffer miss is a real file read, for both the
+    /// sequential LRU path and the pool-framed parallel path.
+    pub fn spill_to(&self, path: &std::path::Path) {
+        self.pager
+            .borrow_mut()
+            .spill_to(path)
+            .unwrap_or_else(|e| panic!("spilling workload pages to {}: {e}", path.display()));
+    }
+
     /// Cold-starts the buffer and zeroes I/O statistics.
     pub fn reset(&self) {
         let mut pg = self.pager.borrow_mut();
@@ -79,14 +100,15 @@ impl Measured {
     }
 }
 
-/// Pre-builds the pager's page snapshot outside any timed window when
-/// `opts` selects the parallel executor. The O(database) copy is
-/// per-database (cached in the pager until the next write), not
-/// per-run — without this, whichever algorithm happens to run first on
-/// a workload would be charged for it.
+/// Pre-builds the pager's shared page source outside any timed window
+/// when `opts` selects the parallel executor: the resident snapshot
+/// (an O(database) copy, cached until the next write) or the reopened
+/// page-store handle for spilled workloads. Without this, whichever
+/// algorithm happens to run first on a workload would be charged for
+/// the setup.
 pub fn warm_executor(w: &Workload, opts: &RcjOptions) {
     if opts.executor.worker_count() > 1 {
-        w.pager.borrow_mut().snapshot();
+        w.pager.borrow_mut().page_source();
     }
 }
 

@@ -32,10 +32,12 @@ COMMANDS
              [--seed S] [--clusters W] [--sigma X]
   join       --p FILE --q FILE [--algo auto|inj|bij|obj] [--out FILE]
              [--index rtree|quadtree] [--buffer-frac F] [--page-size B]
-             [--threads N] [--stats]
+             [--threads N] [--on-disk FILE] [--buffer-pages N] [--stats]
   self-join  --input FILE [--algo auto|inj|bij|obj] [--out FILE]
-             [--index rtree|quadtree] [--threads N] [--stats]
+             [--index rtree|quadtree] [--threads N] [--on-disk FILE]
+             [--buffer-pages N] [--stats]
   top-k      --p FILE --q FILE --k K [--index rtree|quadtree]
+             [--on-disk FILE] [--buffer-pages N]
              (smallest ring diameters first, streamed with early exit)
   explain    (--p FILE --q FILE | --input FILE) [--algo ...] [--k K]
              [--index rtree|quadtree] [--threads N]
@@ -44,6 +46,7 @@ COMMANDS
   bound      --np N --nq N  (result-size bounds)
   serve      [--addr HOST:PORT | --port N] [--shards N]
              [--max-sessions N] [--queue-depth N]
+             [--on-disk FILE] [--buffer-pages N]
              (long-lived sharded server; default 127.0.0.1:4815, 1 shard,
               16 concurrent sessions, admission queue depth 32)
   client load      --name NAME --input FILE [--index rtree|quadtree]
@@ -69,7 +72,13 @@ the algorithm. `--threads N` runs the join on N >= 1 worker threads
 (default 1, or the RINGJOIN_THREADS environment variable); parallel
 output is identical to sequential output, pair for pair. `serve` shards
 by space partition instead: the answer is byte-identical to the
-in-process commands, whatever --shards is.";
+in-process commands, whatever --shards is.
+
+`--on-disk FILE` spills the index pages to a page file and serves them
+through the buffer pool's frames alone; `--buffer-pages N` caps that
+pool at N pages, so a dataset several times larger than the budget
+still joins — byte-identically — with `read_faults` tracking the
+paper's I/O model instead of RAM size.";
 
 /// Executor selection: an explicit `--threads` wins; otherwise the
 /// `RINGJOIN_THREADS`-aware default applies. A thread *count* must be at
@@ -126,21 +135,45 @@ fn parse_index(s: Option<&str>) -> Result<IndexKind, ArgError> {
 
 /// Builds an engine session for one command invocation: datasets loaded
 /// from the given files under fixed names, the paper's buffer rule
-/// applied, construction I/O excluded from the statistics.
+/// applied (or the absolute `--buffer-pages` budget), construction I/O
+/// excluded from the statistics. With `--on-disk FILE` the last load
+/// spills the whole page space — every dataset shares one pager — to a
+/// page file, making the engine disk-native.
 fn build_engine(args: &Args, self_join: bool) -> Result<Engine, ArgError> {
     let page_size: usize = args.opt_parse("page-size", 1024)?;
     let buffer_frac: f64 = args.opt_parse("buffer-frac", 0.01)?;
+    let on_disk = args.opt("on-disk").map(std::path::PathBuf::from);
     let index = parse_index(args.opt("index"))?;
     let mut engine =
         Engine::with_pager(Pager::new(MemDisk::new(page_size), usize::MAX / 2).into_shared());
     if self_join {
         let items = load_items(args.req("input")?)?;
-        engine.load("input", items).index(index);
+        let load = engine.load("input", items);
+        match on_disk {
+            Some(path) => load.on_disk(path).index(index),
+            None => load.index(index),
+        };
     } else {
         engine.load("p", load_items(args.req("p")?)?).index(index);
-        engine.load("q", load_items(args.req("q")?)?).index(index);
+        let load = engine.load("q", load_items(args.req("q")?)?);
+        match on_disk {
+            Some(path) => load.on_disk(path).index(index),
+            None => load.index(index),
+        };
     }
-    engine.set_buffer_frac(buffer_frac);
+    match args.opt("buffer-pages") {
+        Some(_) => {
+            let pages: usize = args.req_parse("buffer-pages")?;
+            if pages == 0 {
+                return Err(ArgError(
+                    "--buffer-pages must be at least 1 (got 0); omit the flag for --buffer-frac"
+                        .into(),
+                ));
+            }
+            engine.set_buffer_pages(pages);
+        }
+        None => engine.set_buffer_frac(buffer_frac),
+    }
     Ok(engine)
 }
 
@@ -209,12 +242,13 @@ fn report_stats(pager: &SharedPager, plan: &Plan<'_>, out: &RcjOutput) {
     eprintln!("plan: {}", plan.summary_line());
     eprintln!(
         "pairs: {}  candidates: {}  node accesses: {}  hits: {}  faults: {}  \
-         hit-rate: {:.1}%  io-time: {:.2}s (10ms/fault)",
+         prefetch-hits: {}  hit-rate: {:.1}%  io-time: {:.2}s (10ms/fault)",
         out.stats.result_pairs,
         out.stats.candidate_pairs,
         io.logical_reads,
         io.read_hits,
         io.read_faults,
+        io.prefetch_hits,
         100.0 * io.read_hit_rate(),
         CostModel::default().io_seconds(&io),
     );
@@ -289,20 +323,36 @@ fn cmd_serve(args: &Args) -> Result<Option<String>, ArgError> {
         ));
     }
     let queue_depth: usize = args.opt_parse("queue-depth", 32)?;
+    let on_disk = args.opt("on-disk").map(std::path::PathBuf::from);
+    let buffer_pages: usize = args.opt_parse("buffer-pages", 0)?;
     let addr = match args.opt("addr") {
         Some(a) => a.to_string(),
         None => format!("127.0.0.1:{}", args.opt_parse::<u16>("port", 4815)?),
+    };
+    let residency = match &on_disk {
+        Some(path) => format!(
+            ", disk-native on {} ({} buffer page(s))",
+            path.display(),
+            if buffer_pages == 0 {
+                "unbounded".to_string()
+            } else {
+                buffer_pages.to_string()
+            }
+        ),
+        None => String::new(),
     };
     let server = Server::bind(&ServerConfig {
         addr,
         shards,
         max_sessions,
         queue_depth,
+        on_disk,
+        buffer_pages,
         ..ServerConfig::default()
     })
     .map_err(server_err)?;
     eprintln!(
-        "ringjoin-server listening on {} with {shards} shard(s), {max_sessions} session(s), queue depth {queue_depth}",
+        "ringjoin-server listening on {} with {shards} shard(s), {max_sessions} session(s), queue depth {queue_depth}{residency}",
         server.local_addr()
     );
     server
@@ -856,6 +906,65 @@ mod tests {
         // Bad thread counts surface as argument errors.
         assert!(
             run(&parse(&s(&["join", "--p", &p, "--q", &q, "--threads", "x"])).unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn on_disk_join_csv_is_byte_identical_to_in_memory() {
+        let p = tmp("od_p.bin");
+        let q = tmp("od_q.bin");
+        for (path, seed) in [(&p, "71"), (&q, "72")] {
+            run(&parse(&s(&[
+                "generate", "--kind", "uniform", "--n", "500", "--seed", seed, "--out", path,
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+        let resident = tmp("od_resident.csv");
+        run(&parse(&s(&["join", "--p", &p, "--q", &q, "--out", &resident])).unwrap()).unwrap();
+        let reference = std::fs::read_to_string(&resident).unwrap();
+        assert!(reference.lines().count() > 1);
+
+        // Disk-native with a buffer budget far under the page space, in
+        // both sequential and parallel form: byte-identical CSVs.
+        for (threads, out_name) in [("1", "od_seq.csv"), ("4", "od_par.csv")] {
+            let pages = tmp(&format!("od_pages_{threads}.rjp"));
+            let out = tmp(out_name);
+            run(&parse(&s(&[
+                "join",
+                "--p",
+                &p,
+                "--q",
+                &q,
+                "--on-disk",
+                &pages,
+                "--buffer-pages",
+                "8",
+                "--threads",
+                threads,
+                "--out",
+                &out,
+            ]))
+            .unwrap())
+            .unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&out).unwrap(),
+                reference,
+                "disk-native join ({threads} thread(s)) must match in-memory byte for byte"
+            );
+            assert!(
+                std::path::Path::new(&pages).is_file(),
+                "--on-disk must materialize the page file"
+            );
+        }
+
+        // --buffer-pages 0 is rejected with a clear error.
+        let err = run(&parse(&s(&["join", "--p", &p, "--q", &q, "--buffer-pages", "0"])).unwrap())
+            .unwrap_err();
+        assert!(
+            err.0.contains("--buffer-pages must be at least 1"),
+            "{}",
+            err.0
         );
     }
 

@@ -208,8 +208,18 @@ impl Engine {
     pub fn set_buffer_frac(&mut self, frac: f64) {
         let total: u64 = self.datasets.values().map(|d| d.summary().pages).sum();
         let cap = ((total as f64 * frac).ceil() as usize).max(1);
+        self.set_buffer_pages(cap);
+    }
+
+    /// Sets the buffer budget to an absolute page count (min 1), then
+    /// cold-starts the buffer and zeroes the I/O statistics — the
+    /// disk-native counterpart of [`Engine::set_buffer_frac`], where the
+    /// budget is the point (`--buffer-pages` on the CLI): a dataset
+    /// several times larger than this many pages still joins, faulting
+    /// pages through the pool as the paper's cost model intends.
+    pub fn set_buffer_pages(&mut self, pages: usize) {
         let mut pg = self.pager.borrow_mut();
-        pg.set_buffer_capacity(cap);
+        pg.set_buffer_capacity(pages.max(1));
         pg.clear_buffer();
         pg.reset_stats();
     }
@@ -225,6 +235,7 @@ impl Engine {
             engine: self,
             name: name.into(),
             items,
+            on_disk: None,
         }
     }
 
@@ -281,9 +292,21 @@ pub struct LoadBuilder<'e> {
     engine: &'e mut Engine,
     name: String,
     items: Vec<Item>,
+    on_disk: Option<std::path::PathBuf>,
 }
 
 impl LoadBuilder<'_> {
+    /// Makes the engine **disk-native** once this load completes: the
+    /// whole page space (this dataset *and* every other dataset in the
+    /// engine — they share one pager) is spilled to a page file at
+    /// `path`, and from then on the buffer pool's frames are the only
+    /// RAM residency. Combine with [`Engine::set_buffer_pages`] to join
+    /// datasets several times larger than the memory budget.
+    pub fn on_disk(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.on_disk = Some(path.into());
+        self
+    }
+
     /// Builds the chosen index over the items in the engine's pager and
     /// registers the dataset under its name, returning a descriptive
     /// [`DatasetHandle`].
@@ -298,6 +321,7 @@ impl LoadBuilder<'_> {
             engine,
             name,
             items,
+            on_disk,
         } = self;
         let index = match kind {
             IndexKind::Rtree => AnyIndex::Rtree(bulk_load(engine.pager.clone(), items)),
@@ -321,6 +345,13 @@ impl LoadBuilder<'_> {
             summary: ds.summary(),
         };
         engine.datasets.insert(name, ds);
+        if let Some(path) = on_disk {
+            engine
+                .pager
+                .borrow_mut()
+                .spill_to(&path)
+                .unwrap_or_else(|e| panic!("spilling engine pages to {}: {e}", path.display()));
+        }
         handle
     }
 }
@@ -1017,5 +1048,63 @@ mod tests {
             engine.pager().borrow().buffer_capacity(),
             ((total as f64 * 0.5).ceil() as usize).max(1)
         );
+    }
+
+    #[test]
+    fn disk_native_engine_matches_in_memory_under_a_tight_budget() {
+        let build = |engine: &mut Engine| {
+            engine
+                .load("p", points(600, 61, 3000.0))
+                .index(IndexKind::Rtree);
+            engine
+                .load("q", points(600, 67, 3000.0))
+                .index(IndexKind::Quadtree);
+        };
+        let mut mem = Engine::new();
+        build(&mut mem);
+        let expected = mem.query().join("q", "p").collect().unwrap();
+
+        let dir = std::env::temp_dir().join(format!("ringjoin-engine-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.rj");
+        let mut disk = Engine::new();
+        disk.load("p", points(600, 61, 3000.0))
+            .index(IndexKind::Rtree);
+        disk.load("q", points(600, 67, 3000.0))
+            .on_disk(&path)
+            .index(IndexKind::Quadtree);
+        // Budget ~1/4 of the page space: the dataset cannot be resident.
+        let total: u64 = ["p", "q"]
+            .iter()
+            .map(|n| disk.dataset(n).unwrap().summary().pages)
+            .sum();
+        disk.set_buffer_pages((total as usize / 4).max(1));
+
+        for threads in [1, 4] {
+            let before = disk.pager().borrow().stats();
+            let out = disk
+                .query()
+                .join("q", "p")
+                .threads(threads)
+                .collect()
+                .unwrap();
+            let io = disk.pager().borrow().stats().since(before);
+            assert_eq!(out.pairs, expected.pairs, "threads={threads}");
+            assert_eq!(out.stats, expected.stats, "threads={threads}");
+            assert!(
+                io.read_faults > 0,
+                "threads={threads}: a budget smaller than the dataset must fault"
+            );
+            assert_eq!(
+                io.read_hits + io.read_faults,
+                io.logical_reads,
+                "threads={threads}: hit/fault split must sum to logical reads"
+            );
+            assert!(
+                io.prefetch_hits <= io.read_hits,
+                "threads={threads}: prefetch hits are a subset of hits"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

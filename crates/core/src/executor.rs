@@ -45,7 +45,7 @@ use crate::index::{IndexProbe, NodeRef};
 use crate::join::{leaf_items, process_leaf, RcjOptions, TagAdapter};
 use crate::stats::RcjStats;
 use crate::stream::PairSink;
-use ringjoin_storage::{IoStats, PageAccess, PooledPager, SharedPager};
+use ringjoin_storage::{IoStats, PageAccess, PageId, PooledPager, Prefetcher, SharedPager};
 use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Mutex;
@@ -225,6 +225,13 @@ fn run_sequential<PQ: IndexProbe, PP: IndexProbe>(
 /// small, cache-friendly contiguous run.
 const STEAL_BATCH: usize = 32;
 
+/// Number of upcoming leaf pages a worker hands the background
+/// [`Prefetcher`] each time it refreshes its lookahead (store-backed
+/// runs only). Deep enough that staging overlaps the verification of
+/// the current chunk, shallow enough not to flood a tight buffer
+/// budget with pages that would be evicted before their turn.
+const PREFETCH_WINDOW: usize = 16;
+
 /// Scheduling weight of one outer leaf group: its spatial extent
 /// (rectangle half-perimeter). On skewed `T_Q` a wide leaf spans more of
 /// the inner tree — more filter sub-trees opened, more verification
@@ -322,42 +329,73 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
     opts: &RcjOptions,
     sink: &mut dyn PairSink,
 ) -> RcjStats {
-    // One snapshot and one shared pool per distinct pager: trees sharing
-    // a pager (the paper's setup, and every self-join) share both,
-    // exactly as they share one LRU buffer sequentially. The pool is
-    // cached in the pager, so repeated runs keep it warm.
+    // One page source and one shared pool per distinct pager: trees
+    // sharing a pager (the paper's setup, and every self-join) share
+    // both, exactly as they share one LRU buffer sequentially. The pool
+    // is cached in the pager, so repeated runs keep it warm. A
+    // disk-native pager hands out its store instead of a resident
+    // snapshot — the pool's frames become the only RAM copy.
     let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
-    let (snap_q, pool_q) = {
+    let (source_q, pool_q) = {
         let mut pg = pager_q.borrow_mut();
-        (pg.snapshot(), pg.shared_pool())
+        (pg.page_source(), pg.shared_pool())
     };
-    let snap_pool_p = if one_pager {
+    let source_pool_p = if one_pager {
         None
     } else {
         let mut pg = pager_p.borrow_mut();
-        Some((pg.snapshot(), pg.shared_pool()))
+        Some((pg.page_source(), pg.shared_pool()))
     };
+
+    // The prefetch schedule rides on the outer (`T_Q`) store: the
+    // extent-weighted chunks the workers claim are known in advance, so
+    // a background thread can stage each worker's upcoming leaf pages
+    // while it verifies the current ones.
+    let prefetcher = source_q
+        .store()
+        .map(|store| Prefetcher::spawn(pool_q.clone(), std::sync::Arc::clone(store)));
 
     let queues = seed_queues(leaves, workers);
 
     let results: Vec<WorkerOutput> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let snap_q = snap_q.clone();
-                let snap_pool_p = snap_pool_p.clone();
+                let source_q = source_q.clone();
+                let source_pool_p = source_pool_p.clone();
                 let pool_q = pool_q.clone();
                 let queues = &queues;
+                let prefetcher = prefetcher.as_ref();
                 scope.spawn(move || {
                     let mut tagged: Vec<(usize, crate::RcjPair)> = Vec::new();
                     let mut stats = RcjStats::default();
-                    let mut wq = PooledPager::new(snap_q, pool_q);
-                    let mut wp = snap_pool_p.map(|(s, pool)| PooledPager::new(s, pool));
+                    let mut wq = PooledPager::new(source_q, pool_q);
+                    let mut wp = source_pool_p.map(|(s, pool)| PooledPager::new(s, pool));
                     {
                         let mut pagers = match wp.as_mut() {
                             None => Pagers::Shared(&mut wq),
                             Some(wp) => Pagers::Split { q: &mut wq, p: wp },
                         };
+                        // Claims until the next lookahead refresh: each
+                        // refresh stages the next window of this
+                        // worker's own deque (steals land on the tail,
+                        // so the front stays an accurate schedule).
+                        let mut until_refresh = 0usize;
                         while let Some(pos) = next_leaf(queues, w) {
+                            if let Some(pf) = prefetcher {
+                                if until_refresh == 0 {
+                                    let upcoming: Vec<PageId> = {
+                                        let dq = queues[w].lock().expect("worker deque poisoned");
+                                        dq.iter()
+                                            .take(PREFETCH_WINDOW)
+                                            .map(|&p| leaves[p].page)
+                                            .collect()
+                                    };
+                                    until_refresh = (upcoming.len() / 2).max(1);
+                                    pf.request(upcoming);
+                                } else {
+                                    until_refresh -= 1;
+                                }
+                            }
                             let items = leaf_items(probe_q, pagers.q(), leaves[pos]);
                             let mut tag_sink = TagAdapter {
                                 leaf: pos,

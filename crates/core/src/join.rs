@@ -393,7 +393,7 @@ fn run_leaf_subset<IQ: RcjIndex, IP: RcjIndex>(
         q: &mut pgq,
         p: &mut pgp,
     };
-    leaf_subset_loop(tq, tp, self_join, positions, opts, &mut pagers, sink)
+    leaf_subset_loop(tq, tp, self_join, positions, opts, &mut pagers, None, sink)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -409,16 +409,31 @@ fn run_leaf_subset_pooled<IQ: RcjIndex, IP: RcjIndex>(
     let pager_q = tq.pager();
     let pager_p = tp.pager();
     let one_pager = std::rc::Rc::ptr_eq(&pager_q, &pager_p);
-    let snap_q = pager_q.borrow_mut().snapshot();
-    let snap_p = (!one_pager).then(|| pager_p.borrow_mut().snapshot());
-    let mut wq = ringjoin_storage::PooledPager::new(snap_q, pool.clone());
-    let mut wp = snap_p.map(|s| ringjoin_storage::PooledPager::new(s, pool.clone()));
+    let source_q = pager_q.borrow_mut().page_source();
+    let source_p = (!one_pager).then(|| pager_p.borrow_mut().page_source());
+    // Disk-native replicas prefetch their upcoming outer leaves exactly
+    // like the executor's workers: the subset positions are this call's
+    // schedule.
+    let prefetcher = source_q.store().map(|store| {
+        ringjoin_storage::Prefetcher::spawn(pool.clone(), std::sync::Arc::clone(store))
+    });
+    let mut wq = ringjoin_storage::PooledPager::new(source_q, pool.clone());
+    let mut wp = source_p.map(|s| ringjoin_storage::PooledPager::new(s, pool.clone()));
     let stats = {
         let mut pagers = match wp.as_mut() {
             None => Pagers::Shared(&mut wq),
             Some(wp) => Pagers::Split { q: &mut wq, p: wp },
         };
-        leaf_subset_loop(tq, tp, self_join, positions, opts, &mut pagers, sink)
+        leaf_subset_loop(
+            tq,
+            tp,
+            self_join,
+            positions,
+            opts,
+            &mut pagers,
+            prefetcher.as_ref(),
+            sink,
+        )
     };
     // Aggregate I/O exactly as the parallel executor does, so the
     // owning pagers report the same totals under either access path.
@@ -437,6 +452,7 @@ fn leaf_subset_loop<IQ: RcjIndex, IP: RcjIndex>(
     positions: &[usize],
     opts: &RcjOptions,
     pagers: &mut Pagers<'_>,
+    prefetcher: Option<&ringjoin_storage::Prefetcher>,
     sink: &mut dyn TaggedPairSink,
 ) -> RcjStats {
     let opts = RcjOptions {
@@ -449,7 +465,21 @@ fn leaf_subset_loop<IQ: RcjIndex, IP: RcjIndex>(
     let probe_q = tq.probe();
     let probe_p = tp.probe();
     let mut stats = RcjStats::default();
-    for &pos in positions {
+    // Window of upcoming positions already handed to the prefetcher.
+    const LOOKAHEAD: usize = 16;
+    let mut staged = 0usize;
+    for (i, &pos) in positions.iter().enumerate() {
+        if let Some(pf) = prefetcher {
+            if i >= staged {
+                let upcoming: Vec<_> = positions[i..]
+                    .iter()
+                    .take(LOOKAHEAD)
+                    .filter_map(|&p| leaves.get(p).map(|leaf| leaf.page))
+                    .collect();
+                staged = i + LOOKAHEAD / 2;
+                pf.request(upcoming);
+            }
+        }
         let Some(leaf) = leaves.get(pos) else {
             continue;
         };

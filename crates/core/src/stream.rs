@@ -236,6 +236,10 @@ struct ParLeafSource<PQ: IndexProbe, PP: IndexProbe> {
     pos: usize,
     self_join: bool,
     opts: RcjOptions,
+    /// Background staging thread for disk-native runs: claiming a wave
+    /// requests the *next* wave's leaf pages so store I/O overlaps
+    /// verification. `None` for resident sources.
+    prefetcher: Option<ringjoin_storage::Prefetcher>,
 }
 
 impl<PQ: IndexProbe, PP: IndexProbe> ParLeafSource<PQ, PP> {
@@ -251,18 +255,21 @@ impl<PQ: IndexProbe, PP: IndexProbe> ParLeafSource<PQ, PP> {
         opts: RcjOptions,
     ) -> Self {
         let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
-        let (snap_q, pool_q) = {
+        let (source_q, pool_q) = {
             let mut pg = pager_q.borrow_mut();
-            (pg.snapshot(), pg.shared_pool())
+            (pg.page_source(), pg.shared_pool())
         };
-        let snap_pool_p = (!one_pager).then(|| {
+        let source_pool_p = (!one_pager).then(|| {
             let mut pg = pager_p.borrow_mut();
-            (pg.snapshot(), pg.shared_pool())
+            (pg.page_source(), pg.shared_pool())
+        });
+        let prefetcher = source_q.store().map(|store| {
+            ringjoin_storage::Prefetcher::spawn(pool_q.clone(), std::sync::Arc::clone(store))
         });
         let workers = (0..workers)
             .map(|_| WaveWorker {
-                wq: PooledPager::new(snap_q.clone(), pool_q.clone()),
-                wp: snap_pool_p
+                wq: PooledPager::new(source_q.clone(), pool_q.clone()),
+                wp: source_pool_p
                     .clone()
                     .map(|(s, pool)| PooledPager::new(s, pool)),
             })
@@ -277,6 +284,7 @@ impl<PQ: IndexProbe, PP: IndexProbe> ParLeafSource<PQ, PP> {
             pos: 0,
             self_join,
             opts,
+            prefetcher,
         }
     }
 }
@@ -291,6 +299,18 @@ impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for ParLeafSource<PQ, PP> {
         let wave = &self.leaves[self.pos..self.pos + wave_len];
         self.pos += wave_len;
         let chunk_len = wave_len.div_ceil(self.workers.len()).max(1);
+        if let Some(pf) = &self.prefetcher {
+            // This wave is claimed; stage the next wave's leaf pages in
+            // the background while the workers verify this one.
+            let next_len =
+                (self.workers.len() * WAVE_LEAVES_PER_WORKER).min(self.leaves.len() - self.pos);
+            pf.request(
+                self.leaves[self.pos..self.pos + next_len]
+                    .iter()
+                    .map(|leaf| leaf.page)
+                    .collect(),
+            );
+        }
 
         let probe_q = self.probe_q;
         let probe_p = self.probe_p;

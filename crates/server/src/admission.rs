@@ -20,8 +20,21 @@ pub struct Busy;
 struct Gate {
     /// Requests currently holding a permit.
     active: usize,
-    /// Requests blocked in [`Admission::admit`] waiting for a permit.
-    waiting: usize,
+    /// Next ticket to hand out to an arriving request.
+    next_ticket: u64,
+    /// Lowest ticket not yet granted a permit. Requests are admitted
+    /// strictly in ticket order (`next_ticket - now_serving` is the
+    /// queue length), so a client that pipelines requests back-to-back
+    /// re-enters at the *end* of the queue each time — it can keep the
+    /// server busy, but it can no longer starve a waiter that arrived
+    /// before its next request.
+    now_serving: u64,
+}
+
+impl Gate {
+    fn waiting(&self) -> usize {
+        (self.next_ticket - self.now_serving) as usize
+    }
 }
 
 /// The bounded admission queue. Cheap to share behind the server's
@@ -47,7 +60,8 @@ impl Admission {
         Admission {
             gate: Mutex::new(Gate {
                 active: 0,
-                waiting: 0,
+                next_ticket: 0,
+                now_serving: 0,
             }),
             turnstile: Condvar::new(),
             max_inflight: max_inflight.max(1),
@@ -59,19 +73,27 @@ impl Admission {
 
     /// Takes a permit, blocking in the queue if the server is at
     /// capacity — or fails fast with [`Busy`] if the queue itself is
-    /// full.
+    /// full. Waiters are granted permits in strict FIFO ticket order: a
+    /// request that arrives while others wait queues behind them
+    /// instead of barging into a freshly freed slot (the old behaviour,
+    /// under which one client pipelining requests on a hot connection
+    /// could re-take the slot forever and starve every queued waiter).
     pub fn admit(&self) -> Result<Permit<'_>, Busy> {
         let mut gate = self.gate.lock().expect("admission gate poisoned");
-        if gate.active >= self.max_inflight {
-            if gate.waiting >= self.queue_depth {
+        if gate.active >= self.max_inflight || gate.waiting() > 0 {
+            if gate.waiting() >= self.queue_depth {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(Busy);
             }
-            gate.waiting += 1;
-            while gate.active >= self.max_inflight {
+            let ticket = gate.next_ticket;
+            gate.next_ticket += 1;
+            while gate.now_serving < ticket || gate.active >= self.max_inflight {
                 gate = self.turnstile.wait(gate).expect("admission gate poisoned");
             }
-            gate.waiting -= 1;
+            gate.now_serving += 1;
+            // More than one slot may be free (max_inflight > 1): let the
+            // next ticket holder re-check instead of waiting for a drop.
+            self.turnstile.notify_all();
         }
         gate.active += 1;
         self.admitted.fetch_add(1, Ordering::Relaxed);
@@ -92,7 +114,10 @@ impl Drop for Permit<'_> {
         let mut gate = self.admission.gate.lock().expect("admission gate poisoned");
         gate.active -= 1;
         drop(gate);
-        self.admission.turnstile.notify_one();
+        // notify_all, not notify_one: only the holder of `now_serving`
+        // may proceed, and notify_one could wake a later ticket that
+        // just re-sleeps — losing the wakeup and deadlocking the queue.
+        self.admission.turnstile.notify_all();
     }
 }
 
@@ -128,7 +153,7 @@ mod tests {
             }));
         }
         // Give the waiters time to enqueue, then open the turnstile.
-        while adm.gate.lock().unwrap().waiting < 3 {
+        while adm.gate.lock().unwrap().waiting() < 3 {
             std::thread::yield_now();
         }
         drop(held);
@@ -139,5 +164,61 @@ mod tests {
         assert_eq!(admitted, 4);
         assert_eq!(rejected, 0);
         assert_eq!(adm.gate.lock().unwrap().active, 0);
+    }
+
+    #[test]
+    fn waiters_are_granted_in_fifo_ticket_order() {
+        use std::sync::Arc;
+        let adm = Arc::new(Admission::new(1, 8));
+        let held = adm.admit().unwrap();
+        let grant_order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            let adm = Arc::clone(&adm);
+            let grant_order = Arc::clone(&grant_order);
+            // Enqueue strictly one at a time so arrival order is known.
+            while adm.gate.lock().unwrap().waiting() < i {
+                std::thread::yield_now();
+            }
+            handles.push(std::thread::spawn(move || {
+                let permit = adm.admit().expect("within queue depth");
+                grant_order.lock().unwrap().push(i);
+                drop(permit);
+            }));
+        }
+        while adm.gate.lock().unwrap().waiting() < 5 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            *grant_order.lock().unwrap(),
+            vec![0, 1, 2, 3, 4],
+            "permits must be granted in arrival order"
+        );
+    }
+
+    #[test]
+    fn a_barger_queues_behind_existing_waiters() {
+        use std::sync::Arc;
+        let adm = Arc::new(Admission::new(1, 4));
+        let held = adm.admit().unwrap();
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || {
+            let permit = adm2.admit().expect("within queue depth");
+            drop(permit);
+        });
+        while adm.gate.lock().unwrap().waiting() < 1 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        // The slot was just freed, but the queued waiter owns the next
+        // ticket: a new arrival joins the queue rather than barging.
+        let barger = adm.admit().expect("within queue depth");
+        waiter.join().unwrap();
+        drop(barger);
+        assert_eq!(adm.stats(), (3, 0));
     }
 }

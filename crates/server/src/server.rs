@@ -57,6 +57,16 @@ pub struct ServerConfig {
     /// Engine-bound requests running concurrently; `0` means "one per
     /// shard", the default.
     pub max_inflight: usize,
+    /// Disk-native serving: every `LOAD` spills the page space to this
+    /// page file (shard 0 writes it, the replicas attach to it), and
+    /// the shared buffer pool's frames become the only RAM residency of
+    /// the join read path. `None` (the default) serves resident.
+    pub on_disk: Option<std::path::PathBuf>,
+    /// Page budget of the shared buffer pool; `0` (the default) means
+    /// effectively unbounded. With [`ServerConfig::on_disk`] set, a
+    /// served dataset several times larger than this budget still
+    /// joins, faulting pages through the pool.
+    pub buffer_pages: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +77,8 @@ impl Default for ServerConfig {
             max_sessions: 16,
             queue_depth: 32,
             max_inflight: 0,
+            on_disk: None,
+            buffer_pages: 0,
         }
     }
 }
@@ -146,7 +158,11 @@ impl Server {
                 "max_sessions must be at least 1 (got 0)".into(),
             ));
         }
-        let engine = ShardedEngine::new(config.shards)?;
+        let engine = ShardedEngine::with_storage(
+            config.shards,
+            config.on_disk.clone(),
+            config.buffer_pages,
+        )?;
         let max_inflight = if config.max_inflight == 0 {
             config.shards
         } else {
@@ -364,7 +380,7 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
             info.items_per_shard,
         ));
     }
-    let (pool_hits, pool_faults, _) = engine.pool_stats();
+    let (pool_hits, pool_faults, pool_prefetch_hits, _) = engine.pool_stats();
     // Never NaN: a fresh server (0 hits + 0 faults) reports 0.0000.
     let pool_hit_rate = if pool_hits + pool_faults == 0 {
         0.0
@@ -405,6 +421,7 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
             ("plan_cache_misses", plan_misses.to_string()),
             ("pool_hits", pool_hits.to_string()),
             ("pool_faults", pool_faults.to_string()),
+            ("pool_prefetch_hits", pool_prefetch_hits.to_string()),
             ("pool_hit_rate", format!("{pool_hit_rate:.4}")),
         ],
         &body,

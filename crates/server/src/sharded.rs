@@ -44,6 +44,7 @@ use ringjoin_core::{Engine, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjPair
 use ringjoin_geom::{Item, Rect};
 use ringjoin_storage::BufferPool;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
@@ -114,13 +115,27 @@ pub struct DatasetInfo {
 // Worker-side request/reply messages
 // ---------------------------------------------------------------------
 
+/// Disk-mode instruction riding on a `LoadReq`: where the shared page
+/// file lives and whether this shard materializes it. Exactly one shard
+/// per `LOAD` is the writer (shard 0, which loads *first*); the others
+/// attach to the file it wrote. Replicas are built identically, so
+/// their page-id spaces coincide with the file's byte for byte.
+struct SpillSpec {
+    path: PathBuf,
+    writer: bool,
+}
+
+/// What a shard returns for one load: (owned leaf count, union of owned
+/// leaf regions, catalog summary).
+type LoadReply = Result<(usize, Rect, DatasetSummary), String>;
+
 struct LoadReq {
     name: String,
     kind: IndexKind,
     items: Vec<Item>,
     cell: Rect,
-    /// (owned leaf count, union of owned leaf regions, catalog summary)
-    reply: Sender<Result<(usize, Rect, DatasetSummary), String>>,
+    spill: Option<SpillSpec>,
+    reply: Sender<LoadReply>,
 }
 
 /// What a shard returns for one join request: leaf-tagged pairs plus
@@ -185,7 +200,7 @@ impl ShardWorker {
         while let Ok(msg) = rx.recv() {
             match msg {
                 ShardMsg::Load(req) => {
-                    let out = self.load(req.name, req.kind, req.items, req.cell);
+                    let out = self.load(req.name, req.kind, req.items, req.cell, req.spill);
                     let _ = req.reply.send(out);
                 }
                 ShardMsg::Join(req) => {
@@ -211,9 +226,26 @@ impl ShardWorker {
         kind: IndexKind,
         items: Vec<Item>,
         cell: Rect,
+        spill: Option<SpillSpec>,
     ) -> Result<(usize, Rect, DatasetSummary), String> {
         let handle = self.engine.load(name.clone(), items).index(kind);
         let summary = handle.summary();
+        if let Some(spill) = spill {
+            let pager = self.engine.pager();
+            if spill.writer {
+                // Shard 0 materializes the page file; its pager becomes
+                // disk-native (write-through keeps the file current for
+                // later loads, where the same-path spill is a no-op).
+                pager
+                    .borrow_mut()
+                    .spill_to(&spill.path)
+                    .map_err(|e| format!("spilling pages to {}: {e}", spill.path.display()))?;
+            } else {
+                // Replicas were built identically, so the writer's page
+                // file *is* their page space: attach without copying.
+                pager.borrow_mut().attach_store(&spill.path);
+            }
+        }
         let leaf_regions = self.engine.leaf_regions(&name).map_err(|e| e.to_string())?;
         let owned: Vec<usize> = leaf_regions
             .iter()
@@ -364,6 +396,9 @@ pub struct ShardedEngine {
     /// The one buffer pool all shard workers account through (see
     /// [`ShardedEngine::pool_stats`]).
     pool: BufferPool,
+    /// Disk-native serving: the shared page file every `LOAD` spills to
+    /// (shard 0 writes it, replicas attach). `None` = resident serving.
+    on_disk: Option<PathBuf>,
 }
 
 impl ShardedEngine {
@@ -374,10 +409,31 @@ impl ShardedEngine {
     /// buffer, it exists so replicas warm pages for each other and so
     /// cache behavior is observable per serving process.
     pub fn new(shards: usize) -> Result<ShardedEngine, ServerError> {
+        Self::with_storage(shards, None, 0)
+    }
+
+    /// [`ShardedEngine::new`] with the residency knobs of disk-native
+    /// serving: when `on_disk` is set, every `LOAD` spills the page
+    /// space to that file (shard 0 writes it; the replicas — whose
+    /// page-id spaces coincide because they are built identically —
+    /// attach to it), and the shared pool's frames become the only RAM
+    /// residency of the join read path. `buffer_pages` bounds the pool
+    /// (`0` = effectively unbounded, the resident default), so a served
+    /// dataset several times larger than the budget still joins,
+    /// faulting pages through the one shared pool.
+    pub fn with_storage(
+        shards: usize,
+        on_disk: Option<PathBuf>,
+        buffer_pages: usize,
+    ) -> Result<ShardedEngine, ServerError> {
         if shards == 0 {
             return Err(ServerError::InvalidShards);
         }
-        let pool = BufferPool::new(usize::MAX / 2);
+        let pool = BufferPool::new(if buffer_pages == 0 {
+            usize::MAX / 2
+        } else {
+            buffer_pages
+        });
         let shards = (0..shards)
             .map(|_| {
                 let (tx, rx) = channel();
@@ -407,6 +463,7 @@ impl ShardedEngine {
             catalog: RwLock::new(BTreeMap::new()),
             plans: PlanCache::new(),
             pool,
+            on_disk,
         })
     }
 
@@ -416,10 +473,18 @@ impl ShardedEngine {
     }
 
     /// Lifetime counters of the pool shared by every shard worker:
-    /// `(hits, faults, hit rate)`. Surfaced on the wire by the `STATS`
-    /// response, so cache behavior is observable end to end.
-    pub fn pool_stats(&self) -> (u64, u64, f64) {
-        (self.pool.hits(), self.pool.faults(), self.pool.hit_rate())
+    /// `(hits, faults, prefetch hits, hit rate)` — prefetch hits are the
+    /// subset of hits served from frames a prefetcher staged ahead of
+    /// the workers (always `0` in resident serving). Surfaced on the
+    /// wire by the `STATS` response, so cache behavior is observable
+    /// end to end.
+    pub fn pool_stats(&self) -> (u64, u64, u64, f64) {
+        (
+            self.pool.hits(),
+            self.pool.faults(),
+            self.pool.prefetch_hits(),
+            self.pool.hit_rate(),
+        )
     }
 
     /// Lifetime counters of the plan cache: `(hits, misses)`.
@@ -475,31 +540,66 @@ impl ShardedEngine {
         for p in &points {
             item_counts[partition.locate(*p)] += 1;
         }
-        // Fan the load out, then collect: index construction runs on all
-        // shards concurrently.
-        let mut replies = Vec::with_capacity(n);
-        for (i, shard) in self.shards.iter().enumerate() {
-            let (reply, rx) = channel();
-            shard
-                .tx
-                .send(ShardMsg::Load(LoadReq {
-                    name: name.to_string(),
-                    kind,
-                    items: items.clone(),
-                    cell: partition.cell(i),
-                    reply,
-                }))
-                .map_err(|_| ServerError::ShardGone(i))?;
-            replies.push(rx);
+        let send_load =
+            |i: usize, spill: Option<SpillSpec>| -> Result<Receiver<LoadReply>, ServerError> {
+                let (reply, rx) = channel();
+                self.shards[i]
+                    .tx
+                    .send(ShardMsg::Load(LoadReq {
+                        name: name.to_string(),
+                        kind,
+                        items: items.clone(),
+                        cell: partition.cell(i),
+                        spill,
+                        reply,
+                    }))
+                    .map_err(|_| ServerError::ShardGone(i))?;
+                Ok(rx)
+            };
+        let recv_load = |i: usize, rx: Receiver<LoadReply>| {
+            rx.recv()
+                .map_err(|_| ServerError::ShardGone(i))?
+                .map_err(ServerError::Internal)
+        };
+        let mut results = Vec::with_capacity(n);
+        match &self.on_disk {
+            // Disk-native: shard 0 loads *first* and writes the shared
+            // page file; only once it replies do the replicas load and
+            // attach — they must never open a file that is still being
+            // materialized. Replica construction still runs concurrently.
+            Some(path) => {
+                let spec = |writer| {
+                    Some(SpillSpec {
+                        path: path.clone(),
+                        writer,
+                    })
+                };
+                let rx = send_load(0, spec(true))?;
+                results.push(recv_load(0, rx)?);
+                let mut replies = Vec::with_capacity(n - 1);
+                for i in 1..n {
+                    replies.push(send_load(i, spec(false))?);
+                }
+                for (i, rx) in replies.into_iter().enumerate() {
+                    results.push(recv_load(i + 1, rx)?);
+                }
+            }
+            // Resident: fan the load out, then collect — index
+            // construction runs on all shards concurrently.
+            None => {
+                let mut replies = Vec::with_capacity(n);
+                for i in 0..n {
+                    replies.push(send_load(i, None)?);
+                }
+                for (i, rx) in replies.into_iter().enumerate() {
+                    results.push(recv_load(i, rx)?);
+                }
+            }
         }
         let mut leaves = Vec::with_capacity(n);
         let mut extents = Vec::with_capacity(n);
         let mut summary = None;
-        for (i, rx) in replies.into_iter().enumerate() {
-            let (count, extent, shard_summary) = rx
-                .recv()
-                .map_err(|_| ServerError::ShardGone(i))?
-                .map_err(ServerError::Internal)?;
+        for (count, extent, shard_summary) in results {
             leaves.push(count);
             extents.push(extent);
             summary = Some(shard_summary);
@@ -1003,12 +1103,12 @@ mod tests {
         let se = ShardedEngine::new(4).unwrap();
         se.load("p", ps, IndexKind::Rtree).unwrap();
         se.load("q", qs, IndexKind::Rtree).unwrap();
-        let (h0, f0, _) = se.pool_stats();
+        let (h0, f0, _, _) = se.pool_stats();
         assert_eq!(h0 + f0, 0, "loads alone must not touch the pool");
 
         let first = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
         assert!(!first.pairs.is_empty());
-        let (h1, f1, rate1) = se.pool_stats();
+        let (h1, f1, _, rate1) = se.pool_stats();
         assert!(f1 > 0, "a cold pool must fault");
         assert!(
             h1 > 0,
@@ -1020,10 +1120,70 @@ mod tests {
         // not a single new fault — the serving win in one assertion.
         let second = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
         assert_eq!(second.pairs, first.pairs);
-        let (h2, f2, rate2) = se.pool_stats();
+        let (h2, f2, _, rate2) = se.pool_stats();
         assert_eq!(f2, f1, "warm pool must not fault again");
         assert!(h2 > h1);
         assert!(rate2 > rate1);
+    }
+
+    #[test]
+    fn disk_native_shards_share_one_page_file_and_match_resident_serving() {
+        let dir = ringjoin_testsupport::scratch_dir("sharded-disk");
+        let path = dir.join("pages.rjp");
+        let ps = items(240, 41, 1300.0);
+        let qs = items(240, 43, 1300.0);
+        // Resident reference: the byte-exact answer disk mode must hit.
+        let resident = ShardedEngine::new(4).unwrap();
+        resident.load("p", ps.clone(), IndexKind::Rtree).unwrap();
+        resident.load("q", qs.clone(), IndexKind::Rtree).unwrap();
+        let reference = resident.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+
+        // Disk-native with a pool far smaller than the page space: the
+        // joins must fault pages in from the one shared file.
+        let se = ShardedEngine::with_storage(4, Some(path.clone()), 8).unwrap();
+        se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
+        se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
+        assert!(path.is_file(), "LOAD must have materialized the page file");
+        let out = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(out.pairs, reference.pairs);
+        assert_eq!(out.stats, reference.stats);
+        let (hits, faults, prefetch_hits, _) = se.pool_stats();
+        assert!(faults > 0, "an 8-frame pool cannot hold the dataset");
+        assert!(prefetch_hits <= hits, "prefetch hits are a subset of hits");
+
+        // A second identical join stays byte-identical; the tight pool
+        // keeps faulting instead of going fully warm.
+        let again = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(again.pairs, reference.pairs);
+        let (_, faults2, _, _) = se.pool_stats();
+        assert!(faults2 > faults, "the 8-frame pool must keep faulting");
+        drop(se);
+        drop(resident);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_native_top_k_and_self_join_match_resident_serving() {
+        let dir = ringjoin_testsupport::scratch_dir("sharded-disk-topk");
+        let path = dir.join("pages.rjp");
+        let its = items(230, 47, 1000.0);
+        let resident = ShardedEngine::new(3).unwrap();
+        resident
+            .load("d", its.clone(), IndexKind::Quadtree)
+            .unwrap();
+        let self_ref = resident.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+        let topk_ref = resident.top_k_self("d", 9).unwrap();
+
+        let se = ShardedEngine::with_storage(3, Some(path), 8).unwrap();
+        se.load("d", its, IndexKind::Quadtree).unwrap();
+        let out = se.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(out.pairs, self_ref.pairs);
+        assert_eq!(out.stats, self_ref.stats);
+        let topk = se.top_k_self("d", 9).unwrap();
+        assert_eq!(topk.pairs, topk_ref.pairs);
+        drop(se);
+        drop(resident);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

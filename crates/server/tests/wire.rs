@@ -280,6 +280,112 @@ fn admission_queue_overflow_returns_busy() {
     handle.join().unwrap();
 }
 
+/// Regression (admission-barging bug): with one admission slot, a
+/// client pipelining joins back-to-back used to re-take the freed slot
+/// before any queued waiter could wake — one hot connection could
+/// starve everyone else for the length of its burst. FIFO tickets make
+/// an interleaved slow client progress after at most one hog request.
+#[test]
+fn interleaved_client_progresses_despite_a_pipelining_hog() {
+    use ringjoin_server::proto::Request;
+    let (addr, handle) = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        max_inflight: 1,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    });
+    let mut loader = Client::connect(addr).unwrap();
+    loader
+        .load("p", IndexKind::Rtree, &items(600, 71, 1600.0))
+        .unwrap();
+    loader
+        .load("q", IndexKind::Rtree, &items(600, 73, 1600.0))
+        .unwrap();
+
+    // The hog pipelines a long burst on one connection.
+    let mut hog = Client::connect(addr).unwrap();
+    let join_req = Request::Join {
+        outer: "q".to_string(),
+        inner: "p".to_string(),
+        algo: RcjAlgorithm::Auto,
+        bounds: None,
+    };
+    const BURST: usize = 40;
+    let mut hog_ids = Vec::new();
+    for _ in 0..BURST {
+        hog_ids.push(hog.send(&join_req).unwrap());
+    }
+    // Let the burst get going so the slow client genuinely interleaves.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    // One blocking join from the slow client. FIFO admission means it
+    // waits behind at most the hog request ahead of it — not the burst.
+    let slow = loader.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+    assert!(!slow.pairs.is_empty());
+
+    // STATS bypasses admission: snapshot the completed-request count
+    // the instant the slow join returned. If the hog had starved the
+    // slow client to the end of the burst, every one of its joins would
+    // already be counted here.
+    let reply = loader.request(&Request::Stats).unwrap();
+    let done: u64 = reply.field("requests_ok").unwrap().parse().unwrap();
+    assert!(
+        done < (2 + BURST + 1) as u64,
+        "slow client only finished after the hog's whole burst \
+         (requests_ok = {done})"
+    );
+
+    for id in hog_ids {
+        let (reply_id, outcome) = hog.recv().unwrap();
+        assert_eq!(reply_id, Some(id));
+        outcome.unwrap();
+    }
+    loader.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Disk-native serving end to end: a server with `on_disk` and a tight
+/// `buffer_pages` budget answers byte-identically to an in-process
+/// resident engine, while its pool faults pages in from the shared
+/// page file and reports the residency counters on the wire.
+#[test]
+fn disk_native_server_round_trip_matches_resident_engine() {
+    use ringjoin_server::proto::Request;
+    let dir = ringjoin_testsupport::scratch_dir("wire-disk");
+    let ps = items(260, 81, 1400.0);
+    let qs = items(260, 83, 1400.0);
+    let mut engine = Engine::new();
+    engine.load("p", ps.clone()).index(IndexKind::Rtree);
+    engine.load("q", qs.clone()).index(IndexKind::Rtree);
+    let local = engine.query().join("q", "p").collect().unwrap();
+
+    let (addr, handle) = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        on_disk: Some(dir.join("pages.rjp")),
+        buffer_pages: 8,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client.load("p", IndexKind::Rtree, &ps).unwrap();
+    client.load("q", IndexKind::Rtree, &qs).unwrap();
+    let remote = client.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+    assert_eq!(remote.pairs, local.pairs);
+    assert_eq!(remote.stats.result_pairs, local.stats.result_pairs);
+
+    let reply = client.request(&Request::Stats).unwrap();
+    let faults: u64 = reply.field("pool_faults").unwrap().parse().unwrap();
+    assert!(faults > 0, "an 8-frame pool must fault on this dataset");
+    let prefetch: u64 = reply.field("pool_prefetch_hits").unwrap().parse().unwrap();
+    let hits: u64 = reply.field("pool_hits").unwrap().parse().unwrap();
+    assert!(prefetch <= hits, "prefetch hits are a subset of pool hits");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The connection limit: a server with `max_sessions = 1` turns the
 /// second connection away with `ERR busy` instead of accepting without
 /// bound.

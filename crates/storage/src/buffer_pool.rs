@@ -19,18 +19,32 @@
 //!   per-worker [`IoStats`] of each [`PooledPager`] remain the unit the
 //!   executor merges back into the owning pager).
 //!
-//! Because the parallel read path serves bytes from an immutable,
-//! always-resident [`PageSnapshot`], the frames track *residency and
-//! recency only* — no bytes are copied on a fault. A fault means "this access would have gone to the device
-//! under the configured budget", which keeps the paper's I/O accounting
-//! intact while the cache itself is shared and stays warm across
-//! workers, waves, runs, and server shard replicas.
+//! The pool serves two residency regimes through one arena:
+//!
+//! * **Resident** ([`PageSource::Resident`]): bytes live in an immutable
+//!   [`PageSnapshot`] and the frames track *recency only* — a fault
+//!   means "this access would have gone to the device under the
+//!   configured budget". This is the in-memory mode every benchmark
+//!   baseline was recorded under, and its accounting is unchanged.
+//! * **Store-backed** ([`PageSource::Store`]): the frames *own the page
+//!   bytes*. A miss reads the page from the [`PageStore`] into the
+//!   frame chosen by the clock sweep; a hit serves the frame's bytes
+//!   directly. Readers pin a frame's bytes by cloning the `Arc<[u8]>`
+//!   under the stripe lock — eviction merely swaps the frame's `Arc`,
+//!   so an outstanding reader keeps valid bytes without ever holding a
+//!   lock across its callback (callbacks re-enter the pool: probe
+//!   expansion nests page reads).
+//!
+//! A background [`Prefetcher`](crate::Prefetcher) can stage store pages
+//! into frames ahead of the workers; an access that finds its page
+//! resident only because the prefetcher staged it counts as a *prefetch
+//! hit* (a subset of hits), surfaced separately in [`IoStats`].
 
-use crate::disk::PageId;
+use crate::disk::{PageId, PageStore};
 use crate::pager::{IoStats, PageAccess};
 use crate::snapshot::PageSnapshot;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default number of lock stripes. Sixteen keeps the probability of two
@@ -39,11 +53,17 @@ use std::sync::{Arc, Mutex};
 /// shards.
 pub const DEFAULT_POOL_SHARDS: usize = 16;
 
-/// One frame of the arena: which page occupies it plus the clock's
-/// referenced bit.
+/// One frame of the arena: which page occupies it, the clock's
+/// referenced bit, and (in store-backed mode) the page bytes.
 struct Frame {
     page: PageId,
     referenced: bool,
+    /// `Some` when the frame owns the page bytes (store-backed reads);
+    /// `None` when the frame tracks recency only (resident snapshots).
+    data: Option<Arc<[u8]>>,
+    /// Bytes were staged by the prefetcher and not yet claimed by a
+    /// reader — the next hit is a *prefetch hit*.
+    prefetched: bool,
 }
 
 /// One lock stripe: a fixed-capacity frame arena with a clock hand.
@@ -68,22 +88,49 @@ impl PoolShard {
     }
 
     /// Touches `page`; returns `true` on a hit. On a miss the page is
-    /// installed, evicting by clock sweep when the arena is full.
+    /// installed (recency-only, no bytes), evicting by clock sweep when
+    /// the arena is full.
     fn access(&mut self, page: PageId) -> bool {
         if let Some(&idx) = self.map.get(&page) {
             self.frames[idx].referenced = true;
             return true;
         }
+        self.install(page, None, false);
+        false
+    }
+
+    /// Installs `page` (with `data` bytes in store-backed mode),
+    /// evicting by clock sweep when the arena is full. If the page is
+    /// already framed — a racing reader or the prefetcher got there
+    /// first — the existing frame is refreshed in place.
+    fn install(&mut self, page: PageId, data: Option<Arc<[u8]>>, prefetched: bool) {
+        if let Some(&idx) = self.map.get(&page) {
+            let frame = &mut self.frames[idx];
+            frame.referenced = true;
+            if data.is_some() {
+                frame.data = data;
+                frame.prefetched = prefetched;
+            }
+            return;
+        }
+        if self.capacity == 0 {
+            // A stripe resized to zero frames caches nothing.
+            return;
+        }
         if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 page,
                 referenced: true,
+                data,
+                prefetched,
             });
             self.map.insert(page, self.frames.len() - 1);
         } else {
             // Second chance: spin the hand, clearing referenced bits,
             // until a frame that was not touched since the last sweep
-            // gives up its slot. Terminates within two laps.
+            // gives up its slot. Terminates within two laps. Evicting a
+            // frame only drops the *pool's* reference to its bytes —
+            // readers holding a cloned `Arc` keep reading valid data.
             loop {
                 let idx = self.hand;
                 self.hand = (self.hand + 1) % self.frames.len();
@@ -95,13 +142,28 @@ impl PoolShard {
                     self.frames[idx] = Frame {
                         page,
                         referenced: true,
+                        data,
+                        prefetched,
                     };
                     self.map.insert(page, idx);
                     break;
                 }
             }
         }
-        false
+    }
+
+    /// Resizes the stripe in place; shrinking evicts the tail of the
+    /// arena (map entries for surviving frames keep their indices).
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if self.frames.len() > capacity {
+            for frame in self.frames.drain(capacity..) {
+                self.map.remove(&frame.page);
+            }
+            if self.hand >= self.frames.len() {
+                self.hand = 0;
+            }
+        }
     }
 
     fn clear(&mut self) {
@@ -113,9 +175,22 @@ impl PoolShard {
 
 struct PoolInner {
     shards: Vec<Mutex<PoolShard>>,
-    capacity: usize,
+    capacity: AtomicUsize,
     hits: AtomicU64,
     faults: AtomicU64,
+    prefetch_hits: AtomicU64,
+}
+
+/// How a store-backed [`BufferPool::load`] was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoolRead {
+    /// The page was resident and a reader already claimed it before.
+    Hit,
+    /// The page was resident *because the prefetcher staged it* — still
+    /// a hit, counted separately.
+    PrefetchHit,
+    /// The page was read from the store into a frame.
+    Fault,
 }
 
 /// A shared, sharded clock-sweep page cache (see the module docs).
@@ -151,16 +226,38 @@ impl BufferPool {
         BufferPool {
             inner: Arc::new(PoolInner {
                 shards,
-                capacity,
+                capacity: AtomicUsize::new(capacity),
                 hits: AtomicU64::new(0),
                 faults: AtomicU64::new(0),
+                prefetch_hits: AtomicU64::new(0),
             }),
         }
     }
 
     /// Total frame capacity across all shards.
     pub fn capacity(&self) -> usize {
-        self.inner.capacity
+        self.inner.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the arena **in place**: every clone of this pool —
+    /// including worker handles taken before the resize — sees the new
+    /// budget immediately. Shrinking evicts surplus frames; the stripe
+    /// count is fixed at construction, so a pool resized below one
+    /// frame per stripe keeps one frame in each stripe (the effective
+    /// arena never drops below `shard_count()` frames).
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.inner.capacity.store(capacity, Ordering::Relaxed);
+        let shards = self.inner.shards.len();
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let cap = (base + usize::from(i < extra)).max(1);
+            shard
+                .lock()
+                .expect("buffer pool shard poisoned")
+                .set_capacity(cap);
+        }
     }
 
     /// Number of lock stripes.
@@ -185,6 +282,69 @@ impl BufferPool {
         hit
     }
 
+    /// Store-backed read of `page`: serves the frame's bytes on a hit,
+    /// otherwise reads the page from `store` into a frame chosen by the
+    /// clock sweep. The returned `Arc<[u8]>` *is* the pin — the device
+    /// read happens with no lock held (callbacks re-enter the pool, and
+    /// two racing readers may both fault the same cold page; both
+    /// device reads really happened, so both count).
+    pub fn load(&self, page: PageId, store: &dyn PageStore) -> (Arc<[u8]>, PoolRead) {
+        let shard_idx = (page.0 as usize) % self.inner.shards.len();
+        {
+            let mut shard = self.inner.shards[shard_idx]
+                .lock()
+                .expect("buffer pool shard poisoned");
+            if let Some(&idx) = shard.map.get(&page) {
+                let frame = &mut shard.frames[idx];
+                if let Some(bytes) = frame.data.clone() {
+                    frame.referenced = true;
+                    let prefetched = std::mem::take(&mut frame.prefetched);
+                    drop(shard);
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                    if prefetched {
+                        self.inner.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                        return (bytes, PoolRead::PrefetchHit);
+                    }
+                    return (bytes, PoolRead::Hit);
+                }
+            }
+        }
+        let bytes = read_from_store(store, page);
+        self.inner.faults.fetch_add(1, Ordering::Relaxed);
+        self.inner.shards[shard_idx]
+            .lock()
+            .expect("buffer pool shard poisoned")
+            .install(page, Some(bytes.clone()), false);
+        (bytes, PoolRead::Fault)
+    }
+
+    /// Stages `page` from `store` into a frame ahead of the readers.
+    /// No-op if the page is already resident with bytes; bumps **no**
+    /// hit/fault counter (the prefetcher's own device reads are not
+    /// demand I/O — the access that later claims the frame counts as a
+    /// prefetch hit instead of a fault).
+    pub fn prefetch(&self, page: PageId, store: &dyn PageStore) {
+        let shard_idx = (page.0 as usize) % self.inner.shards.len();
+        {
+            let shard = self.inner.shards[shard_idx]
+                .lock()
+                .expect("buffer pool shard poisoned");
+            if shard.capacity == 0 {
+                return;
+            }
+            if let Some(&idx) = shard.map.get(&page) {
+                if shard.frames[idx].data.is_some() {
+                    return;
+                }
+            }
+        }
+        let bytes = read_from_store(store, page);
+        self.inner.shards[shard_idx]
+            .lock()
+            .expect("buffer pool shard poisoned")
+            .install(page, Some(bytes), true);
+    }
+
     /// Pages currently resident across all shards.
     pub fn len(&self) -> usize {
         self.inner
@@ -207,6 +367,12 @@ impl BufferPool {
     /// Lifetime fault counter (all clones, all threads).
     pub fn faults(&self) -> u64 {
         self.inner.faults.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime prefetch-hit counter — accesses satisfied by a frame
+    /// the prefetcher staged. Always a subset of [`hits`](Self::hits).
+    pub fn prefetch_hits(&self) -> u64 {
+        self.inner.prefetch_hits.load(Ordering::Relaxed)
     }
 
     /// Lifetime hit rate in `[0, 1]` (`0` before any access).
@@ -234,28 +400,88 @@ impl BufferPool {
     }
 }
 
-/// A worker's handle onto a shared [`BufferPool`]: snapshot-backed reads
-/// whose hit/fault accounting goes through the pool, with private
+/// Reads one page out of a store into a freshly allocated `Arc<[u8]>`.
+fn read_from_store(store: &dyn PageStore, page: PageId) -> Arc<[u8]> {
+    let mut buf = vec![0u8; store.page_size()];
+    store.read_into(page, &mut buf);
+    buf.into()
+}
+
+/// Where a [`PooledPager`] gets page bytes from: a fully resident
+/// snapshot (the in-memory mode) or a shared [`PageStore`] the pool
+/// faults pages out of on demand (the disk-native mode).
+///
+/// Cloning is cheap in both arms (an `Arc` bump).
+#[derive(Clone)]
+pub enum PageSource {
+    /// All pages resident in RAM; the pool tracks recency only.
+    Resident(PageSnapshot),
+    /// Pages live in the store; the pool's frames own whatever subset
+    /// currently fits the budget.
+    Store(Arc<dyn PageStore>),
+}
+
+impl PageSource {
+    /// Page size of the underlying source.
+    pub fn page_size(&self) -> usize {
+        match self {
+            PageSource::Resident(snap) => snap.page_size(),
+            PageSource::Store(store) => store.page_size(),
+        }
+    }
+
+    /// `true` for the store-backed (disk-native) arm.
+    pub fn is_store(&self) -> bool {
+        matches!(self, PageSource::Store(_))
+    }
+
+    /// The store handle, if this source is store-backed.
+    pub fn store(&self) -> Option<&Arc<dyn PageStore>> {
+        match self {
+            PageSource::Store(store) => Some(store),
+            PageSource::Resident(_) => None,
+        }
+    }
+}
+
+impl From<PageSnapshot> for PageSource {
+    fn from(snapshot: PageSnapshot) -> PageSource {
+        PageSource::Resident(snapshot)
+    }
+}
+
+impl From<Arc<dyn PageStore>> for PageSource {
+    fn from(store: Arc<dyn PageStore>) -> PageSource {
+        PageSource::Store(store)
+    }
+}
+
+/// A worker's handle onto a shared [`BufferPool`]: page reads whose
+/// hit/fault accounting goes through the pool, with private
 /// [`IoStats`] merged back into the owning pager by the executor's
 /// absorb-per-worker aggregation.
 ///
-/// Bytes are always served from this handle's own snapshot; the pool
-/// only decides whether the access counts as a hit or a fault. (When
-/// several handles over *different* pagers share one pool — the sharded
+/// With a [`PageSource::Resident`] source, bytes are always served from
+/// this handle's own snapshot and the pool only decides whether the
+/// access counts as a hit or a fault — the original accounting-only
+/// design, byte-for-byte. With a [`PageSource::Store`] source, the pool
+/// is the actual residency layer: a fault reads the page from the
+/// store into a frame, a hit serves the frame's bytes. (When several
+/// handles over *different* pagers share one pool — the sharded
 /// server's replicas — their page-id spaces coincide because the
-/// replicas are built identically; unrelated pagers sharing a pool
-/// would merely conflate accounting, never bytes.)
+/// replicas are built identically over one shared page file.)
 pub struct PooledPager {
-    snapshot: PageSnapshot,
+    source: PageSource,
     pool: BufferPool,
     stats: IoStats,
 }
 
 impl PooledPager {
-    /// A handle over `snapshot` accounting through `pool`.
-    pub fn new(snapshot: PageSnapshot, pool: BufferPool) -> PooledPager {
+    /// A handle over `source` accounting through `pool`. Accepts a
+    /// [`PageSnapshot`] directly (resident mode) or any [`PageSource`].
+    pub fn new(source: impl Into<PageSource>, pool: BufferPool) -> PooledPager {
         PooledPager {
-            snapshot,
+            source: source.into(),
             pool,
             stats: IoStats::default(),
         }
@@ -274,17 +500,90 @@ impl PooledPager {
 
 impl PageAccess for PooledPager {
     fn page_size(&self) -> usize {
-        self.snapshot.page_size()
+        self.source.page_size()
     }
 
     fn with_page(&mut self, id: PageId, f: &mut dyn FnMut(&[u8])) {
         self.stats.logical_reads += 1;
-        if self.pool.access(id) {
-            self.stats.read_hits += 1;
-        } else {
-            self.stats.read_faults += 1;
+        match &self.source {
+            PageSource::Resident(snapshot) => {
+                if self.pool.access(id) {
+                    self.stats.read_hits += 1;
+                } else {
+                    self.stats.read_faults += 1;
+                }
+                f(snapshot.page(id));
+            }
+            PageSource::Store(store) => {
+                let (bytes, outcome) = self.pool.load(id, store.as_ref());
+                match outcome {
+                    PoolRead::Hit => self.stats.read_hits += 1,
+                    PoolRead::PrefetchHit => {
+                        self.stats.read_hits += 1;
+                        self.stats.prefetch_hits += 1;
+                    }
+                    PoolRead::Fault => self.stats.read_faults += 1,
+                }
+                // No pool lock is held here: `f` may recurse into
+                // further page reads (probe expansion does).
+                f(&bytes);
+            }
         }
-        f(self.snapshot.page(id));
+    }
+}
+
+/// A background thread that stages upcoming pages into a [`BufferPool`]
+/// so demand reads find them resident ([`PoolRead::PrefetchHit`]).
+///
+/// The schedulers drive it: when a worker claims a chunk of leaves, it
+/// [`request`](Prefetcher::request)s the *next* chunk's leaf pages, so
+/// store I/O overlaps verification. Requests are best-effort — dropping
+/// the `Prefetcher` closes the queue and joins the thread, and a
+/// request for a page that is already resident is a no-op.
+pub struct Prefetcher {
+    tx: Option<std::sync::mpsc::Sender<Vec<PageId>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns the staging thread over `pool` and `store`.
+    pub fn spawn(pool: BufferPool, store: Arc<dyn PageStore>) -> Prefetcher {
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<PageId>>();
+        let handle = std::thread::Builder::new()
+            .name("ringjoin-prefetch".into())
+            .spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    for id in batch {
+                        pool.prefetch(id, store.as_ref());
+                    }
+                }
+            })
+            .expect("spawning prefetch thread");
+        Prefetcher {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Queues `pages` for staging (FIFO, best-effort).
+    pub fn request(&self, pages: Vec<PageId>) {
+        if pages.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            // A closed queue (only possible mid-teardown) is fine to
+            // ignore: prefetch is an optimization, never correctness.
+            let _ = tx.send(pages);
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -428,5 +727,111 @@ mod tests {
         assert!(!a.shares_frames(&BufferPool::new(4)));
         a.access(PageId(7));
         assert!(b.access(PageId(7)), "clone sees the resident page");
+    }
+
+    #[test]
+    fn store_backed_load_serves_bytes_and_faults_under_budget() {
+        let snap = snapshot_with_pages(8);
+        let store: Arc<dyn crate::PageStore> = Arc::new(snap);
+        let pool = BufferPool::with_shards(2, 1);
+        let mut pg = PooledPager::new(PageSource::Store(Arc::clone(&store)), pool.clone());
+        // Cold pass over 8 pages through a 2-frame pool: all faults,
+        // but every byte is correct.
+        for i in 0..8u32 {
+            read_page_as(&mut pg, PageId(i), |b| assert_eq!(b[0], i as u8 + 1));
+        }
+        let s = pg.stats();
+        assert_eq!(s.logical_reads, 8);
+        assert_eq!(s.read_faults, 8);
+        assert_eq!(s.read_hits, 0);
+        // Re-reading the last resident page is a frame hit.
+        read_page_as(&mut pg, PageId(7), |b| assert_eq!(b[0], 8));
+        assert_eq!(pg.stats().read_hits, 1);
+        assert_eq!(pg.stats().prefetch_hits, 0);
+        assert_eq!(
+            pg.stats().read_hits + pg.stats().read_faults,
+            pg.stats().logical_reads
+        );
+    }
+
+    #[test]
+    fn evicted_readers_keep_pinned_bytes() {
+        let snap = snapshot_with_pages(4);
+        let store: Arc<dyn crate::PageStore> = Arc::new(snap);
+        let pool = BufferPool::with_shards(1, 1);
+        let (pinned, outcome) = pool.load(PageId(0), store.as_ref());
+        assert_eq!(outcome, PoolRead::Fault);
+        // Evict page 0 by cycling other pages through the single frame.
+        pool.load(PageId(1), store.as_ref());
+        pool.load(PageId(2), store.as_ref());
+        assert_eq!(pinned[0], 1, "evicted frame's bytes stay valid via the pin");
+    }
+
+    #[test]
+    fn prefetched_pages_hit_and_count_separately() {
+        let snap = snapshot_with_pages(8);
+        let store: Arc<dyn crate::PageStore> = Arc::new(snap);
+        let pool = BufferPool::new(8);
+        for i in 0..4u32 {
+            pool.prefetch(PageId(i), store.as_ref());
+        }
+        assert_eq!(pool.hits() + pool.faults(), 0, "prefetch is not demand I/O");
+        let mut pg = PooledPager::new(PageSource::Store(Arc::clone(&store)), pool.clone());
+        for i in 0..8u32 {
+            read_page_as(&mut pg, PageId(i), |b| assert_eq!(b[0], i as u8 + 1));
+        }
+        let s = pg.stats();
+        assert_eq!(s.prefetch_hits, 4, "staged pages are prefetch hits");
+        assert_eq!(s.read_hits, 4, "prefetch hits are a subset of hits");
+        assert_eq!(s.read_faults, 4);
+        assert_eq!(pool.prefetch_hits(), 4);
+        // The flag is consumed: a second read of a staged page is a
+        // plain hit.
+        read_page_as(&mut pg, PageId(0), |_| {});
+        assert_eq!(pg.stats().prefetch_hits, 4);
+        assert_eq!(pg.stats().read_hits, 5);
+    }
+
+    #[test]
+    fn prefetcher_thread_stages_batches() {
+        let snap = snapshot_with_pages(8);
+        let store: Arc<dyn crate::PageStore> = Arc::new(snap);
+        let pool = BufferPool::new(8);
+        {
+            let prefetcher = Prefetcher::spawn(pool.clone(), Arc::clone(&store));
+            prefetcher.request((0..8).map(PageId).collect());
+            // Drop joins the thread, so the batch is fully staged below.
+        }
+        assert_eq!(pool.len(), 8);
+        let mut pg = PooledPager::new(PageSource::Store(store), pool);
+        for i in 0..8u32 {
+            read_page_as(&mut pg, PageId(i), |b| assert_eq!(b[0], i as u8 + 1));
+        }
+        assert_eq!(pg.stats().prefetch_hits, 8);
+        assert_eq!(pg.stats().read_faults, 0);
+    }
+
+    #[test]
+    fn set_capacity_resizes_all_clones_in_place() {
+        let pool = BufferPool::with_shards(8, 1);
+        let clone = pool.clone();
+        for i in 0..8u32 {
+            pool.access(PageId(i));
+        }
+        assert_eq!(pool.len(), 8);
+        clone.set_capacity(2);
+        assert_eq!(pool.capacity(), 2, "resize is visible through every handle");
+        assert_eq!(pool.len(), 2, "shrinking evicts surplus frames");
+        // The old handle now evicts at the new budget.
+        for i in 0..8u32 {
+            pool.access(PageId(100 + i));
+        }
+        assert!(pool.len() <= 2);
+        // Growing back raises the arena again.
+        clone.set_capacity(8);
+        for i in 0..8u32 {
+            pool.access(PageId(200 + i));
+        }
+        assert_eq!(pool.len(), 8);
     }
 }

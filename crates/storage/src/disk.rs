@@ -1,8 +1,10 @@
-//! Raw page devices.
+//! Raw page devices and the shared read-only [`PageStore`].
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+#[cfg(not(unix))]
+use std::sync::Mutex;
 
 /// Identifier of a disk page. Pages are allocated sequentially from 0.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -178,6 +180,95 @@ impl DiskStorage for FileDisk {
     }
 }
 
+/// A shared, read-only page source that many readers can hit at once.
+///
+/// This is the residency boundary of the disk-native engine: the
+/// [`BufferPool`](crate::BufferPool) reads pages *from* a store into its
+/// frames on a miss, and serves frame bytes on a hit. Unlike
+/// [`DiskStorage`] (the pager's exclusive, mutable device), a
+/// `PageStore` takes `&self` so one handle can serve parallel join
+/// workers and the background prefetch thread concurrently.
+pub trait PageStore: Send + Sync {
+    /// Size of every page in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Number of readable pages.
+    fn num_pages(&self) -> u32;
+
+    /// Reads page `id` into `buf` (`buf.len() == page_size()`).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range — like [`DiskStorage::read_page`],
+    /// an unallocated read is a logic error in the index layer.
+    fn read_into(&self, id: PageId, buf: &mut [u8]);
+}
+
+/// A file-backed [`PageStore`] over a page file written by
+/// [`Pager::spill_to`](crate::Pager::spill_to) (same layout as
+/// [`FileDisk`]: page `i` at byte offset `i * page_size`).
+///
+/// On Unix, reads use positioned I/O (`read_at`), so concurrent readers
+/// never contend on a seek cursor; elsewhere a mutex serializes the
+/// seek+read pair.
+pub struct FilePageStore {
+    page_size: usize,
+    num_pages: u32,
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+}
+
+impl FilePageStore {
+    /// Opens the page file at `path` read-only; its length must be a
+    /// multiple of `page_size`.
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> std::io::Result<Self> {
+        assert!(page_size >= 64, "page size too small to hold a node header");
+        let file = OpenOptions::new().read(true).open(path)?;
+        let len = file.metadata()?.len();
+        assert_eq!(
+            len % page_size as u64,
+            0,
+            "file length {len} is not a multiple of the page size {page_size}"
+        );
+        Ok(FilePageStore {
+            page_size,
+            num_pages: (len / page_size as u64) as u32,
+            #[cfg(unix)]
+            file,
+            #[cfg(not(unix))]
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    fn read_into(&self, id: PageId, buf: &mut [u8]) {
+        assert!(id.0 < self.num_pages, "read of unallocated page {id:?}");
+        let offset = id.0 as u64 * self.page_size as u64;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset).expect("reading page");
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self.file.lock().expect("page store file poisoned");
+            file.seek(SeekFrom::Start(offset))
+                .and_then(|_| file.read_exact(buf))
+                .expect("reading page");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +332,38 @@ mod tests {
         let mut d = FileDisk::create(&path, 256).unwrap();
         let mut buf = vec![0u8; 256];
         d.read_page(PageId(0), &mut buf);
+    }
+
+    #[test]
+    fn file_page_store_serves_concurrent_readers() {
+        let dir = std::env::temp_dir().join(format!("ringjoin-pagestore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        {
+            let mut d = FileDisk::create(&path, 128).unwrap();
+            for i in 0..16u32 {
+                let id = d.allocate();
+                let mut buf = vec![0u8; 128];
+                buf[0] = i as u8 + 1;
+                d.write_page(id, &buf);
+            }
+        }
+        let store = FilePageStore::open(&path, 128).unwrap();
+        assert_eq!(store.num_pages(), 16);
+        assert_eq!(store.page_size(), 128);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut buf = vec![0u8; 128];
+                    for i in 0..16u32 {
+                        store.read_into(PageId(i), &mut buf);
+                        assert_eq!(buf[0], i as u8 + 1);
+                    }
+                });
+            }
+        });
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

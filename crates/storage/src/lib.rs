@@ -25,6 +25,12 @@
 //!   cache parallel workers account through ([`Pager::shared_pool`]):
 //!   one warm cache at the sequential budget instead of `workers` cold
 //!   per-worker LRUs, with atomic hit/fault counters for observability.
+//! * [`PageStore`] + [`PageSource`] — the disk-native residency layer:
+//!   [`Pager::spill_to`] moves a dataset onto a real on-disk page file
+//!   ([`FilePageStore`]), the pool's frames then *own* whatever page
+//!   bytes fit the budget, and a [`Prefetcher`] stages upcoming pages
+//!   in the background so `read_faults` tracks the paper's I/O model
+//!   instead of RAM size.
 //!
 //! # Example
 //!
@@ -57,7 +63,9 @@ mod pager;
 mod snapshot;
 
 pub use buffer::BufferManager;
-pub use buffer_pool::{BufferPool, PooledPager, DEFAULT_POOL_SHARDS};
-pub use disk::{DiskStorage, FileDisk, MemDisk, PageId};
+pub use buffer_pool::{
+    BufferPool, PageSource, PoolRead, PooledPager, Prefetcher, DEFAULT_POOL_SHARDS,
+};
+pub use disk::{DiskStorage, FileDisk, FilePageStore, MemDisk, PageId, PageStore};
 pub use pager::{read_page_as, CostModel, IoStats, PageAccess, Pager, SharedPager};
 pub use snapshot::PageSnapshot;

@@ -1,9 +1,11 @@
 //! The pager: buffer-managed page access with the paper's I/O accounting.
 
 use crate::buffer::BufferManager;
-use crate::disk::{DiskStorage, PageId};
+use crate::disk::{DiskStorage, FileDisk, PageId};
 use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// I/O statistics accumulated by a [`Pager`].
 ///
@@ -24,6 +26,12 @@ pub struct IoStats {
     pub read_hits: u64,
     /// Read accesses that missed the buffer and went to the device.
     pub read_faults: u64,
+    /// Read accesses that hit a frame only because the background
+    /// prefetcher staged it — always a subset of `read_hits` (the
+    /// hit/fault split is unaffected; this isolates how much of the hit
+    /// rate the prefetch schedule bought). Only store-backed reads can
+    /// produce prefetch hits; resident-snapshot runs keep this at 0.
+    pub prefetch_hits: u64,
     /// Page accesses for writing, including buffer hits.
     pub logical_writes: u64,
     /// Write accesses that had to fetch the page from the device first.
@@ -59,6 +67,7 @@ impl IoStats {
             logical_reads: self.logical_reads - earlier.logical_reads,
             read_hits: self.read_hits - earlier.read_hits,
             read_faults: self.read_faults - earlier.read_faults,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
             logical_writes: self.logical_writes - earlier.logical_writes,
             write_faults: self.write_faults - earlier.write_faults,
         }
@@ -70,6 +79,7 @@ impl IoStats {
         self.logical_reads += other.logical_reads;
         self.read_hits += other.read_hits;
         self.read_faults += other.read_faults;
+        self.prefetch_hits += other.prefetch_hits;
         self.logical_writes += other.logical_writes;
         self.write_faults += other.write_faults;
     }
@@ -114,10 +124,17 @@ pub struct Pager {
     snapshot_cache: Option<crate::PageSnapshot>,
     /// The shared buffer pool parallel runs account through, sized to
     /// this pager's buffer capacity and kept **warm across runs** (the
-    /// whole point of the shared-pool design). Re-created when the
-    /// capacity changes; emptied — but not replaced — by
-    /// [`Pager::clear_buffer`].
+    /// whole point of the shared-pool design). Resized **in place** when
+    /// the capacity changes (outstanding worker handles must see the
+    /// new budget, not keep accounting against a dead pool); emptied —
+    /// but not replaced — by [`Pager::clear_buffer`].
     pool_cache: Option<crate::BufferPool>,
+    /// Path of the on-disk page file, once [`Pager::spill_to`] or
+    /// [`Pager::attach_store`] made this pager disk-native.
+    store_path: Option<PathBuf>,
+    /// Cached read-only store over `store_path`, reopened lazily after
+    /// any write or allocation (which may grow or change the file).
+    store_cache: Option<Arc<crate::FilePageStore>>,
 }
 
 impl Pager {
@@ -130,6 +147,8 @@ impl Pager {
             stats: IoStats::default(),
             snapshot_cache: None,
             pool_cache: None,
+            store_path: None,
+            store_cache: None,
         }
     }
 
@@ -151,6 +170,9 @@ impl Pager {
     /// Allocates a fresh zeroed page.
     pub fn allocate(&mut self) -> PageId {
         self.snapshot_cache = None;
+        // The page file grew: a cached read-only store has a stale page
+        // count and must be reopened on next use.
+        self.store_cache = None;
         self.disk.allocate()
     }
 
@@ -179,6 +201,16 @@ impl Pager {
     /// paper's measurements exclude index construction anyway.
     pub fn write(&mut self, id: PageId, f: impl FnOnce(&mut [u8])) {
         self.snapshot_cache = None;
+        if self.store_path.is_some() {
+            // The bytes behind the store change: reopen it on next use
+            // and evict any pool frame that may hold the old bytes.
+            // Writes only happen during (unmeasured) index builds, so
+            // the cost of restarting the pool cold is irrelevant.
+            self.store_cache = None;
+            if let Some(pool) = &self.pool_cache {
+                pool.clear();
+            }
+        }
         self.stats.logical_writes += 1;
         if self.buffer.get_mut(id).is_none() {
             self.stats.write_faults += 1;
@@ -239,6 +271,88 @@ impl Pager {
         snap
     }
 
+    /// Spills every allocated page to a page file at `path` and switches
+    /// this pager's device to that file — from here on the pager is
+    /// **disk-native**: sequential reads fault pages in from the file,
+    /// write-through keeps the file authoritative, and
+    /// [`Pager::page_source`] hands parallel runs a shared read-only
+    /// [`FilePageStore`](crate::FilePageStore) over it instead of a
+    /// resident snapshot.
+    ///
+    /// Spilling again to the *same* path is a no-op (the write-through
+    /// discipline already keeps the file current — re-copying would
+    /// truncate the very file the pager is reading from). Spilling to a
+    /// new path re-copies and re-targets.
+    pub fn spill_to<P: AsRef<Path>>(&mut self, path: P) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if self.store_path.as_deref() == Some(path) {
+            return Ok(());
+        }
+        let page_size = self.disk.page_size();
+        let mut file = FileDisk::create(path, page_size)?;
+        let mut buf = vec![0u8; page_size];
+        for i in 0..self.disk.num_pages() {
+            let id = PageId(i);
+            file.allocate();
+            self.disk.read_page(id, &mut buf);
+            file.write_page(id, &buf);
+        }
+        self.disk = Box::new(file);
+        self.store_path = Some(path.to_path_buf());
+        self.store_cache = None;
+        // The resident copy is now redundant; drop it so the disk-native
+        // pager actually runs at file + frames, not file + frames + RAM.
+        self.snapshot_cache = None;
+        Ok(())
+    }
+
+    /// Marks this pager disk-native over an **externally maintained**
+    /// page file at `path`, without copying anything. The caller
+    /// guarantees the file holds byte-identical pages under the same
+    /// page-id space as this pager's own device — the sharded server's
+    /// replicas satisfy this by construction: every shard builds the
+    /// same indexes in the same order, and shard 0 spills (and
+    /// write-through maintains) the one file all replicas then read.
+    pub fn attach_store<P: AsRef<Path>>(&mut self, path: P) {
+        self.store_path = Some(path.as_ref().to_path_buf());
+        self.store_cache = None;
+        self.snapshot_cache = None;
+    }
+
+    /// Path of the on-disk page file, if this pager is disk-native.
+    pub fn store_path(&self) -> Option<&Path> {
+        self.store_path.as_deref()
+    }
+
+    /// The shared read-only page store parallel runs read through, if
+    /// this pager is disk-native (opened lazily, cached until a write
+    /// or allocation touches the page space).
+    ///
+    /// # Panics
+    /// Panics if the page file cannot be opened — a disk-native pager
+    /// whose file vanished is not a recoverable condition here.
+    pub fn page_store(&mut self) -> Option<Arc<crate::FilePageStore>> {
+        let path = self.store_path.as_deref()?;
+        if let Some(store) = &self.store_cache {
+            return Some(Arc::clone(store));
+        }
+        let store = crate::FilePageStore::open(path, self.disk.page_size())
+            .unwrap_or_else(|e| panic!("opening page store {}: {e}", path.display()));
+        let store = Arc::new(store);
+        self.store_cache = Some(Arc::clone(&store));
+        Some(store)
+    }
+
+    /// The page source parallel runs should read through: the shared
+    /// [`FilePageStore`](crate::FilePageStore) when disk-native, else a
+    /// resident [`PageSnapshot`](crate::PageSnapshot).
+    pub fn page_source(&mut self) -> crate::PageSource {
+        match self.page_store() {
+            Some(store) => crate::PageSource::Store(store as Arc<dyn crate::PageStore>),
+            None => crate::PageSource::Resident(self.snapshot()),
+        }
+    }
+
     /// The shared [`BufferPool`](crate::BufferPool) parallel runs over
     /// this pager account through, sized to the current buffer capacity
     /// — a parallel run competes with the sequential LRU at the **same
@@ -247,8 +361,9 @@ impl Pager {
     /// Cached like the snapshot: repeated parallel runs (and streaming
     /// waves) over an unmodified pager share one pool and therefore hit
     /// pages earlier runs warmed. [`Pager::set_buffer_capacity`]
-    /// replaces the pool (the budget changed);
-    /// [`Pager::clear_buffer`] empties it in place (a cold start).
+    /// resizes the pool in place (the budget changed);
+    /// [`Pager::clear_buffer`] empties it in place (a cold start). In
+    /// both cases outstanding handles stay live and correct.
     pub fn shared_pool(&mut self) -> crate::BufferPool {
         if let Some(pool) = &self.pool_cache {
             return pool.clone();
@@ -264,11 +379,15 @@ impl Pager {
         self.stats = IoStats::default();
     }
 
-    /// Resizes the LRU buffer (Figure 15 sweeps this). The shared pool
-    /// is re-created on next use so parallel runs see the new budget.
+    /// Resizes the LRU buffer (Figure 15 sweeps this). If a shared pool
+    /// was handed out it is resized **in place**, so workers holding an
+    /// old handle account against the live, re-budgeted pool — not a
+    /// detached one that silently kept the stale capacity.
     pub fn set_buffer_capacity(&mut self, pages: usize) {
         self.buffer.set_capacity(pages);
-        self.pool_cache = None;
+        if let Some(pool) = &self.pool_cache {
+            pool.set_capacity(pages);
+        }
     }
 
     /// Current buffer capacity in pages.
@@ -357,7 +476,7 @@ impl PageAccess for SharedPager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::disk::MemDisk;
+    use crate::disk::{MemDisk, PageStore};
 
     #[test]
     fn read_faults_then_hits() {
@@ -458,5 +577,102 @@ mod tests {
         p.clear_buffer();
         p.read(a, |_| ());
         assert_eq!(p.stats().read_faults, 2);
+    }
+
+    #[test]
+    fn resize_reaches_workers_holding_an_old_pool_handle() {
+        // Regression: set_buffer_capacity used to *replace* the shared
+        // pool, so a worker handle taken before the resize kept
+        // accounting against a dead pool at the stale budget.
+        let mut p = Pager::new(MemDisk::new(128), 8);
+        for _ in 0..8 {
+            p.allocate();
+        }
+        let old_handle = p.shared_pool();
+        p.set_buffer_capacity(2);
+        assert!(
+            old_handle.shares_frames(&p.shared_pool()),
+            "resize must keep outstanding handles on the live pool"
+        );
+        assert_eq!(old_handle.capacity(), 2, "old handle sees the new budget");
+        // The old handle evicts at the new budget: a cyclic scan of 8
+        // pages through ~2 frames cannot accumulate 8 residents.
+        for i in 0..8u32 {
+            old_handle.access(PageId(i));
+        }
+        for i in 0..8u32 {
+            old_handle.access(PageId(i));
+        }
+        assert!(
+            old_handle.len() <= old_handle.shard_count().max(2),
+            "old handle must evict at the resized budget, not the stale one"
+        );
+    }
+
+    #[test]
+    fn spill_to_makes_the_pager_disk_native() {
+        let dir = std::env::temp_dir().join(format!("ringjoin-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.rj");
+
+        let mut p = Pager::new(MemDisk::new(128), 2);
+        let ids: Vec<_> = (0..6).map(|_| p.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.write(id, |b| b[0] = i as u8 + 1);
+        }
+        assert!(p.page_store().is_none(), "memory-resident before the spill");
+        p.spill_to(&path).unwrap();
+        assert_eq!(p.store_path(), Some(path.as_path()));
+
+        // Sequential reads now come from the file, faulting under the
+        // 2-page buffer, with the same bytes.
+        p.clear_buffer();
+        p.reset_stats();
+        for (i, &id) in ids.iter().enumerate() {
+            p.read(id, |b| assert_eq!(b[0], i as u8 + 1));
+        }
+        assert_eq!(p.stats().read_faults, 6);
+
+        // Parallel runs get a store-backed source over the same file.
+        let source = p.page_source();
+        assert!(source.is_store());
+        let store = source.store().unwrap();
+        let mut buf = vec![0u8; 128];
+        store.read_into(ids[3], &mut buf);
+        assert_eq!(buf[0], 4);
+
+        // Write-through keeps the file authoritative: a later write is
+        // visible through a freshly opened store.
+        p.write(ids[0], |b| b[0] = 42);
+        let store = p.page_store().unwrap();
+        store.read_into(ids[0], &mut buf);
+        assert_eq!(buf[0], 42);
+
+        // Re-spilling to the same path must not truncate the live file.
+        p.spill_to(&path).unwrap();
+        p.read(ids[0], |b| assert_eq!(b[0], 42));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn allocation_reopens_the_store_with_the_grown_page_space() {
+        let dir = std::env::temp_dir().join(format!("ringjoin-grow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.rj");
+
+        let mut p = Pager::new(MemDisk::new(128), 4);
+        p.allocate();
+        p.spill_to(&path).unwrap();
+        assert_eq!(p.page_store().unwrap().num_pages(), 1);
+        let b = p.allocate();
+        p.write(b, |bytes| bytes[0] = 9);
+        let store = p.page_store().unwrap();
+        assert_eq!(store.num_pages(), 2, "store reopened after growth");
+        let mut buf = vec![0u8; 128];
+        store.read_into(b, &mut buf);
+        assert_eq!(buf[0], 9);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,7 +11,8 @@
 //! [`BufferPool`](crate::BufferPool). Worker stats are merged back into
 //! the owning pager when the run completes.
 
-use crate::disk::PageId;
+use crate::disk::{PageId, PageStore};
+use std::path::Path;
 use std::sync::Arc;
 
 /// An immutable snapshot of every allocated page of a pager.
@@ -37,6 +38,22 @@ impl PageSnapshot {
         }
     }
 
+    /// Loads an entire page file (as written by
+    /// [`Pager::spill_to`](crate::Pager::spill_to)) into a resident
+    /// snapshot. The memory-hungry counterpart of
+    /// [`FilePageStore::open`](crate::FilePageStore::open) — useful when
+    /// the dataset fits in RAM and page reads should never fault.
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> std::io::Result<Self> {
+        let store = crate::disk::FilePageStore::open(path, page_size)?;
+        let mut pages = Vec::with_capacity(store.num_pages() as usize);
+        for i in 0..store.num_pages() {
+            let mut buf = vec![0u8; page_size].into_boxed_slice();
+            store.read_into(PageId(i), &mut buf);
+            pages.push(buf);
+        }
+        Ok(PageSnapshot::from_pages(page_size, pages))
+    }
+
     /// Page size of the snapshotted device.
     pub fn page_size(&self) -> usize {
         self.inner.page_size
@@ -60,6 +77,23 @@ impl PageSnapshot {
     /// `Arc` identity test — cheap, used to verify snapshot caching).
     pub fn shares_pages(&self, other: &PageSnapshot) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// A snapshot is a perfectly valid (RAM-resident) [`PageStore`]: reads
+/// copy out of the shared page vector. Lets tests and benches exercise
+/// the pool's store-backed path without touching the filesystem.
+impl PageStore for PageSnapshot {
+    fn page_size(&self) -> usize {
+        PageSnapshot::page_size(self)
+    }
+
+    fn num_pages(&self) -> u32 {
+        PageSnapshot::num_pages(self)
+    }
+
+    fn read_into(&self, id: PageId, buf: &mut [u8]) {
+        buf.copy_from_slice(self.page(id));
     }
 }
 
