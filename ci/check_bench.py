@@ -23,7 +23,10 @@ additionally fault at all: their budget is a quarter of the dataset.
 Optionally sanity-checks a BENCH_serving.json smoke: every shard count
 must have completed with a positive request rate and the same result
 cardinality (the serving sweep itself asserts byte-identity; the file
-check catches a sweep that silently did not run).
+check catches a sweep that silently did not run). The distributed
+phase must cover both worker modes (local-threads and remote-procs)
+with determinism asserted, all workers healthy at the end, and
+replays_total / remote_kind provenance recorded.
 
 Usage:
   check_bench.py --baseline ci/BENCH_scaling_baseline.json \
@@ -187,9 +190,40 @@ def check_serving(path: str) -> None:
             f"  clients={c['clients']}: join {c['join_req_per_sec']:.2f} req/s "
             f"(p50 {p50:.1f} / p99 {p99:.1f} ms) (advisory)"
         )
+    distributed = doc.get("distributed", [])
+    if not distributed:
+        fail(f"{path} has no distributed entries — the distributed phase did not run")
+    modes = {d.get("mode") for d in distributed}
+    if modes != {"local-threads", "remote-procs"}:
+        fail(f"distributed phase must cover both worker modes, saw {sorted(modes)}")
+    for d in distributed:
+        label = f"{d.get('mode')}@{d.get('shards')} shards"
+        if d.get("join_req_per_sec", 0) <= 0:
+            fail(f"distributed entry {label} has non-positive req/s")
+        p50, p99 = d.get("join_p50_ms", 0), d.get("join_p99_ms", 0)
+        if p50 <= 0 or p99 <= 0 or p50 > p99:
+            fail(f"distributed entry {label}: bad p50/p99 ({p50}/{p99})")
+        if d.get("result_pairs") not in cardinalities:
+            fail(
+                f"distributed entry {label}: result_pairs {d.get('result_pairs')} "
+                f"differs from the single-session sweep"
+            )
+        if d.get("deterministic") is not True:
+            fail(f"distributed entry {label} did not assert determinism")
+        if d.get("all_shards_up") is not True:
+            fail(f"distributed entry {label} finished with a worker down")
+        if "replays_total" not in d:
+            fail(f"distributed entry {label} lacks replays_total provenance")
+        if d.get("mode") == "remote-procs" and d.get("remote_kind") in (None, "none"):
+            fail(f"distributed entry {label} lacks remote_kind provenance")
+        print(
+            f"  {d['mode']}@{d['shards']} shards: join {d['join_req_per_sec']:.2f} req/s "
+            f"(p50 {p50:.1f} / p99 {p99:.1f} ms) (advisory)"
+        )
     print(
         f"check_bench: serving OK ({len(entries)} shard counts, "
-        f"{len(concurrent)} concurrent client counts)"
+        f"{len(concurrent)} concurrent client counts, "
+        f"{len(distributed)} distributed mode entries)"
     )
 
 

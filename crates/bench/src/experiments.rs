@@ -1022,6 +1022,110 @@ pub fn serving(cfg: &ExpConfig) -> String {
     ));
     out.push_str(&ct.render());
 
+    // Distributed phase: the same workload through the ShardBackend
+    // dispatch layer — in-process worker threads vs remote workers
+    // behind real TCP shard-worker servers (the full wire path: frame
+    // encode, socket hop, leaf-tagged decode, global merge) at every
+    // shard count. Byte identity against the phase-one baseline is
+    // asserted per mode; full health is recorded as provenance.
+    use ringjoin_server::{ShardWorkerServer, ShardedEngine, TopologyConfig, WorkerSpec};
+    const REMOTE_KIND: &str = "in-process-tcp-workers";
+    let mut dt = Table::new(&[
+        "mode",
+        "shards",
+        "join req/s",
+        "p50 (ms)",
+        "p99 (ms)",
+        "pairs",
+        "all up",
+    ]);
+    let mut dist_entries: Vec<String> = Vec::new();
+    for shards in SERVING_SHARDS {
+        for mode in ["local-threads", "remote-procs"] {
+            let workers = match mode {
+                "local-threads" => WorkerSpec::Local,
+                _ => WorkerSpec::Provision(std::sync::Arc::new(|_cell, _rep| {
+                    let server = ShardWorkerServer::bind("127.0.0.1:0", None, 0)
+                        .map_err(|e| e.to_string())?;
+                    let addr = server.local_addr().to_string();
+                    std::thread::spawn(move || {
+                        let _ = server.serve();
+                    });
+                    Ok(addr)
+                })),
+            };
+            let engine = ShardedEngine::with_topology(TopologyConfig {
+                shards,
+                workers,
+                ..TopologyConfig::default()
+            })
+            .expect("distributed-bench topology");
+            engine
+                .load("p", p_items.clone(), ringjoin_core::IndexKind::Rtree)
+                .expect("load p");
+            engine
+                .load("q", q_items.clone(), ringjoin_core::IndexKind::Rtree)
+                .expect("load q");
+            let warm = engine
+                .join("q", "p", RcjAlgorithm::Auto, None)
+                .expect("warm distributed join");
+            let keys: Vec<(u64, u64)> = warm.pairs.iter().map(|pr| pr.key()).collect();
+            let baseline = baseline_pairs.as_ref().expect("baseline recorded");
+            assert_eq!(
+                &keys, baseline,
+                "distributed answer diverged ({mode} at {shards} shards)"
+            );
+
+            let mut ms: Vec<f64> = Vec::with_capacity(SERVING_REQUESTS);
+            let t0 = Instant::now();
+            for _ in 0..SERVING_REQUESTS {
+                let r0 = Instant::now();
+                engine
+                    .join("q", "p", RcjAlgorithm::Auto, None)
+                    .expect("distributed join");
+                ms.push(r0.elapsed().as_secs_f64() * 1e3);
+            }
+            let rps = SERVING_REQUESTS as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+            let up = engine
+                .shard_health()
+                .iter()
+                .filter(|(state, _)| *state == "up")
+                .count();
+            let all_up = up == shards * engine.replicas();
+            let replays = engine.replays_total();
+            engine.shutdown();
+
+            let (p50, p99) = (percentile(&mut ms, 50.0), percentile(&mut ms, 99.0));
+            dt.row(vec![
+                mode.to_string(),
+                shards.to_string(),
+                format!("{rps:.2}"),
+                format!("{p50:.2}"),
+                format!("{p99:.2}"),
+                warm.pairs.len().to_string(),
+                all_up.to_string(),
+            ]);
+            dist_entries.push(format!(
+                "    {{\"mode\": \"{mode}\", \"shards\": {shards}, \
+                 \"join_req_per_sec\": {rps:.4}, \"join_p50_ms\": {p50:.4}, \
+                 \"join_p99_ms\": {p99:.4}, \"result_pairs\": {}, \
+                 \"deterministic\": true, \"all_shards_up\": {all_up}, \
+                 \"replays_total\": {replays}, \"remote_kind\": \"{}\"}}",
+                warm.pairs.len(),
+                if mode == "local-threads" {
+                    "none"
+                } else {
+                    REMOTE_KIND
+                },
+            ));
+        }
+    }
+    out.push_str(
+        "-- distributed: local worker threads vs remote TCP workers \
+         (byte-identity asserted per mode) --\n",
+    );
+    out.push_str(&dt.render());
+
     let json = format!(
         "{{\n  \"experiment\": \"serving\",\n  \"workload\": \"SP\",\n  \
          \"transport\": \"tcp-loopback\",\n  \"scale\": {},\n  \
@@ -1029,14 +1133,15 @@ pub fn serving(cfg: &ExpConfig) -> String {
          \"speedups_meaningful\": {},\n  \"requests_per_mode\": {SERVING_REQUESTS},\n  \
          \"top_k\": {k},\n  \"shard_counts\": {:?},\n  \
          \"client_counts\": {:?},\n  \"entries\": [\n{}\n  ],\n  \
-         \"concurrent\": [\n{}\n  ]\n}}\n",
+         \"concurrent\": [\n{}\n  ],\n  \"distributed\": [\n{}\n  ]\n}}\n",
         cfg.scale,
         cores < 2,
         cores >= 2,
         SERVING_SHARDS,
         SERVING_CLIENTS,
         json_entries.join(",\n"),
-        conc_entries.join(",\n")
+        conc_entries.join(",\n"),
+        dist_entries.join(",\n")
     );
     let path = match &cfg.serving_out {
         Some(p) => p.clone(),

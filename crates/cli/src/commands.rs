@@ -44,11 +44,20 @@ COMMANDS
              (print the resolved query plan without running it)
   compare    --p FILE --q FILE (--epsilon E | --kcp K | --knn K)
   bound      --np N --nq N  (result-size bounds)
-  serve      [--addr HOST:PORT | --port N] [--shards N]
+  serve      [--addr HOST:PORT | --port N] [--shards N] [--replicas N]
+             [--workers spawn|ADDR,ADDR,...] [--addr-file FILE]
              [--max-sessions N] [--queue-depth N]
              [--on-disk FILE] [--buffer-pages N]
              (long-lived sharded server; default 127.0.0.1:4815, 1 shard,
-              16 concurrent sessions, admission queue depth 32)
+              16 concurrent sessions, admission queue depth 32.
+              --workers promotes shard workers to remote processes:
+              `spawn` launches one child per shard x replica, an address
+              list connects to already-running --shard-of workers)
+  serve      --shard-of auto|X0,Y0,X1,Y1 [--addr HOST:PORT | --port N]
+             [--addr-file FILE] [--buffer-pages N]
+             (shard-worker mode: serve one coordinator's cell over the
+              shard wire grammar; `auto` accepts any cell. --addr-file
+              writes the bound address, for coordinators and scripts)
   client load      --name NAME --input FILE [--index rtree|quadtree]
   client join      --outer Q --inner P [--algo ..] [--out FILE] [--stats]
                    [--bounds X0,Y0,X1,Y1 --max-diameter D] [--pipeline N]
@@ -58,9 +67,11 @@ COMMANDS
   client explain   --outer Q [--inner P] [--algo ..] [--k K]
   client stats
   client shutdown
-             (every client operation takes [--addr HOST:PORT] and
-              [--timeout SECS] (default 30; 0 = wait forever);
-              --pipeline N sends N copies back to back on one
+             (every client operation takes [--addr HOST:PORT],
+              [--timeout SECS] (default 30; 0 = wait forever) and
+              [--retries N] (default 1 attempt; retries honor the
+              server's `ERR busy` retry_after_ms hint with jittered
+              backoff); --pipeline N sends N copies back to back on one
               connection and checks the replies agree byte for byte)
   help
 
@@ -308,14 +319,89 @@ fn report_remote_stats(out: &ringjoin_server::RemoteOutput) {
     );
 }
 
+/// Writes the bound address (plus a trailing newline, the
+/// "write complete" marker pollers wait for) where `--addr-file` asked.
+fn write_addr_file(args: &Args, addr: std::net::SocketAddr) -> Result<(), ArgError> {
+    if let Some(path) = args.opt("addr-file") {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| ArgError(format!("cannot write --addr-file {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// The `serve --shard-of ...` form: a shard-worker process serving one
+/// coordinator over the shard wire grammar.
+fn cmd_serve_worker(args: &Args, spec: &str) -> Result<Option<String>, ArgError> {
+    for coordinator_only in [
+        "shards",
+        "replicas",
+        "workers",
+        "max-sessions",
+        "queue-depth",
+    ] {
+        if args.opt(coordinator_only).is_some() {
+            return Err(ArgError(format!(
+                "--{coordinator_only} is a coordinator option; a --shard-of worker serves whatever cell its coordinator assigns"
+            )));
+        }
+    }
+    let accepts = match spec {
+        "auto" => None,
+        rect => Some(
+            ringjoin_server::proto::parse_rect(rect)
+                .map_err(|e| ArgError(format!("invalid --shard-of cell: {e}")))?,
+        ),
+    };
+    let buffer_pages: usize = args.opt_parse("buffer-pages", 0)?;
+    let addr = match args.opt("addr") {
+        Some(a) => a.to_string(),
+        None => format!("127.0.0.1:{}", args.opt_parse::<u16>("port", 4815)?),
+    };
+    let server = ringjoin_server::ShardWorkerServer::bind(&addr, accepts, buffer_pages)
+        .map_err(server_err)?;
+    write_addr_file(args, server.local_addr())?;
+    eprintln!(
+        "ringjoin-worker listening on {} (accepts {})",
+        server.local_addr(),
+        accepts.map_or("any cell".to_string(), |r| format!(
+            "{},{},{},{}",
+            r.min.x, r.min.y, r.max.x, r.max.y
+        ))
+    );
+    server
+        .serve()
+        .map_err(|e| ArgError(format!("worker serve failed: {e}")))?;
+    Ok(Some("worker stopped".into()))
+}
+
 /// The `serve` command: bind, announce, and block until SHUTDOWN.
 fn cmd_serve(args: &Args) -> Result<Option<String>, ArgError> {
+    if let Some(spec) = args.opt("shard-of") {
+        return cmd_serve_worker(args, spec);
+    }
     let shards: usize = args.opt_parse("shards", 1)?;
     if shards == 0 {
         return Err(ArgError(
             "--shards must be at least 1 (got 0); omit the flag for a single shard".into(),
         ));
     }
+    let replicas: usize = args.opt_parse("replicas", 1)?;
+    if replicas == 0 {
+        return Err(ArgError(
+            "--replicas must be at least 1 (got 0); omit the flag for a single replica".into(),
+        ));
+    }
+    let workers = match args.opt("workers") {
+        None => ringjoin_server::WorkerSpec::Local,
+        Some("spawn") => ringjoin_server::WorkerSpec::Spawn {
+            program: std::env::current_exe().map_err(|e| {
+                ArgError(format!("cannot locate own binary for --workers spawn: {e}"))
+            })?,
+        },
+        Some(list) => {
+            ringjoin_server::WorkerSpec::Remote(list.split(',').map(str::to_string).collect())
+        }
+    };
     let max_sessions: usize = args.opt_parse("max-sessions", 16)?;
     if max_sessions == 0 {
         return Err(ArgError(
@@ -341,9 +427,19 @@ fn cmd_serve(args: &Args) -> Result<Option<String>, ArgError> {
         ),
         None => String::new(),
     };
+    let worker_note = match (&workers, replicas) {
+        (ringjoin_server::WorkerSpec::Local, 1) => String::new(),
+        (ringjoin_server::WorkerSpec::Local, r) => format!(" x {r} replica(s)"),
+        (ringjoin_server::WorkerSpec::Spawn { .. }, r) => {
+            format!(" x {r} replica(s), spawned worker processes")
+        }
+        (_, r) => format!(" x {r} replica(s), remote workers"),
+    };
     let server = Server::bind(&ServerConfig {
         addr,
         shards,
+        replicas,
+        workers,
         max_sessions,
         queue_depth,
         on_disk,
@@ -351,14 +447,32 @@ fn cmd_serve(args: &Args) -> Result<Option<String>, ArgError> {
         ..ServerConfig::default()
     })
     .map_err(server_err)?;
+    write_addr_file(args, server.local_addr())?;
     eprintln!(
-        "ringjoin-server listening on {} with {shards} shard(s), {max_sessions} session(s), queue depth {queue_depth}{residency}",
+        "ringjoin-server listening on {} with {shards} shard(s){worker_note}, {max_sessions} session(s), queue depth {queue_depth}{residency}",
         server.local_addr()
     );
     server
         .serve()
         .map_err(|e| ArgError(format!("serve failed: {e}")))?;
     Ok(Some("server stopped".into()))
+}
+
+/// One request through the retry budget: `--retries N` (default 1 =
+/// no retry) bounds the attempts [`Client::request_with_retry`] spends
+/// honoring `ERR busy` hints.
+fn client_request(
+    client: &mut Client,
+    args: &Args,
+    req: &ringjoin_server::proto::Request,
+) -> Result<ringjoin_server::proto::Reply, ArgError> {
+    let retries: u32 = args.opt_parse("retries", 1)?;
+    if retries == 0 {
+        return Err(ArgError(
+            "--retries must be at least 1 (got 0); omit the flag for a single attempt".into(),
+        ));
+    }
+    client.request_with_retry(req, retries).map_err(server_err)
 }
 
 /// Runs a join-shaped request once, or `--pipeline N` times back to
@@ -374,6 +488,10 @@ fn run_join_shaped(
         return Err(ArgError(
             "--pipeline must be at least 1 (got 0); omit the flag for a single request".into(),
         ));
+    }
+    if n == 1 {
+        let reply = client_request(client, args, &req)?;
+        return Client::decode_output(&reply).map_err(server_err);
     }
     let batch = vec![req; n];
     let replies = client.pipeline(&batch).map_err(server_err)?;
@@ -408,7 +526,12 @@ fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
             let items = load_items(args.req("input")?)?;
             let kind = parse_index(args.opt("index"))?;
             let n = items.len();
-            let reply = client.load(name, kind, &items).map_err(server_err)?;
+            let req = ringjoin_server::proto::Request::Load {
+                name: name.to_string(),
+                kind,
+                items: items.clone(),
+            };
+            let reply = client_request(&mut client, args, &req)?;
             let shards = reply.field("shards").unwrap_or("?").to_string();
             Ok(Some(format!(
                 "loaded {n} points as {name:?} ({}) on {shards} shard(s)",

@@ -29,6 +29,10 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 /// [`ServerError::Busy`], hangs as [`ServerError::Timeout`]).
 pub struct Client {
     stream: TcpStream,
+    /// Peer address captured at connect time — a shed session's socket
+    /// is already disconnected by the time a retry needs to know where
+    /// to reconnect.
+    peer: std::net::SocketAddr,
     next_id: u64,
 }
 
@@ -80,7 +84,14 @@ impl Client {
         let stream = TcpStream::connect(addr)
             .map_err(|e| ServerError::Io(format!("cannot connect: {e}")))?;
         stream.set_nodelay(true).ok();
-        let mut client = Client { stream, next_id: 1 };
+        let peer = stream
+            .peer_addr()
+            .map_err(|e| ServerError::Io(format!("connected socket has no peer: {e}")))?;
+        let mut client = Client {
+            stream,
+            peer,
+            next_id: 1,
+        };
         client.set_timeout(timeout)?;
         Ok(client)
     }
@@ -146,6 +157,63 @@ impl Client {
         Ok(reply)
     }
 
+    /// [`Client::request`] with bounded, hint-honoring retries on
+    /// overload. A server that sheds a request from its *admission
+    /// queue* answers `ERR busy retry_after_ms=<ms>` and keeps the
+    /// connection open, so the retry reuses it; a server over its
+    /// *session* limit closes the connection after the same verdict, in
+    /// which case the retry reconnects to the peer address first. Each
+    /// attempt sleeps the server's hint plus a small deterministic
+    /// jitter (derived from the request id and attempt number — no RNG
+    /// dependency) so a herd of shed clients does not return in
+    /// lockstep. Every other error, including `Timeout`, passes
+    /// through untouched: only explicit shed verdicts are retried.
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        max_attempts: u32,
+    ) -> Result<Reply, ServerError> {
+        let mut attempt = 0u32;
+        let mut shed = false;
+        loop {
+            attempt += 1;
+            let before = self.next_id;
+            match self.request(req) {
+                Err(ServerError::Busy { retry_after_ms }) if attempt < max_attempts => {
+                    shed = true;
+                    let jitter = (before.wrapping_mul(31).wrapping_add(attempt as u64 * 17)) % 23;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms + jitter));
+                }
+                // A session-limit shed closes the connection right
+                // after its busy verdict, so the follow-up attempt
+                // lands on a dead socket. Revive the connection (this
+                // charges the attempt) and go again; an admission-shed
+                // retry never takes this branch because that
+                // connection stays open.
+                Err(ServerError::Io(_)) if shed && attempt < max_attempts => {
+                    self.reconnect()?;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// Replaces the connection with a fresh one to the same peer,
+    /// preserving the socket deadlines (and the id counter — reply
+    /// matching keeps working across the swap).
+    fn reconnect(&mut self) -> Result<(), ServerError> {
+        let fresh = TcpStream::connect(self.peer)
+            .map_err(|e| ServerError::Io(format!("cannot reconnect: {e}")))?;
+        fresh.set_nodelay(true).ok();
+        let timeout = self.stream.read_timeout().ok().flatten();
+        fresh
+            .set_read_timeout(timeout)
+            .and_then(|()| fresh.set_write_timeout(timeout))
+            .map_err(|e| ServerError::Io(format!("cannot set socket timeout: {e}")))?;
+        self.stream = fresh;
+        Ok(())
+    }
+
     /// Pipelines `reqs`: all requests are written before any reply is
     /// read, then the in-order replies are matched to their request ids.
     /// The first server-side `ERR` aborts with that request's error
@@ -203,7 +271,7 @@ impl Client {
         let stats = RcjStats {
             candidate_pairs: field_u64(reply, "candidates"),
             result_pairs: field_u64(reply, "result_pairs"),
-            filter_heap_pops: 0,
+            filter_heap_pops: field_u64(reply, "heap_pops"),
             filter_node_reads: field_u64(reply, "filter_node_reads"),
             verify_node_visits: field_u64(reply, "verify_node_visits"),
         };

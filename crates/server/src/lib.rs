@@ -59,13 +59,18 @@ mod client;
 mod partition;
 mod plan_cache;
 pub mod proto;
+mod remote;
 mod server;
 mod sharded;
+mod topology;
 
 pub use client::{Client, RemoteOutput, DEFAULT_TIMEOUT};
 pub use partition::SpacePartition;
+pub use remote::{ShardWorkerServer, WorkerHandle};
 pub use server::{Server, ServerConfig};
-pub use sharded::{DatasetInfo, RingBounds, ShardedEngine, ShardedOutput};
+pub use sharded::{
+    DatasetInfo, RingBounds, ShardedEngine, ShardedOutput, TopologyConfig, WorkerSpec,
+};
 
 use std::fmt;
 

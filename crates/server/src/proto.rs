@@ -17,7 +17,35 @@
 //! | `[#<id>] TOPK <outer> <inner> <k>` | — | pair rows |
 //! | `[#<id>] EXPLAIN <outer> [<inner>] [algo=..] [k=K]` | — | plan text |
 //! | `[#<id>] STATS` | — | catalog text |
+//! | `[#<id>] HELLO` | — | — (role handshake) |
 //! | `[#<id>] SHUTDOWN` | — | — |
+//!
+//! # Shard-worker grammar
+//!
+//! A **shard worker** (`ringjoin serve --shard-of ...`) speaks the same
+//! frame format but a different command set — the process form of the
+//! in-process [`ShardedEngine`](crate::ShardedEngine) worker messages,
+//! parsed as [`ShardRequest`]:
+//!
+//! | request | body | response |
+//! |---|---|---|
+//! | `HELLO` | — | `OK role=shard accepts=<rect\|any>` |
+//! | `SLOAD <name> <kind> cell=<rect> [spill=<path> writer=<0\|1>]` | `id x y` rows | `OK leaves=.. extent=<rect> items=.. pages=.. leaf_pages=.. kind=..` |
+//! | `SJOIN <outer> [inner=<name>] [algo=..] [bounds=.. maxd=..]` | — | counters + tagged pair rows |
+//! | `STOPK <outer> <k> [inner=<name>]` | — | counters + pair rows |
+//! | `SEXPLAIN <outer> [inner=<name>] [algo=..] [k=K]` | — | plan text |
+//! | `SHUTDOWN` | — | — |
+//!
+//! The coordinator's merge keys are **global outer-leaf indices**, so
+//! `SJOIN` replies carry leaf-tagged rows (`leaf p_id p_x p_y q_id q_x
+//! q_y`) and the full [`RcjStats`] counter set — byte-identity of the
+//! sharded answer survives the process hop because nothing is lost or
+//! reordered on the wire. `HELLO` is the role handshake: a coordinator
+//! answers `role=coordinator`, a worker `role=shard`, so a topology
+//! misconfiguration (pointing `--workers` at another coordinator) fails
+//! fast instead of misbehaving. Rects travel as `x0,y0,x1,y1` in the
+//! same shortest-round-trip float form (`inf`/`-inf` included — the
+//! outermost partition cells are unbounded).
 //!
 //! # Request IDs
 //!
@@ -41,7 +69,7 @@
 
 use crate::sharded::RingBounds;
 use crate::ServerError;
-use ringjoin_core::{IndexKind, RcjAlgorithm, RcjPair};
+use ringjoin_core::{IndexKind, RcjAlgorithm, RcjPair, RcjStats};
 use ringjoin_geom::{pt, Item, Rect};
 use std::io::{Read, Write};
 
@@ -269,6 +297,9 @@ pub enum Request {
     },
     /// Server catalog and counters.
     Stats,
+    /// Role handshake: the server answers `role=coordinator` (a shard
+    /// worker answers `role=shard` to its own grammar's `HELLO`).
+    Hello,
     /// Stop the server after acknowledging.
     Shutdown,
 }
@@ -427,6 +458,7 @@ impl Request {
                 out
             }
             Request::Stats => "STATS".to_string(),
+            Request::Hello => "HELLO".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
         }
     }
@@ -516,6 +548,7 @@ impl Request {
                 })
             }
             "STATS" => Ok(Request::Stats),
+            "HELLO" => Ok(Request::Hello),
             "SHUTDOWN" => Ok(Request::Shutdown),
             other => Err(ServerError::BadRequest(format!(
                 "unknown command {other:?}"
@@ -585,6 +618,390 @@ pub fn parse_pairs(body: &str) -> Result<Vec<RcjPair>, ServerError> {
         ));
     }
     Ok(pairs)
+}
+
+/// Encodes a rectangle as `x0,y0,x1,y1` (shortest-round-trip floats;
+/// `inf`/`-inf` legal — partition cells reach to infinity, and
+/// [`Rect::empty`] round-trips as `inf,inf,-inf,-inf`).
+pub fn encode_rect(r: Rect) -> String {
+    format!("{},{},{},{}", r.min.x, r.min.y, r.max.x, r.max.y)
+}
+
+/// Parses a [`encode_rect`] rectangle (bit-exact round trip).
+pub fn parse_rect(s: &str) -> Result<Rect, ServerError> {
+    let nums: Vec<f64> = s
+        .split(',')
+        .map(|v| parse_num(v, "rect coordinate"))
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 4 {
+        return Err(ServerError::BadRequest(format!(
+            "rect needs exactly x0,y0,x1,y1, got {s:?}"
+        )));
+    }
+    // Construct the corners verbatim: `Rect::new` would normalize a
+    // min > max pair, silently turning the empty rect (`inf,inf,-inf,
+    // -inf`) into an everything-rect on the way in.
+    Ok(Rect {
+        min: pt(nums[0], nums[1]),
+        max: pt(nums[2], nums[3]),
+    })
+}
+
+/// Encodes leaf-tagged result pairs as wire rows (`leaf p_id p_x p_y
+/// q_id q_x q_y`): the shard-worker reply shape whose leading global
+/// outer-leaf index is the coordinator's deterministic merge key.
+pub fn encode_tagged_pairs(pairs: &[(usize, RcjPair)]) -> String {
+    let mut out = String::new();
+    for (leaf, pr) in pairs {
+        out.push_str(&format!(
+            "{} {} {} {} {} {} {}\n",
+            leaf, pr.p.id, pr.p.point.x, pr.p.point.y, pr.q.id, pr.q.point.x, pr.q.point.y
+        ));
+    }
+    out
+}
+
+/// Parses [`encode_tagged_pairs`] rows (bit-exact round trip).
+pub fn parse_tagged_pairs(body: &str) -> Result<Vec<(usize, RcjPair)>, ServerError> {
+    let mut pairs = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [leaf, pid, px, py, qid, qx, qy] = fields.as_slice() else {
+            return Err(ServerError::BadRequest(format!(
+                "expected 7-field tagged pair row, got {line:?}"
+            )));
+        };
+        pairs.push((
+            parse_num(leaf, "leaf index")?,
+            RcjPair::new(
+                Item::new(
+                    parse_num(pid, "p id")?,
+                    pt(parse_num(px, "p x")?, parse_num(py, "p y")?),
+                ),
+                Item::new(
+                    parse_num(qid, "q id")?,
+                    pt(parse_num(qx, "q x")?, parse_num(qy, "q y")?),
+                ),
+            ),
+        ));
+    }
+    Ok(pairs)
+}
+
+/// The full [`RcjStats`] counter set as status-line fields — shard
+/// replies must carry every counter so the coordinator's merged stats
+/// stay byte-identical to a local run.
+pub fn encode_stats_fields(stats: &RcjStats) -> [(&'static str, String); 5] {
+    [
+        ("candidates", stats.candidate_pairs.to_string()),
+        ("result_pairs", stats.result_pairs.to_string()),
+        ("heap_pops", stats.filter_heap_pops.to_string()),
+        ("filter_node_reads", stats.filter_node_reads.to_string()),
+        ("verify_node_visits", stats.verify_node_visits.to_string()),
+    ]
+}
+
+/// Reads the [`encode_stats_fields`] counters back off a reply (fields
+/// the peer did not send stay zero — version tolerance).
+pub fn stats_from_reply(reply: &Reply) -> RcjStats {
+    let f = |key: &str| -> u64 {
+        reply
+            .field(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+    };
+    RcjStats {
+        candidate_pairs: f("candidates"),
+        result_pairs: f("result_pairs"),
+        filter_heap_pops: f("heap_pops"),
+        filter_node_reads: f("filter_node_reads"),
+        verify_node_visits: f("verify_node_visits"),
+    }
+}
+
+/// A parsed shard-worker request — the wire form of the messages a
+/// coordinator sends its shard workers (see the module docs' worker
+/// grammar table). Carried over the same frame format as [`Request`]
+/// but parsed by worker processes only.
+#[derive(Clone, Debug)]
+pub enum ShardRequest {
+    /// Role handshake; a worker answers `role=shard`.
+    Hello,
+    /// Register (or replay) a dataset replica with this worker's owned
+    /// cell of the dataset's space partition. Re-loading a name this
+    /// worker already holds replaces it — that is what makes the
+    /// coordinator's replay log idempotent.
+    Load {
+        /// Dataset name (no whitespace).
+        name: String,
+        /// Index kind to build.
+        kind: IndexKind,
+        /// The half-open partition cell this worker owns for the
+        /// dataset (decides outer-leaf ownership).
+        cell: Rect,
+        /// Disk-native serving: the shared page file (a path visible to
+        /// the worker — loopback workers share the coordinator's
+        /// filesystem). No whitespace (paths are tokens on the wire).
+        spill: Option<String>,
+        /// Whether this worker materializes the page file (exactly one
+        /// writer per `LOAD`; replicas and replays attach).
+        writer: bool,
+        /// The full point set (the index is replicated; the cell
+        /// partitions the *work*).
+        items: Vec<Item>,
+    },
+    /// Leaf-driven join over the worker's owned outer leaves; the reply
+    /// carries leaf-tagged pairs plus full counters.
+    Join {
+        /// Outer dataset name.
+        outer: String,
+        /// Inner dataset (`None` = self-join).
+        inner: Option<String>,
+        /// Concrete algorithm (the coordinator resolves `Auto`).
+        algo: RcjAlgorithm,
+        /// Optional region-of-interest restriction.
+        bounds: Option<RingBounds>,
+    },
+    /// Diameter-ordered top-k restricted to the worker's cell.
+    TopK {
+        /// Outer dataset name.
+        outer: String,
+        /// Inner dataset (`None` = self-join).
+        inner: Option<String>,
+        /// How many pairs.
+        k: usize,
+    },
+    /// The plan this worker would run.
+    Explain {
+        /// Outer dataset name.
+        outer: String,
+        /// Inner dataset (`None` = self-join).
+        inner: Option<String>,
+        /// Algorithm (may be `Auto` for plan display).
+        algo: RcjAlgorithm,
+        /// Optional top-k bound.
+        k: Option<usize>,
+    },
+    /// Stop the worker after acknowledging.
+    Shutdown,
+}
+
+impl ShardRequest {
+    /// Encodes the shard request as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            ShardRequest::Hello => "HELLO".to_string(),
+            ShardRequest::Load {
+                name,
+                kind,
+                cell,
+                spill,
+                writer,
+                items,
+            } => {
+                let mut out = format!(
+                    "SLOAD {name} {} cell={}",
+                    kind_name(*kind),
+                    encode_rect(*cell)
+                );
+                if let Some(path) = spill {
+                    out.push_str(&format!(" spill={path} writer={}", u8::from(*writer)));
+                }
+                out.push('\n');
+                for it in items {
+                    out.push_str(&format!("{} {} {}\n", it.id, it.point.x, it.point.y));
+                }
+                out
+            }
+            ShardRequest::Join {
+                outer,
+                inner,
+                algo,
+                bounds,
+            } => {
+                let mut out = format!("SJOIN {outer}");
+                if let Some(inner) = inner {
+                    out.push_str(&format!(" inner={inner}"));
+                }
+                out.push_str(&format!(" algo={}", algo_name(*algo)));
+                encode_bounds(&mut out, bounds);
+                out
+            }
+            ShardRequest::TopK { outer, inner, k } => {
+                let mut out = format!("STOPK {outer} {k}");
+                if let Some(inner) = inner {
+                    out.push_str(&format!(" inner={inner}"));
+                }
+                out
+            }
+            ShardRequest::Explain {
+                outer,
+                inner,
+                algo,
+                k,
+            } => {
+                let mut out = format!("SEXPLAIN {outer}");
+                if let Some(inner) = inner {
+                    out.push_str(&format!(" inner={inner}"));
+                }
+                out.push_str(&format!(" algo={}", algo_name(*algo)));
+                if let Some(k) = k {
+                    out.push_str(&format!(" k={k}"));
+                }
+                out
+            }
+            ShardRequest::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+
+    /// Parses a frame payload into a shard request.
+    pub fn parse(payload: &str) -> Result<ShardRequest, ServerError> {
+        let (line, body) = match payload.split_once('\n') {
+            Some((line, body)) => (line, body),
+            None => (payload, ""),
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&cmd, args)) = tokens.split_first() else {
+            return Err(ServerError::BadRequest("empty shard request".into()));
+        };
+        match cmd {
+            "HELLO" => Ok(ShardRequest::Hello),
+            "SHUTDOWN" => Ok(ShardRequest::Shutdown),
+            "SLOAD" => {
+                let [name, kind, rest @ ..] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: SLOAD <name> <kind> cell=<rect> [spill=<path> writer=<0|1>]".into(),
+                    ));
+                };
+                validate_name(name)?;
+                let opts = parse_shard_options(rest)?;
+                let cell = opts.cell.ok_or_else(|| {
+                    ServerError::BadRequest("SLOAD requires a cell= rectangle".into())
+                })?;
+                Ok(ShardRequest::Load {
+                    name: name.to_string(),
+                    kind: parse_kind(kind)?,
+                    cell,
+                    spill: opts.spill,
+                    writer: opts.writer,
+                    items: parse_item_rows(body)?,
+                })
+            }
+            "SJOIN" => {
+                let [outer, rest @ ..] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: SJOIN <outer> [inner=<name>] [algo=..] [bounds=.. maxd=..]".into(),
+                    ));
+                };
+                let opts = parse_shard_options(rest)?;
+                let bounds = ring_bounds_shard(&opts)?;
+                Ok(ShardRequest::Join {
+                    outer: outer.to_string(),
+                    inner: opts.inner,
+                    algo: opts.algo,
+                    bounds,
+                })
+            }
+            "STOPK" => {
+                let [outer, k, rest @ ..] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: STOPK <outer> <k> [inner=<name>]".into(),
+                    ));
+                };
+                let opts = parse_shard_options(rest)?;
+                Ok(ShardRequest::TopK {
+                    outer: outer.to_string(),
+                    inner: opts.inner,
+                    k: parse_num(k, "k")?,
+                })
+            }
+            "SEXPLAIN" => {
+                let [outer, rest @ ..] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: SEXPLAIN <outer> [inner=<name>] [algo=..] [k=K]".into(),
+                    ));
+                };
+                let opts = parse_shard_options(rest)?;
+                Ok(ShardRequest::Explain {
+                    outer: outer.to_string(),
+                    inner: opts.inner,
+                    algo: opts.algo,
+                    k: opts.k,
+                })
+            }
+            other => Err(ServerError::BadRequest(format!(
+                "unknown shard command {other:?}"
+            ))),
+        }
+    }
+}
+
+/// `key=value` options of the shard-worker grammar (a superset of the
+/// client grammar's: `cell=`, `spill=`, `writer=`, `inner=` ride along
+/// with `algo=`/`bounds=`/`maxd=`/`k=`).
+struct ShardOptions {
+    algo: RcjAlgorithm,
+    bounds: Option<Rect>,
+    maxd: Option<f64>,
+    k: Option<usize>,
+    cell: Option<Rect>,
+    spill: Option<String>,
+    writer: bool,
+    inner: Option<String>,
+}
+
+fn parse_shard_options(tokens: &[&str]) -> Result<ShardOptions, ServerError> {
+    let mut opts = ShardOptions {
+        algo: RcjAlgorithm::Auto,
+        bounds: None,
+        maxd: None,
+        k: None,
+        cell: None,
+        spill: None,
+        writer: false,
+        inner: None,
+    };
+    for t in tokens {
+        let (key, value) = t.split_once('=').ok_or_else(|| {
+            ServerError::BadRequest(format!("expected key=value option, got {t:?}"))
+        })?;
+        match key {
+            "algo" => opts.algo = parse_algo(value)?,
+            "maxd" => opts.maxd = Some(parse_num(value, "maxd")?),
+            "k" => opts.k = Some(parse_num(value, "k")?),
+            "bounds" => opts.bounds = Some(parse_rect(value)?),
+            "cell" => opts.cell = Some(parse_rect(value)?),
+            "spill" => opts.spill = Some(value.to_string()),
+            "writer" => opts.writer = value == "1",
+            "inner" => {
+                validate_name(value)?;
+                opts.inner = Some(value.to_string());
+            }
+            other => {
+                return Err(ServerError::BadRequest(format!(
+                    "unknown shard option {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn ring_bounds_shard(opts: &ShardOptions) -> Result<Option<RingBounds>, ServerError> {
+    match (opts.bounds, opts.maxd) {
+        (None, None) => Ok(None),
+        (Some(bounds), Some(max_diameter)) => Ok(Some(RingBounds {
+            bounds,
+            max_diameter,
+        })),
+        _ => Err(ServerError::BadRequest(
+            "bounds= and maxd= must be given together".into(),
+        )),
+    }
 }
 
 /// A parsed server response: the `OK` status-line fields plus the body.
@@ -944,5 +1361,119 @@ mod tests {
         }
         assert!(Reply::parse("WAT 1").is_err());
         assert!(Reply::parse("OK pairs").is_err());
+    }
+
+    #[test]
+    fn rects_round_trip_including_degenerate_and_empty() {
+        for rect in [
+            Rect::new(pt(-1.5, 2.25), pt(3.75, 1e300)),
+            Rect::new(pt(0.1 + 0.2, -0.0), pt(0.1 + 0.2, -0.0)),
+            Rect::empty(),
+        ] {
+            let wire = encode_rect(rect);
+            let back = parse_rect(&wire).unwrap();
+            assert_eq!(encode_rect(back), wire, "rect drifted through the wire");
+        }
+        assert!(parse_rect("1,2,3").is_err(), "three coordinates");
+        assert!(parse_rect("1,2,3,x").is_err(), "non-numeric");
+        assert!(parse_rect("1,2,3,4,5").is_err(), "five coordinates");
+    }
+
+    #[test]
+    fn tagged_pair_rows_round_trip_with_their_leaf_indices() {
+        let tagged = vec![
+            (
+                0usize,
+                RcjPair::new(
+                    Item::new(1, pt(0.1 + 0.2, 1e-300)),
+                    Item::new(2, pt(-7.0, 8.5)),
+                ),
+            ),
+            (
+                41,
+                RcjPair::new(Item::new(3, pt(1.0, 2.0)), Item::new(4, pt(3.0, 4.0))),
+            ),
+        ];
+        let parsed = parse_tagged_pairs(&encode_tagged_pairs(&tagged)).unwrap();
+        assert_eq!(parsed, tagged);
+        assert!(parse_tagged_pairs("1 2 3 4 5 6\n").is_err(), "untagged row");
+        assert!(parse_tagged_pairs("x 1 2 3 4 5 6\n").is_err(), "bad leaf");
+    }
+
+    #[test]
+    fn stats_fields_survive_a_reply_round_trip() {
+        let stats = RcjStats {
+            candidate_pairs: 10,
+            result_pairs: 3,
+            filter_heap_pops: 77,
+            filter_node_reads: 5,
+            verify_node_visits: 9,
+        };
+        let fields: Vec<(&str, String)> = encode_stats_fields(&stats).into_iter().collect();
+        let reply = Reply::parse(&Reply::encode(&fields, "")).unwrap();
+        assert_eq!(stats_from_reply(&reply), stats);
+        // Absent fields default to zero rather than failing the reply.
+        let bare = Reply::parse(&Reply::encode(&[("candidates", "4".into())], "")).unwrap();
+        assert_eq!(stats_from_reply(&bare).candidate_pairs, 4);
+        assert_eq!(stats_from_reply(&bare).result_pairs, 0);
+    }
+
+    #[test]
+    fn shard_requests_round_trip_through_encode_parse() {
+        let cell = Rect::new(pt(-10.0, -10.0), pt(0.5, 7.25));
+        let reqs = vec![
+            ShardRequest::Hello,
+            ShardRequest::Shutdown,
+            ShardRequest::Load {
+                name: "pts".into(),
+                kind: IndexKind::Quadtree,
+                cell,
+                spill: Some("/tmp/spill.pages".into()),
+                writer: true,
+                items: vec![Item::new(9, pt(1.5, -2.5))],
+            },
+            ShardRequest::Load {
+                name: "q".into(),
+                kind: IndexKind::Rtree,
+                cell,
+                spill: None,
+                writer: false,
+                items: Vec::new(),
+            },
+            ShardRequest::Join {
+                outer: "a".into(),
+                inner: Some("b".into()),
+                algo: RcjAlgorithm::Bij,
+                bounds: Some(RingBounds {
+                    bounds: Rect::new(pt(0.0, 0.0), pt(50.0, 50.0)),
+                    max_diameter: 4.0,
+                }),
+            },
+            ShardRequest::Join {
+                outer: "a".into(),
+                inner: None,
+                algo: RcjAlgorithm::Auto,
+                bounds: None,
+            },
+            ShardRequest::TopK {
+                outer: "a".into(),
+                inner: Some("b".into()),
+                k: 12,
+            },
+            ShardRequest::Explain {
+                outer: "a".into(),
+                inner: None,
+                algo: RcjAlgorithm::Inj,
+                k: Some(3),
+            },
+        ];
+        for req in reqs {
+            let wire = req.encode();
+            let back = ShardRequest::parse(&wire).unwrap();
+            assert_eq!(back.encode(), wire, "shard request drifted: {wire:?}");
+        }
+        assert!(ShardRequest::parse("SLOAD x rtree").is_err(), "no cell");
+        assert!(ShardRequest::parse("SJOIN").is_err(), "no outer");
+        assert!(ShardRequest::parse("STOPK a notanum").is_err());
     }
 }

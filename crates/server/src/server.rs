@@ -67,6 +67,13 @@ pub struct ServerConfig {
     /// served dataset several times larger than this budget still
     /// joins, faulting pages through the pool.
     pub buffer_pages: usize,
+    /// Workers per shard cell (must be at least 1). Replicas answer
+    /// byte-identically; reads round-robin across them and fail over
+    /// when one is lost.
+    pub replicas: usize,
+    /// Where the shard workers live: in-process threads (the default),
+    /// pre-started worker processes, or children this server spawns.
+    pub workers: crate::sharded::WorkerSpec,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +86,8 @@ impl Default for ServerConfig {
             max_inflight: 0,
             on_disk: None,
             buffer_pages: 0,
+            replicas: 1,
+            workers: crate::sharded::WorkerSpec::Local,
         }
     }
 }
@@ -158,11 +167,14 @@ impl Server {
                 "max_sessions must be at least 1 (got 0)".into(),
             ));
         }
-        let engine = ShardedEngine::with_storage(
-            config.shards,
-            config.on_disk.clone(),
-            config.buffer_pages,
-        )?;
+        let engine = ShardedEngine::with_topology(crate::sharded::TopologyConfig {
+            shards: config.shards,
+            replicas: config.replicas,
+            workers: config.workers.clone(),
+            on_disk: config.on_disk.clone(),
+            buffer_pages: config.buffer_pages,
+            ..crate::sharded::TopologyConfig::default()
+        })?;
         let max_inflight = if config.max_inflight == 0 {
             config.shards
         } else {
@@ -287,7 +299,7 @@ fn handle_payload(payload: &str, shared: &Shared) -> Handled {
     // answerable on an overloaded server; everything else takes an
     // admission permit (released when the dispatch returns).
     let _permit = match req {
-        Request::Stats | Request::Shutdown => None,
+        Request::Hello | Request::Stats | Request::Shutdown => None,
         _ => match shared.admission.admit() {
             Ok(permit) => Some(permit),
             Err(_) => {
@@ -349,6 +361,18 @@ fn dispatch(req: Request, id: Option<u64>, shared: &Shared) -> Handled {
         } => engine
             .explain(&outer, inner.as_deref(), algo, k)
             .map(|text| (Reply::encode_ok(id, &[], &text), false)),
+        Request::Hello => Ok((
+            Reply::encode_ok(
+                id,
+                &[
+                    ("role", "coordinator".to_string()),
+                    ("shards", engine.shard_count().to_string()),
+                    ("replicas", engine.replicas().to_string()),
+                ],
+                "",
+            ),
+            false,
+        )),
         Request::Stats => Ok((stats_reply(id, shared), false)),
         Request::Shutdown => Ok((Reply::encode_ok(id, &[("bye", "1".to_string())], ""), true)),
     };
@@ -389,10 +413,28 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
     };
     let (admitted, rejected_busy) = shared.admission.stats();
     let (plan_hits, plan_misses) = engine.plan_cache_stats();
+    // Per-slot health rows (flat cell-major slot index, matching the
+    // topology's routing order) keep a degraded topology observable.
+    let health = engine.shard_health();
+    for (i, (state, requests)) in health.iter().enumerate() {
+        body.push_str(&format!(
+            "shard{i}_state={state} shard{i}_requests={requests}\n"
+        ));
+    }
     Reply::encode_ok(
         id,
         &[
             ("shards", engine.shard_count().to_string()),
+            ("replicas", engine.replicas().to_string()),
+            ("replays_total", engine.replays_total().to_string()),
+            (
+                "shards_up",
+                health
+                    .iter()
+                    .filter(|(state, _)| *state == "up")
+                    .count()
+                    .to_string(),
+            ),
             ("datasets", engine.dataset_names().len().to_string()),
             (
                 "sessions",
@@ -438,6 +480,7 @@ fn join_reply(id: Option<u64>, out: &ShardedOutput) -> String {
             ("shards_queried", out.shards_queried.to_string()),
             ("candidates", out.stats.candidate_pairs.to_string()),
             ("result_pairs", out.stats.result_pairs.to_string()),
+            ("heap_pops", out.stats.filter_heap_pops.to_string()),
             ("filter_node_reads", out.stats.filter_node_reads.to_string()),
             (
                 "verify_node_visits",

@@ -38,6 +38,11 @@
 
 use crate::partition::SpacePartition;
 use crate::plan_cache::{PlanCache, QueryShape};
+use crate::remote::{RemoteShard, SpawnedShard};
+use crate::topology::{
+    BackendFactory, ExplainCall, HealFn, JoinCall, LoadCall, LoadOutcome, RespawnPolicy,
+    ShardBackend, ShardFault, TopKCall, Topology,
+};
 use crate::ServerError;
 use ringjoin_core::planner::{DatasetSummary, JoinCostModel};
 use ringjoin_core::{Engine, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjPair, RcjStats};
@@ -46,8 +51,9 @@ use ringjoin_storage::BufferPool;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{RwLock, RwLockReadGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A region-of-interest restriction on a join: report only pairs whose
 /// ring (the pair's circle) intersects `bounds` and whose diameter is at
@@ -120,53 +126,53 @@ pub struct DatasetInfo {
 /// per `LOAD` is the writer (shard 0, which loads *first*); the others
 /// attach to the file it wrote. Replicas are built identically, so
 /// their page-id spaces coincide with the file's byte for byte.
-struct SpillSpec {
-    path: PathBuf,
-    writer: bool,
+pub(crate) struct SpillSpec {
+    pub(crate) path: PathBuf,
+    pub(crate) writer: bool,
 }
 
 /// What a shard returns for one load: (owned leaf count, union of owned
 /// leaf regions, catalog summary).
-type LoadReply = Result<(usize, Rect, DatasetSummary), String>;
+pub(crate) type LoadReply = Result<(usize, Rect, DatasetSummary), String>;
 
-struct LoadReq {
-    name: String,
-    kind: IndexKind,
-    items: Vec<Item>,
-    cell: Rect,
-    spill: Option<SpillSpec>,
-    reply: Sender<LoadReply>,
+pub(crate) struct LoadReq {
+    pub(crate) name: String,
+    pub(crate) kind: IndexKind,
+    pub(crate) items: Vec<Item>,
+    pub(crate) cell: Rect,
+    pub(crate) spill: Option<SpillSpec>,
+    pub(crate) reply: Sender<LoadReply>,
 }
 
 /// What a shard returns for one join request: leaf-tagged pairs plus
 /// its run counters.
-type ShardJoinReply = (Vec<(usize, RcjPair)>, RcjStats);
+pub(crate) type ShardJoinReply = (Vec<(usize, RcjPair)>, RcjStats);
 
-struct JoinReq {
-    outer: String,
+pub(crate) struct JoinReq {
+    pub(crate) outer: String,
     /// `None` = self-join of `outer`.
-    inner: Option<String>,
-    algo: RcjAlgorithm,
-    bounds: Option<RingBounds>,
-    reply: Sender<Result<ShardJoinReply, String>>,
+    pub(crate) inner: Option<String>,
+    pub(crate) algo: RcjAlgorithm,
+    pub(crate) bounds: Option<RingBounds>,
+    pub(crate) reply: Sender<Result<ShardJoinReply, String>>,
 }
 
-struct TopKReq {
-    outer: String,
-    inner: Option<String>,
-    k: usize,
-    reply: Sender<Result<(Vec<RcjPair>, RcjStats), String>>,
+pub(crate) struct TopKReq {
+    pub(crate) outer: String,
+    pub(crate) inner: Option<String>,
+    pub(crate) k: usize,
+    pub(crate) reply: Sender<Result<(Vec<RcjPair>, RcjStats), String>>,
 }
 
-struct ExplainReq {
-    outer: String,
-    inner: Option<String>,
-    algo: RcjAlgorithm,
-    top_k: Option<usize>,
-    reply: Sender<Result<String, String>>,
+pub(crate) struct ExplainReq {
+    pub(crate) outer: String,
+    pub(crate) inner: Option<String>,
+    pub(crate) algo: RcjAlgorithm,
+    pub(crate) top_k: Option<usize>,
+    pub(crate) reply: Sender<Result<String, String>>,
 }
 
-enum ShardMsg {
+pub(crate) enum ShardMsg {
     Load(LoadReq),
     Join(JoinReq),
     TopK(TopKReq),
@@ -349,13 +355,224 @@ impl ShardWorker {
 }
 
 // ---------------------------------------------------------------------
-// The sharded engine: router + catalog over the worker threads
+// Local backend: the worker thread behind the ShardBackend trait
 // ---------------------------------------------------------------------
 
-struct Shard {
+/// Spawns one shard worker thread accounting through `pool` and
+/// returns its mailbox. The engine is built *inside* the thread: its
+/// pager is single-threaded by design (`Rc`-shared) and never leaves
+/// the thread that owns it — workers only exchange plain-data
+/// messages. Shared by the in-process backend below and the
+/// [`remote`](crate::remote) worker server, which puts the same worker
+/// loop behind a TCP listener.
+pub(crate) fn spawn_worker(pool: BufferPool) -> (Sender<ShardMsg>, JoinHandle<()>) {
+    let (tx, rx) = channel();
+    let handle = std::thread::spawn(move || {
+        let worker = ShardWorker {
+            engine: Engine::new(),
+            datasets: BTreeMap::new(),
+            pool,
+        };
+        worker.run(rx);
+    });
+    (tx, handle)
+}
+
+/// The in-process [`ShardBackend`]: one worker thread reached over
+/// channels. A closed channel (the worker thread died) surfaces as
+/// [`ShardFault::Gone`], so even thread workers are respawned and
+/// replayed by the topology's supervisor.
+struct LocalShard {
     tx: Sender<ShardMsg>,
     handle: Option<JoinHandle<()>>,
 }
+
+impl LocalShard {
+    fn spawn(pool: BufferPool) -> LocalShard {
+        let (tx, handle) = spawn_worker(pool);
+        LocalShard {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// One message round-trip; channel loss on either leg is a
+    /// transport fault, a worker-reported error a request fault.
+    fn round_trip<T>(
+        &self,
+        msg: ShardMsg,
+        rx: Receiver<Result<T, String>>,
+    ) -> Result<T, ShardFault> {
+        self.tx
+            .send(msg)
+            .map_err(|_| ShardFault::Gone("worker thread hung up".into()))?;
+        rx.recv()
+            .map_err(|_| ShardFault::Gone("worker thread died mid-request".into()))?
+            .map_err(ShardFault::Request)
+    }
+
+    fn stop(&mut self) {
+        let _ = self.tx.send(ShardMsg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ShardBackend for LocalShard {
+    fn load(&mut self, call: &LoadCall) -> Result<LoadOutcome, ShardFault> {
+        let (reply, rx) = channel();
+        let msg = ShardMsg::Load(LoadReq {
+            name: call.name.clone(),
+            kind: call.kind,
+            items: call.items.as_ref().clone(),
+            cell: call.cell,
+            spill: call
+                .spill
+                .clone()
+                .map(|(path, writer)| SpillSpec { path, writer }),
+            reply,
+        });
+        self.round_trip(msg, rx)
+            .map(|(leaves, extent, summary)| LoadOutcome {
+                leaves,
+                extent,
+                summary,
+            })
+    }
+
+    fn join(&mut self, call: &JoinCall) -> Result<(Vec<(usize, RcjPair)>, RcjStats), ShardFault> {
+        let (reply, rx) = channel();
+        let msg = ShardMsg::Join(JoinReq {
+            outer: call.outer.clone(),
+            inner: call.inner.clone(),
+            algo: call.algo,
+            bounds: call.bounds,
+            reply,
+        });
+        self.round_trip(msg, rx)
+    }
+
+    fn top_k(&mut self, call: &TopKCall) -> Result<(Vec<RcjPair>, RcjStats), ShardFault> {
+        let (reply, rx) = channel();
+        let msg = ShardMsg::TopK(TopKReq {
+            outer: call.outer.clone(),
+            inner: call.inner.clone(),
+            k: call.k,
+            reply,
+        });
+        self.round_trip(msg, rx)
+    }
+
+    fn explain(&mut self, call: &ExplainCall) -> Result<String, ShardFault> {
+        let (reply, rx) = channel();
+        let msg = ShardMsg::Explain(ExplainReq {
+            outer: call.outer.clone(),
+            inner: call.inner.clone(),
+            algo: call.algo,
+            top_k: call.k,
+            reply,
+        });
+        self.round_trip(msg, rx)
+    }
+
+    fn shutdown(&mut self) {
+        self.stop();
+    }
+}
+
+impl Drop for LocalShard {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Topology configuration
+// ---------------------------------------------------------------------
+
+/// Where a topology's shard workers live.
+#[derive(Clone)]
+pub enum WorkerSpec {
+    /// In-process worker threads sharing the coordinator's buffer pool
+    /// (the PR-4 serving shape, and the default).
+    Local,
+    /// Pre-started worker processes at these `host:port` addresses, in
+    /// flat cell-major order — the list length must equal
+    /// `shards * replicas`.
+    Remote(Vec<String>),
+    /// Child worker processes the coordinator spawns (and respawns)
+    /// itself by running `<program> serve --shard-of auto` on loopback.
+    Spawn {
+        /// The worker binary — normally the serving binary itself.
+        program: PathBuf,
+    },
+    /// A callback that provisions (or re-provisions) the worker for
+    /// `(cell, replica)` and returns its address — the test hook for
+    /// in-process TCP workers, and the seam a cluster scheduler plugs
+    /// into.
+    Provision(Arc<dyn Fn(usize, usize) -> Result<String, String> + Send + Sync>),
+}
+
+impl std::fmt::Debug for WorkerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerSpec::Local => write!(f, "Local"),
+            WorkerSpec::Remote(addrs) => f.debug_tuple("Remote").field(addrs).finish(),
+            WorkerSpec::Spawn { program } => {
+                f.debug_struct("Spawn").field("program", program).finish()
+            }
+            WorkerSpec::Provision(_) => write!(f, "Provision(..)"),
+        }
+    }
+}
+
+/// Full construction knobs of a [`ShardedEngine`] topology.
+#[derive(Clone, Debug)]
+pub struct TopologyConfig {
+    /// Partition cells (the shard count; must be at least 1).
+    pub shards: usize,
+    /// Workers per cell (must be at least 1). Replicas answer
+    /// byte-identically, so reads round-robin across them and fail
+    /// over on loss.
+    pub replicas: usize,
+    /// Where the workers live.
+    pub workers: WorkerSpec,
+    /// Disk-native serving: the shared page file every `LOAD` spills
+    /// to. With remote workers this requires a shared filesystem (the
+    /// loopback deployments of the CLI and CI qualify).
+    pub on_disk: Option<PathBuf>,
+    /// Buffer-pool frame budget (`0` = effectively unbounded). Local
+    /// workers share the coordinator's pool; each worker process has
+    /// its own.
+    pub buffer_pages: usize,
+    /// Per-request socket deadline for remote workers.
+    pub request_timeout: Duration,
+    /// Supervisor respawn attempts per down event.
+    pub respawn_attempts: u32,
+    /// Base supervisor backoff between respawn attempts (doubled each
+    /// retry).
+    pub respawn_backoff: Duration,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            shards: 1,
+            replicas: 1,
+            workers: WorkerSpec::Local,
+            on_disk: None,
+            buffer_pages: 0,
+            request_timeout: Duration::from_secs(30),
+            respawn_attempts: 5,
+            respawn_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded engine: router + catalog over the topology
+// ---------------------------------------------------------------------
 
 struct CatalogEntry {
     kind: IndexKind,
@@ -376,11 +593,35 @@ struct CatalogEntry {
 
 type Catalog = BTreeMap<String, CatalogEntry>;
 
-/// A sharded RCJ session: `n` shard engines (one worker thread each)
-/// behind a per-dataset [`SpacePartition`], answering joins, self-joins
-/// and top-k queries with output byte-identical to a single
-/// [`Engine`]. See the module docs for the architecture and the
-/// determinism contract.
+/// One replayable `LOAD`: everything a respawned worker needs to
+/// rebuild its replica — the full item set (kept alive by the log;
+/// workers do not retain raw items after indexing) and every cell of
+/// the dataset's partition.
+struct LoadRecord {
+    name: String,
+    kind: IndexKind,
+    items: Arc<Vec<Item>>,
+    /// Per-cell partition rectangles (index = cell).
+    cells: Vec<Rect>,
+}
+
+/// The routing catalog and the LOAD replay log behind **one** lock.
+/// One lock, not two, is load-bearing: the heal function replays the
+/// log and flips its slot up under the read lock, and `load` appends
+/// and fans out under the write lock, so a healing slot can never
+/// land between "missed the fan-out" and "missed the log".
+#[derive(Default)]
+struct CatalogState {
+    catalog: Catalog,
+    log: Vec<LoadRecord>,
+}
+
+/// A sharded RCJ session: shard workers (in-process threads or worker
+/// processes, `replicas` of each) behind a per-dataset
+/// [`SpacePartition`], answering joins, self-joins and top-k queries
+/// with output byte-identical to a single [`Engine`]. See the module
+/// docs for the architecture and the determinism contract, and the
+/// `topology` module for routing, failover and self-healing.
 ///
 /// Every method takes `&self`, so one engine can serve **concurrent
 /// sessions** behind an `Arc`: queries hold the catalog's read lock
@@ -388,16 +629,18 @@ type Catalog = BTreeMap<String, CatalogEntry>;
 /// the write lock — a `LOAD` is serialized against every in-flight
 /// join and can never swap the catalog under one.
 pub struct ShardedEngine {
-    shards: Vec<Shard>,
-    catalog: RwLock<Catalog>,
+    topology: Topology,
+    state: Arc<RwLock<CatalogState>>,
     /// Resolved-algorithm cache keyed on (outer, inner, shape,
     /// requested algorithm); see the `plan_cache` module.
     plans: PlanCache,
-    /// The one buffer pool all shard workers account through (see
-    /// [`ShardedEngine::pool_stats`]).
+    /// The one buffer pool all *local* shard workers account through
+    /// (see [`ShardedEngine::pool_stats`]); worker processes run their
+    /// own.
     pool: BufferPool,
     /// Disk-native serving: the shared page file every `LOAD` spills to
-    /// (shard 0 writes it, replicas attach). `None` = resident serving.
+    /// (the first live worker writes it, everyone else attaches).
+    /// `None` = resident serving.
     on_disk: Option<PathBuf>,
 }
 
@@ -426,50 +669,150 @@ impl ShardedEngine {
         on_disk: Option<PathBuf>,
         buffer_pages: usize,
     ) -> Result<ShardedEngine, ServerError> {
-        if shards == 0 {
-            return Err(ServerError::InvalidShards);
-        }
-        let pool = BufferPool::new(if buffer_pages == 0 {
-            usize::MAX / 2
-        } else {
-            buffer_pages
-        });
-        let shards = (0..shards)
-            .map(|_| {
-                let (tx, rx) = channel();
-                let pool = pool.clone();
-                // The engine is built *inside* the worker thread: its
-                // pager is single-threaded by design (`Rc`-shared), and
-                // never leaves the thread that owns it — shards only
-                // ever exchange plain-data messages. The pool, by
-                // contrast, is `Send + Sync` and deliberately crosses
-                // into every worker.
-                let handle = std::thread::spawn(move || {
-                    let worker = ShardWorker {
-                        engine: Engine::new(),
-                        datasets: BTreeMap::new(),
-                        pool,
-                    };
-                    worker.run(rx);
-                });
-                Shard {
-                    tx,
-                    handle: Some(handle),
-                }
-            })
-            .collect();
-        Ok(ShardedEngine {
+        Self::with_topology(TopologyConfig {
             shards,
-            catalog: RwLock::new(BTreeMap::new()),
-            plans: PlanCache::new(),
-            pool,
             on_disk,
+            buffer_pages,
+            ..TopologyConfig::default()
         })
     }
 
-    /// Number of shards.
+    /// The fully general constructor: every knob of the topology —
+    /// worker placement, replicas per cell, storage residency, request
+    /// deadlines and the respawn policy. [`ShardedEngine::new`] and
+    /// [`ShardedEngine::with_storage`] are thin wrappers over this.
+    pub fn with_topology(cfg: TopologyConfig) -> Result<ShardedEngine, ServerError> {
+        if cfg.shards == 0 || cfg.replicas == 0 {
+            return Err(ServerError::InvalidShards);
+        }
+        let pool = BufferPool::new(if cfg.buffer_pages == 0 {
+            usize::MAX / 2
+        } else {
+            cfg.buffer_pages
+        });
+        let state: Arc<RwLock<CatalogState>> = Arc::new(RwLock::new(CatalogState::default()));
+        let factory: BackendFactory = match &cfg.workers {
+            WorkerSpec::Local => {
+                let pool = pool.clone();
+                Arc::new(move |_cell, _rep| {
+                    Ok(Box::new(LocalShard::spawn(pool.clone())) as Box<dyn ShardBackend>)
+                })
+            }
+            WorkerSpec::Remote(addrs) => {
+                if addrs.len() != cfg.shards * cfg.replicas {
+                    return Err(ServerError::BadRequest(format!(
+                        "worker list has {} address(es), need shards x replicas = {}",
+                        addrs.len(),
+                        cfg.shards * cfg.replicas
+                    )));
+                }
+                let addrs = addrs.clone();
+                let replicas = cfg.replicas;
+                let timeout = cfg.request_timeout;
+                Arc::new(move |cell, rep| {
+                    RemoteShard::connect(&addrs[cell * replicas + rep], timeout)
+                        .map(|b| Box::new(b) as Box<dyn ShardBackend>)
+                })
+            }
+            WorkerSpec::Spawn { program } => {
+                let program = program.clone();
+                let timeout = cfg.request_timeout;
+                Arc::new(move |_cell, _rep| {
+                    SpawnedShard::launch(&program, timeout)
+                        .map(|b| Box::new(b) as Box<dyn ShardBackend>)
+                })
+            }
+            WorkerSpec::Provision(provision) => {
+                let provision = Arc::clone(provision);
+                let timeout = cfg.request_timeout;
+                Arc::new(move |cell, rep| {
+                    let addr = provision(cell, rep)?;
+                    RemoteShard::connect(&addr, timeout)
+                        .map(|b| Box::new(b) as Box<dyn ShardBackend>)
+                })
+            }
+        };
+        let heal: HealFn = {
+            let state = Arc::clone(&state);
+            let on_disk = cfg.on_disk.clone();
+            Arc::new(move |cell, mut backend, slot| {
+                // Catalog READ lock: excludes a concurrent LOAD's write
+                // lock, so the replay plus the up flip are atomic with
+                // respect to new datasets (see the topology module
+                // docs for the race this closes).
+                let st = state.read().expect("catalog lock poisoned");
+                let mut replayed = 0u64;
+                for rec in &st.log {
+                    backend
+                        .load(&LoadCall {
+                            name: rec.name.clone(),
+                            kind: rec.kind,
+                            items: Arc::clone(&rec.items),
+                            cell: rec.cells[cell],
+                            // The page file already exists: attach.
+                            spill: on_disk.clone().map(|path| (path, false)),
+                        })
+                        .map_err(ShardFault::message)?;
+                    replayed += 1;
+                }
+                slot.install(backend);
+                Ok(replayed)
+            })
+        };
+        let topology = Topology::new(
+            cfg.shards,
+            cfg.replicas,
+            factory,
+            heal,
+            RespawnPolicy {
+                attempts: cfg.respawn_attempts,
+                backoff: cfg.respawn_backoff,
+            },
+        )?;
+        Ok(ShardedEngine {
+            topology,
+            state,
+            plans: PlanCache::new(),
+            pool,
+            on_disk: cfg.on_disk,
+        })
+    }
+
+    /// Number of shards (partition cells).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.topology.cells()
+    }
+
+    /// Workers per cell.
+    pub fn replicas(&self) -> usize {
+        self.topology.replicas()
+    }
+
+    /// Per-slot `(state, lifetime requests)` in flat cell-major slot
+    /// order (slot `cell * replicas + rep`) — what `STATS` reports as
+    /// `shard<i>_state` / `shard<i>_requests`.
+    pub fn shard_health(&self) -> Vec<(&'static str, u64)> {
+        self.topology.health()
+    }
+
+    /// Lifetime count of datasets replayed into respawned workers.
+    pub fn replays_total(&self) -> u64 {
+        self.topology.replays_total()
+    }
+
+    /// Polls until every worker slot is up, or `timeout` lapses.
+    /// Returns whether full health was reached — the test and CI hook
+    /// for "the supervisor has finished healing".
+    pub fn wait_healthy(&self, timeout: Duration) -> bool {
+        self.topology.wait_healthy(timeout)
+    }
+
+    /// Each worker slot's OS process id in flat cell-major slot order
+    /// (`None` for in-process workers and down slots) — the
+    /// fault-injection hook: tests SIGKILL a real worker pid and watch
+    /// the topology heal.
+    pub fn worker_pids(&self) -> Vec<Option<u32>> {
+        self.topology.pids()
     }
 
     /// Lifetime counters of the pool shared by every shard worker:
@@ -492,18 +835,18 @@ impl ShardedEngine {
         self.plans.stats()
     }
 
-    fn read_catalog(&self) -> RwLockReadGuard<'_, Catalog> {
-        self.catalog.read().expect("catalog lock poisoned")
+    fn read_state(&self) -> RwLockReadGuard<'_, CatalogState> {
+        self.state.read().expect("catalog lock poisoned")
     }
 
     /// Names of all loaded datasets (sorted).
     pub fn dataset_names(&self) -> Vec<String> {
-        self.read_catalog().keys().cloned().collect()
+        self.read_state().catalog.keys().cloned().collect()
     }
 
     /// Catalog description of one loaded dataset.
     pub fn dataset(&self, name: &str) -> Option<DatasetInfo> {
-        self.read_catalog().get(name).map(|e| DatasetInfo {
+        self.read_state().catalog.get(name).map(|e| DatasetInfo {
             name: name.to_string(),
             kind: e.kind,
             items: e.items,
@@ -529,83 +872,120 @@ impl ShardedEngine {
         items: Vec<Item>,
         kind: IndexKind,
     ) -> Result<DatasetInfo, ServerError> {
-        let mut catalog = self.catalog.write().expect("catalog lock poisoned");
-        if catalog.contains_key(name) {
+        let mut st = self.state.write().expect("catalog lock poisoned");
+        if st.catalog.contains_key(name) {
             return Err(ServerError::DuplicateDataset(name.to_string()));
         }
-        let n = self.shards.len();
+        let cells_n = self.topology.cells();
+        let replicas = self.topology.replicas();
+        let total = cells_n * replicas;
         let points: Vec<_> = items.iter().map(|it| it.point).collect();
-        let partition = SpacePartition::build(&points, n);
-        let mut item_counts = vec![0u64; n];
+        let partition = SpacePartition::build(&points, cells_n);
+        let mut item_counts = vec![0u64; cells_n];
         for p in &points {
             item_counts[partition.locate(*p)] += 1;
         }
-        let send_load =
-            |i: usize, spill: Option<SpillSpec>| -> Result<Receiver<LoadReply>, ServerError> {
-                let (reply, rx) = channel();
-                self.shards[i]
-                    .tx
-                    .send(ShardMsg::Load(LoadReq {
-                        name: name.to_string(),
-                        kind,
-                        items: items.clone(),
-                        cell: partition.cell(i),
-                        spill,
-                        reply,
-                    }))
-                    .map_err(|_| ServerError::ShardGone(i))?;
-                Ok(rx)
-            };
-        let recv_load = |i: usize, rx: Receiver<LoadReply>| {
-            rx.recv()
-                .map_err(|_| ServerError::ShardGone(i))?
-                .map_err(ServerError::Internal)
+        let cells: Vec<Rect> = (0..cells_n).map(|i| partition.cell(i)).collect();
+        let items = Arc::new(items);
+        // The record enters the log BEFORE the fan-out (and is popped
+        // on failure): a slot healing concurrently cannot flip up while
+        // we hold the write lock, so it replays a log that already
+        // includes this load — down replicas catch up through replay.
+        st.log.push(LoadRecord {
+            name: name.to_string(),
+            kind,
+            items: Arc::clone(&items),
+            cells: cells.clone(),
+        });
+        let call = |cell: usize, writer: bool| LoadCall {
+            name: name.to_string(),
+            kind,
+            items: Arc::clone(&items),
+            cell: cells[cell],
+            spill: self.on_disk.clone().map(|path| (path, writer)),
         };
-        let mut results = Vec::with_capacity(n);
-        match &self.on_disk {
-            // Disk-native: shard 0 loads *first* and writes the shared
-            // page file; only once it replies do the replicas load and
-            // attach — they must never open a file that is still being
-            // materialized. Replica construction still runs concurrently.
-            Some(path) => {
-                let spec = |writer| {
-                    Some(SpillSpec {
-                        path: path.clone(),
-                        writer,
+        // Per-cell successful outcomes (identical across a cell's
+        // replicas — every replica builds the same index).
+        let mut successes: Vec<Vec<LoadOutcome>> = (0..cells_n).map(|_| Vec::new()).collect();
+        let mut hard_err: Option<String> = None;
+        let mut writer_slot = None;
+        if self.on_disk.is_some() {
+            // Disk-native: the first live slot (cell-major) loads
+            // synchronously as the writer and materializes the shared
+            // page file; everyone else attaches afterwards — never to
+            // a file that is still being written.
+            for idx in 0..total {
+                match self.topology.load_slot(idx, &call(idx / replicas, true)) {
+                    Some(Ok(out)) => {
+                        successes[idx / replicas].push(out);
+                        writer_slot = Some(idx);
+                        break;
+                    }
+                    Some(Err(msg)) => {
+                        hard_err = Some(msg);
+                        break;
+                    }
+                    None => continue,
+                }
+            }
+            if writer_slot.is_none() && hard_err.is_none() {
+                st.log.pop();
+                return Err(ServerError::ShardGone(0));
+            }
+        }
+        if hard_err.is_none() {
+            // Fan out to every remaining slot concurrently (attach
+            // loads in disk mode — the writer above already ran).
+            let topo = &self.topology;
+            let calls: Vec<Option<LoadCall>> = (0..total)
+                .map(|idx| (Some(idx) != writer_slot).then(|| call(idx / replicas, false)))
+                .collect();
+            let outcomes: Vec<Option<Result<LoadOutcome, String>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = calls
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, c)| {
+                        s.spawn(move || c.as_ref().and_then(|c| topo.load_slot(idx, c)))
                     })
-                };
-                let rx = send_load(0, spec(true))?;
-                results.push(recv_load(0, rx)?);
-                let mut replies = Vec::with_capacity(n - 1);
-                for i in 1..n {
-                    replies.push(send_load(i, spec(false))?);
-                }
-                for (i, rx) in replies.into_iter().enumerate() {
-                    results.push(recv_load(i + 1, rx)?);
-                }
-            }
-            // Resident: fan the load out, then collect — index
-            // construction runs on all shards concurrently.
-            None => {
-                let mut replies = Vec::with_capacity(n);
-                for i in 0..n {
-                    replies.push(send_load(i, None)?);
-                }
-                for (i, rx) in replies.into_iter().enumerate() {
-                    results.push(recv_load(i, rx)?);
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("load fan-out thread panicked"))
+                    .collect()
+            });
+            for (idx, out) in outcomes.into_iter().enumerate() {
+                match out {
+                    Some(Ok(out)) => successes[idx / replicas].push(out),
+                    Some(Err(msg)) => {
+                        hard_err = Some(msg);
+                        break;
+                    }
+                    // Not up (or died mid-load): the supervisor's
+                    // replay delivers this very record later.
+                    None => {}
                 }
             }
         }
-        let mut leaves = Vec::with_capacity(n);
-        let mut extents = Vec::with_capacity(n);
+        if let Some(msg) = hard_err {
+            st.log.pop();
+            return Err(ServerError::Internal(msg));
+        }
+        // Every cell needs at least one live replica holding the data;
+        // a fully dark cell cannot answer queries, so the LOAD fails.
+        if let Some(cell) = successes.iter().position(|s| s.is_empty()) {
+            st.log.pop();
+            return Err(ServerError::ShardGone(cell));
+        }
+        let mut leaves = Vec::with_capacity(cells_n);
+        let mut extents = Vec::with_capacity(cells_n);
         let mut summary = None;
-        for (count, extent, shard_summary) in results {
-            leaves.push(count);
-            extents.push(extent);
-            summary = Some(shard_summary);
+        for outcomes in &successes {
+            leaves.push(outcomes[0].leaves);
+            extents.push(outcomes[0].extent);
+            summary = Some(outcomes[0].summary);
         }
-        let summary = summary.expect("at least one shard replied");
-        catalog.insert(
+        let summary = summary.expect("at least one cell");
+        st.catalog.insert(
             name.to_string(),
             CatalogEntry {
                 kind,
@@ -667,9 +1047,9 @@ impl ShardedEngine {
         algo: RcjAlgorithm,
         bounds: Option<RingBounds>,
     ) -> Result<ShardedOutput, ServerError> {
-        let catalog = self.read_catalog();
-        Self::require(&catalog, inner)?;
-        self.join_locked(&catalog, outer, Some(inner), algo, bounds)
+        let st = self.read_state();
+        Self::require(&st.catalog, inner)?;
+        self.join_locked(&st.catalog, outer, Some(inner), algo, bounds)
     }
 
     /// Sharded self-join; see [`ShardedEngine::join`].
@@ -679,13 +1059,39 @@ impl ShardedEngine {
         algo: RcjAlgorithm,
         bounds: Option<RingBounds>,
     ) -> Result<ShardedOutput, ServerError> {
-        let catalog = self.read_catalog();
-        self.join_locked(&catalog, dataset, None, algo, bounds)
+        let st = self.read_state();
+        self.join_locked(&st.catalog, dataset, None, algo, bounds)
+    }
+
+    /// Runs `op` for every participating cell — concurrently when more
+    /// than one participates — and returns the results in cell order
+    /// (which downstream merges rely on for byte-identity).
+    fn fan_out<T: Send>(
+        &self,
+        cells: &[usize],
+        op: impl Fn(usize) -> Result<T, ServerError> + Sync,
+    ) -> Result<Vec<T>, ServerError> {
+        match cells {
+            [] => Ok(Vec::new()),
+            [cell] => Ok(vec![op(*cell)?]),
+            _ => std::thread::scope(|s| {
+                let op = &op;
+                let handles: Vec<_> = cells
+                    .iter()
+                    .map(|&cell| s.spawn(move || op(cell)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query fan-out thread panicked"))
+                    .collect()
+            }),
+        }
     }
 
     /// The shared join fan-out, run under the catalog's read lock (held
     /// by the caller through `catalog`): routing, the cache-resolved
-    /// algorithm, the worker round-trips and the deterministic merge.
+    /// algorithm, the replica round-trips (with failover — see the
+    /// topology module) and the deterministic merge.
     fn join_locked(
         &self,
         catalog: &Catalog,
@@ -699,43 +1105,33 @@ impl ShardedEngine {
             validate_bounds(rb)?;
         }
         let algo = self.resolve_algo(outer, inner, algo, entry.summary);
-        // Route: shards owning no leaf of the outer dataset can never
-        // contribute; with bounds, neither can shards whose extent
+        // Route: cells owning no leaf of the outer dataset can never
+        // contribute; with bounds, neither can cells whose extent
         // misses the ring-expanded bounds.
-        let participating: Vec<usize> = (0..self.shards.len())
+        let participating: Vec<usize> = (0..self.topology.cells())
             .filter(|&i| entry.leaves[i] > 0)
             .filter(|&i| match &bounds {
                 None => true,
                 Some(rb) => entry.extents[i].intersects(rb.inflated()),
             })
             .collect();
-        let mut replies = Vec::new();
-        for &i in &participating {
-            let (reply, rx) = channel();
-            self.shards[i]
-                .tx
-                .send(ShardMsg::Join(JoinReq {
-                    outer: outer.to_string(),
-                    inner: inner.map(str::to_string),
-                    algo,
-                    bounds,
-                    reply,
-                }))
-                .map_err(|_| ServerError::ShardGone(i))?;
-            replies.push((i, rx));
-        }
+        let req = JoinCall {
+            outer: outer.to_string(),
+            inner: inner.map(str::to_string),
+            algo,
+            bounds,
+        };
+        let replies = self.fan_out(&participating, |cell| {
+            self.topology.call(cell, |b| b.join(&req))
+        })?;
         let mut stats = RcjStats::default();
         let mut tagged: Vec<(usize, RcjPair)> = Vec::new();
-        for (i, rx) in replies {
-            let (pairs, shard_stats) = rx
-                .recv()
-                .map_err(|_| ServerError::ShardGone(i))?
-                .map_err(ServerError::Internal)?;
+        for (pairs, shard_stats) in replies {
             tagged.extend(pairs);
             stats.merge(shard_stats);
         }
         // The deterministic merge: global leaf order. Each leaf is owned
-        // by exactly one shard and each shard's batch is already in leaf
+        // by exactly one cell and each cell's batch is already in leaf
         // order, so a stable sort on the leaf index alone reproduces the
         // sequential emission order exactly.
         tagged.sort_by_key(|(leaf, _)| *leaf);
@@ -752,15 +1148,15 @@ impl ShardedEngine {
     /// diameter ties are ordered by pair key, matching the
     /// single-engine stream's canonical tie order.
     pub fn top_k(&self, outer: &str, inner: &str, k: usize) -> Result<ShardedOutput, ServerError> {
-        let catalog = self.read_catalog();
-        Self::require(&catalog, inner)?;
-        self.top_k_locked(&catalog, outer, Some(inner), k)
+        let st = self.read_state();
+        Self::require(&st.catalog, inner)?;
+        self.top_k_locked(&st.catalog, outer, Some(inner), k)
     }
 
     /// Sharded self-join top-k; see [`ShardedEngine::top_k`].
     pub fn top_k_self(&self, dataset: &str, k: usize) -> Result<ShardedOutput, ServerError> {
-        let catalog = self.read_catalog();
-        self.top_k_locked(&catalog, dataset, None, k)
+        let st = self.read_state();
+        self.top_k_locked(&st.catalog, dataset, None, k)
     }
 
     fn top_k_locked(
@@ -771,32 +1167,22 @@ impl ShardedEngine {
         k: usize,
     ) -> Result<ShardedOutput, ServerError> {
         let entry = Self::require(catalog, outer)?;
-        // Top-k ownership is by q *point* location, so shards whose cell
-        // holds no point of the outer dataset can never contribute.
-        let participating: Vec<usize> = (0..self.shards.len())
+        // Top-k ownership is by q *point* location, so cells holding no
+        // point of the outer dataset can never contribute.
+        let participating: Vec<usize> = (0..self.topology.cells())
             .filter(|&i| entry.item_counts[i] > 0)
             .collect();
-        let mut replies = Vec::new();
-        for &i in &participating {
-            let (reply, rx) = channel();
-            self.shards[i]
-                .tx
-                .send(ShardMsg::TopK(TopKReq {
-                    outer: outer.to_string(),
-                    inner: inner.map(str::to_string),
-                    k,
-                    reply,
-                }))
-                .map_err(|_| ServerError::ShardGone(i))?;
-            replies.push((i, rx));
-        }
+        let req = TopKCall {
+            outer: outer.to_string(),
+            inner: inner.map(str::to_string),
+            k,
+        };
+        let replies = self.fan_out(&participating, |cell| {
+            self.topology.call(cell, |b| b.top_k(&req))
+        })?;
         let mut stats = RcjStats::default();
         let mut streams: Vec<std::vec::IntoIter<RcjPair>> = Vec::new();
-        for (i, rx) in replies {
-            let (pairs, shard_stats) = rx
-                .recv()
-                .map_err(|_| ServerError::ShardGone(i))?
-                .map_err(ServerError::Internal)?;
+        for (pairs, shard_stats) in replies {
             stats.merge(shard_stats);
             streams.push(pairs.into_iter());
         }
@@ -820,58 +1206,35 @@ impl ShardedEngine {
         algo: RcjAlgorithm,
         top_k: Option<usize>,
     ) -> Result<String, ServerError> {
-        let catalog = self.read_catalog();
-        let entry = Self::require(&catalog, outer)?;
+        let st = self.read_state();
+        let entry = Self::require(&st.catalog, outer)?;
         if let Some(inner) = inner {
-            Self::require(&catalog, inner)?;
+            Self::require(&st.catalog, inner)?;
         }
-        let (reply, rx) = channel();
-        self.shards[0]
-            .tx
-            .send(ShardMsg::Explain(ExplainReq {
-                outer: outer.to_string(),
-                inner: inner.map(str::to_string),
-                algo,
-                top_k,
-                reply,
-            }))
-            .map_err(|_| ServerError::ShardGone(0))?;
-        let plan = rx
-            .recv()
-            .map_err(|_| ServerError::ShardGone(0))?
-            .map_err(ServerError::Internal)?;
+        let req = ExplainCall {
+            outer: outer.to_string(),
+            inner: inner.map(str::to_string),
+            algo,
+            k: top_k,
+        };
+        let plan = self.topology.call(0, |b| b.explain(&req))?;
         let mut out = plan;
         out.push('\n');
         out.push_str(&format!(
-            "  sharding: {} shard(s); outer leaves per shard: {:?}; items per shard: {:?}",
-            self.shards.len(),
+            "  sharding: {} shard(s) x {} replica(s); outer leaves per shard: {:?}; items per shard: {:?}",
+            self.topology.cells(),
+            self.topology.replicas(),
             entry.leaves,
             entry.item_counts,
         ));
         Ok(out)
     }
 
-    /// Stops every shard worker. Called automatically on drop; explicit
-    /// shutdown lets callers observe join panics.
+    /// Stops the supervisor and every shard worker. The drop of the
+    /// inner topology does the same; explicit shutdown just makes the
+    /// teardown point visible at call sites.
     pub fn shutdown(mut self) {
-        self.stop_workers();
-    }
-
-    fn stop_workers(&mut self) {
-        for shard in &self.shards {
-            let _ = shard.tx.send(ShardMsg::Shutdown);
-        }
-        for shard in &mut self.shards {
-            if let Some(handle) = shard.handle.take() {
-                let _ = handle.join();
-            }
-        }
-    }
-}
-
-impl Drop for ShardedEngine {
-    fn drop(&mut self) {
-        self.stop_workers();
+        self.topology.shutdown();
     }
 }
 

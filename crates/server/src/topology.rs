@@ -1,0 +1,667 @@
+//! The self-healing shard topology: replicated worker slots behind
+//! round-robin routing, health-aware failover, and a supervisor that
+//! respawns dead workers and replays the coordinator's LOAD log.
+//!
+//! # Slots, cells and replicas
+//!
+//! A topology serves `cells` partition cells with `replicas` workers
+//! each: slot `cell * replicas + rep` is replica `rep` of cell `cell`
+//! (flat **cell-major** order — the same order `STATS` reports
+//! `shard<i>_state` in). Every replica of a cell is interchangeable:
+//! replicas hold identical replicated indexes and own the same outer
+//! leaves, so answers are byte-identical no matter which replica a
+//! query lands on — which is precisely what makes failover invisible.
+//!
+//! # Routing and failover
+//!
+//! [`Topology::call`] picks a starting replica round-robin (per cell)
+//! and walks the cell's replicas until one answers. A replica whose
+//! transport dies mid-call ([`ShardFault::Gone`]) is marked down,
+//! handed to the supervisor, and the call moves on to the next replica
+//! — the client never sees the loss while a sibling lives. Only when
+//! every replica of the cell is unavailable does the call surface
+//! [`ServerError::ShardGone`]. A *request* error from a live worker
+//! ([`ShardFault::Request`]) is returned as-is: the worker is healthy,
+//! the request is not, and failing over would just repeat it.
+//!
+//! # Healing
+//!
+//! The supervisor thread receives down slot indices, re-creates the
+//! backend through the topology's factory (bounded attempts with
+//! exponential backoff), and runs the heal function the
+//! [`ShardedEngine`](crate::ShardedEngine) provides — which replays
+//! every logged `LOAD` into the fresh worker under the catalog's read
+//! lock and only then installs it as up. Because installation happens
+//! under that lock, a healing slot can never miss a concurrent `LOAD`:
+//! either the slot is up before the load takes the write lock (and is
+//! fanned out to), or the load's record is already in the log the
+//! replay reads.
+
+use crate::ServerError;
+use ringjoin_core::planner::DatasetSummary;
+use ringjoin_core::{IndexKind, RcjAlgorithm, RcjPair, RcjStats};
+use ringjoin_geom::{Item, Rect};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::sharded::RingBounds;
+
+// ---------------------------------------------------------------------
+// Backend-facing call shapes
+// ---------------------------------------------------------------------
+
+/// One dataset registration, as a backend sees it: the full item set
+/// (the index is replicated), the half-open partition cell this worker
+/// owns, and the disk-mode spill instruction `(path, writer)`.
+pub(crate) struct LoadCall {
+    pub name: String,
+    pub kind: IndexKind,
+    pub items: Arc<Vec<Item>>,
+    pub cell: Rect,
+    pub spill: Option<(PathBuf, bool)>,
+}
+
+/// A leaf-driven join against one worker.
+pub(crate) struct JoinCall {
+    pub outer: String,
+    pub inner: Option<String>,
+    pub algo: RcjAlgorithm,
+    pub bounds: Option<RingBounds>,
+}
+
+/// A cell-restricted diameter-ordered top-k against one worker.
+pub(crate) struct TopKCall {
+    pub outer: String,
+    pub inner: Option<String>,
+    pub k: usize,
+}
+
+/// A plan-display request against one worker.
+pub(crate) struct ExplainCall {
+    pub outer: String,
+    pub inner: Option<String>,
+    pub algo: RcjAlgorithm,
+    pub k: Option<usize>,
+}
+
+/// What one worker reports back for a [`LoadCall`]: owned leaf count,
+/// the union of its owned leaf regions, and the planner summary.
+pub(crate) struct LoadOutcome {
+    pub leaves: usize,
+    pub extent: Rect,
+    pub summary: DatasetSummary,
+}
+
+/// How a backend call failed — the distinction that drives failover.
+#[derive(Debug)]
+pub(crate) enum ShardFault {
+    /// The transport to the worker is dead (closed channel, reset or
+    /// timed-out socket, killed process): the slot goes down, the
+    /// supervisor respawns it, and the call fails over to a sibling
+    /// replica.
+    Gone(String),
+    /// The worker is alive but rejected the request. No failover — a
+    /// sibling replica would answer the same way.
+    Request(String),
+}
+
+impl ShardFault {
+    /// The human-readable message either way.
+    pub(crate) fn message(self) -> String {
+        match self {
+            ShardFault::Gone(m) | ShardFault::Request(m) => m,
+        }
+    }
+}
+
+/// One shard worker the topology can route to — an in-process worker
+/// thread, a TCP connection to a worker process, or a mock in tests.
+/// Implementations are owned by their slot's mutex, so calls take
+/// `&mut self` and need no internal locking.
+pub(crate) trait ShardBackend: Send {
+    fn load(&mut self, call: &LoadCall) -> Result<LoadOutcome, ShardFault>;
+    fn join(&mut self, call: &JoinCall) -> Result<(Vec<(usize, RcjPair)>, RcjStats), ShardFault>;
+    fn top_k(&mut self, call: &TopKCall) -> Result<(Vec<RcjPair>, RcjStats), ShardFault>;
+    fn explain(&mut self, call: &ExplainCall) -> Result<String, ShardFault>;
+    /// Best-effort orderly stop (the topology is shutting down).
+    fn shutdown(&mut self) {}
+    /// The worker's OS process id, when it has one of its own.
+    fn pid(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Creates the backend for `(cell, replica)` — used for initial
+/// construction and for every respawn.
+pub(crate) type BackendFactory =
+    Arc<dyn Fn(usize, usize) -> Result<Box<dyn ShardBackend>, String> + Send + Sync>;
+
+/// Replays the LOAD log into a fresh backend for `cell` and, on
+/// success, installs it into the slot (flipping it up) — all under
+/// whatever catalog lock the engine needs to exclude concurrent loads.
+/// Returns how many datasets were replayed.
+pub(crate) type HealFn =
+    Arc<dyn Fn(usize, Box<dyn ShardBackend>, &Slot) -> Result<u64, String> + Send + Sync>;
+
+/// Bounds the supervisor's respawn loop per down event.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RespawnPolicy {
+    /// Spawn-and-heal attempts before the slot is parked down (a later
+    /// routed call kicks it again).
+    pub attempts: u32,
+    /// Base backoff between attempts, doubled each retry.
+    pub backoff: Duration,
+}
+
+impl Default for RespawnPolicy {
+    fn default() -> Self {
+        RespawnPolicy {
+            attempts: 5,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slots
+// ---------------------------------------------------------------------
+
+const UP: u8 = 0;
+const DOWN: u8 = 1;
+const RESPAWNING: u8 = 2;
+
+/// One replica's mailbox: the backend (when alive) behind a mutex,
+/// plus lock-free health state and a request counter. Lock order is
+/// catalog lock → slot mutex everywhere (queries, loads, heals), so
+/// the two can never deadlock.
+pub(crate) struct Slot {
+    backend: Mutex<Option<Box<dyn ShardBackend>>>,
+    state: AtomicU8,
+    requests: AtomicU64,
+}
+
+impl Slot {
+    fn new(backend: Box<dyn ShardBackend>) -> Slot {
+        Slot {
+            backend: Mutex::new(Some(backend)),
+            state: AtomicU8::new(UP),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs a healed backend and flips the slot up. Called by the
+    /// heal function under the engine's catalog lock — see the module
+    /// docs for why that ordering closes the missed-LOAD race.
+    pub(crate) fn install(&self, backend: Box<dyn ShardBackend>) {
+        *self.backend.lock().expect("slot lock poisoned") = Some(backend);
+        self.state.store(UP, Ordering::SeqCst);
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state.load(Ordering::SeqCst) {
+            UP => "up",
+            RESPAWNING => "respawning",
+            _ => "down",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The topology
+// ---------------------------------------------------------------------
+
+/// The routing fabric of a [`ShardedEngine`](crate::ShardedEngine):
+/// `cells * replicas` slots, round-robin replica selection with
+/// failover, and the self-healing supervisor. See the module docs.
+pub(crate) struct Topology {
+    replicas: usize,
+    slots: Vec<Arc<Slot>>,
+    /// Per-cell round-robin cursors (load-balancing across replicas).
+    rr: Vec<AtomicUsize>,
+    respawn_tx: Option<Sender<usize>>,
+    supervisor: Option<JoinHandle<()>>,
+    replays_total: Arc<AtomicU64>,
+}
+
+impl Topology {
+    /// Builds the full topology strictly: every `(cell, replica)` slot
+    /// must spawn, or construction fails. The supervisor thread starts
+    /// immediately.
+    pub(crate) fn new(
+        cells: usize,
+        replicas: usize,
+        factory: BackendFactory,
+        heal: HealFn,
+        policy: RespawnPolicy,
+    ) -> Result<Topology, ServerError> {
+        if cells == 0 || replicas == 0 {
+            return Err(ServerError::InvalidShards);
+        }
+        let mut slots = Vec::with_capacity(cells * replicas);
+        for cell in 0..cells {
+            for rep in 0..replicas {
+                let backend = factory(cell, rep).map_err(|e| {
+                    ServerError::Internal(format!("spawning shard {cell} replica {rep}: {e}"))
+                })?;
+                slots.push(Arc::new(Slot::new(backend)));
+            }
+        }
+        let (respawn_tx, respawn_rx) = channel::<usize>();
+        let replays_total = Arc::new(AtomicU64::new(0));
+        let supervisor = {
+            let slots: Vec<Arc<Slot>> = slots.clone();
+            let replays_total = Arc::clone(&replays_total);
+            std::thread::spawn(move || {
+                while let Ok(idx) = respawn_rx.recv() {
+                    let slot = &slots[idx];
+                    // Duplicate kicks for an already-healed slot are
+                    // no-ops; only a down slot enters respawning.
+                    if slot
+                        .state
+                        .compare_exchange(DOWN, RESPAWNING, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let cell = idx / replicas;
+                    let rep = idx % replicas;
+                    let mut healed = false;
+                    for attempt in 0..policy.attempts {
+                        if attempt > 0 {
+                            // Exponential backoff with a small
+                            // deterministic jitter (no RNG dependency)
+                            // so sibling respawns don't stampede.
+                            let jitter = (idx as u64 * 31 + attempt as u64 * 17) % 23;
+                            std::thread::sleep(
+                                policy.backoff * 2u32.saturating_pow(attempt - 1)
+                                    + Duration::from_millis(jitter),
+                            );
+                        }
+                        let backend = match factory(cell, rep) {
+                            Ok(b) => b,
+                            Err(_) => continue,
+                        };
+                        match heal(cell, backend, slot) {
+                            Ok(replayed) => {
+                                replays_total.fetch_add(replayed, Ordering::Relaxed);
+                                healed = true;
+                                break;
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    if !healed {
+                        // Park the slot down; the next routed call that
+                        // probes it kicks the supervisor again.
+                        slot.state.store(DOWN, Ordering::SeqCst);
+                    }
+                }
+            })
+        };
+        Ok(Topology {
+            replicas,
+            slots,
+            rr: (0..cells).map(|_| AtomicUsize::new(0)).collect(),
+            respawn_tx: Some(respawn_tx),
+            supervisor: Some(supervisor),
+            replays_total,
+        })
+    }
+
+    /// Number of partition cells.
+    pub(crate) fn cells(&self) -> usize {
+        self.rr.len()
+    }
+
+    /// Replicas per cell.
+    pub(crate) fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Lifetime count of datasets replayed into respawned workers.
+    pub(crate) fn replays_total(&self) -> u64 {
+        self.replays_total.load(Ordering::Relaxed)
+    }
+
+    fn kick(&self, idx: usize) {
+        if let Some(tx) = &self.respawn_tx {
+            let _ = tx.send(idx);
+        }
+    }
+
+    /// Marks a slot down after a transport fault and wakes the
+    /// supervisor. Idempotent: only an up slot transitions.
+    fn mark_down(&self, idx: usize) {
+        if self.slots[idx]
+            .state
+            .compare_exchange(UP, DOWN, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.kick(idx);
+        }
+    }
+
+    /// Routes one query call to `cell`: starts at the round-robin
+    /// replica, fails over across siblings on [`ShardFault::Gone`]
+    /// (marking the faulty slot down), and surfaces
+    /// [`ServerError::ShardGone`] only when no replica of the cell can
+    /// answer. [`ShardFault::Request`] returns immediately as an
+    /// internal error — the worker is healthy, so a sibling would
+    /// answer the same way.
+    pub(crate) fn call<T>(
+        &self,
+        cell: usize,
+        op: impl Fn(&mut dyn ShardBackend) -> Result<T, ShardFault>,
+    ) -> Result<T, ServerError> {
+        let start = self.rr[cell].fetch_add(1, Ordering::Relaxed);
+        for probe in 0..self.replicas {
+            let idx = cell * self.replicas + (start + probe) % self.replicas;
+            let slot = &self.slots[idx];
+            match slot.state.load(Ordering::SeqCst) {
+                UP => {}
+                DOWN => {
+                    // A parked slot (respawn attempts exhausted) gets
+                    // another chance as soon as traffic probes it.
+                    self.kick(idx);
+                    continue;
+                }
+                _ => continue,
+            }
+            let mut guard = slot.backend.lock().expect("slot lock poisoned");
+            let Some(backend) = guard.as_mut() else {
+                continue;
+            };
+            slot.requests.fetch_add(1, Ordering::Relaxed);
+            match op(backend.as_mut()) {
+                Ok(out) => return Ok(out),
+                Err(ShardFault::Gone(_)) => {
+                    // Drop the dead transport with the lock held, then
+                    // hand the slot to the supervisor and fail over.
+                    *guard = None;
+                    drop(guard);
+                    self.mark_down(idx);
+                }
+                Err(ShardFault::Request(msg)) => return Err(ServerError::Internal(msg)),
+            }
+        }
+        Err(ServerError::ShardGone(cell))
+    }
+
+    /// Fans one `LOAD` into a specific slot. `None` means the slot was
+    /// not up (or its transport died mid-load — it is then marked down
+    /// for healing, whose replay will deliver this very load);
+    /// `Some(Err)` is a hard request error that must fail the `LOAD`.
+    pub(crate) fn load_slot(
+        &self,
+        idx: usize,
+        call: &LoadCall,
+    ) -> Option<Result<LoadOutcome, String>> {
+        let slot = &self.slots[idx];
+        match slot.state.load(Ordering::SeqCst) {
+            UP => {}
+            DOWN => {
+                self.kick(idx);
+                return None;
+            }
+            _ => return None,
+        }
+        let mut guard = slot.backend.lock().expect("slot lock poisoned");
+        let backend = guard.as_mut()?;
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        match backend.load(call) {
+            Ok(out) => Some(Ok(out)),
+            Err(ShardFault::Gone(_)) => {
+                *guard = None;
+                drop(guard);
+                self.mark_down(idx);
+                None
+            }
+            Err(ShardFault::Request(msg)) => Some(Err(msg)),
+        }
+    }
+
+    /// Per-slot `(state, requests)` in flat cell-major slot order — the
+    /// `STATS` health rows.
+    pub(crate) fn health(&self) -> Vec<(&'static str, u64)> {
+        self.slots
+            .iter()
+            .map(|s| (s.state_name(), s.requests.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Polls until every slot is up (true) or the timeout lapses
+    /// (false). Test and CI convenience — production callers rely on
+    /// per-call failover instead.
+    pub(crate) fn wait_healthy(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self
+                .slots
+                .iter()
+                .all(|s| s.state.load(Ordering::SeqCst) == UP)
+            {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Each slot's worker process id (`None` for in-process workers and
+    /// down slots), in flat cell-major slot order.
+    pub(crate) fn pids(&self) -> Vec<Option<u32>> {
+        self.slots
+            .iter()
+            .map(|s| {
+                s.backend
+                    .lock()
+                    .expect("slot lock poisoned")
+                    .as_ref()
+                    .and_then(|b| b.pid())
+            })
+            .collect()
+    }
+
+    /// Stops the supervisor, then shuts every live backend down.
+    pub(crate) fn shutdown(&mut self) {
+        // Closing the channel ends the supervisor's recv loop; join it
+        // *before* tearing down backends so no heal races the shutdown.
+        self.respawn_tx.take();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        for slot in &self.slots {
+            if let Some(mut backend) = slot.backend.lock().expect("slot lock poisoned").take() {
+                backend.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for Topology {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// A scriptable backend: answers `explain` with its label, or
+    /// reports its transport dead when `gone` is set.
+    struct Mock {
+        label: String,
+        gone: Arc<AtomicBool>,
+    }
+
+    impl ShardBackend for Mock {
+        fn load(&mut self, _call: &LoadCall) -> Result<LoadOutcome, ShardFault> {
+            if self.gone.load(Ordering::SeqCst) {
+                return Err(ShardFault::Gone("mock transport dead".into()));
+            }
+            Ok(LoadOutcome {
+                leaves: 1,
+                extent: Rect::empty(),
+                summary: DatasetSummary::new("rtree", 1, 1, 1),
+            })
+        }
+        fn join(
+            &mut self,
+            _call: &JoinCall,
+        ) -> Result<(Vec<(usize, RcjPair)>, RcjStats), ShardFault> {
+            Err(ShardFault::Request("mock has no join".into()))
+        }
+        fn top_k(&mut self, _call: &TopKCall) -> Result<(Vec<RcjPair>, RcjStats), ShardFault> {
+            Err(ShardFault::Request("mock has no top-k".into()))
+        }
+        fn explain(&mut self, _call: &ExplainCall) -> Result<String, ShardFault> {
+            if self.gone.load(Ordering::SeqCst) {
+                return Err(ShardFault::Gone("mock transport dead".into()));
+            }
+            Ok(self.label.clone())
+        }
+    }
+
+    fn explain_call() -> ExplainCall {
+        ExplainCall {
+            outer: "d".into(),
+            inner: None,
+            algo: RcjAlgorithm::Auto,
+            k: None,
+        }
+    }
+
+    /// Factory + heal that build healthy mocks and count replays.
+    fn fixture(kill_switches: Arc<Mutex<Vec<Arc<AtomicBool>>>>) -> (BackendFactory, HealFn) {
+        let factory: BackendFactory = Arc::new(move |cell, rep| {
+            let gone = Arc::new(AtomicBool::new(false));
+            kill_switches.lock().unwrap().push(Arc::clone(&gone));
+            Ok(Box::new(Mock {
+                label: format!("cell{cell}-rep{rep}"),
+                gone,
+            }) as Box<dyn ShardBackend>)
+        });
+        let heal: HealFn = Arc::new(|_cell, backend, slot: &Slot| {
+            slot.install(backend);
+            Ok(2)
+        });
+        (factory, heal)
+    }
+
+    #[test]
+    fn failover_hides_a_dead_replica_and_supervisor_heals_it() {
+        let switches = Arc::new(Mutex::new(Vec::new()));
+        let (factory, heal) = fixture(Arc::clone(&switches));
+        let topo = Topology::new(1, 2, factory, heal, RespawnPolicy::default()).unwrap();
+        // Kill replica 0's transport: the next calls must still answer
+        // (replica 1) without ever surfacing an error.
+        switches.lock().unwrap()[0].store(true, Ordering::SeqCst);
+        for _ in 0..4 {
+            let text = topo.call(0, |b| b.explain(&explain_call())).unwrap();
+            assert_eq!(text, "cell0-rep1");
+        }
+        // The supervisor respawns slot 0 (the factory hands out a fresh
+        // healthy mock) and counts the heal's replays.
+        assert!(topo.wait_healthy(Duration::from_secs(5)));
+        assert_eq!(topo.replays_total(), 2);
+        assert_eq!(topo.health().len(), 2);
+        assert!(topo.health().iter().all(|(state, _)| *state == "up"));
+        // Round-robin reaches the healed replica again.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..4 {
+            seen.insert(topo.call(0, |b| b.explain(&explain_call())).unwrap());
+        }
+        assert!(seen.contains("cell0-rep0"));
+    }
+
+    #[test]
+    fn single_replica_loss_is_a_clean_shard_gone_then_heals() {
+        let switches = Arc::new(Mutex::new(Vec::new()));
+        let (factory, heal) = fixture(Arc::clone(&switches));
+        let topo = Topology::new(2, 1, factory, heal, RespawnPolicy::default()).unwrap();
+        switches.lock().unwrap()[1].store(true, Ordering::SeqCst);
+        // Cell 1 has no sibling: the loss surfaces as ShardGone(1).
+        let err = topo.call(1, |b| b.explain(&explain_call()));
+        assert!(matches!(err, Err(ServerError::ShardGone(1))), "{err:?}");
+        // Cell 0 is untouched.
+        assert_eq!(
+            topo.call(0, |b| b.explain(&explain_call())).unwrap(),
+            "cell0-rep0"
+        );
+        // ...and the supervisor brings cell 1 back.
+        assert!(topo.wait_healthy(Duration::from_secs(5)));
+        assert_eq!(
+            topo.call(1, |b| b.explain(&explain_call())).unwrap(),
+            "cell1-rep0"
+        );
+    }
+
+    #[test]
+    fn request_errors_do_not_fail_over() {
+        let switches = Arc::new(Mutex::new(Vec::new()));
+        let (factory, heal) = fixture(Arc::clone(&switches));
+        let topo = Topology::new(1, 2, factory, heal, RespawnPolicy::default()).unwrap();
+        let err = topo.call(0, |b| {
+            b.join(&JoinCall {
+                outer: "d".into(),
+                inner: None,
+                algo: RcjAlgorithm::Auto,
+                bounds: None,
+            })
+        });
+        assert!(matches!(err, Err(ServerError::Internal(_))), "{err:?}");
+        // Both replicas stay up: a bad request is not a bad worker.
+        assert!(topo.health().iter().all(|(state, _)| *state == "up"));
+        // Exactly one replica was charged the request.
+        let total: u64 = topo.health().iter().map(|(_, r)| r).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn load_slot_skips_down_slots_and_reports_hard_errors() {
+        let switches = Arc::new(Mutex::new(Vec::new()));
+        let (factory, heal) = fixture(Arc::clone(&switches));
+        let topo = Topology::new(1, 2, factory, heal, RespawnPolicy::default()).unwrap();
+        let call = LoadCall {
+            name: "d".into(),
+            kind: IndexKind::Rtree,
+            items: Arc::new(Vec::new()),
+            cell: Rect::empty(),
+            spill: None,
+        };
+        assert!(matches!(topo.load_slot(0, &call), Some(Ok(_))));
+        // Kill slot 1 mid-load: the fan-out sees None (the heal's
+        // replay owns delivering this dataset), not an error.
+        switches.lock().unwrap()[1].store(true, Ordering::SeqCst);
+        assert!(topo.load_slot(1, &call).is_none());
+        assert!(topo.wait_healthy(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn zero_sized_topologies_are_rejected() {
+        let switches = Arc::new(Mutex::new(Vec::new()));
+        let (factory, heal) = fixture(switches);
+        assert!(matches!(
+            Topology::new(
+                0,
+                1,
+                Arc::clone(&factory),
+                Arc::clone(&heal),
+                RespawnPolicy::default()
+            ),
+            Err(ServerError::InvalidShards)
+        ));
+        assert!(matches!(
+            Topology::new(1, 0, factory, heal, RespawnPolicy::default()),
+            Err(ServerError::InvalidShards)
+        ));
+    }
+}

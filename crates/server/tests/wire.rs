@@ -425,3 +425,76 @@ fn session_limit_rejects_with_busy() {
     third.shutdown().unwrap();
     handle.join().unwrap();
 }
+
+/// `Client::request_with_retry` against a scripted peer: the first
+/// attempt is shed with `ERR busy` (id echoed, connection kept open —
+/// the admission-queue shape), the retry gets the real answer. One
+/// client, one connection, deterministic schedule.
+#[test]
+fn shed_request_is_retried_on_the_same_connection() {
+    use ringjoin_server::proto::{read_frame, write_frame, Reply, Request};
+    use std::io::{BufReader, BufWriter};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let id_of = |payload: &str| {
+            payload
+                .strip_prefix('#')
+                .and_then(|rest| rest.split_whitespace().next())
+                .and_then(|tok| tok.parse::<u64>().ok())
+        };
+        // First request: shed it, keep the connection.
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        let busy = Reply::encode_busy(id_of(&first), 10, "scripted shed");
+        write_frame(&mut writer, busy.as_bytes()).unwrap();
+        // Retry: answer it for real.
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert!(second.contains("STATS"), "retry resent the request");
+        let ok = Reply::encode_ok(id_of(&second), &[("shards", "1".to_string())], "");
+        write_frame(&mut writer, ok.as_bytes()).unwrap();
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client
+        .request_with_retry(&ringjoin_server::proto::Request::Stats, 3)
+        .expect("shed request must succeed on retry");
+    assert_eq!(reply.field("shards"), Some("1"));
+    let _ = &Request::Stats; // silence unused-import pedantry if grammar shifts
+    fake.join().unwrap();
+}
+
+/// `Client::request_with_retry` against a real server over its session
+/// limit: the shed closes the connection, so the retry must reconnect.
+/// Once the occupying session leaves, the retried request succeeds —
+/// the caller never sees the `Busy`.
+#[test]
+fn session_limit_shed_succeeds_on_retry_after_reconnect() {
+    use ringjoin_server::proto::Request;
+    let (addr, handle) = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        max_sessions: 1,
+        ..ServerConfig::default()
+    });
+    let mut holder = Client::connect(addr).unwrap();
+    holder.stats().unwrap(); // the only session slot is now taken
+
+    let vacate = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        drop(holder);
+    });
+
+    let mut probe = Client::connect(addr).unwrap();
+    let reply = probe
+        .request_with_retry(&Request::Stats, 40)
+        .expect("retries must outlast the squatting session");
+    assert_eq!(reply.field("shards"), Some("1"));
+    vacate.join().unwrap();
+
+    probe.shutdown().unwrap();
+    handle.join().unwrap();
+}

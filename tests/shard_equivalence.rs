@@ -224,3 +224,217 @@ proptest! {
         prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap_or_default());
     }
 }
+
+// ---------------------------------------------------------------------
+// Remote workers: the same oracle across the process hop
+// ---------------------------------------------------------------------
+
+use ringjoin::{ShardWorkerServer, ShardedEngine as SE, TopologyConfig, WorkerHandle, WorkerSpec};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Deterministic pseudo-random items (inline LCG — keeps the remote
+/// tests deterministic without touching proptest's RNG budget).
+fn lcg_items(n: usize, seed: u64) -> Vec<Item> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let x = next() * REGION;
+            let y = next() * REGION;
+            Item::new(i as u64, pt(x, y))
+        })
+        .collect()
+}
+
+/// A sharded engine whose workers are in-process TCP shard-worker
+/// servers, provisioned on demand — so the supervisor's respawn path
+/// provisions *fresh* workers after a kill, exactly like relaunching a
+/// process. Returns the engine and the registry of worker handles in
+/// provisioning order (cell-major: `cell * replicas + replica`).
+fn provisioned(shards: usize, replicas: usize) -> (SE, Arc<Mutex<Vec<WorkerHandle>>>) {
+    let handles: Arc<Mutex<Vec<WorkerHandle>>> = Arc::default();
+    let registry = Arc::clone(&handles);
+    let spec = WorkerSpec::Provision(Arc::new(move |_cell, _rep| {
+        let server = ShardWorkerServer::bind("127.0.0.1:0", None, 0).map_err(|e| e.to_string())?;
+        let addr = server.local_addr().to_string();
+        registry.lock().unwrap().push(server.handle());
+        std::thread::spawn(move || {
+            let _ = server.serve();
+        });
+        Ok(addr)
+    }));
+    let engine = SE::with_topology(TopologyConfig {
+        shards,
+        replicas,
+        workers: spec,
+        request_timeout: Duration::from_secs(10),
+        respawn_backoff: Duration::from_millis(10),
+        ..TopologyConfig::default()
+    })
+    .expect("provisioned topology");
+    (engine, handles)
+}
+
+/// Remote: cross-process (well, cross-socket) workers answer byte for
+/// byte what the single local engine answers, across {1,2,4} shards
+/// and both index kinds — merge keys survive the wire.
+#[test]
+fn remote_workers_match_the_local_engine_byte_for_byte() {
+    for kind in KINDS {
+        let p = lcg_items(110, 11);
+        let q = lcg_items(110, 23);
+        let (ref_pairs, ref_stats, ref_top) = reference_join(&p, &q, kind);
+        for shards in SHARD_COUNTS {
+            let (se, _fleet) = provisioned(shards, 1);
+            se.load("p", p.clone(), kind).unwrap();
+            se.load("q", q.clone(), kind).unwrap();
+            let out = se
+                .join("q", "p", ringjoin::RcjAlgorithm::Auto, None)
+                .unwrap();
+            assert_eq!(
+                out.pairs, ref_pairs,
+                "remote join diverged at {shards} shards ({kind:?})"
+            );
+            assert_eq!(
+                out.stats, ref_stats,
+                "remote stats diverged at {shards} shards ({kind:?})"
+            );
+            if !ref_top.is_empty() {
+                let top = se.top_k("q", "p", ref_top.len()).unwrap();
+                assert_eq!(
+                    top.pairs, ref_top,
+                    "remote top-k diverged at {shards} shards ({kind:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Degraded then healed, with a spare replica: killing one worker of a
+/// 2-replica cell must be invisible — the very next query fails over
+/// and stays byte-identical, and after the supervisor respawns and
+/// replays the dataset log, the healed topology still answers
+/// byte-identically.
+#[test]
+fn degraded_then_healed_replica_is_byte_identical_and_errorless() {
+    let kind = IndexKind::Rtree;
+    let p = lcg_items(100, 31);
+    let q = lcg_items(100, 47);
+    let (ref_pairs, ref_stats, _) = reference_join(&p, &q, kind);
+    for shards in SHARD_COUNTS {
+        let (se, fleet) = provisioned(shards, 2);
+        se.load("p", p.clone(), kind).unwrap();
+        se.load("q", q.clone(), kind).unwrap();
+
+        // Kill replica 0 of cell 0 (provisioning order is cell-major).
+        fleet.lock().unwrap()[0].kill();
+
+        // Degraded: the spare answers; the client never sees an error.
+        let out = se
+            .join("q", "p", ringjoin::RcjAlgorithm::Auto, None)
+            .expect("a 2-replica cell must survive one kill");
+        assert_eq!(
+            out.pairs, ref_pairs,
+            "degraded join diverged at {shards} shards"
+        );
+        assert_eq!(
+            out.stats, ref_stats,
+            "degraded stats diverged at {shards} shards"
+        );
+
+        // Healed: the supervisor respawned and replayed both datasets.
+        assert!(
+            se.wait_healthy(Duration::from_secs(20)),
+            "supervisor never healed the killed replica at {shards} shards"
+        );
+        assert!(se.replays_total() >= 2, "heal must replay the dataset log");
+        for _ in 0..2 * shards {
+            // Enough queries to round-robin onto the healed slot.
+            let out = se
+                .join("q", "p", ringjoin::RcjAlgorithm::Auto, None)
+                .unwrap();
+            assert_eq!(
+                out.pairs, ref_pairs,
+                "healed join diverged at {shards} shards"
+            );
+            assert_eq!(
+                out.stats, ref_stats,
+                "healed stats diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+/// Degraded without a spare: at `--replicas 1` a killed worker
+/// surfaces as a *clean* ShardGone error — never a wrong answer — and
+/// after healing the answers are byte-identical again.
+#[test]
+fn single_replica_kill_is_a_clean_error_then_heals() {
+    let kind = IndexKind::Quadtree;
+    let p = lcg_items(90, 53);
+    let q = lcg_items(90, 59);
+    let (ref_pairs, ref_stats, _) = reference_join(&p, &q, kind);
+    let (se, fleet) = provisioned(2, 1);
+    se.load("p", p.clone(), kind).unwrap();
+    se.load("q", q.clone(), kind).unwrap();
+    fleet.lock().unwrap()[0].kill();
+
+    match se.join("q", "p", ringjoin::RcjAlgorithm::Auto, None) {
+        Ok(out) => {
+            // The kill may land after the query completed its cell —
+            // a correct answer is acceptable, a wrong one never.
+            assert_eq!(
+                out.pairs, ref_pairs,
+                "degraded single-replica join must not lie"
+            );
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("gone"),
+                "expected a clean shard-gone error, got: {msg}"
+            );
+        }
+    }
+
+    assert!(se.wait_healthy(Duration::from_secs(20)), "heal timed out");
+    assert!(se.replays_total() >= 2);
+    let out = se
+        .join("q", "p", ringjoin::RcjAlgorithm::Auto, None)
+        .unwrap();
+    assert_eq!(out.pairs, ref_pairs, "healed join diverged");
+    assert_eq!(out.stats, ref_stats, "healed stats diverged");
+}
+
+proptest! {
+    /// Property form of the remote oracle: random data shapes through
+    /// 2 remote shards stay byte-identical to the local single engine.
+    #[test]
+    fn remote_sharding_is_byte_identical(
+        pv in any_pts(40),
+        qv in any_pts(40),
+        kind_idx in 0usize..2,
+    ) {
+        let kind = KINDS[kind_idx];
+        let (p, q) = (to_items(&pv), to_items(&qv));
+        let (ref_pairs, ref_stats, ref_top) = reference_join(&p, &q, kind);
+        let (se, _fleet) = provisioned(2, 1);
+        se.load("p", p, kind).unwrap();
+        se.load("q", q, kind).unwrap();
+        let out = se.join("q", "p", ringjoin::RcjAlgorithm::Auto, None).unwrap();
+        prop_assert_eq!(&out.pairs, &ref_pairs, "remote join diverged");
+        prop_assert_eq!(out.stats, ref_stats, "remote stats diverged");
+        if !ref_top.is_empty() {
+            let top = se.top_k("q", "p", ref_top.len()).unwrap();
+            prop_assert_eq!(&top.pairs, &ref_top, "remote top-k diverged");
+        }
+    }
+}
