@@ -20,6 +20,16 @@ hit/fault *split* is not reproducible, only the accounting identity
 read_hits` are. Out-of-core entries (combination `*-OOC`) must
 additionally fault at all: their budget is a quarter of the dataset.
 
+The scaling recording also carries an `updates` section — one entry per
+live-update round (seeded insert/upsert/delete batches applied through
+the engine's epoch-versioned update path, each followed by a join).
+Epochs must count 1..N with no gaps (one applied batch advances exactly
+one epoch), every round must record ops and satisfy `read_hits +
+read_faults == logical_reads` under copy-on-write page versioning, and
+against a baseline that carries the section the per-round result_pairs
+are exact (the mutation stream is seeded) while logical_reads gates at
+the shared tolerance.
+
 Optionally sanity-checks a BENCH_serving.json smoke: every shard count
 must have completed with a positive request rate and the same result
 cardinality (the serving sweep itself asserts byte-identity; the file
@@ -137,11 +147,70 @@ def check_scaling(baseline_path: str, fresh_path: str, tolerance: float) -> None
             )
         wall = f.get("wall_secs", 0.0)
         print(f"  {key[0]:>6} threads={key[1]:<2} wall_secs: {wall:.4f} (advisory)")
+
+    # Live-update phase: one entry per round of interleaved mutate/query.
+    # Epochs must count 1..N (the engine advances exactly one epoch per
+    # applied batch — a skip means a batch was dropped, a repeat means one
+    # was double-applied), and the accounting identity must survive
+    # copy-on-write page versioning. Against the baseline, the per-round
+    # answer is exact (the mutation stream is seeded) and logical_reads
+    # gates at the shared tolerance.
+    updates = fresh.get("updates", [])
+    if not updates:
+        fail(f"{fresh_path} has no updates entries — the live-update phase did not run")
+    for i, u in enumerate(updates):
+        if u.get("epoch") != i + 1:
+            fail(
+                f"update round {i + 1}: epoch {u.get('epoch')} breaks monotonicity "
+                f"(expected {i + 1}; one applied batch must advance exactly one epoch)"
+            )
+        if u.get("ops", 0) <= 0:
+            fail(f"update round {i + 1}: recorded no operations")
+        if u["read_hits"] + u["read_faults"] != u["logical_reads"]:
+            fail(
+                f"update round {i + 1}: read_hits {u['read_hits']} + read_faults "
+                f"{u['read_faults']} != logical_reads {u['logical_reads']} "
+                f"(accounting broke under COW versioning)"
+            )
+        if u.get("prefetch_hits", 0) > u["read_hits"]:
+            fail(
+                f"update round {i + 1}: prefetch_hits {u['prefetch_hits']} > "
+                f"read_hits {u['read_hits']}"
+            )
+        print(
+            f"  update round {i + 1}: epoch={u['epoch']} ops={u['ops']} "
+            f"logical_reads={u['logical_reads']} result_pairs={u['result_pairs']} "
+            f"(update {u.get('update_secs', 0.0):.4f}s / join "
+            f"{u.get('join_secs', 0.0):.4f}s advisory)"
+        )
+    base_updates = baseline.get("updates", [])
+    if base_updates:
+        if len(base_updates) != len(updates):
+            fail(
+                f"update round count changed: baseline {len(base_updates)} vs "
+                f"fresh {len(updates)}"
+            )
+        for i, (b, u) in enumerate(zip(base_updates, updates)):
+            if u["result_pairs"] != b["result_pairs"]:
+                regressions.append(
+                    f"update round {i + 1}: result_pairs changed "
+                    f"{b['result_pairs']} -> {u['result_pairs']} "
+                    f"(the post-update join answer itself moved)"
+                )
+            if b["logical_reads"] > 0:
+                ratio = u["logical_reads"] / b["logical_reads"]
+                if ratio > 1.0 + tolerance:
+                    regressions.append(
+                        f"update round {i + 1}: logical_reads {b['logical_reads']} -> "
+                        f"{u['logical_reads']} (+{(ratio - 1.0) * 100:.1f}% > "
+                        f"{tolerance * 100:.0f}%)"
+                    )
+
     if regressions:
         fail("I/O regressions vs committed baseline:\n  " + "\n  ".join(regressions))
     print(
         f"check_bench: scaling OK ({len(base)} entries within {tolerance * 100:.0f}%, "
-        f"{storage} storage)"
+        f"{len(updates)} update rounds, {storage} storage)"
     )
 
 

@@ -566,13 +566,21 @@ fn skew_workload(cfg: &ExpConfig, name: &str) -> Workload {
 /// (sequential LRU path and pool-framed parallel path).
 pub const OOC_THREADS: [usize; 2] = [1, 4];
 
+/// Update rounds run by the live-update phase of [`scaling`]: fresh
+/// inserts, then moves (upserts), then deletes, then a mixed batch.
+pub const UPDATE_ROUNDS: usize = 4;
+
 /// Scaling experiment (first entry of the perf trajectory, not a paper
 /// figure): OBJ at 1/2/4/8 worker threads over the Figure 13 workload
 /// plus the [`SCALING_SKEW`] clustered variants, then an out-of-core
 /// phase — the SP workload spilled to an on-disk page file with the
 /// buffer pinned to a quarter of its page count, so the run *must*
 /// keep faulting pages in from the file (`SP-OOC` rows, at
-/// [`OOC_THREADS`]).
+/// [`OOC_THREADS`]) — and finally a live-update phase: [`UPDATE_ROUNDS`]
+/// seeded insert/upsert/delete batches interleaved with joins through
+/// the engine's epoch-versioned update path, each round's epoch, I/O
+/// accounting and (at the end) replayed-history byte-identity asserted
+/// and recorded in the JSON's `updates` section.
 ///
 /// Wall-clock seconds are measured per combination and compared against
 /// the sequential baseline; the determinism guarantee is asserted on
@@ -735,8 +743,213 @@ pub fn scaling(cfg: &ExpConfig) -> String {
             record(&mut t, &mut json_entries, name, threads, &m, speedup);
         }
     }
+    // Live-update phase: the SP workload again, now mutated between
+    // queries through the engine's epoch-versioned update path. Each
+    // round applies one deterministic seeded batch — fresh inserts,
+    // then moves (upserts), then deletes, then a mixed batch — and
+    // re-runs the join. Three invariants are asserted per round: the
+    // dataset epoch advances by exactly one, the accounting identity
+    // `read_hits + read_faults == logical_reads` survives copy-on-write
+    // page versioning, and (after the last round) the answer is
+    // byte-identical to a second engine that replayed the identical
+    // mutation history. Pair order follows the tree structure, which
+    // follows the mutation history — so the oracle replays it; a bulk
+    // rebuild of the final pointset would be the wrong reference.
+    let mut ut = Table::new(&[
+        "round",
+        "epoch",
+        "ops",
+        "update(s)",
+        "join(s)",
+        "node_acc",
+        "hits",
+        "faults",
+        "results",
+    ]);
+    let mut update_entries: Vec<String> = Vec::new();
+    {
+        use ringjoin_core::{Engine, IndexKind};
+        use ringjoin_server::Mutation;
+        use std::time::Instant;
+        let np = cfg.n(GnisDataset::PopulatedPlaces.full_cardinality());
+        let nq = cfg.n(GnisDataset::Schools.full_cardinality());
+        let p_items = gnis_like(GnisDataset::PopulatedPlaces, np);
+        let q_items = gnis_like(GnisDataset::Schools, nq);
+        let batch = (np / 20).max(8);
+        let build = |suffix: &str| -> Engine {
+            let mut engine = Engine::new();
+            engine.load("p", p_items.clone()).index(IndexKind::Rtree);
+            let load = engine.load("q", q_items.clone());
+            if cfg.on_disk {
+                load.on_disk(scratch.join(format!("updates-{suffix}.rjp")))
+                    .index(IndexKind::Rtree);
+            } else {
+                load.index(IndexKind::Rtree);
+            }
+            engine.set_buffer_frac(DEFAULT_BUFFER_FRAC);
+            engine
+        };
+
+        // The seeded batches: coordinates from one uniform pool, fresh
+        // ids minted above the loaded range, moves/deletes drawn from
+        // ids this phase inserted plus a slice of the original load.
+        let pool = uniform(UPDATE_ROUNDS * batch * 2, 9001);
+        let mut cursor = 0usize;
+        let id_base = 1u64 << 32;
+        let inserts: Vec<u64> = (0..batch as u64).map(|i| id_base + i).collect();
+        let mut rounds: Vec<Vec<Mutation>> = Vec::with_capacity(UPDATE_ROUNDS);
+        // Round 1: fresh inserts above the loaded id range.
+        let mut ops = Vec::with_capacity(batch);
+        for &id in &inserts {
+            ops.push(Mutation::Insert(ringjoin_rtree::Item::new(
+                id,
+                pool[cursor].point,
+            )));
+            cursor += 1;
+        }
+        rounds.push(ops);
+        // Round 2: move half of them, mint the other half via upsert.
+        let mut ops = Vec::with_capacity(batch);
+        for &id in inserts.iter().take(batch / 2) {
+            ops.push(Mutation::Upsert(ringjoin_rtree::Item::new(
+                id,
+                pool[cursor].point,
+            )));
+            cursor += 1;
+        }
+        for i in 0..(batch - batch / 2) as u64 {
+            ops.push(Mutation::Upsert(ringjoin_rtree::Item::new(
+                id_base + batch as u64 + i,
+                pool[cursor].point,
+            )));
+            cursor += 1;
+        }
+        rounds.push(ops);
+        // Round 3: delete a quarter of the fresh ids and a quarter-batch
+        // slice of the original load (gnis ids are 0..n-1).
+        let mut ops = Vec::with_capacity(batch / 2);
+        ops.extend(
+            inserts
+                .iter()
+                .skip(batch / 2)
+                .take(batch / 4)
+                .map(|&id| Mutation::Delete(id)),
+        );
+        ops.extend((0..(batch / 4) as u64).map(Mutation::Delete));
+        rounds.push(ops);
+        // Round 4: a mixed batch — the engine path (unlike the wire, one
+        // verb per request) applies inserts, upserts and deletes in one
+        // atomic epoch.
+        let mut ops = Vec::with_capacity(batch);
+        for i in 0..(batch / 2) as u64 {
+            ops.push(Mutation::Insert(ringjoin_rtree::Item::new(
+                id_base + 2 * batch as u64 + i,
+                pool[cursor].point,
+            )));
+            cursor += 1;
+        }
+        for &id in inserts.iter().take(batch / 4) {
+            ops.push(Mutation::Upsert(ringjoin_rtree::Item::new(
+                id,
+                pool[cursor].point,
+            )));
+            cursor += 1;
+        }
+        ops.extend(((batch / 4) as u64..(batch / 2) as u64).map(Mutation::Delete));
+        rounds.push(ops);
+
+        let apply = |engine: &mut Engine, ops: &[Mutation]| -> u64 {
+            let mut b = engine.update("p");
+            for op in ops {
+                b = match *op {
+                    Mutation::Insert(it) => b.insert([it]),
+                    Mutation::Delete(id) => b.delete([id]),
+                    Mutation::Upsert(it) => b.upsert([it]),
+                };
+            }
+            b.apply().expect("update batch validated").epoch()
+        };
+
+        let mut engine = build("live");
+        let mut last_keys: Vec<(u64, u64)> = Vec::new();
+        for (round, ops) in rounds.iter().enumerate() {
+            let t0 = Instant::now();
+            let epoch = apply(&mut engine, ops);
+            let update_secs = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                epoch,
+                (round + 1) as u64,
+                "dataset epoch must advance by exactly one per update round"
+            );
+            engine.pager().borrow_mut().reset_stats();
+            let t0 = Instant::now();
+            let plan = engine
+                .query()
+                .join("q", "p")
+                .algorithm(RcjAlgorithm::Obj)
+                .plan()
+                .expect("post-update plan");
+            let m = plan.collect();
+            let join_secs = t0.elapsed().as_secs_f64();
+            let io = engine.pager().borrow().stats();
+            assert_eq!(
+                io.read_hits + io.read_faults,
+                io.logical_reads,
+                "hits + faults must partition the logical reads under COW versioning"
+            );
+            last_keys = m.pairs.iter().map(|pr| pr.key()).collect();
+            ut.row(vec![
+                (round + 1).to_string(),
+                epoch.to_string(),
+                ops.len().to_string(),
+                secs(update_secs),
+                secs(join_secs),
+                io.logical_reads.to_string(),
+                io.read_hits.to_string(),
+                io.read_faults.to_string(),
+                m.stats.result_pairs.to_string(),
+            ]);
+            update_entries.push(format!(
+                "    {{\"round\": {}, \"epoch\": {epoch}, \"ops\": {}, \
+                 \"update_secs\": {update_secs:.6}, \"join_secs\": {join_secs:.6}, \
+                 \"logical_reads\": {}, \"read_hits\": {}, \"read_faults\": {}, \
+                 \"prefetch_hits\": {}, \"result_pairs\": {}}}",
+                round + 1,
+                ops.len(),
+                io.logical_reads,
+                io.read_hits,
+                io.read_faults,
+                io.prefetch_hits,
+                m.stats.result_pairs,
+            ));
+        }
+
+        // The identically-mutated oracle: replay the same batches on a
+        // fresh engine and require the same pairs in the same order.
+        let mut oracle = build("oracle");
+        for ops in &rounds {
+            apply(&mut oracle, ops);
+        }
+        let m = oracle
+            .query()
+            .join("q", "p")
+            .algorithm(RcjAlgorithm::Obj)
+            .plan()
+            .expect("oracle plan")
+            .collect();
+        let oracle_keys: Vec<(u64, u64)> = m.pairs.iter().map(|pr| pr.key()).collect();
+        assert_eq!(
+            last_keys, oracle_keys,
+            "live-updated engine diverged from the identically-mutated oracle"
+        );
+    }
     std::fs::remove_dir_all(&scratch).ok();
     out.push_str(&t.render());
+    out.push_str(
+        "-- live updates: one seeded batch per round, epoch +1 per round, \
+         replayed-history oracle asserted --\n",
+    );
+    out.push_str(&ut.render());
 
     // Provenance lives in the schema itself, not just README prose:
     // `available_cores` plus an explicit `single_core_container` flag,
@@ -746,17 +959,19 @@ pub fn scaling(cfg: &ExpConfig) -> String {
     // compared against a resident baseline (the hit/fault split is
     // prefetch-timing dependent on disk).
     let json = format!(
-        "{{\n  \"experiment\": \"scaling\",\n  \"workload\": \"fig13+skew+ooc\",\n  \
+        "{{\n  \"experiment\": \"scaling\",\n  \"workload\": \"fig13+skew+ooc+updates\",\n  \
          \"algorithm\": \"OBJ\",\n  \"scale\": {},\n  \"storage\": \"{storage}\",\n  \
          \"available_cores\": {cores},\n  \
          \"single_core_container\": {},\n  \
          \"speedups_meaningful\": {},\n  \
-         \"thread_counts\": {:?},\n  \"entries\": [\n{}\n  ]\n}}\n",
+         \"thread_counts\": {:?},\n  \"update_rounds\": {UPDATE_ROUNDS},\n  \
+         \"entries\": [\n{}\n  ],\n  \"updates\": [\n{}\n  ]\n}}\n",
         cfg.scale,
         cores < 2,
         cores >= 2,
         SCALING_THREADS,
-        json_entries.join(",\n")
+        json_entries.join(",\n"),
+        update_entries.join(",\n")
     );
     let path = match &cfg.scaling_out {
         Some(p) => p.clone(),
@@ -1282,10 +1497,20 @@ mod tests {
         };
         let report = scaling(&cfg);
         assert!(report.contains("on-disk storage"), "report: {report}");
+        assert!(report.contains("live updates"), "report: {report}");
         let json = std::fs::read_to_string(&out_path).unwrap();
         assert!(json.contains("\"storage\": \"on-disk\""));
         assert!(json.contains("\"prefetch_hits\""));
         assert!(json.contains("\"combination\": \"SP-OOC\""));
+        // The live-update phase recorded one entry per round, epochs
+        // counting 1..UPDATE_ROUNDS.
+        assert!(json.contains("\"update_rounds\": 4"));
+        for round in 1..=UPDATE_ROUNDS {
+            assert!(
+                json.contains(&format!("\"round\": {round}, \"epoch\": {round},")),
+                "missing update round {round} in {json}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

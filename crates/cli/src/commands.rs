@@ -14,7 +14,7 @@ use ringjoin_core::{
 };
 use ringjoin_datagen::{gaussian_clusters, gnis_like, io as dio, uniform, GnisDataset};
 use ringjoin_rtree::{bulk_load, Item, RTree};
-use ringjoin_server::{Client, RingBounds, Server, ServerConfig};
+use ringjoin_server::{Client, Mutation, RingBounds, Server, ServerConfig};
 use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
 use ringjoin_storage::{CostModel, MemDisk, Pager, SharedPager};
 use std::collections::HashSet;
@@ -42,6 +42,13 @@ COMMANDS
   explain    (--p FILE --q FILE | --input FILE) [--algo ...] [--k K]
              [--index rtree|quadtree] [--threads N]
              (print the resolved query plan without running it)
+  replay     --p FILE --q FILE --target p|q --log FILE [--algo ...]
+             [--out FILE] [--index rtree|quadtree] [--threads N] [--stats]
+             (offline oracle for live serving: load both files, apply a
+              recorded mutation log batch by batch to the target dataset
+              through the same engine update path, then join q against p.
+              Pair order follows the mutation history, so the oracle must
+              replay it — a bulk rebuild of the final pointset is wrong)
   compare    --p FILE --q FILE (--epsilon E | --kcp K | --knn K)
   bound      --np N --nq N  (result-size bounds)
   serve      [--addr HOST:PORT | --port N] [--shards N] [--replicas N]
@@ -65,6 +72,18 @@ COMMANDS
                    [--pipeline N]
   client top-k     --outer Q --inner P --k K [--out FILE] [--pipeline N]
   client explain   --outer Q [--inner P] [--algo ..] [--k K]
+  client insert    --name NAME --input FILE
+  client upsert    --name NAME --input FILE
+  client delete    --name NAME --ids ID[,ID,...]
+                   (one atomic mutation batch per call: the whole batch
+                    validates or refuses, the dataset epoch advances by
+                    one, and the reply's epoch/applied/items are printed)
+  client mutate-stream --name NAME [--batches N] [--batch-size M]
+                   [--seed S] [--id-base B] [--interval-ms T] [--log FILE]
+                   (deterministic seeded stream of INSERT/UPSERT/DELETE
+                    batches against a live dataset; --log records every
+                    batch so `replay` can rebuild the identical mutation
+                    history offline)
   client stats
   client shutdown
              (every client operation takes [--addr HOST:PORT],
@@ -306,6 +325,231 @@ fn parse_bounds(args: &Args) -> Result<Option<RingBounds>, ArgError> {
     }
 }
 
+/// Parses `--ids 1,2,3` into the id list of a DELETE batch.
+fn parse_id_list(s: &str) -> Result<Vec<u64>, ArgError> {
+    s.split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|_| ArgError(format!("invalid --ids entry {v:?}")))
+        })
+        .collect()
+}
+
+/// Renders an applied-update reply; `client insert|delete|upsert` and
+/// every `mutate-stream` batch report through this one format.
+fn describe_update(name: &str, reply: &ringjoin_server::proto::Reply) -> String {
+    format!(
+        "dataset {name:?} at epoch {}: applied {} mutation(s), {} item(s) live",
+        reply.field("epoch").unwrap_or("?"),
+        reply.field("applied").unwrap_or("?"),
+        reply.field("items").unwrap_or("?"),
+    )
+}
+
+/// Appends one batch to a mutation log in the `replay` grammar: a
+/// `batch` separator line, then one `+ id x y` / `- id` / `^ id x y`
+/// row per operation. `f64` Display round-trips exactly, so a replayed
+/// log rebuilds bit-identical coordinates.
+fn encode_log_batch(out: &mut String, ops: &[Mutation]) {
+    use std::fmt::Write as _;
+    out.push_str("batch\n");
+    for op in ops {
+        match op {
+            Mutation::Insert(it) => {
+                writeln!(out, "+ {} {} {}", it.id, it.point.x, it.point.y)
+            }
+            Mutation::Delete(id) => writeln!(out, "- {id}"),
+            Mutation::Upsert(it) => {
+                writeln!(out, "^ {} {} {}", it.id, it.point.x, it.point.y)
+            }
+        }
+        .expect("writing to a String cannot fail");
+    }
+}
+
+/// Parses a mutation log back into batches. Blank lines and `#`
+/// comments are skipped; every mutation row must follow a `batch`
+/// separator so the replay applies the same batch boundaries (and so
+/// lands on the same epoch) as the live stream did.
+fn parse_mutation_log(text: &str) -> Result<Vec<Vec<Mutation>>, ArgError> {
+    let mut batches: Vec<Vec<Mutation>> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let id = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| ArgError(format!("log line {lineno}: invalid id {v:?}")))
+        };
+        let coord = |v: &str| {
+            v.parse::<f64>()
+                .map_err(|_| ArgError(format!("log line {lineno}: invalid coordinate {v:?}")))
+        };
+        let op = match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["batch", ..] => {
+                batches.push(Vec::new());
+                continue;
+            }
+            ["+", i, x, y] => {
+                Mutation::Insert(Item::new(id(i)?, ringjoin_geom::pt(coord(x)?, coord(y)?)))
+            }
+            ["^", i, x, y] => {
+                Mutation::Upsert(Item::new(id(i)?, ringjoin_geom::pt(coord(x)?, coord(y)?)))
+            }
+            ["-", i] => Mutation::Delete(id(i)?),
+            _ => {
+                return Err(ArgError(format!(
+                    "log line {lineno}: unrecognized mutation row {line:?}"
+                )))
+            }
+        };
+        batches
+            .last_mut()
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "log line {lineno}: mutation row before the first `batch` separator"
+                ))
+            })?
+            .push(op);
+    }
+    Ok(batches)
+}
+
+/// Replays one recorded batch through the engine's update builder,
+/// preserving operation order: the tree shape — and with it the pair
+/// emission order — depends on the exact mutation history, not just the
+/// final pointset.
+fn apply_log_batch(engine: &mut Engine, name: &str, ops: &[Mutation]) -> Result<(), ArgError> {
+    let mut batch = engine.update(name);
+    for op in ops {
+        batch = match *op {
+            Mutation::Insert(it) => batch.insert([it]),
+            Mutation::Delete(id) => batch.delete([id]),
+            Mutation::Upsert(it) => batch.upsert([it]),
+        };
+    }
+    batch.apply().map_err(engine_err)?;
+    Ok(())
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Deterministic seeded mutation stream: round r is INSERT (r % 3 == 0),
+/// UPSERT (1) or DELETE (2). Inserts mint fresh ids from `id_base` up;
+/// upserts alternate between moving a previously-inserted live id and
+/// minting a fresh one; deletes retire up to half the stream's live ids
+/// (falling back to an insert round if none are left). Every batch is
+/// homogeneous — the wire grammar has one verb per request — and the
+/// whole stream derives from (seed, batches, batch_size, id_base), which
+/// is what lets CI replay the identical history offline.
+fn mutation_stream(
+    seed: u64,
+    batches: usize,
+    batch_size: usize,
+    id_base: u64,
+) -> Vec<Vec<Mutation>> {
+    let pool = uniform(batches * batch_size, seed);
+    let mut cursor = 0usize;
+    let mut rng = (seed ^ 0x9E37_79B9_7F4A_7C15) | 1;
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = id_base;
+    let mut out = Vec::with_capacity(batches);
+    for round in 0..batches {
+        let mut ops = Vec::with_capacity(batch_size);
+        let kind = match round % 3 {
+            2 if live.is_empty() => 0,
+            k => k,
+        };
+        match kind {
+            0 => {
+                for _ in 0..batch_size {
+                    let point = pool[cursor].point;
+                    cursor += 1;
+                    ops.push(Mutation::Insert(Item::new(next_id, point)));
+                    live.push(next_id);
+                    next_id += 1;
+                }
+            }
+            1 => {
+                for slot in 0..batch_size {
+                    let point = pool[cursor].point;
+                    cursor += 1;
+                    if slot % 2 == 0 && !live.is_empty() {
+                        let id = live[xorshift(&mut rng) as usize % live.len()];
+                        ops.push(Mutation::Upsert(Item::new(id, point)));
+                    } else {
+                        ops.push(Mutation::Upsert(Item::new(next_id, point)));
+                        live.push(next_id);
+                        next_id += 1;
+                    }
+                }
+            }
+            _ => {
+                let retire = batch_size.min(live.len().div_ceil(2));
+                for _ in 0..retire {
+                    let idx = xorshift(&mut rng) as usize % live.len();
+                    ops.push(Mutation::Delete(live.swap_remove(idx)));
+                }
+            }
+        }
+        out.push(ops);
+    }
+    out
+}
+
+/// Sends one stream batch under its wire verb. Stream batches are
+/// homogeneous by construction; a mixed batch could not be one atomic
+/// remote update, so [`mutation_stream`] never produces one.
+fn send_stream_batch(
+    client: &mut Client,
+    args: &Args,
+    name: &str,
+    ops: &[Mutation],
+) -> Result<ringjoin_server::proto::Reply, ArgError> {
+    use ringjoin_server::proto::Request;
+    let req = match ops[0] {
+        Mutation::Insert(_) => Request::Insert {
+            name: name.to_string(),
+            items: ops
+                .iter()
+                .filter_map(|op| match op {
+                    Mutation::Insert(it) => Some(*it),
+                    _ => None,
+                })
+                .collect(),
+        },
+        Mutation::Upsert(_) => Request::Upsert {
+            name: name.to_string(),
+            items: ops
+                .iter()
+                .filter_map(|op| match op {
+                    Mutation::Upsert(it) => Some(*it),
+                    _ => None,
+                })
+                .collect(),
+        },
+        Mutation::Delete(_) => Request::Delete {
+            name: name.to_string(),
+            ids: ops
+                .iter()
+                .filter_map(|op| match op {
+                    Mutation::Delete(id) => Some(*id),
+                    _ => None,
+                })
+                .collect(),
+        },
+    };
+    client_request(client, args, &req)
+}
+
 /// `--stats` reporting for remote (client) runs: the counters the
 /// server sent on the status line.
 fn report_remote_stats(out: &ringjoin_server::RemoteOutput) {
@@ -511,7 +755,9 @@ fn run_join_shaped(
 fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
     let op = args.sub.as_deref().ok_or_else(|| {
         ArgError(
-            "client needs an operation: load|join|self-join|top-k|explain|stats|shutdown".into(),
+            "client needs an operation: load|join|self-join|top-k|explain|\
+             insert|delete|upsert|mutate-stream|stats|shutdown"
+                .into(),
         )
     })?;
     let addr = args.opt("addr").unwrap_or("127.0.0.1:4815");
@@ -589,6 +835,77 @@ fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
                 .map_err(server_err)?;
             Ok(Some(text))
         }
+        "insert" | "upsert" => {
+            let name = args.req("name")?;
+            let items = load_items(args.req("input")?)?;
+            let req = if op == "insert" {
+                ringjoin_server::proto::Request::Insert {
+                    name: name.to_string(),
+                    items,
+                }
+            } else {
+                ringjoin_server::proto::Request::Upsert {
+                    name: name.to_string(),
+                    items,
+                }
+            };
+            let reply = client_request(&mut client, args, &req)?;
+            Ok(Some(describe_update(name, &reply)))
+        }
+        "delete" => {
+            let name = args.req("name")?;
+            let req = ringjoin_server::proto::Request::Delete {
+                name: name.to_string(),
+                ids: parse_id_list(args.req("ids")?)?,
+            };
+            let reply = client_request(&mut client, args, &req)?;
+            Ok(Some(describe_update(name, &reply)))
+        }
+        "mutate-stream" => {
+            let name = args.req("name")?;
+            let batches: usize = args.opt_parse("batches", 10)?;
+            let batch_size: usize = args.opt_parse("batch-size", 8)?;
+            if batches == 0 || batch_size == 0 {
+                return Err(ArgError(
+                    "--batches and --batch-size must be at least 1; omit them for the defaults"
+                        .into(),
+                ));
+            }
+            let seed: u64 = args.opt_parse("seed", 42)?;
+            let id_base: u64 = args.opt_parse("id-base", 1 << 40)?;
+            let interval =
+                std::time::Duration::from_millis(args.opt_parse::<u64>("interval-ms", 0)?);
+            let stream = mutation_stream(seed, batches, batch_size, id_base);
+            let mut log =
+                String::from("# ringjoin-cli mutation log (rebuild offline with `replay --log`)\n");
+            let mut applied = 0usize;
+            let mut last = None;
+            for (i, ops) in stream.iter().enumerate() {
+                if i > 0 && !interval.is_zero() {
+                    std::thread::sleep(interval);
+                }
+                let reply = send_stream_batch(&mut client, args, name, ops)?;
+                encode_log_batch(&mut log, ops);
+                applied += ops.len();
+                if !args.flag("quiet") {
+                    eprintln!(
+                        "batch {}/{batches}: {}",
+                        i + 1,
+                        describe_update(name, &reply)
+                    );
+                }
+                last = Some(reply);
+            }
+            if let Some(path) = args.opt("log") {
+                std::fs::write(path, &log)
+                    .map_err(|e| ArgError(format!("cannot write --log {path}: {e}")))?;
+            }
+            let last = last.expect("--batches >= 1 was checked above");
+            Ok(Some(format!(
+                "streamed {batches} batch(es), {applied} mutation(s); {}",
+                describe_update(name, &last)
+            )))
+        }
         "stats" => Ok(Some(client.stats().map_err(server_err)?)),
         "shutdown" => {
             client.shutdown().map_err(server_err)?;
@@ -598,6 +915,40 @@ fn cmd_client(args: &Args) -> Result<Option<String>, ArgError> {
             "unknown client operation {other:?}\n\n{USAGE}"
         ))),
     }
+}
+
+/// The `replay` command: the offline oracle for live serving. Loads the
+/// two files, applies a recorded mutation log batch by batch to the
+/// target dataset through the same engine update path a server uses,
+/// then joins — giving CI a CSV to diff against the live server's.
+fn cmd_replay(args: &Args) -> Result<Option<String>, ArgError> {
+    let target = args.req("target")?;
+    if target != "p" && target != "q" {
+        return Err(ArgError(format!(
+            "--target must be p or q (got {target:?})"
+        )));
+    }
+    let log_path = args.req("log")?;
+    let text = std::fs::read_to_string(log_path)
+        .map_err(|e| ArgError(format!("cannot read --log {log_path}: {e}")))?;
+    let log = parse_mutation_log(&text)?;
+    let algo = parse_algo(args.opt("algo"), "obj")?;
+    let executor = parse_executor(args)?;
+    let mut engine = build_engine(args, false)?;
+    for ops in &log {
+        apply_log_batch(&mut engine, target, ops)?;
+    }
+    let plan = query(&engine, false)
+        .algorithm(algo)
+        .executor(executor)
+        .plan()
+        .map_err(engine_err)?;
+    let out = plan.collect();
+    if args.flag("stats") {
+        report_stats(&engine.pager(), &plan, &out);
+    }
+    write_pairs(args.opt("out"), &out.pairs)?;
+    Ok(None)
 }
 
 /// Runs one parsed command; returns the text to print on stdout (pair
@@ -614,6 +965,7 @@ pub fn run(args: &Args) -> Result<Option<String>, ArgError> {
     match args.command.as_str() {
         "serve" => cmd_serve(args),
         "client" => cmd_client(args),
+        "replay" => cmd_replay(args),
         "help" => Ok(Some(USAGE.to_string())),
         "generate" => {
             let n: usize = args.req_parse("n")?;
@@ -1229,6 +1581,189 @@ mod tests {
         .unwrap())
         .unwrap_err();
         assert!(err.0.contains("already loaded"), "{}", err.0);
+        run(&parse(&s(&["client", "shutdown", "--addr", &addr])).unwrap()).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn mutation_stream_is_deterministic_and_round_trips_its_log() {
+        let a = mutation_stream(7, 9, 5, 1000);
+        assert_eq!(a, mutation_stream(7, 9, 5, 1000));
+        assert_eq!(a.len(), 9);
+        // Every batch is non-empty and homogeneous (one wire verb each).
+        for ops in &a {
+            assert!(!ops.is_empty());
+            let kind = std::mem::discriminant(&ops[0]);
+            assert!(ops.iter().all(|op| std::mem::discriminant(op) == kind));
+        }
+        // Rounds rotate INSERT / UPSERT / DELETE.
+        assert!(matches!(a[0][0], Mutation::Insert(_)));
+        assert!(matches!(a[1][0], Mutation::Upsert(_)));
+        assert!(matches!(a[2][0], Mutation::Delete(_)));
+        // The log encodes and parses back to the identical batches,
+        // coordinates included.
+        let mut log = String::new();
+        for ops in &a {
+            encode_log_batch(&mut log, ops);
+        }
+        assert_eq!(parse_mutation_log(&log).unwrap(), a);
+        // Malformed logs are rejected with the offending line.
+        for bad in ["+ 1 2 3\n", "batch\n* 1 2 3\n", "batch\n+ x 2 3\n"] {
+            assert!(parse_mutation_log(bad).is_err(), "{bad:?} must not parse");
+        }
+        // Comments and blank lines are noise.
+        assert_eq!(
+            parse_mutation_log("# header\n\nbatch\n- 4\n").unwrap(),
+            vec![vec![Mutation::Delete(4)]]
+        );
+    }
+
+    #[test]
+    fn client_mutations_and_replay_oracle_agree() {
+        let p = tmp("mut_p.bin");
+        let q = tmp("mut_q.bin");
+        for (path, seed) in [(&p, "81"), (&q, "82")] {
+            run(&parse(&s(&[
+                "generate", "--kind", "uniform", "--n", "400", "--seed", seed, "--out", path,
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 3,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+        for (name, file) in [("p", &p), ("q", &q)] {
+            run(&parse(&s(&[
+                "client", "load", "--addr", &addr, "--name", name, "--input", file,
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+
+        // Three manual batches: insert fresh points, delete one of them
+        // plus an original, move one and mint another via upsert.
+        let ins = tmp("mut_ins.csv");
+        std::fs::write(
+            &ins,
+            "id,x,y\n900001,10.5,20.25\n900002,30,40\n900003,50,60\n",
+        )
+        .unwrap();
+        let msg = run(&parse(&s(&[
+            "client", "insert", "--addr", &addr, "--name", "p", "--input", &ins,
+        ]))
+        .unwrap())
+        .unwrap()
+        .unwrap();
+        assert!(msg.contains("epoch 1"), "{msg}");
+        assert!(msg.contains("applied 3"), "{msg}");
+        let msg = run(&parse(&s(&[
+            "client", "delete", "--addr", &addr, "--name", "p", "--ids", "900001,5",
+        ]))
+        .unwrap())
+        .unwrap()
+        .unwrap();
+        assert!(msg.contains("epoch 2"), "{msg}");
+        let ups = tmp("mut_ups.csv");
+        std::fs::write(&ups, "id,x,y\n900002,-5.5,7.75\n900004,70,80\n").unwrap();
+        let msg = run(&parse(&s(&[
+            "client", "upsert", "--addr", &addr, "--name", "p", "--input", &ups,
+        ]))
+        .unwrap())
+        .unwrap()
+        .unwrap();
+        assert!(msg.contains("epoch 3"), "{msg}");
+
+        // A deterministic seeded stream on top, recording its log.
+        let mlog = tmp("mut_stream.log");
+        let msg = run(&parse(&s(&[
+            "client",
+            "mutate-stream",
+            "--addr",
+            &addr,
+            "--name",
+            "p",
+            "--seed",
+            "7",
+            "--batches",
+            "6",
+            "--batch-size",
+            "5",
+            "--id-base",
+            "910000",
+            "--log",
+            &mlog,
+            "--quiet",
+        ]))
+        .unwrap())
+        .unwrap()
+        .unwrap();
+        assert!(msg.contains("streamed 6 batch(es)"), "{msg}");
+        assert!(msg.contains("epoch 9"), "{msg}");
+
+        let live = tmp("mut_live.csv");
+        run(&parse(&s(&[
+            "client", "join", "--addr", &addr, "--outer", "q", "--inner", "p", "--out", &live,
+        ]))
+        .unwrap())
+        .unwrap();
+
+        // The oracle replays the identical history — the hand-written
+        // manual batches prepended to the recorded stream log — through
+        // a single in-process engine. Byte-identity is the contract.
+        let full = tmp("mut_full.log");
+        let manual = "batch\n+ 900001 10.5 20.25\n+ 900002 30 40\n+ 900003 50 60\n\
+                      batch\n- 900001\n- 5\n\
+                      batch\n^ 900002 -5.5 7.75\n^ 900004 70 80\n";
+        std::fs::write(
+            &full,
+            format!("{manual}{}", std::fs::read_to_string(&mlog).unwrap()),
+        )
+        .unwrap();
+        let oracle = tmp("mut_oracle.csv");
+        run(&parse(&s(&[
+            "replay", "--p", &p, "--q", &q, "--target", "p", "--log", &full, "--out", &oracle,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&live).unwrap(),
+            std::fs::read_to_string(&oracle).unwrap(),
+            "live server CSV must be byte-identical to the replayed oracle"
+        );
+
+        // Refused batches surface as client errors and leave the epoch
+        // alone: 900001 is already deleted, 900002/900003 already exist.
+        let err = run(&parse(&s(&[
+            "client", "delete", "--addr", &addr, "--name", "p", "--ids", "900001",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("missing id"), "{}", err.0);
+        let err = run(&parse(&s(&[
+            "client", "insert", "--addr", &addr, "--name", "p", "--input", &ins,
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("duplicate id"), "{}", err.0);
+        let stats = run(&parse(&s(&["client", "stats", "--addr", &addr])).unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(stats.contains("epoch=9"), "{stats}");
+        assert!(stats.contains("updates_total 9"), "{stats}");
+
+        // Replay argument validation.
+        let err = run(&parse(&s(&[
+            "replay", "--p", &p, "--q", &q, "--target", "r", "--log", &full,
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("--target must be p or q"), "{}", err.0);
+
         run(&parse(&s(&["client", "shutdown", "--addr", &addr])).unwrap()).unwrap();
         handle.join().unwrap();
     }

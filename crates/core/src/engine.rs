@@ -75,6 +75,23 @@ pub enum EngineError {
     /// [`QueryBuilder::plan`] was called before
     /// [`QueryBuilder::join`]/[`QueryBuilder::self_join`] chose inputs.
     NoQuery,
+    /// An [`UpdateBuilder::insert`] id already exists in the dataset
+    /// (or earlier in the same batch). Use
+    /// [`UpdateBuilder::upsert`] to replace.
+    DuplicateId {
+        /// The dataset being updated.
+        dataset: String,
+        /// The offending point id.
+        id: u64,
+    },
+    /// An [`UpdateBuilder::delete`] id is not present in the dataset
+    /// (or was already deleted earlier in the same batch).
+    MissingId {
+        /// The dataset being updated.
+        dataset: String,
+        /// The offending point id.
+        id: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -92,16 +109,36 @@ impl fmt::Display for EngineError {
                     "no query inputs: call .join(outer, inner) or .self_join(dataset)"
                 )
             }
+            EngineError::DuplicateId { dataset, id } => {
+                write!(
+                    f,
+                    "insert into {dataset:?}: id {id} already exists (use upsert to replace)"
+                )
+            }
+            EngineError::MissingId { dataset, id } => {
+                write!(f, "delete from {dataset:?}: id {id} not present")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
-/// One registered dataset: its name and the index built over it.
+/// One registered dataset: its name, the index built over it, the
+/// authoritative id → point catalog, and its mutation epoch.
 struct Dataset {
     name: String,
     index: AnyIndex,
+    /// Authoritative pointset: every id currently in the dataset and its
+    /// coordinates. Updates validate and apply against this map; the
+    /// sorted iteration order is the canonical pointset of the epoch
+    /// ([`Engine::dataset_items`]), which is what a rebuild-from-scratch
+    /// oracle loads.
+    items: BTreeMap<u64, ringjoin_geom::Point>,
+    /// Mutation epoch: 0 at load, +1 per applied non-empty update batch.
+    /// Queries planned at different epochs may see different answers;
+    /// plan caches must key on this.
+    epoch: u64,
 }
 
 /// The index kinds the engine can host natively.
@@ -245,7 +282,34 @@ impl Engine {
             name: ds.name.clone(),
             kind: ds.kind(),
             summary: ds.summary(),
+            epoch: ds.epoch,
         })
+    }
+
+    /// The exact pointset of a dataset's current epoch, sorted by id —
+    /// what a rebuild-from-scratch oracle bulk-loads to reproduce this
+    /// dataset's query answers.
+    pub fn dataset_items(&self, name: &str) -> Result<Vec<Item>, EngineError> {
+        let ds = self.get(name)?;
+        Ok(ds
+            .items
+            .iter()
+            .map(|(&id, &point)| Item::new(id, point))
+            .collect())
+    }
+
+    /// Starts a mutation batch against a registered dataset:
+    /// `engine.update(name).insert(..).delete(..).apply()`. Operations
+    /// apply in call order; the whole batch is validated up front and
+    /// either applies completely (advancing the dataset's epoch by one)
+    /// or not at all. See [`UpdateBuilder`].
+    pub fn update(&mut self, name: impl Into<String>) -> UpdateBuilder<'_> {
+        UpdateBuilder {
+            engine: self,
+            name: name.into(),
+            ops: Vec::new(),
+            version_store: true,
+        }
     }
 
     /// Names of all registered datasets (sorted).
@@ -323,6 +387,8 @@ impl LoadBuilder<'_> {
             items,
             on_disk,
         } = self;
+        let catalog: BTreeMap<u64, ringjoin_geom::Point> =
+            items.iter().map(|it| (it.id, it.point)).collect();
         let index = match kind {
             IndexKind::Rtree => AnyIndex::Rtree(bulk_load(engine.pager.clone(), items)),
             IndexKind::Quadtree => {
@@ -338,11 +404,14 @@ impl LoadBuilder<'_> {
         let ds = Dataset {
             name: name.clone(),
             index,
+            items: catalog,
+            epoch: 0,
         };
         let handle = DatasetHandle {
             name: ds.name.clone(),
             kind: ds.kind(),
             summary: ds.summary(),
+            epoch: ds.epoch,
         };
         engine.datasets.insert(name, ds);
         if let Some(path) = on_disk {
@@ -356,6 +425,206 @@ impl LoadBuilder<'_> {
     }
 }
 
+/// One operation of a mutation batch, applied in call order.
+enum UpdateOp {
+    Insert(Item),
+    Delete(u64),
+    Upsert(Item),
+}
+
+/// Pending mutation batch: created by [`Engine::update`], applied by
+/// [`UpdateBuilder::apply`].
+///
+/// The batch is **atomic**: every operation is validated against the
+/// dataset's catalog (with earlier operations in the batch already
+/// simulated) before any page is touched, so a failing batch leaves the
+/// dataset, its index, and its epoch exactly as they were. A successful
+/// non-empty batch advances the dataset's epoch by one and opens a new
+/// storage epoch first
+/// ([`Pager::begin_epoch`](ringjoin_storage::Pager::begin_epoch)), so
+/// streams opened before the batch keep draining the snapshot they
+/// started on while new queries see the updated pointset.
+///
+/// Indexes are maintained **incrementally**: R-trees take the R*
+/// insert/delete path (ChooseSubtree, forced reinsertion, CondenseTree),
+/// quadtrees insert/remove in place — except that a point outside a
+/// quadtree's loaded region forces a rebuild over the grown bounding
+/// box, since PR decomposition is region-anchored. Either way the
+/// resulting pointset is exactly [`Engine::dataset_items`]; pair-set
+/// equality with a bulk-loaded oracle is guaranteed, byte-order equality
+/// additionally holds for diameter-ordered (top-k) streams, whose
+/// canonical `(diameter, pair key)` order is independent of tree shape.
+pub struct UpdateBuilder<'e> {
+    engine: &'e mut Engine,
+    name: String,
+    ops: Vec<UpdateOp>,
+    version_store: bool,
+}
+
+impl UpdateBuilder<'_> {
+    /// Queues point insertions. Inserting an id that already exists (in
+    /// the dataset or earlier in this batch) fails the whole batch with
+    /// [`EngineError::DuplicateId`].
+    pub fn insert(mut self, items: impl IntoIterator<Item = Item>) -> Self {
+        self.ops.extend(items.into_iter().map(UpdateOp::Insert));
+        self
+    }
+
+    /// Queues point deletions by id. Deleting an id that is not present
+    /// (or was deleted earlier in this batch) fails the whole batch with
+    /// [`EngineError::MissingId`].
+    pub fn delete(mut self, ids: impl IntoIterator<Item = u64>) -> Self {
+        self.ops.extend(ids.into_iter().map(UpdateOp::Delete));
+        self
+    }
+
+    /// Queues insert-or-replace operations; never fails validation.
+    pub fn upsert(mut self, items: impl IntoIterator<Item = Item>) -> Self {
+        self.ops.extend(items.into_iter().map(UpdateOp::Upsert));
+        self
+    }
+
+    /// Controls whether a **disk-native** engine versions its page file
+    /// when the batch opens a new storage epoch (default `true`: the
+    /// current pages are re-spilled to `<base>.e<N>` so readers pinned
+    /// to the old file keep it via their open descriptors). Callers that
+    /// serialize updates against reads externally — the sharded server
+    /// applies updates under its catalog write lock — pass `false` to
+    /// skip the copy. In-memory engines are unaffected: snapshot pinning
+    /// needs no file versioning.
+    pub fn version_store(mut self, on: bool) -> Self {
+        self.version_store = on;
+        self
+    }
+
+    /// Validates and applies the batch, returning the dataset's handle
+    /// at its new epoch. An empty batch is a no-op: no storage epoch is
+    /// opened and the dataset epoch does not advance.
+    pub fn apply(self) -> Result<DatasetHandle, EngineError> {
+        let UpdateBuilder {
+            engine,
+            name,
+            ops,
+            version_store,
+        } = self;
+        // Whole-batch validation before any mutation: simulate the id
+        // set op by op so intra-batch conflicts surface too.
+        {
+            let ds = engine.get(&name)?;
+            let mut sim: std::collections::BTreeSet<u64> = ds.items.keys().copied().collect();
+            for op in &ops {
+                match op {
+                    UpdateOp::Insert(it) => {
+                        if !sim.insert(it.id) {
+                            return Err(EngineError::DuplicateId {
+                                dataset: name,
+                                id: it.id,
+                            });
+                        }
+                    }
+                    UpdateOp::Delete(id) => {
+                        if !sim.remove(id) {
+                            return Err(EngineError::MissingId {
+                                dataset: name,
+                                id: *id,
+                            });
+                        }
+                    }
+                    UpdateOp::Upsert(it) => {
+                        // Never fails itself, but the id it creates (or
+                        // keeps) is visible to later ops in the batch.
+                        sim.insert(it.id);
+                    }
+                }
+            }
+        }
+        if ops.is_empty() {
+            return Ok(engine.dataset(&name).expect("existence checked above"));
+        }
+        // Open the new storage epoch BEFORE touching any page: readers
+        // pinned to the previous epoch (in-flight streams) keep their
+        // snapshot, and every page version written below — including
+        // rewrites of existing page ids — belongs to the new epoch.
+        engine.pager.borrow_mut().begin_epoch(version_store);
+        let ds = engine
+            .datasets
+            .get_mut(&name)
+            .expect("existence checked above");
+        // PR quadtrees cannot host out-of-region points: grow by
+        // rebuilding over the new bounding box (fresh pages; retired
+        // snapshots keep reading the old tree).
+        let needs_rebuild = match &ds.index {
+            AnyIndex::Quadtree(t) => {
+                let region = t.region();
+                ops.iter().any(|op| match op {
+                    UpdateOp::Insert(it) | UpdateOp::Upsert(it) => !region.contains_point(it.point),
+                    UpdateOp::Delete(_) => false,
+                })
+            }
+            AnyIndex::Rtree(_) => false,
+        };
+        if needs_rebuild {
+            for op in ops {
+                match op {
+                    UpdateOp::Insert(it) | UpdateOp::Upsert(it) => {
+                        ds.items.insert(it.id, it.point);
+                    }
+                    UpdateOp::Delete(id) => {
+                        ds.items.remove(&id);
+                    }
+                }
+            }
+            let region = Rect::from_points(ds.items.values().copied())
+                .unwrap_or_else(|| Rect::new(pt(0.0, 0.0), pt(1.0, 1.0)));
+            let mut tree = QuadTree::new(engine.pager.clone(), region);
+            for (&id, &point) in &ds.items {
+                tree.insert(id, point);
+            }
+            ds.index = AnyIndex::Quadtree(tree);
+        } else {
+            for op in ops {
+                match op {
+                    UpdateOp::Insert(it) => {
+                        ds.items.insert(it.id, it.point);
+                        match &mut ds.index {
+                            AnyIndex::Rtree(t) => t.insert(it),
+                            AnyIndex::Quadtree(t) => t.insert(it.id, it.point),
+                        }
+                    }
+                    UpdateOp::Delete(id) => {
+                        let point = ds.items.remove(&id).expect("validated above");
+                        let removed = match &mut ds.index {
+                            AnyIndex::Rtree(t) => t.remove(Item::new(id, point)),
+                            AnyIndex::Quadtree(t) => t.remove(id, point),
+                        };
+                        debug_assert!(removed, "catalog and index disagree on id {id}");
+                    }
+                    UpdateOp::Upsert(it) => {
+                        if let Some(old) = ds.items.insert(it.id, it.point) {
+                            let removed = match &mut ds.index {
+                                AnyIndex::Rtree(t) => t.remove(Item::new(it.id, old)),
+                                AnyIndex::Quadtree(t) => t.remove(it.id, old),
+                            };
+                            debug_assert!(removed, "catalog and index disagree on id {}", it.id);
+                        }
+                        match &mut ds.index {
+                            AnyIndex::Rtree(t) => t.insert(it),
+                            AnyIndex::Quadtree(t) => t.insert(it.id, it.point),
+                        }
+                    }
+                }
+            }
+        }
+        ds.epoch += 1;
+        Ok(DatasetHandle {
+            name: ds.name.clone(),
+            kind: ds.kind(),
+            summary: ds.summary(),
+            epoch: ds.epoch,
+        })
+    }
+}
+
 /// Description of a registered dataset: its name, index kind, and
 /// catalog summary. Cheap to clone; dereferences to the dataset name so
 /// it can be passed wherever a query expects one.
@@ -364,6 +633,7 @@ pub struct DatasetHandle {
     name: String,
     kind: IndexKind,
     summary: DatasetSummary,
+    epoch: u64,
 }
 
 impl DatasetHandle {
@@ -380,6 +650,13 @@ impl DatasetHandle {
     /// The catalog summary the planner costs queries with.
     pub fn summary(&self) -> DatasetSummary {
         self.summary
+    }
+
+    /// The dataset's mutation epoch: 0 at load, +1 per applied update
+    /// batch. Two handles with equal epochs describe identical
+    /// pointsets.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -1028,6 +1305,233 @@ mod tests {
         assert_eq!(h.kind(), IndexKind::Quadtree);
         assert_eq!(h.summary().items, 80);
         assert_eq!(engine.dataset_names(), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn updates_apply_atomically_and_advance_the_epoch() {
+        for kind in [IndexKind::Rtree, IndexKind::Quadtree] {
+            let mut engine = Engine::new();
+            let h = engine.load("p", points(200, 71, 900.0)).index(kind);
+            assert_eq!(h.epoch(), 0);
+
+            // Empty batch: no-op, no epoch bump.
+            let h = engine.update("p").apply().unwrap();
+            assert_eq!(h.epoch(), 0, "{}", kind.name());
+
+            // Mixed batch: insert fresh ids, delete some, move one.
+            let h = engine
+                .update("p")
+                .insert((1000..1020u64).map(|i| Item::new(i, pt(i as f64, 30.0))))
+                .delete(0..10u64)
+                .upsert([Item::new(42, pt(123.0, 456.0))])
+                .apply()
+                .unwrap();
+            assert_eq!(h.epoch(), 1, "{}", kind.name());
+            assert_eq!(h.summary().items, 210, "{}", kind.name());
+            let items = engine.dataset_items("p").unwrap();
+            assert_eq!(items.len(), 210);
+            assert!(items
+                .iter()
+                .any(|it| it.id == 42 && it.point == pt(123.0, 456.0)));
+            assert!(!items.iter().any(|it| it.id < 10));
+
+            // Failing batches leave everything untouched — even ops
+            // queued before the failing one.
+            let err = engine
+                .update("p")
+                .insert([Item::new(5000, pt(1.0, 1.0)), Item::new(42, pt(2.0, 2.0))])
+                .apply()
+                .unwrap_err();
+            assert_eq!(
+                err,
+                EngineError::DuplicateId {
+                    dataset: "p".into(),
+                    id: 42
+                }
+            );
+            let err = engine.update("p").delete([0u64]).apply().unwrap_err();
+            assert_eq!(
+                err,
+                EngineError::MissingId {
+                    dataset: "p".into(),
+                    id: 0
+                }
+            );
+            assert_eq!(engine.dataset("p").unwrap().epoch(), 1, "{}", kind.name());
+            assert_eq!(engine.dataset_items("p").unwrap().len(), 210);
+
+            // Intra-batch conflicts are caught too: delete-then-delete,
+            // insert colliding with an upsert earlier in the batch.
+            assert!(engine.update("p").delete([42, 42]).apply().is_err());
+            assert!(engine
+                .update("p")
+                .upsert([Item::new(7777, pt(5.0, 5.0))])
+                .insert([Item::new(7777, pt(6.0, 6.0))])
+                .apply()
+                .is_err());
+
+            // Updates must error on unknown datasets.
+            assert_eq!(
+                engine.update("nope").delete([1u64]).apply().unwrap_err(),
+                EngineError::UnknownDataset("nope".into())
+            );
+        }
+    }
+
+    #[test]
+    fn updated_datasets_answer_like_a_fresh_bulk_load() {
+        for kind in [IndexKind::Rtree, IndexKind::Quadtree] {
+            let mut engine = Engine::new();
+            engine.load("p", points(150, 73, 700.0)).index(kind);
+            engine
+                .load("q", points(150, 79, 700.0))
+                .index(IndexKind::Rtree);
+            // Out-of-region inserts on the quadtree exercise the grow
+            // path (points(…, 700.0) spans [0, 700)²; 900 is outside).
+            engine
+                .update("p")
+                .insert([
+                    Item::new(900, pt(900.0, 900.0)),
+                    Item::new(901, pt(-50.0, 200.0)),
+                ])
+                .delete((0..150).step_by(3).map(|i| i as u64))
+                .upsert(
+                    (0..150u64)
+                        .step_by(7)
+                        .map(|i| Item::new(i, pt(i as f64, i as f64))),
+                )
+                .apply()
+                .unwrap();
+
+            let mut oracle = Engine::new();
+            oracle
+                .load("p", engine.dataset_items("p").unwrap())
+                .index(kind);
+            oracle
+                .load("q", engine.dataset_items("q").unwrap())
+                .index(IndexKind::Rtree);
+
+            let live = engine.query().join("q", "p").collect().unwrap();
+            let fresh = oracle.query().join("q", "p").collect().unwrap();
+            assert_eq!(
+                pair_keys(&live.pairs),
+                pair_keys(&fresh.pairs),
+                "{}",
+                kind.name()
+            );
+            // Diameter order is canonical — byte-identical even though
+            // the incremental tree's shape differs from the bulk load.
+            let live_top: Vec<RcjPair> = engine
+                .query()
+                .join("q", "p")
+                .top_k(25)
+                .stream()
+                .unwrap()
+                .collect();
+            let fresh_top: Vec<RcjPair> = oracle
+                .query()
+                .join("q", "p")
+                .top_k(25)
+                .stream()
+                .unwrap()
+                .collect();
+            assert_eq!(live_top, fresh_top, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn in_flight_streams_drain_their_snapshot() {
+        let mut engine = Engine::new();
+        engine
+            .load("p", points(200, 83, 1200.0))
+            .index(IndexKind::Rtree);
+        engine
+            .load("q", points(200, 89, 1200.0))
+            .index(IndexKind::Rtree);
+        let expected = engine.query().join("q", "p").collect().unwrap();
+
+        for threads in [1, 4] {
+            // Open (and partially drain) a stream, then mutate.
+            let mut stream = engine
+                .query()
+                .join("q", "p")
+                .threads(threads)
+                .stream()
+                .unwrap();
+            let mut drained: Vec<RcjPair> = Vec::new();
+            drained.extend(stream.by_ref().take(expected.pairs.len() / 3));
+
+            engine
+                .update("p")
+                .delete([expected.pairs[0].p.id])
+                .insert([Item::new(
+                    100_000 + threads as u64,
+                    pt(expected.pairs[0].p.point.x, expected.pairs[0].p.point.y),
+                )])
+                .apply()
+                .unwrap();
+
+            drained.extend(stream);
+            assert_eq!(
+                drained, expected.pairs,
+                "threads={threads}: in-flight stream must keep its snapshot"
+            );
+            // New queries see the new epoch.
+            let now = engine.query().join("q", "p").collect().unwrap();
+            assert_ne!(pair_keys(&now.pairs), pair_keys(&expected.pairs));
+            // Undo for the next round.
+            engine
+                .update("p")
+                .delete([100_000 + threads as u64])
+                .insert([Item::new(expected.pairs[0].p.id, expected.pairs[0].p.point)])
+                .apply()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn in_flight_topk_stream_survives_updates_on_a_disk_native_engine() {
+        let dir =
+            std::env::temp_dir().join(format!("ringjoin-engine-live-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.rj");
+
+        let mut engine = Engine::new();
+        engine
+            .load("p", points(300, 91, 2000.0))
+            .index(IndexKind::Rtree);
+        engine
+            .load("q", points(300, 97, 2000.0))
+            .on_disk(&path)
+            .index(IndexKind::Rtree);
+        let expected: Vec<RcjPair> = engine
+            .query()
+            .join("q", "p")
+            .top_k(40)
+            .stream()
+            .unwrap()
+            .collect();
+        assert_eq!(expected.len(), 40);
+
+        let mut stream = engine.query().join("q", "p").top_k(40).stream().unwrap();
+        let mut drained: Vec<RcjPair> = stream.by_ref().take(10).collect();
+        // Delete the endpoints of several upcoming pairs; the pinned
+        // stream must still produce them from its snapshot (default
+        // store versioning keeps the old page file readable).
+        engine
+            .update("p")
+            .delete(
+                expected[10..20]
+                    .iter()
+                    .map(|pr| pr.p.id)
+                    .collect::<std::collections::BTreeSet<_>>(),
+            )
+            .apply()
+            .unwrap();
+        drained.extend(stream);
+        assert_eq!(drained, expected, "pinned top-k stream changed answers");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -336,24 +336,24 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
     // disk-native pager hands out its store instead of a resident
     // snapshot — the pool's frames become the only RAM copy.
     let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
-    let (source_q, pool_q) = {
+    let (source_q, pool_q, epoch_q) = {
         let mut pg = pager_q.borrow_mut();
-        (pg.page_source(), pg.shared_pool())
+        (pg.page_source(), pg.shared_pool(), pg.epoch())
     };
     let source_pool_p = if one_pager {
         None
     } else {
         let mut pg = pager_p.borrow_mut();
-        Some((pg.page_source(), pg.shared_pool()))
+        Some((pg.page_source(), pg.shared_pool(), pg.epoch()))
     };
 
     // The prefetch schedule rides on the outer (`T_Q`) store: the
     // extent-weighted chunks the workers claim are known in advance, so
     // a background thread can stage each worker's upcoming leaf pages
     // while it verifies the current ones.
-    let prefetcher = source_q
-        .store()
-        .map(|store| Prefetcher::spawn(pool_q.clone(), std::sync::Arc::clone(store)));
+    let prefetcher = source_q.store().map(|store| {
+        Prefetcher::spawn_versioned(pool_q.clone(), std::sync::Arc::clone(store), epoch_q)
+    });
 
     let queues = seed_queues(leaves, workers);
 
@@ -368,8 +368,9 @@ fn run_parallel<PQ: IndexProbe, PP: IndexProbe>(
                 scope.spawn(move || {
                     let mut tagged: Vec<(usize, crate::RcjPair)> = Vec::new();
                     let mut stats = RcjStats::default();
-                    let mut wq = PooledPager::new(source_q, pool_q);
-                    let mut wp = source_pool_p.map(|(s, pool)| PooledPager::new(s, pool));
+                    let mut wq = PooledPager::versioned(source_q, pool_q, epoch_q);
+                    let mut wp =
+                        source_pool_p.map(|(s, pool, e)| PooledPager::versioned(s, pool, e));
                     {
                         let mut pagers = match wp.as_mut() {
                             None => Pagers::Shared(&mut wq),

@@ -409,16 +409,27 @@ fn run_leaf_subset_pooled<IQ: RcjIndex, IP: RcjIndex>(
     let pager_q = tq.pager();
     let pager_p = tp.pager();
     let one_pager = std::rc::Rc::ptr_eq(&pager_q, &pager_p);
-    let source_q = pager_q.borrow_mut().page_source();
-    let source_p = (!one_pager).then(|| pager_p.borrow_mut().page_source());
+    let (source_q, epoch_q) = {
+        let mut pg = pager_q.borrow_mut();
+        (pg.page_source(), pg.epoch())
+    };
+    let source_p = (!one_pager).then(|| {
+        let mut pg = pager_p.borrow_mut();
+        (pg.page_source(), pg.epoch())
+    });
     // Disk-native replicas prefetch their upcoming outer leaves exactly
     // like the executor's workers: the subset positions are this call's
     // schedule.
     let prefetcher = source_q.store().map(|store| {
-        ringjoin_storage::Prefetcher::spawn(pool.clone(), std::sync::Arc::clone(store))
+        ringjoin_storage::Prefetcher::spawn_versioned(
+            pool.clone(),
+            std::sync::Arc::clone(store),
+            epoch_q,
+        )
     });
-    let mut wq = ringjoin_storage::PooledPager::new(source_q, pool.clone());
-    let mut wp = source_p.map(|s| ringjoin_storage::PooledPager::new(s, pool.clone()));
+    let mut wq = ringjoin_storage::PooledPager::versioned(source_q, pool.clone(), epoch_q);
+    let mut wp =
+        source_p.map(|(s, e)| ringjoin_storage::PooledPager::versioned(s, pool.clone(), e));
     let stats = {
         let mut pagers = match wp.as_mut() {
             None => Pagers::Shared(&mut wq),

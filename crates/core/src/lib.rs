@@ -132,7 +132,9 @@ mod stream;
 mod verify;
 
 pub use brute::{brute_candidates, rcj_brute, rcj_brute_self};
-pub use engine::{DatasetHandle, Engine, EngineError, IndexKind, LoadBuilder, Plan, QueryBuilder};
+pub use engine::{
+    DatasetHandle, Engine, EngineError, IndexKind, LoadBuilder, Plan, QueryBuilder, UpdateBuilder,
+};
 pub use executor::Executor;
 pub use filter::{bulk_filter, bulk_filter_with, filter, filter_with, BulkFilterResult};
 pub use index::{IndexEntry, IndexProbe, NodeRef, QuadTreeProbe, RTreeProbe, RcjIndex};

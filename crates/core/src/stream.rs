@@ -168,17 +168,68 @@ impl Iterator for RcjStream {
 // Leaf-order sources
 // ---------------------------------------------------------------------
 
-/// Sequential source: one outer leaf group per batch through the shared
-/// pager — the sequential executor, suspended between leaf groups.
+/// Sequential source: one outer leaf group per batch — the sequential
+/// executor, suspended between leaf groups.
+///
+/// The source is **pinned to the epoch it was opened at**: construction
+/// captures each pager's page source, shared pool and current epoch into
+/// private [`PooledPager`] handles, so a mutation batch
+/// ([`Pager::begin_epoch`](ringjoin_storage::Pager::begin_epoch)) landing
+/// while the stream is suspended between batches cannot change what the
+/// remaining batches read — the stream drains the snapshot it started on.
 struct SeqLeafSource<PQ: IndexProbe, PP: IndexProbe> {
     probe_q: PQ,
     probe_p: PP,
+    /// Owning pagers, kept to absorb the pinned handles' I/O counters
+    /// when the stream is dropped (consumed or abandoned).
     pager_q: SharedPager,
     pager_p: SharedPager,
+    /// Pinned outer-tree handle at stream-open epoch.
+    wq: PooledPager,
+    /// Pinned inner-tree handle; `None` when both trees share a pager
+    /// (always true for self-joins).
+    wp: Option<PooledPager>,
     leaves: Vec<NodeRef>,
     pos: usize,
     self_join: bool,
     opts: RcjOptions,
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> SeqLeafSource<PQ, PP> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        probe_q: PQ,
+        probe_p: PP,
+        pager_q: SharedPager,
+        pager_p: SharedPager,
+        leaves: Vec<NodeRef>,
+        self_join: bool,
+        opts: RcjOptions,
+    ) -> Self {
+        let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
+        let wq = {
+            let mut pg = pager_q.borrow_mut();
+            let (source, pool, epoch) = (pg.page_source(), pg.shared_pool(), pg.epoch());
+            PooledPager::versioned(source, pool, epoch)
+        };
+        let wp = (!one_pager).then(|| {
+            let mut pg = pager_p.borrow_mut();
+            let (source, pool, epoch) = (pg.page_source(), pg.shared_pool(), pg.epoch());
+            PooledPager::versioned(source, pool, epoch)
+        });
+        SeqLeafSource {
+            probe_q,
+            probe_p,
+            pager_q,
+            pager_p,
+            wq,
+            wp,
+            leaves,
+            pos: 0,
+            self_join,
+            opts,
+        }
+    }
 }
 
 impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for SeqLeafSource<PQ, PP> {
@@ -188,9 +239,12 @@ impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for SeqLeafSource<PQ, PP> {
         }
         let leaf = self.leaves[self.pos];
         self.pos += 1;
-        let mut pagers = Pagers::Split {
-            q: &mut self.pager_q,
-            p: &mut self.pager_p,
+        let mut pagers = match self.wp.as_mut() {
+            None => Pagers::Shared(&mut self.wq),
+            Some(wp) => Pagers::Split {
+                q: &mut self.wq,
+                p: wp,
+            },
         };
         let items = leaf_items(&self.probe_q, pagers.q(), leaf);
         process_leaf(
@@ -204,6 +258,17 @@ impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for SeqLeafSource<PQ, PP> {
             stats,
         );
         true
+    }
+}
+
+impl<PQ: IndexProbe, PP: IndexProbe> Drop for SeqLeafSource<PQ, PP> {
+    /// Folds the pinned handles' I/O counters back into the owning
+    /// pagers, mirroring [`ParLeafSource`]'s accounting.
+    fn drop(&mut self) {
+        self.pager_q.borrow_mut().absorb(self.wq.stats());
+        if let Some(wp) = &self.wp {
+            self.pager_p.borrow_mut().absorb(wp.stats());
+        }
     }
 }
 
@@ -255,23 +320,27 @@ impl<PQ: IndexProbe, PP: IndexProbe> ParLeafSource<PQ, PP> {
         opts: RcjOptions,
     ) -> Self {
         let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
-        let (source_q, pool_q) = {
+        let (source_q, pool_q, epoch_q) = {
             let mut pg = pager_q.borrow_mut();
-            (pg.page_source(), pg.shared_pool())
+            (pg.page_source(), pg.shared_pool(), pg.epoch())
         };
         let source_pool_p = (!one_pager).then(|| {
             let mut pg = pager_p.borrow_mut();
-            (pg.page_source(), pg.shared_pool())
+            (pg.page_source(), pg.shared_pool(), pg.epoch())
         });
         let prefetcher = source_q.store().map(|store| {
-            ringjoin_storage::Prefetcher::spawn(pool_q.clone(), std::sync::Arc::clone(store))
+            ringjoin_storage::Prefetcher::spawn_versioned(
+                pool_q.clone(),
+                std::sync::Arc::clone(store),
+                epoch_q,
+            )
         });
         let workers = (0..workers)
             .map(|_| WaveWorker {
-                wq: PooledPager::new(source_q.clone(), pool_q.clone()),
+                wq: PooledPager::versioned(source_q.clone(), pool_q.clone(), epoch_q),
                 wp: source_pool_p
                     .clone()
-                    .map(|(s, pool)| PooledPager::new(s, pool)),
+                    .map(|(s, pool, e)| PooledPager::versioned(s, pool, e)),
             })
             .collect();
         ParLeafSource {
@@ -459,11 +528,23 @@ impl Ord for CpElem {
 /// diameter, so the emission order is ascending diameter and every RCJ
 /// pair eventually appears (the traversal enumerates `P × Q`
 /// exhaustively if fully drained).
+/// Like the leaf-order sources, the traversal is **pinned to the epoch
+/// it was opened at**: expansion and verification read through private
+/// [`PooledPager`] handles captured at construction, so a top-k stream
+/// being drained incrementally keeps its answer set stable across
+/// concurrent mutation batches.
 struct DiameterSource<PQ: IndexProbe, PP: IndexProbe> {
     probe_q: PQ,
     probe_p: PP,
+    /// Owning pagers, kept to absorb the pinned handles' I/O counters
+    /// when the stream is dropped (consumed or abandoned).
     pager_q: SharedPager,
     pager_p: SharedPager,
+    /// Pinned `Q`-side handle at stream-open epoch.
+    wq: PooledPager,
+    /// Pinned `P`-side handle; `None` when both trees share a pager
+    /// (always true for self-joins) — the `Q` handle serves both sides.
+    wp: Option<PooledPager>,
     heap: BinaryHeap<CpElem>,
     seq: u64,
     self_join: bool,
@@ -486,11 +567,24 @@ impl<PQ: IndexProbe, PP: IndexProbe> DiameterSource<PQ, PP> {
         q_region: Option<Rect>,
         opts: &RcjOptions,
     ) -> Self {
+        let one_pager = Rc::ptr_eq(&pager_q, &pager_p);
+        let wq = {
+            let mut pg = pager_q.borrow_mut();
+            let (source, pool, epoch) = (pg.page_source(), pg.shared_pool(), pg.epoch());
+            PooledPager::versioned(source, pool, epoch)
+        };
+        let wp = (!one_pager).then(|| {
+            let mut pg = pager_p.borrow_mut();
+            let (source, pool, epoch) = (pg.page_source(), pg.shared_pool(), pg.epoch());
+            PooledPager::versioned(source, pool, epoch)
+        });
         let mut src = DiameterSource {
             probe_q,
             probe_p,
             pager_q,
             pager_p,
+            wq,
+            wp,
             heap: BinaryHeap::new(),
             seq: 0,
             self_join,
@@ -536,7 +630,8 @@ impl<PQ: IndexProbe, PP: IndexProbe> DiameterSource<PQ, PP> {
     fn expand_a(&mut self, node: NodeRef, b: CpRef, stats: &mut RcjStats) {
         stats.filter_node_reads += 1;
         let mut entries: Vec<IndexEntry> = Vec::new();
-        self.probe_p.expand(&mut self.pager_p, node, &mut entries);
+        let wp = self.wp.as_mut().unwrap_or(&mut self.wq);
+        self.probe_p.expand(wp, node, &mut entries);
         for e in entries {
             let a = match e {
                 IndexEntry::Item(it) => CpRef::Item(it),
@@ -550,7 +645,7 @@ impl<PQ: IndexProbe, PP: IndexProbe> DiameterSource<PQ, PP> {
     fn expand_b(&mut self, a: CpRef, node: NodeRef, stats: &mut RcjStats) {
         stats.filter_node_reads += 1;
         let mut entries: Vec<IndexEntry> = Vec::new();
-        self.probe_q.expand(&mut self.pager_q, node, &mut entries);
+        self.probe_q.expand(&mut self.wq, node, &mut entries);
         for e in entries {
             let b = match e {
                 IndexEntry::Item(it) => CpRef::Item(it),
@@ -579,16 +674,17 @@ impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for DiameterSource<PQ, PP> {
                     if self.verify {
                         verify_with(
                             &self.probe_q,
-                            &mut self.pager_q,
+                            &mut self.wq,
                             &[pair],
                             &mut alive,
                             self.face_rule,
                             stats,
                         );
                         if alive[0] && !self.self_join {
+                            let wp = self.wp.as_mut().unwrap_or(&mut self.wq);
                             verify_with(
                                 &self.probe_p,
-                                &mut self.pager_p,
+                                wp,
                                 &[pair],
                                 &mut alive,
                                 self.face_rule,
@@ -618,6 +714,17 @@ impl<PQ: IndexProbe, PP: IndexProbe> BatchSource for DiameterSource<PQ, PP> {
     }
 }
 
+impl<PQ: IndexProbe, PP: IndexProbe> Drop for DiameterSource<PQ, PP> {
+    /// Folds the pinned handles' I/O counters back into the owning
+    /// pagers, mirroring [`ParLeafSource`]'s accounting.
+    fn drop(&mut self) {
+        self.pager_q.borrow_mut().absorb(self.wq.stats());
+        if let Some(wp) = &self.wp {
+            self.pager_p.borrow_mut().absorb(wp.stats());
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Constructors
 // ---------------------------------------------------------------------
@@ -636,16 +743,15 @@ fn leaf_stream<IQ: RcjIndex, IP: RcjIndex>(
     let leaves = outer_leaves(tq, &opts);
     let workers = opts.executor.worker_count().min(leaves.len().max(1));
     if workers <= 1 {
-        RcjStream::new(Box::new(SeqLeafSource {
-            probe_q: tq.probe(),
-            probe_p: tp.probe(),
-            pager_q: tq.pager(),
-            pager_p: tp.pager(),
+        RcjStream::new(Box::new(SeqLeafSource::new(
+            tq.probe(),
+            tp.probe(),
+            tq.pager(),
+            tp.pager(),
             leaves,
-            pos: 0,
             self_join,
             opts,
-        }))
+        )))
     } else {
         RcjStream::new(Box::new(ParLeafSource::new(
             tq.probe(),

@@ -174,6 +174,43 @@ impl QuadTree {
         }
     }
 
+    /// Removes the point `(id, point)`, returning `true` if it was
+    /// present. The bucket keeps its page (and its place in any overflow
+    /// chain) even when emptied — PR-quadtree structure depends only on
+    /// the region decomposition, so an empty bucket is simply a bucket
+    /// awaiting reinsertion, and no page recycling is needed.
+    pub fn remove(&mut self, id: u64, point: Point) -> bool {
+        if !self.region.contains_point(point) {
+            return false;
+        }
+        let mut page = self.root;
+        let mut region = self.region;
+        loop {
+            match self.read_node(page) {
+                QNode::Internal { children } => {
+                    let q = quadrant_of(region, point);
+                    if children[q].is_invalid() {
+                        return false;
+                    }
+                    region = quadrant(region, q);
+                    page = children[q];
+                }
+                QNode::Leaf { mut items, next } => {
+                    if let Some(i) = items.iter().position(|it| it.id == id && it.point == point) {
+                        items.remove(i);
+                        self.write_node(page, &QNode::Leaf { items, next });
+                        self.len -= 1;
+                        return true;
+                    }
+                    if next.is_invalid() {
+                        return false;
+                    }
+                    page = next;
+                }
+            }
+        }
+    }
+
     /// All points inside `window` (closed boundaries).
     pub fn range(&self, window: Rect) -> Vec<QItem> {
         let mut out = Vec::new();
@@ -473,6 +510,54 @@ mod tests {
         t.for_each_leaf_df(|items| ids.extend(items.iter().map(|it| it.id)));
         ids.sort_unstable();
         assert_eq!(ids, (0..1500u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_round_trips_with_range_and_validate() {
+        let pts = lcg(600, 13);
+        let mut t = tree_with(&pts);
+        // Remove every third point; misses (wrong id, wrong point,
+        // out-of-region) leave the tree untouched.
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(t.remove(i as u64, pt(x, y)), "point {i} should be present");
+                assert!(!t.remove(i as u64, pt(x, y)), "double remove must miss");
+            }
+        }
+        assert!(!t.remove(9999, pt(1.0, 1.0)));
+        assert!(!t.remove(1, pt(-5.0, -5.0)));
+        assert_eq!(t.validate().unwrap(), 400);
+        let window = Rect::new(pt(0.0, 0.0), pt(1000.0, 1000.0));
+        let mut got: Vec<u64> = t.range(window).into_iter().map(|it| it.id).collect();
+        got.sort_unstable();
+        let expect: Vec<u64> = (0..600u64).filter(|i| i % 3 != 0).collect();
+        assert_eq!(got, expect);
+        // Emptied buckets accept reinsertion.
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            if i % 3 == 0 {
+                t.insert(i as u64, pt(x, y));
+            }
+        }
+        assert_eq!(t.validate().unwrap(), 600);
+    }
+
+    #[test]
+    fn remove_walks_overflow_chains() {
+        let pager = Pager::new(MemDisk::new(256), 64).into_shared();
+        let region = Rect::new(pt(0.0, 0.0), pt(100.0, 100.0));
+        let mut t = QuadTree::new(pager, region);
+        for i in 0..300u64 {
+            t.insert(i, pt(50.0, 50.0));
+        }
+        // Ids scattered across the whole chain, including the tail.
+        for id in [0u64, 150, 299, 7, 250] {
+            assert!(t.remove(id, pt(50.0, 50.0)), "id {id}");
+        }
+        assert_eq!(t.validate().unwrap(), 295);
+        assert_eq!(
+            t.range(Rect::new(pt(50.0, 50.0), pt(50.0, 50.0))).len(),
+            295
+        );
     }
 
     #[test]

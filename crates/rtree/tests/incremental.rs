@@ -1,0 +1,174 @@
+//! The incremental R* maintenance path under adversarial interleavings.
+//!
+//! Bulk load was the only index producer until live pointsets arrived,
+//! so ChooseSubtree, forced reinsertion, and CondenseTree ran only in
+//! unit tests. These properties drive the dormant path the way the
+//! engine's update batches now do — starting from a **bulk-loaded**
+//! tree (the engine's load shape) and interleaving inserts and deletes —
+//! and check the three invariants the RCJ drivers rely on:
+//!
+//! * **multiset equality** — the indexed `(id, point)` set is exactly
+//!   the oracle's after every interleaving (the key-level analogue of
+//!   `pair_keys` equality at the join level);
+//! * **MBR containment** — every stored branch MBR contains its whole
+//!   subtree (checked by an explicit walk, independent of `validate`'s
+//!   tightness check), which is what makes filter pruning sound;
+//! * **minimum fill** — after every CondenseTree-triggering delete the
+//!   R* fill invariant still holds on every non-root node.
+
+use proptest::prelude::*;
+use ringjoin_geom::{pt, Rect};
+use ringjoin_rtree::{bulk_load, Item, NodeEntry, RTree};
+use ringjoin_storage::{MemDisk, PageId, Pager};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(f64, f64),
+    /// Delete the live item at this index (mod len); a miss on an empty
+    /// tree asserts the negative path instead.
+    Delete(usize),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Slightly delete-heavy: CondenseTree is the dormant branch.
+        2 => (0.0..500.0f64, 0.0..500.0f64).prop_map(|(x, y)| Op::Insert(x, y)),
+        3 => any::<usize>().prop_map(Op::Delete),
+    ]
+}
+
+/// Sorted `(id, x bits, y bits)` keys of everything the tree holds —
+/// exact coordinate identity, not tolerance.
+fn item_keys(tree: &RTree) -> Vec<(u64, u64, u64)> {
+    let everything = Rect::new(
+        pt(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        pt(f64::INFINITY, f64::INFINITY),
+    );
+    let mut keys: Vec<(u64, u64, u64)> = tree
+        .range(everything)
+        .into_iter()
+        .map(|it| (it.id, it.point.x.to_bits(), it.point.y.to_bits()))
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn oracle_keys(oracle: &[Item]) -> Vec<(u64, u64, u64)> {
+    let mut keys: Vec<(u64, u64, u64)> = oracle
+        .iter()
+        .map(|it| (it.id, it.point.x.to_bits(), it.point.y.to_bits()))
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Explicit containment walk: every entry of a subtree — branch MBR or
+/// item point — lies inside the MBR its parent stored for that subtree.
+fn assert_subtree_contained(
+    tree: &RTree,
+    page: PageId,
+    bound: Option<Rect>,
+) -> Result<(), TestCaseError> {
+    let node = tree.read_node(page);
+    for entry in &node.entries {
+        match entry {
+            NodeEntry::Item(it) => {
+                if let Some(b) = bound {
+                    prop_assert!(
+                        b.contains_point(it.point),
+                        "item {} at {:?} escaped its parent MBR {:?}",
+                        it.id,
+                        it.point,
+                        b
+                    );
+                }
+            }
+            NodeEntry::Child { mbr, page: child } => {
+                if let Some(b) = bound {
+                    prop_assert!(
+                        b.contains_rect(*mbr),
+                        "child MBR {mbr:?} escaped its parent MBR {b:?}"
+                    );
+                }
+                assert_subtree_contained(tree, *child, Some(*mbr))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaved_updates_preserve_rstar_invariants(
+        seed_pts in proptest::collection::vec((0.0..500.0f64, 0.0..500.0f64), 0..100),
+        ops in proptest::collection::vec(op(), 1..150),
+    ) {
+        // Start from a bulk load — the engine's load shape — so deletes
+        // run CondenseTree against STR-packed nodes, not only against
+        // nodes the insert path itself built.
+        let pager = Pager::new(MemDisk::new(256), 48).into_shared();
+        let mut oracle: Vec<Item> = seed_pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+            .collect();
+        let mut tree = bulk_load(pager, oracle.clone());
+        let mut next_id = oracle.len() as u64;
+
+        for o in ops {
+            match o {
+                Op::Insert(x, y) => {
+                    let item = Item::new(next_id, pt(x, y));
+                    next_id += 1;
+                    tree.insert(item);
+                    oracle.push(item);
+                }
+                Op::Delete(i) => {
+                    if oracle.is_empty() {
+                        prop_assert!(!tree.remove(Item::new(0, pt(1.0, 1.0))));
+                    } else {
+                        let item = oracle.swap_remove(i % oracle.len());
+                        prop_assert!(tree.remove(item), "live item {} not found", item.id);
+                        // Removing it again must miss: CondenseTree may
+                        // reinsert survivors but never resurrects.
+                        prop_assert!(!tree.remove(item));
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len() as u64);
+        }
+
+        prop_assert_eq!(item_keys(&tree), oracle_keys(&oracle));
+        // validate_min_fill covers counts, levels, MBR tightness, and
+        // the R* fill floor after every CondenseTree of the run.
+        prop_assert_eq!(tree.validate_min_fill().unwrap(), oracle.len() as u64);
+        assert_subtree_contained(&tree, tree.root_page(), None)?;
+    }
+
+    #[test]
+    fn delete_everything_then_regrow(
+        pts in proptest::collection::vec((0.0..300.0f64, 0.0..300.0f64), 1..120),
+    ) {
+        // Drain a bulk-loaded tree to empty through the incremental
+        // path, then regrow it: the empty-root edge of CondenseTree.
+        let pager = Pager::new(MemDisk::new(256), 48).into_shared();
+        let items: Vec<Item> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item::new(i as u64, pt(x, y)))
+            .collect();
+        let mut tree = bulk_load(pager, items.clone());
+        for it in &items {
+            prop_assert!(tree.remove(*it));
+        }
+        prop_assert!(tree.is_empty());
+        prop_assert_eq!(tree.validate_min_fill().unwrap(), 0);
+        for it in &items {
+            tree.insert(*it);
+        }
+        prop_assert_eq!(item_keys(&tree), oracle_keys(&items));
+        prop_assert_eq!(tree.validate_min_fill().unwrap(), items.len() as u64);
+    }
+}

@@ -263,6 +263,33 @@ impl Client {
         })
     }
 
+    /// Inserts new points into a live dataset; the whole batch is
+    /// refused if any id is already present. The `OK` reply carries the
+    /// dataset's new `epoch=`.
+    pub fn insert(&mut self, name: &str, items: &[Item]) -> Result<Reply, ServerError> {
+        self.request(&Request::Insert {
+            name: name.to_string(),
+            items: items.to_vec(),
+        })
+    }
+
+    /// Deletes points from a live dataset by id; the whole batch is
+    /// refused if any id is absent.
+    pub fn delete(&mut self, name: &str, ids: &[u64]) -> Result<Reply, ServerError> {
+        self.request(&Request::Delete {
+            name: name.to_string(),
+            ids: ids.to_vec(),
+        })
+    }
+
+    /// Inserts-or-replaces points in a live dataset; never refused.
+    pub fn upsert(&mut self, name: &str, items: &[Item]) -> Result<Reply, ServerError> {
+        self.request(&Request::Upsert {
+            name: name.to_string(),
+            items: items.to_vec(),
+        })
+    }
+
     /// Decodes a join-shaped reply (`JOIN`/`SELFJOIN`/`TOPK`) into a
     /// [`RemoteOutput`] — public so pipelining callers can decode the
     /// replies [`Client::pipeline`] hands back.

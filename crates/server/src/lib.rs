@@ -69,7 +69,8 @@ pub use partition::SpacePartition;
 pub use remote::{ShardWorkerServer, WorkerHandle};
 pub use server::{Server, ServerConfig};
 pub use sharded::{
-    DatasetInfo, RingBounds, ShardedEngine, ShardedOutput, TopologyConfig, WorkerSpec,
+    DatasetInfo, Mutation, RingBounds, ShardedEngine, ShardedOutput, TopologyConfig, UpdateInfo,
+    WorkerSpec,
 };
 
 use std::fmt;

@@ -5,10 +5,14 @@
 //! evaluation over the outer dataset's catalog summary — but on a hot
 //! serving path even that is repeated work, and caching it makes the
 //! resolved choice *observable* (`STATS` reports hits/misses). The key
-//! is `(outer, inner, query shape, requested algorithm)`; the value is
-//! the concrete [`RcjAlgorithm`] the shards are told to run. Datasets
-//! are never replaced in place (`LOAD` of a duplicate name is refused),
-//! so cached resolutions never go stale and no invalidation is needed.
+//! is `(outer, outer epoch, inner, inner epoch, query shape, requested
+//! algorithm)`; the value is the concrete [`RcjAlgorithm`] the shards
+//! are told to run. Dataset *names* are never replaced in place (`LOAD`
+//! of a duplicate name is refused), but live updates advance a
+//! dataset's **epoch** and shift its summary — so the epochs are part
+//! of the key, a mutated dataset resolves afresh against its new
+//! summary, and inserting a resolution evicts the entries of the same
+//! query shape at retired epochs (they can never be hit again).
 
 use ringjoin_core::RcjAlgorithm;
 use std::collections::BTreeMap;
@@ -27,9 +31,10 @@ pub enum QueryShape {
     SelfJoin,
 }
 
-/// `(outer, inner, shape, requested algorithm)` — the algorithm keyed by
-/// its stable name because [`RcjAlgorithm`] itself is unordered.
-type PlanKey = (String, Option<String>, QueryShape, &'static str);
+/// `(outer, outer epoch, inner + inner epoch, shape, requested
+/// algorithm)` — the algorithm keyed by its stable name because
+/// [`RcjAlgorithm`] itself is unordered.
+type PlanKey = (String, u64, Option<(String, u64)>, QueryShape, &'static str);
 
 /// A concurrent map from query shape to resolved algorithm, with
 /// lifetime hit/miss counters.
@@ -49,19 +54,22 @@ impl PlanCache {
         }
     }
 
-    /// Returns the cached resolution for this query shape, or runs
-    /// `plan` once and remembers its answer.
+    /// Returns the cached resolution for this query shape at these
+    /// dataset epochs, or runs `plan` once and remembers its answer —
+    /// evicting resolutions of the same shape at other (retired) epochs.
     pub fn resolve(
         &self,
         outer: &str,
-        inner: Option<&str>,
+        outer_epoch: u64,
+        inner: Option<(&str, u64)>,
         shape: QueryShape,
         requested: RcjAlgorithm,
         plan: impl FnOnce() -> RcjAlgorithm,
     ) -> RcjAlgorithm {
         let key = (
             outer.to_string(),
-            inner.map(str::to_string),
+            outer_epoch,
+            inner.map(|(name, epoch)| (name.to_string(), epoch)),
             shape,
             requested.name(),
         );
@@ -71,10 +79,15 @@ impl PlanCache {
         }
         let resolved = plan();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.plans
-            .write()
-            .expect("plan cache poisoned")
-            .insert(key, resolved);
+        let mut plans = self.plans.write().expect("plan cache poisoned");
+        // Epochs only move forward: entries for the same query shape at
+        // different epochs are unreachable from now on. Dropping them
+        // bounds the cache by live shapes, not by update history.
+        plans.retain(|(o, oe, i, s, a), _| {
+            (o.as_str(), *s, *a) != (outer, shape, requested.name())
+                || (*oe, i.as_ref().map(|(n, e)| (n.as_str(), *e))) == (outer_epoch, inner)
+        });
+        plans.insert(key, resolved);
         resolved
     }
 
@@ -102,10 +115,17 @@ mod tests {
         let cache = PlanCache::new();
         let mut planned = 0;
         for _ in 0..3 {
-            let algo = cache.resolve("q", Some("p"), QueryShape::Join, RcjAlgorithm::Auto, || {
-                planned += 1;
-                RcjAlgorithm::Obj
-            });
+            let algo = cache.resolve(
+                "q",
+                0,
+                Some(("p", 0)),
+                QueryShape::Join,
+                RcjAlgorithm::Auto,
+                || {
+                    planned += 1;
+                    RcjAlgorithm::Obj
+                },
+            );
             assert_eq!(algo, RcjAlgorithm::Obj);
         }
         assert_eq!(planned, 1, "planning must run exactly once per shape");
@@ -115,20 +135,77 @@ mod tests {
     #[test]
     fn distinct_shapes_do_not_alias() {
         let cache = PlanCache::new();
-        let a = cache.resolve("q", Some("p"), QueryShape::Join, RcjAlgorithm::Auto, || {
-            RcjAlgorithm::Obj
-        });
+        let a = cache.resolve(
+            "q",
+            0,
+            Some(("p", 0)),
+            QueryShape::Join,
+            RcjAlgorithm::Auto,
+            || RcjAlgorithm::Obj,
+        );
         // Same datasets, different requested algorithm: its own entry.
-        let b = cache.resolve("q", Some("p"), QueryShape::Join, RcjAlgorithm::Inj, || {
-            RcjAlgorithm::Inj
-        });
+        let b = cache.resolve(
+            "q",
+            0,
+            Some(("p", 0)),
+            QueryShape::Join,
+            RcjAlgorithm::Inj,
+            || RcjAlgorithm::Inj,
+        );
         // Self-join of "q" is yet another shape.
-        let c = cache.resolve("q", None, QueryShape::SelfJoin, RcjAlgorithm::Auto, || {
-            RcjAlgorithm::Bij
-        });
+        let c = cache.resolve(
+            "q",
+            0,
+            None,
+            QueryShape::SelfJoin,
+            RcjAlgorithm::Auto,
+            || RcjAlgorithm::Bij,
+        );
         assert_eq!(
             (a, b, c),
             (RcjAlgorithm::Obj, RcjAlgorithm::Inj, RcjAlgorithm::Bij)
+        );
+        assert_eq!(cache.stats(), (0, 3));
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_and_evicts_the_stale_entry() {
+        let cache = PlanCache::new();
+        let before = cache.resolve(
+            "q",
+            0,
+            Some(("p", 0)),
+            QueryShape::Join,
+            RcjAlgorithm::Auto,
+            || RcjAlgorithm::Obj,
+        );
+        // The outer dataset mutated: the epoch-1 key misses, replans
+        // (possibly to a different algorithm — the summary shifted), and
+        // evicts the epoch-0 entry.
+        let after = cache.resolve(
+            "q",
+            1,
+            Some(("p", 0)),
+            QueryShape::Join,
+            RcjAlgorithm::Auto,
+            || RcjAlgorithm::Inj,
+        );
+        assert_eq!((before, after), (RcjAlgorithm::Obj, RcjAlgorithm::Inj));
+        assert_eq!(cache.stats(), (0, 2));
+        assert_eq!(
+            cache.plans.read().unwrap().len(),
+            1,
+            "the retired epoch's entry must be evicted, not leaked"
+        );
+        // Going "back" to epoch 0 therefore replans — stale resolutions
+        // are gone, not resurrected.
+        cache.resolve(
+            "q",
+            0,
+            Some(("p", 0)),
+            QueryShape::Join,
+            RcjAlgorithm::Auto,
+            || RcjAlgorithm::Bij,
         );
         assert_eq!(cache.stats(), (0, 3));
     }

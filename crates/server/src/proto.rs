@@ -12,6 +12,9 @@
 //! | request | body | response body |
 //! |---|---|---|
 //! | `[#<id>] LOAD <name> <rtree\|quadtree>` | `id x y` rows | — |
+//! | `[#<id>] INSERT <name>` | `id x y` rows | — (`OK epoch=..`) |
+//! | `[#<id>] DELETE <name>` | `id` rows | — (`OK epoch=..`) |
+//! | `[#<id>] UPSERT <name>` | `id x y` rows | — (`OK epoch=..`) |
 //! | `[#<id>] JOIN <outer> <inner> [algo=..] [bounds=x0,y0,x1,y1 maxd=D]` | — | pair rows |
 //! | `[#<id>] SELFJOIN <dataset> [algo=..] [bounds=.. maxd=..]` | — | pair rows |
 //! | `[#<id>] TOPK <outer> <inner> <k>` | — | pair rows |
@@ -31,6 +34,7 @@
 //! |---|---|---|
 //! | `HELLO` | — | `OK role=shard accepts=<rect\|any>` |
 //! | `SLOAD <name> <kind> cell=<rect> [spill=<path> writer=<0\|1>]` | `id x y` rows | `OK leaves=.. extent=<rect> items=.. pages=.. leaf_pages=.. kind=..` |
+//! | `SUPDATE <name> epoch=<n>` | `+ id x y` / `- id` / `^ id x y` rows | same fields as `SLOAD` |
 //! | `SJOIN <outer> [inner=<name>] [algo=..] [bounds=.. maxd=..]` | — | counters + tagged pair rows |
 //! | `STOPK <outer> <k> [inner=<name>]` | — | counters + pair rows |
 //! | `SEXPLAIN <outer> [inner=<name>] [algo=..] [k=K]` | — | plan text |
@@ -67,7 +71,7 @@
 //! bit-exactly and a client can re-derive centers and radii without
 //! loss). Numbers in command lines use the same convention.
 
-use crate::sharded::RingBounds;
+use crate::sharded::{Mutation, RingBounds};
 use crate::ServerError;
 use ringjoin_core::{IndexKind, RcjAlgorithm, RcjPair, RcjStats};
 use ringjoin_geom::{pt, Item, Rect};
@@ -255,6 +259,29 @@ pub enum Request {
         /// The points.
         items: Vec<Item>,
     },
+    /// Insert new points into a live dataset (whole batch refused if
+    /// any id is already present).
+    Insert {
+        /// Dataset name.
+        name: String,
+        /// The new points.
+        items: Vec<Item>,
+    },
+    /// Delete points from a live dataset by id (whole batch refused if
+    /// any id is absent).
+    Delete {
+        /// Dataset name.
+        name: String,
+        /// The ids to remove.
+        ids: Vec<u64>,
+    },
+    /// Insert-or-replace points in a live dataset (never refused).
+    Upsert {
+        /// Dataset name.
+        name: String,
+        /// The points.
+        items: Vec<Item>,
+    },
     /// Bichromatic join (`outer` drives, `inner` is probed).
     Join {
         /// Outer dataset name.
@@ -421,6 +448,27 @@ impl Request {
                 }
                 out
             }
+            Request::Insert { name, items } => {
+                let mut out = format!("INSERT {name}\n");
+                for it in items {
+                    out.push_str(&format!("{} {} {}\n", it.id, it.point.x, it.point.y));
+                }
+                out
+            }
+            Request::Delete { name, ids } => {
+                let mut out = format!("DELETE {name}\n");
+                for id in ids {
+                    out.push_str(&format!("{id}\n"));
+                }
+                out
+            }
+            Request::Upsert { name, items } => {
+                let mut out = format!("UPSERT {name}\n");
+                for it in items {
+                    out.push_str(&format!("{} {} {}\n", it.id, it.point.x, it.point.y));
+                }
+                out
+            }
             Request::Join {
                 outer,
                 inner,
@@ -486,6 +534,33 @@ impl Request {
                     name: name.to_string(),
                     kind: parse_kind(kind)?,
                     items,
+                })
+            }
+            "INSERT" | "UPSERT" => {
+                let [name] = args else {
+                    return Err(ServerError::BadRequest(format!(
+                        "usage: {cmd} <name> (with `id x y` data rows)"
+                    )));
+                };
+                validate_name(name)?;
+                let name = name.to_string();
+                let items = parse_item_rows(body)?;
+                Ok(if cmd == "INSERT" {
+                    Request::Insert { name, items }
+                } else {
+                    Request::Upsert { name, items }
+                })
+            }
+            "DELETE" => {
+                let [name] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: DELETE <name> (with `id` data rows)".into(),
+                    ));
+                };
+                validate_name(name)?;
+                Ok(Request::Delete {
+                    name: name.to_string(),
+                    ids: parse_id_rows(body)?,
                 })
             }
             "JOIN" => {
@@ -577,6 +652,64 @@ fn parse_item_rows(body: &str) -> Result<Vec<Item>, ServerError> {
         ));
     }
     Ok(items)
+}
+
+/// Parses bare `id` data rows (used by `DELETE`).
+fn parse_id_rows(body: &str) -> Result<Vec<u64>, ServerError> {
+    body.lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty())
+        .map(|line| parse_num(line, "item id"))
+        .collect()
+}
+
+/// Encodes a mutation batch as `SUPDATE` body rows: `+ id x y`
+/// (insert), `- id` (delete), `^ id x y` (upsert).
+fn encode_mutation_rows(out: &mut String, ops: &[Mutation]) {
+    for op in ops {
+        match op {
+            Mutation::Insert(it) => {
+                out.push_str(&format!("+ {} {} {}\n", it.id, it.point.x, it.point.y));
+            }
+            Mutation::Delete(id) => out.push_str(&format!("- {id}\n")),
+            Mutation::Upsert(it) => {
+                out.push_str(&format!("^ {} {} {}\n", it.id, it.point.x, it.point.y));
+            }
+        }
+    }
+}
+
+/// Parses `SUPDATE` body rows back into a mutation batch.
+fn parse_mutation_rows(body: &str) -> Result<Vec<Mutation>, ServerError> {
+    let mut ops = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let op = match fields.as_slice() {
+            ["+", id, x, y] | ["^", id, x, y] => {
+                let item = Item::new(
+                    parse_num(id, "item id")?,
+                    pt(parse_num(x, "x coordinate")?, parse_num(y, "y coordinate")?),
+                );
+                if fields[0] == "+" {
+                    Mutation::Insert(item)
+                } else {
+                    Mutation::Upsert(item)
+                }
+            }
+            ["-", id] => Mutation::Delete(parse_num(id, "item id")?),
+            _ => {
+                return Err(ServerError::BadRequest(format!(
+                    "expected `+ id x y`, `- id` or `^ id x y` mutation row, got {line:?}"
+                )))
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
 }
 
 /// Encodes result pairs as wire rows (`p_id p_x p_y q_id q_x q_y`, one
@@ -754,6 +887,19 @@ pub enum ShardRequest {
         /// partitions the *work*).
         items: Vec<Item>,
     },
+    /// Apply a mutation batch carrying the epoch it must produce. The
+    /// target epoch makes the message **idempotent**: a worker already
+    /// at the target epoch answers without re-applying (the retry of a
+    /// request whose reply was lost), while any other epoch mismatch is
+    /// a hard refusal — the worker has diverged from the mutation log.
+    Update {
+        /// Dataset name.
+        name: String,
+        /// The epoch this batch advances the dataset to.
+        target_epoch: u64,
+        /// The mutations, in application order.
+        ops: Vec<Mutation>,
+    },
     /// Leaf-driven join over the worker's owned outer leaves; the reply
     /// carries leaf-tagged pairs plus full counters.
     Join {
@@ -815,6 +961,15 @@ impl ShardRequest {
                 for it in items {
                     out.push_str(&format!("{} {} {}\n", it.id, it.point.x, it.point.y));
                 }
+                out
+            }
+            ShardRequest::Update {
+                name,
+                target_epoch,
+                ops,
+            } => {
+                let mut out = format!("SUPDATE {name} epoch={target_epoch}\n");
+                encode_mutation_rows(&mut out, ops);
                 out
             }
             ShardRequest::Join {
@@ -891,6 +1046,23 @@ impl ShardRequest {
                     items: parse_item_rows(body)?,
                 })
             }
+            "SUPDATE" => {
+                let [name, rest @ ..] = args else {
+                    return Err(ServerError::BadRequest(
+                        "usage: SUPDATE <name> epoch=<n> (with mutation rows)".into(),
+                    ));
+                };
+                validate_name(name)?;
+                let opts = parse_shard_options(rest)?;
+                let target_epoch = opts.epoch.ok_or_else(|| {
+                    ServerError::BadRequest("SUPDATE requires an epoch= target".into())
+                })?;
+                Ok(ShardRequest::Update {
+                    name: name.to_string(),
+                    target_epoch,
+                    ops: parse_mutation_rows(body)?,
+                })
+            }
             "SJOIN" => {
                 let [outer, rest @ ..] = args else {
                     return Err(ServerError::BadRequest(
@@ -941,8 +1113,8 @@ impl ShardRequest {
 }
 
 /// `key=value` options of the shard-worker grammar (a superset of the
-/// client grammar's: `cell=`, `spill=`, `writer=`, `inner=` ride along
-/// with `algo=`/`bounds=`/`maxd=`/`k=`).
+/// client grammar's: `cell=`, `spill=`, `writer=`, `inner=`, `epoch=`
+/// ride along with `algo=`/`bounds=`/`maxd=`/`k=`).
 struct ShardOptions {
     algo: RcjAlgorithm,
     bounds: Option<Rect>,
@@ -952,6 +1124,7 @@ struct ShardOptions {
     spill: Option<String>,
     writer: bool,
     inner: Option<String>,
+    epoch: Option<u64>,
 }
 
 fn parse_shard_options(tokens: &[&str]) -> Result<ShardOptions, ServerError> {
@@ -964,6 +1137,7 @@ fn parse_shard_options(tokens: &[&str]) -> Result<ShardOptions, ServerError> {
         spill: None,
         writer: false,
         inner: None,
+        epoch: None,
     };
     for t in tokens {
         let (key, value) = t.split_once('=').ok_or_else(|| {
@@ -981,6 +1155,7 @@ fn parse_shard_options(tokens: &[&str]) -> Result<ShardOptions, ServerError> {
                 validate_name(value)?;
                 opts.inner = Some(value.to_string());
             }
+            "epoch" => opts.epoch = Some(parse_num(value, "epoch")?),
             other => {
                 return Err(ServerError::BadRequest(format!(
                     "unknown shard option {other:?}"
@@ -1475,5 +1650,65 @@ mod tests {
         assert!(ShardRequest::parse("SLOAD x rtree").is_err(), "no cell");
         assert!(ShardRequest::parse("SJOIN").is_err(), "no outer");
         assert!(ShardRequest::parse("STOPK a notanum").is_err());
+    }
+
+    #[test]
+    fn update_requests_round_trip_through_encode_parse() {
+        let reqs = [
+            Request::Insert {
+                name: "pts".into(),
+                items: vec![
+                    Item::new(7, pt(0.1 + 0.2, -3.5)),
+                    Item::new(9, pt(1e-300, 2.0)),
+                ],
+            },
+            Request::Delete {
+                name: "pts".into(),
+                ids: vec![7, 9, u64::MAX],
+            },
+            Request::Upsert {
+                name: "pts".into(),
+                items: vec![Item::new(7, pt(4.25, 5.5))],
+            },
+        ];
+        for req in reqs {
+            let parsed = Request::parse(&req.encode()).unwrap();
+            assert_eq!(req.encode(), parsed.encode(), "{req:?}");
+        }
+        assert!(Request::parse("INSERT").is_err(), "no name");
+        assert!(Request::parse("DELETE d\n1 2 3").is_err(), "id x y row");
+        assert!(Request::parse("UPSERT d\n1 2").is_err(), "short row");
+    }
+
+    #[test]
+    fn shard_update_round_trips_mixed_mutation_rows() {
+        let req = ShardRequest::Update {
+            name: "pts".into(),
+            target_epoch: 3,
+            ops: vec![
+                Mutation::Insert(Item::new(1, pt(0.1 + 0.2, -0.0))),
+                Mutation::Delete(2),
+                Mutation::Upsert(Item::new(3, pt(1e300, 2.5e-308))),
+            ],
+        };
+        let wire = req.encode();
+        let back = ShardRequest::parse(&wire).unwrap();
+        assert_eq!(back.encode(), wire, "SUPDATE drifted: {wire:?}");
+        let ShardRequest::Update {
+            target_epoch, ops, ..
+        } = back
+        else {
+            panic!("parsed to a different verb");
+        };
+        assert_eq!(target_epoch, 3);
+        assert_eq!(ops.len(), 3);
+        assert!(
+            ShardRequest::parse("SUPDATE pts\n+ 1 2 3").is_err(),
+            "epoch= is mandatory"
+        );
+        assert!(
+            ShardRequest::parse("SUPDATE pts epoch=1\n* 1 2 3").is_err(),
+            "unknown mutation marker"
+        );
     }
 }

@@ -18,17 +18,21 @@
 //! `ERR` is [`ShardFault::Request`]: the worker is alive, the request
 //! is wrong, and no failover would change the answer. Whole-request
 //! retries are safe because every worker operation is idempotent —
-//! `SLOAD` *replaces* a dataset the worker already holds, which is
-//! also what makes the supervisor's replay log idempotent.
+//! `SLOAD` *replaces* a dataset the worker already holds, and
+//! `SUPDATE` carries the epoch it must produce (a worker already at
+//! the target epoch answers without re-applying) — which is also what
+//! makes the supervisor's replay log idempotent.
 
 use crate::proto::{
     encode_pairs, encode_rect, encode_stats_fields, encode_tagged_pairs, parse_pairs, parse_rect,
     parse_tagged_pairs, read_frame, read_frame_idle, stats_from_reply, write_frame, FrameRead,
     Reply, ShardRequest,
 };
-use crate::sharded::{spawn_worker, ExplainReq, JoinReq, LoadReq, ShardMsg, SpillSpec, TopKReq};
+use crate::sharded::{
+    spawn_worker, ExplainReq, JoinReq, LoadReq, ShardMsg, SpillSpec, TopKReq, UpdateReq,
+};
 use crate::topology::{
-    ExplainCall, JoinCall, LoadCall, LoadOutcome, ShardBackend, ShardFault, TopKCall,
+    ExplainCall, JoinCall, LoadCall, LoadOutcome, ShardBackend, ShardFault, TopKCall, UpdateCall,
 };
 use crate::ServerError;
 use ringjoin_core::planner::DatasetSummary;
@@ -278,6 +282,32 @@ fn handle_shard_request(req: ShardRequest, shared: &WorkerShared) -> (String, bo
                 )
             })
         }
+        ShardRequest::Update {
+            name,
+            target_epoch,
+            ops,
+        } => {
+            let (reply, rx) = channel();
+            let msg = ShardMsg::Update(UpdateReq {
+                name,
+                ops: Arc::new(ops),
+                target_epoch,
+                reply,
+            });
+            engine_round_trip(shared, msg, rx).map(|(leaves, extent, summary)| {
+                Reply::encode(
+                    &[
+                        ("leaves", leaves.to_string()),
+                        ("extent", encode_rect(extent)),
+                        ("items", summary.items.to_string()),
+                        ("pages", summary.pages.to_string()),
+                        ("leaf_pages", summary.leaf_pages.to_string()),
+                        ("kind", summary.kind.to_string()),
+                    ],
+                    "",
+                )
+            })
+        }
         ShardRequest::Join {
             outer,
             inner,
@@ -474,6 +504,30 @@ fn field_u64(reply: &Reply, key: &str) -> Result<u64, ShardFault> {
         .ok_or_else(|| ShardFault::Request(format!("worker reply lacks {key}=")))
 }
 
+/// Parses the shared `SLOAD`/`SUPDATE` reply shape (leaf count, owned
+/// extent, dataset summary) back into a [`LoadOutcome`].
+fn load_outcome_from_reply(reply: &Reply) -> Result<LoadOutcome, ShardFault> {
+    let extent = reply
+        .field("extent")
+        .ok_or_else(|| ShardFault::Request("worker reply lacks extent=".into()))
+        .and_then(|s| parse_rect(s).map_err(|e| ShardFault::Request(e.to_string())))?;
+    let kind = static_kind(
+        reply
+            .field("kind")
+            .ok_or_else(|| ShardFault::Request("worker reply lacks kind=".into()))?,
+    )?;
+    Ok(LoadOutcome {
+        leaves: field_u64(reply, "leaves")? as usize,
+        extent,
+        summary: DatasetSummary {
+            kind,
+            items: field_u64(reply, "items")?,
+            pages: field_u64(reply, "pages")?,
+            leaf_pages: field_u64(reply, "leaf_pages")?,
+        },
+    })
+}
+
 impl ShardBackend for RemoteShard {
     fn load(&mut self, call: &LoadCall) -> Result<LoadOutcome, ShardFault> {
         let spill = match &call.spill {
@@ -499,25 +553,17 @@ impl ShardBackend for RemoteShard {
             items: call.items.as_ref().clone(),
         };
         let reply = self.request(&req)?;
-        let extent = reply
-            .field("extent")
-            .ok_or_else(|| ShardFault::Request("worker reply lacks extent=".into()))
-            .and_then(|s| parse_rect(s).map_err(|e| ShardFault::Request(e.to_string())))?;
-        let kind = static_kind(
-            reply
-                .field("kind")
-                .ok_or_else(|| ShardFault::Request("worker reply lacks kind=".into()))?,
-        )?;
-        Ok(LoadOutcome {
-            leaves: field_u64(&reply, "leaves")? as usize,
-            extent,
-            summary: DatasetSummary {
-                kind,
-                items: field_u64(&reply, "items")?,
-                pages: field_u64(&reply, "pages")?,
-                leaf_pages: field_u64(&reply, "leaf_pages")?,
-            },
-        })
+        load_outcome_from_reply(&reply)
+    }
+
+    fn update(&mut self, call: &UpdateCall) -> Result<LoadOutcome, ShardFault> {
+        let req = ShardRequest::Update {
+            name: call.name.clone(),
+            target_epoch: call.target_epoch,
+            ops: call.ops.as_ref().clone(),
+        };
+        let reply = self.request(&req)?;
+        load_outcome_from_reply(&reply)
     }
 
     fn join(&mut self, call: &JoinCall) -> Result<(Vec<(usize, RcjPair)>, RcjStats), ShardFault> {
@@ -660,6 +706,10 @@ impl SpawnedShard {
 impl ShardBackend for SpawnedShard {
     fn load(&mut self, call: &LoadCall) -> Result<LoadOutcome, ShardFault> {
         self.remote.load(call)
+    }
+
+    fn update(&mut self, call: &UpdateCall) -> Result<LoadOutcome, ShardFault> {
+        self.remote.update(call)
     }
 
     fn join(&mut self, call: &JoinCall) -> Result<(Vec<(usize, RcjPair)>, RcjStats), ShardFault> {

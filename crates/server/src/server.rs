@@ -26,7 +26,7 @@ use crate::admission::Admission;
 use crate::proto::{
     encode_pairs, read_frame_idle, split_request_id, write_frame, FrameRead, Reply, Request,
 };
-use crate::sharded::{ShardedEngine, ShardedOutput};
+use crate::sharded::{Mutation, ShardedEngine, ShardedOutput, UpdateInfo};
 use crate::ServerError;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -335,6 +335,24 @@ fn dispatch(req: Request, id: Option<u64>, shared: &Shared) -> Handled {
                 false,
             )
         }),
+        Request::Insert { name, items } => {
+            let ops = items.into_iter().map(Mutation::Insert).collect();
+            engine
+                .update(&name, ops)
+                .map(|info| (update_reply(id, &info), false))
+        }
+        Request::Delete { name, ids } => {
+            let ops = ids.into_iter().map(Mutation::Delete).collect();
+            engine
+                .update(&name, ops)
+                .map(|info| (update_reply(id, &info), false))
+        }
+        Request::Upsert { name, items } => {
+            let ops = items.into_iter().map(Mutation::Upsert).collect();
+            engine
+                .update(&name, ops)
+                .map(|info| (update_reply(id, &info), false))
+        }
         Request::Join {
             outer,
             inner,
@@ -397,9 +415,10 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
     for name in engine.dataset_names() {
         let info = engine.dataset(&name).expect("catalog name listed");
         body.push_str(&format!(
-            "dataset {name} kind={} items={} leaves_per_shard={:?} items_per_shard={:?}\n",
+            "dataset {name} kind={} items={} epoch={} leaves_per_shard={:?} items_per_shard={:?}\n",
             info.kind.name(),
             info.items,
+            info.epoch,
             info.leaves_per_shard,
             info.items_per_shard,
         ));
@@ -427,6 +446,7 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
             ("shards", engine.shard_count().to_string()),
             ("replicas", engine.replicas().to_string()),
             ("replays_total", engine.replays_total().to_string()),
+            ("updates_total", engine.updates_total().to_string()),
             (
                 "shards_up",
                 health
@@ -467,6 +487,21 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
             ("pool_hit_rate", format!("{pool_hit_rate:.4}")),
         ],
         &body,
+    )
+}
+
+/// The shared reply shape of `INSERT`/`DELETE`/`UPSERT`: the dataset's
+/// new epoch and size on the status line, no body.
+fn update_reply(id: Option<u64>, info: &UpdateInfo) -> String {
+    Reply::encode_ok(
+        id,
+        &[
+            ("dataset", info.name.clone()),
+            ("epoch", info.epoch.to_string()),
+            ("applied", info.applied.to_string()),
+            ("items", info.items.to_string()),
+        ],
+        "",
     )
 }
 

@@ -41,15 +41,16 @@ use crate::plan_cache::{PlanCache, QueryShape};
 use crate::remote::{RemoteShard, SpawnedShard};
 use crate::topology::{
     BackendFactory, ExplainCall, HealFn, JoinCall, LoadCall, LoadOutcome, RespawnPolicy,
-    ShardBackend, ShardFault, TopKCall, Topology,
+    ShardBackend, ShardFault, TopKCall, Topology, UpdateCall,
 };
 use crate::ServerError;
 use ringjoin_core::planner::{DatasetSummary, JoinCostModel};
 use ringjoin_core::{Engine, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjPair, RcjStats};
-use ringjoin_geom::{Item, Rect};
+use ringjoin_geom::{Item, Point, Rect};
 use ringjoin_storage::BufferPool;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
@@ -110,11 +111,41 @@ pub struct DatasetInfo {
     pub kind: IndexKind,
     /// Total points.
     pub items: u64,
+    /// Mutation epoch: `0` at load, `+1` per applied update batch.
+    pub epoch: u64,
     /// Outer leaf groups owned by each shard (sums to the dataset's
     /// leaf-group count).
     pub leaves_per_shard: Vec<usize>,
     /// Points located in each shard's cell.
     pub items_per_shard: Vec<u64>,
+}
+
+/// One live-update operation against a served dataset. A batch
+/// ([`ShardedEngine::update`]) applies its operations in order,
+/// atomically: validation runs against the coordinator's catalog
+/// pointset with earlier operations simulated, so a failing batch is
+/// rejected before any worker sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mutation {
+    /// Add a new point; its id must not exist yet.
+    Insert(Item),
+    /// Remove a point by id; the id must exist.
+    Delete(u64),
+    /// Insert-or-replace; never fails validation.
+    Upsert(Item),
+}
+
+/// What [`ShardedEngine::update`] reports for one applied batch.
+#[derive(Clone, Debug)]
+pub struct UpdateInfo {
+    /// The mutated dataset.
+    pub name: String,
+    /// The dataset's new mutation epoch.
+    pub epoch: u64,
+    /// How many operations the batch carried.
+    pub applied: usize,
+    /// Total points after the batch.
+    pub items: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -157,6 +188,16 @@ pub(crate) struct JoinReq {
     pub(crate) reply: Sender<Result<ShardJoinReply, String>>,
 }
 
+/// One mutation batch bound for a worker; the reply is load-shaped
+/// because an update moves leaves and shifts extents the same way a
+/// load establishes them.
+pub(crate) struct UpdateReq {
+    pub(crate) name: String,
+    pub(crate) ops: Arc<Vec<Mutation>>,
+    pub(crate) target_epoch: u64,
+    pub(crate) reply: Sender<LoadReply>,
+}
+
 pub(crate) struct TopKReq {
     pub(crate) outer: String,
     pub(crate) inner: Option<String>,
@@ -174,6 +215,7 @@ pub(crate) struct ExplainReq {
 
 pub(crate) enum ShardMsg {
     Load(LoadReq),
+    Update(UpdateReq),
     Join(JoinReq),
     TopK(TopKReq),
     Explain(ExplainReq),
@@ -207,6 +249,10 @@ impl ShardWorker {
             match msg {
                 ShardMsg::Load(req) => {
                     let out = self.load(req.name, req.kind, req.items, req.cell, req.spill);
+                    let _ = req.reply.send(out);
+                }
+                ShardMsg::Update(req) => {
+                    let out = self.update(&req.name, &req.ops, req.target_epoch);
                     let _ = req.reply.send(out);
                 }
                 ShardMsg::Join(req) => {
@@ -252,7 +298,16 @@ impl ShardWorker {
                 pager.borrow_mut().attach_store(&spill.path);
             }
         }
-        let leaf_regions = self.engine.leaf_regions(&name).map_err(|e| e.to_string())?;
+        let (owned_count, extent) = self.reindex_ownership(&name, cell)?;
+        Ok((owned_count, extent, summary))
+    }
+
+    /// Recomputes which leaf groups this worker owns for `name` (their
+    /// regions changed under a load or a mutation batch) and records
+    /// them, returning the owned count and extent the coordinator's
+    /// routing catalog wants.
+    fn reindex_ownership(&mut self, name: &str, cell: Rect) -> Result<(usize, Rect), String> {
+        let leaf_regions = self.engine.leaf_regions(name).map_err(|e| e.to_string())?;
         let owned: Vec<usize> = leaf_regions
             .iter()
             .enumerate()
@@ -265,13 +320,68 @@ impl ShardWorker {
         }
         let owned_count = owned.len();
         self.datasets.insert(
-            name,
+            name.to_string(),
             WorkerDataset {
                 cell,
                 leaf_regions,
                 owned,
             },
         );
+        Ok((owned_count, extent))
+    }
+
+    /// Applies one mutation batch, keyed by its **target epoch** for
+    /// idempotent delivery: a worker already at `target_epoch` applied
+    /// this very batch on a previous delivery whose reply was lost —
+    /// it re-answers without re-applying — and any epoch other than
+    /// `target_epoch - 1` is a hard refusal (the worker has diverged
+    /// and must be rebuilt from the log).
+    ///
+    /// The engine applies with `version_store(false)`: the coordinator
+    /// serializes updates against every query under its catalog write
+    /// lock, so no reader needs the retired epoch's page file. A worker
+    /// *attached* to a shared page file detaches afterwards — its local
+    /// pages are now ahead of anything the (possibly dead) writer wrote
+    /// through — and serves resident from its own page space.
+    fn update(
+        &mut self,
+        name: &str,
+        ops: &[Mutation],
+        target_epoch: u64,
+    ) -> Result<(usize, Rect, DatasetSummary), String> {
+        let current = self
+            .engine
+            .dataset(name)
+            .ok_or_else(|| format!("shard has no dataset {name:?}"))?
+            .epoch();
+        if current + 1 == target_epoch {
+            let mut batch = self.engine.update(name.to_string()).version_store(false);
+            for op in ops {
+                batch = match op {
+                    Mutation::Insert(it) => batch.insert([*it]),
+                    Mutation::Delete(id) => batch.delete([*id]),
+                    Mutation::Upsert(it) => batch.upsert([*it]),
+                };
+            }
+            let handle = batch.apply().map_err(|e| e.to_string())?;
+            debug_assert_eq!(handle.epoch(), target_epoch);
+            self.engine.pager().borrow_mut().detach_unowned_store();
+        } else if current != target_epoch {
+            return Err(format!(
+                "dataset {name:?} is at epoch {current}, cannot apply batch for epoch {target_epoch}"
+            ));
+        }
+        let summary = self
+            .engine
+            .dataset(name)
+            .ok_or_else(|| format!("shard has no dataset {name:?}"))?
+            .summary();
+        let cell = self
+            .datasets
+            .get(name)
+            .ok_or_else(|| format!("shard has no cell recorded for {name:?}"))?
+            .cell;
+        let (owned_count, extent) = self.reindex_ownership(name, cell)?;
         Ok((owned_count, extent, summary))
     }
 
@@ -441,6 +551,22 @@ impl ShardBackend for LocalShard {
             })
     }
 
+    fn update(&mut self, call: &UpdateCall) -> Result<LoadOutcome, ShardFault> {
+        let (reply, rx) = channel();
+        let msg = ShardMsg::Update(UpdateReq {
+            name: call.name.clone(),
+            ops: Arc::clone(&call.ops),
+            target_epoch: call.target_epoch,
+            reply,
+        });
+        self.round_trip(msg, rx)
+            .map(|(leaves, extent, summary)| LoadOutcome {
+                leaves,
+                extent,
+                summary,
+            })
+    }
+
     fn join(&mut self, call: &JoinCall) -> Result<(Vec<(usize, RcjPair)>, RcjStats), ShardFault> {
         let (reply, rx) = channel();
         let msg = ShardMsg::Join(JoinReq {
@@ -577,6 +703,20 @@ impl Default for TopologyConfig {
 struct CatalogEntry {
     kind: IndexKind,
     items: u64,
+    /// Mutation epoch: `0` at load, `+1` per applied update batch —
+    /// always equal to every live worker's engine-level epoch for this
+    /// dataset (the fan-out keeps them in lockstep; a worker that
+    /// drifts is quarantined and rebuilt from the log).
+    epoch: u64,
+    /// The current pointset, id → point. This is what update batches
+    /// validate against — the same simulate-then-apply rules as
+    /// [`Engine::update`], run **once** at the coordinator so a
+    /// rejected batch provably never reaches a worker — and what
+    /// `items_per_shard` is recomputed from after a mutation.
+    points: BTreeMap<u64, Point>,
+    /// The dataset's partition cells (fixed at load; updates move
+    /// points between existing cells but never re-partition).
+    cells: Vec<Rect>,
     /// Leaf groups owned by each shard.
     leaves: Vec<usize>,
     /// Points located in each shard's cell.
@@ -605,15 +745,32 @@ struct LoadRecord {
     cells: Vec<Rect>,
 }
 
-/// The routing catalog and the LOAD replay log behind **one** lock.
-/// One lock, not two, is load-bearing: the heal function replays the
-/// log and flips its slot up under the read lock, and `load` appends
-/// and fans out under the write lock, so a healing slot can never
-/// land between "missed the fan-out" and "missed the log".
+/// One replayable mutation batch: the operations in order plus the
+/// epoch the batch produced. Replay applies records in log order, so a
+/// respawned worker reconstructs exactly the live epoch — bulk load at
+/// epoch 0, then every batch in sequence.
+struct UpdateRecord {
+    name: String,
+    ops: Arc<Vec<Mutation>>,
+    target_epoch: u64,
+}
+
+/// The mutation log: loads and update batches in application order.
+enum LogRecord {
+    Load(LoadRecord),
+    Update(UpdateRecord),
+}
+
+/// The routing catalog and the mutation replay log behind **one**
+/// lock. One lock, not two, is load-bearing: the heal function replays
+/// the log and flips its slot up under the read lock, and
+/// `load`/`update` append and fan out under the write lock, so a
+/// healing slot can never land between "missed the fan-out" and
+/// "missed the log".
 #[derive(Default)]
 struct CatalogState {
     catalog: Catalog,
-    log: Vec<LoadRecord>,
+    log: Vec<LogRecord>,
 }
 
 /// A sharded RCJ session: shard workers (in-process threads or worker
@@ -642,6 +799,9 @@ pub struct ShardedEngine {
     /// (the first live worker writes it, everyone else attaches).
     /// `None` = resident serving.
     on_disk: Option<PathBuf>,
+    /// Lifetime count of applied update batches, across all datasets —
+    /// what `STATS` reports as `updates_total`.
+    updates: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -743,16 +903,25 @@ impl ShardedEngine {
                 let st = state.read().expect("catalog lock poisoned");
                 let mut replayed = 0u64;
                 for rec in &st.log {
-                    backend
-                        .load(&LoadCall {
-                            name: rec.name.clone(),
-                            kind: rec.kind,
-                            items: Arc::clone(&rec.items),
-                            cell: rec.cells[cell],
-                            // The page file already exists: attach.
-                            spill: on_disk.clone().map(|path| (path, false)),
-                        })
-                        .map_err(ShardFault::message)?;
+                    match rec {
+                        LogRecord::Load(rec) => backend
+                            .load(&LoadCall {
+                                name: rec.name.clone(),
+                                kind: rec.kind,
+                                items: Arc::clone(&rec.items),
+                                cell: rec.cells[cell],
+                                // The page file already exists: attach.
+                                spill: on_disk.clone().map(|path| (path, false)),
+                            })
+                            .map_err(ShardFault::message)?,
+                        LogRecord::Update(rec) => backend
+                            .update(&UpdateCall {
+                                name: rec.name.clone(),
+                                ops: Arc::clone(&rec.ops),
+                                target_epoch: rec.target_epoch,
+                            })
+                            .map_err(ShardFault::message)?,
+                    };
                     replayed += 1;
                 }
                 slot.install(backend);
@@ -775,6 +944,7 @@ impl ShardedEngine {
             plans: PlanCache::new(),
             pool,
             on_disk: cfg.on_disk,
+            updates: AtomicU64::new(0),
         })
     }
 
@@ -798,6 +968,11 @@ impl ShardedEngine {
     /// Lifetime count of datasets replayed into respawned workers.
     pub fn replays_total(&self) -> u64 {
         self.topology.replays_total()
+    }
+
+    /// Lifetime count of applied update batches across all datasets.
+    pub fn updates_total(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
     }
 
     /// Polls until every worker slot is up, or `timeout` lapses.
@@ -850,9 +1025,23 @@ impl ShardedEngine {
             name: name.to_string(),
             kind: e.kind,
             items: e.items,
+            epoch: e.epoch,
             leaves_per_shard: e.leaves.clone(),
             items_per_shard: e.item_counts.clone(),
         })
+    }
+
+    /// The exact pointset of a dataset's current epoch, sorted by id —
+    /// what a rebuild-from-scratch oracle bulk-loads to reproduce this
+    /// sharded engine's query answers.
+    pub fn dataset_items(&self, name: &str) -> Result<Vec<Item>, ServerError> {
+        let st = self.read_state();
+        let entry = Self::require(&st.catalog, name)?;
+        Ok(entry
+            .points
+            .iter()
+            .map(|(&id, &point)| Item::new(id, point))
+            .collect())
     }
 
     /// Loads a dataset on every shard: computes the dataset's space
@@ -891,12 +1080,12 @@ impl ShardedEngine {
         // on failure): a slot healing concurrently cannot flip up while
         // we hold the write lock, so it replays a log that already
         // includes this load — down replicas catch up through replay.
-        st.log.push(LoadRecord {
+        st.log.push(LogRecord::Load(LoadRecord {
             name: name.to_string(),
             kind,
             items: Arc::clone(&items),
             cells: cells.clone(),
-        });
+        }));
         let call = |cell: usize, writer: bool| LoadCall {
             name: name.to_string(),
             kind,
@@ -985,11 +1174,15 @@ impl ShardedEngine {
             summary = Some(outcomes[0].summary);
         }
         let summary = summary.expect("at least one cell");
+        let points: BTreeMap<u64, Point> = items.iter().map(|it| (it.id, it.point)).collect();
         st.catalog.insert(
             name.to_string(),
             CatalogEntry {
                 kind,
                 items: items.len() as u64,
+                epoch: 0,
+                points,
+                cells,
                 leaves: leaves.clone(),
                 item_counts: item_counts.clone(),
                 extents,
@@ -1000,8 +1193,164 @@ impl ShardedEngine {
             name: name.to_string(),
             kind,
             items: items.len() as u64,
+            epoch: 0,
             leaves_per_shard: leaves,
             items_per_shard: item_counts,
+        })
+    }
+
+    /// Applies a mutation batch to a live dataset on every shard,
+    /// advancing its epoch by one. Like [`ShardedEngine::load`] this
+    /// holds the catalog's **write** lock end to end: in-flight joins
+    /// (read locks) drain first, and every query admitted afterwards
+    /// plans and routes against the new epoch — no query ever observes
+    /// a half-applied batch.
+    ///
+    /// The whole batch is validated *here*, against the coordinator's
+    /// authoritative pointset, under exactly the engine's rules
+    /// (`INSERT` of a present id and `DELETE` of an absent id refuse the
+    /// whole batch; `UPSERT` never fails). Workers therefore only see
+    /// batches that must succeed — a worker-side refusal means its
+    /// state has diverged from the log, and the topology layer tears it
+    /// down for a rebuild. If the batch cannot land on at least one
+    /// replica of every cell, it is abandoned: the log record is
+    /// popped and every worker that *did* apply it is quarantined (it
+    /// sits one epoch ahead of the log and would otherwise silently
+    /// diverge on the next batch).
+    pub fn update(&self, name: &str, ops: Vec<Mutation>) -> Result<UpdateInfo, ServerError> {
+        if ops.is_empty() {
+            return Err(ServerError::BadRequest(
+                "an update batch needs at least one mutation".to_string(),
+            ));
+        }
+        let mut st = self.state.write().expect("catalog lock poisoned");
+        let target_epoch = {
+            let entry = Self::require(&st.catalog, name)?;
+            // Whole-batch simulation over the live id set — the same
+            // validation the engine itself runs, so a batch accepted
+            // here cannot fail on any in-sync worker.
+            let mut sim: BTreeSet<u64> = entry.points.keys().copied().collect();
+            for op in &ops {
+                match op {
+                    Mutation::Insert(it) => {
+                        if !sim.insert(it.id) {
+                            return Err(ServerError::BadRequest(format!(
+                                "INSERT of duplicate id {} into dataset {name:?}",
+                                it.id
+                            )));
+                        }
+                    }
+                    Mutation::Delete(id) => {
+                        if !sim.remove(id) {
+                            return Err(ServerError::BadRequest(format!(
+                                "DELETE of missing id {id} from dataset {name:?}"
+                            )));
+                        }
+                    }
+                    Mutation::Upsert(it) => {
+                        sim.insert(it.id);
+                    }
+                }
+            }
+            entry.epoch + 1
+        };
+        let ops = Arc::new(ops);
+        // Log before fan-out, exactly like LOAD: a slot healing
+        // concurrently replays a log that already carries this batch.
+        st.log.push(LogRecord::Update(UpdateRecord {
+            name: name.to_string(),
+            ops: Arc::clone(&ops),
+            target_epoch,
+        }));
+        let cells_n = self.topology.cells();
+        let replicas = self.topology.replicas();
+        let total = cells_n * replicas;
+        let topo = &self.topology;
+        let call = UpdateCall {
+            name: name.to_string(),
+            ops: Arc::clone(&ops),
+            target_epoch,
+        };
+        let outcomes: Vec<Option<Result<LoadOutcome, String>>> = std::thread::scope(|s| {
+            let call = &call;
+            let handles: Vec<_> = (0..total)
+                .map(|idx| s.spawn(move || topo.update_slot(idx, call)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("update fan-out thread panicked"))
+                .collect()
+        });
+        let mut successes: Vec<Vec<LoadOutcome>> = (0..cells_n).map(|_| Vec::new()).collect();
+        let mut applied_slots: Vec<usize> = Vec::new();
+        let mut hard_err: Option<String> = None;
+        for (idx, out) in outcomes.into_iter().enumerate() {
+            match out {
+                Some(Ok(out)) => {
+                    successes[idx / replicas].push(out);
+                    applied_slots.push(idx);
+                }
+                // A refusal: update_slot already tore the slot down.
+                // Keep draining so applied_slots is complete.
+                Some(Err(msg)) => hard_err = Some(msg),
+                // Down (or died mid-apply): replay delivers this very
+                // record when the supervisor heals the slot.
+                None => {}
+            }
+        }
+        let dark_cell = successes.iter().position(|s| s.is_empty());
+        if hard_err.is_some() || dark_cell.is_some() {
+            st.log.pop();
+            for idx in applied_slots {
+                self.topology.quarantine(idx);
+            }
+            return Err(match hard_err {
+                Some(msg) => ServerError::Internal(msg),
+                None => ServerError::ShardGone(dark_cell.expect("checked above")),
+            });
+        }
+        // Unanimous: refresh the routing catalog from the fan-out and
+        // the authoritative pointset from the batch itself.
+        let entry = st.catalog.get_mut(name).expect("validated above");
+        for op in ops.iter() {
+            match op {
+                Mutation::Insert(it) | Mutation::Upsert(it) => {
+                    entry.points.insert(it.id, it.point);
+                }
+                Mutation::Delete(id) => {
+                    entry.points.remove(id);
+                }
+            }
+        }
+        entry.items = entry.points.len() as u64;
+        entry.epoch = target_epoch;
+        let mut item_counts = vec![0u64; cells_n];
+        for p in entry.points.values() {
+            let cell = entry
+                .cells
+                .iter()
+                .position(|c| c.contains_point_half_open(*p))
+                .expect("partition cells tile the plane");
+            item_counts[cell] += 1;
+        }
+        entry.item_counts = item_counts;
+        let mut leaves = Vec::with_capacity(cells_n);
+        let mut extents = Vec::with_capacity(cells_n);
+        let mut summary = entry.summary;
+        for outcomes in &successes {
+            leaves.push(outcomes[0].leaves);
+            extents.push(outcomes[0].extent);
+            summary = outcomes[0].summary;
+        }
+        entry.leaves = leaves;
+        entry.extents = extents;
+        entry.summary = summary;
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(UpdateInfo {
+            name: name.to_string(),
+            epoch: target_epoch,
+            applied: ops.len(),
+            items: entry.items,
         })
     }
 
@@ -1018,7 +1367,8 @@ impl ShardedEngine {
     fn resolve_algo(
         &self,
         outer: &str,
-        inner: Option<&str>,
+        outer_epoch: u64,
+        inner: Option<(&str, u64)>,
         requested: RcjAlgorithm,
         summary: DatasetSummary,
     ) -> RcjAlgorithm {
@@ -1026,11 +1376,17 @@ impl ShardedEngine {
             Some(_) => QueryShape::Join,
             None => QueryShape::SelfJoin,
         };
-        self.plans
-            .resolve(outer, inner, shape, requested, || match requested {
+        self.plans.resolve(
+            outer,
+            outer_epoch,
+            inner,
+            shape,
+            requested,
+            || match requested {
                 RcjAlgorithm::Auto => JoinCostModel::default().choose(&summary),
                 concrete => concrete,
-            })
+            },
+        )
     }
 
     /// Shards a bichromatic join across the outer dataset's partition
@@ -1104,7 +1460,10 @@ impl ShardedEngine {
         if let Some(rb) = &bounds {
             validate_bounds(rb)?;
         }
-        let algo = self.resolve_algo(outer, inner, algo, entry.summary);
+        // Inner presence was validated by the caller; its epoch joins
+        // the plan key so mutating either side invalidates the plan.
+        let inner_keyed = inner.map(|n| (n, catalog.get(n).map_or(0, |e| e.epoch)));
+        let algo = self.resolve_algo(outer, entry.epoch, inner_keyed, algo, entry.summary);
         // Route: cells owning no leaf of the outer dataset can never
         // contribute; with bounds, neither can cells whose extent
         // misses the ring-expanded bounds.
@@ -1457,6 +1816,166 @@ mod tests {
             se.self_join("d", RcjAlgorithm::Auto, Some(nan)),
             Err(ServerError::BadRequest(_))
         ));
+    }
+
+    /// Applies a mutation batch to a plain single engine — the oracle
+    /// every sharded update must stay byte-identical to. (A bulk-load
+    /// rebuild over the same points is only *set*-equal: pair emission
+    /// order follows tree structure, and an incrementally mutated tree
+    /// legitimately differs from a bulk-built one.)
+    fn apply_to_engine(engine: &mut Engine, name: &str, ops: &[Mutation]) {
+        let mut batch = engine.update(name.to_string());
+        for op in ops {
+            batch = match op {
+                Mutation::Insert(it) => batch.insert([*it]),
+                Mutation::Delete(id) => batch.delete([*id]),
+                Mutation::Upsert(it) => batch.upsert([*it]),
+            };
+        }
+        batch.apply().expect("oracle batch must apply");
+    }
+
+    #[test]
+    fn updates_advance_epoch_and_match_an_identically_mutated_engine() {
+        let ps = items(180, 3, 1200.0);
+        let qs = items(180, 5, 1200.0);
+        // A mixed batch on p: fresh inserts (some outside the load-time
+        // extent), deletes, and an upsert that moves a surviving point.
+        let p_batch = vec![
+            Mutation::Insert(Item::new(900, pt(-200.0, 1500.0))),
+            Mutation::Insert(Item::new(901, pt(640.0, 230.0))),
+            Mutation::Delete(17),
+            Mutation::Delete(44),
+            Mutation::Upsert(Item::new(50, pt(333.25, 777.5))),
+            Mutation::Upsert(Item::new(902, pt(10.0, 10.0))),
+        ];
+        let q_batch = vec![Mutation::Delete(0), Mutation::Delete(1)];
+        let mut reference = unsharded(&ps, &qs, IndexKind::Rtree);
+        apply_to_engine(&mut reference, "p", &p_batch);
+        apply_to_engine(&mut reference, "q", &q_batch);
+
+        for shards in [1usize, 4] {
+            let se = ShardedEngine::new(shards).unwrap();
+            se.load("p", ps.clone(), IndexKind::Rtree).unwrap();
+            se.load("q", qs.clone(), IndexKind::Rtree).unwrap();
+
+            let info = se.update("p", p_batch.clone()).unwrap();
+            assert_eq!(info.epoch, 1, "first batch lands epoch 1");
+            assert_eq!(info.applied, 6);
+            assert_eq!(info.items, 181, "180 + 3 inserts/upserts - 2 deletes");
+            assert_eq!(se.dataset("p").unwrap().epoch, 1);
+            assert_eq!(se.dataset("q").unwrap().epoch, 0, "q untouched");
+
+            // A second batch on q advances its epoch independently.
+            se.update("q", q_batch.clone()).unwrap();
+            assert_eq!(se.updates_total(), 2);
+
+            // The catalog's authoritative pointset tracks the batches.
+            let live = se.dataset_items("p").unwrap();
+            assert_eq!(live.len(), 181);
+            assert!(live.iter().any(|it| it.id == 900));
+            assert!(!live.iter().any(|it| it.id == 17));
+            let ref_join = reference.query().join("q", "p").collect().unwrap();
+            let out = se.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+            assert_eq!(out.pairs, ref_join.pairs, "shards={shards}");
+            assert_eq!(out.stats, ref_join.stats, "shards={shards}");
+
+            let ref_self = reference.query().self_join("p").collect().unwrap();
+            let out = se.self_join("p", RcjAlgorithm::Auto, None).unwrap();
+            assert_eq!(out.pairs, ref_self.pairs, "shards={shards}");
+            assert_eq!(out.stats, ref_self.stats, "shards={shards}");
+
+            let ref_top: Vec<RcjPair> = {
+                let plan = reference.query().join("q", "p").top_k(11).plan().unwrap();
+                let s: RcjStream = plan.stream();
+                s.collect()
+            };
+            let top = se.top_k("q", "p", 11).unwrap();
+            assert_eq!(top.pairs, ref_top, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn update_validation_refuses_whole_batches_and_leaves_state_intact() {
+        let se = ShardedEngine::new(2).unwrap();
+        se.load("d", items(120, 7, 800.0), IndexKind::Quadtree)
+            .unwrap();
+        let before = se.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+
+        // Each refused batch: a protocol error, no epoch movement.
+        assert!(matches!(
+            se.update("d", Vec::new()),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert!(matches!(
+            // id 3 exists: the whole batch (including the valid delete)
+            // must be refused.
+            se.update(
+                "d",
+                vec![
+                    Mutation::Delete(0),
+                    Mutation::Insert(Item::new(3, pt(1.0, 2.0)))
+                ]
+            ),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert!(matches!(
+            se.update("d", vec![Mutation::Delete(4242)]),
+            Err(ServerError::BadRequest(_))
+        ));
+        // Intra-batch conflict: the upsert introduces the id the later
+        // insert collides with.
+        assert!(matches!(
+            se.update(
+                "d",
+                vec![
+                    Mutation::Upsert(Item::new(500, pt(5.0, 6.0))),
+                    Mutation::Insert(Item::new(500, pt(7.0, 8.0)))
+                ]
+            ),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert!(matches!(
+            se.update("missing", vec![Mutation::Delete(0)]),
+            Err(ServerError::UnknownDataset(_))
+        ));
+
+        let info = se.dataset("d").unwrap();
+        assert_eq!((info.epoch, info.items), (0, 120));
+        assert_eq!(se.updates_total(), 0);
+        let after = se.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(after.pairs, before.pairs, "refused batches must be no-ops");
+        assert_eq!(after.stats, before.stats);
+    }
+
+    #[test]
+    fn disk_native_updates_match_resident_serving() {
+        let dir = ringjoin_testsupport::scratch_dir("sharded-disk-update");
+        let path = dir.join("pages.rjp");
+        let its = items(200, 61, 1000.0);
+        let batch = vec![
+            Mutation::Insert(Item::new(700, pt(-50.0, 1200.0))),
+            Mutation::Delete(13),
+            Mutation::Upsert(Item::new(20, pt(444.5, 91.25))),
+        ];
+
+        let resident = ShardedEngine::new(3).unwrap();
+        resident.load("d", its.clone(), IndexKind::Rtree).unwrap();
+        resident.update("d", batch.clone()).unwrap();
+        let reference = resident.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+
+        let se = ShardedEngine::with_storage(3, Some(path), 8).unwrap();
+        se.load("d", its, IndexKind::Rtree).unwrap();
+        se.update("d", batch).unwrap();
+        let out = se.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(out.pairs, reference.pairs);
+        assert_eq!(out.stats, reference.stats);
+        // Again: the mutated pages keep serving deterministically.
+        let again = se.self_join("d", RcjAlgorithm::Auto, None).unwrap();
+        assert_eq!(again.pairs, reference.pairs);
+        drop(se);
+        drop(resident);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

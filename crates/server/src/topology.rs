@@ -48,7 +48,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::sharded::RingBounds;
+use crate::sharded::{Mutation, RingBounds};
 
 // ---------------------------------------------------------------------
 // Backend-facing call shapes
@@ -63,6 +63,19 @@ pub(crate) struct LoadCall {
     pub items: Arc<Vec<Item>>,
     pub cell: Rect,
     pub spill: Option<(PathBuf, bool)>,
+}
+
+/// One mutation batch, as a backend sees it: the ordered operations
+/// plus the dataset epoch the batch produces. The target epoch is what
+/// makes delivery **idempotent**: a worker already at `target_epoch`
+/// acknowledges without re-applying (the previous delivery's reply was
+/// lost in transit), and a worker at any epoch other than
+/// `target_epoch - 1` refuses — it has diverged and must be rebuilt
+/// from the log.
+pub(crate) struct UpdateCall {
+    pub name: String,
+    pub ops: Arc<Vec<Mutation>>,
+    pub target_epoch: u64,
 }
 
 /// A leaf-driven join against one worker.
@@ -124,6 +137,10 @@ impl ShardFault {
 /// `&mut self` and need no internal locking.
 pub(crate) trait ShardBackend: Send {
     fn load(&mut self, call: &LoadCall) -> Result<LoadOutcome, ShardFault>;
+    /// Applies one mutation batch; the outcome carries the worker's
+    /// recomputed owned-leaf count, extent and summary (the same shape a
+    /// load reports — updates move leaves between cells).
+    fn update(&mut self, call: &UpdateCall) -> Result<LoadOutcome, ShardFault>;
     fn join(&mut self, call: &JoinCall) -> Result<(Vec<(usize, RcjPair)>, RcjStats), ShardFault>;
     fn top_k(&mut self, call: &TopKCall) -> Result<(Vec<RcjPair>, RcjStats), ShardFault>;
     fn explain(&mut self, call: &ExplainCall) -> Result<String, ShardFault>;
@@ -424,6 +441,59 @@ impl Topology {
         }
     }
 
+    /// Fans one mutation batch into a specific slot. `None` means the
+    /// slot was not up (or its transport died mid-update — it is then
+    /// marked down for healing, whose log replay delivers this very
+    /// batch); `Some(Err)` is a hard refusal from a live worker.
+    /// Coordinator-side validation makes refusals unreachable for a
+    /// worker in sync, so a refusing worker has **diverged** — its
+    /// backend is dropped and the slot handed to the supervisor, whose
+    /// full-log replay rebuilds it into a consistent state.
+    pub(crate) fn update_slot(
+        &self,
+        idx: usize,
+        call: &UpdateCall,
+    ) -> Option<Result<LoadOutcome, String>> {
+        let slot = &self.slots[idx];
+        match slot.state.load(Ordering::SeqCst) {
+            UP => {}
+            DOWN => {
+                self.kick(idx);
+                return None;
+            }
+            _ => return None,
+        }
+        let mut guard = slot.backend.lock().expect("slot lock poisoned");
+        let backend = guard.as_mut()?;
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        match backend.update(call) {
+            Ok(out) => Some(Ok(out)),
+            Err(ShardFault::Gone(_)) => {
+                *guard = None;
+                drop(guard);
+                self.mark_down(idx);
+                None
+            }
+            Err(ShardFault::Request(msg)) => {
+                *guard = None;
+                drop(guard);
+                self.mark_down(idx);
+                Some(Err(msg))
+            }
+        }
+    }
+
+    /// Tears a slot down for rebuild: drops its backend and hands it to
+    /// the supervisor, whose replay reconstructs the worker from the
+    /// log. Used when a worker's *state* can no longer be trusted (it
+    /// applied a mutation batch the coordinator had to abandon), not
+    /// just its transport.
+    pub(crate) fn quarantine(&self, idx: usize) {
+        let slot = &self.slots[idx];
+        *slot.backend.lock().expect("slot lock poisoned") = None;
+        self.mark_down(idx);
+    }
+
     /// Per-slot `(state, requests)` in flat cell-major slot order — the
     /// `STATS` health rows.
     pub(crate) fn health(&self) -> Vec<(&'static str, u64)> {
@@ -504,6 +574,16 @@ mod tests {
 
     impl ShardBackend for Mock {
         fn load(&mut self, _call: &LoadCall) -> Result<LoadOutcome, ShardFault> {
+            if self.gone.load(Ordering::SeqCst) {
+                return Err(ShardFault::Gone("mock transport dead".into()));
+            }
+            Ok(LoadOutcome {
+                leaves: 1,
+                extent: Rect::empty(),
+                summary: DatasetSummary::new("rtree", 1, 1, 1),
+            })
+        }
+        fn update(&mut self, _call: &UpdateCall) -> Result<LoadOutcome, ShardFault> {
             if self.gone.load(Ordering::SeqCst) {
                 return Err(ShardFault::Gone("mock transport dead".into()));
             }

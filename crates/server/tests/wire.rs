@@ -93,6 +93,82 @@ fn tcp_round_trip_matches_in_process_engine() {
 }
 
 #[test]
+fn tcp_updates_advance_epochs_and_match_a_mutated_engine() {
+    let ps = items(160, 51, 1200.0);
+    let qs = items(160, 53, 1200.0);
+    // The oracle: a single engine that applies the identical history.
+    let mut engine = Engine::new();
+    engine.load("p", ps.clone()).index(IndexKind::Rtree);
+    engine.load("q", qs.clone()).index(IndexKind::Rtree);
+    engine
+        .update("p")
+        .insert([
+            Item::new(700, pt(33.5, 44.25)),
+            Item::new(701, pt(1500.0, -10.0)),
+        ])
+        .delete([5])
+        .upsert([Item::new(9, pt(620.125, 333.5))])
+        .apply()
+        .unwrap();
+    let local = engine.query().join("q", "p").collect().unwrap();
+
+    let (addr, handle) = start(3);
+    let mut client = Client::connect(addr).unwrap();
+    client.load("p", IndexKind::Rtree, &ps).unwrap();
+    client.load("q", IndexKind::Rtree, &qs).unwrap();
+
+    // The same history over the wire, one verb per mutation kind.
+    let reply = client
+        .insert(
+            "p",
+            &[
+                Item::new(700, pt(33.5, 44.25)),
+                Item::new(701, pt(1500.0, -10.0)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(reply.field("epoch"), Some("1"));
+    assert_eq!(reply.field("applied"), Some("2"));
+    let reply = client.delete("p", &[5]).unwrap();
+    assert_eq!(reply.field("epoch"), Some("2"));
+    let reply = client
+        .upsert("p", &[Item::new(9, pt(620.125, 333.5))])
+        .unwrap();
+    assert_eq!(reply.field("epoch"), Some("3"));
+    assert_eq!(reply.field("items"), Some("161"));
+
+    let remote = client.join("q", "p", RcjAlgorithm::Auto, None).unwrap();
+    assert_eq!(remote.pairs, local.pairs);
+    assert_eq!(remote.stats, local.stats);
+
+    // Refused batches are protocol errors that move nothing.
+    assert!(client.insert("p", &[Item::new(9, pt(0.0, 0.0))]).is_err());
+    assert!(client.delete("p", &[999_999]).is_err());
+    assert!(client
+        .insert("nosuch", &[Item::new(1, pt(0.0, 0.0))])
+        .is_err());
+
+    // STATS surfaces the epoch and the lifetime update counter.
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("updates_total 3"), "{stats}");
+    assert!(
+        stats
+            .lines()
+            .any(|l| l.starts_with("dataset p") && l.contains("epoch=3")),
+        "{stats}"
+    );
+    assert!(
+        stats
+            .lines()
+            .any(|l| l.starts_with("dataset q") && l.contains("epoch=0")),
+        "{stats}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
 fn protocol_errors_do_not_kill_the_server() {
     let (addr, handle) = start(2);
     let mut client = Client::connect(addr).unwrap();

@@ -53,10 +53,18 @@ use std::sync::{Arc, Mutex};
 /// shards.
 pub const DEFAULT_POOL_SHARDS: usize = 16;
 
+/// Frame key: the page id qualified by the dataset epoch it was read
+/// under. Mutation batches open a new epoch (see
+/// [`Pager::begin_epoch`](crate::Pager::begin_epoch)), so a frame
+/// populated from a retired epoch's page bytes can never be served to a
+/// reader of the current epoch — and an in-flight reader draining an
+/// old snapshot never poisons the new epoch's cache.
+type FrameKey = (u64, PageId);
+
 /// One frame of the arena: which page occupies it, the clock's
 /// referenced bit, and (in store-backed mode) the page bytes.
 struct Frame {
-    page: PageId,
+    page: FrameKey,
     referenced: bool,
     /// `Some` when the frame owns the page bytes (store-backed reads);
     /// `None` when the frame tracks recency only (resident snapshots).
@@ -71,7 +79,7 @@ struct PoolShard {
     capacity: usize,
     /// Grows lazily up to `capacity`, then frames are only ever reused.
     frames: Vec<Frame>,
-    map: HashMap<PageId, usize>,
+    map: HashMap<FrameKey, usize>,
     hand: usize,
 }
 
@@ -90,7 +98,7 @@ impl PoolShard {
     /// Touches `page`; returns `true` on a hit. On a miss the page is
     /// installed (recency-only, no bytes), evicting by clock sweep when
     /// the arena is full.
-    fn access(&mut self, page: PageId) -> bool {
+    fn access(&mut self, page: FrameKey) -> bool {
         if let Some(&idx) = self.map.get(&page) {
             self.frames[idx].referenced = true;
             return true;
@@ -103,7 +111,7 @@ impl PoolShard {
     /// evicting by clock sweep when the arena is full. If the page is
     /// already framed — a racing reader or the prefetcher got there
     /// first — the existing frame is refreshed in place.
-    fn install(&mut self, page: PageId, data: Option<Arc<[u8]>>, prefetched: bool) {
+    fn install(&mut self, page: FrameKey, data: Option<Arc<[u8]>>, prefetched: bool) {
         if let Some(&idx) = self.map.get(&page) {
             let frame = &mut self.frames[idx];
             frame.referenced = true;
@@ -267,13 +275,21 @@ impl BufferPool {
 
     /// Touches `page`, returning `true` on a hit, and bumps the pool's
     /// atomic counters. This is the whole concurrency surface: one
-    /// striped lock acquisition per page access.
+    /// striped lock acquisition per page access. Epoch-0 shorthand for
+    /// [`BufferPool::access_at`].
     pub fn access(&self, page: PageId) -> bool {
+        self.access_at(0, page)
+    }
+
+    /// [`BufferPool::access`] under an explicit dataset epoch: frames
+    /// are keyed `(epoch, page)`, so accesses from readers pinned to
+    /// different epochs never alias one another's residency.
+    pub fn access_at(&self, epoch: u64, page: PageId) -> bool {
         let shard = (page.0 as usize) % self.inner.shards.len();
         let hit = self.inner.shards[shard]
             .lock()
             .expect("buffer pool shard poisoned")
-            .access(page);
+            .access((epoch, page));
         if hit {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -289,12 +305,27 @@ impl BufferPool {
     /// two racing readers may both fault the same cold page; both
     /// device reads really happened, so both count).
     pub fn load(&self, page: PageId, store: &dyn PageStore) -> (Arc<[u8]>, PoolRead) {
+        self.load_at(0, page, store)
+    }
+
+    /// [`BufferPool::load`] under an explicit dataset epoch: a frame
+    /// holding page bytes faulted from a retired epoch's store is
+    /// invisible to readers of any other epoch (and vice versa), which
+    /// is what keeps in-flight streams draining an old snapshot from
+    /// poisoning — or being poisoned by — the live epoch's cache.
+    pub fn load_at(
+        &self,
+        epoch: u64,
+        page: PageId,
+        store: &dyn PageStore,
+    ) -> (Arc<[u8]>, PoolRead) {
         let shard_idx = (page.0 as usize) % self.inner.shards.len();
+        let key = (epoch, page);
         {
             let mut shard = self.inner.shards[shard_idx]
                 .lock()
                 .expect("buffer pool shard poisoned");
-            if let Some(&idx) = shard.map.get(&page) {
+            if let Some(&idx) = shard.map.get(&key) {
                 let frame = &mut shard.frames[idx];
                 if let Some(bytes) = frame.data.clone() {
                     frame.referenced = true;
@@ -314,7 +345,7 @@ impl BufferPool {
         self.inner.shards[shard_idx]
             .lock()
             .expect("buffer pool shard poisoned")
-            .install(page, Some(bytes.clone()), false);
+            .install(key, Some(bytes.clone()), false);
         (bytes, PoolRead::Fault)
     }
 
@@ -324,7 +355,14 @@ impl BufferPool {
     /// demand I/O — the access that later claims the frame counts as a
     /// prefetch hit instead of a fault).
     pub fn prefetch(&self, page: PageId, store: &dyn PageStore) {
+        self.prefetch_at(0, page, store)
+    }
+
+    /// [`BufferPool::prefetch`] under an explicit dataset epoch; staged
+    /// frames only ever satisfy readers pinned to the same epoch.
+    pub fn prefetch_at(&self, epoch: u64, page: PageId, store: &dyn PageStore) {
         let shard_idx = (page.0 as usize) % self.inner.shards.len();
+        let key = (epoch, page);
         {
             let shard = self.inner.shards[shard_idx]
                 .lock()
@@ -332,7 +370,7 @@ impl BufferPool {
             if shard.capacity == 0 {
                 return;
             }
-            if let Some(&idx) = shard.map.get(&page) {
+            if let Some(&idx) = shard.map.get(&key) {
                 if shard.frames[idx].data.is_some() {
                     return;
                 }
@@ -342,7 +380,7 @@ impl BufferPool {
         self.inner.shards[shard_idx]
             .lock()
             .expect("buffer pool shard poisoned")
-            .install(page, Some(bytes), true);
+            .install(key, Some(bytes), true);
     }
 
     /// Pages currently resident across all shards.
@@ -474,16 +512,29 @@ pub struct PooledPager {
     source: PageSource,
     pool: BufferPool,
     stats: IoStats,
+    /// Dataset epoch this handle's source was pinned under; every pool
+    /// access is keyed by it (see [`BufferPool::load_at`]).
+    epoch: u64,
 }
 
 impl PooledPager {
-    /// A handle over `source` accounting through `pool`. Accepts a
-    /// [`PageSnapshot`] directly (resident mode) or any [`PageSource`].
+    /// A handle over `source` accounting through `pool` at epoch 0.
+    /// Accepts a [`PageSnapshot`] directly (resident mode) or any
+    /// [`PageSource`].
     pub fn new(source: impl Into<PageSource>, pool: BufferPool) -> PooledPager {
+        PooledPager::versioned(source, pool, 0)
+    }
+
+    /// A handle pinned to the dataset `epoch` its source was captured
+    /// under: pool frames it populates or hits are keyed `(epoch,
+    /// page)`, isolating it from handles over other epochs of the same
+    /// page space.
+    pub fn versioned(source: impl Into<PageSource>, pool: BufferPool, epoch: u64) -> PooledPager {
         PooledPager {
             source: source.into(),
             pool,
             stats: IoStats::default(),
+            epoch,
         }
     }
 
@@ -507,7 +558,7 @@ impl PageAccess for PooledPager {
         self.stats.logical_reads += 1;
         match &self.source {
             PageSource::Resident(snapshot) => {
-                if self.pool.access(id) {
+                if self.pool.access_at(self.epoch, id) {
                     self.stats.read_hits += 1;
                 } else {
                     self.stats.read_faults += 1;
@@ -515,7 +566,7 @@ impl PageAccess for PooledPager {
                 f(snapshot.page(id));
             }
             PageSource::Store(store) => {
-                let (bytes, outcome) = self.pool.load(id, store.as_ref());
+                let (bytes, outcome) = self.pool.load_at(self.epoch, id, store.as_ref());
                 match outcome {
                     PoolRead::Hit => self.stats.read_hits += 1,
                     PoolRead::PrefetchHit => {
@@ -546,15 +597,22 @@ pub struct Prefetcher {
 }
 
 impl Prefetcher {
-    /// Spawns the staging thread over `pool` and `store`.
+    /// Spawns the staging thread over `pool` and `store` at epoch 0.
     pub fn spawn(pool: BufferPool, store: Arc<dyn PageStore>) -> Prefetcher {
+        Prefetcher::spawn_versioned(pool, store, 0)
+    }
+
+    /// [`Prefetcher::spawn`] pinned to a dataset epoch: staged frames
+    /// carry the epoch key, so they satisfy exactly the readers whose
+    /// [`PooledPager`]s were pinned under the same epoch.
+    pub fn spawn_versioned(pool: BufferPool, store: Arc<dyn PageStore>, epoch: u64) -> Prefetcher {
         let (tx, rx) = std::sync::mpsc::channel::<Vec<PageId>>();
         let handle = std::thread::Builder::new()
             .name("ringjoin-prefetch".into())
             .spawn(move || {
                 while let Ok(batch) = rx.recv() {
                     for id in batch {
-                        pool.prefetch(id, store.as_ref());
+                        pool.prefetch_at(epoch, id, store.as_ref());
                     }
                 }
             })
@@ -809,6 +867,65 @@ mod tests {
         }
         assert_eq!(pg.stats().prefetch_hits, 8);
         assert_eq!(pg.stats().read_faults, 0);
+    }
+
+    #[test]
+    fn epochs_partition_frames_and_bytes() {
+        // Two "epochs" of the same page id space with different bytes:
+        // a reader pinned to epoch 0 and a reader at epoch 1 share one
+        // pool without ever serving each other's bytes.
+        let old_snap = snapshot_with_pages(4);
+        let mut p = Pager::new(MemDisk::new(128), 4);
+        for i in 0..4 {
+            let id = p.allocate();
+            p.write(id, |bytes| bytes[0] = 100 + i as u8);
+        }
+        let new_snap = p.snapshot();
+        let old_store: Arc<dyn crate::PageStore> = Arc::new(old_snap);
+        let new_store: Arc<dyn crate::PageStore> = Arc::new(new_snap);
+
+        // Few wide stripes: both epochs of one page share a stripe
+        // (striping ignores the epoch), so give each stripe room.
+        let pool = BufferPool::with_shards(16, 2);
+        let mut old_rd = PooledPager::versioned(PageSource::Store(old_store), pool.clone(), 0);
+        let mut new_rd = PooledPager::versioned(PageSource::Store(new_store), pool.clone(), 1);
+        for i in 0..4u32 {
+            read_page_as(&mut old_rd, PageId(i), |b| assert_eq!(b[0], i as u8 + 1));
+            read_page_as(&mut new_rd, PageId(i), |b| assert_eq!(b[0], 100 + i as u8));
+        }
+        // Same page ids, different epochs: no cross-epoch hits.
+        assert_eq!(old_rd.stats().read_faults, 4);
+        assert_eq!(new_rd.stats().read_faults, 4);
+        assert_eq!(pool.len(), 8, "one frame per (epoch, page)");
+        // Re-reads hit within each epoch.
+        read_page_as(&mut old_rd, PageId(0), |b| assert_eq!(b[0], 1));
+        read_page_as(&mut new_rd, PageId(0), |b| assert_eq!(b[0], 100));
+        assert_eq!(old_rd.stats().read_hits, 1);
+        assert_eq!(new_rd.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn versioned_prefetch_stages_into_its_own_epoch() {
+        let snap = snapshot_with_pages(4);
+        let store: Arc<dyn crate::PageStore> = Arc::new(snap);
+        let pool = BufferPool::with_shards(16, 4);
+        {
+            let pf = Prefetcher::spawn_versioned(pool.clone(), Arc::clone(&store), 3);
+            pf.request((0..4).map(PageId).collect());
+        }
+        // A reader on a different epoch sees nothing staged...
+        let mut other =
+            PooledPager::versioned(PageSource::Store(Arc::clone(&store)), pool.clone(), 2);
+        read_page_as(&mut other, PageId(0), |_| {});
+        assert_eq!(other.stats().read_faults, 1);
+        assert_eq!(other.stats().prefetch_hits, 0);
+        // ...while the matching epoch takes prefetch hits.
+        let mut pinned = PooledPager::versioned(PageSource::Store(store), pool, 3);
+        for i in 0..4u32 {
+            read_page_as(&mut pinned, PageId(i), |b| assert_eq!(b[0], i as u8 + 1));
+        }
+        assert_eq!(pinned.stats().prefetch_hits, 4);
+        assert_eq!(pinned.stats().read_faults, 0);
     }
 
     #[test]

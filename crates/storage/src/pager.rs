@@ -135,6 +135,20 @@ pub struct Pager {
     /// Cached read-only store over `store_path`, reopened lazily after
     /// any write or allocation (which may grow or change the file).
     store_cache: Option<Arc<crate::FilePageStore>>,
+    /// `true` when this pager's own device *is* the page file
+    /// ([`Pager::spill_to`]); `false` when the file is externally
+    /// maintained ([`Pager::attach_store`]). Only an owned store may be
+    /// re-versioned by [`Pager::begin_epoch`].
+    store_owned: bool,
+    /// Base path epoch-versioned page files derive from — the path the
+    /// first [`Pager::spill_to`]/[`Pager::attach_store`] named, stable
+    /// while [`Pager::begin_epoch`] retargets `store_path` to
+    /// `<base>.e<N>` files.
+    store_base: Option<PathBuf>,
+    /// Dataset version counter: bumped by [`Pager::begin_epoch`] before
+    /// a mutation batch, so snapshot and pool keys taken under the old
+    /// epoch stay isolated from pages rewritten under the new one.
+    epoch: u64,
 }
 
 impl Pager {
@@ -149,6 +163,9 @@ impl Pager {
             pool_cache: None,
             store_path: None,
             store_cache: None,
+            store_owned: false,
+            store_base: None,
+            epoch: 0,
         }
     }
 
@@ -279,13 +296,17 @@ impl Pager {
     /// [`FilePageStore`](crate::FilePageStore) over it instead of a
     /// resident snapshot.
     ///
-    /// Spilling again to the *same* path is a no-op (the write-through
-    /// discipline already keeps the file current — re-copying would
-    /// truncate the very file the pager is reading from). Spilling to a
-    /// new path re-copies and re-targets.
+    /// Spilling an **owned** store to the *same* path is a no-op (the
+    /// write-through discipline already keeps the file current —
+    /// re-copying would truncate the very file the pager is reading
+    /// from). Spilling to a new path re-copies and re-targets, and an
+    /// *attached* pager asked to spill always copies: it holds current
+    /// pages locally but never wrote the file, so when it is promoted
+    /// to writer (the previous writer died) it must materialize its own
+    /// page space — mutation batches may have made the file stale.
     pub fn spill_to<P: AsRef<Path>>(&mut self, path: P) -> std::io::Result<()> {
         let path = path.as_ref();
-        if self.store_path.as_deref() == Some(path) {
+        if self.store_owned && self.store_path.as_deref() == Some(path) {
             return Ok(());
         }
         let page_size = self.disk.page_size();
@@ -300,6 +321,8 @@ impl Pager {
         self.disk = Box::new(file);
         self.store_path = Some(path.to_path_buf());
         self.store_cache = None;
+        self.store_owned = true;
+        self.store_base = Some(path.to_path_buf());
         // The resident copy is now redundant; drop it so the disk-native
         // pager actually runs at file + frames, not file + frames + RAM.
         self.snapshot_cache = None;
@@ -316,7 +339,85 @@ impl Pager {
     pub fn attach_store<P: AsRef<Path>>(&mut self, path: P) {
         self.store_path = Some(path.as_ref().to_path_buf());
         self.store_cache = None;
+        self.store_owned = false;
+        self.store_base = Some(path.as_ref().to_path_buf());
         self.snapshot_cache = None;
+    }
+
+    /// Drops an **attached** (non-owned) store, returning reads to this
+    /// pager's own device; an owned store (or no store) is untouched and
+    /// returns `false`. An attached file is maintained by its writer's
+    /// write-through — the moment this pager mutates its *local* pages
+    /// (a live-update batch) the file no longer speaks for them, and a
+    /// dead writer would leave it stale forever, so updaters detach and
+    /// serve resident from their own (current) page space.
+    pub fn detach_unowned_store(&mut self) -> bool {
+        if self.store_path.is_none() || self.store_owned {
+            return false;
+        }
+        self.store_path = None;
+        self.store_cache = None;
+        self.store_base = None;
+        self.snapshot_cache = None;
+        true
+    }
+
+    /// Current dataset epoch: `0` until the first
+    /// [`Pager::begin_epoch`], then one per mutation batch. Readers that
+    /// pin a [`page_source`](Pager::page_source) tag their pool frames
+    /// with this value, so frames populated under different epochs never
+    /// alias.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Opens a new epoch ahead of a mutation batch: bumps the epoch
+    /// counter and invalidates the cached snapshot and read-only store,
+    /// so page sources handed out *before* this call keep the old bytes
+    /// (resident snapshots are immutable; a disk-native store keeps its
+    /// open descriptor) while sources taken *after* the batch see the new
+    /// page versions.
+    ///
+    /// With `version_store` set on a pager whose page file is **owned**
+    /// (made disk-native by [`Pager::spill_to`]), the current page space
+    /// is first copied to `<base>.e<N>` and the pager retargeted there —
+    /// in-place write-through then never touches the file in-flight
+    /// readers hold open. The previous epoch's file is unlinked (POSIX
+    /// keeps it readable through open descriptors); the original base
+    /// file is never removed. Attached (externally maintained) stores
+    /// are never versioned — their replication protocol serializes
+    /// readers and writers above this layer.
+    ///
+    /// # Panics
+    /// Panics if the versioned page file cannot be written, matching
+    /// [`Pager::spill_to`]'s callers.
+    pub fn begin_epoch(&mut self, version_store: bool) -> u64 {
+        self.epoch += 1;
+        self.snapshot_cache = None;
+        if self.store_path.is_some() {
+            self.store_cache = None;
+            if version_store && self.store_owned {
+                let base = self
+                    .store_base
+                    .clone()
+                    .expect("owned store always records its base path");
+                let mut next = base.clone().into_os_string();
+                next.push(format!(".e{}", self.epoch));
+                let next = PathBuf::from(next);
+                let prev = self.store_path.clone();
+                self.spill_to(&next)
+                    .unwrap_or_else(|e| panic!("versioning page file to {}: {e}", next.display()));
+                // spill_to re-derives the base from its argument; epoch
+                // files must keep chaining off the original path.
+                self.store_base = Some(base.clone());
+                if let Some(prev) = prev {
+                    if prev != base {
+                        let _ = std::fs::remove_file(prev);
+                    }
+                }
+            }
+        }
+        self.epoch
     }
 
     /// Path of the on-disk page file, if this pager is disk-native.
@@ -651,6 +752,83 @@ mod tests {
         // Re-spilling to the same path must not truncate the live file.
         p.spill_to(&path).unwrap();
         p.read(ids[0], |b| assert_eq!(b[0], 42));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn begin_epoch_isolates_pinned_snapshots() {
+        let mut p = Pager::new(MemDisk::new(128), 4);
+        let a = p.allocate();
+        p.write(a, |b| b[0] = 1);
+        assert_eq!(p.epoch(), 0);
+        let old = p.snapshot();
+        assert_eq!(p.begin_epoch(false), 1);
+        p.write(a, |b| b[0] = 2);
+        let new = p.snapshot();
+        assert!(!old.shares_pages(&new), "epoch bump invalidates the cache");
+        assert_eq!(old.page(a)[0], 1, "pinned snapshot keeps the old bytes");
+        assert_eq!(new.page(a)[0], 2);
+    }
+
+    #[test]
+    fn begin_epoch_versions_an_owned_store_file() {
+        let dir = std::env::temp_dir().join(format!("ringjoin-epoch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("pages.rj");
+
+        let mut p = Pager::new(MemDisk::new(128), 4);
+        let a = p.allocate();
+        p.write(a, |b| b[0] = 1);
+        p.spill_to(&base).unwrap();
+
+        // Pin a reader on epoch 0, then mutate under epoch 1.
+        let old_store = p.page_store().unwrap();
+        p.begin_epoch(true);
+        assert_eq!(p.store_path(), Some(dir.join("pages.rj.e1").as_path()));
+        p.write(a, |b| b[0] = 2);
+
+        let mut buf = vec![0u8; 128];
+        old_store.read_into(a, &mut buf);
+        assert_eq!(buf[0], 1, "pinned store keeps reading the old file");
+        let new_store = p.page_store().unwrap();
+        new_store.read_into(a, &mut buf);
+        assert_eq!(buf[0], 2);
+        assert!(base.exists(), "the original spill path is never removed");
+
+        // The next epoch chains off the base name and unlinks the
+        // retired intermediate (open descriptors keep it readable).
+        p.begin_epoch(true);
+        assert_eq!(p.store_path(), Some(dir.join("pages.rj.e2").as_path()));
+        assert!(!dir.join("pages.rj.e1").exists());
+        old_store.read_into(a, &mut buf);
+        assert_eq!(buf[0], 1, "unlinked file stays readable through the pin");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attached_stores_are_never_versioned() {
+        let dir = std::env::temp_dir().join(format!("ringjoin-attach-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("pages.rj");
+
+        let mut writer = Pager::new(MemDisk::new(128), 4);
+        let a = writer.allocate();
+        writer.write(a, |b| b[0] = 7);
+        writer.spill_to(&base).unwrap();
+
+        let mut replica = Pager::new(MemDisk::new(128), 4);
+        let ra = replica.allocate();
+        replica.write(ra, |b| b[0] = 7);
+        replica.attach_store(&base);
+        replica.begin_epoch(true);
+        assert_eq!(
+            replica.store_path(),
+            Some(base.as_path()),
+            "an attached store keeps pointing at the shared file"
+        );
+        assert_eq!(replica.epoch(), 1);
 
         std::fs::remove_dir_all(&dir).ok();
     }

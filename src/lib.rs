@@ -79,8 +79,8 @@ pub use ringjoin_datagen::{gaussian_clusters, gnis_like, uniform, GnisDataset};
 pub use ringjoin_geom::{pt, Circle, HalfPlane, Metric, Point, Rect};
 pub use ringjoin_rtree::{bulk_load, bulk_load_with, Item, RTree, RTreeConfig};
 pub use ringjoin_server::{
-    Client, RingBounds, Server, ServerConfig, ShardWorkerServer, ShardedEngine, TopologyConfig,
-    WorkerHandle, WorkerSpec,
+    Client, Mutation, RingBounds, Server, ServerConfig, ShardWorkerServer, ShardedEngine,
+    TopologyConfig, UpdateInfo, WorkerHandle, WorkerSpec,
 };
 pub use ringjoin_spatialjoin::{epsilon_join, k_closest_pairs, knn_join, precision_recall};
 pub use ringjoin_storage::{

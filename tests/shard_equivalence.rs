@@ -414,6 +414,79 @@ fn single_replica_kill_is_a_clean_error_then_heals() {
     assert_eq!(out.stats, ref_stats, "healed stats diverged");
 }
 
+/// Live updates across the process hop, surviving a kill: mutation
+/// batches land on remote workers (`SUPDATE`), keep answers
+/// byte-identical to an identically mutated single engine, and —
+/// because the heal log carries update records — a worker respawned
+/// after SIGKILL replays the *mutations*, not just the loads, before
+/// serving again.
+#[test]
+fn remote_updates_replay_into_healed_workers() {
+    use ringjoin::Mutation;
+    let kind = IndexKind::Rtree;
+    let p = lcg_items(100, 71);
+    let q = lcg_items(100, 73);
+    let batch = vec![
+        Mutation::Insert(Item::new(800, pt(REGION * 1.5, REGION * 0.25))),
+        Mutation::Delete(7),
+        Mutation::Upsert(Item::new(12, pt(421.125, 77.75))),
+    ];
+    // The oracle: a single engine that applied the same history.
+    let mut reference = Engine::new();
+    reference.load("p", p.clone()).index(kind);
+    reference.load("q", q.clone()).index(kind);
+    let mut oracle_batch = reference.update("p");
+    for op in &batch {
+        oracle_batch = match op {
+            Mutation::Insert(it) => oracle_batch.insert([*it]),
+            Mutation::Delete(id) => oracle_batch.delete([*id]),
+            Mutation::Upsert(it) => oracle_batch.upsert([*it]),
+        };
+    }
+    oracle_batch.apply().unwrap();
+    let ref_out = reference.query().join("q", "p").collect().unwrap();
+
+    let (se, fleet) = provisioned(2, 2);
+    se.load("p", p, kind).unwrap();
+    se.load("q", q, kind).unwrap();
+    let info = se.update("p", batch).unwrap();
+    assert_eq!(info.epoch, 1);
+    let out = se
+        .join("q", "p", ringjoin::RcjAlgorithm::Auto, None)
+        .unwrap();
+    assert_eq!(out.pairs, ref_out.pairs, "remote update diverged");
+    assert_eq!(out.stats, ref_out.stats);
+
+    // Kill a replica, then apply a second batch while degraded: the
+    // update fan-out touches every slot, so it both trips the failure
+    // detection on the dead worker and lands epoch 2 on the survivors.
+    let replays_before = se.replays_total();
+    fleet.lock().unwrap()[0].kill();
+    let mut oracle_batch2 = reference.update("p");
+    oracle_batch2 = oracle_batch2.delete([21]);
+    oracle_batch2.apply().unwrap();
+    let ref_out = reference.query().join("q", "p").collect().unwrap();
+    let info = se.update("p", vec![Mutation::Delete(21)]).unwrap();
+    assert_eq!(info.epoch, 2, "degraded update still advances the epoch");
+
+    // The respawned worker must replay LOAD p, LOAD q *and* both
+    // update records (4 log records) before flipping up.
+    assert!(se.wait_healthy(Duration::from_secs(20)), "heal timed out");
+    assert!(
+        se.replays_total() >= replays_before + 4,
+        "heal must replay the mutation log, not just the loads"
+    );
+    assert_eq!(se.dataset("p").unwrap().epoch, 2, "epoch survives the heal");
+    for _ in 0..4 {
+        // Enough queries to round-robin onto the healed slot.
+        let out = se
+            .join("q", "p", ringjoin::RcjAlgorithm::Auto, None)
+            .unwrap();
+        assert_eq!(out.pairs, ref_out.pairs, "healed worker diverged");
+        assert_eq!(out.stats, ref_out.stats);
+    }
+}
+
 proptest! {
     /// Property form of the remote oracle: random data shapes through
     /// 2 remote shards stay byte-identical to the local single engine.

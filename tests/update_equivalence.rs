@@ -1,0 +1,436 @@
+//! Live-pointset equivalence: under a random interleaving of
+//! {insert, delete, upsert, join, self-join, top-k}, every query answer
+//! of the **incrementally maintained** engine agrees with a fresh
+//! engine bulk-loaded from that epoch's exact pointset
+//! ([`Engine::dataset_items`]), across rtree/quadtree × 1/4 threads ×
+//! 1/4 shards — and streams opened before a mutation drain the snapshot
+//! they started on.
+//!
+//! What "agrees" means is deliberately precise, because incremental R*
+//! maintenance (ChooseSubtree / CondenseTree) legally produces a
+//! *different tree shape* than an STR bulk load over the same points —
+//! so leaf-driven emission order and page-level counters are properties
+//! of the tree, not of the pointset:
+//!
+//! * **live engine, one epoch**: pairs, order, and `RcjStats` are
+//!   byte-identical across 1 vs 4 threads and stream vs collect — the
+//!   engine's own determinism contract is epoch-independent;
+//! * **vs the bulk-loaded oracle**: the *pair multiset* (ids and
+//!   coordinates, compared exactly) is identical for join and
+//!   self-join; for **top-k** the full byte **order** is identical too,
+//!   because the diameter stream's canonical `(diameter, pair key)`
+//!   order does not depend on tree shape;
+//! * **sharded**: a `ShardedEngine` bulk-loaded from the epoch's
+//!   pointset answers byte-identically to the single bulk-loaded
+//!   oracle (pairs, order, stats) at 1 and 4 shards, and its top-k is
+//!   byte-identical to the live engine's.
+
+use proptest::prelude::*;
+use ringjoin::{pt, Engine, IndexKind, Item, RcjAlgorithm, RcjPair, ShardedEngine};
+use std::collections::BTreeSet;
+
+const REGION: f64 = 1000.0;
+const KINDS: [IndexKind; 2] = [IndexKind::Rtree, IndexKind::Quadtree];
+const THREADS: [usize; 2] = [1, 4];
+const SHARDS: [usize; 2] = [1, 4];
+
+/// One step of the interleaving.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Apply a mutation batch to dataset `"p"` or `"q"`, checking that a
+    /// stream opened (and partially drained) before the batch still
+    /// yields the pre-mutation answer afterwards.
+    Mutate {
+        target_p: bool,
+        inserts: Vec<(f64, f64)>,
+        /// Indices into the currently live id list (mod len, deduped).
+        deletes: Vec<usize>,
+        /// (index-or-fresh, x, y): index into live ids when in range.
+        upserts: Vec<(usize, f64, f64)>,
+    },
+    /// Run a query and check every equivalence dimension.
+    Query {
+        self_join: bool,
+        top_k: Option<usize>,
+    },
+}
+
+fn coord() -> impl Strategy<Value = (f64, f64)> {
+    // Occasionally outside the initial region so quadtree updates
+    // exercise the grow-and-rebuild path.
+    prop_oneof![
+        9 => (0.0..REGION, 0.0..REGION),
+        1 => (-200.0..1400.0f64, -200.0..1400.0f64),
+    ]
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (
+            any::<bool>(),
+            proptest::collection::vec(coord(), 0..8),
+            proptest::collection::vec(any::<usize>(), 0..6),
+            proptest::collection::vec((any::<usize>(), 0.0..REGION, 0.0..REGION), 0..4),
+        )
+            .prop_map(|(target_p, inserts, deletes, upserts)| Step::Mutate {
+                target_p,
+                inserts,
+                deletes,
+                upserts,
+            }),
+        2 => (any::<bool>(), any::<bool>(), 1usize..12)
+            .prop_map(|(self_join, want_k, k)| Step::Query {
+                self_join,
+                top_k: want_k.then_some(k),
+            }),
+    ]
+}
+
+fn to_items(v: &[(f64, f64)], base: u64) -> Vec<Item> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Item::new(base + i as u64, pt(x, y)))
+        .collect()
+}
+
+fn sorted(mut pairs: Vec<RcjPair>) -> Vec<RcjPair> {
+    pairs.sort_by_key(|pr| pr.key());
+    pairs
+}
+
+/// Applies one mutation batch, first opening a leaf-order stream and
+/// proving it drains its pre-mutation snapshot.
+fn mutate_with_snapshot_check(
+    engine: &mut Engine,
+    name: &str,
+    inserts: &[(f64, f64)],
+    deletes: &[usize],
+    upserts: &[(usize, f64, f64)],
+    next_id: &mut u64,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let live_ids: Vec<u64> = engine
+        .dataset_items(name)
+        .unwrap()
+        .iter()
+        .map(|it| it.id)
+        .collect();
+    let delete_ids: BTreeSet<u64> = if live_ids.is_empty() {
+        BTreeSet::new()
+    } else {
+        deletes
+            .iter()
+            .map(|&i| live_ids[i % live_ids.len()])
+            .collect()
+    };
+    let upsert_items: Vec<Item> = upserts
+        .iter()
+        .map(|&(i, x, y)| {
+            // Half the time an existing id (a true replace — but never
+            // one scheduled for deletion in this same batch, which
+            // would make the later delete a validation error), half a
+            // fresh one.
+            let candidate = if live_ids.is_empty() {
+                None
+            } else {
+                Some(live_ids[i % live_ids.len()]).filter(|id| !delete_ids.contains(id))
+            };
+            let id = candidate.unwrap_or_else(|| {
+                *next_id += 1;
+                *next_id
+            });
+            Item::new(id, pt(x, y))
+        })
+        .collect();
+    let insert_items: Vec<Item> = inserts
+        .iter()
+        .map(|&(x, y)| {
+            *next_id += 1;
+            Item::new(*next_id, pt(x, y))
+        })
+        .collect();
+
+    // Open a stream over the current epoch, drain part of it, mutate,
+    // then require the rest of the drain to be pre-mutation bytes.
+    let expected = engine
+        .query()
+        .join("q", "p")
+        .threads(threads)
+        .collect()
+        .unwrap();
+    let mut stream = engine
+        .query()
+        .join("q", "p")
+        .threads(threads)
+        .stream()
+        .unwrap();
+    let mut drained: Vec<RcjPair> = stream.by_ref().take(expected.pairs.len() / 2).collect();
+
+    engine
+        .update(name)
+        .insert(insert_items)
+        .delete(delete_ids)
+        .upsert(upsert_items)
+        .apply()
+        .unwrap();
+
+    drained.extend(stream);
+    prop_assert_eq!(
+        drained,
+        expected.pairs,
+        "stream opened before the mutation must drain its snapshot"
+    );
+    Ok(())
+}
+
+/// Checks every equivalence dimension for one query at the current
+/// epoch.
+fn check_query(
+    engine: &Engine,
+    kind: IndexKind,
+    self_join: bool,
+    top_k: Option<usize>,
+) -> Result<(), TestCaseError> {
+    let p_items = engine.dataset_items("p").unwrap();
+    let q_items = engine.dataset_items("q").unwrap();
+    let epoch = engine.dataset("p").unwrap().epoch();
+
+    let build = |threads: usize| {
+        let q = engine.query().threads(threads);
+        let q = if self_join {
+            q.self_join("p")
+        } else {
+            q.join("q", "p")
+        };
+        match top_k {
+            Some(k) => q.top_k(k),
+            None => q,
+        }
+    };
+
+    // Live engine: byte-identity across threads and stream vs collect.
+    let reference = build(THREADS[0]).collect().unwrap();
+    for threads in THREADS {
+        let out = build(threads).collect().unwrap();
+        prop_assert_eq!(
+            &out.pairs,
+            &reference.pairs,
+            "epoch {}: live collect diverged at {} threads",
+            epoch,
+            threads
+        );
+        prop_assert_eq!(
+            out.stats,
+            reference.stats,
+            "epoch {}: live stats diverged at {} threads",
+            epoch,
+            threads
+        );
+        let streamed: Vec<RcjPair> = build(threads).stream().unwrap().collect();
+        prop_assert_eq!(
+            &streamed,
+            &reference.pairs,
+            "epoch {}: live stream diverged at {} threads",
+            epoch,
+            threads
+        );
+    }
+
+    // Bulk-loaded oracle at this epoch's exact pointset.
+    let mut oracle = Engine::new();
+    oracle.load("p", p_items.clone()).index(kind);
+    oracle.load("q", q_items.clone()).index(kind);
+    let oracle_out = if self_join {
+        let q = oracle.query().self_join("p").threads(1);
+        match top_k {
+            Some(k) => q.top_k(k),
+            None => q,
+        }
+        .collect()
+        .unwrap()
+    } else {
+        let q = oracle.query().join("q", "p").threads(1);
+        match top_k {
+            Some(k) => q.top_k(k),
+            None => q,
+        }
+        .collect()
+        .unwrap()
+    };
+    if top_k.is_some() {
+        // Canonical diameter order: byte-identical even across tree
+        // shapes.
+        prop_assert_eq!(
+            &reference.pairs,
+            &oracle_out.pairs,
+            "epoch {}: top-k diverged from the bulk-loaded oracle",
+            epoch
+        );
+    } else {
+        prop_assert_eq!(
+            sorted(reference.pairs.clone()),
+            sorted(oracle_out.pairs.clone()),
+            "epoch {}: pair multiset diverged from the bulk-loaded oracle",
+            epoch
+        );
+    }
+
+    // Sharded engines bulk-loaded from the same epoch pointset.
+    for shards in SHARDS {
+        let se = ShardedEngine::new(shards).unwrap();
+        se.load("p", p_items.clone(), kind).unwrap();
+        if !self_join {
+            se.load("q", q_items.clone(), kind).unwrap();
+        }
+        match top_k {
+            Some(k) => {
+                let top = if self_join {
+                    se.top_k_self("p", k).unwrap()
+                } else {
+                    se.top_k("q", "p", k).unwrap()
+                };
+                prop_assert_eq!(
+                    &top.pairs,
+                    &reference.pairs,
+                    "epoch {}: sharded top-k diverged at {} shards",
+                    epoch,
+                    shards
+                );
+            }
+            None => {
+                let out = if self_join {
+                    se.self_join("p", RcjAlgorithm::Auto, None).unwrap()
+                } else {
+                    se.join("q", "p", RcjAlgorithm::Auto, None).unwrap()
+                };
+                prop_assert_eq!(
+                    &out.pairs,
+                    &oracle_out.pairs,
+                    "epoch {}: sharded pairs diverged at {} shards",
+                    epoch,
+                    shards
+                );
+                prop_assert_eq!(
+                    out.stats,
+                    oracle_out.stats,
+                    "epoch {}: sharded stats diverged at {} shards",
+                    epoch,
+                    shards
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn updated_engines_agree_with_epoch_rebuilds(
+        p0 in proptest::collection::vec((0.0..REGION, 0.0..REGION), 4..40),
+        q0 in proptest::collection::vec((0.0..REGION, 0.0..REGION), 4..40),
+        steps in proptest::collection::vec(step(), 1..8),
+    ) {
+        for kind in KINDS {
+            let mut engine = Engine::new();
+            engine.load("p", to_items(&p0, 0)).index(kind);
+            engine.load("q", to_items(&q0, 0)).index(kind);
+            let mut next_id = 1_000_000u64;
+            let mut round = 0usize;
+
+            for s in &steps {
+                match s {
+                    Step::Mutate { target_p, inserts, deletes, upserts } => {
+                        round += 1;
+                        let name = if *target_p { "p" } else { "q" };
+                        // Alternate the pinned stream's executor so both
+                        // the sequential and the parallel source prove
+                        // snapshot isolation.
+                        let threads = THREADS[round % THREADS.len()];
+                        mutate_with_snapshot_check(
+                            &mut engine, name, inserts, deletes, upserts,
+                            &mut next_id, threads,
+                        )?;
+                    }
+                    Step::Query { self_join, top_k } => {
+                        check_query(&engine, kind, *self_join, *top_k)?;
+                    }
+                }
+            }
+            // Always end on a full check, whatever the interleaving.
+            check_query(&engine, kind, false, None)?;
+            check_query(&engine, kind, true, Some(5))?;
+        }
+    }
+}
+
+/// Directed (non-property) regression: a long alternating stream of
+/// single-point updates and queries, crossing the quadtree's region
+/// boundary and draining a top-k stream across ten epochs.
+#[test]
+fn sustained_update_stream_with_concurrent_topk_drain() {
+    for kind in KINDS {
+        let mut engine = Engine::new();
+        let mk = |n: usize, seed: u64| -> Vec<Item> {
+            let mut state = seed;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            (0..n)
+                .map(|i| Item::new(i as u64, pt(next() * REGION, next() * REGION)))
+                .collect()
+        };
+        engine.load("p", mk(120, 5)).index(kind);
+        engine.load("q", mk(120, 9)).index(IndexKind::Rtree);
+
+        let expected_top: Vec<RcjPair> = engine
+            .query()
+            .join("q", "p")
+            .top_k(30)
+            .stream()
+            .unwrap()
+            .collect();
+        let mut stream = engine.query().join("q", "p").top_k(30).stream().unwrap();
+        let mut drained: Vec<RcjPair> = Vec::new();
+
+        for i in 0..10u64 {
+            drained.extend(stream.by_ref().take(3));
+            // Each round: one insert (every third lands outside the
+            // original region), one delete, one upsert.
+            let h = engine
+                .update("p")
+                .insert([Item::new(
+                    10_000 + i,
+                    pt(REGION + 50.0 * (i % 3) as f64, 10.0 * i as f64),
+                )])
+                .delete([i])
+                .upsert([Item::new(60 + i, pt(5.0 * i as f64, REGION - 1.0))])
+                .apply()
+                .unwrap();
+            assert_eq!(h.epoch(), i + 1, "{}", kind.name());
+        }
+        drained.extend(stream);
+        assert_eq!(
+            drained,
+            expected_top,
+            "{}: top-k stream drained across ten epochs must equal its opening epoch's answer",
+            kind.name()
+        );
+
+        // The final epoch still agrees with its rebuild.
+        let mut oracle = Engine::new();
+        oracle
+            .load("p", engine.dataset_items("p").unwrap())
+            .index(kind);
+        oracle
+            .load("q", engine.dataset_items("q").unwrap())
+            .index(IndexKind::Rtree);
+        let live = engine.query().join("q", "p").collect().unwrap();
+        let fresh = oracle.query().join("q", "p").collect().unwrap();
+        assert_eq!(sorted(live.pairs), sorted(fresh.pairs), "{}", kind.name());
+    }
+}
