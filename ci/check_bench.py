@@ -36,7 +36,9 @@ cardinality (the serving sweep itself asserts byte-identity; the file
 check catches a sweep that silently did not run). The distributed
 phase must cover both worker modes (local-threads and remote-procs)
 with determinism asserted, all workers healthy at the end, and
-replays_total / remote_kind provenance recorded.
+replays_total / remote_kind provenance recorded. The recovery section
+must show WAL records replayed after a coordinator restart with the
+byte-identity flag set (wall-clock is advisory).
 
 Usage:
   check_bench.py --baseline ci/BENCH_scaling_baseline.json \
@@ -289,10 +291,34 @@ def check_serving(path: str) -> None:
             f"  {d['mode']}@{d['shards']} shards: join {d['join_req_per_sec']:.2f} req/s "
             f"(p50 {p50:.1f} / p99 {p99:.1f} ms) (advisory)"
         )
+    recovery = doc.get("recovery")
+    if not isinstance(recovery, dict):
+        fail(f"{path} has no recovery section — the durability phase did not run")
+    if recovery.get("records_replayed", 0) <= 0:
+        fail("recovery phase replayed no WAL records")
+    if recovery.get("wal_bytes", 0) <= 0:
+        fail("recovery phase logged no WAL bytes")
+    if recovery.get("wal_records") != recovery.get("records_replayed"):
+        fail(
+            f"recovery replayed {recovery.get('records_replayed')} records but the "
+            f"reopened WAL holds {recovery.get('wal_records')} — replay re-appended"
+        )
+    # Wall-clock is advisory (scales with the logged history) but must
+    # be shaped like a duration; byte-identity is the contract.
+    if recovery.get("recovery_secs", -1.0) < 0:
+        fail("recovery phase lacks a recovery_secs wall-clock")
+    if recovery.get("byte_identical") is not True:
+        fail("recovered join was not byte-identical to the pre-restart answer")
+    print(
+        f"  recovery@{recovery.get('shards')} shards: "
+        f"{recovery['records_replayed']} record(s) replayed in "
+        f"{recovery['recovery_secs']:.3f}s, {recovery['wal_bytes']} WAL byte(s), "
+        f"byte-identical (advisory wall-clock)"
+    )
     print(
         f"check_bench: serving OK ({len(entries)} shard counts, "
         f"{len(concurrent)} concurrent client counts, "
-        f"{len(distributed)} distributed mode entries)"
+        f"{len(distributed)} distributed mode entries, recovery verified)"
     )
 
 

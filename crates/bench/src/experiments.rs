@@ -1341,6 +1341,79 @@ pub fn serving(cfg: &ExpConfig) -> String {
     );
     out.push_str(&dt.render());
 
+    // Recovery phase: a durable coordinator (WAL under a scratch
+    // `data_dir`) loads the workload, applies deterministic insert
+    // batches, and is torn down mid-life; reopening on the same
+    // directory is timed, and the healed engine's join is checked
+    // byte-for-byte against the pre-restart answer. The wall-clock is
+    // advisory (replay cost scales with the logged history); the
+    // byte-identity flag is the durability contract.
+    let recovery_json = {
+        use ringjoin_server::Mutation;
+        const RECOVERY_BATCHES: usize = 8;
+        const RECOVERY_BATCH_SIZE: usize = 16;
+        let dir =
+            std::env::temp_dir().join(format!("ringjoin-bench-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = |dir: &std::path::Path| {
+            ShardedEngine::with_topology(TopologyConfig {
+                shards,
+                data_dir: Some(dir.to_path_buf()),
+                ..TopologyConfig::default()
+            })
+            .expect("durable serving-bench topology")
+        };
+        let before = {
+            let engine = durable(&dir);
+            engine
+                .load("p", p_items.clone(), ringjoin_core::IndexKind::Rtree)
+                .expect("load p");
+            engine
+                .load("q", q_items.clone(), ringjoin_core::IndexKind::Rtree)
+                .expect("load q");
+            for b in 0..RECOVERY_BATCHES {
+                let ops: Vec<Mutation> = (0..RECOVERY_BATCH_SIZE)
+                    .map(|i| {
+                        let n = b * RECOVERY_BATCH_SIZE + i;
+                        let src = &p_items[n % p_items.len()];
+                        Mutation::Insert(Item::new(10_000_000 + n as u64, src.point))
+                    })
+                    .collect();
+                engine.update("p", ops).expect("recovery-phase batch");
+            }
+            let warm = engine
+                .join("q", "p", RcjAlgorithm::Auto, None)
+                .expect("pre-restart join");
+            engine.shutdown();
+            warm.pairs
+        }; // dropped without any checkpoint: only the WAL survives
+        let t0 = Instant::now();
+        let engine = durable(&dir);
+        let recovery_secs = t0.elapsed().as_secs_f64();
+        let replayed = engine.recovered_epochs();
+        let (wal_records, wal_bytes) = engine.wal_stats();
+        let after = engine
+            .join("q", "p", RcjAlgorithm::Auto, None)
+            .expect("post-recovery join")
+            .pairs;
+        let byte_identical = after == before;
+        assert!(byte_identical, "recovered join diverged from pre-restart");
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = writeln!(
+            out,
+            "-- recovery at {shards} shards: {replayed} record(s) replayed in {} \
+             ({wal_bytes} WAL byte(s)), byte-identical: {byte_identical} --",
+            secs(recovery_secs)
+        );
+        format!(
+            "    {{\"shards\": {shards}, \"records_replayed\": {replayed}, \
+             \"recovery_secs\": {recovery_secs:.6}, \"wal_records\": {wal_records}, \
+             \"wal_bytes\": {wal_bytes}, \"mutation_batches\": {RECOVERY_BATCHES}, \
+             \"byte_identical\": {byte_identical}}}"
+        )
+    };
+
     let json = format!(
         "{{\n  \"experiment\": \"serving\",\n  \"workload\": \"SP\",\n  \
          \"transport\": \"tcp-loopback\",\n  \"scale\": {},\n  \
@@ -1348,7 +1421,8 @@ pub fn serving(cfg: &ExpConfig) -> String {
          \"speedups_meaningful\": {},\n  \"requests_per_mode\": {SERVING_REQUESTS},\n  \
          \"top_k\": {k},\n  \"shard_counts\": {:?},\n  \
          \"client_counts\": {:?},\n  \"entries\": [\n{}\n  ],\n  \
-         \"concurrent\": [\n{}\n  ],\n  \"distributed\": [\n{}\n  ]\n}}\n",
+         \"concurrent\": [\n{}\n  ],\n  \"distributed\": [\n{}\n  ],\n  \
+         \"recovery\":\n{}\n}}\n",
         cfg.scale,
         cores < 2,
         cores >= 2,
@@ -1356,7 +1430,8 @@ pub fn serving(cfg: &ExpConfig) -> String {
         SERVING_CLIENTS,
         json_entries.join(",\n"),
         conc_entries.join(",\n"),
-        dist_entries.join(",\n")
+        dist_entries.join(",\n"),
+        recovery_json
     );
     let path = match &cfg.serving_out {
         Some(p) => p.clone(),

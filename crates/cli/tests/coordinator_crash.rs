@@ -1,0 +1,323 @@
+//! Crash-fault injection against a *real* durable coordinator process:
+//! the suite kills `ringjoin serve --data-dir ...` mid-mutation-stream
+//! — via the `RINGJOIN_CRASH_POINT` abort hook at each WAL crash point
+//! (before fsync, after fsync, mid-fan-out) and via a plain SIGKILL —
+//! restarts it on the same directory, and requires the healed fleet's
+//! join to be **byte-identical** to the replayed-history oracle over
+//! the durable prefix the restarted server reports.
+//!
+//! The durability invariant under test: the recovered epoch `E` always
+//! satisfies `acked <= E <= sent` (every batch the client saw an OK for
+//! survives; at most the single in-flight batch is additionally kept or
+//! lost), and the fleet's answer equals the oracle replaying exactly
+//! the first `E` batches.
+
+use ringjoin_core::{Engine, IndexKind, RcjAlgorithm, RcjPair};
+use ringjoin_rtree::Item;
+use ringjoin_server::proto::Request;
+use ringjoin_server::{Client, ServerError};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const REGION: f64 = 600.0;
+const BATCHES: usize = 6;
+const BATCH_SIZE: usize = 3;
+
+fn lcg_items(n: usize, base_id: u64, seed: u64) -> Vec<Item> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * REGION
+            };
+            let (x, y) = (next(), next());
+            Item::new(base_id + i as u64, ringjoin_geom::pt(x, y))
+        })
+        .collect()
+}
+
+/// The mutation stream: `BATCHES` homogeneous INSERT batches minting
+/// fresh ids from 1000 up — deterministic, so the oracle can replay any
+/// prefix of it.
+fn insert_batches() -> Vec<Vec<Item>> {
+    (0..BATCHES)
+        .map(|i| {
+            lcg_items(
+                BATCH_SIZE,
+                1000 + (i * BATCH_SIZE) as u64,
+                0xABC0 + i as u64,
+            )
+        })
+        .collect()
+}
+
+/// The replayed-history oracle: a single engine applying exactly the
+/// first `epochs` batches of the stream.
+fn oracle_pairs(p: &[Item], q: &[Item], epochs: usize) -> Vec<RcjPair> {
+    let mut engine = Engine::new();
+    engine.load("p", p.to_vec()).index(IndexKind::Rtree);
+    engine.load("q", q.to_vec()).index(IndexKind::Rtree);
+    for batch in insert_batches().into_iter().take(epochs) {
+        engine
+            .update("p")
+            .insert(batch)
+            .apply()
+            .expect("oracle batch");
+    }
+    engine
+        .query()
+        .join("q", "p")
+        .collect()
+        .expect("oracle join")
+        .pairs
+}
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ringjoin-crash-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Spawns a durable coordinator (`--shards 2`, local workers) on an
+/// ephemeral port, optionally armed with a crash point, and polls its
+/// address file until it is ready to serve (startup recovery included —
+/// the address file is written only after `bind` returns).
+fn spawn_coordinator(data_dir: &PathBuf, crash_point: Option<&str>, tag: &str) -> (Child, String) {
+    let addr_file = data_dir.join(format!("addr-{tag}"));
+    let _ = std::fs::remove_file(&addr_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ringjoin"));
+    cmd.args([
+        "serve",
+        "--shards",
+        "2",
+        "--addr",
+        "127.0.0.1:0",
+        "--addr-file",
+    ])
+    .arg(&addr_file)
+    .arg("--data-dir")
+    .arg(data_dir)
+    .stdin(Stdio::null())
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    if let Some(point) = crash_point {
+        cmd.env("RINGJOIN_CRASH_POINT", point);
+    }
+    let child = cmd.spawn().expect("spawn coordinator");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let addr = loop {
+        if let Ok(contents) = std::fs::read_to_string(&addr_file) {
+            if let Some(addr) = contents.strip_suffix('\n') {
+                break addr.trim().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "coordinator never wrote its address file"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (child, addr)
+}
+
+fn wait_exit(child: &mut Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return,
+            _ if Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("{what}: coordinator never exited");
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Pulls `epoch=` of dataset `p` and a named counter out of a STATS
+/// text blob.
+fn stats_number(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("STATS is missing {key:?}:\n{stats}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("STATS {key} is not a number:\n{stats}"))
+}
+
+fn dataset_epoch(stats: &str, name: &str) -> u64 {
+    let line = stats
+        .lines()
+        .find(|l| l.starts_with(&format!("dataset {name} ")))
+        .unwrap_or_else(|| panic!("STATS has no dataset {name:?}:\n{stats}"));
+    line.split_whitespace()
+        .find_map(|field| field.strip_prefix("epoch=")?.parse().ok())
+        .unwrap_or_else(|| panic!("no epoch= in {line:?}"))
+}
+
+/// How the coordinator dies mid-stream.
+enum CrashMode {
+    /// Arm `RINGJOIN_CRASH_POINT=<point>:<skip>` at spawn.
+    Inject { point: &'static str, skip: u64 },
+    /// SIGKILL the process after `after_batches` acked batches.
+    Sigkill { after_batches: usize },
+}
+
+/// The shared harness: load p and q, stream INSERT batches until the
+/// coordinator dies, restart it on the same `--data-dir`, and assert
+/// the durability invariant plus byte-identity with the oracle over the
+/// recovered prefix.
+fn crash_and_recover(label: &str, mode: CrashMode) {
+    let dir = scratch(label);
+    let p = lcg_items(60, 0, 0xD15C);
+    let q = lcg_items(40, 0, 0x0FF5E7);
+
+    let (mut child, addr) = match &mode {
+        CrashMode::Inject { point, skip } => {
+            spawn_coordinator(&dir, Some(&format!("{point}:{skip}")), "first")
+        }
+        CrashMode::Sigkill { .. } => spawn_coordinator(&dir, None, "first"),
+    };
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .request(&Request::Load {
+            name: "p".into(),
+            kind: IndexKind::Rtree,
+            items: p.clone(),
+        })
+        .expect("LOAD p");
+    client
+        .request(&Request::Load {
+            name: "q".into(),
+            kind: IndexKind::Rtree,
+            items: q.clone(),
+        })
+        .expect("LOAD q");
+
+    let mut acked = 0usize;
+    let mut sent = 0usize;
+    let mut died = false;
+    for (i, batch) in insert_batches().into_iter().enumerate() {
+        if let CrashMode::Sigkill { after_batches } = &mode {
+            if i == *after_batches {
+                let pid = child.id().to_string();
+                let killed = Command::new("kill")
+                    .args(["-9", &pid])
+                    .status()
+                    .expect("spawn kill(1)");
+                assert!(killed.success(), "kill -9 {pid} failed");
+            }
+        }
+        sent += 1;
+        match client.request(&Request::Insert {
+            name: "p".into(),
+            items: batch,
+        }) {
+            Ok(_) => acked += 1,
+            Err(ServerError::Io(_)) => {
+                died = true;
+                break;
+            }
+            Err(e) => panic!("unexpected mid-stream error: {e}"),
+        }
+    }
+    assert!(died, "{label}: the coordinator survived the whole stream");
+    wait_exit(&mut child, label);
+
+    // Restart on the same directory — startup recovery runs before the
+    // address file is written, so a successful connect means the fleet
+    // is already healed to the durable prefix.
+    let (mut child, addr) = spawn_coordinator(&dir, None, "second");
+    let mut client = Client::connect(&addr).expect("reconnect");
+    let stats = client.stats().expect("STATS");
+    let recovered = stats_number(&stats, "recovered_epochs");
+    let shards_up = stats_number(&stats, "shards_up");
+    let epoch = dataset_epoch(&stats, "p") as usize;
+    assert_eq!(shards_up, 2, "{label}: fleet not fully up after recovery");
+    assert_eq!(dataset_epoch(&stats, "q"), 0, "{label}: q lost its load");
+    // recovered_epochs counts replayed records: 2 LOADs + epoch batches.
+    assert_eq!(
+        recovered,
+        2 + epoch as u64,
+        "{label}: recovered_epochs disagrees with the catalog"
+    );
+    assert!(
+        (acked..=sent).contains(&epoch),
+        "{label}: durable epoch {epoch} outside acked..=sent ({acked}..={sent})"
+    );
+
+    let reply = client
+        .request(&Request::Join {
+            outer: "q".into(),
+            inner: "p".into(),
+            algo: RcjAlgorithm::Auto,
+            bounds: None,
+        })
+        .expect("post-recovery join");
+    let out = Client::decode_output(&reply).expect("join payload");
+    assert_eq!(
+        out.pairs,
+        oracle_pairs(&p, &q, epoch),
+        "{label}: healed fleet diverged from the oracle over the durable prefix (epoch {epoch})"
+    );
+
+    client.shutdown().expect("SHUTDOWN");
+    wait_exit(&mut child, label);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash between the WAL append and its fsync (hits: 2 LOADs + 2
+/// batches skipped → dies appending batch 3). The record may or may not
+/// survive — `abort` does not drop page-cache writes — so only the
+/// invariant is asserted, not batch loss.
+#[test]
+fn crash_before_fsync_recovers_to_oracle() {
+    crash_and_recover(
+        "pre-sync",
+        CrashMode::Inject {
+            point: "wal-pre-sync",
+            skip: 4,
+        },
+    );
+}
+
+/// Crash right after the fsync, before any worker saw the batch: the
+/// batch is durable but unacked — recovery must still apply it.
+#[test]
+fn crash_after_fsync_recovers_to_oracle() {
+    crash_and_recover(
+        "post-sync",
+        CrashMode::Inject {
+            point: "wal-post-sync",
+            skip: 4,
+        },
+    );
+}
+
+/// Crash mid-fan-out: slot 0 applied the batch, the rest may not have —
+/// the recovered fleet must heal the partial application to the logged
+/// epoch on every replica.
+#[test]
+fn crash_mid_fanout_recovers_to_oracle() {
+    crash_and_recover(
+        "mid-fanout",
+        CrashMode::Inject {
+            point: "mid-fanout",
+            skip: 2,
+        },
+    );
+}
+
+/// Plain SIGKILL racing the stream — no cooperation from the process at
+/// all, the scenario the CI smoke job reproduces across shell tooling.
+#[test]
+fn sigkill_mid_stream_recovers_to_oracle() {
+    crash_and_recover("sigkill", CrashMode::Sigkill { after_batches: 3 });
+}

@@ -158,40 +158,44 @@ impl Client {
     }
 
     /// [`Client::request`] with bounded, hint-honoring retries on
-    /// overload. A server that sheds a request from its *admission
-    /// queue* answers `ERR busy retry_after_ms=<ms>` and keeps the
-    /// connection open, so the retry reuses it; a server over its
-    /// *session* limit closes the connection after the same verdict, in
-    /// which case the retry reconnects to the peer address first. Each
-    /// attempt sleeps the server's hint plus a small deterministic
-    /// jitter (derived from the request id and attempt number — no RNG
-    /// dependency) so a herd of shed clients does not return in
-    /// lockstep. Every other error, including `Timeout`, passes
-    /// through untouched: only explicit shed verdicts are retried.
+    /// overload *and* connection loss. A server that sheds a request
+    /// from its *admission queue* answers `ERR busy retry_after_ms=<ms>`
+    /// and keeps the connection open, so the retry reuses it; a server
+    /// over its *session* limit closes the connection after the same
+    /// verdict, and a server that is down entirely — e.g. a durable
+    /// coordinator mid-restart — surfaces as an I/O error (broken pipe,
+    /// reset, connection refused), in which case the retry reconnects
+    /// to the peer address first, sleeping an exponentially growing
+    /// backoff (25 ms doubling to a 1.6 s cap) so a client spanning a
+    /// coordinator restart window rides it out instead of hanging or
+    /// failing fast. Each sleep adds a small deterministic jitter
+    /// (derived from the request id and attempt number — no RNG
+    /// dependency) so a herd of displaced clients does not return in
+    /// lockstep. Every other error, including `Timeout` and server-side
+    /// `ERR` verdicts, passes through untouched.
     pub fn request_with_retry(
         &mut self,
         req: &Request,
         max_attempts: u32,
     ) -> Result<Reply, ServerError> {
         let mut attempt = 0u32;
-        let mut shed = false;
         loop {
             attempt += 1;
             let before = self.next_id;
+            let jitter = (before.wrapping_mul(31).wrapping_add(attempt as u64 * 17)) % 23;
             match self.request(req) {
                 Err(ServerError::Busy { retry_after_ms }) if attempt < max_attempts => {
-                    shed = true;
-                    let jitter = (before.wrapping_mul(31).wrapping_add(attempt as u64 * 17)) % 23;
                     std::thread::sleep(Duration::from_millis(retry_after_ms + jitter));
                 }
-                // A session-limit shed closes the connection right
-                // after its busy verdict, so the follow-up attempt
-                // lands on a dead socket. Revive the connection (this
-                // charges the attempt) and go again; an admission-shed
-                // retry never takes this branch because that
-                // connection stays open.
-                Err(ServerError::Io(_)) if shed && attempt < max_attempts => {
-                    self.reconnect()?;
+                // The connection died: session-limit shed, coordinator
+                // crash, or restart window. Back off, then revive the
+                // connection best-effort — if the listener is not back
+                // yet the next attempt fails fast on the dead socket
+                // and lands here again, charging the budget each time.
+                Err(ServerError::Io(_)) if attempt < max_attempts => {
+                    let backoff = (25u64 << (attempt.min(7) - 1)).min(1600);
+                    std::thread::sleep(Duration::from_millis(backoff + jitter));
+                    let _ = self.reconnect();
                 }
                 outcome => return outcome,
             }

@@ -74,6 +74,13 @@ pub struct ServerConfig {
     /// Where the shard workers live: in-process threads (the default),
     /// pre-started worker processes, or children this server spawns.
     pub workers: crate::sharded::WorkerSpec,
+    /// Durable coordinator state: LOADs and mutation batches are
+    /// appended to a write-ahead log under this directory (fsynced
+    /// before any fan-out), and [`Server::bind`] replays the log —
+    /// *before* the listener accepts a single session — so a restarted
+    /// coordinator recovers every dataset to its logged epoch. `None`
+    /// (the default) keeps the replay log in memory only.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +95,7 @@ impl Default for ServerConfig {
             buffer_pages: 0,
             replicas: 1,
             workers: crate::sharded::WorkerSpec::Local,
+            data_dir: None,
         }
     }
 }
@@ -173,6 +181,7 @@ impl Server {
             workers: config.workers.clone(),
             on_disk: config.on_disk.clone(),
             buffer_pages: config.buffer_pages,
+            data_dir: config.data_dir.clone(),
             ..crate::sharded::TopologyConfig::default()
         })?;
         let max_inflight = if config.max_inflight == 0 {
@@ -432,6 +441,7 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
     };
     let (admitted, rejected_busy) = shared.admission.stats();
     let (plan_hits, plan_misses) = engine.plan_cache_stats();
+    let (wal_records, wal_bytes) = engine.wal_stats();
     // Per-slot health rows (flat cell-major slot index, matching the
     // topology's routing order) keep a degraded topology observable.
     let health = engine.shard_health();
@@ -447,6 +457,9 @@ fn stats_reply(id: Option<u64>, shared: &Shared) -> String {
             ("replicas", engine.replicas().to_string()),
             ("replays_total", engine.replays_total().to_string()),
             ("updates_total", engine.updates_total().to_string()),
+            ("wal_records", wal_records.to_string()),
+            ("wal_bytes", wal_bytes.to_string()),
+            ("recovered_epochs", engine.recovered_epochs().to_string()),
             (
                 "shards_up",
                 health

@@ -47,7 +47,7 @@ use crate::ServerError;
 use ringjoin_core::planner::{DatasetSummary, JoinCostModel};
 use ringjoin_core::{Engine, IndexKind, Plan, QueryBuilder, RcjAlgorithm, RcjPair, RcjStats};
 use ringjoin_geom::{Item, Point, Rect};
-use ringjoin_storage::BufferPool;
+use ringjoin_storage::{BufferPool, Wal};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -679,6 +679,13 @@ pub struct TopologyConfig {
     /// Base supervisor backoff between respawn attempts (doubled each
     /// retry).
     pub respawn_backoff: Duration,
+    /// Durable coordinator state: when set, every LOAD and update batch
+    /// is appended to a write-ahead log under `<data_dir>/wal` and
+    /// fsynced **before** the fan-out, and construction replays the log
+    /// so a restarted coordinator re-drives every shard/replica back to
+    /// the logged epochs. `None` (the default) keeps the replay log in
+    /// memory only — the pre-durability behavior.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for TopologyConfig {
@@ -692,6 +699,7 @@ impl Default for TopologyConfig {
             request_timeout: Duration::from_secs(30),
             respawn_attempts: 5,
             respawn_backoff: Duration::from_millis(100),
+            data_dir: None,
         }
     }
 }
@@ -761,6 +769,204 @@ enum LogRecord {
     Update(UpdateRecord),
 }
 
+// ---------------------------------------------------------------------
+// Durable log codec + crash-fault injection
+// ---------------------------------------------------------------------
+
+/// One decoded WAL record, ready to re-drive through the public
+/// [`ShardedEngine::load`] / [`ShardedEngine::update`] entry points.
+/// The WAL stores the *logical* history only — no partition cells —
+/// so recovery recomputes the partition deterministically and adapts
+/// to a changed shard count; epochs (the replayed-history contract)
+/// are shard-count-invariant.
+enum WalReplay {
+    Load {
+        name: String,
+        kind: IndexKind,
+        items: Vec<Item>,
+    },
+    Update {
+        name: String,
+        target_epoch: u64,
+        ops: Vec<Mutation>,
+    },
+}
+
+/// Encodes a LOAD batch as a WAL payload. Text, one line per item —
+/// Rust's `f64` `Display` is shortest-round-trip, the same property the
+/// CLI's replay-log grammar already leans on, so decode reproduces the
+/// coordinates bit for bit.
+fn wal_encode_load(name: &str, kind: IndexKind, items: &[Item]) -> Vec<u8> {
+    use std::fmt::Write;
+    let mut out = format!("LOAD {} {} {name}\n", kind.name(), items.len());
+    for it in items {
+        writeln!(out, "{} {} {}", it.id, it.point.x, it.point.y).expect("string write");
+    }
+    out.into_bytes()
+}
+
+/// Encodes one mutation batch as a WAL payload (`+` insert, `-` delete,
+/// `^` upsert — the CLI's mutation-log grammar).
+fn wal_encode_update(name: &str, target_epoch: u64, ops: &[Mutation]) -> Vec<u8> {
+    use std::fmt::Write;
+    let mut out = format!("UPDATE {target_epoch} {} {name}\n", ops.len());
+    for op in ops {
+        match op {
+            Mutation::Insert(it) => writeln!(out, "+ {} {} {}", it.id, it.point.x, it.point.y),
+            Mutation::Delete(id) => writeln!(out, "- {id}"),
+            Mutation::Upsert(it) => writeln!(out, "^ {} {} {}", it.id, it.point.x, it.point.y),
+        }
+        .expect("string write");
+    }
+    out.into_bytes()
+}
+
+fn wal_parse_item(line: &str) -> Result<Item, String> {
+    let mut fields = line.split_whitespace();
+    let mut next = |what: &str| -> Result<&str, String> {
+        fields
+            .next()
+            .ok_or_else(|| format!("WAL item line {line:?} is missing its {what}"))
+    };
+    let id: u64 = next("id")?
+        .parse()
+        .map_err(|_| format!("bad id in WAL item line {line:?}"))?;
+    let x: f64 = next("x")?
+        .parse()
+        .map_err(|_| format!("bad x in WAL item line {line:?}"))?;
+    let y: f64 = next("y")?
+        .parse()
+        .map_err(|_| format!("bad y in WAL item line {line:?}"))?;
+    Ok(Item::new(id, Point { x, y }))
+}
+
+/// Decodes one CRC-valid WAL payload. A decode failure here means a
+/// record that passed its checksum but does not parse — not a torn
+/// tail but genuine corruption (or a version skew), so recovery
+/// surfaces it as an error instead of truncating silently.
+fn wal_decode(payload: &[u8]) -> Result<WalReplay, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "WAL record is not UTF-8".to_string())?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| "empty WAL record".to_string())?;
+    let mut fields = header.splitn(4, ' ');
+    let tag = fields.next().unwrap_or_default();
+    match tag {
+        "LOAD" => {
+            let kind = match fields.next() {
+                Some("rtree") => IndexKind::Rtree,
+                Some("quadtree") => IndexKind::Quadtree,
+                other => return Err(format!("unknown index kind {other:?} in WAL LOAD")),
+            };
+            let n: usize = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad item count in WAL LOAD header {header:?}"))?;
+            let name = fields
+                .next()
+                .ok_or_else(|| format!("missing dataset name in WAL LOAD header {header:?}"))?
+                .to_string();
+            let mut items = Vec::new();
+            for _ in 0..n {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| "WAL LOAD record is shorter than its item count".to_string())?;
+                items.push(wal_parse_item(line)?);
+            }
+            Ok(WalReplay::Load { name, kind, items })
+        }
+        "UPDATE" => {
+            let target_epoch: u64 = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad target epoch in WAL UPDATE header {header:?}"))?;
+            let n: usize = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad op count in WAL UPDATE header {header:?}"))?;
+            let name = fields
+                .next()
+                .ok_or_else(|| format!("missing dataset name in WAL UPDATE header {header:?}"))?
+                .to_string();
+            let mut ops = Vec::new();
+            for _ in 0..n {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| "WAL UPDATE record is shorter than its op count".to_string())?;
+                let (sym, rest) = line
+                    .split_once(' ')
+                    .ok_or_else(|| format!("bad WAL mutation line {line:?}"))?;
+                match sym {
+                    "+" => ops.push(Mutation::Insert(wal_parse_item(rest)?)),
+                    "^" => ops.push(Mutation::Upsert(wal_parse_item(rest)?)),
+                    "-" => ops.push(Mutation::Delete(
+                        rest.trim()
+                            .parse()
+                            .map_err(|_| format!("bad id in WAL delete line {line:?}"))?,
+                    )),
+                    _ => return Err(format!("unknown WAL mutation {sym:?}")),
+                }
+            }
+            Ok(WalReplay::Update {
+                name,
+                target_epoch,
+                ops,
+            })
+        }
+        _ => Err(format!("unknown WAL record tag {tag:?} in {header:?}")),
+    }
+}
+
+/// Crash-fault injection hook: aborts the process (no unwinding, no
+/// flushing — the closest in-process stand-in for SIGKILL) when the
+/// `RINGJOIN_CRASH_POINT` environment variable names this point. A
+/// `point:N` spec skips the first `N` hits of the point first, so a
+/// test can let some batches land durably and crash mid-stream. The
+/// recovery tests and the CI crash-smoke job drive it with
+/// `wal-pre-sync`, `wal-post-sync` and `mid-fanout`.
+fn crash_point(point: &str) {
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    let Ok(spec) = std::env::var("RINGJOIN_CRASH_POINT") else {
+        return;
+    };
+    let (armed, skip) = match spec.split_once(':') {
+        Some((p, n)) => (p, n.parse().unwrap_or(0)),
+        None => (spec.as_str(), 0u64),
+    };
+    if armed == point && HITS.fetch_add(1, Ordering::SeqCst) >= skip {
+        eprintln!("crash-fault injection: aborting at {point}");
+        std::process::abort();
+    }
+}
+
+/// Appends `payload` to the durable log (if one is configured) and
+/// fsyncs it — the log-*durably*-before-fan-out point. A no-op without
+/// a `data_dir`.
+fn wal_append(st: &mut CatalogState, payload: &[u8]) -> Result<(), ServerError> {
+    if let Some(wal) = st.wal.as_mut() {
+        wal.append(payload)
+            .map_err(|e| ServerError::Internal(format!("WAL append failed: {e}")))?;
+        crash_point("wal-pre-sync");
+        wal.sync()
+            .map_err(|e| ServerError::Internal(format!("WAL fsync failed: {e}")))?;
+        crash_point("wal-post-sync");
+    }
+    Ok(())
+}
+
+/// Mirrors an `st.log.pop()` on the durable log: truncates the record
+/// appended for a batch whose fan-out was abandoned, so a restart does
+/// not replay it. Best-effort — the in-memory pop is authoritative for
+/// the running process.
+fn wal_abort(st: &mut CatalogState) {
+    if let Some(wal) = st.wal.as_mut() {
+        if let Err(e) = wal.abort_last() {
+            eprintln!(
+                "warning: WAL abort-last failed ({e}); a restart may replay an abandoned batch"
+            );
+        }
+    }
+}
+
 /// The routing catalog and the mutation replay log behind **one**
 /// lock. One lock, not two, is load-bearing: the heal function replays
 /// the log and flips its slot up under the read lock, and
@@ -771,6 +977,11 @@ enum LogRecord {
 struct CatalogState {
     catalog: Catalog,
     log: Vec<LogRecord>,
+    /// The durable image of `log` (`None` without a `data_dir`). Living
+    /// behind the same lock, it appends exactly when the in-memory log
+    /// pushes and truncates exactly when it pops — the two can never
+    /// disagree about which batches exist.
+    wal: Option<Wal>,
 }
 
 /// A sharded RCJ session: shard workers (in-process threads or worker
@@ -802,6 +1013,11 @@ pub struct ShardedEngine {
     /// Lifetime count of applied update batches, across all datasets —
     /// what `STATS` reports as `updates_total`.
     updates: AtomicU64,
+    /// How many durable-log records construction replayed (LOADs
+    /// re-establishing epoch 0 plus update batches advancing one epoch
+    /// each) — `0` for a fresh or non-durable engine; what `STATS`
+    /// reports as `recovered_epochs`.
+    recovered: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -938,14 +1154,60 @@ impl ShardedEngine {
                 backoff: cfg.respawn_backoff,
             },
         )?;
-        Ok(ShardedEngine {
+        let engine = ShardedEngine {
             topology,
             state,
             plans: PlanCache::new(),
             pool,
             on_disk: cfg.on_disk,
             updates: AtomicU64::new(0),
-        })
+            recovered: AtomicU64::new(0),
+        };
+        if let Some(dir) = &cfg.data_dir {
+            engine.recover(dir)?;
+        }
+        Ok(engine)
+    }
+
+    /// Opens the durable log under `<data_dir>/wal`, re-drives every
+    /// recovered record through the normal [`ShardedEngine::load`] /
+    /// [`ShardedEngine::update`] paths (the WAL is installed only
+    /// *afterwards*, so replay does not re-append what it reads), and
+    /// verifies each update batch lands on exactly the epoch the log
+    /// recorded. Runs inside construction — before the server binds its
+    /// listener — so no session ever observes a half-recovered catalog.
+    fn recover(&self, data_dir: &std::path::Path) -> Result<(), ServerError> {
+        let (payloads, wal) = Wal::open(data_dir.join("wal"))
+            .map_err(|e| ServerError::Internal(format!("WAL open failed: {e}")))?;
+        let mut replayed = 0u64;
+        for payload in &payloads {
+            match wal_decode(payload)
+                .map_err(|e| ServerError::Internal(format!("WAL record {replayed} corrupt: {e}")))?
+            {
+                WalReplay::Load { name, kind, items } => {
+                    self.load(&name, items, kind)?;
+                }
+                WalReplay::Update {
+                    name,
+                    target_epoch,
+                    ops,
+                } => {
+                    let info = self.update(&name, ops)?;
+                    if info.epoch != target_epoch {
+                        return Err(ServerError::Internal(format!(
+                            "recovery drove dataset {name:?} to epoch {} but the log recorded {target_epoch}",
+                            info.epoch
+                        )));
+                    }
+                }
+            }
+            replayed += 1;
+        }
+        self.recovered.store(replayed, Ordering::Relaxed);
+        // The replayed-and-truncated log now becomes the live one:
+        // every batch from here on appends after the recovered prefix.
+        self.state.write().expect("catalog lock poisoned").wal = Some(wal);
+        Ok(())
     }
 
     /// Number of shards (partition cells).
@@ -970,9 +1232,30 @@ impl ShardedEngine {
         self.topology.replays_total()
     }
 
-    /// Lifetime count of applied update batches across all datasets.
+    /// Lifetime count of applied update batches across all datasets
+    /// (batches replayed from the durable log at startup included —
+    /// recovery applies them through the same path).
     pub fn updates_total(&self) -> u64 {
         self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Durable-log counters `(records, bytes)`: valid records currently
+    /// in the WAL and their total framed size on disk. `(0, 0)` when the
+    /// engine runs without a `data_dir` — what `STATS` reports as
+    /// `wal_records` / `wal_bytes`.
+    pub fn wal_stats(&self) -> (u64, u64) {
+        self.read_state()
+            .wal
+            .as_ref()
+            .map_or((0, 0), |w| (w.records(), w.bytes()))
+    }
+
+    /// How many durable-log records startup recovery replayed into the
+    /// fleet (`0` for a fresh directory or a non-durable engine) — what
+    /// `STATS` reports as `recovered_epochs`, and what the CI crash-
+    /// smoke job polls to confirm a restarted coordinator healed.
+    pub fn recovered_epochs(&self) -> u64 {
+        self.recovered.load(Ordering::Relaxed)
     }
 
     /// Polls until every worker slot is up, or `timeout` lapses.
@@ -1086,6 +1369,12 @@ impl ShardedEngine {
             items: Arc::clone(&items),
             cells: cells.clone(),
         }));
+        // ... and is durable before it: the WAL fsync happens here, so
+        // every batch a worker ever sees is already on disk.
+        if let Err(e) = wal_append(&mut st, &wal_encode_load(name, kind, &items)) {
+            st.log.pop();
+            return Err(e);
+        }
         let call = |cell: usize, writer: bool| LoadCall {
             name: name.to_string(),
             kind,
@@ -1119,6 +1408,7 @@ impl ShardedEngine {
             }
             if writer_slot.is_none() && hard_err.is_none() {
                 st.log.pop();
+                wal_abort(&mut st);
                 return Err(ServerError::ShardGone(0));
             }
         }
@@ -1157,12 +1447,14 @@ impl ShardedEngine {
         }
         if let Some(msg) = hard_err {
             st.log.pop();
+            wal_abort(&mut st);
             return Err(ServerError::Internal(msg));
         }
         // Every cell needs at least one live replica holding the data;
         // a fully dark cell cannot answer queries, so the LOAD fails.
         if let Some(cell) = successes.iter().position(|s| s.is_empty()) {
             st.log.pop();
+            wal_abort(&mut st);
             return Err(ServerError::ShardGone(cell));
         }
         let mut leaves = Vec::with_capacity(cells_n);
@@ -1262,6 +1554,10 @@ impl ShardedEngine {
             ops: Arc::clone(&ops),
             target_epoch,
         }));
+        if let Err(e) = wal_append(&mut st, &wal_encode_update(name, target_epoch, &ops)) {
+            st.log.pop();
+            return Err(e);
+        }
         let cells_n = self.topology.cells();
         let replicas = self.topology.replicas();
         let total = cells_n * replicas;
@@ -1274,7 +1570,18 @@ impl ShardedEngine {
         let outcomes: Vec<Option<Result<LoadOutcome, String>>> = std::thread::scope(|s| {
             let call = &call;
             let handles: Vec<_> = (0..total)
-                .map(|idx| s.spawn(move || topo.update_slot(idx, call)))
+                .map(|idx| {
+                    s.spawn(move || {
+                        let out = topo.update_slot(idx, call);
+                        if idx == 0 {
+                            // Slot 0 has applied the batch; the rest of
+                            // the fleet may not have — the genuinely
+                            // partial state a recovery must heal.
+                            crash_point("mid-fanout");
+                        }
+                        out
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -1301,6 +1608,7 @@ impl ShardedEngine {
         let dark_cell = successes.iter().position(|s| s.is_empty());
         if hard_err.is_some() || dark_cell.is_some() {
             st.log.pop();
+            wal_abort(&mut st);
             for idx in applied_slots {
                 self.topology.quarantine(idx);
             }

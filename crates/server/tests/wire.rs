@@ -574,3 +574,53 @@ fn session_limit_shed_succeeds_on_retry_after_reconnect() {
     probe.shutdown().unwrap();
     handle.join().unwrap();
 }
+
+/// A client spanning a coordinator restart sees at most retryable
+/// errors, never a hang: the first request on the dead socket fails
+/// fast, every connect during the down window is refused, and
+/// `request_with_retry`'s bounded reconnect/backoff rides it out until
+/// the restarted — and WAL-recovered — coordinator answers.
+#[test]
+fn retry_rides_out_a_coordinator_restart_window() {
+    use ringjoin_server::proto::Request;
+    let dir = std::env::temp_dir().join(format!("ringjoin-wire-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut probe = Client::connect(addr).unwrap();
+    probe
+        .load("p", IndexKind::Rtree, &items(50, 47, 800.0))
+        .unwrap();
+    probe.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Restart on the SAME port after a real down window, so the probe's
+    // retries first hit a dead socket, then connection-refused, then the
+    // recovered server. (std listeners set SO_REUSEADDR on Unix, so the
+    // rebind succeeds immediately once the thread wakes.)
+    let rebind = dir.clone();
+    let restarter = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        start_with(ServerConfig {
+            addr: addr.to_string(),
+            shards: 2,
+            data_dir: Some(rebind),
+            ..ServerConfig::default()
+        })
+    });
+
+    let reply = probe
+        .request_with_retry(&Request::Stats, 12)
+        .expect("retries must span the restart window");
+    assert_eq!(reply.field("shards"), Some("2"));
+    assert_eq!(reply.field("recovered_epochs"), Some("1"));
+
+    let (_, handle2) = restarter.join().unwrap();
+    probe.shutdown().unwrap();
+    handle2.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

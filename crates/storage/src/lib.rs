@@ -31,6 +31,12 @@
 //!   bytes fit the budget, and a [`Prefetcher`] stages upcoming pages
 //!   in the background so `read_faults` tracks the paper's I/O model
 //!   instead of RAM size.
+//! * [`Wal`] — the durable write-ahead mutation log the serving
+//!   coordinator appends LOAD/mutation batches to (length-prefixed,
+//!   CRC32-checksummed, fsynced before fan-out), with segment rotation
+//!   and torn-tail-tolerant recovery ([`decode_segment`]) so a
+//!   restarted coordinator can replay its fleet back to the logged
+//!   epochs.
 //!
 //! # Example
 //!
@@ -61,6 +67,7 @@ mod buffer_pool;
 mod disk;
 mod pager;
 mod snapshot;
+mod wal;
 
 pub use buffer::BufferManager;
 pub use buffer_pool::{
@@ -69,3 +76,4 @@ pub use buffer_pool::{
 pub use disk::{DiskStorage, FileDisk, FilePageStore, MemDisk, PageId, PageStore};
 pub use pager::{read_page_as, CostModel, IoStats, PageAccess, Pager, SharedPager};
 pub use snapshot::PageSnapshot;
+pub use wal::{crc32, decode_segment, Wal, DEFAULT_SEGMENT_BYTES, MAX_RECORD_BYTES};

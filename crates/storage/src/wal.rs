@@ -1,0 +1,478 @@
+//! Durable write-ahead mutation log: an append-only, segmented record
+//! log with per-record checksums and torn-tail-tolerant recovery.
+//!
+//! The serving layer's replay log (LOAD batches plus mutation batches,
+//! in application order) lives in coordinator memory; this module is
+//! what makes the *coordinator* restartable. Records are opaque byte
+//! payloads framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload bytes]
+//! ```
+//!
+//! appended to numbered segment files (`wal-00000000.log`,
+//! `wal-00000001.log`, ...) inside one directory. [`Wal::append`]
+//! writes a frame, [`Wal::sync`] makes it durable (the caller places
+//! the fsync *before* acting on the record — log-durably-before-
+//! fan-out), and [`Wal::abort_last`] truncates the most recent append
+//! when the action it covered was abandoned.
+//!
+//! Recovery ([`Wal::open`]) replays the **longest valid prefix**: it
+//! scans segments in order, stops at the first frame whose length
+//! prefix is truncated, whose payload is cut short, or whose CRC does
+//! not match, physically truncates the log there, and discards any
+//! later segments. A torn tail — the half-written frame a crash left
+//! behind — is silently dropped; recovery never panics and never
+//! loops, whatever bytes are on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame header size: 4-byte length prefix + 4-byte CRC32.
+const HEADER: usize = 8;
+
+/// Upper bound on one record's payload. A length prefix beyond this is
+/// treated as corruption (the torn-tail rule), not an allocation
+/// request — recovery must never trust a hostile or garbage length.
+pub const MAX_RECORD_BYTES: usize = 256 * 1024 * 1024;
+
+/// Default segment rotation threshold.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`. Hand-rolled
+/// so the storage crate stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Decodes one segment's bytes into `(payloads, valid_len)`: the longest
+/// valid record prefix and the byte offset it ends at. Everything past
+/// `valid_len` — a truncated header, a cut-short payload, a CRC
+/// mismatch, a zero or absurd length — is a torn tail to be discarded.
+/// Total and panic-free for arbitrary input.
+///
+/// Zero-length payloads are rejected deliberately: `crc32(&[]) == 0`,
+/// so a run of zero bytes (a preallocated or torn region) would
+/// otherwise decode as an endless train of valid empty records.
+pub fn decode_segment(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut payloads = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= HEADER {
+        let len = u32::from_le_bytes(
+            bytes[offset..offset + 4]
+                .try_into()
+                .expect("slice is 4 bytes"),
+        ) as usize;
+        let crc = u32::from_le_bytes(
+            bytes[offset + 4..offset + 8]
+                .try_into()
+                .expect("slice is 4 bytes"),
+        );
+        if len == 0 || len > MAX_RECORD_BYTES || bytes.len() - offset - HEADER < len {
+            break;
+        }
+        let payload = &bytes[offset + HEADER..offset + HEADER + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        payloads.push(payload.to_vec());
+        offset += HEADER + len;
+    }
+    (payloads, offset)
+}
+
+fn segment_name(index: u64) -> String {
+    format!("wal-{index:08}.log")
+}
+
+/// Parses a segment file name back to its index; `None` for foreign
+/// files, which recovery ignores.
+fn segment_index(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Fsyncs a directory so entry creation/removal is durable. Best-effort
+/// on platforms where directories cannot be opened as files.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(f) => f.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// A durable, segmented write-ahead log of opaque record payloads. See
+/// the module docs for the frame format and the recovery contract.
+///
+/// Appends are single-writer by design: the serving layer drives the
+/// log under its catalog write lock, so `Wal` takes `&mut self` and
+/// keeps no internal locking.
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    segment_index: u64,
+    /// Valid bytes in the current segment (frames only — recovery
+    /// truncated any tail past this before handing the log over).
+    segment_len: u64,
+    segment_bytes: u64,
+    records: u64,
+    bytes: u64,
+    /// Pre-append snapshot `(segment_len, records, bytes)` of the most
+    /// recent [`Wal::append`], for [`Wal::abort_last`].
+    last_append: Option<(u64, u64, u64)>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("segment_index", &self.segment_index)
+            .field("records", &self.records)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log directory, recovers the
+    /// longest valid record prefix, physically truncates any torn tail
+    /// (and removes segments past the corruption point), and returns
+    /// the recovered payloads together with a `Wal` positioned to
+    /// append after them. Never panics on corrupt input — a bad tail
+    /// costs the records past it, nothing else.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<(Vec<Vec<u8>>, Wal)> {
+        Self::open_with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`Wal::open`] with an explicit segment rotation threshold
+    /// (records themselves are never split across segments; a segment
+    /// holding at least one record may exceed the threshold by one
+    /// frame).
+    pub fn open_with_segment_bytes(
+        dir: impl Into<PathBuf>,
+        segment_bytes: u64,
+    ) -> io::Result<(Vec<Vec<u8>>, Wal)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut segments: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|entry| segment_index(entry.ok()?.file_name().to_str()?))
+            .collect();
+        segments.sort_unstable();
+
+        let mut payloads = Vec::new();
+        let mut records = 0u64;
+        let mut bytes = 0u64;
+        let mut live: Option<(u64, u64)> = None; // (segment index, valid len)
+        let mut truncated_at: Option<usize> = None;
+        for (pos, &index) in segments.iter().enumerate() {
+            let path = dir.join(segment_name(index));
+            let mut raw = Vec::new();
+            File::open(&path)?.read_to_end(&mut raw)?;
+            let (mut decoded, valid_len) = decode_segment(&raw);
+            records += decoded.len() as u64;
+            bytes += valid_len as u64;
+            payloads.append(&mut decoded);
+            live = Some((index, valid_len as u64));
+            if valid_len < raw.len() {
+                // Torn or corrupt tail: cut the segment back to its
+                // valid prefix and stop — anything later (including
+                // whole later segments) is past the corruption point.
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(valid_len as u64)?;
+                truncated_at = Some(pos);
+                break;
+            }
+        }
+        if let Some(pos) = truncated_at {
+            for &index in &segments[pos + 1..] {
+                std::fs::remove_file(dir.join(segment_name(index)))?;
+            }
+            sync_dir(&dir)?;
+        }
+
+        let (segment_index, segment_len) = live.unwrap_or((0, 0));
+        let path = dir.join(segment_name(segment_index));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        file.sync_data()?;
+        sync_dir(&dir)?;
+        Ok((
+            payloads,
+            Wal {
+                dir,
+                file,
+                segment_index,
+                segment_len,
+                segment_bytes,
+                records,
+                bytes,
+                last_append: None,
+            },
+        ))
+    }
+
+    /// Appends one record frame to the log (rotating to a fresh segment
+    /// first when the current one is full) and flushes it to the OS.
+    /// Durability needs a [`Wal::sync`] — split so callers can place
+    /// their crash-consistency point explicitly.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "WAL records must be non-empty (an empty payload is indistinguishable from a zeroed torn tail)",
+            ));
+        }
+        if payload.len() > MAX_RECORD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "WAL record of {} bytes exceeds MAX_RECORD_BYTES ({MAX_RECORD_BYTES})",
+                    payload.len()
+                ),
+            ));
+        }
+        if self.segment_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        self.last_append = Some((self.segment_len, self.records, self.bytes));
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.segment_len += frame.len() as u64;
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Fsyncs the current segment: every record appended so far
+    /// survives a crash of process *and* machine. The serving layer
+    /// calls this before fanning a batch out to any worker.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Undoes the most recent [`Wal::append`] by truncating the segment
+    /// back to its pre-append length — the path taken when the batch a
+    /// record covered was abandoned (its fan-out failed), so a restart
+    /// must not replay it. A no-op if there is nothing to undo.
+    pub fn abort_last(&mut self) -> io::Result<()> {
+        if let Some((segment_len, records, bytes)) = self.last_append.take() {
+            self.file.set_len(segment_len)?;
+            self.file.sync_data()?;
+            self.segment_len = segment_len;
+            self.records = records;
+            self.bytes = bytes;
+        }
+        Ok(())
+    }
+
+    /// Lifetime count of valid records in the log (recovered + appended
+    /// − aborted).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total valid frame bytes in the log (headers included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Index of the segment currently appended to.
+    pub fn segment(&self) -> u64 {
+        self.segment_index
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.segment_index += 1;
+        let path = self.dir.join(segment_name(self.segment_index));
+        self.file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)?;
+        self.file.sync_data()?;
+        sync_dir(&self.dir)?;
+        self.segment_len = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ringjoin-wal-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values of the IEEE polynomial (zlib's crc32).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn appended_records_survive_reopen() {
+        let dir = scratch("roundtrip");
+        let (recovered, mut wal) = Wal::open(&dir).unwrap();
+        assert!(recovered.is_empty());
+        wal.append(b"alpha").unwrap();
+        wal.append(b"beta").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.records(), 2);
+        drop(wal);
+        let (recovered, wal) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(wal.records(), 2);
+        assert_eq!(wal.bytes(), (HEADER + 5 + HEADER + 4) as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_recovery_reads_them_in_order() {
+        let dir = scratch("rotate");
+        let (_, mut wal) = Wal::open_with_segment_bytes(&dir, 32).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 20]).collect();
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment() >= 4, "32-byte segments must rotate often");
+        drop(wal);
+        let (recovered, _) = Wal::open_with_segment_bytes(&dir, 32).unwrap();
+        assert_eq!(recovered, payloads);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = scratch("torn");
+        let (_, mut wal) = Wal::open(&dir).unwrap();
+        wal.append(b"kept").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: half a frame at the tail.
+        let seg = dir.join(segment_name(0));
+        let mut raw = std::fs::read(&seg).unwrap();
+        raw.extend_from_slice(&[200, 0, 0, 0, 1, 2]); // truncated header+payload
+        std::fs::write(&seg, &raw).unwrap();
+        let (recovered, mut wal) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered, vec![b"kept".to_vec()]);
+        // The tail is physically gone: a fresh append lands cleanly.
+        wal.append(b"after").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (recovered, _) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered, vec![b"kept".to_vec(), b"after".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_crc_truncates_and_drops_later_segments() {
+        let dir = scratch("badcrc");
+        let (_, mut wal) = Wal::open_with_segment_bytes(&dir, 16).unwrap();
+        wal.append(b"segment-zero-rec").unwrap();
+        wal.append(b"segment-one-rec!").unwrap();
+        wal.append(b"segment-two-rec!").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.segment(), 2);
+        drop(wal);
+        // Flip one payload bit in the middle segment.
+        let seg1 = dir.join(segment_name(1));
+        let mut raw = std::fs::read(&seg1).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&seg1, &raw).unwrap();
+        let (recovered, wal) = Wal::open_with_segment_bytes(&dir, 16).unwrap();
+        assert_eq!(recovered, vec![b"segment-zero-rec".to_vec()]);
+        assert_eq!(wal.records(), 1);
+        assert!(
+            !dir.join(segment_name(2)).exists(),
+            "segments past the corruption point must be removed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abort_last_removes_the_record_from_disk_and_counters() {
+        let dir = scratch("abort");
+        let (_, mut wal) = Wal::open(&dir).unwrap();
+        wal.append(b"kept").unwrap();
+        wal.sync().unwrap();
+        let (records, bytes) = (wal.records(), wal.bytes());
+        wal.append(b"abandoned").unwrap();
+        wal.sync().unwrap();
+        wal.abort_last().unwrap();
+        assert_eq!((wal.records(), wal.bytes()), (records, bytes));
+        // Aborting twice is a no-op, not a double truncation.
+        wal.abort_last().unwrap();
+        assert_eq!((wal.records(), wal.bytes()), (records, bytes));
+        drop(wal);
+        let (recovered, _) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered, vec![b"kept".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zeroed_bytes_do_not_decode_as_records() {
+        let (payloads, valid) = decode_segment(&[0u8; 64]);
+        assert!(payloads.is_empty());
+        assert_eq!(valid, 0);
+        assert!(Wal::open(scratch("empty")).is_ok());
+    }
+
+    #[test]
+    fn empty_and_oversized_payloads_are_rejected() {
+        let dir = scratch("guards");
+        let (_, mut wal) = Wal::open(&dir).unwrap();
+        assert!(wal.append(b"").is_err());
+        assert_eq!(wal.records(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
